@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 6 (a)-(f): single-job task execution time estimation
+// versus the degree of parallelism (1..12 tasks per node) for WordCount
+// (compressed, 3 replicas) and TeraSort (uncompressed, 1 replica) at 100 GB,
+// on the paper's 11-node cluster.
+//
+// For each phase (map / shuffle / reduce) the table shows the simulated
+// ground truth (median task time), the BOE prediction, and the
+// fixed-parallelism baseline (best case of Starfish/MRTuner: the profiling
+// run's ground truth, independent of the actual parallelism). The last rows
+// report mean accuracies and the error-reduction factor of BOE over the
+// baseline at parallelism 12 — the paper's headline "factor of five".
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "exp/single_job.h"
+#include "workloads/micro.h"
+
+namespace dagperf {
+namespace {
+
+double ErrorFactor(double baseline_est, double boe_est, double truth) {
+  const double base_err = std::fabs(baseline_est - truth);
+  const double boe_err = std::fabs(boe_est - truth);
+  if (boe_err < 1e-9) return base_err > 1e-9 ? 999.0 : 1.0;
+  return base_err / boe_err;
+}
+
+void RunSweep(const JobSpec& spec, const char* figure) {
+  SingleJobSweepConfig config;
+  config.baseline_reference = 2;  // Starfish-like low-parallelism profiling run.
+  const SingleJobSweepResult result = RunSingleJobSweep(spec, config).value();
+
+  std::printf("=== Fig. 6 %s: %s, 100 GB, baseline profiled at %d tasks/node ===\n",
+              figure, result.job_name.c_str(), result.baseline_reference);
+  TextTable table({"delta", "map truth", "map BOE", "map base", "shuf truth",
+                   "shuf BOE", "shuf base", "red truth", "red BOE", "red base"});
+  for (const auto& p : result.points) {
+    table.AddRow({TextTable::Cell(p.tasks_per_node, 0),
+                  TextTable::Cell(p.truth.map_s, 1), TextTable::Cell(p.boe.map_s, 1),
+                  TextTable::Cell(p.baseline.map_s, 1),
+                  TextTable::Cell(p.truth.shuffle_s, 1),
+                  TextTable::Cell(p.boe.shuffle_s, 1),
+                  TextTable::Cell(p.baseline.shuffle_s, 1),
+                  TextTable::Cell(p.truth.reduce_s, 1),
+                  TextTable::Cell(p.boe.reduce_s, 1),
+                  TextTable::Cell(p.baseline.reduce_s, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const SweepAccuracy boe = BoeSweepAccuracy(result);
+  const SweepAccuracy base = BaselineSweepAccuracy(result);
+  std::printf("BOE mean accuracy:      map %.1f%%  shuffle %.1f%%  reduce %.1f%%\n",
+              100 * boe.map, 100 * boe.shuffle, 100 * boe.reduce);
+  std::printf("baseline mean accuracy: map %.1f%%  shuffle %.1f%%  reduce %.1f%%\n",
+              100 * base.map, 100 * base.shuffle, 100 * base.reduce);
+  const auto& p12 = result.points.back();
+  std::printf(
+      "error-reduction factor of BOE at delta=12: map %.1fx  shuffle %.1fx  "
+      "reduce %.1fx\n\n",
+      ErrorFactor(p12.baseline.map_s, p12.boe.map_s, p12.truth.map_s),
+      ErrorFactor(p12.baseline.shuffle_s, p12.boe.shuffle_s, p12.truth.shuffle_s),
+      ErrorFactor(p12.baseline.reduce_s, p12.boe.reduce_s, p12.truth.reduce_s));
+}
+
+}  // namespace
+}  // namespace dagperf
+
+int main() {
+  dagperf::RunSweep(dagperf::WordCountSpec(), "(a)-(c)");
+  dagperf::RunSweep(dagperf::TsSpec(), "(d)-(f)");
+  // Supplementary sweeps beyond the paper's figures: the compressed and
+  // replicated TeraSort variants of Table I.
+  dagperf::RunSweep(dagperf::TscSpec(), "[supplementary: TSC]");
+  dagperf::RunSweep(dagperf::Ts3rSpec(), "[supplementary: TS3R]");
+  return 0;
+}

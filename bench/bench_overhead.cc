@@ -1,0 +1,78 @@
+// E8 (§V-C "Execution time"): the latency of computing the cost models —
+// the property that makes them usable inside runtime optimisers. google-
+// benchmark microbenchmarks of (1) one BOE task estimate, (2) the fair-share
+// rate solver, (3) DRF allocation, and (4) the full state-based estimation
+// of representative DAG workflows. The paper's bound is < 1 s per workflow.
+
+#include <benchmark/benchmark.h>
+
+#include "boe/boe_model.h"
+#include "cluster/rate_solver.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "scheduler/drf.h"
+#include "workloads/micro.h"
+#include "workloads/suite.h"
+#include "workloads/tpch.h"
+
+namespace dagperf {
+namespace {
+
+void BM_BoeEstimateTask(benchmark::State& state) {
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const BoeModel model(cluster.node);
+  const JobProfile profile = CompileJob(TsSpec()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.EstimateTask(profile.map, 12.0));
+  }
+}
+BENCHMARK(BM_BoeEstimateTask);
+
+void BM_RateSolver(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  ResourceVector caps = ClusterSpec::PaperCluster().node.Capacities();
+  std::vector<Flow> population;
+  for (int i = 0; i < flows; ++i) {
+    Flow f;
+    f.population = 1 + i % 3;
+    f.demand[Resource::kDiskRead] = 1e6 * (1 + i % 7);
+    f.demand[Resource::kNetwork] = 1e6 * (1 + i % 5);
+    f.demand[Resource::kCpu] = 0.1 * (1 + i % 4);
+    f.per_task_cap[Resource::kCpu] = 1.0;
+    population.push_back(f);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveRates(caps, population));
+  }
+}
+BENCHMARK(BM_RateSolver)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DrfAllocate(benchmark::State& state) {
+  const DrfAllocator allocator(ClusterSpec::PaperCluster(), SchedulerConfig{});
+  std::vector<StageDemand> demands(4);
+  for (auto& d : demands) d.remaining_tasks = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.Allocate(demands));
+  }
+}
+BENCHMARK(BM_DrfAllocate);
+
+void BM_EstimateWorkflow(benchmark::State& state, const std::string& name) {
+  const NamedFlow nf = TableThreeFlow(name).value();
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(nf.flow, source));
+  }
+}
+BENCHMARK_CAPTURE(BM_EstimateWorkflow, wc_ts, std::string("WC-TS"));
+BENCHMARK_CAPTURE(BM_EstimateWorkflow, ts_q5, std::string("TS-Q5"));
+BENCHMARK_CAPTURE(BM_EstimateWorkflow, wc_q21, std::string("WC-Q21"));  // 10 jobs.
+BENCHMARK_CAPTURE(BM_EstimateWorkflow, ts_pr, std::string("TS-PR"));
+
+}  // namespace
+}  // namespace dagperf
+
+BENCHMARK_MAIN();

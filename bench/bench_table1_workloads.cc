@@ -1,0 +1,63 @@
+// Reproduces paper Table I: the workload matrix with compression, replica
+// count, and the bottleneck resource the BOE model identifies for each stage
+// at a saturating degree of parallelism (12 tasks per node). The identified
+// bottlenecks should match the table: WC CPU; TSC CPU; TS CPU/Disk;
+// TS3R CPU/Network.
+
+#include <cstdio>
+
+#include "boe/boe_model.h"
+#include "common/table.h"
+#include "workloads/micro.h"
+
+namespace dagperf {
+namespace {
+
+std::string StageBottlenecks(const BoeModel& model, const StageProfile& stage,
+                             double tasks_per_node) {
+  const TaskEstimate est = model.EstimateTask(stage, tasks_per_node);
+  std::string out;
+  for (const auto& ss : est.substages) {
+    if (!out.empty()) out += ", ";
+    out += ss.name;
+    out += ":";
+    out += ResourceName(ss.bottleneck);
+  }
+  return out;
+}
+
+void Run() {
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const BoeModel model(cluster.node);
+  const double delta = 12.0;
+
+  std::printf("=== Table I: workloads and BOE-identified bottlenecks (delta=12) ===\n");
+  TextTable table({"workload", "C", "R", "map bottlenecks", "reduce bottlenecks",
+                   "stage bottleneck"});
+  for (const JobSpec& spec :
+       {WordCountSpec(), TscSpec(), TsSpec(), Ts2rSpec(), Ts3rSpec()}) {
+    const JobProfile profile = CompileJob(spec).value();
+    const TaskEstimate map_est = model.EstimateTask(profile.map, delta);
+    std::string overall = std::string("map:") + ResourceName(map_est.bottleneck);
+    std::string reduce_b = "-";
+    if (profile.has_reduce()) {
+      const TaskEstimate red_est = model.EstimateTask(*profile.reduce, delta);
+      overall += std::string(" reduce:") + ResourceName(red_est.bottleneck);
+      reduce_b = StageBottlenecks(model, *profile.reduce, delta);
+    }
+    table.AddRow({spec.name, spec.compress_map_output ? "Y" : "N",
+                  std::to_string(spec.replicas),
+                  StageBottlenecks(model, profile.map, delta), reduce_b, overall});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper Table I bottlenecks: WC=CPU, TSC=CPU, TS=CPU+Disk, TS3R=CPU+Network.\n");
+}
+
+}  // namespace
+}  // namespace dagperf
+
+int main() {
+  dagperf::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Capacity planning with the cost models (the paper's motivating
+// application, §I: "capacity planning on the cloud"): find the smallest
+// cluster that finishes a nightly analytics DAG within its deadline. The
+// estimator evaluates each candidate size in well under a millisecond, so
+// the search is effectively free; the chosen size is then validated against
+// the simulator.
+//
+// Build & run:  ./build/examples/capacity_planner
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "sim/simulator.h"
+#include "workloads/micro.h"
+#include "workloads/tpch.h"
+
+namespace {
+
+using namespace dagperf;
+
+DagWorkflow NightlyBatch() {
+  DagBuilder b("nightly-batch");
+  b.AddJob(TsSpec(Bytes::FromGB(100)));  // Log re-sort.
+  AppendTpchQuery(b, 5);                 // Revenue report.
+  AppendTpchQuery(b, 1);                 // Pricing summary.
+  return std::move(b).Build().value();
+}
+
+double EstimateSeconds(const DagWorkflow& flow, int nodes) {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.num_nodes = nodes;
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  return estimator.Estimate(flow, source).value().makespan.seconds();
+}
+
+}  // namespace
+
+int main() {
+  const DagWorkflow flow = NightlyBatch();
+  const double deadline_s = 300.0;
+  std::printf("workflow '%s' (%d jobs), deadline %.0f s\n", flow.name().c_str(),
+              flow.num_jobs(), deadline_s);
+
+  int chosen = -1;
+  for (int nodes = 2; nodes <= 64; ++nodes) {
+    const double est = EstimateSeconds(flow, nodes);
+    if (nodes <= 8 || nodes % 8 == 0 || (est <= deadline_s && chosen < 0)) {
+      std::printf("  %2d nodes -> estimated %7.1f s%s\n", nodes, est,
+                  est <= deadline_s ? "  <= deadline" : "");
+    }
+    if (est <= deadline_s) {
+      chosen = nodes;
+      break;
+    }
+  }
+  if (chosen < 0) {
+    std::printf("no cluster size up to 64 nodes meets the deadline\n");
+    return 1;
+  }
+
+  // Validate the pick against the simulator.
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.num_nodes = chosen;
+  const Simulator sim(cluster, SchedulerConfig{}, SimOptions{});
+  const double truth = sim.Run(flow).value().makespan().seconds();
+  std::printf("\nchosen size: %d nodes; simulated makespan %.1f s (%s deadline)\n",
+              chosen, truth, truth <= deadline_s ? "meets" : "misses");
+  return 0;
+}

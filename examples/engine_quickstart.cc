@@ -1,0 +1,71 @@
+// End-to-end loop from real execution to analytical prediction:
+//
+//   1. generate a synthetic text corpus,
+//   2. run a REAL WordCount on the in-process MapReduce engine,
+//   3. extract a measured job profile (selectivities, throughputs),
+//   4. scale it to cluster size and predict with BOE + the state-based
+//      estimator — the workflow a Starfish-style self-tuning system runs.
+//
+// Build & run:  ./build/examples/engine_quickstart
+
+#include <cstdio>
+
+#include "boe/boe_model.h"
+#include "dag/dag_workflow.h"
+#include "engine/builtin.h"
+#include "engine/datagen.h"
+#include "engine/profiling.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+
+int main() {
+  using namespace dagperf;
+
+  // 1. A 2 MB Zipf-distributed corpus (profiling runs are small).
+  LocalStore store;
+  GenerateText(store, "corpus", Bytes::FromMB(2), /*vocabulary=*/20000,
+               /*zipf_s=*/1.05);
+  std::printf("generated corpus: %zu bytes, %zu records\n",
+              store.SizeBytes("corpus"), store.Read("corpus").value()->size());
+
+  // 2. Execute WordCount for real.
+  MapReduceEngine engine(&store);
+  const EngineJobConfig job = WordCountJob("corpus", "counts");
+  const JobMetrics metrics = engine.Run(job).value();
+  std::printf("wordcount ran in %.3f s: %zu words in, %zu distinct words out\n",
+              metrics.wall_seconds, metrics.map.records_in,
+              metrics.reduce.records_out);
+  std::printf("combiner shrank the shuffle to %.1f%% of the input\n",
+              100.0 * metrics.shuffle_bytes / metrics.map.bytes_in);
+
+  // 3. Turn the measurements into a model-ready JobSpec, scaled to 100 GB.
+  ProfilingOptions options;
+  options.input_scale = Bytes::FromGB(100).value() / metrics.map.bytes_in;
+  options.defaults.compress_map_output = true;
+  options.defaults.replicas = 3;
+  const JobSpec spec = SpecFromMetrics(metrics, options).value();
+  std::printf(
+      "\nprofiled spec: input %s, map selectivity %.3f, reduce selectivity "
+      "%.3f,\n  map compute %s/core, reduce compute %s/core\n",
+      spec.input.ToString().c_str(), spec.map_selectivity, spec.reduce_selectivity,
+      spec.map_compute.ToString().c_str(), spec.reduce_compute.ToString().c_str());
+
+  // 4. Ask the analytical models about the scaled job on the paper cluster.
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const JobProfile profile = CompileJob(spec).value();
+  const BoeModel boe(cluster.node);
+  for (double delta : {1.0, 6.0, 12.0}) {
+    const TaskEstimate est = boe.EstimateTask(profile.map, delta);
+    std::printf("map task @ %4.1f tasks/node: %6.1f s (bottleneck %s)\n", delta,
+                est.duration.seconds(), ResourceName(est.bottleneck));
+  }
+  DagBuilder builder("profiled-wordcount");
+  builder.AddJob(spec);
+  const DagWorkflow flow = std::move(builder).Build().value();
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  const DagEstimate estimate = estimator.Estimate(flow, source).value();
+  std::printf("\npredicted 100 GB wordcount makespan on the paper cluster: %.1f s\n",
+              estimate.makespan.seconds());
+  return 0;
+}

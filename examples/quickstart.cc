@@ -1,0 +1,65 @@
+// Quickstart: estimate task- and workflow-level execution times for a
+// MapReduce job with the BOE model and the state-based estimator.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "boe/boe_model.h"
+#include "cluster/cluster_spec.h"
+#include "dag/dag_workflow.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "workload/job_spec.h"
+
+int main() {
+  using namespace dagperf;
+
+  // 1. Describe the cluster (the paper's 11-node testbed ships as a preset).
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+
+  // 2. Describe the job: data volumes, selectivities, per-core function
+  //    throughputs. This is what a profiling run measures.
+  JobSpec job;
+  job.name = "log-scan";
+  job.input = Bytes::FromGB(50);
+  job.map_compute = Rate::MBps(40);   // Map function speed per core.
+  job.map_selectivity = 0.2;          // Map output / input.
+  job.compress_map_output = true;
+  job.num_reduce_tasks = 64;
+  job.reduce_compute = Rate::MBps(80);
+  job.reduce_selectivity = 0.1;
+  job.replicas = 3;
+
+  // 3. Compile to per-sub-stage resource demands.
+  const JobProfile profile = CompileJob(job).value();
+  std::printf("%s: %d map tasks, %d reduce tasks\n", job.name.c_str(),
+              profile.map.num_tasks, profile.reduce->num_tasks);
+
+  // 4. Task-level BOE estimates at different degrees of parallelism: watch
+  //    the bottleneck move as parallelism rises.
+  const BoeModel boe(cluster.node);
+  for (double tasks_per_node : {1.0, 6.0, 12.0}) {
+    const TaskEstimate est = boe.EstimateTask(profile.map, tasks_per_node);
+    std::printf("map task @ %4.1f tasks/node: %6.1f s  (bottleneck: %s)\n",
+                tasks_per_node, est.duration.seconds(),
+                ResourceName(est.bottleneck));
+  }
+
+  // 5. Workflow-level estimate via the state-based approach (Algorithm 1)
+  //    with BOE-supplied task times.
+  DagBuilder builder("quickstart-flow");
+  builder.AddJob(job);
+  const DagWorkflow flow = std::move(builder).Build().value();
+
+  const BoeTaskTimeSource source(boe);
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  const DagEstimate estimate = estimator.Estimate(flow, source).value();
+  std::printf("\nestimated workflow makespan: %.1f s across %zu states\n",
+              estimate.makespan.seconds(), estimate.states.size());
+  for (const auto& state : estimate.states) {
+    std::printf("  state %d: %6.1f s, %zu running stage(s)\n", state.index,
+                state.duration, state.running.size());
+  }
+  return 0;
+}

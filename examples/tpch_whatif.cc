@@ -1,0 +1,70 @@
+// What-if analysis for a hybrid workload: TPC-H Q5 sharing the cluster with
+// a 100 GB WordCount. The cost models answer, in microseconds, questions
+// that would take cluster-hours to measure: how much slower does Q5 get
+// next to WordCount, and what does doubling the cluster buy?
+//
+// One configuration is cross-checked against the simulator to show the
+// estimates are trustworthy.
+//
+// Build & run:  ./build/examples/tpch_whatif
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "sim/simulator.h"
+#include "workloads/micro.h"
+#include "workloads/tpch.h"
+
+namespace {
+
+using namespace dagperf;
+
+double EstimateSeconds(const DagWorkflow& flow, const ClusterSpec& cluster) {
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  return estimator.Estimate(flow, source).value().makespan.seconds();
+}
+
+DagWorkflow QueryAlone() {
+  DagBuilder b("Q5-alone");
+  AppendTpchQuery(b, 5);
+  return std::move(b).Build().value();
+}
+
+DagWorkflow QueryWithWordCount() {
+  DagBuilder b("Q5+WC");
+  b.AddJob(WordCountSpec());
+  AppendTpchQuery(b, 5);
+  return std::move(b).Build().value();
+}
+
+}  // namespace
+
+int main() {
+  const ClusterSpec cluster11 = ClusterSpec::PaperCluster();
+  ClusterSpec cluster22 = cluster11;
+  cluster22.num_nodes = 22;
+
+  const DagWorkflow alone = QueryAlone();
+  const DagWorkflow hybrid = QueryWithWordCount();
+
+  const double q5_alone_11 = EstimateSeconds(alone, cluster11);
+  const double hybrid_11 = EstimateSeconds(hybrid, cluster11);
+  const double hybrid_22 = EstimateSeconds(hybrid, cluster22);
+
+  std::printf("Q5 alone,        11 nodes: %7.1f s\n", q5_alone_11);
+  std::printf("Q5 + WC (100 GB), 11 nodes: %7.1f s  (contention cost: +%.0f%%)\n",
+              hybrid_11, 100 * (hybrid_11 / q5_alone_11 - 1.0));
+  std::printf("Q5 + WC (100 GB), 22 nodes: %7.1f s  (scale-out speedup: %.2fx)\n",
+              hybrid_22, hybrid_11 / hybrid_22);
+
+  // Cross-check the 11-node hybrid estimate against the simulator.
+  const Simulator sim(cluster11, SchedulerConfig{}, SimOptions{});
+  const double truth = sim.Run(hybrid).value().makespan().seconds();
+  std::printf("\nsimulated Q5 + WC on 11 nodes: %.1f s  (estimate accuracy %.1f%%)\n",
+              truth, 100 * RelativeAccuracy(hybrid_11, truth));
+  return 0;
+}

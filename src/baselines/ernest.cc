@@ -1,0 +1,55 @@
+#include "baselines/ernest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace dagperf {
+
+namespace {
+
+void FillFeatures(double data_scale, double machines, double* row) {
+  row[0] = 1.0;
+  row[1] = data_scale / machines;
+  row[2] = std::log(machines);
+  row[3] = machines;
+}
+
+}  // namespace
+
+Result<ErnestModel> ErnestModel::Fit(const std::vector<TrainingPoint>& points) {
+  if (points.size() < 4) {
+    return Status::InvalidArgument("Ernest fit needs at least 4 training points");
+  }
+  for (const auto& p : points) {
+    if (p.data_scale <= 0 || p.machines <= 0 || p.time_s < 0) {
+      return Status::InvalidArgument("Ernest training point out of range");
+    }
+  }
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(points.size() * 4);
+  for (const auto& p : points) {
+    double row[4];
+    FillFeatures(p.data_scale, p.machines, row);
+    x.insert(x.end(), row, row + 4);
+    y.push_back(p.time_s);
+  }
+  std::vector<double> beta = LeastSquares(x, y, 4, /*ridge=*/1e-6);
+  // NNLS substitute: clamp negative coefficients (all terms model costs).
+  for (double& b : beta) b = std::max(0.0, b);
+  return ErnestModel(std::move(beta));
+}
+
+double ErnestModel::Predict(double data_scale, double machines) const {
+  DAGPERF_CHECK(data_scale > 0 && machines > 0);
+  double row[4];
+  FillFeatures(data_scale, machines, row);
+  double out = 0.0;
+  for (int i = 0; i < 4; ++i) out += beta_[i] * row[i];
+  return out;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,48 @@
+#ifndef DAGPERF_BASELINES_ERNEST_H_
+#define DAGPERF_BASELINES_ERNEST_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace dagperf {
+
+/// Ernest-style job-level performance predictor (Venkataraman et al.,
+/// NSDI'16): fits job completion time as a function of input scale s and
+/// machine count m over a small set of training runs, with the feature set
+///
+///   t(s, m) = b0 + b1 * (s / m) + b2 * log(m) + b3 * m
+///
+/// capturing serial overhead, parallelisable work, tree-aggregation depth,
+/// and per-machine fixed cost. The original uses non-negative least squares;
+/// this implementation substitutes ridge-damped least squares with negative
+/// coefficients clamped to zero afterwards — equivalent behaviour on the
+/// well-conditioned training designs used here (documented in DESIGN.md).
+///
+/// Like Starfish/MRTuner, Ernest is a single-job model: it has no notion of
+/// co-running jobs, which is why it degrades on parallel-job DAGs (see
+/// bench_ablation).
+class ErnestModel {
+ public:
+  struct TrainingPoint {
+    double data_scale = 1.0;  // Input size relative to the target run.
+    double machines = 1.0;
+    double time_s = 0.0;
+  };
+
+  /// Fits the model; requires at least 4 training points.
+  static Result<ErnestModel> Fit(const std::vector<TrainingPoint>& points);
+
+  double Predict(double data_scale, double machines) const;
+
+  const std::vector<double>& coefficients() const { return beta_; }
+
+ private:
+  explicit ErnestModel(std::vector<double> beta) : beta_(std::move(beta)) {}
+
+  std::vector<double> beta_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_BASELINES_ERNEST_H_

@@ -1,0 +1,50 @@
+#include "baselines/fixed_profile.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "dag/dag_workflow.h"
+
+namespace dagperf {
+
+Result<FixedProfileModel> FixedProfileModel::Calibrate(
+    const JobSpec& spec, const ClusterSpec& cluster, int reference_tasks_per_node,
+    const SimOptions& sim_options) {
+  if (reference_tasks_per_node <= 0) {
+    return Status::InvalidArgument("reference parallelism must be positive");
+  }
+  DagBuilder builder(spec.name + "-profiling");
+  builder.AddJob(spec);
+  Result<DagWorkflow> flow = std::move(builder).Build();
+  if (!flow.ok()) return flow.status();
+
+  SchedulerConfig sched;
+  sched.max_tasks_per_node = reference_tasks_per_node;
+  const Simulator sim(cluster, sched, sim_options);
+  Result<SimResult> result = sim.Run(*flow);
+  if (!result.ok()) return result.status();
+
+  FixedProfileModel model;
+  model.job_name_ = spec.name;
+  model.reference_tasks_per_node_ = reference_tasks_per_node;
+  const std::vector<double> map_durations =
+      result->TaskDurations(0, StageKind::kMap);
+  DAGPERF_CHECK(!map_durations.empty());
+  model.map_task_s_ = ComputeStats(map_durations).median;
+  model.has_reduce_ = flow->job(0).has_reduce();
+  if (model.has_reduce_) {
+    const std::vector<double> reduce_durations =
+        result->TaskDurations(0, StageKind::kReduce);
+    DAGPERF_CHECK(!reduce_durations.empty());
+    model.reduce_task_s_ = ComputeStats(reduce_durations).median;
+  }
+  return model;
+}
+
+Duration FixedProfileModel::PredictTaskTime(StageKind kind, double data_scale) const {
+  DAGPERF_CHECK(data_scale > 0);
+  if (kind == StageKind::kMap) return Duration(map_task_s_ * data_scale);
+  DAGPERF_CHECK_MSG(has_reduce_, "profiled job has no reduce stage");
+  return Duration(reduce_task_s_ * data_scale);
+}
+
+}  // namespace dagperf

@@ -1,0 +1,54 @@
+#ifndef DAGPERF_BASELINES_FIXED_PROFILE_H_
+#define DAGPERF_BASELINES_FIXED_PROFILE_H_
+
+#include <string>
+
+#include "cluster/cluster_spec.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+#include "workload/job_profile.h"
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// Profile-driven task-time predictor that assumes the degree of parallelism
+/// observed during profiling — the paper's baseline for Figs. 6(a)–(f):
+/// "the best cases of Starfish and MRTuner ... the ground truth execution
+/// time when the degree of parallelism is equal to that in the profiling
+/// stage" (§V-B). Starfish-like and MRTuner-like instances differ only in
+/// the reference parallelism their profiling run used.
+///
+/// Predictions scale linearly with per-task data volume but are constant in
+/// the actual degree of parallelism — the blind spot BOE removes.
+class FixedProfileModel {
+ public:
+  /// Profiles `spec` by simulating it as a single-job workflow with
+  /// `reference_tasks_per_node` concurrent tasks per node, capturing the
+  /// median task time of each stage.
+  static Result<FixedProfileModel> Calibrate(const JobSpec& spec,
+                                             const ClusterSpec& cluster,
+                                             int reference_tasks_per_node,
+                                             const SimOptions& sim_options = {});
+
+  /// Predicted task time for a stage of the profiled job. `data_scale`
+  /// rescales per-task input relative to the profiled configuration;
+  /// the actual degree of parallelism is deliberately not a parameter.
+  Duration PredictTaskTime(StageKind kind, double data_scale = 1.0) const;
+
+  int reference_tasks_per_node() const { return reference_tasks_per_node_; }
+  const std::string& job_name() const { return job_name_; }
+
+ private:
+  FixedProfileModel() = default;
+
+  std::string job_name_;
+  int reference_tasks_per_node_ = 0;
+  double map_task_s_ = 0.0;
+  double reduce_task_s_ = 0.0;
+  bool has_reduce_ = false;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_BASELINES_FIXED_PROFILE_H_

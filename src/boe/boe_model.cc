@@ -1,0 +1,254 @@
+#include "boe/boe_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/rate_solver.h"
+#include "common/check.h"
+
+namespace dagperf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-task rate caps: a single-threaded task uses at most one core; I/O has
+/// no per-task cap beyond the device itself.
+ResourceVector PerTaskCaps() {
+  ResourceVector caps;
+  caps[Resource::kCpu] = 1.0;
+  return caps;
+}
+
+/// Builds a sub-stage estimate given the per-task allocated throughput on
+/// each resource (resource units per second available to this task).
+SubStageEstimate EstimateSubStage(const SubStageProfile& substage,
+                                  const ResourceVector& alloc) {
+  SubStageEstimate est;
+  est.name = substage.name;
+  double worst = 0.0;
+  for (Resource r : kAllResources) {
+    const double demand = substage.demand[r];
+    if (demand <= 0) continue;
+    OpEstimate op;
+    op.resource = r;
+    op.demand = demand;
+    const double a = alloc[r];
+    op.time = a > 0 ? Duration(demand / a) : Duration::Infinite();
+    est.ops.push_back(op);
+    if (op.time.seconds() > worst) {
+      worst = op.time.seconds();
+      est.bottleneck = r;
+    }
+  }
+  est.duration = Duration(worst);
+  for (auto& op : est.ops) {
+    op.utilization = worst > 0 ? op.time.seconds() / worst : 0.0;
+  }
+  return est;
+}
+
+TaskEstimate CombineSubStages(const StageProfile& stage,
+                              std::vector<SubStageEstimate> substages) {
+  TaskEstimate task;
+  task.stage_name = stage.name;
+  double total = 0.0;
+  double longest = -1.0;
+  for (const auto& ss : substages) {
+    total += ss.duration.seconds();
+    if (ss.duration.seconds() > longest) {
+      longest = ss.duration.seconds();
+      task.bottleneck = ss.bottleneck;
+    }
+  }
+  task.duration = Duration(total);
+  task.substages = std::move(substages);
+  return task;
+}
+
+}  // namespace
+
+BoeModel::BoeModel(const NodeSpec& node, BoeOptions options)
+    : node_(node), capacities_(node.Capacities()), options_(options) {
+  DAGPERF_CHECK(options_.max_iterations > 0);
+}
+
+TaskEstimate BoeModel::EstimateTask(const StageProfile& stage,
+                                    double tasks_per_node) const {
+  ParallelStage ps{&stage, tasks_per_node};
+  return EstimateParallel({ps}).front();
+}
+
+std::vector<TaskEstimate> BoeModel::EstimateParallel(
+    const std::vector<ParallelStage>& stages) const {
+  for (const auto& ps : stages) {
+    DAGPERF_CHECK(ps.stage != nullptr);
+    DAGPERF_CHECK(ps.tasks_per_node > 0);
+  }
+  if (stages.empty()) return {};
+  switch (options_.mode) {
+    case BoeOptions::ContentionMode::kPaper:
+      return EstimatePaper(stages);
+    case BoeOptions::ContentionMode::kSteadyState:
+      return EstimateSteadyState(stages);
+    case BoeOptions::ContentionMode::kAlignedSelf:
+      return EstimateAlignedSelf(stages);
+  }
+  DAGPERF_CHECK(false);
+  return {};
+}
+
+std::vector<TaskEstimate> BoeModel::EstimatePaper(
+    const std::vector<ParallelStage>& stages) const {
+  // Contenders per resource: every task of every stage that uses the
+  // resource anywhere in its pipeline (the paper's Delta for mu_X(Delta)).
+  ResourceVector contenders;
+  for (const auto& ps : stages) {
+    const ResourceVector total = ps.stage->TotalDemand();
+    for (Resource r : kAllResources) {
+      if (total[r] > 0) contenders[r] += ps.tasks_per_node;
+    }
+  }
+
+  const ResourceVector task_caps = PerTaskCaps();
+  ResourceVector alloc;
+  for (Resource r : kAllResources) {
+    double share = contenders[r] > 0 ? capacities_[r] / contenders[r] : capacities_[r];
+    // A lone task cannot exceed its own per-task cap (e.g. one core), but it
+    // can always use at least what an equal split would give it.
+    if (task_caps[r] > 0) share = std::min(std::max(share, 0.0), task_caps[r]);
+    alloc[r] = share;
+  }
+
+  std::vector<TaskEstimate> out;
+  out.reserve(stages.size());
+  for (const auto& ps : stages) {
+    std::vector<SubStageEstimate> subs;
+    subs.reserve(ps.stage->substages.size());
+    for (const auto& ss : ps.stage->substages) {
+      subs.push_back(EstimateSubStage(ss, alloc));
+    }
+    out.push_back(CombineSubStages(*ps.stage, std::move(subs)));
+  }
+  return out;
+}
+
+std::vector<TaskEstimate> BoeModel::EstimateSteadyState(
+    const std::vector<ParallelStage>& stages) const {
+  // Start from the paper-mode estimate and iterate: spread each stage's task
+  // population over its sub-stages in proportion to the current sub-stage
+  // durations, solve exact max-min fair rates, and recompute durations.
+  std::vector<TaskEstimate> current = EstimatePaper(stages);
+  const ResourceVector task_caps = PerTaskCaps();
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Build one flow per (stage, sub-stage).
+    std::vector<Flow> flows;
+    std::vector<std::pair<size_t, size_t>> flow_key;  // (stage idx, substage idx)
+    for (size_t i = 0; i < stages.size(); ++i) {
+      const auto& ps = stages[i];
+      const double total_time = std::max(current[i].duration.seconds(), 1e-12);
+      for (size_t s = 0; s < ps.stage->substages.size(); ++s) {
+        const double frac =
+            std::max(current[i].substages[s].duration.seconds(), 0.0) / total_time;
+        if (frac <= 1e-12) continue;
+        Flow flow;
+        flow.population = ps.tasks_per_node * frac;
+        flow.demand = ps.stage->substages[s].demand;
+        flow.per_task_cap = task_caps;
+        flows.push_back(flow);
+        flow_key.emplace_back(i, s);
+      }
+    }
+    const std::vector<FlowRate> rates = SolveRates(capacities_, flows);
+
+    // Per-flow allocated throughput implies new sub-stage durations.
+    std::vector<TaskEstimate> next = current;
+    for (size_t k = 0; k < flows.size(); ++k) {
+      const auto [i, s] = flow_key[k];
+      ResourceVector alloc = rates[k].offered;
+      for (Resource r : kAllResources) {
+        if (flows[k].demand[r] <= 0) alloc[r] = capacities_[r];
+      }
+      next[i].substages[s] = EstimateSubStage(stages[i].stage->substages[s], alloc);
+    }
+    for (size_t i = 0; i < stages.size(); ++i) {
+      next[i] = CombineSubStages(*stages[i].stage, std::move(next[i].substages));
+    }
+
+    // Damped update; stop when durations are stable.
+    double delta = 0.0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      const double old_t = current[i].duration.seconds();
+      const double new_t = next[i].duration.seconds();
+      if (old_t != kInf && new_t != kInf) {
+        delta = std::max(delta, std::fabs(new_t - old_t) / std::max(old_t, 1e-12));
+      }
+    }
+    current = std::move(next);
+    if (delta < options_.tolerance) break;
+  }
+  return current;
+}
+
+std::vector<TaskEstimate> BoeModel::EstimateAlignedSelf(
+    const std::vector<ParallelStage>& stages) const {
+  // Like EstimateSteadyState, but when pricing sub-stage sigma of stage i,
+  // ALL of stage i's tasks contend in sigma (wave alignment), while other
+  // stages contribute sub-stage-spread populations at their effective usage.
+  std::vector<TaskEstimate> current = EstimatePaper(stages);
+  const ResourceVector task_caps = PerTaskCaps();
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::vector<TaskEstimate> next = current;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      for (size_t s = 0; s < stages[i].stage->substages.size(); ++s) {
+        std::vector<Flow> flows;
+        Flow self;
+        self.population = stages[i].tasks_per_node;
+        self.demand = stages[i].stage->substages[s].demand;
+        self.per_task_cap = task_caps;
+        flows.push_back(self);
+        for (size_t j = 0; j < stages.size(); ++j) {
+          if (j == i) continue;
+          const double total_time = std::max(current[j].duration.seconds(), 1e-12);
+          for (size_t t = 0; t < stages[j].stage->substages.size(); ++t) {
+            const double frac =
+                std::max(current[j].substages[t].duration.seconds(), 0.0) /
+                total_time;
+            if (frac <= 1e-12) continue;
+            Flow other;
+            other.population = stages[j].tasks_per_node * frac;
+            other.demand = stages[j].stage->substages[t].demand;
+            other.per_task_cap = task_caps;
+            flows.push_back(other);
+          }
+        }
+        const std::vector<FlowRate> rates = SolveRates(capacities_, flows);
+        ResourceVector alloc = rates[0].offered;
+        for (Resource r : kAllResources) {
+          if (flows[0].demand[r] <= 0) alloc[r] = capacities_[r];
+        }
+        next[i].substages[s] = EstimateSubStage(stages[i].stage->substages[s], alloc);
+      }
+    }
+    for (size_t i = 0; i < stages.size(); ++i) {
+      next[i] = CombineSubStages(*stages[i].stage, std::move(next[i].substages));
+    }
+
+    double delta = 0.0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      const double old_t = current[i].duration.seconds();
+      const double new_t = next[i].duration.seconds();
+      if (old_t != kInf && new_t != kInf) {
+        delta = std::max(delta, std::fabs(new_t - old_t) / std::max(old_t, 1e-12));
+      }
+    }
+    current = std::move(next);
+    if (delta < options_.tolerance) break;
+  }
+  return current;
+}
+
+}  // namespace dagperf

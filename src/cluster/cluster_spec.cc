@@ -1,0 +1,39 @@
+#include "cluster/cluster_spec.h"
+
+namespace dagperf {
+
+ResourceVector NodeSpec::Capacities() const {
+  ResourceVector caps;
+  caps[Resource::kDiskRead] = disk_read_bw.bytes_per_sec();
+  caps[Resource::kDiskWrite] = disk_write_bw.bytes_per_sec();
+  caps[Resource::kNetwork] = network_bw.bytes_per_sec();
+  caps[Resource::kCpu] = static_cast<double>(cores);
+  return caps;
+}
+
+ClusterSpec ClusterSpec::PaperCluster() {
+  ClusterSpec spec;
+  spec.node.cores = 6;
+  spec.node.disk_read_bw = Rate::MBps(240);   // 2 drives x ~120 MB/s sequential.
+  spec.node.disk_write_bw = Rate::MBps(240);
+  spec.node.network_bw = Rate::Gbps(1);       // 125 MB/s.
+  spec.node.memory = Bytes::FromGB(32);
+  spec.num_nodes = 11;
+  return spec;
+}
+
+Status ClusterSpec::Validate() const {
+  if (num_nodes <= 0) return Status::InvalidArgument("num_nodes must be positive");
+  if (node.cores <= 0) return Status::InvalidArgument("cores must be positive");
+  if (node.disk_read_bw.bytes_per_sec() <= 0 ||
+      node.disk_write_bw.bytes_per_sec() <= 0 ||
+      node.network_bw.bytes_per_sec() <= 0) {
+    return Status::InvalidArgument("bandwidths must be positive");
+  }
+  if (node.memory.value() <= 0) {
+    return Status::InvalidArgument("memory must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dagperf

@@ -1,0 +1,54 @@
+#ifndef DAGPERF_CLUSTER_CLUSTER_SPEC_H_
+#define DAGPERF_CLUSTER_CLUSTER_SPEC_H_
+
+#include <string>
+
+#include "cluster/resources.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace dagperf {
+
+/// Hardware description of one worker node.
+struct NodeSpec {
+  int cores = 6;
+  /// Aggregate sequential read bandwidth across all local drives.
+  Rate disk_read_bw = Rate::MBps(200);
+  /// Aggregate sequential write bandwidth across all local drives.
+  Rate disk_write_bw = Rate::MBps(180);
+  /// NIC bandwidth (the paper models one shared network resource per node;
+  /// the link is the bottleneck in either direction on 1 GbE).
+  Rate network_bw = Rate::Gbps(1);
+  Bytes memory = Bytes::FromGB(32);
+
+  /// Capacity of each preemptable resource in resource units per second
+  /// (bytes/s for I/O, cores for CPU).
+  ResourceVector Capacities() const;
+
+  bool operator==(const NodeSpec&) const = default;
+};
+
+/// A homogeneous cluster (the paper's testbed is 11 identical servers).
+/// Heterogeneous clusters can be modelled by running per-node estimates, but
+/// every experiment in the paper — and thus in this reproduction — uses a
+/// homogeneous fleet, which is what the analytical models assume.
+struct ClusterSpec {
+  NodeSpec node;
+  int num_nodes = 11;
+
+  /// The paper's evaluation cluster: eleven servers, 6 physical cores at
+  /// 2.4 GHz, 2 x 7.2k-RPM disks (≈100 MB/s each), 32 GB RAM, 1 GbE.
+  static ClusterSpec PaperCluster();
+
+  int TotalCores() const { return node.cores * num_nodes; }
+  Bytes TotalMemory() const { return node.memory * num_nodes; }
+
+  /// Validates physical plausibility (positive bandwidths, cores, nodes).
+  Status Validate() const;
+
+  bool operator==(const ClusterSpec&) const = default;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_CLUSTER_CLUSTER_SPEC_H_

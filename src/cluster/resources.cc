@@ -1,0 +1,41 @@
+#include "cluster/resources.h"
+
+#include <cstdio>
+
+namespace dagperf {
+
+const char* ResourceName(Resource r) {
+  switch (r) {
+    case Resource::kDiskRead:
+      return "disk-read";
+    case Resource::kDiskWrite:
+      return "disk-write";
+    case Resource::kNetwork:
+      return "network";
+    case Resource::kCpu:
+      return "cpu";
+  }
+  return "unknown";
+}
+
+ResourceVector ResourceVector::operator+(const ResourceVector& o) const {
+  ResourceVector out;
+  for (int i = 0; i < kNumResources; ++i) out.values[i] = values[i] + o.values[i];
+  return out;
+}
+
+ResourceVector ResourceVector::operator*(double s) const {
+  ResourceVector out;
+  for (int i = 0; i < kNumResources; ++i) out.values[i] = values[i] * s;
+  return out;
+}
+
+std::string ResourceVector::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{disk-read: %.3g, disk-write: %.3g, network: %.3g, cpu: %.3g}",
+                values[0], values[1], values[2], values[3]);
+  return std::string(buf);
+}
+
+}  // namespace dagperf

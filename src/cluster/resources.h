@@ -1,0 +1,64 @@
+#ifndef DAGPERF_CLUSTER_RESOURCES_H_
+#define DAGPERF_CLUSTER_RESOURCES_H_
+
+#include <array>
+#include <string>
+
+#include "common/units.h"
+
+namespace dagperf {
+
+/// The preemptable/schedulable resources of a worker node, mirroring the
+/// paper's operation taxonomy (read / transfer / compute / write):
+///
+///  * kDiskRead / kDiskWrite — aggregate disk bandwidth; always preemptable
+///    (fair-shared among concurrent tasks).
+///  * kNetwork — NIC bandwidth; always preemptable.
+///  * kCpu — measured in cores. Preemptable only once the number of
+///    compute-demanding tasks exceeds the core count; below saturation each
+///    task simply owns one core (enforced by a per-task cap of 1 core).
+///
+/// Demand amounts are expressed in *resource units*: bytes for the three I/O
+/// resources and core-seconds for CPU (a job profile converts "process D
+/// bytes at throughput theta per core" into D / theta core-seconds), so the
+/// allocation math is uniform across resource kinds.
+enum class Resource : int {
+  kDiskRead = 0,
+  kDiskWrite = 1,
+  kNetwork = 2,
+  kCpu = 3,
+};
+
+inline constexpr int kNumResources = 4;
+
+inline constexpr std::array<Resource, kNumResources> kAllResources = {
+    Resource::kDiskRead, Resource::kDiskWrite, Resource::kNetwork, Resource::kCpu};
+
+const char* ResourceName(Resource r);
+
+/// A per-resource vector of doubles (capacities, demands, rates, ...).
+struct ResourceVector {
+  std::array<double, kNumResources> values{};
+
+  double& operator[](Resource r) { return values[static_cast<int>(r)]; }
+  double operator[](Resource r) const { return values[static_cast<int>(r)]; }
+
+  ResourceVector operator+(const ResourceVector& o) const;
+  ResourceVector operator*(double s) const;
+  bool operator==(const ResourceVector&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Scheduling-time demand of one task, the two dimensions YARN's Dominant
+/// Resource Fairness operates over.
+struct SlotDemand {
+  double vcores = 1.0;
+  Bytes memory = Bytes::FromGB(2.0);
+
+  bool operator==(const SlotDemand&) const = default;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_CLUSTER_RESOURCES_H_

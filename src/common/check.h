@@ -1,0 +1,29 @@
+#ifndef DAGPERF_COMMON_CHECK_H_
+#define DAGPERF_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checking for conditions that indicate a programming error (not a
+/// recoverable input error — those use Status/Result). A failed check prints
+/// the condition and location and aborts, so broken invariants surface at the
+/// point of violation instead of as corrupted estimates downstream.
+#define DAGPERF_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DAGPERF_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define DAGPERF_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DAGPERF_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // DAGPERF_COMMON_CHECK_H_

@@ -1,0 +1,400 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dagperf {
+
+Json Json::MakeBool(bool value) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::MakeNumber(double value) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = value;
+  return j;
+}
+
+Json Json::MakeString(std::string value) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::MakeArray() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::MakeObject() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  DAGPERF_CHECK(type_ == Type::kBool);
+  return bool_;
+}
+
+double Json::AsNumber() const {
+  DAGPERF_CHECK(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& Json::AsString() const {
+  DAGPERF_CHECK(type_ == Type::kString);
+  return string_;
+}
+
+const std::vector<Json>& Json::AsArray() const {
+  DAGPERF_CHECK(type_ == Type::kArray);
+  return array_;
+}
+
+std::vector<Json>& Json::MutableArray() {
+  DAGPERF_CHECK(type_ == Type::kArray);
+  return array_;
+}
+
+const std::map<std::string, Json>& Json::AsObject() const {
+  DAGPERF_CHECK(type_ == Type::kObject);
+  return object_;
+}
+
+void Json::Set(const std::string& key, Json value) {
+  DAGPERF_CHECK(type_ == Type::kObject);
+  object_[key] = std::move(value);
+}
+
+const Json* Json::Get(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json* v = Get(key);
+  return v != nullptr && v->type_ == Type::kNumber ? v->number_ : fallback;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json* v = Get(key);
+  return v != nullptr && v->type_ == Type::kBool ? v->bool_ : fallback;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const Json* v = Get(key);
+  return v != nullptr && v->type_ == Type::kString ? v->string_ : fallback;
+}
+
+void Json::Append(Json value) {
+  DAGPERF_CHECK(type_ == Type::kArray);
+  array_.push_back(std::move(value));
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void NumberTo(double v, std::string& out) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent) const {
+  const std::string pad(indent * 2, ' ');
+  const std::string pad_in((indent + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberTo(number_, out);
+      break;
+    case Type::kString:
+      EscapeTo(string_, out);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        out += pad_in;
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        out += pad_in;
+        EscapeTo(key, out);
+        out += ": ";
+        value.DumpTo(out, indent + 1);
+        if (++i < object_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0);
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string view with position tracking.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    Result<Json> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      Result<std::string> s = ParseString();
+      if (!s.ok()) return s.status();
+      return Json::MakeString(std::move(s).value());
+    }
+    if (c == 't' || c == 'f') return ParseKeyword();
+    if (c == 'n') return ParseKeyword();
+    return ParseNumber();
+  }
+
+  Result<Json> ParseKeyword() {
+    const auto match = [&](const char* word) {
+      const size_t len = std::strlen(word);
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) return Json::MakeBool(true);
+    if (match("false")) return Json::MakeBool(false);
+    if (match("null")) return Json();
+    return Error("invalid keyword");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) return Error("invalid number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    return Json::MakeNumber(value);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const long code = std::strtol(hex.c_str(), nullptr, 16);
+            // ASCII only; everything else degrades to '?' (the library never
+            // generates non-ASCII escapes).
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    if (!Consume('[')) return Error("expected array");
+    Json array = Json::MakeArray();
+    SkipSpace();
+    if (Consume(']')) return array;
+    while (true) {
+      Result<Json> value = ParseValue();
+      if (!value.ok()) return value;
+      array.Append(std::move(value).value());
+      if (Consume(']')) return array;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    if (!Consume('{')) return Error("expected object");
+    Json object = Json::MakeObject();
+    SkipSpace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipSpace();
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':'");
+      Result<Json> value = ParseValue();
+      if (!value.ok()) return value;
+      object.Set(*key, std::move(value).value());
+      if (Consume('}')) return object;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace dagperf

@@ -1,0 +1,72 @@
+#ifndef DAGPERF_COMMON_JSON_H_
+#define DAGPERF_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dagperf {
+
+/// Minimal JSON document model with a strict recursive-descent parser and a
+/// writer — enough for the library's workload/workflow files, with no
+/// third-party dependency. Numbers are doubles; object keys keep insertion
+/// order on write (std::map order, i.e. sorted, which makes output stable).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json MakeBool(bool value);
+  static Json MakeNumber(double value);
+  static Json MakeString(std::string value);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Typed accessors abort on type mismatch (programming error); use the
+  /// Get* helpers for fallible reads of parsed input.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<Json>& AsArray() const;
+  std::vector<Json>& MutableArray();
+  const std::map<std::string, Json>& AsObject() const;
+
+  /// Object field access. Set replaces; Get returns nullptr when absent or
+  /// when this value is not an object.
+  void Set(const std::string& key, Json value);
+  const Json* Get(const std::string& key) const;
+
+  /// Fallible typed field reads with defaults, for consuming user files.
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+
+  /// Appends to an array value.
+  void Append(Json value);
+
+  /// Serialises with 2-space indentation and escaped strings.
+  std::string Dump() const;
+
+  /// Strict parse of a complete JSON document (trailing garbage rejected).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string& out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_JSON_H_

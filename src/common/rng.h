@@ -1,0 +1,63 @@
+#ifndef DAGPERF_COMMON_RNG_H_
+#define DAGPERF_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dagperf {
+
+/// Deterministic pseudo-random number generator (xoshiro256** core seeded via
+/// splitmix64). Every stochastic component of the library (skew generators,
+/// Alg2-Normal sampling, simulator placement jitter) draws from an explicitly
+/// seeded Rng so that experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform in [0.0, 1.0).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)) of the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  /// Samples an index in [0, n) from a Zipf distribution with exponent s
+  /// (s = 0 is uniform; larger s is more skewed). Uses the precomputed
+  /// harmonic weights, O(log n) per sample.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Returns a child generator with an independent stream; used to give each
+  /// job / task family its own stream so adding tasks to one job does not
+  /// perturb the draws of another.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+
+  // Cached CDF for Zipf(n, s); rebuilt when (n, s) changes.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+
+  // Cached second Box-Muller deviate.
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_RNG_H_

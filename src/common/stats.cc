@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dagperf {
+
+SampleStats ComputeStats(const std::vector<double>& values) {
+  SampleStats s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.median = at(0.5);
+  s.p95 = at(0.95);
+  return s;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  DAGPERF_CHECK(!values.empty());
+  DAGPERF_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double ExpectedMaxOfNormal(double mean, double stddev, int n) {
+  DAGPERF_CHECK(n >= 1);
+  if (n == 1 || stddev <= 0.0) return mean;
+  if (n == 2) {
+    // Exact: E[max of 2] = mean + stddev / sqrt(pi).
+    return mean + stddev / std::sqrt(M_PI);
+  }
+  // Gumbel asymptotic approximation with the standard normalising constants:
+  //   a_n = sqrt(2 ln n) - (ln ln n + ln 4pi) / (2 sqrt(2 ln n))
+  //   E[max] ~= mean + stddev * (a_n + gamma / sqrt(2 ln n))
+  const double ln_n = std::log(static_cast<double>(n));
+  const double sq = std::sqrt(2.0 * ln_n);
+  const double a_n = sq - (std::log(ln_n) + std::log(4.0 * M_PI)) / (2.0 * sq);
+  constexpr double kEulerGamma = 0.5772156649015329;
+  return mean + stddev * (a_n + kEulerGamma / sq);
+}
+
+double RelativeAccuracy(double estimate, double actual) {
+  DAGPERF_CHECK(actual > 0.0);
+  const double acc = 1.0 - std::fabs(estimate - actual) / actual;
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+std::vector<double> LeastSquares(const std::vector<double>& x_rowmajor,
+                                 const std::vector<double>& y, size_t cols,
+                                 double ridge) {
+  DAGPERF_CHECK(cols > 0);
+  DAGPERF_CHECK(x_rowmajor.size() == y.size() * cols);
+  const size_t rows = y.size();
+  // Normal equations: (X^T X + ridge I) beta = X^T y.
+  std::vector<double> xtx(cols * cols, 0.0);
+  std::vector<double> xty(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = &x_rowmajor[r * cols];
+    for (size_t i = 0; i < cols; ++i) {
+      xty[i] += row[i] * y[r];
+      for (size_t j = 0; j < cols; ++j) xtx[i * cols + j] += row[i] * row[j];
+    }
+  }
+  for (size_t i = 0; i < cols; ++i) xtx[i * cols + i] += ridge;
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> beta = xty;
+  for (size_t col = 0; col < cols; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < cols; ++r) {
+      if (std::fabs(xtx[r * cols + col]) > std::fabs(xtx[pivot * cols + col])) {
+        pivot = r;
+      }
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < cols; ++c) {
+        std::swap(xtx[col * cols + c], xtx[pivot * cols + c]);
+      }
+      std::swap(beta[col], beta[pivot]);
+    }
+    const double diag = xtx[col * cols + col];
+    if (std::fabs(diag) < 1e-300) continue;  // Singular column: leave zero.
+    for (size_t r = 0; r < cols; ++r) {
+      if (r == col) continue;
+      const double factor = xtx[r * cols + col] / diag;
+      for (size_t c = col; c < cols; ++c) {
+        xtx[r * cols + c] -= factor * xtx[col * cols + c];
+      }
+      beta[r] -= factor * beta[col];
+    }
+  }
+  for (size_t i = 0; i < cols; ++i) {
+    const double diag = xtx[i * cols + i];
+    beta[i] = std::fabs(diag) < 1e-300 ? 0.0 : beta[i] / diag;
+  }
+  return beta;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,53 @@
+#ifndef DAGPERF_COMMON_STATS_H_
+#define DAGPERF_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dagperf {
+
+/// Summary statistics over a sample of doubles.
+///
+/// The workflow-level estimators reduce a profile of task execution times to
+/// a single statistic (mean for Alg1-Mean, median for Alg1-Mid) or to a fitted
+/// normal distribution (Alg2-Normal); this header holds those reductions plus
+/// the order-statistic machinery Alg2 needs to reason about wave makespans.
+struct SampleStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // Population standard deviation.
+  double min = 0.0;
+  double max = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes summary statistics. An empty sample yields all-zero stats.
+SampleStats ComputeStats(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, q in [0, 1]. Requires a non-empty sample.
+double Percentile(std::vector<double> values, double q);
+
+/// Expected value of the maximum of n i.i.d. N(mean, stddev) draws.
+///
+/// Uses the asymptotic extreme-value (Gumbel) approximation for n >= 2 and
+/// exact values for n = 1. Alg2-Normal uses this to estimate the makespan of
+/// a wave of n parallel tasks whose durations are normally distributed: the
+/// wave completes when its slowest task does.
+double ExpectedMaxOfNormal(double mean, double stddev, int n);
+
+/// Mean relative accuracy: 1 - |estimate - actual| / actual, clamped to
+/// [0, 1]. Requires actual > 0. This is the accuracy metric used in every
+/// paper table ("estimation accuracy").
+double RelativeAccuracy(double estimate, double actual);
+
+/// Simple ordinary-least-squares fit y ~= X * beta solved via normal
+/// equations with ridge damping (used by the Ernest-style baseline).
+/// Returns the coefficient vector; X is row-major with `cols` features.
+std::vector<double> LeastSquares(const std::vector<double>& x_rowmajor,
+                                 const std::vector<double>& y, size_t cols,
+                                 double ridge = 1e-9);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_STATS_H_

@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dagperf {
+
+namespace {
+
+const char* CodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal_status {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result<T>::value() called on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+
+}  // namespace dagperf

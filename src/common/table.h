@@ -1,0 +1,32 @@
+#ifndef DAGPERF_COMMON_TABLE_H_
+#define DAGPERF_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dagperf {
+
+/// Plain-text table renderer used by the benchmark harnesses to print the
+/// paper's tables and figure series in a stable, diff-friendly layout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; it may be shorter than the header (trailing cells
+  /// render empty) but must not be longer.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Cell(double value, int precision = 4);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_TABLE_H_

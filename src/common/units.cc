@@ -1,0 +1,35 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace dagperf {
+
+namespace {
+
+std::string FormatDouble(double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, suffix);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string Bytes::ToString() const {
+  const double v = value_;
+  if (std::fabs(v) >= 1e9) return FormatDouble(v / 1e9, " GB");
+  if (std::fabs(v) >= 1e6) return FormatDouble(v / 1e6, " MB");
+  if (std::fabs(v) >= 1e3) return FormatDouble(v / 1e3, " KB");
+  return FormatDouble(v, " B");
+}
+
+std::string Duration::ToString() const {
+  if (is_infinite()) return "inf";
+  if (seconds_ >= 1.0 || seconds_ == 0.0) return FormatDouble(seconds_, " s");
+  return FormatDouble(seconds_ * 1e3, " ms");
+}
+
+std::string Rate::ToString() const {
+  return FormatDouble(bytes_per_sec_ / 1e6, " MB/s");
+}
+
+}  // namespace dagperf

@@ -1,0 +1,165 @@
+#ifndef DAGPERF_COMMON_UNITS_H_
+#define DAGPERF_COMMON_UNITS_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dagperf {
+
+/// Strongly-typed quantities used throughout the library.
+///
+/// The fluid-flow simulator and the analytical models both manipulate data
+/// volumes, durations and throughputs; mixing them up silently is the single
+/// easiest way to produce a plausible-but-wrong cost model, so each quantity
+/// gets its own type with only the physically meaningful operators defined
+/// (e.g. Bytes / Rate -> Duration, Rate * Duration -> Bytes).
+///
+/// All quantities use double precision: the simulator advances in fractional
+/// seconds and tasks process fractional byte amounts between events.
+
+class Duration;
+class Rate;
+
+/// A data volume. Negative values are permitted transiently (e.g. subtracting
+/// progress) but every public API documents its own sign requirements.
+class Bytes {
+ public:
+  constexpr Bytes() : value_(0) {}
+  constexpr explicit Bytes(double bytes) : value_(bytes) {}
+
+  static constexpr Bytes FromKB(double kb) { return Bytes(kb * 1e3); }
+  static constexpr Bytes FromMB(double mb) { return Bytes(mb * 1e6); }
+  static constexpr Bytes FromGB(double gb) { return Bytes(gb * 1e9); }
+
+  constexpr double value() const { return value_; }
+  constexpr double ToKB() const { return value_ / 1e3; }
+  constexpr double ToMB() const { return value_ / 1e6; }
+  constexpr double ToGB() const { return value_ / 1e9; }
+
+  constexpr Bytes operator+(Bytes other) const { return Bytes(value_ + other.value_); }
+  constexpr Bytes operator-(Bytes other) const { return Bytes(value_ - other.value_); }
+  constexpr Bytes operator*(double scale) const { return Bytes(value_ * scale); }
+  constexpr Bytes operator/(double scale) const { return Bytes(value_ / scale); }
+  constexpr double operator/(Bytes other) const { return value_ / other.value_; }
+  constexpr Bytes& operator+=(Bytes other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  double value_;
+};
+
+constexpr Bytes operator*(double scale, Bytes b) { return b * scale; }
+
+/// A span of time in seconds.
+class Duration {
+ public:
+  constexpr Duration() : seconds_(0) {}
+  constexpr explicit Duration(double seconds) : seconds_(seconds) {}
+
+  static constexpr Duration Seconds(double s) { return Duration(s); }
+  static constexpr Duration Millis(double ms) { return Duration(ms / 1e3); }
+  static constexpr Duration Infinite() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  constexpr double seconds() const { return seconds_; }
+  constexpr bool is_infinite() const {
+    return seconds_ == std::numeric_limits<double>::infinity();
+  }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(seconds_ + other.seconds_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(seconds_ - other.seconds_);
+  }
+  constexpr Duration operator*(double scale) const { return Duration(seconds_ * scale); }
+  constexpr Duration operator/(double scale) const { return Duration(seconds_ / scale); }
+  constexpr double operator/(Duration other) const { return seconds_ / other.seconds_; }
+  constexpr Duration& operator+=(Duration other) {
+    seconds_ += other.seconds_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  double seconds_;
+};
+
+constexpr Duration operator*(double scale, Duration d) { return d * scale; }
+
+/// A data throughput (bytes per second).
+class Rate {
+ public:
+  constexpr Rate() : bytes_per_sec_(0) {}
+  constexpr explicit Rate(double bytes_per_sec) : bytes_per_sec_(bytes_per_sec) {}
+
+  static constexpr Rate MBps(double mbps) { return Rate(mbps * 1e6); }
+  static constexpr Rate GBps(double gbps) { return Rate(gbps * 1e9); }
+  /// Gigabits per second (network links are specified this way).
+  static constexpr Rate Gbps(double gbps) { return Rate(gbps * 1e9 / 8.0); }
+
+  constexpr double bytes_per_sec() const { return bytes_per_sec_; }
+  constexpr double ToMBps() const { return bytes_per_sec_ / 1e6; }
+
+  constexpr Rate operator+(Rate other) const {
+    return Rate(bytes_per_sec_ + other.bytes_per_sec_);
+  }
+  constexpr Rate operator-(Rate other) const {
+    return Rate(bytes_per_sec_ - other.bytes_per_sec_);
+  }
+  constexpr Rate operator*(double scale) const { return Rate(bytes_per_sec_ * scale); }
+  constexpr Rate operator/(double scale) const { return Rate(bytes_per_sec_ / scale); }
+  constexpr double operator/(Rate other) const {
+    return bytes_per_sec_ / other.bytes_per_sec_;
+  }
+  constexpr Rate& operator+=(Rate other) {
+    bytes_per_sec_ += other.bytes_per_sec_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  double bytes_per_sec_;
+};
+
+constexpr Rate operator*(double scale, Rate r) { return r * scale; }
+
+/// Cross-type physics. Division by a zero rate yields an infinite duration,
+/// which the models interpret as "this operation can never complete" and the
+/// simulator treats as "no progress until allocation changes".
+constexpr Duration operator/(Bytes b, Rate r) {
+  if (r.bytes_per_sec() <= 0) return Duration::Infinite();
+  return Duration(b.value() / r.bytes_per_sec());
+}
+
+constexpr Bytes operator*(Rate r, Duration d) {
+  return Bytes(r.bytes_per_sec() * d.seconds());
+}
+
+constexpr Bytes operator*(Duration d, Rate r) { return r * d; }
+
+constexpr Rate operator/(Bytes b, Duration d) {
+  if (d.seconds() <= 0) return Rate(std::numeric_limits<double>::infinity());
+  return Rate(b.value() / d.seconds());
+}
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_UNITS_H_

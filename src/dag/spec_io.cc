@@ -1,0 +1,184 @@
+#include "dag/spec_io.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace dagperf {
+
+namespace {
+
+/// The recognised JobSpec fields (document units in the comments).
+const std::set<std::string>& KnownJobKeys() {
+  static const std::set<std::string>* keys = new std::set<std::string>{
+      "name",
+      "input_gb",
+      "split_mb",
+      "num_reduce_tasks",
+      "map_selectivity",
+      "reduce_selectivity",
+      "compress_map_output",
+      "compression_ratio",
+      "replicas",
+      "map_compute_mbps",
+      "reduce_compute_mbps",
+      "sort_compute_mbps",
+      "compress_compute_mbps",
+      "remote_read_fraction",
+      "input_cache_fraction",
+      "shuffle_cache_hit",
+      "sort_buffer_mb",
+      "reduce_merge_buffer_mb",
+      "reduce_skew_cv",
+      "map_slot_vcores",
+      "map_slot_memory_gb",
+      "reduce_slot_vcores",
+      "reduce_slot_memory_gb",
+  };
+  return *keys;
+}
+
+}  // namespace
+
+Json JobSpecToJson(const JobSpec& spec) {
+  Json j = Json::MakeObject();
+  j.Set("name", Json::MakeString(spec.name));
+  j.Set("input_gb", Json::MakeNumber(spec.input.ToGB()));
+  j.Set("split_mb", Json::MakeNumber(spec.split_size.ToMB()));
+  j.Set("num_reduce_tasks", Json::MakeNumber(spec.num_reduce_tasks));
+  j.Set("map_selectivity", Json::MakeNumber(spec.map_selectivity));
+  j.Set("reduce_selectivity", Json::MakeNumber(spec.reduce_selectivity));
+  j.Set("compress_map_output", Json::MakeBool(spec.compress_map_output));
+  j.Set("compression_ratio", Json::MakeNumber(spec.compression_ratio));
+  j.Set("replicas", Json::MakeNumber(spec.replicas));
+  j.Set("map_compute_mbps", Json::MakeNumber(spec.map_compute.ToMBps()));
+  j.Set("reduce_compute_mbps", Json::MakeNumber(spec.reduce_compute.ToMBps()));
+  j.Set("sort_compute_mbps", Json::MakeNumber(spec.sort_compute.ToMBps()));
+  j.Set("compress_compute_mbps", Json::MakeNumber(spec.compress_compute.ToMBps()));
+  j.Set("remote_read_fraction", Json::MakeNumber(spec.remote_read_fraction));
+  j.Set("input_cache_fraction", Json::MakeNumber(spec.input_cache_fraction));
+  j.Set("shuffle_cache_hit", Json::MakeNumber(spec.shuffle_cache_hit));
+  j.Set("sort_buffer_mb", Json::MakeNumber(spec.sort_buffer.ToMB()));
+  j.Set("reduce_merge_buffer_mb", Json::MakeNumber(spec.reduce_merge_buffer.ToMB()));
+  j.Set("reduce_skew_cv", Json::MakeNumber(spec.reduce_skew_cv));
+  j.Set("map_slot_vcores", Json::MakeNumber(spec.map_slot.vcores));
+  j.Set("map_slot_memory_gb", Json::MakeNumber(spec.map_slot.memory.ToGB()));
+  j.Set("reduce_slot_vcores", Json::MakeNumber(spec.reduce_slot.vcores));
+  j.Set("reduce_slot_memory_gb", Json::MakeNumber(spec.reduce_slot.memory.ToGB()));
+  return j;
+}
+
+Result<JobSpec> JobSpecFromJson(const Json& json) {
+  if (json.type() != Json::Type::kObject) {
+    return Status::InvalidArgument("job spec must be a JSON object");
+  }
+  for (const auto& [key, value] : json.AsObject()) {
+    if (KnownJobKeys().count(key) == 0) {
+      return Status::InvalidArgument("unknown job field: " + key);
+    }
+  }
+  JobSpec spec;  // Field defaults.
+  spec.name = json.GetString("name", "job");
+  spec.input = Bytes::FromGB(json.GetNumber("input_gb", spec.input.ToGB()));
+  spec.split_size = Bytes::FromMB(json.GetNumber("split_mb", spec.split_size.ToMB()));
+  spec.num_reduce_tasks = static_cast<int>(
+      json.GetNumber("num_reduce_tasks", spec.num_reduce_tasks));
+  spec.map_selectivity = json.GetNumber("map_selectivity", spec.map_selectivity);
+  spec.reduce_selectivity =
+      json.GetNumber("reduce_selectivity", spec.reduce_selectivity);
+  spec.compress_map_output =
+      json.GetBool("compress_map_output", spec.compress_map_output);
+  spec.compression_ratio = json.GetNumber("compression_ratio", spec.compression_ratio);
+  spec.replicas = static_cast<int>(json.GetNumber("replicas", spec.replicas));
+  spec.map_compute =
+      Rate::MBps(json.GetNumber("map_compute_mbps", spec.map_compute.ToMBps()));
+  spec.reduce_compute =
+      Rate::MBps(json.GetNumber("reduce_compute_mbps", spec.reduce_compute.ToMBps()));
+  spec.sort_compute =
+      Rate::MBps(json.GetNumber("sort_compute_mbps", spec.sort_compute.ToMBps()));
+  spec.compress_compute = Rate::MBps(
+      json.GetNumber("compress_compute_mbps", spec.compress_compute.ToMBps()));
+  spec.remote_read_fraction =
+      json.GetNumber("remote_read_fraction", spec.remote_read_fraction);
+  spec.input_cache_fraction =
+      json.GetNumber("input_cache_fraction", spec.input_cache_fraction);
+  spec.shuffle_cache_hit = json.GetNumber("shuffle_cache_hit", spec.shuffle_cache_hit);
+  spec.sort_buffer =
+      Bytes::FromMB(json.GetNumber("sort_buffer_mb", spec.sort_buffer.ToMB()));
+  spec.reduce_merge_buffer = Bytes::FromMB(
+      json.GetNumber("reduce_merge_buffer_mb", spec.reduce_merge_buffer.ToMB()));
+  spec.reduce_skew_cv = json.GetNumber("reduce_skew_cv", spec.reduce_skew_cv);
+  spec.map_slot.vcores = json.GetNumber("map_slot_vcores", spec.map_slot.vcores);
+  spec.map_slot.memory =
+      Bytes::FromGB(json.GetNumber("map_slot_memory_gb", spec.map_slot.memory.ToGB()));
+  spec.reduce_slot.vcores =
+      json.GetNumber("reduce_slot_vcores", spec.reduce_slot.vcores);
+  spec.reduce_slot.memory = Bytes::FromGB(
+      json.GetNumber("reduce_slot_memory_gb", spec.reduce_slot.memory.ToGB()));
+  return spec;
+}
+
+Json WorkflowToJson(const DagWorkflow& flow) {
+  Json j = Json::MakeObject();
+  j.Set("name", Json::MakeString(flow.name()));
+  Json jobs = Json::MakeArray();
+  for (const auto& job : flow.jobs()) jobs.Append(JobSpecToJson(job.spec));
+  j.Set("jobs", std::move(jobs));
+  Json edges = Json::MakeArray();
+  for (const auto& [from, to] : flow.edges()) {
+    Json edge = Json::MakeArray();
+    edge.Append(Json::MakeNumber(from));
+    edge.Append(Json::MakeNumber(to));
+    edges.Append(std::move(edge));
+  }
+  j.Set("edges", std::move(edges));
+  return j;
+}
+
+Result<DagWorkflow> WorkflowFromJson(const Json& json) {
+  if (json.type() != Json::Type::kObject) {
+    return Status::InvalidArgument("workflow must be a JSON object");
+  }
+  const Json* jobs = json.Get("jobs");
+  if (jobs == nullptr || jobs->type() != Json::Type::kArray) {
+    return Status::InvalidArgument("workflow needs a \"jobs\" array");
+  }
+  DagBuilder builder(json.GetString("name", "workflow"));
+  for (const Json& job : jobs->AsArray()) {
+    Result<JobSpec> spec = JobSpecFromJson(job);
+    if (!spec.ok()) return spec.status();
+    builder.AddJob(std::move(spec).value());
+  }
+  if (const Json* edges = json.Get("edges"); edges != nullptr) {
+    if (edges->type() != Json::Type::kArray) {
+      return Status::InvalidArgument("\"edges\" must be an array");
+    }
+    for (const Json& edge : edges->AsArray()) {
+      if (edge.type() != Json::Type::kArray || edge.AsArray().size() != 2) {
+        return Status::InvalidArgument("each edge must be a [from, to] pair");
+      }
+      builder.AddEdge(static_cast<JobId>(edge.AsArray()[0].AsNumber()),
+                      static_cast<JobId>(edge.AsArray()[1].AsNumber()));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Status SaveWorkflow(const DagWorkflow& flow, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path + " for writing");
+  out << WorkflowToJson(flow).Dump();
+  return out.good() ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+Result<DagWorkflow> LoadWorkflow(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<Json> json = Json::Parse(buffer.str());
+  if (!json.ok()) return json.status();
+  return WorkflowFromJson(*json);
+}
+
+}  // namespace dagperf

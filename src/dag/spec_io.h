@@ -1,0 +1,47 @@
+#ifndef DAGPERF_DAG_SPEC_IO_H_
+#define DAGPERF_DAG_SPEC_IO_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// JSON (de)serialisation of workload descriptions, so workflows can be
+/// authored as files and fed to the CLI / stored next to experiment
+/// results. The document format:
+///
+///   {
+///     "name": "my-flow",
+///     "jobs": [ { "name": "...", "input_gb": 100, ... }, ... ],
+///     "edges": [ [0, 1], [0, 2] ]
+///   }
+///
+/// Job fields use human units (GB, MB, MB/s); absent fields keep JobSpec's
+/// defaults, and unknown fields are rejected (catching typos in authored
+/// files).
+
+/// Serialises one JobSpec.
+Json JobSpecToJson(const JobSpec& spec);
+
+/// Parses one JobSpec object; rejects unknown keys and out-of-range values
+/// (via CompileJob validation at Build time for the latter).
+Result<JobSpec> JobSpecFromJson(const Json& json);
+
+/// Serialises a whole workflow.
+Json WorkflowToJson(const DagWorkflow& flow);
+
+/// Parses and builds a workflow (topology and specs validated by
+/// DagBuilder::Build).
+Result<DagWorkflow> WorkflowFromJson(const Json& json);
+
+/// File convenience wrappers.
+Status SaveWorkflow(const DagWorkflow& flow, const std::string& path);
+Result<DagWorkflow> LoadWorkflow(const std::string& path);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_DAG_SPEC_IO_H_

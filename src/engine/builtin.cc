@@ -1,0 +1,135 @@
+#include "engine/builtin.h"
+
+#include <cstdlib>
+
+namespace dagperf {
+
+namespace {
+
+/// Splits a value on whitespace and feeds each token to `fn`.
+template <typename Fn>
+void ForEachToken(const std::string& text, Fn fn) {
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    size_t j = i;
+    while (j < text.size() && text[j] != ' ') ++j;
+    if (j > i) fn(text.substr(i, j - i));
+    i = j;
+  }
+}
+
+void SumValues(const std::string& key, const std::vector<std::string>& values,
+               ReduceContext& out) {
+  long long total = 0;
+  for (const auto& v : values) total += std::atoll(v.c_str());
+  out.Emit(key, std::to_string(total));
+}
+
+}  // namespace
+
+EngineJobConfig WordCountJob(std::string input, std::string output,
+                             int num_reducers) {
+  EngineJobConfig config;
+  config.name = "wordcount";
+  config.input = std::move(input);
+  config.output = std::move(output);
+  config.num_reducers = num_reducers;
+  config.map = [](const Record& record, MapContext& out) {
+    ForEachToken(record.value,
+                 [&](std::string token) { out.Emit(std::move(token), "1"); });
+  };
+  config.combiner = SumValues;
+  config.reduce = SumValues;
+  return config;
+}
+
+EngineJobConfig SortJob(std::string input, std::string output, int num_reducers) {
+  EngineJobConfig config;
+  config.name = "sort";
+  config.input = std::move(input);
+  config.output = std::move(output);
+  config.num_reducers = num_reducers;
+  config.map = [](const Record& record, MapContext& out) {
+    out.Emit(record.key, record.value);
+  };
+  config.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                     ReduceContext& out) {
+    for (const auto& v : values) out.Emit(key, v);
+  };
+  // Range partitioner on the first byte keeps global order across the
+  // concatenated partition outputs (keys are expected roughly uniform).
+  config.partitioner = [](const std::string& key, int partitions) {
+    const unsigned char first = key.empty() ? 0 : key[0];
+    return static_cast<int>(first) * partitions / 256;
+  };
+  return config;
+}
+
+EngineJobConfig GrepJob(std::string input, std::string output, std::string pattern) {
+  EngineJobConfig config;
+  config.name = "grep";
+  config.input = std::move(input);
+  config.output = std::move(output);
+  config.map = [pattern = std::move(pattern)](const Record& record, MapContext& out) {
+    if (record.value.find(pattern) != std::string::npos) {
+      out.Emit(record.key, record.value);
+    }
+  };
+  return config;  // Map-only.
+}
+
+EngineJobConfig SumByKeyJob(std::string input, std::string output, int num_reducers) {
+  EngineJobConfig config;
+  config.name = "sum-by-key";
+  config.input = std::move(input);
+  config.output = std::move(output);
+  config.num_reducers = num_reducers;
+  config.map = [](const Record& record, MapContext& out) {
+    out.Emit(record.key, record.value);
+  };
+  config.combiner = SumValues;
+  config.reduce = SumValues;
+  return config;
+}
+
+EngineJobConfig JoinJob(std::string merged_input, std::string output,
+                        int num_reducers) {
+  EngineJobConfig config;
+  config.name = "join";
+  config.input = std::move(merged_input);
+  config.output = std::move(output);
+  config.num_reducers = num_reducers;
+  config.map = [](const Record& record, MapContext& out) {
+    out.Emit(record.key, record.value);  // Values carry an "L:"/"R:" tag.
+  };
+  config.reduce = [](const std::string& key, const std::vector<std::string>& values,
+                     ReduceContext& out) {
+    std::vector<std::string> left;
+    std::vector<std::string> right;
+    for (const auto& v : values) {
+      if (v.rfind("L:", 0) == 0) left.push_back(v.substr(2));
+      if (v.rfind("R:", 0) == 0) right.push_back(v.substr(2));
+    }
+    for (const auto& l : left) {
+      for (const auto& r : right) out.Emit(key, l + "|" + r);
+    }
+  };
+  return config;
+}
+
+Status MergeForJoin(LocalStore& store, const std::string& left,
+                    const std::string& right, const std::string& merged) {
+  Result<const RecordVec*> l = store.Read(left);
+  if (!l.ok()) return l.status();
+  Result<const RecordVec*> r = store.Read(right);
+  if (!r.ok()) return r.status();
+  RecordVec out;
+  out.reserve((*l)->size() + (*r)->size());
+  for (const auto& rec : **l) out.push_back({rec.key, "L:" + rec.value});
+  for (const auto& rec : **r) out.push_back({rec.key, "R:" + rec.value});
+  store.Write(merged, std::move(out));
+  return Status::Ok();
+}
+
+}  // namespace dagperf

@@ -1,0 +1,42 @@
+#ifndef DAGPERF_ENGINE_BUILTIN_H_
+#define DAGPERF_ENGINE_BUILTIN_H_
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace dagperf {
+
+/// Ready-made engine jobs mirroring the paper's workloads (Table I), for
+/// functional validation and profile extraction.
+
+/// WordCount: tokenises values on whitespace, counts occurrences. Uses a
+/// combiner, like the HiBench configuration.
+EngineJobConfig WordCountJob(std::string input, std::string output,
+                             int num_reducers = 4);
+
+/// TeraSort-like total sort: identity map keyed on the record key; a range
+/// partitioner (prefix-based) keeps partition outputs globally ordered.
+EngineJobConfig SortJob(std::string input, std::string output,
+                        int num_reducers = 4);
+
+/// Grep: map-only filter keeping records whose value contains `pattern`.
+EngineJobConfig GrepJob(std::string input, std::string output,
+                        std::string pattern);
+
+/// Per-key sum of integer-valued records (aggregation query shape).
+EngineJobConfig SumByKeyJob(std::string input, std::string output,
+                            int num_reducers = 4);
+
+/// Inner join of two datasets on the record key. The map tags records by
+/// source (the engine runs it over a pre-merged input; see MergeForJoin).
+EngineJobConfig JoinJob(std::string merged_input, std::string output,
+                        int num_reducers = 4);
+
+/// Tags and concatenates two datasets for JoinJob.
+Status MergeForJoin(LocalStore& store, const std::string& left,
+                    const std::string& right, const std::string& merged);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_BUILTIN_H_

@@ -1,0 +1,92 @@
+#include "engine/datagen.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dagperf {
+
+namespace {
+
+std::string RandomWord(Rng& rng, uint64_t index) {
+  // Deterministic pseudo-word for a vocabulary index: letters derived from
+  // a mixed hash so words have realistic varied lengths (3-10 chars).
+  Rng word_rng(index * 2654435761ULL + 17);
+  const int len = 3 + static_cast<int>(word_rng.UniformInt(8));
+  std::string word;
+  word.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    word.push_back('a' + static_cast<char>(word_rng.UniformInt(26)));
+  }
+  (void)rng;
+  return word;
+}
+
+}  // namespace
+
+void GenerateText(LocalStore& store, const std::string& path, Bytes bytes,
+                  int vocabulary, double zipf_s, int words_per_record,
+                  uint64_t seed) {
+  DAGPERF_CHECK(vocabulary > 0);
+  DAGPERF_CHECK(words_per_record > 0);
+  Rng rng(seed);
+  // Pre-build the vocabulary once; Zipf picks indices into it.
+  std::vector<std::string> words;
+  words.reserve(vocabulary);
+  for (int i = 0; i < vocabulary; ++i) {
+    words.push_back(RandomWord(rng, static_cast<uint64_t>(i)));
+  }
+  RecordVec records;
+  size_t total = 0;
+  uint64_t line = 0;
+  const size_t target = static_cast<size_t>(bytes.value());
+  while (total < target) {
+    std::string text;
+    for (int w = 0; w < words_per_record; ++w) {
+      if (w > 0) text += ' ';
+      text += words[rng.Zipf(vocabulary, zipf_s)];
+    }
+    Record record{std::to_string(line++), std::move(text)};
+    total += record.ByteSize();
+    records.push_back(std::move(record));
+  }
+  store.Write(path, std::move(records));
+}
+
+void GenerateKeyValue(LocalStore& store, const std::string& path, Bytes bytes,
+                      int key_bytes, int value_bytes, uint64_t seed) {
+  DAGPERF_CHECK(key_bytes > 0);
+  DAGPERF_CHECK(value_bytes >= 0);
+  Rng rng(seed);
+  RecordVec records;
+  size_t total = 0;
+  const size_t target = static_cast<size_t>(bytes.value());
+  while (total < target) {
+    std::string key;
+    key.reserve(key_bytes);
+    for (int i = 0; i < key_bytes; ++i) {
+      key.push_back(static_cast<char>('!' + rng.UniformInt(94)));  // Printable.
+    }
+    std::string value(value_bytes, 'x');
+    Record record{std::move(key), std::move(value)};
+    total += record.ByteSize();
+    records.push_back(std::move(record));
+  }
+  store.Write(path, std::move(records));
+}
+
+void GenerateKeyedInts(LocalStore& store, const std::string& path, int records,
+                       int distinct_keys, double zipf_s, uint64_t seed) {
+  DAGPERF_CHECK(records >= 0);
+  DAGPERF_CHECK(distinct_keys > 0);
+  Rng rng(seed);
+  RecordVec out;
+  out.reserve(records);
+  for (int i = 0; i < records; ++i) {
+    const uint64_t key = rng.Zipf(distinct_keys, zipf_s);
+    const int value = static_cast<int>(rng.UniformInt(1000));
+    out.push_back({"k" + std::to_string(key), std::to_string(value)});
+  }
+  store.Write(path, std::move(out));
+}
+
+}  // namespace dagperf

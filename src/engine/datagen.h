@@ -1,0 +1,38 @@
+#ifndef DAGPERF_ENGINE_DATAGEN_H_
+#define DAGPERF_ENGINE_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "engine/storage.h"
+
+namespace dagperf {
+
+/// Synthetic dataset generators for the execution engine — the stand-ins
+/// for RandomTextWriter / TeraGen / TPC-H dbgen (DESIGN.md §2). All are
+/// deterministic for a given seed.
+
+/// Natural-language-like text: records of `words_per_record` words drawn
+/// from a `vocabulary`-word Zipf(s) distribution (word frequencies in real
+/// corpora are Zipfian, which is what gives WordCount its combiner win).
+/// Generates until at least `bytes` of records exist.
+void GenerateText(LocalStore& store, const std::string& path, Bytes bytes,
+                  int vocabulary = 10000, double zipf_s = 1.0,
+                  int words_per_record = 20, uint64_t seed = 42);
+
+/// TeraGen-like records: uniformly random fixed-width keys with
+/// `value_bytes` of payload.
+void GenerateKeyValue(LocalStore& store, const std::string& path, Bytes bytes,
+                      int key_bytes = 10, int value_bytes = 90,
+                      uint64_t seed = 42);
+
+/// Keyed integer measurements with Zipf-skewed keys (aggregation /
+/// join-workload input; the skew exponent controls reduce-key imbalance).
+void GenerateKeyedInts(LocalStore& store, const std::string& path, int records,
+                       int distinct_keys, double zipf_s = 0.8,
+                       uint64_t seed = 42);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_DATAGEN_H_

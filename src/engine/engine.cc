@@ -1,0 +1,277 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "common/check.h"
+#include "engine/thread_pool.h"
+
+namespace dagperf {
+
+namespace {
+
+/// Collects emissions into a vector.
+class VectorSink : public MapContext, public ReduceContext {
+ public:
+  explicit VectorSink(RecordVec* out) : out_(out) {}
+  void Emit(std::string key, std::string value) override {
+    out_->push_back({std::move(key), std::move(value)});
+  }
+
+ private:
+  RecordVec* out_;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void SortByKey(RecordVec& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) { return a.key < b.key; });
+}
+
+}  // namespace
+
+int HashPartition(const std::string& key, int partitions) {
+  // FNV-1a; stable across platforms so outputs are reproducible.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(partitions));
+}
+
+void GroupAndReduce(const RecordVec& sorted, const ReduceFn& fn, ReduceContext& out) {
+  size_t i = 0;
+  std::vector<std::string> values;
+  while (i < sorted.size()) {
+    const std::string& key = sorted[i].key;
+    values.clear();
+    size_t j = i;
+    while (j < sorted.size() && sorted[j].key == key) {
+      values.push_back(sorted[j].value);
+      ++j;
+    }
+    fn(key, values, out);
+    i = j;
+  }
+}
+
+MapReduceEngine::MapReduceEngine(LocalStore* store, EngineOptions options)
+    : store_(store), options_(options) {
+  DAGPERF_CHECK(store_ != nullptr);
+  DAGPERF_CHECK(options_.map_slots > 0);
+  DAGPERF_CHECK(options_.reduce_slots > 0);
+}
+
+Result<JobMetrics> MapReduceEngine::Run(const EngineJobConfig& config) {
+  if (!config.map) return Status::InvalidArgument(config.name + ": map fn required");
+  if (config.reduce && config.num_reducers < 1) {
+    return Status::InvalidArgument(config.name + ": need >= 1 reducer");
+  }
+  if (config.split_records == 0) {
+    return Status::InvalidArgument(config.name + ": split_records must be > 0");
+  }
+  if (config.output.empty() || config.input.empty()) {
+    return Status::InvalidArgument(config.name + ": input/output paths required");
+  }
+  Result<const RecordVec*> input = store_->Read(config.input);
+  if (!input.ok()) return input.status();
+  const RecordVec& records = **input;
+  const PartitionFn partition =
+      config.partitioner ? config.partitioner : HashPartition;
+  const bool map_only = !config.reduce;
+  const int reducers = map_only ? 0 : config.num_reducers;
+
+  const auto job_start = std::chrono::steady_clock::now();
+  JobMetrics metrics;
+  metrics.job_name = config.name;
+
+  // ---- Map phase -----------------------------------------------------
+  const size_t num_splits =
+      std::max<size_t>(1, (records.size() + config.split_records - 1) /
+                              config.split_records);
+  // Per split: either one output vector (map-only) or one per partition.
+  struct MapOutput {
+    std::vector<RecordVec> partitions;
+    size_t records_in = 0;
+    size_t bytes_in = 0;
+    size_t records_out = 0;
+    size_t bytes_out = 0;
+    size_t spills = 0;
+    size_t merge_bytes = 0;
+    double seconds = 0.0;
+  };
+  std::vector<MapOutput> map_outputs(num_splits);
+
+  {
+    ThreadPool pool(options_.map_slots);
+    for (size_t split = 0; split < num_splits; ++split) {
+      pool.Submit([&, split] {
+        const auto task_start = std::chrono::steady_clock::now();
+        MapOutput& out = map_outputs[split];
+        const size_t begin = split * config.split_records;
+        const size_t end = std::min(records.size(), begin + config.split_records);
+        out.partitions.resize(map_only ? 1 : reducers);
+
+        RecordVec emitted;
+        VectorSink sink(&emitted);
+        // External sort: emitted records accumulate in the sort buffer;
+        // overflowing it seals a sorted (and combined) run. Multiple runs
+        // are merged at task end — the spill/merge behaviour
+        // JobSpec::sort_buffer models analytically.
+        std::vector<std::vector<RecordVec>> runs;
+        const auto seal_run = [&] {
+          if (emitted.empty()) return;
+          std::vector<RecordVec> run(reducers);
+          for (auto& r : emitted) {
+            const int p = partition(r.key, reducers);
+            DAGPERF_CHECK_MSG(p >= 0 && p < reducers, "partitioner out of range");
+            run[p].push_back(std::move(r));
+          }
+          emitted.clear();
+          if (config.combiner) {
+            for (auto& part : run) {
+              SortByKey(part);
+              RecordVec combined;
+              VectorSink combined_sink(&combined);
+              GroupAndReduce(part, config.combiner, combined_sink);
+              part = std::move(combined);
+            }
+          }
+          runs.push_back(std::move(run));
+        };
+
+        for (size_t i = begin; i < end; ++i) {
+          config.map(records[i], sink);
+          out.bytes_in += records[i].ByteSize();
+          if (!map_only && config.sort_buffer_records > 0 &&
+              emitted.size() >= config.sort_buffer_records) {
+            seal_run();
+          }
+        }
+        out.records_in = end - begin;
+
+        if (map_only) {
+          out.partitions[0] = std::move(emitted);
+        } else {
+          seal_run();
+          if (runs.size() <= 1) {
+            if (!runs.empty()) out.partitions = std::move(runs[0]);
+          } else {
+            // Merge pass over every spilled run.
+            out.spills = runs.size() - 1;
+            for (auto& run : runs) {
+              for (int p = 0; p < reducers; ++p) {
+                out.merge_bytes += ByteSize(run[p]);
+                out.partitions[p].insert(out.partitions[p].end(),
+                                         std::make_move_iterator(run[p].begin()),
+                                         std::make_move_iterator(run[p].end()));
+              }
+            }
+            for (auto& part : out.partitions) {
+              SortByKey(part);
+              if (config.combiner) {
+                RecordVec combined;
+                VectorSink combined_sink(&combined);
+                GroupAndReduce(part, config.combiner, combined_sink);
+                part = std::move(combined);
+              }
+            }
+          }
+        }
+        for (const auto& part : out.partitions) {
+          out.records_out += part.size();
+          out.bytes_out += ByteSize(part);
+        }
+        out.seconds = SecondsSince(task_start);
+      });
+    }
+    pool.Wait();
+  }
+
+  metrics.map_wall_seconds = SecondsSince(job_start);
+  metrics.map.tasks = static_cast<int>(num_splits);
+  for (const auto& out : map_outputs) {
+    metrics.map.records_in += out.records_in;
+    metrics.map.bytes_in += out.bytes_in;
+    metrics.map.records_out += out.records_out;
+    metrics.map.bytes_out += out.bytes_out;
+    metrics.map_spills += out.spills;
+    metrics.merge_bytes += out.merge_bytes;
+    metrics.map.total_task_seconds += out.seconds;
+    metrics.map.max_task_seconds = std::max(metrics.map.max_task_seconds, out.seconds);
+  }
+
+  if (map_only) {
+    RecordVec output;
+    for (auto& out : map_outputs) {
+      output.insert(output.end(), std::make_move_iterator(out.partitions[0].begin()),
+                    std::make_move_iterator(out.partitions[0].end()));
+    }
+    store_->Write(config.output, std::move(output));
+    metrics.wall_seconds = SecondsSince(job_start);
+    return metrics;
+  }
+  metrics.shuffle_bytes = metrics.map.bytes_out;
+
+  // ---- Shuffle: gather each partition in split order (deterministic). --
+  std::vector<RecordVec> shuffle(reducers);
+  for (auto& out : map_outputs) {
+    for (int p = 0; p < reducers; ++p) {
+      shuffle[p].insert(shuffle[p].end(),
+                        std::make_move_iterator(out.partitions[p].begin()),
+                        std::make_move_iterator(out.partitions[p].end()));
+    }
+  }
+
+  // ---- Reduce phase ----------------------------------------------------
+  struct ReduceOutput {
+    RecordVec records;
+    size_t records_in = 0;
+    size_t bytes_in = 0;
+    double seconds = 0.0;
+  };
+  std::vector<ReduceOutput> reduce_outputs(reducers);
+  {
+    ThreadPool pool(options_.reduce_slots);
+    for (int p = 0; p < reducers; ++p) {
+      pool.Submit([&, p] {
+        const auto task_start = std::chrono::steady_clock::now();
+        ReduceOutput& out = reduce_outputs[p];
+        RecordVec& partition = shuffle[p];
+        out.records_in = partition.size();
+        out.bytes_in = ByteSize(partition);
+        SortByKey(partition);
+        VectorSink sink(&out.records);
+        GroupAndReduce(partition, config.reduce, sink);
+        out.seconds = SecondsSince(task_start);
+      });
+    }
+    pool.Wait();
+  }
+
+  metrics.reduce_wall_seconds = SecondsSince(job_start) - metrics.map_wall_seconds;
+  RecordVec output;
+  metrics.reduce.tasks = reducers;
+  for (auto& out : reduce_outputs) {
+    metrics.reduce.records_in += out.records_in;
+    metrics.reduce.bytes_in += out.bytes_in;
+    metrics.reduce.records_out += out.records.size();
+    metrics.reduce.bytes_out += ByteSize(out.records);
+    metrics.reduce.total_task_seconds += out.seconds;
+    metrics.reduce.max_task_seconds =
+        std::max(metrics.reduce.max_task_seconds, out.seconds);
+    output.insert(output.end(), std::make_move_iterator(out.records.begin()),
+                  std::make_move_iterator(out.records.end()));
+  }
+  store_->Write(config.output, std::move(output));
+  metrics.wall_seconds = SecondsSince(job_start);
+  return metrics;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,135 @@
+#ifndef DAGPERF_ENGINE_ENGINE_H_
+#define DAGPERF_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/record.h"
+#include "engine/storage.h"
+
+namespace dagperf {
+
+/// An in-process, multithreaded MapReduce execution engine over LocalStore
+/// datasets — the executable counterpart of the framework the cost models
+/// describe. It exists to (a) validate workload semantics (the library's
+/// WordCount really counts words), (b) produce *measured* job profiles that
+/// feed the analytical models (see engine/profiling.h), and (c) serve as a
+/// teaching-scale reference implementation of the map/sort/combine/
+/// shuffle/reduce pipeline.
+///
+/// Fidelity note: tasks here contend for this machine's CPUs and memory
+/// bandwidth only — there is no disk or network. Cluster-scale validation
+/// of the models is the simulator's job (src/sim); the engine validates
+/// function-level semantics and CPU-bound behaviour.
+
+/// Sink for map-side emissions.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+};
+
+/// Sink for reduce/combine-side emissions.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+};
+
+/// User-defined map function: called once per input record.
+using MapFn = std::function<void(const Record&, MapContext&)>;
+
+/// User-defined reduce (or combine) function: called once per key with all
+/// of the key's values, in deterministic (map-task, emission) order.
+using ReduceFn =
+    std::function<void(const std::string& key, const std::vector<std::string>& values,
+                       ReduceContext&)>;
+
+/// Maps a key to a reduce partition in [0, partitions).
+using PartitionFn = std::function<int(const std::string& key, int partitions)>;
+
+/// Default partitioner: stable hash of the key.
+int HashPartition(const std::string& key, int partitions);
+
+/// Declarative configuration of one engine job.
+struct EngineJobConfig {
+  std::string name = "job";
+  std::string input;
+  std::string output;
+  MapFn map;           // Required.
+  ReduceFn reduce;     // Empty: map-only job (map output goes to `output`).
+  ReduceFn combiner;   // Optional map-side pre-aggregation.
+  PartitionFn partitioner;  // Defaults to HashPartition.
+  int num_reducers = 2;
+  /// Records per map split (the engine's "block size").
+  size_t split_records = 64 * 1024;
+  /// Map-side sort buffer in records per task (0 = unbounded). When map
+  /// output exceeds it, the task sorts and spills a run and later merges
+  /// all runs — MapReduce's external sort, observable in the metrics as
+  /// spills and merge bytes (what JobSpec::sort_buffer models).
+  size_t sort_buffer_records = 0;
+};
+
+/// Aggregated measurements of one phase (map or reduce).
+struct PhaseMetrics {
+  int tasks = 0;
+  size_t records_in = 0;
+  size_t records_out = 0;
+  size_t bytes_in = 0;
+  size_t bytes_out = 0;
+  /// Sum and max of per-task wall time (seconds).
+  double total_task_seconds = 0.0;
+  double max_task_seconds = 0.0;
+};
+
+/// Measurements of one executed job — the raw material of profiling.
+struct JobMetrics {
+  std::string job_name;
+  PhaseMetrics map;
+  PhaseMetrics reduce;
+  /// Post-combine map output crossing the (in-memory) shuffle.
+  size_t shuffle_bytes = 0;
+  /// External-sort activity: spill runs written beyond the first, and the
+  /// bytes re-read+re-written by the map-side merge of multiple runs.
+  size_t map_spills = 0;
+  size_t merge_bytes = 0;
+  double wall_seconds = 0.0;
+  /// Wall-clock spans of the two phases (map includes the shuffle gather).
+  double map_wall_seconds = 0.0;
+  double reduce_wall_seconds = 0.0;
+};
+
+struct EngineOptions {
+  /// Concurrent map / reduce tasks ("slots").
+  int map_slots = 4;
+  int reduce_slots = 4;
+};
+
+/// The engine. Thread-safe for concurrent Run() calls on distinct outputs.
+class MapReduceEngine {
+ public:
+  /// `store` must outlive the engine.
+  MapReduceEngine(LocalStore* store, EngineOptions options = {});
+
+  /// Executes the job to completion. Output is written atomically to
+  /// config.output (replacing any previous dataset) and is deterministic:
+  /// reduce outputs concatenate in partition order, map-only outputs in
+  /// split order. Fails on missing input / invalid configuration.
+  Result<JobMetrics> Run(const EngineJobConfig& config);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  LocalStore* store_;
+  EngineOptions options_;
+};
+
+/// Groups sorted records by key and invokes `fn` per group (exposed for the
+/// combiner path and tests).
+void GroupAndReduce(const RecordVec& sorted, const ReduceFn& fn, ReduceContext& out);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_ENGINE_H_

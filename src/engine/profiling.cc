@@ -1,0 +1,53 @@
+#include "engine/profiling.h"
+
+#include <algorithm>
+
+namespace dagperf {
+
+Result<JobSpec> SpecFromMetrics(const JobMetrics& metrics,
+                                const ProfilingOptions& options) {
+  if (metrics.map.bytes_in == 0) {
+    return Status::InvalidArgument(metrics.job_name + ": no input bytes measured");
+  }
+  if (options.input_scale <= 0) {
+    return Status::InvalidArgument("input_scale must be positive");
+  }
+  JobSpec spec = options.defaults;
+  spec.name = metrics.job_name;
+  spec.input = Bytes(static_cast<double>(metrics.map.bytes_in) * options.input_scale);
+
+  const double in_bytes = static_cast<double>(metrics.map.bytes_in);
+  spec.map_selectivity = static_cast<double>(metrics.map.bytes_out) / in_bytes;
+
+  if (metrics.reduce.tasks > 0) {
+    const double shuffle = static_cast<double>(metrics.shuffle_bytes);
+    spec.reduce_selectivity =
+        shuffle > 0 ? static_cast<double>(metrics.reduce.bytes_out) / shuffle : 0.0;
+    if (metrics.reduce.total_task_seconds > 0 && shuffle > 0) {
+      spec.reduce_compute = Rate(shuffle / metrics.reduce.total_task_seconds);
+    }
+    // Keep the profiled reducer density (reducers per input byte) when
+    // scaling up, so partition sizes stay representative.
+    const double reducers_per_byte =
+        static_cast<double>(metrics.reduce.tasks) / in_bytes;
+    spec.num_reduce_tasks = std::max(
+        1, static_cast<int>(reducers_per_byte * spec.input.value() + 0.5));
+  } else {
+    spec.num_reduce_tasks = 0;
+  }
+
+  if (metrics.map.total_task_seconds > 0) {
+    spec.map_compute = Rate(in_bytes / metrics.map.total_task_seconds);
+  }
+  return spec;
+}
+
+Result<JobSpec> ProfileEngineJob(MapReduceEngine& engine,
+                                 const EngineJobConfig& config,
+                                 const ProfilingOptions& options) {
+  Result<JobMetrics> metrics = engine.Run(config);
+  if (!metrics.ok()) return metrics.status();
+  return SpecFromMetrics(*metrics, options);
+}
+
+}  // namespace dagperf

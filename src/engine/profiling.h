@@ -1,0 +1,48 @@
+#ifndef DAGPERF_ENGINE_PROFILING_H_
+#define DAGPERF_ENGINE_PROFILING_H_
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// Closes the loop between real execution and the analytical models: runs a
+/// job on the execution engine and converts its measurements into the
+/// JobSpec the cost models consume — the role of Starfish's profiler in the
+/// paper's ecosystem.
+///
+/// Measured from the run:
+///   * map_selectivity    = post-combine map output bytes / input bytes
+///   * reduce_selectivity = job output bytes / shuffle bytes
+///   * map_compute        = input bytes / summed map-task seconds
+///                          (per-core map-function throughput; engine tasks
+///                          are single-threaded, so task-seconds are
+///                          core-seconds on an unloaded machine)
+///   * reduce_compute     = shuffle bytes / summed reduce-task seconds
+///
+/// Not measurable in-process (no disks or NICs here): replica counts,
+/// compression ratio, cache behaviour, skew — `defaults` supplies them,
+/// with Table-I-style values preconfigured.
+struct ProfilingOptions {
+  /// Scale-up factor applied to the measured input when synthesising the
+  /// JobSpec (profile on 100 MB, model 100 GB).
+  double input_scale = 1.0;
+  /// Non-measurable JobSpec fields are copied from here.
+  JobSpec defaults;
+};
+
+/// Runs `config` on `engine` and derives a JobSpec. The engine job executes
+/// for real (its output dataset is produced as a side effect).
+Result<JobSpec> ProfileEngineJob(MapReduceEngine& engine,
+                                 const EngineJobConfig& config,
+                                 const ProfilingOptions& options = {});
+
+/// Converts already-collected metrics (e.g. from a previous run) without
+/// re-executing. `input_bytes` must be > 0.
+Result<JobSpec> SpecFromMetrics(const JobMetrics& metrics,
+                                const ProfilingOptions& options = {});
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_PROFILING_H_

@@ -1,0 +1,11 @@
+#include "engine/record.h"
+
+namespace dagperf {
+
+size_t ByteSize(const RecordVec& records) {
+  size_t total = 0;
+  for (const auto& r : records) total += r.ByteSize();
+  return total;
+}
+
+}  // namespace dagperf

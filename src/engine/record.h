@@ -1,0 +1,31 @@
+#ifndef DAGPERF_ENGINE_RECORD_H_
+#define DAGPERF_ENGINE_RECORD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dagperf {
+
+/// A key/value record — the unit of data the execution engine moves. The
+/// engine is schema-less: keys and values are byte strings, exactly as in
+/// Hadoop's Text-based pipelines.
+struct Record {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Record&) const = default;
+
+  /// Serialized size used for byte accounting (framework overhead of a
+  /// length-prefixed pair included).
+  size_t ByteSize() const { return key.size() + value.size() + 8; }
+};
+
+using RecordVec = std::vector<Record>;
+
+/// Total serialized size of a record batch.
+size_t ByteSize(const RecordVec& records);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_RECORD_H_

@@ -1,0 +1,48 @@
+#include "engine/storage.h"
+
+namespace dagperf {
+
+void LocalStore::Write(const std::string& path, RecordVec records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_[path] = std::move(records);
+}
+
+void LocalStore::Append(const std::string& path, RecordVec records) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RecordVec& existing = datasets_[path];
+  existing.insert(existing.end(), std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+}
+
+Result<const RecordVec*> LocalStore::Read(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(path);
+  if (it == datasets_.end()) return Status::NotFound(path + ": no such dataset");
+  return &it->second;
+}
+
+bool LocalStore::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.count(path) > 0;
+}
+
+void LocalStore::Erase(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_.erase(path);
+}
+
+std::vector<std::string> LocalStore::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [path, records] : datasets_) out.push_back(path);
+  return out;
+}
+
+size_t LocalStore::SizeBytes(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(path);
+  return it == datasets_.end() ? 0 : ByteSize(it->second);
+}
+
+}  // namespace dagperf

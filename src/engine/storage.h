@@ -1,0 +1,49 @@
+#ifndef DAGPERF_ENGINE_STORAGE_H_
+#define DAGPERF_ENGINE_STORAGE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/record.h"
+
+namespace dagperf {
+
+/// In-memory record store standing in for a DFS: named datasets of records,
+/// written once, read many times. Thread-safe. Jobs read their input from
+/// one path and write their output to another, exactly like HDFS
+/// directories; DAGs chain paths.
+class LocalStore {
+ public:
+  LocalStore() = default;
+  LocalStore(const LocalStore&) = delete;
+  LocalStore& operator=(const LocalStore&) = delete;
+
+  /// Creates or replaces a dataset.
+  void Write(const std::string& path, RecordVec records);
+
+  /// Appends to a dataset (creating it if absent) — used by parallel
+  /// writers; ordering between appenders is unspecified, as on a real DFS.
+  void Append(const std::string& path, RecordVec records);
+
+  /// Immutable view of a dataset; NotFound if absent. The pointer remains
+  /// valid until the dataset is rewritten or erased.
+  Result<const RecordVec*> Read(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+  void Erase(const std::string& path);
+  std::vector<std::string> List() const;
+
+  /// Serialized size of a dataset (0 if absent).
+  size_t SizeBytes(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RecordVec> datasets_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_STORAGE_H_

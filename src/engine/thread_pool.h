@@ -1,0 +1,48 @@
+#ifndef DAGPERF_ENGINE_THREAD_POOL_H_
+#define DAGPERF_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dagperf {
+
+/// Fixed-size worker pool executing closures FIFO — the engine's "task
+/// slots": the pool size caps how many map or reduce tasks run
+/// concurrently, mirroring a node's container limit.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Wait() started from another
+  /// thread; tasks may enqueue further tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by other
+  /// tasks) has finished.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_THREAD_POOL_H_

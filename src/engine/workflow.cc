@@ -1,0 +1,142 @@
+#include "engine/workflow.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace dagperf {
+
+namespace {
+
+Status ValidateTopology(const EngineWorkflow& workflow) {
+  const int n = static_cast<int>(workflow.jobs.size());
+  if (n == 0) return Status::InvalidArgument(workflow.name + ": no jobs");
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> children(n);
+  for (const auto& [from, to] : workflow.edges) {
+    if (from < 0 || from >= n || to < 0 || to >= n) {
+      return Status::InvalidArgument(workflow.name + ": edge out of range");
+    }
+    if (from == to) return Status::InvalidArgument(workflow.name + ": self edge");
+    ++indegree[to];
+    children[from].push_back(to);
+  }
+  // Kahn's cycle check.
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const int job = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (int child : children[job]) {
+      if (--indegree[child] == 0) ready.push_back(child);
+    }
+  }
+  if (visited != n) return Status::InvalidArgument(workflow.name + ": cycle");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<WorkflowMetrics> RunEngineWorkflow(MapReduceEngine& engine,
+                                          const EngineWorkflow& workflow) {
+  Status st = ValidateTopology(workflow);
+  if (!st.ok()) return st;
+  const int n = static_cast<int>(workflow.jobs.size());
+
+  WorkflowMetrics metrics;
+  metrics.jobs.resize(n);
+  metrics.job_start_s.resize(n, 0.0);
+  metrics.job_end_s.resize(n, 0.0);
+
+  std::vector<int> unfinished_parents(n, 0);
+  std::vector<std::vector<int>> children(n);
+  for (const auto& [from, to] : workflow.edges) {
+    ++unfinished_parents[to];
+    children[from].push_back(to);
+  }
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int completed = 0;
+  Status first_error = Status::Ok();
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Launch is self-referential (finished jobs launch their ready children),
+  // so it lives in a std::function. The threads vector is guarded by the
+  // same mutex: workers append to it when launching children.
+  std::function<void(int)> launch = [&](int job) {
+    std::lock_guard<std::mutex> launch_lock(mutex);
+    threads.emplace_back([&, job] {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        metrics.job_start_s[job] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+      }
+      Result<JobMetrics> result = engine.Run(workflow.jobs[job]);
+      std::vector<int> now_ready;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        metrics.job_end_s[job] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        if (!result.ok()) {
+          if (first_error.ok()) first_error = result.status();
+        } else {
+          metrics.jobs[job] = std::move(result).value();
+          for (int child : children[job]) {
+            if (--unfinished_parents[child] == 0) now_ready.push_back(child);
+          }
+        }
+        ++completed;
+      }
+      if (first_error.ok()) {
+        for (int child : now_ready) launch(child);
+      }
+      done_cv.notify_all();
+    });
+  };
+
+  {
+    // Collect sources first: launching mutates `threads`.
+    std::vector<int> sources;
+    for (int i = 0; i < n; ++i) {
+      if (unfinished_parents[i] == 0) sources.push_back(i);
+    }
+    for (int job : sources) launch(job);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] {
+      if (!first_error.ok()) return true;
+      return completed == n;
+    });
+  }
+  // Join everything that was started; workers append children to `threads`
+  // before exiting, so joining in creation order drains the vector even
+  // while it grows.
+  size_t joined = 0;
+  while (true) {
+    std::thread worker;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (joined == threads.size()) break;
+      worker = std::move(threads[joined++]);
+    }
+    worker.join();
+  }
+  if (!first_error.ok()) return first_error;
+
+  metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return metrics;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,42 @@
+#ifndef DAGPERF_ENGINE_WORKFLOW_H_
+#define DAGPERF_ENGINE_WORKFLOW_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace dagperf {
+
+/// A DAG of engine jobs: edge (m, n) means job n starts only after job m
+/// completes (Definition 1 of the paper, executed for real). Jobs are
+/// connected through LocalStore paths: a child's input is typically a
+/// parent's output.
+struct EngineWorkflow {
+  std::string name = "workflow";
+  std::vector<EngineJobConfig> jobs;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Per-run measurements: one JobMetrics per job (same order), plus the
+/// workflow wall time and each job's start/end offsets — the engine-side
+/// equivalent of the simulator's stage records.
+struct WorkflowMetrics {
+  std::vector<JobMetrics> jobs;
+  std::vector<double> job_start_s;
+  std::vector<double> job_end_s;
+  double wall_seconds = 0.0;
+};
+
+/// Executes the DAG with real parallelism: every job whose parents have
+/// completed runs immediately on its own thread, so independent branches
+/// genuinely contend for this machine's cores — the same phenomenon the
+/// cost models describe at cluster scale. Rejects cyclic or out-of-range
+/// topologies and aborts the workflow on the first job failure.
+Result<WorkflowMetrics> RunEngineWorkflow(MapReduceEngine& engine,
+                                          const EngineWorkflow& workflow);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_ENGINE_WORKFLOW_H_

@@ -1,0 +1,95 @@
+#include "exp/dag_suite.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/stats.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+
+namespace dagperf {
+
+namespace {
+
+double StageBreakdownAccuracy(const SimResult& truth, const DagEstimate& estimate) {
+  std::vector<double> accuracies;
+  for (const auto& truth_stage : truth.stages()) {
+    const Result<StageSpanEstimate> est =
+        estimate.FindStage(truth_stage.job, truth_stage.stage);
+    if (!est.ok()) continue;
+    const double truth_duration = truth_stage.end - truth_stage.start;
+    const double est_duration = est->end - est->start;
+    if (truth_duration <= 0) continue;
+    accuracies.push_back(RelativeAccuracy(est_duration, truth_duration));
+  }
+  if (accuracies.empty()) return 0.0;
+  return ComputeStats(accuracies).mean;
+}
+
+}  // namespace
+
+Result<DagAccuracyRow> EvaluateDagWorkflow(const NamedFlow& named,
+                                           const ClusterSpec& cluster,
+                                           const SchedulerConfig& scheduler,
+                                           const SimOptions& sim_options) {
+  const DagWorkflow& flow = named.flow;
+  const Simulator sim(cluster, scheduler, sim_options);
+  Result<SimResult> truth = sim.Run(flow);
+  if (!truth.ok()) return truth.status();
+
+  Result<ProfileTaskTimeSource> mean_source =
+      ProfileTaskTimeSource::FromSimulation(flow, *truth, ProfileStatistic::kMean);
+  if (!mean_source.ok()) return mean_source.status();
+  Result<ProfileTaskTimeSource> median_source =
+      ProfileTaskTimeSource::FromSimulation(flow, *truth, ProfileStatistic::kMedian);
+  if (!median_source.ok()) return median_source.status();
+
+  EstimatorOptions alg1;
+  EstimatorOptions alg2;
+  alg2.skew_aware = true;
+  const StateBasedEstimator est_alg1(cluster, scheduler, alg1);
+  const StateBasedEstimator est_alg2(cluster, scheduler, alg2);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Result<DagEstimate> mean_est = est_alg1.Estimate(flow, *mean_source);
+  if (!mean_est.ok()) return mean_est.status();
+  Result<DagEstimate> median_est = est_alg1.Estimate(flow, *median_source);
+  if (!median_est.ok()) return median_est.status();
+  Result<DagEstimate> normal_est = est_alg2.Estimate(flow, *mean_source);
+  if (!normal_est.ok()) return normal_est.status();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  DagAccuracyRow row;
+  row.name = named.name;
+  row.truth_s = truth->makespan().seconds();
+  row.est_mean_s = mean_est->makespan.seconds();
+  row.est_median_s = median_est->makespan.seconds();
+  row.est_normal_s = normal_est->makespan.seconds();
+  row.acc_mean = RelativeAccuracy(row.est_mean_s, row.truth_s);
+  row.acc_median = RelativeAccuracy(row.est_median_s, row.truth_s);
+  row.acc_normal = RelativeAccuracy(row.est_normal_s, row.truth_s);
+  row.stage_breakdown_acc = StageBreakdownAccuracy(*truth, *mean_est);
+  row.estimate_latency_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return row;
+}
+
+SuiteSummary Summarize(const std::vector<DagAccuracyRow>& rows) {
+  SuiteSummary summary;
+  if (rows.empty()) return summary;
+  for (const auto& row : rows) {
+    summary.mean_acc_mean += row.acc_mean;
+    summary.mean_acc_median += row.acc_median;
+    summary.mean_acc_normal += row.acc_normal;
+    summary.min_acc = std::min({summary.min_acc, row.acc_mean, row.acc_median,
+                                row.acc_normal});
+    summary.max_latency_ms = std::max(summary.max_latency_ms, row.estimate_latency_ms);
+  }
+  const double n = static_cast<double>(rows.size());
+  summary.mean_acc_mean /= n;
+  summary.mean_acc_median /= n;
+  summary.mean_acc_normal /= n;
+  return summary;
+}
+
+}  // namespace dagperf

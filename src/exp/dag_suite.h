@@ -1,0 +1,56 @@
+#ifndef DAGPERF_EXP_DAG_SUITE_H_
+#define DAGPERF_EXP_DAG_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "common/status.h"
+#include "scheduler/drf.h"
+#include "sim/simulator.h"
+#include "workloads/suite.h"
+
+namespace dagperf {
+
+/// Table III row: end-to-end accuracy of the three state-based estimator
+/// variants on one DAG workflow, plus stage-break-down accuracy and the
+/// model computation latency (§V-C's final metric).
+struct DagAccuracyRow {
+  std::string name;
+  double truth_s = 0.0;
+  double est_mean_s = 0.0;    // Alg1 with mean task-time statistic.
+  double est_median_s = 0.0;  // Alg1 with median statistic ("Alg1-Mid").
+  double est_normal_s = 0.0;  // Alg2: skew-aware normal wave model.
+  double acc_mean = 0.0;
+  double acc_median = 0.0;
+  double acc_normal = 0.0;
+  /// Average per-stage duration accuracy of the Alg1-Mean estimate
+  /// ("Stage Break-downs" in §V-C).
+  double stage_breakdown_acc = 0.0;
+  /// Wall-clock cost of computing the three estimates (E8: must be << 1 s).
+  double estimate_latency_ms = 0.0;
+};
+
+/// Evaluates one workflow with the Table III methodology: simulate the
+/// ground truth, capture task-time profiles from it (identical degree of
+/// parallelism, per the paper), then run Alg1-Mean / Alg1-Mid / Alg2-Normal
+/// and score each against the simulated execution.
+Result<DagAccuracyRow> EvaluateDagWorkflow(const NamedFlow& flow,
+                                           const ClusterSpec& cluster,
+                                           const SchedulerConfig& scheduler,
+                                           const SimOptions& sim_options);
+
+/// Column means over a set of rows (the paper's "average accuracy of 51
+/// workflows" summary).
+struct SuiteSummary {
+  double mean_acc_mean = 0.0;
+  double mean_acc_median = 0.0;
+  double mean_acc_normal = 0.0;
+  double min_acc = 1.0;  // Worst cell across all variants and workflows.
+  double max_latency_ms = 0.0;
+};
+SuiteSummary Summarize(const std::vector<DagAccuracyRow>& rows);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_EXP_DAG_SUITE_H_

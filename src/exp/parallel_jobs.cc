@@ -1,0 +1,81 @@
+#include "exp/parallel_jobs.h"
+
+#include <algorithm>
+
+#include "boe/boe_model.h"
+#include "common/stats.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+
+namespace dagperf {
+
+namespace {
+
+using RunningSet = std::vector<std::pair<JobId, StageKind>>;
+
+RunningSet EstimatedRunningSet(const StateEstimate& state) {
+  RunningSet set;
+  for (const auto& r : state.running) set.emplace_back(r.job, r.kind);
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+}  // namespace
+
+Result<ParallelJobsResult> RunParallelJobsExperiment(const DagWorkflow& flow,
+                                                     const ClusterSpec& cluster,
+                                                     const SchedulerConfig& scheduler,
+                                                     const SimOptions& sim_options) {
+  const Simulator sim(cluster, scheduler, sim_options);
+  Result<SimResult> truth = sim.Run(flow);
+  if (!truth.ok()) return truth.status();
+
+  // Default contention mode (kAlignedSelf): own-stage tasks wave-aligned,
+  // co-running stages at their effective usage (see bench_ablation A1).
+  const BoeModel model(cluster.node);
+  const BoeTaskTimeSource source(model,
+                                 Duration(sim_options.task_startup_seconds));
+  const StateBasedEstimator estimator(cluster, scheduler);
+  Result<DagEstimate> estimate = estimator.Estimate(flow, source);
+  if (!estimate.ok()) return estimate.status();
+
+  ParallelJobsResult result;
+  result.flow_name = flow.name();
+  result.truth_states = static_cast<int>(truth->states().size());
+  result.estimated_states = static_cast<int>(estimate->states.size());
+
+  // Align each observed state with the first unused estimated state that has
+  // the same running set; the estimator and the simulator traverse the same
+  // stage-transition sequence, so this is ordinarily 1:1.
+  std::vector<bool> used(estimate->states.size(), false);
+  for (const auto& truth_state : truth->states()) {
+    const StateEstimate* match = nullptr;
+    for (size_t i = 0; i < estimate->states.size(); ++i) {
+      if (used[i]) continue;
+      if (EstimatedRunningSet(estimate->states[i]) == truth_state.running) {
+        used[i] = true;
+        match = &estimate->states[i];
+        break;
+      }
+    }
+    if (match == nullptr) continue;
+
+    for (const auto& est_running : match->running) {
+      const std::vector<double> durations = truth->TaskDurationsInState(
+          est_running.job, est_running.kind, truth_state.index);
+      if (durations.empty()) continue;  // No task midpoint fell in the state.
+      StateTaskAccuracy cell;
+      cell.state = truth_state.index;
+      cell.job = est_running.job;
+      cell.job_name = flow.job(est_running.job).name;
+      cell.kind = est_running.kind;
+      cell.truth_s = ComputeStats(durations).median;
+      cell.estimate_s = est_running.task_time_s;
+      cell.accuracy = RelativeAccuracy(cell.estimate_s, cell.truth_s);
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace dagperf

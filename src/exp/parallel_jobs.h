@@ -1,0 +1,46 @@
+#ifndef DAGPERF_EXP_PARALLEL_JOBS_H_
+#define DAGPERF_EXP_PARALLEL_JOBS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+#include "scheduler/drf.h"
+#include "sim/simulator.h"
+
+namespace dagperf {
+
+/// One (state, job-stage) accuracy cell of Table II: the BOE model's task
+/// time estimate for a job during one workflow state versus the simulated
+/// median task time observed in that state.
+struct StateTaskAccuracy {
+  int state = 0;  // 1-based, matching the paper's s1..s4.
+  JobId job = 0;
+  std::string job_name;
+  StageKind kind = StageKind::kMap;
+  double truth_s = 0.0;
+  double estimate_s = 0.0;
+  double accuracy = 0.0;
+};
+
+struct ParallelJobsResult {
+  std::string flow_name;
+  std::vector<StateTaskAccuracy> cells;
+  int truth_states = 0;
+  int estimated_states = 0;
+};
+
+/// Runs the Table II experiment on a workflow of parallel jobs: simulates
+/// the ground truth, runs the state-based estimator with the BOE task-time
+/// source, aligns estimated states with observed states by their running
+/// (job, stage) sets, and reports per-state task-time accuracy.
+Result<ParallelJobsResult> RunParallelJobsExperiment(const DagWorkflow& flow,
+                                                     const ClusterSpec& cluster,
+                                                     const SchedulerConfig& scheduler,
+                                                     const SimOptions& sim_options);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_EXP_PARALLEL_JOBS_H_

@@ -1,0 +1,75 @@
+#include "exp/phase_split.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace dagperf {
+
+bool IsShuffleSubStage(const std::string& name) {
+  return name == "shuffle" || name == "merge";
+}
+
+PhaseTimes MeasurePhaseTimes(const DagWorkflow& flow, const SimResult& result,
+                             JobId job_id) {
+  const JobProfile& job = flow.job(job_id);
+  PhaseTimes phases;
+
+  std::vector<double> map_durations;
+  for (const auto& t : result.tasks()) {
+    if (t.job == job_id && t.stage == StageKind::kMap) {
+      map_durations.push_back(t.duration());
+    }
+  }
+  DAGPERF_CHECK_MSG(!map_durations.empty(), "no completed map tasks to measure");
+  phases.map_s = ComputeStats(map_durations).median;
+
+  if (!job.has_reduce()) return phases;
+
+  std::vector<double> shuffle_durations;
+  std::vector<double> reduce_durations;
+  const std::vector<SubStageProfile>& substages = job.reduce->substages;
+  for (const auto& t : result.tasks()) {
+    if (t.job != job_id || t.stage != StageKind::kReduce) continue;
+    DAGPERF_CHECK(t.substage_s.size() == substages.size());
+    double shuffle = t.startup_s;
+    double reduce = 0.0;
+    for (size_t i = 0; i < substages.size(); ++i) {
+      if (IsShuffleSubStage(substages[i].name)) {
+        shuffle += t.substage_s[i];
+      } else {
+        reduce += t.substage_s[i];
+      }
+    }
+    shuffle_durations.push_back(shuffle);
+    reduce_durations.push_back(reduce);
+  }
+  DAGPERF_CHECK_MSG(!shuffle_durations.empty(), "no completed reduce tasks");
+  phases.shuffle_s = ComputeStats(shuffle_durations).median;
+  phases.reduce_s = ComputeStats(reduce_durations).median;
+  return phases;
+}
+
+PhaseTimes BoePhaseTimes(const BoeModel& model, const JobProfile& job,
+                         double map_tasks_per_node, double reduce_tasks_per_node,
+                         double startup_s) {
+  PhaseTimes phases;
+  const TaskEstimate map_est = model.EstimateTask(job.map, map_tasks_per_node);
+  phases.map_s = map_est.duration.seconds() + startup_s;
+  if (!job.has_reduce()) return phases;
+
+  const TaskEstimate reduce_est =
+      model.EstimateTask(*job.reduce, reduce_tasks_per_node);
+  phases.shuffle_s = startup_s;
+  for (const auto& ss : reduce_est.substages) {
+    if (IsShuffleSubStage(ss.name)) {
+      phases.shuffle_s += ss.duration.seconds();
+    } else {
+      phases.reduce_s += ss.duration.seconds();
+    }
+  }
+  return phases;
+}
+
+}  // namespace dagperf

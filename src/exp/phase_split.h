@@ -1,0 +1,40 @@
+#ifndef DAGPERF_EXP_PHASE_SPLIT_H_
+#define DAGPERF_EXP_PHASE_SPLIT_H_
+
+#include "boe/boe_model.h"
+#include "dag/dag_workflow.h"
+#include "sim/sim_result.h"
+
+namespace dagperf {
+
+/// Median task-level times of the three phases the paper's Fig. 6 plots
+/// separately. The library models the shuffle as the leading sub-stages of
+/// the reduce task (copy + merge), so:
+///
+///   map     = whole map-task duration (incl. startup),
+///   shuffle = reduce-task startup + "shuffle" + "merge" sub-stages,
+///   reduce  = the trailing "reduce+write" sub-stage.
+struct PhaseTimes {
+  double map_s = 0.0;
+  double shuffle_s = 0.0;
+  double reduce_s = 0.0;
+};
+
+/// Ground-truth phase medians of one job from a simulated execution.
+/// Requires the job to have completed map (and reduce, if present) tasks.
+PhaseTimes MeasurePhaseTimes(const DagWorkflow& flow, const SimResult& result,
+                             JobId job);
+
+/// BOE-predicted phase times for one job, given per-node task populations
+/// for each stage. `startup_s` is the known fixed container overhead added
+/// to the map and shuffle phases (where a task begins).
+PhaseTimes BoePhaseTimes(const BoeModel& model, const JobProfile& job,
+                         double map_tasks_per_node, double reduce_tasks_per_node,
+                         double startup_s);
+
+/// True if the sub-stage belongs to the shuffle phase of a reduce task.
+bool IsShuffleSubStage(const std::string& name);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_EXP_PHASE_SPLIT_H_

@@ -1,0 +1,122 @@
+#include "exp/single_job.h"
+
+#include <algorithm>
+
+#include "boe/boe_model.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "dag/dag_workflow.h"
+
+namespace dagperf {
+
+namespace {
+
+/// Effective sustained per-node population of a stage: the slot cap, unless
+/// the stage has too few tasks to fill the cluster at that cap.
+double EffectiveTasksPerNode(int cap, int num_tasks, int num_nodes) {
+  const double by_tasks = static_cast<double>(num_tasks) / num_nodes;
+  return std::min(static_cast<double>(cap), std::max(by_tasks, 1e-9));
+}
+
+Result<PhaseTimes> SimulatedPhases(const JobSpec& spec, const ClusterSpec& cluster,
+                                   int tasks_per_node, const SimOptions& sim_options) {
+  DagBuilder builder(spec.name + "-sweep");
+  builder.AddJob(spec);
+  Result<DagWorkflow> flow = std::move(builder).Build();
+  if (!flow.ok()) return flow.status();
+  SchedulerConfig sched;
+  sched.max_tasks_per_node = tasks_per_node;
+  const Simulator sim(cluster, sched, sim_options);
+  Result<SimResult> result = sim.Run(*flow);
+  if (!result.ok()) return result.status();
+  return MeasurePhaseTimes(*flow, *result, 0);
+}
+
+double MeanAccuracy(const std::vector<double>& estimates,
+                    const std::vector<double>& truths) {
+  DAGPERF_CHECK(estimates.size() == truths.size());
+  DAGPERF_CHECK(!estimates.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    sum += RelativeAccuracy(estimates[i], truths[i]);
+  }
+  return sum / static_cast<double>(estimates.size());
+}
+
+SweepAccuracy ColumnAccuracy(const SingleJobSweepResult& result,
+                             PhaseTimes SingleJobSweepPoint::*column) {
+  std::vector<double> est_map, truth_map, est_sh, truth_sh, est_red, truth_red;
+  for (const auto& p : result.points) {
+    const PhaseTimes& est = p.*column;
+    est_map.push_back(est.map_s);
+    truth_map.push_back(p.truth.map_s);
+    if (p.truth.shuffle_s > 0) {
+      est_sh.push_back(est.shuffle_s);
+      truth_sh.push_back(p.truth.shuffle_s);
+      est_red.push_back(est.reduce_s);
+      truth_red.push_back(p.truth.reduce_s);
+    }
+  }
+  SweepAccuracy acc;
+  acc.map = MeanAccuracy(est_map, truth_map);
+  if (!est_sh.empty()) {
+    acc.shuffle = MeanAccuracy(est_sh, truth_sh);
+    acc.reduce = MeanAccuracy(est_red, truth_red);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<SingleJobSweepResult> RunSingleJobSweep(const JobSpec& spec,
+                                               const SingleJobSweepConfig& config) {
+  if (config.parallelisms.empty()) {
+    return Status::InvalidArgument("no parallelism points");
+  }
+  Result<JobProfile> profile = CompileJob(spec);
+  if (!profile.ok()) return profile.status();
+
+  SingleJobSweepResult result;
+  result.job_name = spec.name;
+  result.baseline_reference = config.baseline_reference;
+
+  // Baseline: the profiling run's ground truth, flat across the sweep.
+  Result<PhaseTimes> baseline = SimulatedPhases(spec, config.cluster,
+                                                config.baseline_reference, config.sim);
+  if (!baseline.ok()) return baseline.status();
+
+  const BoeModel model(config.cluster.node);
+  for (int delta : config.parallelisms) {
+    if (delta <= 0) return Status::InvalidArgument("parallelism must be positive");
+    SingleJobSweepPoint point;
+    point.tasks_per_node = delta;
+
+    Result<PhaseTimes> truth =
+        SimulatedPhases(spec, config.cluster, delta, config.sim);
+    if (!truth.ok()) return truth.status();
+    point.truth = *truth;
+
+    const double map_tpn = EffectiveTasksPerNode(delta, profile->map.num_tasks,
+                                                 config.cluster.num_nodes);
+    const double red_tpn =
+        profile->has_reduce()
+            ? EffectiveTasksPerNode(delta, profile->reduce->num_tasks,
+                                    config.cluster.num_nodes)
+            : 0.0;
+    point.boe = BoePhaseTimes(model, *profile, map_tpn, red_tpn,
+                              config.sim.task_startup_seconds);
+    point.baseline = *baseline;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+SweepAccuracy BoeSweepAccuracy(const SingleJobSweepResult& result) {
+  return ColumnAccuracy(result, &SingleJobSweepPoint::boe);
+}
+
+SweepAccuracy BaselineSweepAccuracy(const SingleJobSweepResult& result) {
+  return ColumnAccuracy(result, &SingleJobSweepPoint::baseline);
+}
+
+}  // namespace dagperf

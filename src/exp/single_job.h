@@ -1,0 +1,58 @@
+#ifndef DAGPERF_EXP_SINGLE_JOB_H_
+#define DAGPERF_EXP_SINGLE_JOB_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "common/status.h"
+#include "exp/phase_split.h"
+#include "sim/simulator.h"
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// One point of the Fig. 6 parallelism sweep.
+struct SingleJobSweepPoint {
+  int tasks_per_node = 0;
+  PhaseTimes truth;     // Simulated ground truth (median task times).
+  PhaseTimes boe;       // BOE model prediction.
+  PhaseTimes baseline;  // Fixed-parallelism profile prediction.
+};
+
+struct SingleJobSweepResult {
+  std::string job_name;
+  int baseline_reference = 0;
+  std::vector<SingleJobSweepPoint> points;
+};
+
+struct SingleJobSweepConfig {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  std::vector<int> parallelisms = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  /// Per-node parallelism of the baseline's profiling run (Starfish-like
+  /// profiles at low parallelism; MRTuner-like at the core count).
+  int baseline_reference = 2;
+  SimOptions sim;
+};
+
+/// Runs the single-job task-time experiment behind Fig. 6 (a)-(f): for each
+/// per-node degree of parallelism, simulate the job, measure median
+/// map/shuffle/reduce task times, and compare the BOE prediction against the
+/// fixed-parallelism baseline (the best case of Starfish / MRTuner, which
+/// reproduces the profiling run's times regardless of the actual
+/// parallelism).
+Result<SingleJobSweepResult> RunSingleJobSweep(const JobSpec& spec,
+                                               const SingleJobSweepConfig& config);
+
+/// Mean relative accuracy of a predictor column over the sweep, per phase.
+struct SweepAccuracy {
+  double map = 0.0;
+  double shuffle = 0.0;
+  double reduce = 0.0;
+};
+SweepAccuracy BoeSweepAccuracy(const SingleJobSweepResult& result);
+SweepAccuracy BaselineSweepAccuracy(const SingleJobSweepResult& result);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_EXP_SINGLE_JOB_H_

@@ -1,0 +1,66 @@
+#include "model/progress.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dagperf {
+
+ProgressIndicator::ProgressIndicator(DagEstimate plan) : plan_(std::move(plan)) {
+  DAGPERF_CHECK_MSG(plan_.makespan.seconds() > 0, "plan has no duration");
+}
+
+double ProgressIndicator::CompletionAt(Duration elapsed) const {
+  const double frac = elapsed.seconds() / plan_.makespan.seconds();
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+Duration ProgressIndicator::RemainingAt(Duration elapsed) const {
+  return Duration(std::max(0.0, plan_.makespan.seconds() - elapsed.seconds()));
+}
+
+Result<StateEstimate> ProgressIndicator::StateAt(Duration elapsed) const {
+  const double t = elapsed.seconds();
+  for (const auto& state : plan_.states) {
+    if (t >= state.start && t < state.start + state.duration) return state;
+  }
+  return Status::NotFound("no active state at the given time");
+}
+
+std::vector<RunningStageEstimate> ProgressIndicator::RunningAt(
+    Duration elapsed) const {
+  const Result<StateEstimate> state = StateAt(elapsed);
+  if (!state.ok()) return {};
+  return state->running;
+}
+
+Status ProgressIndicator::ObserveStageCompletion(JobId job, StageKind kind,
+                                                 Duration observed_end) {
+  if (observed_end.seconds() <= 0) {
+    return Status::FailedPrecondition("observed completion must be positive");
+  }
+  const Result<StageSpanEstimate> predicted = plan_.FindStage(job, kind);
+  if (!predicted.ok()) {
+    return Status::FailedPrecondition("stage not present in the plan");
+  }
+  const double anchor = predicted->end;
+  if (anchor <= 0) return Status::FailedPrecondition("plan anchor is degenerate");
+  const double scale = observed_end.seconds() / anchor;
+
+  // Times up to the anchor are replaced by reality (scaled); times after the
+  // anchor shift with it and stretch by the same drift factor.
+  const auto remap = [&](double t) { return t * scale; };
+  for (auto& state : plan_.states) {
+    const double end = state.start + state.duration;
+    state.start = remap(state.start);
+    state.duration = remap(end) - state.start;
+  }
+  for (auto& stage : plan_.stages) {
+    stage.start = remap(stage.start);
+    stage.end = remap(stage.end);
+  }
+  plan_.makespan = Duration(remap(plan_.makespan.seconds()));
+  return Status::Ok();
+}
+
+}  // namespace dagperf

@@ -1,0 +1,54 @@
+#ifndef DAGPERF_MODEL_PROGRESS_H_
+#define DAGPERF_MODEL_PROGRESS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/state_estimator.h"
+
+namespace dagperf {
+
+/// Online progress indication for a running DAG workflow — the ParaTimer
+/// use-case the paper cites (§I: "progress estimation"), driven by the
+/// state-based execution-plan estimate instead of a critical-path heuristic.
+///
+/// Given the estimated plan of a workflow, the indicator answers, at any
+/// elapsed wall-clock time: how complete is the workflow, what is running,
+/// and how long until it finishes. It can also re-anchor the estimate on an
+/// observed stage completion, linearly rescaling the remaining plan — the
+/// cheap online correction a progress bar needs between full re-estimates.
+class ProgressIndicator {
+ public:
+  /// The plan must come from StateBasedEstimator::Estimate for the same
+  /// workflow whose progress is being tracked.
+  explicit ProgressIndicator(DagEstimate plan);
+
+  /// Fraction of the predicted makespan already elapsed, in [0, 1].
+  double CompletionAt(Duration elapsed) const;
+
+  /// Predicted time remaining at `elapsed` (zero once past the makespan).
+  Duration RemainingAt(Duration elapsed) const;
+
+  /// The workflow state predicted to be active at `elapsed`; NotFound once
+  /// the workflow is predicted complete.
+  Result<StateEstimate> StateAt(Duration elapsed) const;
+
+  /// Stages predicted to be running at `elapsed` (empty once complete).
+  std::vector<RunningStageEstimate> RunningAt(Duration elapsed) const;
+
+  /// Re-anchors the plan on an observation: stage (job, kind) actually
+  /// completed at `observed_end`. The remaining plan is shifted and scaled
+  /// by observed_end / predicted_end so downstream predictions absorb the
+  /// drift. Returns FailedPrecondition if the stage is not in the plan or
+  /// the observation is non-positive.
+  Status ObserveStageCompletion(JobId job, StageKind kind, Duration observed_end);
+
+  const DagEstimate& plan() const { return plan_; }
+
+ private:
+  DagEstimate plan_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_MODEL_PROGRESS_H_

@@ -1,0 +1,327 @@
+#include "model/state_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace dagperf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+
+/// One in-flight wave of tasks: `size` tasks that started together and have
+/// completed `frac` of their duration.
+struct Wave {
+  double size = 0.0;
+  double frac = 0.0;
+  /// Whether this wave contains the stage's final tasks (it pays the
+  /// straggler tail under Alg2).
+  bool is_last = false;
+};
+
+/// Per-stage progress bookkeeping inside the estimator's state machine.
+struct StageEst {
+  const StageProfile* profile = nullptr;
+  bool ready = false;
+  bool complete = false;
+  /// Tasks not yet granted a container.
+  double not_started = 0.0;
+  /// Concurrently running waves (discrete model only; empty under kFluid,
+  /// which treats progress as a continuous pool in `not_started`).
+  std::vector<Wave> waves;
+  double start_time = -1.0;
+  double end_time = 0.0;
+
+  double TasksOutstanding() const {
+    double total = not_started;
+    for (const auto& w : waves) total += w.size;
+    return total;
+  }
+};
+
+struct JobEst {
+  int unfinished_parents = 0;
+  StageEst map;
+  StageEst reduce;
+  bool has_reduce = false;
+  bool done = false;
+};
+
+/// Expected duration of a wave. Only the stage's FINAL wave pays the
+/// straggler tail (expected max of the draws): mid-stage stragglers overlap
+/// the next wave, so slots stay busy and the stage drains at the mean task
+/// rate — the classic makespan approximation
+///   S ~= (N - Delta)/Delta * mu + E[max of Delta].
+double WaveTime(const NormalParams& dist, double wave_tasks, bool skew_aware,
+                bool is_last_wave) {
+  if (!skew_aware || !is_last_wave || dist.stddev <= 0 || wave_tasks <= 1.0) {
+    return dist.mean;
+  }
+  const int n = static_cast<int>(std::lround(std::ceil(wave_tasks)));
+  return ExpectedMaxOfNormal(dist.mean, dist.stddev, n);
+}
+
+/// Advances the stage through its wave schedule at parallelism `delta` for
+/// at most `dt_limit` seconds (infinity = run to completion). Returns the
+/// simulated time consumed. Mutates `st`.
+double StepStage(StageEst& st, int delta, const NormalParams& dist,
+                 const EstimatorOptions& options, double dt_limit) {
+  if (delta <= 0) return dt_limit;
+  const bool skew = options.skew_aware;
+
+  if (options.wave_model == EstimatorOptions::WaveModel::kFluid) {
+    // Continuous pool at the mean rate, plus the terminal tail once.
+    const double rate = delta / std::max(dist.mean, 1e-12);
+    double tail = 0.0;
+    if (skew) {
+      tail = WaveTime(dist, std::min<double>(delta, st.not_started), skew, true) -
+             dist.mean;
+    }
+    const double to_finish = st.not_started / rate + tail;
+    if (to_finish <= dt_limit + kEps) {
+      st.not_started = 0.0;
+      return to_finish;
+    }
+    st.not_started = std::max(0.0, st.not_started - dt_limit * rate);
+    return dt_limit;
+  }
+
+  // Discrete waves. A parallelism drop (competitor arrival + preemption)
+  // re-queues the newest waves' excess tasks.
+  double active = 0.0;
+  for (const auto& w : st.waves) active += w.size;
+  while (active > delta + kEps && !st.waves.empty()) {
+    Wave& newest = st.waves.back();
+    const double excess = std::min(newest.size, active - delta);
+    newest.size -= excess;
+    st.not_started += excess;
+    active -= excess;
+    if (newest.size <= kEps) st.waves.pop_back();
+  }
+
+  double elapsed = 0.0;
+  int guard = 0;
+  while (elapsed < dt_limit - kEps &&
+         (st.not_started > kEps || !st.waves.empty())) {
+    DAGPERF_CHECK_MSG(++guard < 1000000, "wave stepping did not terminate");
+    // Fill idle slots with new waves.
+    active = 0.0;
+    for (const auto& w : st.waves) active += w.size;
+    if (st.not_started > kEps && active < delta - kEps) {
+      Wave wave;
+      wave.size = std::min(st.not_started, delta - active);
+      st.not_started -= wave.size;
+      wave.is_last = st.not_started <= kEps;
+      st.waves.push_back(wave);
+      continue;
+    }
+    // Next wave completion.
+    double next = kInf;
+    for (const auto& w : st.waves) {
+      const double t = WaveTime(dist, w.size, skew, w.is_last);
+      next = std::min(next, t * (1.0 - w.frac));
+    }
+    if (next == kInf) break;  // No waves and nothing startable.
+    const double step = std::min(next, dt_limit - elapsed);
+    for (auto& w : st.waves) {
+      const double t = WaveTime(dist, w.size, skew, w.is_last);
+      w.frac += step / std::max(t, 1e-12);
+    }
+    elapsed += step;
+    st.waves.erase(std::remove_if(st.waves.begin(), st.waves.end(),
+                                  [](const Wave& w) { return w.frac >= 1.0 - kEps; }),
+                   st.waves.end());
+  }
+  return elapsed;
+}
+
+/// Remaining time of a stage at parallelism `delta` (does not mutate).
+double RestTime(const StageEst& st, int delta, const NormalParams& dist,
+                const EstimatorOptions& options) {
+  if (st.TasksOutstanding() <= kEps) return 0.0;
+  if (delta <= 0) return kInf;
+  StageEst copy = st;
+  return StepStage(copy, delta, dist, options, kInf);
+}
+
+}  // namespace
+
+Result<StageSpanEstimate> DagEstimate::FindStage(JobId job, StageKind kind) const {
+  for (const auto& s : stages) {
+    if (s.job == job && s.kind == kind) return s;
+  }
+  return Status::NotFound("stage not found in estimate");
+}
+
+StateBasedEstimator::StateBasedEstimator(const ClusterSpec& cluster,
+                                         const SchedulerConfig& scheduler,
+                                         EstimatorOptions options)
+    : cluster_(cluster), allocator_(cluster, scheduler), options_(options) {
+  DAGPERF_CHECK(cluster_.Validate().ok());
+}
+
+Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
+                                                  const TaskTimeSource& source) const {
+  const int n = flow.num_jobs();
+  std::vector<JobEst> jobs(n);
+  int unfinished = n;
+  for (JobId id = 0; id < n; ++id) {
+    const JobProfile& profile = flow.job(id);
+    jobs[id].unfinished_parents = static_cast<int>(flow.parents(id).size());
+    jobs[id].has_reduce = profile.has_reduce();
+    jobs[id].map.profile = &profile.map;
+    jobs[id].map.not_started = profile.map.num_tasks;
+    if (profile.has_reduce()) {
+      jobs[id].reduce.profile = &*profile.reduce;
+      jobs[id].reduce.not_started = profile.reduce->num_tasks;
+    }
+  }
+  for (JobId id : flow.Sources()) jobs[id].map.ready = true;
+
+  DagEstimate estimate;
+  double now = 0.0;
+  int state_index = 1;
+
+  const auto stage_of = [&](JobId id, StageKind kind) -> StageEst& {
+    return kind == StageKind::kMap ? jobs[id].map : jobs[id].reduce;
+  };
+
+  while (unfinished > 0) {
+    if (state_index > options_.max_states) {
+      return Status::Internal(flow.name() + ": state limit exceeded");
+    }
+
+    // (1) The set of running stages in this state.
+    struct Running {
+      JobId job;
+      StageKind kind;
+    };
+    std::vector<Running> running;
+    for (JobId id = 0; id < n; ++id) {
+      for (StageKind kind : {StageKind::kMap, StageKind::kReduce}) {
+        if (kind == StageKind::kReduce && !jobs[id].has_reduce) continue;
+        StageEst& st = stage_of(id, kind);
+        if (st.ready && !st.complete && st.TasksOutstanding() > kEps) {
+          running.push_back({id, kind});
+        }
+      }
+    }
+    if (running.empty()) {
+      return Status::Internal(flow.name() + ": no runnable stage but jobs remain");
+    }
+
+    // (2) Degree of parallelism per running stage (DRF).
+    std::vector<StageDemand> demands;
+    demands.reserve(running.size());
+    for (const auto& r : running) {
+      StageDemand d;
+      d.slot = stage_of(r.job, r.kind).profile->slot;
+      d.remaining_tasks = static_cast<int>(
+          std::ceil(stage_of(r.job, r.kind).TasksOutstanding() - kEps));
+      demands.push_back(d);
+    }
+    const std::vector<int> delta = allocator_.Allocate(demands);
+
+    // (3) Task times under this state's contention (BOE or profile).
+    EstimationContext context;
+    std::vector<size_t> context_slot(running.size(), SIZE_MAX);
+    for (size_t i = 0; i < running.size(); ++i) {
+      if (delta[i] <= 0) continue;
+      ParallelStage ps;
+      ps.stage = stage_of(running[i].job, running[i].kind).profile;
+      ps.tasks_per_node = static_cast<double>(delta[i]) / cluster_.num_nodes;
+      context_slot[i] = context.running.size();
+      context.running.push_back(ps);
+    }
+    std::vector<NormalParams> dists(running.size());
+    for (size_t i = 0; i < running.size(); ++i) {
+      if (context_slot[i] == SIZE_MAX) continue;
+      context.query = context_slot[i];
+      dists[i] = source.TaskTimeDist(context);
+      if (!options_.skew_aware) {
+        // Point estimate drives the wave model when skew-unaware.
+        dists[i].mean = source.TaskTime(context).seconds();
+        dists[i].stddev = 0.0;
+      }
+      if (options_.node_speed_cv > 0) {
+        // A task's duration scales with 1/speed of its host. For log-normal
+        // speed with mean 1 and coefficient of variation cv:
+        //   E[1/speed] = 1 + cv^2 and CV[1/speed] = cv,
+        // so the mean inflates and node variance joins the tail dispersion.
+        const double cv = options_.node_speed_cv;
+        const double slowdown = 1.0 + cv * cv;
+        const double node_sd = dists[i].mean * slowdown * cv;
+        dists[i].mean *= slowdown;
+        dists[i].stddev =
+            std::sqrt(dists[i].stddev * dists[i].stddev * slowdown * slowdown +
+                      node_sd * node_sd);
+      }
+      // Stage start is when it first receives containers.
+      StageEst& st = stage_of(running[i].job, running[i].kind);
+      if (st.start_time < 0) st.start_time = now;
+    }
+
+    // (4) Earliest stage completion.
+    double dt = kInf;
+    for (size_t i = 0; i < running.size(); ++i) {
+      StageEst& st = stage_of(running[i].job, running[i].kind);
+      const double rest = RestTime(st, delta[i], dists[i], options_);
+      dt = std::min(dt, rest);
+    }
+    if (dt == kInf) {
+      return Status::Internal(flow.name() + ": no stage can make progress");
+    }
+    dt = std::max(dt, 0.0);
+
+    // Record the state.
+    StateEstimate state;
+    state.index = state_index++;
+    state.start = now;
+    state.duration = dt;
+    for (size_t i = 0; i < running.size(); ++i) {
+      RunningStageEstimate rse;
+      rse.job = running[i].job;
+      rse.kind = running[i].kind;
+      rse.parallelism = delta[i];
+      rse.task_time_s = dists[i].mean;
+      state.running.push_back(rse);
+    }
+    estimate.states.push_back(std::move(state));
+
+    // (5) Advance everyone and transition.
+    now += dt;
+    for (size_t i = 0; i < running.size(); ++i) {
+      StageEst& st = stage_of(running[i].job, running[i].kind);
+      StepStage(st, delta[i], dists[i], options_, dt);
+    }
+    for (size_t i = 0; i < running.size(); ++i) {
+      StageEst& st = stage_of(running[i].job, running[i].kind);
+      if (st.complete || st.TasksOutstanding() > kEps) continue;
+      st.complete = true;
+      st.end_time = now;
+      estimate.stages.push_back(
+          {running[i].job, running[i].kind, st.start_time, st.end_time});
+      if (running[i].kind == StageKind::kMap && jobs[running[i].job].has_reduce) {
+        jobs[running[i].job].reduce.ready = true;
+      } else {
+        jobs[running[i].job].done = true;
+        --unfinished;
+        for (JobId child : flow.children(running[i].job)) {
+          if (--jobs[child].unfinished_parents == 0) {
+            jobs[child].map.ready = true;
+          }
+        }
+      }
+    }
+  }
+
+  estimate.makespan = Duration(now);
+  return estimate;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,101 @@
+#ifndef DAGPERF_MODEL_STATE_ESTIMATOR_H_
+#define DAGPERF_MODEL_STATE_ESTIMATOR_H_
+
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+#include "model/task_time_source.h"
+#include "scheduler/drf.h"
+
+namespace dagperf {
+
+/// Options of the state-based workflow estimator.
+struct EstimatorOptions {
+  /// How a stage's remaining time is derived from its task time.
+  enum class WaveModel {
+    /// Continuous approximation: completion rate Delta / t_task.
+    kFluid,
+    /// Wave-quantised: ceil(remaining / Delta) waves, each lasting one task
+    /// time (the execution pattern of a real slot-scheduled stage).
+    kDiscrete,
+  };
+
+  WaveModel wave_model = WaveModel::kDiscrete;
+
+  /// Alg2-Normal: model task times as a normal distribution and estimate
+  /// each wave's makespan as the expected maximum of Delta draws
+  /// (skew-aware estimation, §V-C's "Normal" rows).
+  bool skew_aware = false;
+
+  /// Heterogeneity correction (beyond the paper, see bench_ablation A5):
+  /// when the fleet's per-node speed has this coefficient of variation
+  /// (log-normal, mean 1), a task's expected duration inflates by
+  /// E[1/speed] = 1 + cv^2 and node variance adds to the straggler-tail
+  /// dispersion. 0 = the paper's homogeneous assumption.
+  double node_speed_cv = 0.0;
+
+  /// Safety bound on state iterations.
+  int max_states = 1000000;
+};
+
+/// One running stage inside an estimated workflow state.
+struct RunningStageEstimate {
+  JobId job = 0;
+  StageKind kind = StageKind::kMap;
+  /// Cluster-wide degree of parallelism granted by the scheduler model.
+  int parallelism = 0;
+  /// Estimated per-task execution time under this state's contention.
+  double task_time_s = 0.0;
+};
+
+/// One estimated workflow state (paper Fig. 5 / Algorithm 1 iteration).
+struct StateEstimate {
+  int index = 0;
+  double start = 0.0;
+  double duration = 0.0;
+  std::vector<RunningStageEstimate> running;
+};
+
+/// Estimated wall-clock span of one job stage.
+struct StageSpanEstimate {
+  JobId job = 0;
+  StageKind kind = StageKind::kMap;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// The estimator's output: the predicted execution plan of the workflow.
+struct DagEstimate {
+  Duration makespan;
+  std::vector<StateEstimate> states;
+  std::vector<StageSpanEstimate> stages;
+
+  Result<StageSpanEstimate> FindStage(JobId job, StageKind kind) const;
+};
+
+/// State-based cost estimation for a DAG workflow (paper §IV, Algorithm 1).
+///
+/// Iteratively: (1) determine the set of running stages, (2) estimate each
+/// stage's degree of parallelism with the DRF scheduler model, (3) estimate
+/// task times under the state's contention via the supplied TaskTimeSource,
+/// (4) advance to the earliest stage completion, (5) transition the workflow
+/// state. The workflow estimate is the sum of state durations.
+class StateBasedEstimator {
+ public:
+  StateBasedEstimator(const ClusterSpec& cluster, const SchedulerConfig& scheduler,
+                      EstimatorOptions options = {});
+
+  Result<DagEstimate> Estimate(const DagWorkflow& flow,
+                               const TaskTimeSource& source) const;
+
+ private:
+  ClusterSpec cluster_;
+  DrfAllocator allocator_;
+  EstimatorOptions options_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_MODEL_STATE_ESTIMATOR_H_

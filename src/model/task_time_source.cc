@@ -1,0 +1,188 @@
+#include "model/task_time_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace dagperf {
+
+NormalParams TaskTimeSource::TaskTimeDist(const EstimationContext& context) const {
+  const double mean = TaskTime(context).seconds();
+  DAGPERF_CHECK(context.query < context.running.size());
+  const double cv = context.running[context.query].stage->task_size_cv;
+  return {mean, mean * cv};
+}
+
+BoeTaskTimeSource::BoeTaskTimeSource(const BoeModel& model, Duration fixed_overhead)
+    : model_(model), fixed_overhead_(fixed_overhead) {}
+
+Duration BoeTaskTimeSource::TaskTime(const EstimationContext& context) const {
+  DAGPERF_CHECK(context.query < context.running.size());
+  const std::vector<TaskEstimate> estimates = model_.EstimateParallel(context.running);
+  return estimates[context.query].duration + fixed_overhead_;
+}
+
+ProfileTaskTimeSource::ProfileTaskTimeSource(ProfileStatistic statistic)
+    : statistic_(statistic) {}
+
+void ProfileTaskTimeSource::AddProfile(const std::string& stage_name,
+                                       std::vector<double> durations) {
+  DAGPERF_CHECK_MSG(!durations.empty(), "empty profile sample");
+  const SampleStats stats = ComputeStats(durations);
+  profiles_[stage_name] = Entry{stats.mean, stats.median, stats.stddev};
+}
+
+void ProfileTaskTimeSource::AddContextProfile(
+    const std::vector<std::string>& running, const std::string& stage_name,
+    std::vector<double> durations) {
+  DAGPERF_CHECK_MSG(!durations.empty(), "empty context profile sample");
+  std::vector<std::string> sorted = running;
+  std::sort(sorted.begin(), sorted.end());
+  std::string signature;
+  for (const auto& name : sorted) {
+    signature += name;
+    signature += '|';
+  }
+  const SampleStats stats = ComputeStats(durations);
+  context_profiles_[{signature, stage_name}] =
+      Entry{stats.mean, stats.median, stats.stddev};
+}
+
+std::string ProfileTaskTimeSource::Signature(const EstimationContext& context) {
+  std::vector<std::string> names;
+  names.reserve(context.running.size());
+  for (const auto& ps : context.running) names.push_back(ps.stage->name);
+  std::sort(names.begin(), names.end());
+  std::string signature;
+  for (const auto& name : names) {
+    signature += name;
+    signature += '|';
+  }
+  return signature;
+}
+
+namespace {
+
+/// Pooled within-wave standard deviation: tasks dispatched at the same
+/// instant (wave-mates) run under identical contention, so their dispersion
+/// is the skew component Alg2-Normal should model. The raw sample stddev
+/// also absorbs cross-state contention shifts, which would wrongly inflate
+/// every wave-max estimate.
+double WithinWaveStddev(const std::vector<TaskRecord>& tasks, JobId job,
+                        StageKind stage) {
+  std::map<long long, std::pair<double, std::vector<double>>> groups;
+  for (const auto& t : tasks) {
+    if (t.job != job || t.stage != stage) continue;
+    const long long key = llround(t.start * 100.0);  // 10 ms start buckets.
+    groups[key].second.push_back(t.duration());
+  }
+  double ss = 0.0;
+  size_t n = 0;
+  for (auto& [key, group] : groups) {
+    const std::vector<double>& durations = group.second;
+    double mean = 0.0;
+    for (double d : durations) mean += d;
+    mean /= static_cast<double>(durations.size());
+    for (double d : durations) ss += (d - mean) * (d - mean);
+    n += durations.size();
+  }
+  return n > 0 ? std::sqrt(ss / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace
+
+Result<ProfileTaskTimeSource> ProfileTaskTimeSource::FromSimulation(
+    const DagWorkflow& flow, const SimResult& result, ProfileStatistic statistic) {
+  ProfileTaskTimeSource source(statistic);
+  for (JobId id = 0; id < flow.num_jobs(); ++id) {
+    const JobProfile& job = flow.job(id);
+    const std::vector<double> map_durations = result.TaskDurations(id, StageKind::kMap);
+    if (map_durations.empty()) {
+      return Status::FailedPrecondition(job.map.name + ": no profiled map tasks");
+    }
+    source.AddProfile(job.map.name, map_durations);
+    source.profiles_[job.map.name].stddev =
+        WithinWaveStddev(result.tasks(), id, StageKind::kMap);
+    if (job.has_reduce()) {
+      const std::vector<double> reduce_durations =
+          result.TaskDurations(id, StageKind::kReduce);
+      if (reduce_durations.empty()) {
+        return Status::FailedPrecondition(job.reduce->name +
+                                          ": no profiled reduce tasks");
+      }
+      source.AddProfile(job.reduce->name, reduce_durations);
+      source.profiles_[job.reduce->name].stddev =
+          WithinWaveStddev(result.tasks(), id, StageKind::kReduce);
+    }
+  }
+
+  // Contention buckets: durations of tasks attributed to each workflow
+  // state, keyed by the names of the stages running in that state. States
+  // with the same running set pool their samples.
+  const auto stage_name = [&flow](JobId id, StageKind kind) -> const std::string& {
+    return kind == StageKind::kMap ? flow.job(id).map.name
+                                   : flow.job(id).reduce->name;
+  };
+  std::map<std::pair<std::string, std::string>, std::vector<double>> buckets;
+  for (const auto& state : result.states()) {
+    std::vector<std::string> running;
+    running.reserve(state.running.size());
+    for (const auto& [id, kind] : state.running) running.push_back(stage_name(id, kind));
+    std::sort(running.begin(), running.end());
+    std::string signature;
+    for (const auto& name : running) {
+      signature += name;
+      signature += '|';
+    }
+    for (const auto& [id, kind] : state.running) {
+      const std::vector<double> durations =
+          result.TaskDurationsInState(id, kind, state.index);
+      if (durations.empty()) continue;
+      auto& bucket = buckets[{signature, stage_name(id, kind)}];
+      bucket.insert(bucket.end(), durations.begin(), durations.end());
+    }
+  }
+  for (auto& [key, durations] : buckets) {
+    const SampleStats stats = ComputeStats(durations);
+    Entry entry{stats.mean, stats.median, stats.stddev};
+    // The contention bucket pins the level; the spread still comes from the
+    // stage's within-wave skew, rescaled to the bucket's mean.
+    const auto global = source.profiles_.find(key.second);
+    if (global != source.profiles_.end() && global->second.mean > 0) {
+      entry.stddev = global->second.stddev * stats.mean / global->second.mean;
+    }
+    source.context_profiles_[key] = entry;
+  }
+  return source;
+}
+
+bool ProfileTaskTimeSource::HasProfile(const std::string& stage_name) const {
+  return profiles_.count(stage_name) > 0;
+}
+
+const ProfileTaskTimeSource::Entry& ProfileTaskTimeSource::Lookup(
+    const EstimationContext& context) const {
+  DAGPERF_CHECK(context.query < context.running.size());
+  const std::string& name = context.running[context.query].stage->name;
+  const auto ctx_it = context_profiles_.find({Signature(context), name});
+  if (ctx_it != context_profiles_.end()) return ctx_it->second;
+  auto it = profiles_.find(name);
+  DAGPERF_CHECK_MSG(it != profiles_.end(), name.c_str());
+  return it->second;
+}
+
+Duration ProfileTaskTimeSource::TaskTime(const EstimationContext& context) const {
+  const Entry& entry = Lookup(context);
+  return Duration(statistic_ == ProfileStatistic::kMean ? entry.mean : entry.median);
+}
+
+NormalParams ProfileTaskTimeSource::TaskTimeDist(
+    const EstimationContext& context) const {
+  const Entry& entry = Lookup(context);
+  return {entry.mean, entry.stddev};
+}
+
+}  // namespace dagperf

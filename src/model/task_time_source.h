@@ -1,0 +1,126 @@
+#ifndef DAGPERF_MODEL_TASK_TIME_SOURCE_H_
+#define DAGPERF_MODEL_TASK_TIME_SOURCE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boe/boe_model.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "dag/dag_workflow.h"
+#include "sim/sim_result.h"
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+/// Parameters of a normal task-time distribution (Alg2-Normal input).
+struct NormalParams {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// The concurrent execution context a task-time query refers to: every stage
+/// running in the current workflow state with its per-node task population.
+/// `query` indexes the stage being asked about.
+struct EstimationContext {
+  std::vector<ParallelStage> running;
+  size_t query = 0;
+};
+
+/// Supplies per-task execution-time estimates to the state-based workflow
+/// estimator. Two families exist, matching the paper's methodology:
+///
+///  * BoeTaskTimeSource — the full analytical model (BOE), used when no
+///    profile of the target execution exists (Figs. 4/6, Table II).
+///  * ProfileTaskTimeSource — statistics of profiled task durations captured
+///    at the same degree of parallelism, used in §V-C / Table III to isolate
+///    the state-based machinery's error from task-level model error.
+class TaskTimeSource {
+ public:
+  virtual ~TaskTimeSource() = default;
+
+  /// Point estimate of one task's duration in the given context.
+  virtual Duration TaskTime(const EstimationContext& context) const = 0;
+
+  /// Distribution estimate for skew-aware (Alg2) wave makespans. The default
+  /// derives the spread from the stage's task-size CV around TaskTime().
+  virtual NormalParams TaskTimeDist(const EstimationContext& context) const;
+};
+
+/// Task times computed by the BOE model from stage profiles and the current
+/// contention context.
+class BoeTaskTimeSource : public TaskTimeSource {
+ public:
+  /// `fixed_overhead` is added to every task (container startup cost — a
+  /// constant any profiling pass measures trivially).
+  explicit BoeTaskTimeSource(const BoeModel& model,
+                             Duration fixed_overhead = Duration(0));
+
+  Duration TaskTime(const EstimationContext& context) const override;
+
+ private:
+  const BoeModel& model_;
+  Duration fixed_overhead_;
+};
+
+/// Which statistic of the profiled sample a point query returns.
+enum class ProfileStatistic { kMean, kMedian };
+
+/// Task times looked up from a profile of observed durations, keyed by stage
+/// name. Queries for unknown stages abort: the estimator must only be run on
+/// workflows the profile covers.
+///
+/// Profiles are *contention-matched* when built via FromSimulation (the
+/// paper's §V-C methodology: "task execution time profiles with the
+/// identical degree of parallelism for each stage"): task durations are
+/// additionally bucketed by the set of stages that were running when the
+/// task executed, and a query is answered from the bucket matching its
+/// EstimationContext, falling back to the stage's global statistics when no
+/// matching bucket exists.
+class ProfileTaskTimeSource : public TaskTimeSource {
+ public:
+  explicit ProfileTaskTimeSource(ProfileStatistic statistic);
+
+  /// Records a sample of observed task durations for `stage_name` (global
+  /// bucket).
+  void AddProfile(const std::string& stage_name, std::vector<double> durations);
+
+  /// Records durations observed while exactly `running` (sorted stage
+  /// names) were executing.
+  void AddContextProfile(const std::vector<std::string>& running,
+                         const std::string& stage_name,
+                         std::vector<double> durations);
+
+  /// Profiles every stage of `flow` from a simulated (or otherwise
+  /// measured) execution, with per-state contention buckets.
+  static Result<ProfileTaskTimeSource> FromSimulation(const DagWorkflow& flow,
+                                                      const SimResult& result,
+                                                      ProfileStatistic statistic);
+
+  Duration TaskTime(const EstimationContext& context) const override;
+  NormalParams TaskTimeDist(const EstimationContext& context) const override;
+
+  bool HasProfile(const std::string& stage_name) const;
+
+ private:
+  struct Entry {
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;
+  };
+  /// Best entry for the query: contention-matched bucket if present,
+  /// otherwise the stage's global statistics.
+  const Entry& Lookup(const EstimationContext& context) const;
+  static std::string Signature(const EstimationContext& context);
+
+  ProfileStatistic statistic_;
+  std::map<std::string, Entry> profiles_;
+  /// (running-set signature, stage name) -> stats.
+  std::map<std::pair<std::string, std::string>, Entry> context_profiles_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_MODEL_TASK_TIME_SOURCE_H_

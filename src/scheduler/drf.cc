@@ -1,0 +1,78 @@
+#include "scheduler/drf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dagperf {
+
+DrfAllocator::DrfAllocator(const ClusterSpec& cluster, const SchedulerConfig& config) {
+  DAGPERF_CHECK(cluster.Validate().ok());
+  DAGPERF_CHECK(config.vcores_per_core > 0);
+  DAGPERF_CHECK(config.max_tasks_per_node >= 0);
+  num_nodes_ = cluster.num_nodes;
+  node_vcores_ = cluster.node.cores * config.vcores_per_core;
+  node_memory_ = cluster.node.memory.value();
+  total_vcores_ = node_vcores_ * num_nodes_;
+  total_memory_ = node_memory_ * num_nodes_;
+  max_tasks_per_node_ = config.max_tasks_per_node;
+}
+
+int DrfAllocator::NodeSlots(const SlotDemand& demand) const {
+  DAGPERF_CHECK(demand.vcores > 0 && demand.memory.value() > 0);
+  const double by_vcores = node_vcores_ / demand.vcores;
+  const double by_memory = node_memory_ / demand.memory.value();
+  int slots = static_cast<int>(std::floor(std::min(by_vcores, by_memory)));
+  if (max_tasks_per_node_ > 0) slots = std::min(slots, max_tasks_per_node_);
+  return std::max(0, slots);
+}
+
+int DrfAllocator::ClusterSlots(const SlotDemand& demand) const {
+  return NodeSlots(demand) * num_nodes_;
+}
+
+std::vector<int> DrfAllocator::Allocate(const std::vector<StageDemand>& stages) const {
+  const size_t n = stages.size();
+  std::vector<int> granted(n, 0);
+  if (n == 0) return granted;
+
+  double used_vcores = 0;
+  double used_memory = 0;
+  int used_tasks = 0;
+  const int task_cap = max_tasks_per_node_ > 0
+                           ? max_tasks_per_node_ * num_nodes_
+                           : std::numeric_limits<int>::max();
+
+  // Grant one container at a time to the stage with the minimum dominant
+  // share. Identical container shapes make this equal division; different
+  // shapes reproduce DRF's dominant-share equalisation.
+  while (true) {
+    int best = -1;
+    double best_share = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      const auto& st = stages[i];
+      if (granted[i] >= st.remaining_tasks) continue;
+      DAGPERF_CHECK(st.slot.vcores > 0 && st.slot.memory.value() > 0);
+      if (used_vcores + st.slot.vcores > total_vcores_ + 1e-9) continue;
+      if (used_memory + st.slot.memory.value() > total_memory_ + 1e-9) continue;
+      if (used_tasks + 1 > task_cap) continue;
+      const double share =
+          std::max(granted[i] * st.slot.vcores / total_vcores_,
+                   granted[i] * st.slot.memory.value() / total_memory_);
+      if (share < best_share) {
+        best_share = share;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    granted[best] += 1;
+    used_vcores += stages[best].slot.vcores;
+    used_memory += stages[best].slot.memory.value();
+    used_tasks += 1;
+  }
+  return granted;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,66 @@
+#ifndef DAGPERF_SCHEDULER_DRF_H_
+#define DAGPERF_SCHEDULER_DRF_H_
+
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "cluster/resources.h"
+
+namespace dagperf {
+
+/// Scheduling configuration of the (YARN-like) resource manager.
+struct SchedulerConfig {
+  /// vcores advertised per physical core. YARN deployments routinely
+  /// over-subscribe CPU; the paper's experiments reach 12 concurrent tasks
+  /// on 6-core nodes, i.e. a factor of 2.
+  double vcores_per_core = 2.0;
+
+  /// Optional hard cap on concurrent tasks per node (classic MapReduce slot
+  /// count). 0 means "no explicit cap" — only vcores/memory limit
+  /// concurrency. The Fig. 6 parallelism sweep sets this to the swept value.
+  int max_tasks_per_node = 0;
+};
+
+/// One stage's outstanding demand as seen by the scheduler.
+struct StageDemand {
+  SlotDemand slot;
+  /// Tasks of this stage still wanting a container (pending + would-run).
+  int remaining_tasks = 0;
+};
+
+/// Dominant Resource Fairness allocation (Ghodsi et al., NSDI'11) over
+/// <vcores, memory>, the policy YARN's fair scheduler implements and the one
+/// the paper assumes (§II-B).
+///
+/// Given the aggregate cluster capacity and each stage's per-task demand and
+/// task backlog, returns the number of concurrently running tasks each stage
+/// receives: containers are granted one at a time to the stage with the
+/// smallest dominant share until capacity, per-node caps, or backlogs are
+/// exhausted.
+class DrfAllocator {
+ public:
+  DrfAllocator(const ClusterSpec& cluster, const SchedulerConfig& config);
+
+  /// Allocates containers among the given stages. The result has one entry
+  /// per input stage; entries are in [0, remaining_tasks].
+  std::vector<int> Allocate(const std::vector<StageDemand>& stages) const;
+
+  /// Max concurrent tasks of a single uniform stage (the cluster-wide slot
+  /// count for that container shape).
+  int ClusterSlots(const SlotDemand& demand) const;
+
+  /// Max concurrent tasks of the given shape on one node.
+  int NodeSlots(const SlotDemand& demand) const;
+
+ private:
+  double total_vcores_;
+  double total_memory_;
+  double node_vcores_;
+  double node_memory_;
+  int num_nodes_;
+  int max_tasks_per_node_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_SCHEDULER_DRF_H_

@@ -1,0 +1,115 @@
+#include "sim/sim_result.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dagperf {
+
+SimResult::SimResult(std::vector<TaskRecord> tasks, std::vector<StageRecord> stages,
+                     double makespan, std::vector<UsageSegment> usage,
+                     ResourceVector cluster_capacity)
+    : tasks_(std::move(tasks)),
+      stages_(std::move(stages)),
+      usage_(std::move(usage)),
+      cluster_capacity_(cluster_capacity),
+      makespan_(makespan) {
+  // Derive the state timeline from stage boundaries.
+  std::set<double> boundaries;
+  for (const auto& s : stages_) {
+    boundaries.insert(s.start);
+    boundaries.insert(s.end);
+  }
+  std::vector<double> times(boundaries.begin(), boundaries.end());
+  int index = 1;
+  for (size_t i = 0; i + 1 < times.size(); ++i) {
+    const double lo = times[i];
+    const double hi = times[i + 1];
+    if (hi - lo < 1e-12) continue;
+    StateRecord state;
+    state.index = index++;
+    state.start = lo;
+    state.end = hi;
+    const double mid = 0.5 * (lo + hi);
+    for (const auto& s : stages_) {
+      if (s.start <= mid && mid < s.end) state.running.emplace_back(s.job, s.stage);
+    }
+    std::sort(state.running.begin(), state.running.end());
+    states_.push_back(std::move(state));
+  }
+}
+
+std::vector<double> SimResult::TaskDurations(JobId job, StageKind stage) const {
+  std::vector<double> out;
+  for (const auto& t : tasks_) {
+    if (t.job == job && t.stage == stage) out.push_back(t.duration());
+  }
+  return out;
+}
+
+std::vector<double> SimResult::TaskDurationsInState(JobId job, StageKind stage,
+                                                    int state_index) const {
+  std::vector<double> contained;
+  std::vector<double> by_start;
+  for (const auto& st : states_) {
+    if (st.index != state_index) continue;
+    for (const auto& t : tasks_) {
+      if (t.job != job || t.stage != stage) continue;
+      if (t.start >= st.start - 1e-9 && t.end <= st.end + 1e-9) {
+        contained.push_back(t.duration());
+      }
+      if (t.start >= st.start - 1e-9 && t.start < st.end - 1e-9) {
+        by_start.push_back(t.duration());
+      }
+    }
+  }
+  // Contained tasks are the cleanest sample, but when the state is shorter
+  // than a typical task only unrepresentatively quick tasks fit inside it.
+  // The fallback attributes tasks to the state they LAUNCHED in — the
+  // contention regime a per-state task-time estimate describes.
+  if (contained.size() >= 3 && contained.size() * 3 >= by_start.size()) {
+    return contained;
+  }
+  return by_start.empty() ? contained : by_start;
+}
+
+Result<StageRecord> SimResult::FindStage(JobId job, StageKind stage) const {
+  for (const auto& s : stages_) {
+    if (s.job == job && s.stage == stage) return s;
+  }
+  return Status::NotFound("stage not found in simulation result");
+}
+
+ResourceVector SimResult::TotalConsumed() const {
+  ResourceVector total;
+  for (const auto& seg : usage_) total = total + seg.consumed;
+  return total;
+}
+
+ResourceVector SimResult::UtilizationBetween(double t0, double t1) const {
+  ResourceVector util;
+  const double window = t1 - t0;
+  if (window <= 0) return util;
+  ResourceVector consumed;
+  for (const auto& seg : usage_) {
+    const double lo = std::max(seg.start, t0);
+    const double hi = std::min(seg.end, t1);
+    if (hi <= lo) continue;
+    const double seg_len = seg.end - seg.start;
+    if (seg_len <= 0) continue;
+    consumed = consumed + seg.consumed * ((hi - lo) / seg_len);
+  }
+  for (Resource r : kAllResources) {
+    const double cap = cluster_capacity_[r];
+    util[r] = cap > 0 ? consumed[r] / (cap * window) : 0.0;
+  }
+  return util;
+}
+
+ResourceVector SimResult::UtilizationInState(int state_index) const {
+  for (const auto& st : states_) {
+    if (st.index == state_index) return UtilizationBetween(st.start, st.end);
+  }
+  return ResourceVector{};
+}
+
+}  // namespace dagperf

@@ -1,0 +1,113 @@
+#ifndef DAGPERF_SIM_SIM_RESULT_H_
+#define DAGPERF_SIM_SIM_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dag/dag_workflow.h"
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+/// One completed task as observed by the simulator.
+struct TaskRecord {
+  JobId job = 0;
+  StageKind stage = StageKind::kMap;
+  int index = 0;
+  int node = 0;
+  double start = 0.0;  // Seconds since workflow start.
+  double end = 0.0;
+  /// Wall-clock time spent in the fixed startup phase.
+  double startup_s = 0.0;
+  /// Wall-clock time spent in each sub-stage of the stage profile, in
+  /// profile order. Sums with startup_s to duration().
+  std::vector<double> substage_s;
+
+  double duration() const { return end - start; }
+};
+
+/// The wall-clock span of one schedulable stage (map or reduce) of one job.
+struct StageRecord {
+  JobId job = 0;
+  StageKind stage = StageKind::kMap;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// One workflow state (paper §IV-A1): a maximal interval during which the
+/// set of running (job, stage) pairs is constant. States are delimited by
+/// stage start/completion events of any job.
+struct StateRecord {
+  int index = 0;  // 1-based, matching the paper's s1, s2, ...
+  double start = 0.0;
+  double end = 0.0;
+  /// The (job, stage) pairs running during this state.
+  std::vector<std::pair<JobId, StageKind>> running;
+
+  double duration() const { return end - start; }
+};
+
+/// Cluster-wide resource consumption over one interval of simulated time
+/// (units: bytes for I/O resources, core-seconds for CPU).
+struct UsageSegment {
+  double start = 0.0;
+  double end = 0.0;
+  ResourceVector consumed;
+};
+
+/// Ground-truth observables of one simulated workflow execution.
+class SimResult {
+ public:
+  SimResult(std::vector<TaskRecord> tasks, std::vector<StageRecord> stages,
+            double makespan, std::vector<UsageSegment> usage = {},
+            ResourceVector cluster_capacity = {});
+
+  Duration makespan() const { return Duration(makespan_); }
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  const std::vector<StageRecord>& stages() const { return stages_; }
+
+  /// The workflow state timeline derived from stage boundaries. Zero-length
+  /// states (coinciding boundaries) are dropped.
+  const std::vector<StateRecord>& states() const { return states_; }
+
+  /// Durations of all tasks of the given job stage, in completion order.
+  std::vector<double> TaskDurations(JobId job, StageKind stage) const;
+
+  /// Durations of tasks of the given job stage attributed to state
+  /// `state_index` (1-based): tasks that ran entirely within the state, or —
+  /// when the state is shorter than a task — tasks whose midpoint falls in
+  /// it. Boundary stragglers carry the previous state's contention, so
+  /// contained tasks are the cleaner per-state ground truth (Table II).
+  std::vector<double> TaskDurationsInState(JobId job, StageKind stage,
+                                           int state_index) const;
+
+  /// The wall-clock record of a stage; NotFound if the job/stage never ran.
+  Result<StageRecord> FindStage(JobId job, StageKind stage) const;
+
+  /// Raw consumption segments (one per node-settle interval).
+  const std::vector<UsageSegment>& usage() const { return usage_; }
+
+  /// Total resource units consumed over the whole run.
+  ResourceVector TotalConsumed() const;
+
+  /// Mean cluster utilisation of each resource over [t0, t1): consumed
+  /// units divided by capacity * duration. Zero when no usage was recorded
+  /// or the window is empty.
+  ResourceVector UtilizationBetween(double t0, double t1) const;
+
+  /// Mean utilisation during a workflow state (1-based index).
+  ResourceVector UtilizationInState(int state_index) const;
+
+ private:
+  std::vector<TaskRecord> tasks_;
+  std::vector<StageRecord> stages_;
+  std::vector<StateRecord> states_;
+  std::vector<UsageSegment> usage_;
+  ResourceVector cluster_capacity_;
+  double makespan_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_SIM_SIM_RESULT_H_

@@ -1,0 +1,149 @@
+#include "sim/trace_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dagperf {
+
+namespace {
+
+std::string StageName(const DagWorkflow& flow, JobId job, StageKind kind) {
+  return flow.job(job).name + "/" + StageKindName(kind);
+}
+
+/// Minimal JSON string escaping (names are library-generated but may hold
+/// user-supplied job names).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteJson(const DagWorkflow& flow, const SimResult& result, std::ostream& out) {
+  out << "{\n";
+  out << "  \"workflow\": \"" << JsonEscape(flow.name()) << "\",\n";
+  out << "  \"makespan_s\": " << result.makespan().seconds() << ",\n";
+
+  out << "  \"stages\": [\n";
+  for (size_t i = 0; i < result.stages().size(); ++i) {
+    const auto& s = result.stages()[i];
+    out << "    {\"name\": \"" << JsonEscape(StageName(flow, s.job, s.stage))
+        << "\", \"start_s\": " << s.start << ", \"end_s\": " << s.end << "}"
+        << (i + 1 < result.stages().size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"states\": [\n";
+  for (size_t i = 0; i < result.states().size(); ++i) {
+    const auto& st = result.states()[i];
+    out << "    {\"index\": " << st.index << ", \"start_s\": " << st.start
+        << ", \"end_s\": " << st.end << ", \"running\": [";
+    for (size_t r = 0; r < st.running.size(); ++r) {
+      out << "\"" << JsonEscape(StageName(flow, st.running[r].first, st.running[r].second))
+          << "\"" << (r + 1 < st.running.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < result.states().size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"tasks\": [\n";
+  for (size_t i = 0; i < result.tasks().size(); ++i) {
+    const auto& t = result.tasks()[i];
+    out << "    {\"stage\": \"" << JsonEscape(StageName(flow, t.job, t.stage))
+        << "\", \"task\": " << t.index << ", \"node\": " << t.node
+        << ", \"start_s\": " << t.start << ", \"end_s\": " << t.end
+        << ", \"startup_s\": " << t.startup_s << ", \"substages_s\": [";
+    for (size_t s = 0; s < t.substage_s.size(); ++s) {
+      out << t.substage_s[s] << (s + 1 < t.substage_s.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < result.tasks().size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+void WriteTaskCsv(const DagWorkflow& flow, const SimResult& result,
+                  std::ostream& out) {
+  out << "job,stage,task,node,start_s,end_s,duration_s,startup_s\n";
+  for (const auto& t : result.tasks()) {
+    out << flow.job(t.job).name << ',' << StageKindName(t.stage) << ',' << t.index
+        << ',' << t.node << ',' << t.start << ',' << t.end << ',' << t.duration()
+        << ',' << t.startup_s << "\n";
+  }
+}
+
+void WriteChromeTrace(const DagWorkflow& flow, const SimResult& result,
+                      std::ostream& out) {
+  // Assign each task a lane ("tid") within its node ("pid") by packing
+  // overlapping tasks into the lowest free lane — tasks in one lane never
+  // overlap, which is what the trace viewer expects.
+  struct Lane {
+    double busy_until = -1.0;
+  };
+  std::map<int, std::vector<Lane>> lanes_per_node;
+  std::vector<const TaskRecord*> tasks;
+  tasks.reserve(result.tasks().size());
+  for (const auto& t : result.tasks()) tasks.push_back(&t);
+  std::sort(tasks.begin(), tasks.end(),
+            [](const TaskRecord* a, const TaskRecord* b) {
+              return a->start < b->start;
+            });
+
+  out << "[\n";
+  bool first = true;
+  for (const TaskRecord* t : tasks) {
+    auto& lanes = lanes_per_node[t->node];
+    size_t lane = 0;
+    for (; lane < lanes.size(); ++lane) {
+      if (lanes[lane].busy_until <= t->start + 1e-12) break;
+    }
+    if (lane == lanes.size()) lanes.push_back(Lane{});
+    lanes[lane].busy_until = t->end;
+
+    if (!first) out << ",\n";
+    first = false;
+    // Times in microseconds per the trace-event spec.
+    out << "  {\"name\": \"" << JsonEscape(StageName(flow, t->job, t->stage)) << " #"
+        << t->index << "\", \"cat\": \"task\", \"ph\": \"X\", \"ts\": "
+        << t->start * 1e6 << ", \"dur\": " << (t->end - t->start) * 1e6
+        << ", \"pid\": " << t->node << ", \"tid\": " << lane << "}";
+  }
+  // State markers on a dedicated track.
+  for (const auto& st : result.states()) {
+    out << ",\n  {\"name\": \"state " << st.index
+        << "\", \"cat\": \"state\", \"ph\": \"X\", \"ts\": " << st.start * 1e6
+        << ", \"dur\": " << st.duration() * 1e6
+        << ", \"pid\": 10000, \"tid\": 0}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace dagperf

@@ -1,0 +1,35 @@
+#ifndef DAGPERF_SIM_TRACE_WRITER_H_
+#define DAGPERF_SIM_TRACE_WRITER_H_
+
+#include <ostream>
+
+#include "dag/dag_workflow.h"
+#include "sim/sim_result.h"
+
+namespace dagperf {
+
+/// Exports simulated executions for external analysis and plotting.
+///
+/// Three formats:
+///  * JSON — the full result (tasks with per-phase breakdowns, stage spans,
+///    the workflow-state timeline) as one self-describing document;
+///  * CSV — one row per task, flat columns, for spreadsheets and pandas;
+///  * Chrome trace format — load in chrome://tracing or Perfetto to browse
+///    the execution plan visually: one lane per (node, slot), one span per
+///    task, counter tracks for per-stage concurrency.
+
+/// Writes the full result as JSON.
+void WriteJson(const DagWorkflow& flow, const SimResult& result, std::ostream& out);
+
+/// Writes one CSV row per task:
+///   job,stage,task,node,start_s,end_s,duration_s,startup_s
+void WriteTaskCsv(const DagWorkflow& flow, const SimResult& result,
+                  std::ostream& out);
+
+/// Writes a Chrome trace-event JSON array ("traceEvents" format).
+void WriteChromeTrace(const DagWorkflow& flow, const SimResult& result,
+                      std::ostream& out);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_SIM_TRACE_WRITER_H_

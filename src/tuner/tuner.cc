@@ -1,0 +1,189 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "boe/boe_model.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+
+namespace dagperf {
+
+namespace {
+
+/// Predicted makespan of a single-job workflow under the full model.
+Result<Duration> PredictJob(const JobSpec& job, const ClusterSpec& cluster,
+                            const SchedulerConfig& scheduler) {
+  DagBuilder builder(job.name + "-tuning");
+  builder.AddJob(job);
+  Result<DagWorkflow> flow = std::move(builder).Build();
+  if (!flow.ok()) return flow.status();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, scheduler);
+  Result<DagEstimate> estimate = estimator.Estimate(*flow, source);
+  if (!estimate.ok()) return estimate.status();
+  return estimate->makespan;
+}
+
+Result<Duration> PredictFlow(const DagWorkflow& flow, const ClusterSpec& cluster,
+                             const SchedulerConfig& scheduler) {
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, scheduler);
+  Result<DagEstimate> estimate = estimator.Estimate(flow, source);
+  if (!estimate.ok()) return estimate.status();
+  return estimate->makespan;
+}
+
+/// Rebuilds a workflow from its compiled job specs with extra edges.
+Result<DagWorkflow> RebuildWithEdges(
+    const DagWorkflow& flow, const std::vector<std::pair<JobId, JobId>>& extra) {
+  DagBuilder builder(flow.name() + "-variant");
+  for (const auto& job : flow.jobs()) builder.AddJob(job.spec);
+  for (const auto& [from, to] : flow.edges()) builder.AddEdge(from, to);
+  for (const auto& [from, to] : extra) builder.AddEdge(from, to);
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+Result<ReducerTuning> TuneReducers(const JobSpec& job, const ClusterSpec& cluster,
+                                   const SchedulerConfig& scheduler,
+                                   std::vector<int> candidates) {
+  if (job.num_reduce_tasks == 0) {
+    return Status::InvalidArgument(job.name + ": map-only job has no reducers");
+  }
+  if (candidates.empty()) {
+    // Wave-aligned defaults: fractions and multiples of the slot count,
+    // plus the library's auto heuristic.
+    const DrfAllocator allocator(cluster, scheduler);
+    const int slots = allocator.ClusterSlots(job.reduce_slot);
+    std::set<int> grid;
+    for (double factor : {0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0}) {
+      const int c = static_cast<int>(slots * factor);
+      if (c >= 1) grid.insert(c);
+    }
+    JobSpec auto_spec = job;
+    auto_spec.num_reduce_tasks = kAutoReducers;
+    grid.insert(ResolveReducers(auto_spec));
+    candidates.assign(grid.begin(), grid.end());
+  }
+
+  ReducerTuning result;
+  result.best_time = Duration::Infinite();
+  for (int reducers : candidates) {
+    if (reducers < 1) return Status::InvalidArgument("candidate reducers < 1");
+    JobSpec candidate = job;
+    candidate.num_reduce_tasks = reducers;
+    Result<Duration> predicted = PredictJob(candidate, cluster, scheduler);
+    if (!predicted.ok()) return predicted.status();
+    result.explored.push_back({reducers, *predicted});
+    if (*predicted < result.best_time) {
+      result.best_time = *predicted;
+      result.best_reducers = reducers;
+    }
+  }
+  return result;
+}
+
+Result<CompressionDecision> DecideCompression(const JobSpec& job,
+                                              const ClusterSpec& cluster,
+                                              const SchedulerConfig& scheduler) {
+  JobSpec on = job;
+  on.compress_map_output = true;
+  JobSpec off = job;
+  off.compress_map_output = false;
+  Result<Duration> t_on = PredictJob(on, cluster, scheduler);
+  if (!t_on.ok()) return t_on.status();
+  Result<Duration> t_off = PredictJob(off, cluster, scheduler);
+  if (!t_off.ok()) return t_off.status();
+  CompressionDecision decision;
+  decision.with_compression = *t_on;
+  decision.without_compression = *t_off;
+  decision.compress = *t_on < *t_off;
+  return decision;
+}
+
+Result<BranchDecision> DecideBranchPolicy(const DagWorkflow& flow,
+                                          const ClusterSpec& cluster,
+                                          const SchedulerConfig& scheduler) {
+  const std::vector<JobId> sources = flow.Sources();
+  if (sources.size() < 2) {
+    return Status::InvalidArgument(flow.name() + ": fewer than two source jobs");
+  }
+  Result<Duration> corun = PredictFlow(flow, cluster, scheduler);
+  if (!corun.ok()) return corun.status();
+
+  // Serialise: chain each source behind the previous one.
+  std::vector<std::pair<JobId, JobId>> chain;
+  for (size_t i = 0; i + 1 < sources.size(); ++i) {
+    chain.emplace_back(sources[i], sources[i + 1]);
+  }
+  Result<DagWorkflow> serial_flow = RebuildWithEdges(flow, chain);
+  if (!serial_flow.ok()) return serial_flow.status();
+  Result<Duration> serial = PredictFlow(*serial_flow, cluster, scheduler);
+  if (!serial.ok()) return serial.status();
+
+  BranchDecision decision;
+  decision.corun_time = *corun;
+  decision.serialized_time = *serial;
+  decision.policy =
+      *corun <= *serial ? BranchPolicy::kCoRun : BranchPolicy::kSerialize;
+  return decision;
+}
+
+Result<ClusterSizing> SizeCluster(const DagWorkflow& flow, Duration deadline,
+                                  const ClusterSpec& node_template,
+                                  const SchedulerConfig& scheduler, int max_nodes) {
+  if (deadline.seconds() <= 0) {
+    return Status::InvalidArgument("deadline must be positive");
+  }
+  if (max_nodes < 1) return Status::InvalidArgument("max_nodes must be >= 1");
+
+  ClusterSizing sizing;
+  // Exponential probe then binary search on the predicted makespan, which
+  // is monotone non-increasing in the node count.
+  int lo = 1;
+  int hi = 1;
+  Result<Duration> t = Duration(0);
+  const auto predict = [&](int nodes) -> Result<Duration> {
+    ClusterSpec cluster = node_template;
+    cluster.num_nodes = nodes;
+    Result<Duration> p = PredictFlow(flow, cluster, scheduler);
+    if (p.ok()) sizing.explored.push_back({nodes, *p});
+    return p;
+  };
+  t = predict(hi);
+  if (!t.ok()) return t.status();
+  while (*t > deadline && hi < max_nodes) {
+    lo = hi;
+    hi = std::min(hi * 2, max_nodes);
+    t = predict(hi);
+    if (!t.ok()) return t.status();
+  }
+  if (*t > deadline) {
+    return Status::NotFound("no cluster size within max_nodes meets the deadline");
+  }
+  // Invariant: predict(hi) <= deadline; predict(lo) > deadline or lo == hi.
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    Result<Duration> tm = predict(mid);
+    if (!tm.ok()) return tm.status();
+    if (*tm <= deadline) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Re-predict the winner for the exact duration (may not be in cache).
+  ClusterSpec cluster = node_template;
+  cluster.num_nodes = hi;
+  Result<Duration> final_t = PredictFlow(flow, cluster, scheduler);
+  if (!final_t.ok()) return final_t.status();
+  sizing.nodes = hi;
+  sizing.predicted = *final_t;
+  return sizing;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,88 @@
+#ifndef DAGPERF_TUNER_TUNER_H_
+#define DAGPERF_TUNER_TUNER_H_
+
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "dag/dag_workflow.h"
+#include "scheduler/drf.h"
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// Cost-model-driven configuration tuning — the self-management application
+/// the paper motivates (§I: "job self-tuning", "capacity planning on the
+/// cloud"). Every decision below is made purely with the analytical models
+/// (sub-millisecond per candidate), never by running the workload.
+
+/// One explored candidate of a knob sweep.
+template <typename KnobT>
+struct TuningCandidate {
+  KnobT knob;
+  Duration predicted;
+};
+
+/// Result of tuning a job's reducer count.
+struct ReducerTuning {
+  int best_reducers = 0;
+  Duration best_time;
+  std::vector<TuningCandidate<int>> explored;
+};
+
+/// Picks the reducer count minimising the predicted job makespan. The
+/// candidate grid defaults to multiples of the cluster's slot count (wave
+/// alignment) plus the auto heuristic. Returns InvalidArgument for map-only
+/// jobs.
+Result<ReducerTuning> TuneReducers(const JobSpec& job, const ClusterSpec& cluster,
+                                   const SchedulerConfig& scheduler,
+                                   std::vector<int> candidates = {});
+
+/// Result of the map-output compression decision (trade CPU for I/O).
+struct CompressionDecision {
+  bool compress = false;
+  Duration with_compression;
+  Duration without_compression;
+};
+
+/// Decides whether compressing intermediate data is predicted to pay off
+/// for this job on this cluster.
+Result<CompressionDecision> DecideCompression(const JobSpec& job,
+                                              const ClusterSpec& cluster,
+                                              const SchedulerConfig& scheduler);
+
+/// Whether independent DAG branches should run concurrently (DRF-shared) or
+/// be serialised. Co-running overlaps heterogeneous bottlenecks; it loses
+/// when the branches fight over the same one.
+enum class BranchPolicy { kCoRun, kSerialize };
+
+struct BranchDecision {
+  BranchPolicy policy = BranchPolicy::kCoRun;
+  Duration corun_time;
+  Duration serialized_time;
+};
+
+/// Compares the workflow as given against a variant whose source jobs are
+/// chained head-to-tail. Requires at least two source jobs.
+Result<BranchDecision> DecideBranchPolicy(const DagWorkflow& flow,
+                                          const ClusterSpec& cluster,
+                                          const SchedulerConfig& scheduler);
+
+/// Result of model-driven cluster sizing.
+struct ClusterSizing {
+  int nodes = 0;
+  Duration predicted;
+  std::vector<TuningCandidate<int>> explored;
+};
+
+/// Smallest node count (scaling the given cluster's node type) predicted to
+/// finish `flow` within `deadline`. NotFound when even `max_nodes` misses.
+Result<ClusterSizing> SizeCluster(const DagWorkflow& flow, Duration deadline,
+                                  const ClusterSpec& node_template,
+                                  const SchedulerConfig& scheduler,
+                                  int max_nodes = 256);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_TUNER_TUNER_H_

@@ -1,0 +1,216 @@
+#include "workload/job_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dagperf {
+
+const char* StageKindName(StageKind kind) {
+  return kind == StageKind::kMap ? "map" : "reduce";
+}
+
+ResourceVector StageProfile::TotalDemand() const {
+  ResourceVector total;
+  for (const auto& ss : substages) total = total + ss.demand;
+  return total;
+}
+
+const StageProfile& JobProfile::stage(StageKind kind) const {
+  if (kind == StageKind::kMap) return map;
+  DAGPERF_CHECK_MSG(reduce.has_value(), "map-only job has no reduce stage");
+  return *reduce;
+}
+
+Bytes RawMapOutput(const JobSpec& spec) { return spec.input * spec.map_selectivity; }
+
+Bytes JobOutput(const JobSpec& spec) {
+  if (spec.num_reduce_tasks == 0) {
+    // Map-only job: map output goes straight to HDFS.
+    return RawMapOutput(spec);
+  }
+  return RawMapOutput(spec) * spec.reduce_selectivity;
+}
+
+int ResolveReducers(const JobSpec& spec) {
+  if (spec.num_reduce_tasks >= 0) return spec.num_reduce_tasks;
+  const double raw_gb = RawMapOutput(spec).ToGB();
+  return std::max(1, static_cast<int>(std::lround(std::ceil(raw_gb))));
+}
+
+namespace {
+
+Status ValidateSpec(const JobSpec& spec) {
+  if (spec.input.value() <= 0) {
+    return Status::InvalidArgument(spec.name + ": input must be positive");
+  }
+  if (spec.split_size.value() <= 0) {
+    return Status::InvalidArgument(spec.name + ": split_size must be positive");
+  }
+  if (spec.num_reduce_tasks < kAutoReducers) {
+    return Status::InvalidArgument(spec.name + ": bad num_reduce_tasks");
+  }
+  if (spec.map_selectivity < 0 || spec.reduce_selectivity < 0) {
+    return Status::InvalidArgument(spec.name + ": selectivities must be >= 0");
+  }
+  if (spec.compression_ratio <= 0 || spec.compression_ratio > 1) {
+    return Status::InvalidArgument(spec.name + ": compression_ratio in (0, 1]");
+  }
+  if (spec.replicas < 1) {
+    return Status::InvalidArgument(spec.name + ": replicas must be >= 1");
+  }
+  if (spec.map_compute.bytes_per_sec() <= 0 ||
+      spec.reduce_compute.bytes_per_sec() <= 0 ||
+      spec.sort_compute.bytes_per_sec() <= 0 ||
+      spec.compress_compute.bytes_per_sec() <= 0) {
+    return Status::InvalidArgument(spec.name + ": compute rates must be positive");
+  }
+  if (spec.remote_read_fraction < 0 || spec.remote_read_fraction > 1) {
+    return Status::InvalidArgument(spec.name + ": remote_read_fraction in [0, 1]");
+  }
+  if (spec.input_cache_fraction < 0 || spec.input_cache_fraction > 1) {
+    return Status::InvalidArgument(spec.name + ": input_cache_fraction in [0, 1]");
+  }
+  if (spec.shuffle_cache_hit < 0 || spec.shuffle_cache_hit > 1) {
+    return Status::InvalidArgument(spec.name + ": shuffle_cache_hit in [0, 1]");
+  }
+  if (spec.reduce_skew_cv < 0) {
+    return Status::InvalidArgument(spec.name + ": reduce_skew_cv must be >= 0");
+  }
+  return Status::Ok();
+}
+
+double CoreSeconds(Bytes data, Rate per_core) {
+  return data.value() / per_core.bytes_per_sec();
+}
+
+StageProfile CompileMapStage(const JobSpec& spec, int num_maps, bool map_only) {
+  StageProfile stage;
+  stage.name = spec.name + "/map";
+  stage.kind = StageKind::kMap;
+  stage.num_tasks = num_maps;
+  stage.slot = spec.map_slot;
+  // Map splits are fixed-size blocks; only the tail split varies, so skew is
+  // negligible at the stage level.
+  stage.task_size_cv = 0.0;
+
+  const Bytes split = spec.input / static_cast<double>(num_maps);
+  const double c = spec.compress_map_output ? spec.compression_ratio : 1.0;
+  const Bytes raw_out = split * spec.map_selectivity;
+  const Bytes wire_out = raw_out * c;
+
+  SubStageProfile read_map;
+  read_map.name = "read+map";
+  const double uncached = 1.0 - spec.input_cache_fraction;
+  read_map.demand[Resource::kDiskRead] =
+      split.value() * uncached * (1.0 - spec.remote_read_fraction);
+  read_map.demand[Resource::kNetwork] =
+      split.value() * uncached * spec.remote_read_fraction;
+  read_map.demand[Resource::kCpu] = CoreSeconds(split, spec.map_compute);
+  stage.substages.push_back(read_map);
+
+  if (map_only) {
+    // Map output is the job output: written straight to HDFS with replicas.
+    if (raw_out.value() > 0) {
+      SubStageProfile write;
+      write.name = "hdfs-write";
+      write.demand[Resource::kDiskWrite] =
+          raw_out.value() * static_cast<double>(spec.replicas);
+      write.demand[Resource::kNetwork] =
+          raw_out.value() * static_cast<double>(spec.replicas - 1);
+      stage.substages.push_back(write);
+    }
+    return stage;
+  }
+
+  if (raw_out.value() > 0) {
+    SubStageProfile spill;
+    spill.name = "spill";
+    double cpu = CoreSeconds(raw_out, spec.sort_compute);
+    if (spec.compress_map_output) cpu += CoreSeconds(raw_out, spec.compress_compute);
+    spill.demand[Resource::kCpu] = cpu;
+    spill.demand[Resource::kDiskWrite] = wire_out.value();
+    stage.substages.push_back(spill);
+
+    if (raw_out > spec.sort_buffer) {
+      // Multiple spills: one extra on-disk merge pass over the map output.
+      SubStageProfile merge;
+      merge.name = "merge";
+      merge.demand[Resource::kDiskRead] = wire_out.value();
+      merge.demand[Resource::kDiskWrite] = wire_out.value();
+      merge.demand[Resource::kCpu] = CoreSeconds(raw_out, spec.sort_compute) * 0.5;
+      stage.substages.push_back(merge);
+    }
+  }
+  return stage;
+}
+
+StageProfile CompileReduceStage(const JobSpec& spec, int num_reducers) {
+  StageProfile stage;
+  stage.name = spec.name + "/reduce";
+  stage.kind = StageKind::kReduce;
+  stage.num_tasks = num_reducers;
+  stage.slot = spec.reduce_slot;
+  stage.task_size_cv = spec.reduce_skew_cv;
+
+  const double c = spec.compress_map_output ? spec.compression_ratio : 1.0;
+  const Bytes raw_part = RawMapOutput(spec) / static_cast<double>(num_reducers);
+  const Bytes wire_part = raw_part * c;
+  const Bytes out = raw_part * spec.reduce_selectivity;
+
+  SubStageProfile shuffle;
+  shuffle.name = "shuffle";
+  shuffle.demand[Resource::kNetwork] = wire_part.value();
+  shuffle.demand[Resource::kDiskRead] =
+      wire_part.value() * (1.0 - spec.shuffle_cache_hit);
+  shuffle.demand[Resource::kDiskWrite] = wire_part.value();
+  if (spec.compress_map_output) {
+    // Decompression runs at ~2x the compression throughput.
+    shuffle.demand[Resource::kCpu] =
+        CoreSeconds(raw_part, spec.compress_compute) * 0.5;
+  }
+  stage.substages.push_back(shuffle);
+
+  if (wire_part > spec.reduce_merge_buffer) {
+    SubStageProfile merge;
+    merge.name = "merge";
+    merge.demand[Resource::kDiskRead] = wire_part.value();
+    merge.demand[Resource::kDiskWrite] = wire_part.value();
+    merge.demand[Resource::kCpu] = CoreSeconds(raw_part, spec.sort_compute) * 0.5;
+    stage.substages.push_back(merge);
+  }
+
+  SubStageProfile apply;
+  apply.name = "reduce+write";
+  apply.demand[Resource::kDiskRead] = wire_part.value();
+  apply.demand[Resource::kCpu] = CoreSeconds(raw_part, spec.reduce_compute);
+  apply.demand[Resource::kDiskWrite] =
+      out.value() * static_cast<double>(spec.replicas);
+  apply.demand[Resource::kNetwork] =
+      out.value() * static_cast<double>(spec.replicas - 1);
+  stage.substages.push_back(apply);
+  return stage;
+}
+
+}  // namespace
+
+Result<JobProfile> CompileJob(const JobSpec& spec) {
+  Status st = ValidateSpec(spec);
+  if (!st.ok()) return st;
+
+  JobProfile profile;
+  profile.name = spec.name;
+  profile.spec = spec;
+
+  const int num_maps = std::max(
+      1, static_cast<int>(std::ceil(spec.input.value() / spec.split_size.value())));
+  const int num_reducers = ResolveReducers(spec);
+  const bool map_only = num_reducers == 0;
+
+  profile.map = CompileMapStage(spec, num_maps, map_only);
+  if (!map_only) profile.reduce = CompileReduceStage(spec, num_reducers);
+  return profile;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,95 @@
+#ifndef DAGPERF_WORKLOAD_JOB_PROFILE_H_
+#define DAGPERF_WORKLOAD_JOB_PROFILE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// Which half of a MapReduce job a stage profile describes. The shuffle is
+/// modelled, as in real MapReduce, as the first sub-stages of the reduce
+/// task (copy + merge), so a job has at most two schedulable stages.
+enum class StageKind { kMap, kReduce };
+
+const char* StageKindName(StageKind kind);
+
+/// One pipelined sub-stage of a task: a bundle of read/transfer/compute/write
+/// operations executed tuple-by-tuple with bulk synchronisation at the end
+/// (Fig. 3 of the paper). `demand` holds the per-(average-)task amounts in
+/// resource units: bytes for I/O, core-seconds for CPU.
+struct SubStageProfile {
+  std::string name;
+  ResourceVector demand;
+};
+
+/// The compiled profile of one stage (map or reduce) of a job.
+struct StageProfile {
+  std::string name;  // "<job>/map" or "<job>/reduce".
+  StageKind kind = StageKind::kMap;
+  int num_tasks = 0;
+  std::vector<SubStageProfile> substages;
+  SlotDemand slot;
+  /// Coefficient of variation of per-task demand scale (key/split skew).
+  double task_size_cv = 0.0;
+
+  /// Sum of sub-stage demands for the average task.
+  ResourceVector TotalDemand() const;
+};
+
+/// A job compiled into per-stage, per-sub-stage resource demands.
+struct JobProfile {
+  std::string name;
+  JobSpec spec;
+  StageProfile map;
+  std::optional<StageProfile> reduce;
+
+  bool has_reduce() const { return reduce.has_value(); }
+  const StageProfile& stage(StageKind kind) const;
+};
+
+/// Compiles a JobSpec into a JobProfile by deriving the MapReduce data-flow:
+///
+///  map task (split B):
+///    read+map   : disk-read (1-f_remote)B + network f_remote*B
+///                 + cpu B/theta_map
+///    spill      : cpu raw/theta_sort (+ raw/theta_compress if compressed)
+///                 + disk-write raw*c
+///    merge      : extra read+write+cpu pass when raw output > sort buffer
+///
+///  reduce task (raw partition P_raw, on-wire P = P_raw*c):
+///    shuffle    : network P + disk-read (1-cache_hit)P (source reads, charged
+///                 symmetrically) + disk-write P (materialise reduce input)
+///                 + cpu decompress
+///    merge      : read+write+cpu pass when P > reduce merge buffer
+///    reduce+write: disk-read P + cpu P_raw/theta_reduce
+///                 + disk-write R*out (local + symmetric incoming replicas)
+///                 + network (R-1)*out (replication pipeline)
+///
+/// Remote replica writes and shuffle source reads are charged to the task's
+/// own node under the homogeneous-cluster symmetry assumption (every node
+/// simultaneously serves the equivalent remote traffic of its peers), which
+/// keeps both the simulator and the models per-node decomposable. See
+/// DESIGN.md §5.
+///
+/// Fails with InvalidArgument for non-physical specs (non-positive sizes,
+/// ratios out of range, bad replica counts).
+Result<JobProfile> CompileJob(const JobSpec& spec);
+
+/// Raw (pre-compression) map output volume of the whole job.
+Bytes RawMapOutput(const JobSpec& spec);
+
+/// Job output volume written to HDFS (before replication).
+Bytes JobOutput(const JobSpec& spec);
+
+/// The effective number of reduce tasks after resolving kAutoReducers.
+int ResolveReducers(const JobSpec& spec);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOAD_JOB_PROFILE_H_

@@ -1,0 +1,92 @@
+#ifndef DAGPERF_WORKLOAD_JOB_SPEC_H_
+#define DAGPERF_WORKLOAD_JOB_SPEC_H_
+
+#include <string>
+
+#include "cluster/resources.h"
+#include "common/units.h"
+
+namespace dagperf {
+
+/// Number-of-reducers sentinel: derive a reasonable reducer count from the
+/// shuffle volume (one reducer per ~1 GB of raw map output).
+inline constexpr int kAutoReducers = -1;
+
+/// Declarative description of one MapReduce job: the data-flow ratios and
+/// per-core function throughputs that the profile compiler turns into
+/// sub-stage resource demands. This is the information Starfish/MRTuner-style
+/// systems extract from a profiling run; here it is the authored ground truth
+/// that both the simulator and the analytical models consume.
+struct JobSpec {
+  std::string name;
+
+  /// Total job input (for root jobs: HDFS bytes; for downstream DAG jobs:
+  /// the output volume of the parent jobs).
+  Bytes input = Bytes::FromGB(100);
+
+  /// Map input split size; determines the number of map tasks.
+  Bytes split_size = Bytes::FromMB(256);
+
+  /// Number of reduce tasks; 0 = map-only job, kAutoReducers = derive.
+  int num_reduce_tasks = kAutoReducers;
+
+  /// Raw (uncompressed) map output bytes per input byte.
+  double map_selectivity = 1.0;
+
+  /// Reduce output bytes per raw reduce-input byte (before replication).
+  double reduce_selectivity = 1.0;
+
+  /// Whether intermediate map output is compressed (Table I's "C" column).
+  bool compress_map_output = false;
+
+  /// Compressed bytes per raw byte when compression is on.
+  double compression_ratio = 0.3;
+
+  /// HDFS replica count for the job output (Table I's "R" column).
+  int replicas = 3;
+
+  /// Per-core throughput of the user map function (bytes of map input per
+  /// core-second). Low values make the map stage CPU-bound.
+  Rate map_compute = Rate::MBps(100);
+
+  /// Per-core throughput of the user reduce function over raw reduce input.
+  Rate reduce_compute = Rate::MBps(150);
+
+  /// Per-core throughput of the framework's sort/spill/merge path.
+  Rate sort_compute = Rate::MBps(300);
+
+  /// Per-core throughput of compression (and, at 2x, decompression).
+  Rate compress_compute = Rate::MBps(250);
+
+  /// Fraction of map input read over the network (non-local scheduling).
+  double remote_read_fraction = 0.05;
+
+  /// Fraction of map input served from memory (Spark-style cached RDDs /
+  /// OS page cache): that share of the read costs neither disk nor network.
+  double input_cache_fraction = 0.0;
+
+  /// Fraction of shuffle source reads served from the OS buffer cache
+  /// (the paper notes shuffle "may read data from the OS buffer caches").
+  double shuffle_cache_hit = 0.8;
+
+  /// In-memory sort buffer; map outputs larger than this spill multiple
+  /// times and pay an extra on-disk merge pass.
+  Bytes sort_buffer = Bytes::FromMB(256);
+
+  /// Reduce-side merge buffer; larger shuffle partitions pay a merge pass.
+  Bytes reduce_merge_buffer = Bytes::FromMB(256);
+
+  /// Coefficient of variation of reduce partition sizes (key skew). 0 means
+  /// perfectly balanced partitions.
+  double reduce_skew_cv = 0.0;
+
+  /// Scheduling demand per task (YARN container request).
+  SlotDemand map_slot;
+  SlotDemand reduce_slot;
+
+  bool operator==(const JobSpec&) const = default;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOAD_JOB_SPEC_H_

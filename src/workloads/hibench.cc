@@ -1,0 +1,105 @@
+#include "workloads/hibench.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+std::vector<JobId> AppendKMeans(DagBuilder& builder, Bytes input, int iterations) {
+  DAGPERF_CHECK(iterations >= 1);
+  std::vector<JobId> jobs;
+  JobId prev = -1;
+  for (int it = 0; it < iterations; ++it) {
+    JobSpec step;
+    step.name = "KM-iter" + std::to_string(it + 1);
+    step.input = input;  // Every iteration rescans the points.
+    step.map_compute = Rate::MBps(15);  // Distance computation is CPU-heavy.
+    step.map_selectivity = 1e-4;        // Partial centroid sums only.
+    step.compress_map_output = false;
+    step.num_reduce_tasks = 1;          // Centroid aggregation.
+    step.reduce_compute = Rate::MBps(50);
+    step.reduce_selectivity = 1.0;
+    step.replicas = 1;
+    const JobId id = prev < 0 ? builder.AddJob(step) : builder.AddJobAfter(prev, step);
+    jobs.push_back(id);
+    prev = id;
+  }
+  // Final classification pass: label every point with its cluster.
+  JobSpec classify;
+  classify.name = "KM-classify";
+  classify.input = input;
+  classify.map_compute = Rate::MBps(30);
+  classify.map_selectivity = 0.2;  // Point id + label.
+  classify.num_reduce_tasks = 0;   // Map-only, writes straight to HDFS.
+  classify.replicas = 3;
+  jobs.push_back(builder.AddJobAfter(prev, classify));
+  return jobs;
+}
+
+std::vector<JobId> AppendPageRank(DagBuilder& builder, Bytes edges, int iterations) {
+  DAGPERF_CHECK(iterations >= 1);
+  std::vector<JobId> jobs;
+
+  JobSpec prepare;
+  prepare.name = "PR-prepare";
+  prepare.input = edges;
+  prepare.map_compute = Rate::MBps(120);
+  prepare.map_selectivity = 1.0;  // Adjacency lists.
+  prepare.compress_map_output = true;
+  prepare.num_reduce_tasks = kAutoReducers;
+  prepare.reduce_compute = Rate::MBps(120);
+  prepare.reduce_selectivity = 0.8;
+  prepare.replicas = 1;
+  JobId prev = builder.AddJob(prepare);
+  jobs.push_back(prev);
+  const Bytes graph = JobOutput(prepare);
+
+  for (int it = 0; it < iterations; ++it) {
+    const std::string suffix = std::to_string(it + 1);
+    // Join ranks with the adjacency lists and emit contributions: the
+    // shuffle carries the whole graph — network-bound.
+    JobSpec join;
+    join.name = "PR-join" + suffix;
+    join.input = graph;
+    join.map_compute = Rate::MBps(150);
+    join.map_selectivity = 1.0;
+    join.num_reduce_tasks = kAutoReducers;
+    join.reduce_compute = Rate::MBps(120);
+    join.reduce_selectivity = 0.3;  // Contribution stream.
+    join.replicas = 1;
+    join.reduce_skew_cv = 0.3;  // Power-law in-degrees skew partitions.
+    prev = builder.AddJobAfter(prev, join);
+    jobs.push_back(prev);
+
+    // Aggregate contributions into new ranks.
+    JobSpec agg;
+    agg.name = "PR-agg" + suffix;
+    agg.input = JobOutput(join);
+    agg.map_compute = Rate::MBps(150);
+    agg.map_selectivity = 1.0;
+    agg.num_reduce_tasks = kAutoReducers;
+    agg.reduce_compute = Rate::MBps(100);
+    agg.reduce_selectivity = 0.2;  // (vertex, rank) pairs.
+    agg.replicas = it + 1 == iterations ? 3 : 1;
+    agg.reduce_skew_cv = 0.3;
+    prev = builder.AddJobAfter(prev, agg);
+    jobs.push_back(prev);
+  }
+  return jobs;
+}
+
+Result<DagWorkflow> KMeansFlow(Bytes input, int iterations) {
+  DagBuilder builder("KMeans");
+  AppendKMeans(builder, input, iterations);
+  return std::move(builder).Build();
+}
+
+Result<DagWorkflow> PageRankFlow(Bytes edges, int iterations) {
+  DagBuilder builder("PageRank");
+  AppendPageRank(builder, edges, iterations);
+  return std::move(builder).Build();
+}
+
+}  // namespace dagperf

@@ -1,0 +1,38 @@
+#ifndef DAGPERF_WORKLOADS_HIBENCH_H_
+#define DAGPERF_WORKLOADS_HIBENCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+
+namespace dagperf {
+
+/// HiBench-style iterative analytics DAGs (the paper's KMeans and PageRank
+/// workloads, "huge" data profile). The builders append jobs to an existing
+/// DagBuilder so the workloads can be composed into hybrid workflows (e.g.
+/// WC running in parallel with KMeans, Table III's WC-KM), and return the
+/// appended job ids in topological order.
+
+/// KMeans clustering: `iterations` centroid-update jobs chained head-to-tail
+/// (CPU-bound maps computing distances, tiny shuffles of partial centroid
+/// sums) followed by one map-only classification job writing labelled
+/// points.
+std::vector<JobId> AppendKMeans(DagBuilder& builder,
+                                Bytes input = Bytes::FromGB(100),
+                                int iterations = 3);
+
+/// PageRank: `iterations` chained iterations of two jobs each (contribution
+/// join producing a full-size shuffle, then rank aggregation), preceded by
+/// one graph-preparation job. Shuffle-heavy / network-bound.
+std::vector<JobId> AppendPageRank(DagBuilder& builder,
+                                  Bytes edges = Bytes::FromGB(90),
+                                  int iterations = 3);
+
+/// Convenience single-workload flows.
+Result<DagWorkflow> KMeansFlow(Bytes input = Bytes::FromGB(100), int iterations = 3);
+Result<DagWorkflow> PageRankFlow(Bytes edges = Bytes::FromGB(90), int iterations = 3);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOADS_HIBENCH_H_

@@ -1,0 +1,51 @@
+#include "workloads/micro.h"
+
+namespace dagperf {
+
+JobSpec WordCountSpec(Bytes input) {
+  JobSpec spec;
+  spec.name = "WC";
+  spec.input = input;
+  spec.split_size = Bytes::FromMB(256);
+  // Tokenising and combining text is slow per byte: the map stage is
+  // CPU-bound at every degree of parallelism on the paper cluster.
+  spec.map_compute = Rate::MBps(25);
+  // The combiner collapses word counts per split but text still shuffles a
+  // substantial fraction of the input.
+  spec.map_selectivity = 0.4;
+  spec.compress_map_output = true;
+  spec.compression_ratio = 0.35;
+  // Enough reducers to fill the cluster's slots (the Fig. 6 sweep varies
+  // reduce-stage parallelism up to 12 per node).
+  spec.num_reduce_tasks = 150;
+  spec.reduce_compute = Rate::MBps(60);
+  spec.reduce_selectivity = 0.5;
+  spec.replicas = 3;
+  spec.reduce_skew_cv = 0.15;  // Word frequencies are mildly skewed.
+  return spec;
+}
+
+JobSpec TeraSortSpec(Bytes input, bool compress, int replicas) {
+  JobSpec spec;
+  spec.name = compress ? "TSC" : (replicas == 1 ? "TS" : "TS" + std::to_string(replicas) + "R");
+  spec.input = input;
+  spec.split_size = Bytes::FromMB(256);
+  // The identity map only parses and partitions records: faster than the
+  // disk can feed it, so reading dominates the first sub-stage.
+  spec.map_compute = Rate::MBps(250);
+  spec.map_selectivity = 1.0;
+  spec.compress_map_output = compress;
+  spec.compression_ratio = 0.3;
+  spec.num_reduce_tasks = kAutoReducers;  // ~1 reducer per GB.
+  spec.reduce_compute = Rate::MBps(120);
+  spec.reduce_selectivity = 1.0;
+  spec.replicas = replicas;
+  spec.sort_compute = Rate::MBps(300);
+  // Gzip-class compression runs at ~100 MB/s per 2.4 GHz core: with the
+  // variant enabled the spill becomes CPU-bound (Table I's TSC row).
+  spec.compress_compute = Rate::MBps(100);
+  spec.reduce_skew_cv = 0.1;  // TeraGen keys are nearly uniform.
+  return spec;
+}
+
+}  // namespace dagperf

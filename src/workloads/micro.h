@@ -1,0 +1,48 @@
+#ifndef DAGPERF_WORKLOADS_MICRO_H_
+#define DAGPERF_WORKLOADS_MICRO_H_
+
+#include <string>
+
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// Micro-benchmark job specs matching Table I of the paper. Parameter values
+/// are calibrated against the paper cluster (6 cores, ~200 MB/s disk, 1 GbE)
+/// so the expected bottlenecks match the table:
+///
+///   WC   (C=Y, R=3)  — CPU-bound map (slow tokenising map function, heavy
+///                      combining); tiny compressed shuffle.
+///   TSC  (C=Y, R=1)  — compression work makes the spill CPU-bound.
+///   TS   (C=N, R=1)  — identity map: disk-bound map, network-bound shuffle,
+///                      reduce CPU-bound at low parallelism and disk-bound
+///                      at high parallelism.
+///   TS2R (C=N, R=2)  — replication starts to load the network.
+///   TS3R (C=N, R=3)  — reduce network-bound (replication pipeline).
+
+/// HiBench-style WordCount over `input` bytes of text.
+JobSpec WordCountSpec(Bytes input = Bytes::FromGB(100));
+
+/// TeraSort over `input` bytes. `compress` toggles map-output compression
+/// (Table I's TSC variant); `replicas` sets the HDFS replication of the
+/// sorted output (TS=1, TS2R=2, TS3R=3). The job name encodes the variant.
+JobSpec TeraSortSpec(Bytes input = Bytes::FromGB(100), bool compress = false,
+                     int replicas = 1);
+
+/// Canonical Table I variants.
+inline JobSpec TsSpec(Bytes input = Bytes::FromGB(100)) {
+  return TeraSortSpec(input, false, 1);
+}
+inline JobSpec TscSpec(Bytes input = Bytes::FromGB(100)) {
+  return TeraSortSpec(input, true, 1);
+}
+inline JobSpec Ts2rSpec(Bytes input = Bytes::FromGB(100)) {
+  return TeraSortSpec(input, false, 2);
+}
+inline JobSpec Ts3rSpec(Bytes input = Bytes::FromGB(100)) {
+  return TeraSortSpec(input, false, 3);
+}
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOADS_MICRO_H_

@@ -1,0 +1,220 @@
+#include "workloads/spark.h"
+
+#include <queue>
+
+#include "common/check.h"
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+namespace {
+
+Status ValidateApp(const SparkAppSpec& app) {
+  const int n = static_cast<int>(app.stages.size());
+  if (n == 0) return Status::InvalidArgument(app.name + ": no stages");
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<int>> children(n);
+  for (const auto& e : app.edges) {
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) {
+      return Status::InvalidArgument(app.name + ": edge out of range");
+    }
+    if (e.from == e.to) return Status::InvalidArgument(app.name + ": self edge");
+    ++indegree[e.to];
+    children[e.from].push_back(e.to);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (indegree[i] > 0 && app.stages[i].input.value() > 0) {
+      return Status::InvalidArgument(app.stages[i].name +
+                                     ": non-source stage with storage input");
+    }
+    if (indegree[i] == 0 && app.stages[i].input.value() <= 0) {
+      return Status::InvalidArgument(app.stages[i].name +
+                                     ": source stage needs input bytes");
+    }
+  }
+  // Cycle check.
+  std::queue<int> ready;
+  std::vector<int> deg = indegree;
+  for (int i = 0; i < n; ++i) {
+    if (deg[i] == 0) ready.push(i);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const int s = ready.front();
+    ready.pop();
+    ++visited;
+    for (int c : children[s]) {
+      if (--deg[c] == 0) ready.push(c);
+    }
+  }
+  if (visited != n) return Status::InvalidArgument(app.name + ": cycle");
+  return Status::Ok();
+}
+
+/// Composes two pipelined stages into one: input flows through `a`, then
+/// `a`'s output through `b`, with no materialisation in between.
+SparkStage Fuse(const SparkStage& a, const SparkStage& b) {
+  SparkStage fused;
+  fused.name = a.name + "+" + b.name;
+  fused.input = a.input;
+  fused.output_ratio = a.output_ratio * b.output_ratio;
+  // Per input byte: 1/ca core-seconds in a, then output_ratio_a bytes
+  // through b at 1/cb each.
+  const double cost_per_byte = 1.0 / a.compute.bytes_per_sec() +
+                               a.output_ratio / b.compute.bytes_per_sec();
+  fused.compute = Rate(1.0 / cost_per_byte);
+  fused.cache_output = b.cache_output;
+  return fused;
+}
+
+}  // namespace
+
+Result<DagWorkflow> CompileSparkApp(const SparkAppSpec& app) {
+  Status st = ValidateApp(app);
+  if (!st.ok()) return st;
+  if (app.output_replicas < 1) {
+    return Status::InvalidArgument(app.name + ": output_replicas >= 1");
+  }
+
+  // Working copies; contraction rewrites stages and edges.
+  std::vector<SparkStage> stages = app.stages;
+  std::vector<SparkEdge> edges = app.edges;
+  std::vector<bool> alive(stages.size(), true);
+
+  // Contract narrow chains: a narrow edge u->v where u has exactly one
+  // child and v exactly one parent fuses v into u. Iterate to fixpoint.
+  bool contracted = true;
+  while (contracted) {
+    contracted = false;
+    std::vector<int> out_count(stages.size(), 0);
+    std::vector<int> in_count(stages.size(), 0);
+    for (const auto& e : edges) {
+      ++out_count[e.from];
+      ++in_count[e.to];
+    }
+    for (size_t i = 0; i < edges.size(); ++i) {
+      const SparkEdge e = edges[i];
+      if (e.wide || out_count[e.from] != 1 || in_count[e.to] != 1) continue;
+      // Fuse e.to into e.from.
+      stages[e.from] = Fuse(stages[e.from], stages[e.to]);
+      alive[e.to] = false;
+      std::vector<SparkEdge> rewritten;
+      for (const auto& other : edges) {
+        if (other.from == e.from && other.to == e.to) continue;  // The edge.
+        SparkEdge copy = other;
+        if (copy.from == e.to) copy.from = e.from;
+        rewritten.push_back(copy);
+      }
+      edges = std::move(rewritten);
+      contracted = true;
+      break;
+    }
+  }
+
+  // Compact to the surviving stages.
+  std::vector<int> compact(stages.size(), -1);
+  std::vector<SparkStage> final_stages;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (alive[i]) {
+      compact[i] = static_cast<int>(final_stages.size());
+      final_stages.push_back(stages[i]);
+    }
+  }
+  const int n = static_cast<int>(final_stages.size());
+  std::vector<std::vector<int>> parents(n);
+  std::vector<bool> has_wide_out(n, false);
+  for (const auto& e : edges) {
+    parents[compact[e.to]].push_back(compact[e.from]);
+    if (e.wide) has_wide_out[compact[e.from]] = true;
+  }
+
+  // Emit one MapReduce job per stage, in topological order (stage order is
+  // already topological after compaction when the input order was; compute
+  // outputs via a topo pass to be safe).
+  DagBuilder builder(app.name);
+  std::vector<Bytes> outputs(n);
+  std::vector<int> deg(n, 0);
+  std::vector<std::vector<int>> children(n);
+  for (const auto& e : edges) {
+    ++deg[compact[e.to]];
+    children[compact[e.from]].push_back(compact[e.to]);
+  }
+  std::queue<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (deg[i] == 0) ready.push(i);
+  }
+  std::vector<JobId> job_of(n, -1);
+  while (!ready.empty()) {
+    const int s = ready.front();
+    ready.pop();
+    const SparkStage& stage = final_stages[s];
+
+    Bytes input = stage.input;
+    double cached_input = 0.0;
+    for (int p : parents[s]) {
+      input += outputs[p];
+      if (final_stages[p].cache_output) cached_input += outputs[p].value();
+    }
+
+    JobSpec spec;
+    spec.name = stage.name;
+    spec.input = input;
+    spec.map_compute = stage.compute;
+    spec.map_selectivity = stage.output_ratio;
+    spec.input_cache_fraction =
+        input.value() > 0 ? std::min(1.0, cached_input / input.value()) : 0.0;
+    spec.remote_read_fraction = parents[s].empty() ? 0.05 : 0.0;
+    if (has_wide_out[s]) {
+      // Shuffle boundary: identity merge on the reduce side hands the
+      // partitioned output to consumers.
+      spec.num_reduce_tasks = kAutoReducers;
+      spec.reduce_selectivity = 1.0;
+      spec.reduce_compute = Rate::MBps(400);
+      spec.replicas = 1;
+    } else {
+      spec.num_reduce_tasks = 0;  // Map-only: output written directly.
+      spec.replicas = children[s].empty() ? app.output_replicas : 1;
+    }
+    job_of[s] = builder.AddJob(spec);
+    outputs[s] = JobOutput(spec);
+    for (int c : children[s]) {
+      if (--deg[c] == 0) ready.push(c);
+    }
+  }
+  for (const auto& e : edges) {
+    builder.AddEdge(job_of[compact[e.from]], job_of[compact[e.to]]);
+  }
+  return std::move(builder).Build();
+}
+
+SparkAppSpec IterativeMlApp(Bytes training_data, int iterations) {
+  DAGPERF_CHECK(iterations >= 1);
+  SparkAppSpec app;
+  app.name = "iterative-ml";
+  // Stage 0: scan + parse + cache the training set.
+  SparkStage scan;
+  scan.name = "scan-cache";
+  scan.input = training_data;
+  scan.output_ratio = 1.0;
+  scan.compute = Rate::MBps(120);
+  scan.cache_output = true;
+  app.stages.push_back(scan);
+
+  int prev = -1;
+  for (int i = 0; i < iterations; ++i) {
+    SparkStage grad;
+    grad.name = "gradient-" + std::to_string(i + 1);
+    grad.output_ratio = 1e-4;  // Partial gradients only.
+    grad.compute = Rate::MBps(80);  // Vectorised math: fast enough that I/O matters.
+    app.stages.push_back(grad);
+    const int self = static_cast<int>(app.stages.size()) - 1;
+    app.edges.push_back({0, self, /*wide=*/false});  // Reads the cache.
+    if (prev >= 0) {
+      app.edges.push_back({prev, self, /*wide=*/true});  // Model update.
+    }
+    prev = self;
+  }
+  return app;
+}
+
+}  // namespace dagperf

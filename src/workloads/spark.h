@@ -1,0 +1,70 @@
+#ifndef DAGPERF_WORKLOADS_SPARK_H_
+#define DAGPERF_WORKLOADS_SPARK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+
+namespace dagperf {
+
+/// Spark/Tez-style application descriptions compiled into the library's
+/// MapReduce-job DAGs — exercising the paper's claim (§I, §II) that the
+/// models "are easy to be extended to other cluster-based distributed
+/// systems such as Spark and Tez, of which the key mechanisms ... are
+/// similar".
+///
+/// A Spark app is a DAG of *stages*; edges are narrow (pipelined, no data
+/// movement) or wide (shuffle boundaries). The compiler:
+///  * contracts narrow chains (a stage pipelined behind a sole parent with
+///    no other consumers merges into it, composing compute and ratios);
+///  * maps each remaining stage to one MapReduce job: the stage computation
+///    is the map side; a wide outgoing edge gives the job a shuffle+reduce
+///    (identity merge) so children consume partitioned output;
+///  * models `cached` stages by letting consumers read their output from
+///    memory (JobSpec::input_cache_fraction = 1).
+
+/// One Spark stage.
+struct SparkStage {
+  std::string name;
+  /// Bytes read from storage by a source stage (0 for downstream stages —
+  /// their input is their parents' output).
+  Bytes input;
+  /// Stage output bytes per input byte.
+  double output_ratio = 1.0;
+  /// Per-core throughput of the stage's fused operator pipeline.
+  Rate compute = Rate::MBps(100);
+  /// Whether the stage's output is cached in memory (consumers skip disk).
+  bool cache_output = false;
+};
+
+struct SparkEdge {
+  int from = 0;
+  int to = 0;
+  /// true = shuffle dependency; false = narrow (pipelined).
+  bool wide = true;
+};
+
+struct SparkAppSpec {
+  std::string name = "spark-app";
+  std::vector<SparkStage> stages;
+  std::vector<SparkEdge> edges;
+  /// HDFS replication of terminal outputs.
+  int output_replicas = 1;
+};
+
+/// Compiles the stage DAG into a DagWorkflow for the simulator and models.
+/// Rejects cyclic graphs, out-of-range edges, non-source stages with
+/// storage input, and narrow edges into stages with multiple parents.
+Result<DagWorkflow> CompileSparkApp(const SparkAppSpec& app);
+
+/// A ready-made iterative MLlib-style app: one scan-and-cache stage, then
+/// `iterations` gradient-computation stages over the cached data, each
+/// ending in a small aggregation shuffle.
+SparkAppSpec IterativeMlApp(Bytes training_data = Bytes::FromGB(50),
+                            int iterations = 5);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOADS_SPARK_H_

@@ -1,0 +1,94 @@
+#include "workloads/suite.h"
+
+#include "common/check.h"
+#include "workloads/hibench.h"
+#include "workloads/micro.h"
+#include "workloads/tpch.h"
+
+namespace dagperf {
+
+namespace {
+
+Result<NamedFlow> BuildMicroPlusQuery(const std::string& micro, int query,
+                                      double scale) {
+  const std::string name = micro + "-Q" + std::to_string(query);
+  DagBuilder builder(name);
+  if (micro == "TS") {
+    builder.AddJob(TsSpec(Bytes::FromGB(100.0 * scale)));
+  } else {
+    builder.AddJob(WordCountSpec(Bytes::FromGB(100.0 * scale)));
+  }
+  AppendTpchQuery(builder, query, Bytes::FromGB(80.0 * scale));
+  Result<DagWorkflow> flow = std::move(builder).Build();
+  if (!flow.ok()) return flow.status();
+  return NamedFlow{name, std::move(flow).value()};
+}
+
+Result<NamedFlow> BuildPair(const std::string& name, double scale) {
+  const Bytes micro_input = Bytes::FromGB(100.0 * scale);
+  DagBuilder builder(name);
+  if (name == "WC-TS") {
+    builder.AddJob(WordCountSpec(micro_input));
+    builder.AddJob(TsSpec(micro_input));
+  } else if (name == "WC-TS2R") {
+    builder.AddJob(WordCountSpec(micro_input));
+    builder.AddJob(Ts2rSpec(micro_input));
+  } else if (name == "WC-TS3R") {
+    builder.AddJob(WordCountSpec(micro_input));
+    builder.AddJob(Ts3rSpec(micro_input));
+  } else if (name == "WC-KM") {
+    builder.AddJob(WordCountSpec(micro_input));
+    AppendKMeans(builder, Bytes::FromGB(100.0 * scale));
+  } else if (name == "WC-PR") {
+    builder.AddJob(WordCountSpec(micro_input));
+    AppendPageRank(builder, Bytes::FromGB(90.0 * scale));
+  } else if (name == "TS-KM") {
+    builder.AddJob(TsSpec(micro_input));
+    AppendKMeans(builder, Bytes::FromGB(100.0 * scale));
+  } else if (name == "TS-PR") {
+    builder.AddJob(TsSpec(micro_input));
+    AppendPageRank(builder, Bytes::FromGB(90.0 * scale));
+  } else {
+    return Status::NotFound("unknown suite pair: " + name);
+  }
+  Result<DagWorkflow> flow = std::move(builder).Build();
+  if (!flow.ok()) return flow.status();
+  return NamedFlow{name, std::move(flow).value()};
+}
+
+}  // namespace
+
+Result<std::vector<NamedFlow>> TableThreeSuite(double scale) {
+  DAGPERF_CHECK(scale > 0);
+  std::vector<NamedFlow> suite;
+  suite.reserve(51);
+  for (const std::string micro : {"TS", "WC"}) {
+    for (int q = 1; q <= 22; ++q) {
+      Result<NamedFlow> flow = BuildMicroPlusQuery(micro, q, scale);
+      if (!flow.ok()) return flow.status();
+      suite.push_back(std::move(flow).value());
+    }
+  }
+  for (const char* pair :
+       {"WC-TS", "WC-TS2R", "WC-TS3R", "WC-KM", "WC-PR", "TS-KM", "TS-PR"}) {
+    Result<NamedFlow> flow = BuildPair(pair, scale);
+    if (!flow.ok()) return flow.status();
+    suite.push_back(std::move(flow).value());
+  }
+  DAGPERF_CHECK(suite.size() == 51);
+  return suite;
+}
+
+Result<NamedFlow> TableThreeFlow(const std::string& name, double scale) {
+  // Micro-plus-query names: "<TS|WC>-Q<n>".
+  for (const std::string micro : {"TS", "WC"}) {
+    for (int q = 1; q <= 22; ++q) {
+      if (name == micro + "-Q" + std::to_string(q)) {
+        return BuildMicroPlusQuery(micro, q, scale);
+      }
+    }
+  }
+  return BuildPair(name, scale);
+}
+
+}  // namespace dagperf

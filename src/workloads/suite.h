@@ -1,0 +1,33 @@
+#ifndef DAGPERF_WORKLOADS_SUITE_H_
+#define DAGPERF_WORKLOADS_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+
+namespace dagperf {
+
+/// A workflow with the display name used in the paper's tables.
+struct NamedFlow {
+  std::string name;
+  DagWorkflow flow;
+};
+
+/// Builds the 51 hybrid DAG workflows evaluated in Table III:
+///
+///   TS-Q1 .. TS-Q22   TeraSort running in parallel with each TPC-H query,
+///   WC-Q1 .. WC-Q22   WordCount running in parallel with each query,
+///   WC-TS, WC-TS2R, WC-TS3R, WC-KM, WC-PR, TS-KM, TS-PR.
+///
+/// `scale` multiplies every input volume (1.0 = the paper's 100 GB micro /
+/// 80 GB TPC-H configuration); smaller scales keep test runtimes short.
+Result<std::vector<NamedFlow>> TableThreeSuite(double scale = 1.0);
+
+/// One suite entry by name (e.g. "TS-Q21"); NotFound for unknown names.
+Result<NamedFlow> TableThreeFlow(const std::string& name, double scale = 1.0);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOADS_SUITE_H_

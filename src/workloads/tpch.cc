@@ -1,0 +1,285 @@
+#include "workloads/tpch.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+Bytes TpchTableSize(TpchTable table, Bytes total) {
+  // Standard TPC-H storage proportions (lineitem dominates).
+  double fraction = 0.0;
+  switch (table) {
+    case TpchTable::kLineitem:
+      fraction = 0.685;
+      break;
+    case TpchTable::kOrders:
+      fraction = 0.155;
+      break;
+    case TpchTable::kPartsupp:
+      fraction = 0.108;
+      break;
+    case TpchTable::kCustomer:
+      fraction = 0.0215;
+      break;
+    case TpchTable::kPart:
+      fraction = 0.0215;
+      break;
+    case TpchTable::kSupplier:
+      fraction = 0.0013;
+      break;
+    case TpchTable::kNation:
+    case TpchTable::kRegion:
+      fraction = 0.0001;
+      break;
+  }
+  return total * fraction;
+}
+
+namespace {
+
+/// One MapReduce job inside a query plan template.
+struct PlanJob {
+  const char* tag;
+  std::vector<TpchTable> scans;  // Base tables read by the map stage.
+  std::vector<int> deps;         // Plan-local indices of feeding jobs.
+  double map_sel;                // Map output / map input.
+  double red_sel;                // Reduce output / reduce input.
+  double map_mbps = 120.0;       // Per-core map function throughput.
+  double red_mbps = 100.0;
+  bool map_only = false;
+};
+
+using Plan = std::vector<PlanJob>;
+
+/// The per-query plan templates. Shapes (job counts, join chains) follow
+/// Hive-on-MapReduce compilations of the 22 queries; selectivities model
+/// each query's filters and aggregations coarsely.
+Plan QueryPlan(int q) {
+  using T = TpchTable;
+  switch (q) {
+    case 1:  // Pricing summary: scan+aggregate lineitem, then order.
+      return {
+          {"agg", {T::kLineitem}, {}, 0.05, 0.02, 140, 80},
+          {"sort", {}, {0}, 1.0, 0.5},
+      };
+    case 2:  // Minimum-cost supplier: part/partsupp/supplier join chain.
+      return {
+          {"part-ps", {T::kPart, T::kPartsupp}, {}, 0.35, 0.4, 110, 90},
+          {"supp-nat", {T::kSupplier, T::kNation, T::kRegion}, {}, 0.6, 0.6},
+          {"join", {}, {0, 1}, 0.5, 0.35, 100, 90},
+          {"mincost", {}, {2}, 0.4, 0.2},
+          {"sort", {}, {3}, 1.0, 0.3},
+      };
+    case 3:  // Shipping priority.
+      return {
+          {"cust-ord", {T::kCustomer, T::kOrders}, {}, 0.3, 0.45, 110, 90},
+          {"join-li", {T::kLineitem}, {0}, 0.35, 0.3, 120, 90},
+          {"agg", {}, {1}, 0.25, 0.1},
+          {"topk", {}, {2}, 1.0, 0.1},
+      };
+    case 4:  // Order priority checking (semi-join orders/lineitem).
+      return {
+          {"semijoin", {T::kOrders, T::kLineitem}, {}, 0.25, 0.15, 130, 90},
+          {"count", {}, {0}, 0.2, 0.05},
+          {"sort", {}, {1}, 1.0, 0.5},
+      };
+    case 5:  // Local supplier volume: 4-way join then aggregate.
+      return {
+          {"cust-ord", {T::kCustomer, T::kOrders}, {}, 0.3, 0.45, 110, 90},
+          {"join-li", {T::kLineitem}, {0}, 0.4, 0.35, 120, 90},
+          {"join-supp", {T::kSupplier}, {1}, 0.5, 0.4, 100, 90},
+          {"join-nat", {T::kNation, T::kRegion}, {2}, 0.6, 0.4},
+          {"agg", {}, {3}, 0.25, 0.08},
+          {"sort", {}, {4}, 1.0, 0.3},
+      };
+    case 6:  // Forecast revenue change: single filtered scan.
+      return {
+          {"filter-sum", {T::kLineitem}, {}, 0.02, 0.01, 160, 80},
+          {"final", {}, {0}, 1.0, 0.5},
+      };
+    case 7:  // Volume shipping: two nation-filtered join branches.
+      return {
+          {"supp-li", {T::kSupplier, T::kLineitem}, {}, 0.35, 0.4, 120, 90},
+          {"ord-cust", {T::kOrders, T::kCustomer}, {}, 0.3, 0.4, 110, 90},
+          {"join", {}, {0, 1}, 0.45, 0.3, 100, 90},
+          {"join-nat", {T::kNation}, {2}, 0.6, 0.4},
+          {"agg", {}, {3}, 0.2, 0.08},
+          {"sort", {}, {4}, 1.0, 0.3},
+      };
+    case 8:  // National market share.
+      return {
+          {"part-li", {T::kPart, T::kLineitem}, {}, 0.25, 0.3, 120, 90},
+          {"ord-cust", {T::kOrders, T::kCustomer}, {}, 0.3, 0.4, 110, 90},
+          {"join", {}, {0, 1}, 0.4, 0.3, 100, 90},
+          {"join-supp", {T::kSupplier}, {2}, 0.55, 0.4},
+          {"join-nat", {T::kNation, T::kRegion}, {3}, 0.6, 0.4},
+          {"agg", {}, {4}, 0.2, 0.06},
+          {"sort", {}, {5}, 1.0, 0.4},
+      };
+    case 9:  // Product type profit (largest join footprint).
+      return {
+          {"part-li", {T::kPart, T::kLineitem}, {}, 0.35, 0.4, 120, 90},
+          {"join-ps", {T::kPartsupp}, {0}, 0.5, 0.4, 100, 90},
+          {"join-ord", {T::kOrders}, {1}, 0.5, 0.4, 100, 90},
+          {"join-supp", {T::kSupplier}, {2}, 0.55, 0.4},
+          {"join-nat", {T::kNation}, {3}, 0.65, 0.45},
+          {"agg", {}, {4}, 0.2, 0.07},
+          {"sort", {}, {5}, 1.0, 0.3},
+      };
+    case 10:  // Returned items.
+      return {
+          {"cust-ord", {T::kCustomer, T::kOrders}, {}, 0.3, 0.45, 110, 90},
+          {"join-li", {T::kLineitem}, {0}, 0.3, 0.3, 120, 90},
+          {"join-nat", {T::kNation}, {1}, 0.65, 0.5},
+          {"agg", {}, {2}, 0.25, 0.1},
+          {"topk", {}, {3}, 1.0, 0.1},
+      };
+    case 11:  // Important stock identification.
+      return {
+          {"ps-supp", {T::kPartsupp, T::kSupplier, T::kNation}, {}, 0.4, 0.4, 110, 90},
+          {"value-agg", {}, {0}, 0.3, 0.15},
+          {"threshold", {}, {1}, 0.8, 0.5},
+          {"sort", {}, {2}, 1.0, 0.4},
+      };
+    case 12:  // Shipping mode / order priority.
+      return {
+          {"ord-li", {T::kOrders, T::kLineitem}, {}, 0.2, 0.15, 130, 90},
+          {"agg", {}, {0}, 0.15, 0.05},
+          {"sort", {}, {1}, 1.0, 0.5},
+      };
+    case 13:  // Customer distribution (left outer join).
+      return {
+          {"cust-ord", {T::kCustomer, T::kOrders}, {}, 0.35, 0.3, 110, 90},
+          {"count", {}, {0}, 0.2, 0.08},
+          {"hist", {}, {1}, 0.5, 0.3},
+      };
+    case 14:  // Promotion effect.
+      return {
+          {"li-part", {T::kLineitem, T::kPart}, {}, 0.15, 0.2, 130, 90},
+          {"agg", {}, {0}, 0.1, 0.05},
+          {"final", {}, {1}, 1.0, 0.5},
+      };
+    case 15:  // Top supplier (revenue view + max).
+      return {
+          {"revenue", {T::kLineitem}, {}, 0.08, 0.05, 140, 85},
+          {"max", {}, {0}, 0.5, 0.2},
+          {"join-supp", {T::kSupplier}, {1}, 0.7, 0.5},
+          {"sort", {}, {2}, 1.0, 0.4},
+      };
+    case 16:  // Parts/supplier relationship (distinct aggregation).
+      return {
+          {"ps-part", {T::kPartsupp, T::kPart}, {}, 0.4, 0.35, 110, 90},
+          {"antijoin-supp", {T::kSupplier}, {0}, 0.7, 0.6},
+          {"distinct-count", {}, {1}, 0.3, 0.1},
+          {"sort", {}, {2}, 1.0, 0.3},
+      };
+    case 17:  // Small-quantity-order revenue (correlated subquery).
+      return {
+          {"li-part", {T::kLineitem, T::kPart}, {}, 0.12, 0.2, 130, 90},
+          {"avg-qty", {T::kLineitem}, {}, 0.04, 0.02, 150, 85},
+          {"join", {}, {0, 1}, 0.4, 0.25, 100, 90},
+          {"agg", {}, {2}, 0.2, 0.05},
+          {"final", {}, {3}, 1.0, 0.5},
+      };
+    case 18:  // Large volume customers.
+      return {
+          {"li-groupby", {T::kLineitem}, {}, 0.1, 0.06, 140, 85},
+          {"join-ord", {T::kOrders}, {0}, 0.3, 0.3, 110, 90},
+          {"join-cust", {T::kCustomer}, {1}, 0.5, 0.4},
+          {"join-li", {T::kLineitem}, {2}, 0.12, 0.15, 130, 90},
+          {"agg", {}, {3}, 0.25, 0.1},
+          {"topk", {}, {4}, 1.0, 0.1},
+      };
+    case 19:  // Discounted revenue (disjunctive join predicates).
+      return {
+          {"li-part", {T::kLineitem, T::kPart}, {}, 0.08, 0.1, 130, 90},
+          {"agg", {}, {0}, 0.2, 0.05},
+          {"final", {}, {1}, 1.0, 0.5},
+      };
+    case 20:  // Potential part promotion.
+      return {
+          {"ps-part", {T::kPartsupp, T::kPart}, {}, 0.35, 0.35, 110, 90},
+          {"li-agg", {T::kLineitem}, {}, 0.06, 0.04, 145, 85},
+          {"semijoin", {}, {0, 1}, 0.4, 0.3, 100, 90},
+          {"join-supp", {T::kSupplier, T::kNation}, {2}, 0.6, 0.4},
+          {"sort", {}, {3}, 1.0, 0.3},
+      };
+    case 21:  // Suppliers who kept orders waiting: 9 jobs (paper §V-C).
+      return {
+          {"li-l1", {T::kLineitem}, {}, 0.12, 0.1, 135, 90},
+          {"li-l2", {T::kLineitem}, {}, 0.12, 0.1, 135, 90},
+          {"li-l3", {T::kLineitem}, {}, 0.12, 0.1, 135, 90},
+          {"join-l1l2", {}, {0, 1}, 0.45, 0.35, 100, 90},
+          {"antijoin-l3", {}, {2, 3}, 0.45, 0.3, 100, 90},
+          {"join-ord", {T::kOrders}, {4}, 0.3, 0.3, 110, 90},
+          {"join-supp", {T::kSupplier, T::kNation}, {5}, 0.55, 0.4},
+          {"group-count", {}, {6}, 0.25, 0.1},
+          {"topk", {}, {7}, 1.0, 0.1},
+      };
+    case 22:  // Global sales opportunity.
+      return {
+          {"cust-avg", {T::kCustomer}, {}, 0.3, 0.15, 120, 90},
+          {"antijoin-ord", {T::kOrders}, {0}, 0.25, 0.25, 120, 90},
+          {"agg", {}, {1}, 0.3, 0.1},
+          {"sort", {}, {2}, 1.0, 0.4},
+      };
+    default:
+      DAGPERF_CHECK_MSG(false, "TPC-H query out of range");
+      return {};
+  }
+}
+
+}  // namespace
+
+int TpchQueryJobCount(int query) {
+  return static_cast<int>(QueryPlan(query).size());
+}
+
+std::vector<JobId> AppendTpchQuery(DagBuilder& builder, int query, Bytes total_data) {
+  DAGPERF_CHECK_MSG(query >= 1 && query <= 22, "TPC-H query must be 1..22");
+  const Plan plan = QueryPlan(query);
+  std::vector<JobId> ids;
+  std::vector<Bytes> outputs;
+  ids.reserve(plan.size());
+  outputs.reserve(plan.size());
+
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const PlanJob& pj = plan[i];
+    JobSpec spec;
+    spec.name = "Q" + std::to_string(query) + "-" + pj.tag;
+    Bytes input;
+    for (TpchTable t : pj.scans) input += TpchTableSize(t, total_data);
+    for (int dep : pj.deps) {
+      DAGPERF_CHECK(dep >= 0 && dep < static_cast<int>(i));
+      input += outputs[dep];
+    }
+    // Floor: even metadata-only jobs move at least one split of data.
+    if (input < Bytes::FromMB(64)) input = Bytes::FromMB(64);
+    spec.input = input;
+    spec.map_selectivity = pj.map_sel;
+    spec.reduce_selectivity = pj.red_sel;
+    spec.map_compute = Rate::MBps(pj.map_mbps);
+    spec.reduce_compute = Rate::MBps(pj.red_mbps);
+    spec.compress_map_output = true;  // Hive enables intermediate compression.
+    spec.num_reduce_tasks = pj.map_only ? 0 : kAutoReducers;
+    const bool is_final = i + 1 == plan.size();
+    spec.replicas = is_final ? 3 : 1;
+    spec.reduce_skew_cv = pj.deps.empty() ? 0.1 : 0.15;  // Join keys skew mildly.
+
+    const JobId id = builder.AddJob(spec);
+    for (int dep : pj.deps) builder.AddEdge(ids[dep], id);
+    ids.push_back(id);
+    outputs.push_back(JobOutput(spec));
+  }
+  return ids;
+}
+
+Result<DagWorkflow> TpchQueryFlow(int query, Bytes total_data) {
+  DagBuilder builder("TPCH-Q" + std::to_string(query));
+  AppendTpchQuery(builder, query, total_data);
+  return std::move(builder).Build();
+}
+
+}  // namespace dagperf

@@ -1,0 +1,48 @@
+#ifndef DAGPERF_WORKLOADS_TPCH_H_
+#define DAGPERF_WORKLOADS_TPCH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+
+namespace dagperf {
+
+/// TPC-H base tables. Sizes follow the standard row-volume proportions of a
+/// TPC-H scale factor, applied to the configured total data volume (the
+/// paper generates 80 GB across the 8 tables).
+enum class TpchTable {
+  kLineitem,
+  kOrders,
+  kPartsupp,
+  kCustomer,
+  kPart,
+  kSupplier,
+  kNation,
+  kRegion,
+};
+
+/// The on-disk size of one table when the whole dataset is `total` bytes.
+Bytes TpchTableSize(TpchTable table, Bytes total = Bytes::FromGB(80));
+
+/// Appends the MapReduce job DAG of TPC-H query `query` (1..22) to the
+/// builder and returns the appended job ids in topological order.
+///
+/// The plans are synthetic-but-shaped: each query's job count, scan volumes,
+/// join/aggregation chain, and selectivities are modelled after the
+/// Hive-on-MapReduce physical plans (e.g. Q21 compiles to 9 jobs, matching
+/// the paper's observation). DESIGN.md §2 documents this substitution; the
+/// queries' role in the paper's evaluation is to supply 22 structurally
+/// diverse multi-job DAGs with realistic data volumes.
+std::vector<JobId> AppendTpchQuery(DagBuilder& builder, int query,
+                                   Bytes total_data = Bytes::FromGB(80));
+
+/// Number of MapReduce jobs query `query` compiles to.
+int TpchQueryJobCount(int query);
+
+/// Convenience: the query as a standalone workflow.
+Result<DagWorkflow> TpchQueryFlow(int query, Bytes total_data = Bytes::FromGB(80));
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOADS_TPCH_H_

@@ -1,0 +1,27 @@
+#ifndef DAGPERF_WORKLOADS_WEB_ANALYTICS_H_
+#define DAGPERF_WORKLOADS_WEB_ANALYTICS_H_
+
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+
+namespace dagperf {
+
+/// The four-job web-site-analytics DAG from Fig. 1 of the paper:
+///
+///   job1  pre-aggregates page-view events into (page, ip, duration)
+///         records;
+///   job2  counts views per page (WordCount-like, CPU-bound map) — runs in
+///         parallel with
+///   job3  sorts pages by visit duration (Sort-like, shuffle-heavy);
+///   job4  joins both results into the final report.
+///
+/// This is the workflow whose task execution plan motivates the paper: the
+/// map-task time of job2 drops across workflow states (27 s -> 24 s -> 20 s
+/// in the paper's trace) as job3's shuffle stops contending and then
+/// finishes. examples/web_analytics.cc and bench_fig1_plan reproduce that
+/// state-by-state variation.
+Result<DagWorkflow> WebAnalyticsFlow(Bytes input = Bytes::FromGB(100));
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_WORKLOADS_WEB_ANALYTICS_H_

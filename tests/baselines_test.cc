@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "baselines/ernest.h"
+#include "baselines/fixed_profile.h"
+#include "common/stats.h"
+
+namespace dagperf {
+namespace {
+
+JobSpec WcLikeJob() {
+  JobSpec spec;
+  spec.name = "wc";
+  spec.input = Bytes::FromGB(10);
+  spec.num_reduce_tasks = 8;
+  spec.map_selectivity = 0.1;
+  spec.compress_map_output = true;
+  spec.map_compute = Rate::MBps(25);
+  spec.replicas = 1;
+  return spec;
+}
+
+TEST(FixedProfileModelTest, CalibratesFromSimulation) {
+  const FixedProfileModel model =
+      FixedProfileModel::Calibrate(WcLikeJob(), ClusterSpec::PaperCluster(),
+                                   /*reference_tasks_per_node=*/4)
+          .value();
+  EXPECT_EQ(model.reference_tasks_per_node(), 4);
+  EXPECT_EQ(model.job_name(), "wc");
+  EXPECT_GT(model.PredictTaskTime(StageKind::kMap).seconds(), 0.0);
+  EXPECT_GT(model.PredictTaskTime(StageKind::kReduce).seconds(), 0.0);
+}
+
+TEST(FixedProfileModelTest, PredictionIgnoresActualParallelism) {
+  // The defining blindness of the baseline: same answer at any parallelism.
+  const FixedProfileModel model =
+      FixedProfileModel::Calibrate(WcLikeJob(), ClusterSpec::PaperCluster(), 2)
+          .value();
+  const double t = model.PredictTaskTime(StageKind::kMap).seconds();
+  EXPECT_DOUBLE_EQ(model.PredictTaskTime(StageKind::kMap).seconds(), t);
+}
+
+TEST(FixedProfileModelTest, DataScaleIsLinear) {
+  const FixedProfileModel model =
+      FixedProfileModel::Calibrate(WcLikeJob(), ClusterSpec::PaperCluster(), 2)
+          .value();
+  const double t1 = model.PredictTaskTime(StageKind::kMap, 1.0).seconds();
+  const double t2 = model.PredictTaskTime(StageKind::kMap, 2.0).seconds();
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST(FixedProfileModelTest, HigherReferenceParallelismLongerTasks) {
+  // Profiling at higher contention yields a larger (still flat) prediction.
+  // The job must be large enough that the per-node slot cap actually binds
+  // (enough tasks to fill 12 slots on every node).
+  JobSpec big = WcLikeJob();
+  big.input = Bytes::FromGB(100);
+  const FixedProfileModel low =
+      FixedProfileModel::Calibrate(big, ClusterSpec::PaperCluster(), 1).value();
+  const FixedProfileModel high =
+      FixedProfileModel::Calibrate(big, ClusterSpec::PaperCluster(), 12).value();
+  EXPECT_GT(high.PredictTaskTime(StageKind::kMap).seconds(),
+            low.PredictTaskTime(StageKind::kMap).seconds());
+}
+
+TEST(FixedProfileModelTest, RejectsBadReference) {
+  EXPECT_FALSE(
+      FixedProfileModel::Calibrate(WcLikeJob(), ClusterSpec::PaperCluster(), 0)
+          .ok());
+}
+
+TEST(ErnestModelTest, RecoversPlantedCostModel) {
+  // Generate points from t = 10 + 100*s/m + 5*log(m) + 0.5*m.
+  std::vector<ErnestModel::TrainingPoint> points;
+  for (double s : {0.1, 0.25, 0.5, 1.0}) {
+    for (double m : {1.0, 2.0, 4.0, 8.0}) {
+      points.push_back({s, m, 10 + 100 * s / m + 5 * std::log(m) + 0.5 * m});
+    }
+  }
+  const ErnestModel model = ErnestModel::Fit(points).value();
+  for (double s : {0.75, 1.5}) {
+    for (double m : {3.0, 10.0}) {
+      const double truth = 10 + 100 * s / m + 5 * std::log(m) + 0.5 * m;
+      EXPECT_GT(RelativeAccuracy(model.Predict(s, m), truth), 0.95)
+          << "s=" << s << " m=" << m;
+    }
+  }
+}
+
+TEST(ErnestModelTest, CoefficientsNonNegative) {
+  std::vector<ErnestModel::TrainingPoint> points;
+  for (double s : {0.1, 0.5, 1.0}) {
+    for (double m : {1.0, 4.0, 8.0}) {
+      points.push_back({s, m, 50 * s / m + 2});
+    }
+  }
+  const ErnestModel model = ErnestModel::Fit(points).value();
+  for (double b : model.coefficients()) EXPECT_GE(b, 0.0);
+}
+
+TEST(ErnestModelTest, RejectsTooFewPoints) {
+  std::vector<ErnestModel::TrainingPoint> points = {
+      {1, 1, 10}, {1, 2, 6}, {1, 4, 4}};
+  EXPECT_FALSE(ErnestModel::Fit(points).ok());
+}
+
+TEST(ErnestModelTest, RejectsInvalidPoints) {
+  std::vector<ErnestModel::TrainingPoint> points = {
+      {1, 1, 10}, {1, 2, 6}, {1, 4, 4}, {0, 8, 3}};
+  EXPECT_FALSE(ErnestModel::Fit(points).ok());
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,220 @@
+#include "boe/boe_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+/// Node from the paper's Fig. 4 example: 500 MB/s disk read, 100 MB/s
+/// network, plenty of cores.
+NodeSpec Fig4Node() {
+  NodeSpec node;
+  node.cores = 6;
+  node.disk_read_bw = Rate::MBps(500);
+  node.disk_write_bw = Rate::MBps(500);
+  node.network_bw = Rate::MBps(100);
+  return node;
+}
+
+/// The Fig. 4 task: one sub-stage reading 10000 MB, transferring 10000 MB,
+/// computing at 50 MB/s per core (200 core-seconds).
+StageProfile Fig4Stage() {
+  StageProfile stage;
+  stage.name = "fig4/map";
+  stage.num_tasks = 5;
+  SubStageProfile ss;
+  ss.name = "pipeline";
+  ss.demand[Resource::kDiskRead] = Bytes::FromMB(10000).value();
+  ss.demand[Resource::kNetwork] = Bytes::FromMB(10000).value();
+  ss.demand[Resource::kCpu] = 200.0;
+  stage.substages.push_back(ss);
+  return stage;
+}
+
+TEST(BoeModelTest, Fig4SingleTaskIsCpuBound200s) {
+  const BoeModel model(Fig4Node());
+  const TaskEstimate est = model.EstimateTask(Fig4Stage(), 1.0);
+  EXPECT_NEAR(est.duration.seconds(), 200.0, 1e-9);
+  EXPECT_EQ(est.bottleneck, Resource::kCpu);
+  ASSERT_EQ(est.substages.size(), 1u);
+  // Utilisations from the paper: disk 10%, network 50%.
+  for (const auto& op : est.substages[0].ops) {
+    if (op.resource == Resource::kDiskRead) {
+      EXPECT_NEAR(op.utilization, 0.10, 1e-9);
+    } else if (op.resource == Resource::kNetwork) {
+      EXPECT_NEAR(op.utilization, 0.50, 1e-9);
+    } else if (op.resource == Resource::kCpu) {
+      EXPECT_NEAR(op.utilization, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(BoeModelTest, Fig4FiveTasksAreNetworkBound500s) {
+  const BoeModel model(Fig4Node());
+  const TaskEstimate est = model.EstimateTask(Fig4Stage(), 5.0);
+  EXPECT_NEAR(est.duration.seconds(), 500.0, 1e-9);
+  EXPECT_EQ(est.bottleneck, Resource::kNetwork);
+  // Utilisations from the paper: disk 20%, network 100%.
+  for (const auto& op : est.substages[0].ops) {
+    if (op.resource == Resource::kDiskRead) {
+      EXPECT_NEAR(op.utilization, 0.20, 1e-9);
+    } else if (op.resource == Resource::kNetwork) {
+      EXPECT_NEAR(op.utilization, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(BoeModelTest, CpuNotSharedBelowCoreCount) {
+  // 6 cores; up to 6 tasks each get a full core: task time flat.
+  const BoeModel model(Fig4Node());
+  StageProfile stage;
+  stage.name = "cpu-only";
+  SubStageProfile ss;
+  ss.name = "compute";
+  ss.demand[Resource::kCpu] = 30.0;
+  stage.substages.push_back(ss);
+  for (double delta : {1.0, 2.0, 4.0, 6.0}) {
+    const TaskEstimate est = model.EstimateTask(stage, delta);
+    EXPECT_NEAR(est.duration.seconds(), 30.0, 1e-9) << "delta=" << delta;
+  }
+  // Past saturation the time scales linearly with parallelism.
+  EXPECT_NEAR(model.EstimateTask(stage, 12.0).duration.seconds(), 60.0, 1e-9);
+  EXPECT_NEAR(model.EstimateTask(stage, 9.0).duration.seconds(), 45.0, 1e-9);
+}
+
+TEST(BoeModelTest, SubStagesSumSequentially) {
+  const BoeModel model(Fig4Node());
+  StageProfile stage;
+  stage.name = "two-substage";
+  SubStageProfile read;
+  read.name = "read";
+  read.demand[Resource::kDiskRead] = Bytes::FromMB(500).value();  // 1 s alone.
+  SubStageProfile write;
+  write.name = "write";
+  write.demand[Resource::kDiskWrite] = Bytes::FromMB(1000).value();  // 2 s alone.
+  stage.substages = {read, write};
+  const TaskEstimate est = model.EstimateTask(stage, 1.0);
+  EXPECT_NEAR(est.duration.seconds(), 3.0, 1e-9);
+  EXPECT_EQ(est.bottleneck, Resource::kDiskWrite);  // Longest sub-stage.
+}
+
+TEST(BoeModelTest, ParallelStagesShareBottleneckEqually) {
+  // Two identical network-bound stages with equal populations halve each
+  // other's bandwidth: task time doubles vs running alone at the same delta.
+  const BoeModel model(Fig4Node());
+  StageProfile stage;
+  stage.name = "net";
+  SubStageProfile ss;
+  ss.name = "transfer";
+  ss.demand[Resource::kNetwork] = Bytes::FromMB(100).value();
+  stage.substages.push_back(ss);
+
+  const TaskEstimate alone = model.EstimateTask(stage, 2.0);
+  const auto both = model.EstimateParallel(
+      {{&stage, 2.0}, {&stage, 2.0}});
+  EXPECT_NEAR(both[0].duration.seconds(), 2.0 * alone.duration.seconds(), 1e-9);
+  EXPECT_NEAR(both[1].duration.seconds(), both[0].duration.seconds(), 1e-12);
+}
+
+TEST(BoeModelTest, DisjointResourcesDoNotInterfere) {
+  // A CPU-bound stage and a network-bound stage co-run without slowdown
+  // (below CPU saturation).
+  const BoeModel model(Fig4Node());
+  StageProfile cpu_stage;
+  cpu_stage.name = "cpu";
+  SubStageProfile c;
+  c.name = "compute";
+  c.demand[Resource::kCpu] = 10.0;
+  cpu_stage.substages.push_back(c);
+
+  StageProfile net_stage;
+  net_stage.name = "net";
+  SubStageProfile t;
+  t.name = "transfer";
+  t.demand[Resource::kNetwork] = Bytes::FromMB(100).value();
+  net_stage.substages.push_back(t);
+
+  const double cpu_alone = model.EstimateTask(cpu_stage, 2.0).duration.seconds();
+  const double net_alone = model.EstimateTask(net_stage, 2.0).duration.seconds();
+  const auto both = model.EstimateParallel({{&cpu_stage, 2.0}, {&net_stage, 2.0}});
+  EXPECT_NEAR(both[0].duration.seconds(), cpu_alone, 1e-9);
+  EXPECT_NEAR(both[1].duration.seconds(), net_alone, 1e-9);
+}
+
+TEST(BoeModelTest, TaskTimeMonotoneInParallelism) {
+  const BoeModel model(Fig4Node());
+  const StageProfile stage = Fig4Stage();
+  double prev = 0;
+  for (double delta = 1; delta <= 16; delta += 1) {
+    const double t = model.EstimateTask(stage, delta).duration.seconds();
+    EXPECT_GE(t, prev - 1e-9) << "delta=" << delta;
+    prev = t;
+  }
+}
+
+TEST(BoeModelTest, SteadyStateModeMatchesPaperForSingleSubStage) {
+  // With one sub-stage the population spread is trivial, so both contention
+  // modes must agree.
+  BoeOptions steady;
+  steady.mode = BoeOptions::ContentionMode::kSteadyState;
+  const BoeModel paper_model(Fig4Node());
+  const BoeModel steady_model(Fig4Node(), steady);
+  const StageProfile stage = Fig4Stage();
+  for (double delta : {1.0, 3.0, 5.0, 10.0}) {
+    EXPECT_NEAR(paper_model.EstimateTask(stage, delta).duration.seconds(),
+                steady_model.EstimateTask(stage, delta).duration.seconds(), 1e-6)
+        << "delta=" << delta;
+  }
+}
+
+TEST(BoeModelTest, SteadyStateNeverSlowerThanPaperMode) {
+  // Spreading the population across sub-stages can only reduce contention
+  // relative to the paper's everyone-contends-everywhere assumption.
+  BoeOptions steady;
+  steady.mode = BoeOptions::ContentionMode::kSteadyState;
+  const BoeModel paper_model(Fig4Node());
+  const BoeModel steady_model(Fig4Node(), steady);
+
+  StageProfile stage;
+  stage.name = "mixed";
+  SubStageProfile a;
+  a.name = "read";
+  a.demand[Resource::kDiskRead] = Bytes::FromMB(1000).value();
+  a.demand[Resource::kCpu] = 5.0;
+  SubStageProfile b;
+  b.name = "write";
+  b.demand[Resource::kDiskWrite] = Bytes::FromMB(500).value();
+  stage.substages = {a, b};
+
+  for (double delta : {2.0, 6.0, 12.0}) {
+    const double tp = paper_model.EstimateTask(stage, delta).duration.seconds();
+    const double ts = steady_model.EstimateTask(stage, delta).duration.seconds();
+    EXPECT_LE(ts, tp + 1e-6) << "delta=" << delta;
+  }
+}
+
+TEST(BoeModelTest, RealWordCountProfileIsCpuBoundPastSaturation) {
+  // A compiled WordCount-like map stage: CPU-heavy map function.
+  JobSpec spec;
+  spec.name = "wc";
+  spec.input = Bytes::FromGB(100);
+  spec.split_size = Bytes::FromMB(256);
+  spec.map_selectivity = 0.05;
+  spec.compress_map_output = true;
+  spec.map_compute = Rate::MBps(20);  // Slow user code.
+  const JobProfile profile = CompileJob(spec).value();
+
+  NodeSpec node = ClusterSpec::PaperCluster().node;
+  const BoeModel model(node);
+  const TaskEstimate est = model.EstimateTask(profile.map, 12.0);
+  EXPECT_EQ(est.bottleneck, Resource::kCpu);
+}
+
+TEST(BoeModelDeathTest, RejectsZeroParallelism) {
+  const BoeModel model(Fig4Node());
+  const StageProfile stage = Fig4Stage();
+  EXPECT_DEATH((void)model.EstimateTask(stage, 0.0), "CHECK");
+}
+
+}  // namespace
+}  // namespace dagperf

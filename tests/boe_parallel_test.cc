@@ -1,0 +1,169 @@
+// Tests of the BOE model's parallel-stage contention modes (Eq. 5,
+// steady-state, wave-aligned) and its utilisation reporting.
+
+#include <gtest/gtest.h>
+
+#include "boe/boe_model.h"
+
+namespace dagperf {
+namespace {
+
+NodeSpec TestNode() {
+  NodeSpec node;
+  node.cores = 6;
+  node.disk_read_bw = Rate::MBps(240);
+  node.disk_write_bw = Rate::MBps(240);
+  node.network_bw = Rate::MBps(125);
+  return node;
+}
+
+StageProfile SingleOpStage(const std::string& name, Resource r, double amount) {
+  StageProfile stage;
+  stage.name = name;
+  SubStageProfile ss;
+  ss.name = "op";
+  ss.demand[r] = amount;
+  stage.substages.push_back(ss);
+  return stage;
+}
+
+BoeModel ModelWithMode(BoeOptions::ContentionMode mode) {
+  BoeOptions options;
+  options.mode = mode;
+  return BoeModel(TestNode(), options);
+}
+
+class AllModesTest
+    : public ::testing::TestWithParam<BoeOptions::ContentionMode> {};
+
+TEST_P(AllModesTest, SymmetricStagesGetEqualTimes) {
+  const BoeModel model = ModelWithMode(GetParam());
+  const StageProfile a = SingleOpStage("a", Resource::kNetwork, 100e6);
+  const StageProfile b = SingleOpStage("b", Resource::kNetwork, 100e6);
+  const auto est = model.EstimateParallel({{&a, 3.0}, {&b, 3.0}});
+  EXPECT_NEAR(est[0].duration.seconds(), est[1].duration.seconds(), 1e-9);
+  // 6 tasks split 125 MB/s: 100 MB at ~20.8 MB/s.
+  EXPECT_NEAR(est[0].duration.seconds(), 100e6 / (125e6 / 6.0), 1e-6);
+}
+
+TEST_P(AllModesTest, SingleSubStageStageMatchesPaperFormula) {
+  // For one stage with one sub-stage, every mode must reduce to Eq. 5.
+  const BoeModel model = ModelWithMode(GetParam());
+  const StageProfile stage = SingleOpStage("s", Resource::kDiskRead, 240e6);
+  for (double delta : {1.0, 4.0, 8.0}) {
+    EXPECT_NEAR(model.EstimateTask(stage, delta).duration.seconds(), delta, 1e-6)
+        << "delta=" << delta;
+  }
+}
+
+TEST_P(AllModesTest, BottleneckUtilisationIsOne) {
+  const BoeModel model = ModelWithMode(GetParam());
+  StageProfile stage;
+  stage.name = "mixed";
+  SubStageProfile ss;
+  ss.name = "pipeline";
+  ss.demand[Resource::kDiskRead] = 60e6;
+  ss.demand[Resource::kNetwork] = 125e6;
+  ss.demand[Resource::kCpu] = 0.2;
+  stage.substages.push_back(ss);
+  const TaskEstimate est = model.EstimateTask(stage, 4.0);
+  ASSERT_EQ(est.substages.size(), 1u);
+  double max_util = 0;
+  for (const auto& op : est.substages[0].ops) {
+    EXPECT_LE(op.utilization, 1.0 + 1e-9);
+    max_util = std::max(max_util, op.utilization);
+    if (op.resource == est.substages[0].bottleneck) {
+      EXPECT_NEAR(op.utilization, 1.0, 1e-9);
+    }
+  }
+  EXPECT_NEAR(max_util, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, AllModesTest,
+                         ::testing::Values(BoeOptions::ContentionMode::kPaper,
+                                           BoeOptions::ContentionMode::kSteadyState,
+                                           BoeOptions::ContentionMode::kAlignedSelf),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case BoeOptions::ContentionMode::kPaper:
+                               return "paper";
+                             case BoeOptions::ContentionMode::kSteadyState:
+                               return "steady";
+                             case BoeOptions::ContentionMode::kAlignedSelf:
+                               return "aligned";
+                           }
+                           return "unknown";
+                         });
+
+TEST(AlignedSelfTest, LightCoRunnerBarelySlowsHeavyUser) {
+  // A CPU-capped co-runner takes almost no disk; the aligned mode should
+  // give the disk-heavy stage nearly the whole device, unlike Eq. 5 which
+  // halves it.
+  const StageProfile disk_heavy = SingleOpStage("disk", Resource::kDiskRead, 240e6);
+  StageProfile cpu_light;
+  cpu_light.name = "cpu";
+  SubStageProfile ss;
+  ss.name = "op";
+  ss.demand[Resource::kCpu] = 10.0;
+  ss.demand[Resource::kDiskRead] = 1e6;  // Trickle of disk.
+  cpu_light.substages.push_back(ss);
+
+  const BoeModel aligned = ModelWithMode(BoeOptions::ContentionMode::kAlignedSelf);
+  const BoeModel paper = ModelWithMode(BoeOptions::ContentionMode::kPaper);
+  const auto est_aligned = aligned.EstimateParallel({{&disk_heavy, 2.0}, {&cpu_light, 2.0}});
+  const auto est_paper = paper.EstimateParallel({{&disk_heavy, 2.0}, {&cpu_light, 2.0}});
+
+  // Paper mode: 4 contenders on disk -> 60 MB/s each -> 4 s.
+  EXPECT_NEAR(est_paper[0].duration.seconds(), 4.0, 1e-6);
+  // Aligned: the CPU-bound tasks use ~0.1 MB/s each; disk tasks get ~119.9.
+  EXPECT_LT(est_aligned[0].duration.seconds(), 2.1);
+}
+
+TEST(AlignedSelfTest, OwnSubStagesStayAligned) {
+  // A stage with two sub-stages on the same device: aligned-self counts all
+  // of its own tasks in the current sub-stage (not spread), so the per-task
+  // share is capacity/population in both sub-stages.
+  StageProfile stage;
+  stage.name = "two-phase";
+  SubStageProfile read;
+  read.name = "read";
+  read.demand[Resource::kDiskRead] = 120e6;
+  SubStageProfile write;
+  write.name = "write";
+  write.demand[Resource::kDiskWrite] = 120e6;
+  stage.substages = {read, write};
+  const BoeModel aligned = ModelWithMode(BoeOptions::ContentionMode::kAlignedSelf);
+  const TaskEstimate est = aligned.EstimateTask(stage, 4.0);
+  // Each sub-stage: 120 MB at 240/4 = 60 MB/s -> 2 s; total 4 s.
+  EXPECT_NEAR(est.duration.seconds(), 4.0, 1e-6);
+  // Steady-state would spread 2 tasks per sub-stage -> 120 MB/s -> 1 s each.
+  const BoeModel steady = ModelWithMode(BoeOptions::ContentionMode::kSteadyState);
+  EXPECT_NEAR(steady.EstimateTask(stage, 4.0).duration.seconds(), 2.0, 1e-3);
+}
+
+TEST(AlignedSelfTest, ConvergesForManyStages) {
+  // Ten heterogeneous stages: the fixed point must converge and stay sane.
+  std::vector<StageProfile> stages;
+  for (int i = 0; i < 10; ++i) {
+    StageProfile s;
+    s.name = "s" + std::to_string(i);
+    SubStageProfile ss;
+    ss.name = "op";
+    ss.demand[Resource::kDiskRead] = 10e6 * (1 + i % 4);
+    ss.demand[Resource::kNetwork] = 15e6 * (1 + i % 3);
+    ss.demand[Resource::kCpu] = 0.2 * (1 + i % 5);
+    s.substages.push_back(ss);
+    stages.push_back(s);
+  }
+  const BoeModel model(TestNode());
+  std::vector<ParallelStage> parallel;
+  for (const auto& s : stages) parallel.push_back({&s, 1.5});
+  const auto est = model.EstimateParallel(parallel);
+  for (const auto& e : est) {
+    EXPECT_GT(e.duration.seconds(), 0.0);
+    EXPECT_TRUE(std::isfinite(e.duration.seconds()));
+  }
+}
+
+}  // namespace
+}  // namespace dagperf

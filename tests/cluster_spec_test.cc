@@ -1,0 +1,70 @@
+#include "cluster/cluster_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+TEST(NodeSpecTest, CapacitiesMatchSpec) {
+  NodeSpec node;
+  node.cores = 8;
+  node.disk_read_bw = Rate::MBps(400);
+  node.disk_write_bw = Rate::MBps(300);
+  node.network_bw = Rate::Gbps(10);
+  const ResourceVector caps = node.Capacities();
+  EXPECT_DOUBLE_EQ(caps[Resource::kDiskRead], 4e8);
+  EXPECT_DOUBLE_EQ(caps[Resource::kDiskWrite], 3e8);
+  EXPECT_DOUBLE_EQ(caps[Resource::kNetwork], 1.25e9);
+  EXPECT_DOUBLE_EQ(caps[Resource::kCpu], 8.0);
+}
+
+TEST(ClusterSpecTest, PaperClusterMatchesSection5A) {
+  const ClusterSpec c = ClusterSpec::PaperCluster();
+  EXPECT_EQ(c.num_nodes, 11);
+  EXPECT_EQ(c.node.cores, 6);
+  EXPECT_EQ(c.TotalCores(), 66);
+  EXPECT_DOUBLE_EQ(c.node.memory.ToGB(), 32.0);
+  EXPECT_DOUBLE_EQ(c.node.network_bw.ToMBps(), 125.0);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ClusterSpecTest, ValidateRejectsNonPositive) {
+  ClusterSpec c = ClusterSpec::PaperCluster();
+  c.num_nodes = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = ClusterSpec::PaperCluster();
+  c.node.cores = -1;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = ClusterSpec::PaperCluster();
+  c.node.network_bw = Rate(0);
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = ClusterSpec::PaperCluster();
+  c.node.memory = Bytes(0);
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ResourceVectorTest, Arithmetic) {
+  ResourceVector a;
+  a[Resource::kCpu] = 2;
+  a[Resource::kNetwork] = 10;
+  ResourceVector b;
+  b[Resource::kCpu] = 1;
+  const ResourceVector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[Resource::kCpu], 3);
+  EXPECT_DOUBLE_EQ(sum[Resource::kNetwork], 10);
+  const ResourceVector scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled[Resource::kCpu], 4);
+}
+
+TEST(ResourceVectorTest, Names) {
+  EXPECT_STREQ(ResourceName(Resource::kDiskRead), "disk-read");
+  EXPECT_STREQ(ResourceName(Resource::kDiskWrite), "disk-write");
+  EXPECT_STREQ(ResourceName(Resource::kNetwork), "network");
+  EXPECT_STREQ(ResourceName(Resource::kCpu), "cpu");
+}
+
+}  // namespace
+}  // namespace dagperf

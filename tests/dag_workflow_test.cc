@@ -1,0 +1,129 @@
+#include "dag/dag_workflow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dagperf {
+namespace {
+
+JobSpec SimpleSpec(const std::string& name) {
+  JobSpec spec;
+  spec.name = name;
+  spec.input = Bytes::FromGB(1);
+  spec.num_reduce_tasks = 2;
+  return spec;
+}
+
+TEST(DagBuilderTest, SingleJob) {
+  DagBuilder b("single");
+  b.AddJob(SimpleSpec("j0"));
+  const DagWorkflow flow = std::move(b).Build().value();
+  EXPECT_EQ(flow.num_jobs(), 1);
+  EXPECT_EQ(flow.name(), "single");
+  EXPECT_EQ(flow.Sources(), std::vector<JobId>{0});
+  EXPECT_TRUE(flow.parents(0).empty());
+  EXPECT_TRUE(flow.children(0).empty());
+}
+
+TEST(DagBuilderTest, DiamondTopology) {
+  DagBuilder b("diamond");
+  const JobId a = b.AddJob(SimpleSpec("a"));
+  const JobId l = b.AddJob(SimpleSpec("l"));
+  const JobId r = b.AddJob(SimpleSpec("r"));
+  const JobId d = b.AddJob(SimpleSpec("d"));
+  b.AddEdge(a, l).AddEdge(a, r).AddEdge(l, d).AddEdge(r, d);
+  const DagWorkflow flow = std::move(b).Build().value();
+
+  EXPECT_EQ(flow.Sources(), std::vector<JobId>{a});
+  EXPECT_EQ(flow.children(a), (std::vector<JobId>{l, r}));
+  EXPECT_EQ(flow.parents(d), (std::vector<JobId>{l, r}));
+
+  const std::vector<JobId> order = flow.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  const auto pos = [&](JobId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(l));
+  EXPECT_LT(pos(a), pos(r));
+  EXPECT_LT(pos(l), pos(d));
+  EXPECT_LT(pos(r), pos(d));
+}
+
+TEST(DagBuilderTest, AddJobAfterChains) {
+  DagBuilder b("chain");
+  const JobId first = b.AddJob(SimpleSpec("first"));
+  const JobId second = b.AddJobAfter(first, SimpleSpec("second"));
+  const JobId third = b.AddJobAfter(second, SimpleSpec("third"));
+  const DagWorkflow flow = std::move(b).Build().value();
+  EXPECT_EQ(flow.parents(third), std::vector<JobId>{second});
+  EXPECT_EQ(flow.TopologicalOrder(), (std::vector<JobId>{first, second, third}));
+}
+
+TEST(DagBuilderTest, RejectsCycle) {
+  DagBuilder b("cycle");
+  const JobId a = b.AddJob(SimpleSpec("a"));
+  const JobId c = b.AddJob(SimpleSpec("c"));
+  b.AddEdge(a, c).AddEdge(c, a);
+  const auto result = std::move(b).Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(DagBuilderTest, RejectsSelfEdge) {
+  DagBuilder b("self");
+  const JobId a = b.AddJob(SimpleSpec("a"));
+  b.AddEdge(a, a);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(DagBuilderTest, RejectsDuplicateEdge) {
+  DagBuilder b("dup");
+  const JobId a = b.AddJob(SimpleSpec("a"));
+  const JobId c = b.AddJob(SimpleSpec("c"));
+  b.AddEdge(a, c).AddEdge(a, c);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(DagBuilderTest, RejectsUnknownJobInEdge) {
+  DagBuilder b("unknown");
+  const JobId a = b.AddJob(SimpleSpec("a"));
+  b.AddEdge(a, 7);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(DagBuilderTest, RejectsEmptyWorkflow) {
+  DagBuilder b("empty");
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(DagBuilderTest, RejectsInvalidJobSpec) {
+  DagBuilder b("badspec");
+  JobSpec bad = SimpleSpec("bad");
+  bad.input = Bytes(-1);
+  b.AddJob(bad);
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(DagWorkflowTest, TotalStagesCountsMapOnlyJobs) {
+  DagBuilder b("stages");
+  b.AddJob(SimpleSpec("mr"));  // map + reduce = 2 stages.
+  JobSpec map_only = SimpleSpec("m");
+  map_only.num_reduce_tasks = 0;
+  b.AddJob(map_only);  // 1 stage.
+  const DagWorkflow flow = std::move(b).Build().value();
+  EXPECT_EQ(flow.TotalStages(), 3);
+}
+
+TEST(DagWorkflowTest, MultipleSourcesRunInParallel) {
+  DagBuilder b("multi-source");
+  const JobId a = b.AddJob(SimpleSpec("a"));
+  const JobId c = b.AddJob(SimpleSpec("c"));
+  const JobId join = b.AddJob(SimpleSpec("join"));
+  b.AddEdge(a, join).AddEdge(c, join);
+  const DagWorkflow flow = std::move(b).Build().value();
+  EXPECT_EQ(flow.Sources(), (std::vector<JobId>{a, c}));
+}
+
+}  // namespace
+}  // namespace dagperf

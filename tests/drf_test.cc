@@ -1,0 +1,138 @@
+#include "scheduler/drf.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+DrfAllocator PaperAllocator(int max_tasks_per_node = 0) {
+  SchedulerConfig config;
+  config.vcores_per_core = 2.0;
+  config.max_tasks_per_node = max_tasks_per_node;
+  return DrfAllocator(ClusterSpec::PaperCluster(), config);
+}
+
+TEST(DrfTest, NodeSlotsLimitedByVcores) {
+  // 6 cores * 2 vcores/core = 12 vcores, 1 vcore per task; memory allows 16.
+  const DrfAllocator alloc = PaperAllocator();
+  SlotDemand demand;
+  demand.vcores = 1.0;
+  demand.memory = Bytes::FromGB(2);
+  EXPECT_EQ(alloc.NodeSlots(demand), 12);
+  EXPECT_EQ(alloc.ClusterSlots(demand), 132);
+}
+
+TEST(DrfTest, NodeSlotsLimitedByMemory) {
+  const DrfAllocator alloc = PaperAllocator();
+  SlotDemand demand;
+  demand.vcores = 1.0;
+  demand.memory = Bytes::FromGB(8);  // 32 GB / 8 GB = 4 per node.
+  EXPECT_EQ(alloc.NodeSlots(demand), 4);
+}
+
+TEST(DrfTest, ExplicitPerNodeCap) {
+  const DrfAllocator alloc = PaperAllocator(/*max_tasks_per_node=*/3);
+  SlotDemand demand;
+  EXPECT_EQ(alloc.NodeSlots(demand), 3);
+  EXPECT_EQ(alloc.ClusterSlots(demand), 33);
+}
+
+TEST(DrfTest, SingleJobGetsWholeCluster) {
+  const DrfAllocator alloc = PaperAllocator();
+  StageDemand stage;
+  stage.remaining_tasks = 1000;
+  const std::vector<int> granted = alloc.Allocate({stage});
+  EXPECT_EQ(granted[0], 132);
+}
+
+TEST(DrfTest, BacklogCapsAllocation) {
+  const DrfAllocator alloc = PaperAllocator();
+  StageDemand stage;
+  stage.remaining_tasks = 7;
+  EXPECT_EQ(alloc.Allocate({stage})[0], 7);
+}
+
+TEST(DrfTest, EqualDemandsSplitEqually) {
+  const DrfAllocator alloc = PaperAllocator();
+  StageDemand a;
+  a.remaining_tasks = 1000;
+  StageDemand b;
+  b.remaining_tasks = 1000;
+  const std::vector<int> granted = alloc.Allocate({a, b});
+  EXPECT_EQ(granted[0], 66);
+  EXPECT_EQ(granted[1], 66);
+}
+
+TEST(DrfTest, SmallJobSurplusGoesToBigJob) {
+  const DrfAllocator alloc = PaperAllocator();
+  StageDemand small;
+  small.remaining_tasks = 10;
+  StageDemand big;
+  big.remaining_tasks = 1000;
+  const std::vector<int> granted = alloc.Allocate({small, big});
+  EXPECT_EQ(granted[0], 10);
+  EXPECT_EQ(granted[1], 122);
+}
+
+TEST(DrfTest, DominantShareEqualisedForAsymmetricDemands) {
+  // Job A is memory-heavy (dominant = memory); job B is vcore-heavy
+  // (dominant = vcores). DRF should equalise dominant shares.
+  const DrfAllocator alloc = PaperAllocator();
+  StageDemand a;
+  a.slot.vcores = 1.0;
+  a.slot.memory = Bytes::FromGB(4);
+  a.remaining_tasks = 10000;
+  StageDemand b;
+  b.slot.vcores = 2.0;
+  b.slot.memory = Bytes::FromGB(1);
+  b.remaining_tasks = 10000;
+  const std::vector<int> granted = alloc.Allocate({a, b});
+  const double total_vcores = 11 * 12.0;
+  const double total_mem = 11 * 32.0;  // In GB.
+  const double share_a =
+      std::max(granted[0] * 1.0 / total_vcores, granted[0] * 4.0 / total_mem);
+  const double share_b =
+      std::max(granted[1] * 2.0 / total_vcores, granted[1] * 1.0 / total_mem);
+  EXPECT_NEAR(share_a, share_b, 0.03);
+  // Capacity respected.
+  EXPECT_LE(granted[0] * 1.0 + granted[1] * 2.0, total_vcores + 1e-9);
+  EXPECT_LE(granted[0] * 4.0 + granted[1] * 1.0, total_mem + 1e-9);
+}
+
+TEST(DrfTest, ZeroBacklogReceivesNothing) {
+  const DrfAllocator alloc = PaperAllocator();
+  StageDemand idle;
+  idle.remaining_tasks = 0;
+  StageDemand busy;
+  busy.remaining_tasks = 50;
+  const std::vector<int> granted = alloc.Allocate({idle, busy});
+  EXPECT_EQ(granted[0], 0);
+  EXPECT_EQ(granted[1], 50);
+}
+
+TEST(DrfTest, EmptyRequestListIsEmptyAllocation) {
+  const DrfAllocator alloc = PaperAllocator();
+  EXPECT_TRUE(alloc.Allocate({}).empty());
+}
+
+TEST(DrfTest, ThreeWaySplit) {
+  const DrfAllocator alloc = PaperAllocator();
+  std::vector<StageDemand> stages(3);
+  for (auto& s : stages) s.remaining_tasks = 1000;
+  const std::vector<int> granted = alloc.Allocate(stages);
+  EXPECT_EQ(granted[0] + granted[1] + granted[2], 132);
+  for (int g : granted) EXPECT_EQ(g, 44);
+}
+
+TEST(DrfTest, PerNodeCapAppliesAcrossJobs) {
+  const DrfAllocator alloc = PaperAllocator(/*max_tasks_per_node=*/2);
+  StageDemand a;
+  a.remaining_tasks = 100;
+  StageDemand b;
+  b.remaining_tasks = 100;
+  const std::vector<int> granted = alloc.Allocate({a, b});
+  EXPECT_EQ(granted[0] + granted[1], 22);
+}
+
+}  // namespace
+}  // namespace dagperf

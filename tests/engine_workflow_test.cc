@@ -1,0 +1,112 @@
+#include "engine/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/builtin.h"
+#include "engine/datagen.h"
+
+namespace dagperf {
+namespace {
+
+TEST(EngineWorkflowTest, ChainPassesDataThrough) {
+  LocalStore store;
+  GenerateText(store, "corpus", Bytes::FromKB(200), 200, 1.0);
+  MapReduceEngine engine(&store);
+
+  // grep "a"-containing lines, then count their words.
+  EngineWorkflow workflow;
+  workflow.name = "grep-then-count";
+  workflow.jobs.push_back(GrepJob("corpus", "filtered", "a"));
+  workflow.jobs.push_back(WordCountJob("filtered", "counts"));
+  workflow.edges = {{0, 1}};
+
+  const WorkflowMetrics metrics = RunEngineWorkflow(engine, workflow).value();
+  EXPECT_TRUE(store.Exists("filtered"));
+  EXPECT_TRUE(store.Exists("counts"));
+  ASSERT_EQ(metrics.jobs.size(), 2u);
+  // The counter consumed exactly what the filter produced.
+  EXPECT_EQ(metrics.jobs[1].map.records_in, metrics.jobs[0].map.records_out);
+  // Dependency respected in wall-clock terms.
+  EXPECT_GE(metrics.job_start_s[1], metrics.job_end_s[0] - 1e-9);
+  EXPECT_GE(metrics.wall_seconds, metrics.job_end_s[1] - 1e-9);
+}
+
+TEST(EngineWorkflowTest, DiamondProducesJoinableResults) {
+  LocalStore store;
+  GenerateKeyedInts(store, "events", 20000, 500, 0.7);
+  MapReduceEngine engine(&store);
+
+  // Two aggregations of the same input feed a join — Fig. 2-style diamond.
+  EngineWorkflow workflow;
+  workflow.name = "diamond";
+  workflow.jobs.push_back(SumByKeyJob("events", "sums"));
+  workflow.jobs.push_back(WordCountJob("events", "counts-of-values"));
+  EngineJobConfig merge;
+  merge.name = "merge";
+  merge.input = "sums";
+  merge.output = "merged";
+  merge.map = [](const Record& r, MapContext& out) { out.Emit(r.key, r.value); };
+  workflow.jobs.push_back(merge);
+  workflow.edges = {{0, 2}, {1, 2}};
+
+  const WorkflowMetrics metrics = RunEngineWorkflow(engine, workflow).value();
+  // Sources may genuinely overlap in time.
+  EXPECT_LT(metrics.job_start_s[0], metrics.job_end_s[1]);
+  EXPECT_GE(metrics.job_start_s[2],
+            std::max(metrics.job_end_s[0], metrics.job_end_s[1]) - 1e-9);
+  EXPECT_EQ(store.Read("merged").value()->size(),
+            store.Read("sums").value()->size());
+}
+
+TEST(EngineWorkflowTest, IndependentJobsRunConcurrently) {
+  LocalStore store;
+  GenerateText(store, "corpus", Bytes::FromKB(800), 500, 1.0);
+  MapReduceEngine engine(&store);
+  EngineWorkflow workflow;
+  workflow.jobs.push_back(WordCountJob("corpus", "a"));
+  workflow.jobs.push_back(WordCountJob("corpus", "b"));
+  const WorkflowMetrics metrics = RunEngineWorkflow(engine, workflow).value();
+  // Both started before either finished (true overlap).
+  const double first_end = std::min(metrics.job_end_s[0], metrics.job_end_s[1]);
+  EXPECT_LE(metrics.job_start_s[0], first_end);
+  EXPECT_LE(metrics.job_start_s[1], first_end);
+}
+
+TEST(EngineWorkflowTest, RejectsBadTopologies) {
+  LocalStore store;
+  store.Write("in", {{"k", "v"}});
+  MapReduceEngine engine(&store);
+
+  EngineWorkflow empty;
+  EXPECT_FALSE(RunEngineWorkflow(engine, empty).ok());
+
+  EngineWorkflow cycle;
+  cycle.jobs.push_back(GrepJob("in", "x", "k"));
+  cycle.jobs.push_back(GrepJob("x", "y", "k"));
+  cycle.edges = {{0, 1}, {1, 0}};
+  EXPECT_FALSE(RunEngineWorkflow(engine, cycle).ok());
+
+  EngineWorkflow bad_edge;
+  bad_edge.jobs.push_back(GrepJob("in", "x", "k"));
+  bad_edge.edges = {{0, 7}};
+  EXPECT_FALSE(RunEngineWorkflow(engine, bad_edge).ok());
+}
+
+TEST(EngineWorkflowTest, FailedJobAbortsWorkflow) {
+  LocalStore store;
+  store.Write("in", {{"k", "v"}});
+  MapReduceEngine engine(&store);
+  EngineWorkflow workflow;
+  workflow.jobs.push_back(GrepJob("does-not-exist", "x", "k"));
+  workflow.jobs.push_back(GrepJob("x", "y", "k"));
+  workflow.edges = {{0, 1}};
+  const auto result = RunEngineWorkflow(engine, workflow);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(store.Exists("y"));  // The child never ran.
+}
+
+}  // namespace
+}  // namespace dagperf

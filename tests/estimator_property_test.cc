@@ -1,0 +1,301 @@
+// Property tests of the state-based estimator: structural invariants of its
+// output, wave-model algebra under parallelism changes, and monotonicity in
+// data size and cluster size. Parameterized over estimator variants.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "sim/simulator.h"
+#include "workloads/micro.h"
+#include "workloads/tpch.h"
+
+namespace dagperf {
+namespace {
+
+class ConstantSource : public TaskTimeSource {
+ public:
+  explicit ConstantSource(double seconds) : seconds_(seconds) {}
+  Duration TaskTime(const EstimationContext&) const override {
+    return Duration(seconds_);
+  }
+
+ private:
+  double seconds_;
+};
+
+ClusterSpec Cluster(int nodes = 4) {
+  ClusterSpec c = ClusterSpec::PaperCluster();
+  c.num_nodes = nodes;
+  return c;
+}
+
+struct Variant {
+  std::string name;
+  EstimatorOptions options;
+};
+
+class EstimatorVariantTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(EstimatorVariantTest, OutputStructureConsistent) {
+  DagBuilder b("structure");
+  b.AddJob(WordCountSpec(Bytes::FromGB(8)));
+  b.AddJob(TsSpec(Bytes::FromGB(8)));
+  const DagWorkflow flow = std::move(b).Build().value();
+  const StateBasedEstimator estimator(Cluster(), SchedulerConfig{},
+                                      GetParam().options);
+  const DagEstimate est = estimator.Estimate(flow, ConstantSource(9.0)).value();
+
+  // States partition the makespan, 1-indexed and contiguous.
+  double covered = 0;
+  for (size_t i = 0; i < est.states.size(); ++i) {
+    EXPECT_EQ(est.states[i].index, static_cast<int>(i) + 1);
+    EXPECT_GE(est.states[i].duration, 0.0);
+    covered += est.states[i].duration;
+  }
+  EXPECT_NEAR(covered, est.makespan.seconds(), 1e-6);
+
+  // Every stage of every job has a recorded span inside the makespan.
+  EXPECT_EQ(static_cast<int>(est.stages.size()), flow.TotalStages());
+  for (const auto& s : est.stages) {
+    EXPECT_LE(s.start, s.end);
+    EXPECT_LE(s.end, est.makespan.seconds() + 1e-6);
+  }
+}
+
+TEST_P(EstimatorVariantTest, MoreDataNeverFaster) {
+  const StateBasedEstimator estimator(Cluster(), SchedulerConfig{},
+                                      GetParam().options);
+  double prev = 0;
+  for (double gb : {2.0, 4.0, 8.0, 16.0}) {
+    DagBuilder b("grow");
+    b.AddJob(TsSpec(Bytes::FromGB(gb)));
+    const DagWorkflow flow = std::move(b).Build().value();
+    const double t = estimator.Estimate(flow, ConstantSource(10.0)).value()
+                         .makespan.seconds();
+    EXPECT_GE(t, prev - 1e-9) << gb << " GB";
+    prev = t;
+  }
+}
+
+TEST_P(EstimatorVariantTest, MoreNodesNeverSlower) {
+  DagBuilder b("nodes");
+  b.AddJob(TsSpec(Bytes::FromGB(16)));
+  const DagWorkflow flow = std::move(b).Build().value();
+  double prev = 1e300;
+  for (int nodes : {2, 4, 8, 16}) {
+    const StateBasedEstimator estimator(Cluster(nodes), SchedulerConfig{},
+                                        GetParam().options);
+    const double t = estimator.Estimate(flow, ConstantSource(10.0)).value()
+                         .makespan.seconds();
+    EXPECT_LE(t, prev + 1e-9) << nodes << " nodes";
+    prev = t;
+  }
+}
+
+std::vector<Variant> AllVariants() {
+  Variant discrete{"discrete", {}};
+  Variant fluid{"fluid", {}};
+  fluid.options.wave_model = EstimatorOptions::WaveModel::kFluid;
+  Variant skew{"skew_aware", {}};
+  skew.options.skew_aware = true;
+  Variant hetero{"hetero_corrected", {}};
+  hetero.options.skew_aware = true;
+  hetero.options.node_speed_cv = 0.3;
+  return {discrete, fluid, skew, hetero};
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, EstimatorVariantTest, ::testing::ValuesIn(AllVariants()),
+    [](const ::testing::TestParamInfo<Variant>& info) { return info.param.name; });
+
+TEST(EstimatorWaveTest, ParallelismDropRequeuesTasks) {
+  // Stage A runs alone at full parallelism; a tiny job's completion brings
+  // stage B online, halving A's share. The estimator must re-queue A's
+  // excess in-flight tasks (mirroring preemption) rather than crediting
+  // them as running: the makespan must exceed the no-contention bound.
+  DagBuilder b("drop");
+  JobSpec big = TsSpec(Bytes::FromGB(16));
+  big.name = "big";
+  b.AddJob(big);
+  JobSpec tiny = TsSpec(Bytes::FromMB(256));
+  tiny.name = "tiny";
+  tiny.num_reduce_tasks = 1;
+  const JobId t = b.AddJob(tiny);
+  JobSpec second = TsSpec(Bytes::FromGB(16));
+  second.name = "second";
+  b.AddJobAfter(t, second);
+  const DagWorkflow flow = std::move(b).Build().value();
+
+  const StateBasedEstimator estimator(Cluster(2), SchedulerConfig{});
+  const DagEstimate est = estimator.Estimate(flow, ConstantSource(10.0)).value();
+  // 'big' has 64 maps + 16 reduces; alone on 2x12 slots it needs
+  // ceil(64/24)*10 + ceil(16/16)... with contention it must take longer
+  // than that lower bound.
+  const StageSpanEstimate big_map = est.FindStage(0, StageKind::kMap).value();
+  EXPECT_GT(big_map.end - big_map.start, 30.0 - 1e-9);
+}
+
+TEST(EstimatorWaveTest, LastWavePaysSkewTailOnce) {
+  // With a known dist, the skew-aware discrete estimate for an N-task
+  // single-stage job equals (W-1) waves at the mean plus one expected-max
+  // wave.
+  JobSpec spec = TsSpec(Bytes::FromMB(24 * 256));
+  spec.name = "tail";
+  spec.num_reduce_tasks = 0;
+  spec.map_selectivity = 0.0;
+  DagBuilder b("tail-flow");
+  b.AddJob(spec);
+  const DagWorkflow flow = std::move(b).Build().value();
+
+  // 24 tasks on 12 slots (1 node of 12): 2 waves.
+  ProfileTaskTimeSource source(ProfileStatistic::kMean);
+  // Sample with mean 10 and non-trivial spread.
+  source.AddProfile("tail/map", {8, 9, 10, 11, 12});
+
+  EstimatorOptions skew;
+  skew.skew_aware = true;
+  const StateBasedEstimator estimator(Cluster(1), SchedulerConfig{}, skew);
+  const double est = estimator.Estimate(flow, source).value().makespan.seconds();
+
+  const double mean = 10.0;
+  const double stddev = std::sqrt(2.0);  // Population stddev of the sample.
+  const double expected = mean + ExpectedMaxOfNormal(mean, stddev, 12);
+  EXPECT_NEAR(est, expected, 1e-6);
+}
+
+TEST(EstimatorWaveTest, FluidNeverExceedsDiscrete) {
+  // Fluid ignores wave quantisation, so it lower-bounds the discrete
+  // estimate for constant task times.
+  for (double gb : {4.0, 7.0, 13.0}) {
+    DagBuilder b("fluid-vs-discrete");
+    b.AddJob(TsSpec(Bytes::FromGB(gb)));
+    const DagWorkflow flow = std::move(b).Build().value();
+    EstimatorOptions fluid;
+    fluid.wave_model = EstimatorOptions::WaveModel::kFluid;
+    const double t_fluid = StateBasedEstimator(Cluster(), SchedulerConfig{}, fluid)
+                               .Estimate(flow, ConstantSource(10.0))
+                               .value()
+                               .makespan.seconds();
+    const double t_discrete = StateBasedEstimator(Cluster(), SchedulerConfig{})
+                                  .Estimate(flow, ConstantSource(10.0))
+                                  .value()
+                                  .makespan.seconds();
+    EXPECT_LE(t_fluid, t_discrete + 1e-9) << gb;
+  }
+}
+
+TEST(HeterogeneityCorrectionTest, NoopAtZeroCv) {
+  DagBuilder b("hetero-zero");
+  b.AddJob(TsSpec(Bytes::FromGB(8)));
+  const DagWorkflow flow = std::move(b).Build().value();
+  EstimatorOptions corrected;
+  corrected.node_speed_cv = 0.0;
+  const double plain = StateBasedEstimator(Cluster(), SchedulerConfig{})
+                           .Estimate(flow, ConstantSource(10.0))
+                           .value()
+                           .makespan.seconds();
+  const double with = StateBasedEstimator(Cluster(), SchedulerConfig{}, corrected)
+                          .Estimate(flow, ConstantSource(10.0))
+                          .value()
+                          .makespan.seconds();
+  EXPECT_DOUBLE_EQ(plain, with);
+}
+
+TEST(HeterogeneityCorrectionTest, InflatesMeanByOnePlusCvSquared) {
+  // Skew-unaware path: only the E[1/speed] = 1 + cv^2 mean inflation acts.
+  JobSpec spec = TsSpec(Bytes::FromMB(24 * 256));
+  spec.name = "hetero";
+  spec.num_reduce_tasks = 0;
+  spec.map_selectivity = 0.0;
+  DagBuilder b("hetero-mean");
+  b.AddJob(spec);
+  const DagWorkflow flow = std::move(b).Build().value();
+  EstimatorOptions corrected;
+  corrected.node_speed_cv = 0.5;
+  const double plain = StateBasedEstimator(Cluster(1), SchedulerConfig{})
+                           .Estimate(flow, ConstantSource(10.0))
+                           .value()
+                           .makespan.seconds();
+  const double with = StateBasedEstimator(Cluster(1), SchedulerConfig{}, corrected)
+                          .Estimate(flow, ConstantSource(10.0))
+                          .value()
+                          .makespan.seconds();
+  EXPECT_NEAR(with, plain * 1.25, 1e-9);
+}
+
+TEST(HeterogeneityCorrectionTest, ImprovesAccuracyOnJitteredFleet) {
+  DagBuilder b("hetero-acc");
+  b.AddJob(TsSpec(Bytes::FromGB(16)));
+  const DagWorkflow flow = std::move(b).Build().value();
+  const ClusterSpec cluster = Cluster(8);
+  const double cv = 0.5;
+  double truth_total = 0;
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    SimOptions options;
+    options.node_speed_cv = cv;
+    options.seed = seed;
+    truth_total += Simulator(cluster, SchedulerConfig{}, options)
+                       .Run(flow)
+                       ->makespan()
+                       .seconds();
+  }
+  const double truth = truth_total / 4;
+
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const double plain = StateBasedEstimator(cluster, SchedulerConfig{})
+                           .Estimate(flow, source)
+                           .value()
+                           .makespan.seconds();
+  EstimatorOptions options;
+  options.skew_aware = true;
+  options.node_speed_cv = cv;
+  const double corrected = StateBasedEstimator(cluster, SchedulerConfig{}, options)
+                               .Estimate(flow, source)
+                               .value()
+                               .makespan.seconds();
+  EXPECT_GT(RelativeAccuracy(corrected, truth), RelativeAccuracy(plain, truth));
+}
+
+TEST(ContextProfileTest, MatchedBucketPreferredOverGlobal) {
+  StageProfile a;
+  a.name = "jobA/map";
+  StageProfile other;
+  other.name = "jobB/reduce";
+
+  ProfileTaskTimeSource source(ProfileStatistic::kMean);
+  source.AddProfile("jobA/map", {30.0});
+  source.AddContextProfile({"jobA/map", "jobB/reduce"}, "jobA/map", {50.0});
+
+  EstimationContext alone;
+  alone.running.push_back({&a, 2.0});
+  alone.query = 0;
+  EXPECT_NEAR(source.TaskTime(alone).seconds(), 30.0, 1e-9);  // Global.
+
+  EstimationContext contended;
+  contended.running.push_back({&a, 2.0});
+  contended.running.push_back({&other, 2.0});
+  contended.query = 0;
+  EXPECT_NEAR(source.TaskTime(contended).seconds(), 50.0, 1e-9);  // Bucket.
+}
+
+TEST(ContextProfileTest, SignatureOrderInsensitive) {
+  StageProfile a;
+  a.name = "x/map";
+  StageProfile z;
+  z.name = "z/map";
+  ProfileTaskTimeSource source(ProfileStatistic::kMean);
+  source.AddProfile("x/map", {1.0});
+  // Register with one order, query with the other.
+  source.AddContextProfile({"z/map", "x/map"}, "x/map", {7.0});
+  EstimationContext ctx;
+  ctx.running.push_back({&a, 1.0});
+  ctx.running.push_back({&z, 1.0});
+  ctx.query = 0;
+  EXPECT_NEAR(source.TaskTime(ctx).seconds(), 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "exp/dag_suite.h"
+#include "exp/parallel_jobs.h"
+#include "exp/phase_split.h"
+#include "exp/single_job.h"
+#include "workloads/micro.h"
+#include "workloads/suite.h"
+
+namespace dagperf {
+namespace {
+
+// Scaled-down configurations keep the unit tests quick; the benches run the
+// paper-scale versions.
+
+SingleJobSweepConfig SmallSweep() {
+  SingleJobSweepConfig config;
+  config.parallelisms = {1, 4, 8, 12};
+  config.baseline_reference = 2;
+  return config;
+}
+
+TEST(SingleJobSweepTest, WordCountShape) {
+  const SingleJobSweepResult result =
+      RunSingleJobSweep(WordCountSpec(Bytes::FromGB(40)), SmallSweep()).value();
+  ASSERT_EQ(result.points.size(), 4u);
+
+  // BOE tracks the truth far better than the fixed baseline at delta=12.
+  const auto& p12 = result.points.back();
+  EXPECT_EQ(p12.tasks_per_node, 12);
+  const double boe_err = std::fabs(p12.boe.map_s - p12.truth.map_s);
+  const double base_err = std::fabs(p12.baseline.map_s - p12.truth.map_s);
+  EXPECT_LT(boe_err, base_err);
+  EXPECT_GT(base_err / std::max(boe_err, 1e-9), 2.0);
+
+  // WC map is CPU-bound: task time grows past core saturation (6).
+  EXPECT_GT(p12.truth.map_s, 1.5 * result.points[0].truth.map_s);
+
+  // Aggregate accuracies.
+  const SweepAccuracy boe_acc = BoeSweepAccuracy(result);
+  const SweepAccuracy base_acc = BaselineSweepAccuracy(result);
+  EXPECT_GT(boe_acc.map, 0.85);
+  EXPECT_GT(boe_acc.map, base_acc.map);
+}
+
+TEST(SingleJobSweepTest, TeraSortShuffleNetworkBound) {
+  const SingleJobSweepResult result =
+      RunSingleJobSweep(TsSpec(Bytes::FromGB(100)), SmallSweep()).value();
+  const SweepAccuracy boe_acc = BoeSweepAccuracy(result);
+  EXPECT_GT(boe_acc.map, 0.8);
+  EXPECT_GT(boe_acc.shuffle, 0.7);
+  EXPECT_GT(boe_acc.reduce, 0.7);
+  // BOE beats the baseline on every phase.
+  const SweepAccuracy base_acc = BaselineSweepAccuracy(result);
+  EXPECT_GT(boe_acc.shuffle, base_acc.shuffle);
+}
+
+TEST(SingleJobSweepTest, RejectsEmptyParallelisms) {
+  SingleJobSweepConfig config;
+  config.parallelisms.clear();
+  EXPECT_FALSE(RunSingleJobSweep(WordCountSpec(Bytes::FromGB(1)), config).ok());
+}
+
+TEST(ParallelJobsTest, WcTsStateAccuracies) {
+  DagBuilder builder("WC+TS");
+  builder.AddJob(WordCountSpec(Bytes::FromGB(100)));
+  builder.AddJob(TsSpec(Bytes::FromGB(100)));
+  const DagWorkflow flow = std::move(builder).Build().value();
+
+  const ParallelJobsResult result =
+      RunParallelJobsExperiment(flow, ClusterSpec::PaperCluster(), SchedulerConfig{},
+                                SimOptions{})
+          .value();
+  ASSERT_FALSE(result.cells.empty());
+  // Most aligned state cells should be reasonably accurate.
+  double sum = 0;
+  for (const auto& cell : result.cells) {
+    EXPECT_GT(cell.truth_s, 0.0);
+    EXPECT_GT(cell.estimate_s, 0.0);
+    sum += cell.accuracy;
+  }
+  EXPECT_GT(sum / result.cells.size(), 0.7);
+}
+
+TEST(DagSuiteTest, EvaluateHybridWorkflow) {
+  const NamedFlow nf = TableThreeFlow("WC-TS", 1.0).value();
+  const DagAccuracyRow row =
+      EvaluateDagWorkflow(nf, ClusterSpec::PaperCluster(), SchedulerConfig{},
+                          SimOptions{})
+          .value();
+  EXPECT_EQ(row.name, "WC-TS");
+  EXPECT_GT(row.truth_s, 0.0);
+  // Profile-driven state estimation should be close (paper: > 81% minimum).
+  EXPECT_GT(row.acc_mean, 0.8);
+  EXPECT_GT(row.acc_median, 0.8);
+  EXPECT_GT(row.acc_normal, 0.8);
+  EXPECT_GT(row.stage_breakdown_acc, 0.6);
+  EXPECT_LT(row.estimate_latency_ms, 1000.0);  // << 1 s per workflow.
+}
+
+TEST(DagSuiteTest, EvaluateQueryWorkflow) {
+  const NamedFlow nf = TableThreeFlow("TS-Q6", 1.0).value();
+  const DagAccuracyRow row =
+      EvaluateDagWorkflow(nf, ClusterSpec::PaperCluster(), SchedulerConfig{},
+                          SimOptions{})
+          .value();
+  EXPECT_GT(row.acc_mean, 0.75);
+}
+
+TEST(DagSuiteTest, SummaryAggregates) {
+  DagAccuracyRow a;
+  a.acc_mean = 0.9;
+  a.acc_median = 0.8;
+  a.acc_normal = 0.95;
+  a.estimate_latency_ms = 2.0;
+  DagAccuracyRow b;
+  b.acc_mean = 0.7;
+  b.acc_median = 1.0;
+  b.acc_normal = 0.85;
+  b.estimate_latency_ms = 5.0;
+  const SuiteSummary s = Summarize({a, b});
+  EXPECT_NEAR(s.mean_acc_mean, 0.8, 1e-9);
+  EXPECT_NEAR(s.mean_acc_median, 0.9, 1e-9);
+  EXPECT_NEAR(s.mean_acc_normal, 0.9, 1e-9);
+  EXPECT_NEAR(s.min_acc, 0.7, 1e-9);
+  EXPECT_NEAR(s.max_latency_ms, 5.0, 1e-9);
+}
+
+TEST(PhaseSplitTest, ShuffleSubStageNames) {
+  EXPECT_TRUE(IsShuffleSubStage("shuffle"));
+  EXPECT_TRUE(IsShuffleSubStage("merge"));
+  EXPECT_FALSE(IsShuffleSubStage("reduce+write"));
+  EXPECT_FALSE(IsShuffleSubStage("read+map"));
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,106 @@
+// Failure-injection tests: the simulator's MapReduce-style task
+// re-execution, and how the analytical estimate degrades as failures mount.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "sim/simulator.h"
+#include "workloads/micro.h"
+
+namespace dagperf {
+namespace {
+
+ClusterSpec Cluster() {
+  ClusterSpec c = ClusterSpec::PaperCluster();
+  c.num_nodes = 4;
+  return c;
+}
+
+DagWorkflow Flow(double gb = 8.0) {
+  DagBuilder b("faulty");
+  b.AddJob(TsSpec(Bytes::FromGB(gb)));
+  return std::move(b).Build().value();
+}
+
+SimResult RunWithFailures(double prob, uint64_t seed = 42) {
+  SimOptions options;
+  options.task_failure_prob = prob;
+  options.seed = seed;
+  const Simulator sim(Cluster(), SchedulerConfig{}, options);
+  return sim.Run(Flow()).value();
+}
+
+TEST(FailureInjectionTest, AllTasksStillCompleteExactlyOnce) {
+  const SimResult result = RunWithFailures(0.1);
+  const DagWorkflow flow = Flow();
+  // Every logical task has exactly one *successful* record regardless of
+  // how many attempts failed.
+  EXPECT_EQ(result.TaskDurations(0, StageKind::kMap).size(),
+            static_cast<size_t>(flow.job(0).map.num_tasks));
+  EXPECT_EQ(result.TaskDurations(0, StageKind::kReduce).size(),
+            static_cast<size_t>(flow.job(0).reduce->num_tasks));
+}
+
+TEST(FailureInjectionTest, FailuresSlowTheWorkflowMonotonically) {
+  const double t0 = RunWithFailures(0.0).makespan().seconds();
+  const double t10 = RunWithFailures(0.10).makespan().seconds();
+  const double t30 = RunWithFailures(0.30).makespan().seconds();
+  EXPECT_GT(t10, t0);
+  EXPECT_GT(t30, t10);
+}
+
+TEST(FailureInjectionTest, LostWorkShowsUpInResourceAccounting) {
+  // Re-executed attempts consume real resources: total consumption with
+  // failures must exceed the failure-free run's.
+  SimOptions clean;
+  clean.enable_preemption = false;
+  SimOptions faulty = clean;
+  faulty.task_failure_prob = 0.2;
+  const ResourceVector base =
+      Simulator(Cluster(), SchedulerConfig{}, clean).Run(Flow())->TotalConsumed();
+  const ResourceVector with =
+      Simulator(Cluster(), SchedulerConfig{}, faulty).Run(Flow())->TotalConsumed();
+  EXPECT_GT(with[Resource::kDiskRead], base[Resource::kDiskRead]);
+  EXPECT_GT(with[Resource::kNetwork], base[Resource::kNetwork]);
+}
+
+TEST(FailureInjectionTest, EstimateDegradesGracefully) {
+  // The estimator does not model failures; its accuracy should fall as the
+  // failure rate rises — smoothly, not catastrophically.
+  const ClusterSpec cluster = Cluster();
+  const DagWorkflow flow = Flow();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  const double estimate =
+      estimator.Estimate(flow, source).value().makespan.seconds();
+
+  // Note the probability applies per sub-stage boundary, so a 3-sub-stage
+  // task fails its attempt with probability 1-(1-p)^3.
+  double prev_acc = 1.1;
+  for (double prob : {0.0, 0.05, 0.1}) {
+    const double truth = RunWithFailures(prob).makespan().seconds();
+    const double acc = RelativeAccuracy(estimate, truth);
+    EXPECT_LT(acc, prev_acc + 0.05);  // Roughly monotone decline.
+    prev_acc = acc;
+  }
+  // At a 10% per-sub-stage failure rate (~25% of attempts dying, ~1.6x
+  // slowdown) the failure-blind estimate is degraded but still usable.
+  EXPECT_GT(prev_acc, 0.35);
+}
+
+TEST(FailureInjectionTest, CertainFailureWouldNeverFinishSoWeBoundIt) {
+  // Probability 1 means every attempt dies at its first sub-stage boundary;
+  // the time-limit guard must fire instead of hanging.
+  SimOptions options;
+  options.task_failure_prob = 1.0;
+  options.max_sim_seconds = 2000;
+  const Simulator sim(Cluster(), SchedulerConfig{}, options);
+  const auto result = sim.Run(Flow(1.0));
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace dagperf

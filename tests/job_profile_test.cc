@@ -1,0 +1,198 @@
+#include "workload/job_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+JobSpec BaseSpec() {
+  JobSpec spec;
+  spec.name = "test-job";
+  spec.input = Bytes::FromGB(10);
+  spec.split_size = Bytes::FromMB(250);
+  spec.num_reduce_tasks = 20;
+  spec.map_selectivity = 1.0;
+  spec.reduce_selectivity = 1.0;
+  spec.compress_map_output = false;
+  spec.replicas = 1;
+  spec.remote_read_fraction = 0.0;
+  spec.shuffle_cache_hit = 1.0;
+  spec.reduce_skew_cv = 0.0;
+  return spec;
+}
+
+TEST(CompileJobTest, MapTaskCountFromSplitSize) {
+  const JobProfile p = CompileJob(BaseSpec()).value();
+  EXPECT_EQ(p.map.num_tasks, 40);  // 10 GB / 250 MB.
+  EXPECT_EQ(p.map.kind, StageKind::kMap);
+  ASSERT_TRUE(p.has_reduce());
+  EXPECT_EQ(p.reduce->num_tasks, 20);
+  EXPECT_EQ(p.reduce->kind, StageKind::kReduce);
+}
+
+TEST(CompileJobTest, MapReadDemandEqualsSplit) {
+  const JobProfile p = CompileJob(BaseSpec()).value();
+  const auto& read_map = p.map.substages.front();
+  EXPECT_EQ(read_map.name, "read+map");
+  EXPECT_DOUBLE_EQ(read_map.demand[Resource::kDiskRead], Bytes::FromMB(250).value());
+  EXPECT_DOUBLE_EQ(read_map.demand[Resource::kNetwork], 0.0);
+  // 250 MB at 100 MB/s per core = 2.5 core-seconds.
+  EXPECT_NEAR(read_map.demand[Resource::kCpu], 2.5, 1e-9);
+}
+
+TEST(CompileJobTest, RemoteReadFractionMovesBytesToNetwork) {
+  JobSpec spec = BaseSpec();
+  spec.remote_read_fraction = 0.2;
+  const JobProfile p = CompileJob(spec).value();
+  const auto& read_map = p.map.substages.front();
+  EXPECT_DOUBLE_EQ(read_map.demand[Resource::kDiskRead],
+                   Bytes::FromMB(200).value());
+  EXPECT_DOUBLE_EQ(read_map.demand[Resource::kNetwork], Bytes::FromMB(50).value());
+}
+
+TEST(CompileJobTest, CompressionShrinksSpillAndAddsCpu) {
+  JobSpec raw = BaseSpec();
+  JobSpec compressed = BaseSpec();
+  compressed.compress_map_output = true;
+  compressed.compression_ratio = 0.3;
+  const JobProfile p_raw = CompileJob(raw).value();
+  const JobProfile p_c = CompileJob(compressed).value();
+  const auto find_spill = [](const JobProfile& p) {
+    for (const auto& ss : p.map.substages) {
+      if (ss.name == "spill") return ss;
+    }
+    ADD_FAILURE() << "no spill sub-stage";
+    return p.map.substages.front();
+  };
+  const auto spill_raw = find_spill(p_raw);
+  const auto spill_c = find_spill(p_c);
+  EXPECT_NEAR(spill_c.demand[Resource::kDiskWrite],
+              0.3 * spill_raw.demand[Resource::kDiskWrite], 1e-6);
+  EXPECT_GT(spill_c.demand[Resource::kCpu], spill_raw.demand[Resource::kCpu]);
+}
+
+TEST(CompileJobTest, LargeMapOutputPaysMergePass) {
+  JobSpec spec = BaseSpec();
+  spec.sort_buffer = Bytes::FromMB(100);  // Split output 250 MB > buffer.
+  const JobProfile p = CompileJob(spec).value();
+  bool has_merge = false;
+  for (const auto& ss : p.map.substages) has_merge = has_merge || ss.name == "merge";
+  EXPECT_TRUE(has_merge);
+
+  spec.sort_buffer = Bytes::FromGB(1);
+  const JobProfile p2 = CompileJob(spec).value();
+  for (const auto& ss : p2.map.substages) EXPECT_NE(ss.name, "merge");
+}
+
+TEST(CompileJobTest, ReducePartitionDerivedFromMapOutput) {
+  const JobProfile p = CompileJob(BaseSpec()).value();
+  // 10 GB raw map output over 20 reducers = 500 MB per partition.
+  const auto& shuffle = p.reduce->substages.front();
+  EXPECT_EQ(shuffle.name, "shuffle");
+  EXPECT_DOUBLE_EQ(shuffle.demand[Resource::kNetwork], Bytes::FromMB(500).value());
+  // Cache hit 1.0: no source disk reads.
+  EXPECT_DOUBLE_EQ(shuffle.demand[Resource::kDiskRead], 0.0);
+  // Materialise reduce input on disk.
+  EXPECT_DOUBLE_EQ(shuffle.demand[Resource::kDiskWrite], Bytes::FromMB(500).value());
+}
+
+TEST(CompileJobTest, ReplicationMultipliesWriteAndNetwork) {
+  JobSpec spec = BaseSpec();
+  spec.replicas = 3;
+  const JobProfile p = CompileJob(spec).value();
+  const auto& apply = p.reduce->substages.back();
+  EXPECT_EQ(apply.name, "reduce+write");
+  // Output per reducer = 500 MB; 3 replicas -> 1500 MB disk, 1000 MB network.
+  EXPECT_DOUBLE_EQ(apply.demand[Resource::kDiskWrite], Bytes::FromMB(1500).value());
+  EXPECT_DOUBLE_EQ(apply.demand[Resource::kNetwork], Bytes::FromMB(1000).value());
+}
+
+TEST(CompileJobTest, SingleReplicaHasNoReplicationTraffic) {
+  const JobProfile p = CompileJob(BaseSpec()).value();
+  const auto& apply = p.reduce->substages.back();
+  EXPECT_DOUBLE_EQ(apply.demand[Resource::kNetwork], 0.0);
+}
+
+TEST(CompileJobTest, MapOnlyJobWritesHdfsDirectly) {
+  JobSpec spec = BaseSpec();
+  spec.num_reduce_tasks = 0;
+  spec.replicas = 3;
+  spec.map_selectivity = 0.5;
+  const JobProfile p = CompileJob(spec).value();
+  EXPECT_FALSE(p.has_reduce());
+  ASSERT_EQ(p.map.substages.size(), 2u);
+  const auto& write = p.map.substages.back();
+  EXPECT_EQ(write.name, "hdfs-write");
+  // 125 MB output per 250 MB split, 3 replicas.
+  EXPECT_DOUBLE_EQ(write.demand[Resource::kDiskWrite], Bytes::FromMB(375).value());
+  EXPECT_DOUBLE_EQ(write.demand[Resource::kNetwork], Bytes::FromMB(250).value());
+}
+
+TEST(CompileJobTest, AutoReducersScaleWithShuffleVolume) {
+  JobSpec spec = BaseSpec();
+  spec.num_reduce_tasks = kAutoReducers;
+  spec.input = Bytes::FromGB(50);
+  spec.map_selectivity = 1.0;
+  EXPECT_EQ(ResolveReducers(spec), 50);  // 1 reducer per GB of raw output.
+  spec.map_selectivity = 0.01;
+  EXPECT_EQ(ResolveReducers(spec), 1);
+}
+
+TEST(CompileJobTest, SkewPropagatesToReduceStage) {
+  JobSpec spec = BaseSpec();
+  spec.reduce_skew_cv = 0.25;
+  const JobProfile p = CompileJob(spec).value();
+  EXPECT_DOUBLE_EQ(p.reduce->task_size_cv, 0.25);
+  EXPECT_DOUBLE_EQ(p.map.task_size_cv, 0.0);
+}
+
+TEST(CompileJobTest, TotalDemandSumsSubStages) {
+  const JobProfile p = CompileJob(BaseSpec()).value();
+  const ResourceVector total = p.map.TotalDemand();
+  ResourceVector manual;
+  for (const auto& ss : p.map.substages) manual = manual + ss.demand;
+  EXPECT_EQ(total, manual);
+}
+
+TEST(CompileJobTest, StageAccessor) {
+  const JobProfile p = CompileJob(BaseSpec()).value();
+  EXPECT_EQ(&p.stage(StageKind::kMap), &p.map);
+  EXPECT_EQ(&p.stage(StageKind::kReduce), &*p.reduce);
+}
+
+TEST(CompileJobTest, RejectsInvalidSpecs) {
+  JobSpec spec = BaseSpec();
+  spec.input = Bytes(0);
+  EXPECT_FALSE(CompileJob(spec).ok());
+
+  spec = BaseSpec();
+  spec.compression_ratio = 0.0;
+  EXPECT_FALSE(CompileJob(spec).ok());
+
+  spec = BaseSpec();
+  spec.replicas = 0;
+  EXPECT_FALSE(CompileJob(spec).ok());
+
+  spec = BaseSpec();
+  spec.remote_read_fraction = 1.5;
+  EXPECT_FALSE(CompileJob(spec).ok());
+
+  spec = BaseSpec();
+  spec.map_compute = Rate(0);
+  EXPECT_FALSE(CompileJob(spec).ok());
+
+  spec = BaseSpec();
+  spec.map_selectivity = -0.1;
+  EXPECT_FALSE(CompileJob(spec).ok());
+}
+
+TEST(CompileJobTest, VolumeHelpers) {
+  JobSpec spec = BaseSpec();
+  spec.map_selectivity = 0.2;
+  spec.reduce_selectivity = 0.5;
+  EXPECT_DOUBLE_EQ(RawMapOutput(spec).ToGB(), 2.0);
+  EXPECT_DOUBLE_EQ(JobOutput(spec).ToGB(), 1.0);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,78 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+TEST(JsonTest, BuildAndDump) {
+  Json obj = Json::MakeObject();
+  obj.Set("name", Json::MakeString("x"));
+  obj.Set("count", Json::MakeNumber(3));
+  obj.Set("enabled", Json::MakeBool(true));
+  Json arr = Json::MakeArray();
+  arr.Append(Json::MakeNumber(1));
+  arr.Append(Json::MakeNumber(2.5));
+  obj.Set("values", std::move(arr));
+  const std::string dump = obj.Dump();
+  EXPECT_NE(dump.find("\"name\": \"x\""), std::string::npos);
+  EXPECT_NE(dump.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(dump.find("2.5"), std::string::npos);
+}
+
+TEST(JsonTest, RoundTrip) {
+  Json obj = Json::MakeObject();
+  obj.Set("s", Json::MakeString("line\nbreak \"quoted\" \\slash"));
+  obj.Set("n", Json::MakeNumber(-1.25e-3));
+  obj.Set("b", Json::MakeBool(false));
+  obj.Set("z", Json());
+  Json arr = Json::MakeArray();
+  arr.Append(Json::MakeString("a"));
+  Json nested = Json::MakeObject();
+  nested.Set("k", Json::MakeNumber(7));
+  arr.Append(std::move(nested));
+  obj.Set("arr", std::move(arr));
+
+  const Json parsed = Json::Parse(obj.Dump()).value();
+  EXPECT_EQ(parsed.GetString("s", ""), "line\nbreak \"quoted\" \\slash");
+  EXPECT_DOUBLE_EQ(parsed.GetNumber("n", 0), -1.25e-3);
+  EXPECT_FALSE(parsed.GetBool("b", true));
+  EXPECT_TRUE(parsed.Get("z")->is_null());
+  ASSERT_EQ(parsed.Get("arr")->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.Get("arr")->AsArray()[1].GetNumber("k", 0), 7);
+}
+
+TEST(JsonTest, ParsesCommonForms) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_TRUE(Json::Parse("true").value().AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("42").value().AsNumber(), 42);
+  EXPECT_DOUBLE_EQ(Json::Parse("-3.5e2").value().AsNumber(), -350);
+  EXPECT_EQ(Json::Parse("\"hi\"").value().AsString(), "hi");
+  EXPECT_TRUE(Json::Parse("[]").value().AsArray().empty());
+  EXPECT_TRUE(Json::Parse("{}").value().AsObject().empty());
+  EXPECT_EQ(Json::Parse(" [1, [2, 3], {\"a\": []}] ").value().AsArray().size(), 3u);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\": }", "tru", "1 2", "{\"a\" 1}",
+                          "\"unterminated", "[1,]", "nul"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonTest, GettersFallBack) {
+  const Json obj = Json::Parse("{\"a\": 1, \"s\": \"x\"}").value();
+  EXPECT_DOUBLE_EQ(obj.GetNumber("a", 9), 1);
+  EXPECT_DOUBLE_EQ(obj.GetNumber("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(obj.GetNumber("s", 9), 9);  // Wrong type -> fallback.
+  EXPECT_EQ(obj.GetString("missing", "d"), "d");
+  EXPECT_EQ(obj.Get("missing"), nullptr);
+}
+
+TEST(JsonDeathTest, TypeMismatchAborts) {
+  const Json n = Json::MakeNumber(1);
+  EXPECT_DEATH((void)n.AsString(), "CHECK");
+}
+
+}  // namespace
+}  // namespace dagperf

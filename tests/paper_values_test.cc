@@ -1,0 +1,94 @@
+// Paper-shape regression suite: the headline claims of the reproduction,
+// asserted at paper scale so refactors cannot silently degrade them.
+// (EXPERIMENTS.md narrates these numbers; this file enforces them.)
+
+#include <gtest/gtest.h>
+
+#include "boe/boe_model.h"
+#include "exp/dag_suite.h"
+#include "exp/single_job.h"
+#include "workloads/micro.h"
+#include "workloads/suite.h"
+
+namespace dagperf {
+namespace {
+
+TEST(PaperValuesTest, Fig4ExactArithmetic) {
+  NodeSpec node;
+  node.cores = 6;
+  node.disk_read_bw = Rate::MBps(500);
+  node.disk_write_bw = Rate::MBps(500);
+  node.network_bw = Rate::MBps(100);
+  StageProfile stage;
+  stage.name = "fig4";
+  SubStageProfile ss;
+  ss.name = "pipeline";
+  ss.demand[Resource::kDiskRead] = Bytes::FromMB(10000).value();
+  ss.demand[Resource::kNetwork] = Bytes::FromMB(10000).value();
+  ss.demand[Resource::kCpu] = 200.0;
+  stage.substages.push_back(ss);
+  const BoeModel model(node);
+  EXPECT_NEAR(model.EstimateTask(stage, 1.0).duration.seconds(), 200.0, 1e-9);
+  EXPECT_NEAR(model.EstimateTask(stage, 5.0).duration.seconds(), 500.0, 1e-9);
+}
+
+TEST(PaperValuesTest, Fig6BoeBeatsBaselineByAtLeastFive) {
+  // "The BOE model outperforms the state-of-the-art models by a factor of
+  // five for task execution time estimation" — enforced on the shuffle and
+  // reduce error-reduction at delta=12 for both WC and TS (the map factor
+  // diverges because BOE's map error is ~0 on the simulator).
+  for (const JobSpec& spec : {WordCountSpec(), TsSpec()}) {
+    SingleJobSweepConfig config;
+    config.parallelisms = {12};
+    config.baseline_reference = 2;
+    const SingleJobSweepResult sweep = RunSingleJobSweep(spec, config).value();
+    const auto& p = sweep.points.front();
+    const auto factor = [](double base_est, double boe_est, double truth) {
+      return std::fabs(base_est - truth) / std::max(std::fabs(boe_est - truth), 1e-9);
+    };
+    EXPECT_GT(factor(p.baseline.shuffle_s, p.boe.shuffle_s, p.truth.shuffle_s), 5.0)
+        << spec.name << " shuffle";
+    EXPECT_GT(factor(p.baseline.map_s, p.boe.map_s, p.truth.map_s), 5.0)
+        << spec.name << " map";
+  }
+}
+
+TEST(PaperValuesTest, TableOneBottlenecks) {
+  const BoeModel model(ClusterSpec::PaperCluster().node);
+  // WC map CPU-bound at saturation.
+  const JobProfile wc = CompileJob(WordCountSpec()).value();
+  EXPECT_EQ(model.EstimateTask(wc.map, 12.0).bottleneck, Resource::kCpu);
+  // TS map disk-bound; its reduce's shuffle sub-stage network-bound.
+  const JobProfile ts = CompileJob(TsSpec()).value();
+  const Resource ts_map = model.EstimateTask(ts.map, 12.0).bottleneck;
+  EXPECT_TRUE(ts_map == Resource::kDiskRead || ts_map == Resource::kDiskWrite);
+  const TaskEstimate ts_reduce = model.EstimateTask(*ts.reduce, 12.0);
+  EXPECT_EQ(ts_reduce.substages.front().bottleneck, Resource::kNetwork);
+  // TS3R reduce+write network-bound (3-replica pipeline).
+  const JobProfile ts3r = CompileJob(Ts3rSpec()).value();
+  const TaskEstimate r = model.EstimateTask(*ts3r.reduce, 12.0);
+  EXPECT_EQ(r.substages.back().bottleneck, Resource::kNetwork);
+}
+
+TEST(PaperValuesTest, TableThreeSuiteAccuracyFloor) {
+  // Full 51-workflow suite at paper scale: averages above 88% for every
+  // variant, Alg2-Normal the best or tied, no cell below 65%, estimation
+  // latency well under the paper's 1 s bound.
+  const std::vector<NamedFlow> suite = TableThreeSuite(1.0).value();
+  std::vector<DagAccuracyRow> rows;
+  for (const auto& nf : suite) {
+    rows.push_back(EvaluateDagWorkflow(nf, ClusterSpec::PaperCluster(),
+                                       SchedulerConfig{}, SimOptions{})
+                       .value());
+  }
+  const SuiteSummary summary = Summarize(rows);
+  EXPECT_GT(summary.mean_acc_mean, 0.88);
+  EXPECT_GT(summary.mean_acc_median, 0.88);
+  EXPECT_GT(summary.mean_acc_normal, 0.88);
+  EXPECT_GE(summary.mean_acc_normal + 0.02, summary.mean_acc_mean);
+  EXPECT_GT(summary.min_acc, 0.65);
+  EXPECT_LT(summary.max_latency_ms, 1000.0);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,142 @@
+#include "engine/profiling.h"
+
+#include <gtest/gtest.h>
+
+#include "boe/boe_model.h"
+#include "engine/builtin.h"
+#include "engine/datagen.h"
+#include "engine/thread_pool.h"
+
+namespace dagperf {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ProfilingTest, SelectivitiesMatchMeasuredBytes) {
+  LocalStore store;
+  GenerateText(store, "in", Bytes::FromKB(500), 500, 1.0);
+  MapReduceEngine engine(&store);
+  const EngineJobConfig job = WordCountJob("in", "out");
+  const JobMetrics metrics = engine.Run(job).value();
+
+  const JobSpec spec = SpecFromMetrics(metrics).value();
+  EXPECT_EQ(spec.name, "wordcount");
+  EXPECT_NEAR(spec.map_selectivity,
+              static_cast<double>(metrics.map.bytes_out) / metrics.map.bytes_in,
+              1e-12);
+  EXPECT_NEAR(spec.reduce_selectivity,
+              static_cast<double>(metrics.reduce.bytes_out) / metrics.shuffle_bytes,
+              1e-12);
+  EXPECT_DOUBLE_EQ(spec.input.value(), static_cast<double>(metrics.map.bytes_in));
+  // WordCount's combiner makes map output much smaller than its input.
+  EXPECT_LT(spec.map_selectivity, 0.6);
+  EXPECT_GT(spec.map_compute.bytes_per_sec(), 0.0);
+  EXPECT_TRUE(CompileJob(spec).ok());  // The models can consume it directly.
+}
+
+TEST(ProfilingTest, MapOnlyJobProfilesAsMapOnly) {
+  LocalStore store;
+  GenerateText(store, "in", Bytes::FromKB(100), 100, 1.0);
+  MapReduceEngine engine(&store);
+  const JobSpec spec =
+      ProfileEngineJob(engine, GrepJob("in", "out", "qq")).value();
+  EXPECT_EQ(spec.num_reduce_tasks, 0);
+  EXPECT_TRUE(store.Exists("out"));  // The run really happened.
+}
+
+TEST(ProfilingTest, InputScalePreservesRatios) {
+  LocalStore store;
+  GenerateText(store, "in", Bytes::FromKB(200), 300, 1.0);
+  MapReduceEngine engine(&store);
+  const JobMetrics metrics = engine.Run(WordCountJob("in", "out")).value();
+
+  ProfilingOptions small;
+  ProfilingOptions big;
+  big.input_scale = 1000.0;
+  const JobSpec s = SpecFromMetrics(metrics, small).value();
+  const JobSpec b = SpecFromMetrics(metrics, big).value();
+  EXPECT_NEAR(b.input.value(), 1000.0 * s.input.value(), 1.0);
+  EXPECT_DOUBLE_EQ(b.map_selectivity, s.map_selectivity);
+  // Reducer density preserved: 1000x data -> ~1000x reducers.
+  EXPECT_NEAR(static_cast<double>(b.num_reduce_tasks),
+              1000.0 * s.num_reduce_tasks, 0.51 * 1000.0);
+}
+
+TEST(ProfilingTest, DefaultsCarryNonMeasurables) {
+  LocalStore store;
+  GenerateText(store, "in", Bytes::FromKB(100), 100, 1.0);
+  MapReduceEngine engine(&store);
+  ProfilingOptions options;
+  options.defaults.replicas = 3;
+  options.defaults.compress_map_output = true;
+  options.defaults.reduce_skew_cv = 0.2;
+  const JobSpec spec =
+      ProfileEngineJob(engine, WordCountJob("in", "out"), options).value();
+  EXPECT_EQ(spec.replicas, 3);
+  EXPECT_TRUE(spec.compress_map_output);
+  EXPECT_DOUBLE_EQ(spec.reduce_skew_cv, 0.2);
+}
+
+TEST(ProfilingTest, RejectsDegenerateInput) {
+  JobMetrics empty;
+  empty.job_name = "empty";
+  EXPECT_FALSE(SpecFromMetrics(empty).ok());
+
+  JobMetrics ok;
+  ok.job_name = "ok";
+  ok.map.bytes_in = 100;
+  ProfilingOptions bad_scale;
+  bad_scale.input_scale = 0;
+  EXPECT_FALSE(SpecFromMetrics(ok, bad_scale).ok());
+}
+
+TEST(ProfilingTest, ProfiledSpecDrivesBoeEndToEnd) {
+  // The full loop: run a real job, extract its profile, scale it to
+  // cluster size, and ask the analytical models about it.
+  LocalStore store;
+  GenerateText(store, "in", Bytes::FromKB(500), 1000, 1.0);
+  MapReduceEngine engine(&store);
+  ProfilingOptions options;
+  options.input_scale = 2e5;  // ~100 GB modelled from a 500 KB profile run.
+  const JobSpec spec =
+      ProfileEngineJob(engine, WordCountJob("in", "out"), options).value();
+  const JobProfile profile = CompileJob(spec).value();
+  const BoeModel model(ClusterSpec::PaperCluster().node);
+  const TaskEstimate est = model.EstimateTask(profile.map, 6.0);
+  EXPECT_GT(est.duration.seconds(), 0.0);
+  EXPECT_TRUE(std::isfinite(est.duration.seconds()));
+}
+
+}  // namespace
+}  // namespace dagperf

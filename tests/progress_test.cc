@@ -1,0 +1,113 @@
+#include "model/progress.h"
+
+#include <gtest/gtest.h>
+
+#include "model/task_time_source.h"
+#include "workloads/micro.h"
+
+namespace dagperf {
+namespace {
+
+class ConstantSource : public TaskTimeSource {
+ public:
+  explicit ConstantSource(double seconds) : seconds_(seconds) {}
+  Duration TaskTime(const EstimationContext&) const override {
+    return Duration(seconds_);
+  }
+
+ private:
+  double seconds_;
+};
+
+DagEstimate MakePlan() {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.num_nodes = 4;
+  DagBuilder b("plan");
+  const JobId a = b.AddJob(TsSpec(Bytes::FromGB(8)));
+  JobSpec second = TsSpec(Bytes::FromGB(8));
+  second.name = "TS2";
+  b.AddJobAfter(a, second);
+  const DagWorkflow flow = std::move(b).Build().value();
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  return estimator.Estimate(flow, ConstantSource(10.0)).value();
+}
+
+TEST(ProgressTest, CompletionMonotoneAndClamped) {
+  const ProgressIndicator progress(MakePlan());
+  EXPECT_DOUBLE_EQ(progress.CompletionAt(Duration(0)), 0.0);
+  double prev = 0.0;
+  const double total = progress.plan().makespan.seconds();
+  for (double f : {0.1, 0.3, 0.5, 0.9, 1.0, 1.5}) {
+    const double c = progress.CompletionAt(Duration(f * total));
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(progress.CompletionAt(Duration(2 * total)), 1.0);
+}
+
+TEST(ProgressTest, RemainingComplementsElapsed) {
+  const ProgressIndicator progress(MakePlan());
+  const double total = progress.plan().makespan.seconds();
+  EXPECT_NEAR(progress.RemainingAt(Duration(0)).seconds(), total, 1e-9);
+  EXPECT_NEAR(progress.RemainingAt(Duration(0.25 * total)).seconds(), 0.75 * total,
+              1e-9);
+  EXPECT_DOUBLE_EQ(progress.RemainingAt(Duration(2 * total)).seconds(), 0.0);
+}
+
+TEST(ProgressTest, StateLookupMatchesTimeline) {
+  const ProgressIndicator progress(MakePlan());
+  for (const auto& state : progress.plan().states) {
+    if (state.duration <= 0) continue;
+    const double mid = state.start + 0.5 * state.duration;
+    const StateEstimate found = progress.StateAt(Duration(mid)).value();
+    EXPECT_EQ(found.index, state.index);
+  }
+  // Past the end: no state, no running stages.
+  const double total = progress.plan().makespan.seconds();
+  EXPECT_FALSE(progress.StateAt(Duration(total + 1)).ok());
+  EXPECT_TRUE(progress.RunningAt(Duration(total + 1)).empty());
+}
+
+TEST(ProgressTest, RunningStagesNonEmptyMidFlight) {
+  const ProgressIndicator progress(MakePlan());
+  const double total = progress.plan().makespan.seconds();
+  EXPECT_FALSE(progress.RunningAt(Duration(0.5 * total)).empty());
+}
+
+TEST(ProgressTest, ObservationRescalesRemainingPlan) {
+  ProgressIndicator progress(MakePlan());
+  const double original = progress.plan().makespan.seconds();
+  // Job 0's reduce actually completed 20% later than predicted.
+  const StageSpanEstimate predicted =
+      progress.plan().FindStage(0, StageKind::kReduce).value();
+  const double observed = predicted.end * 1.2;
+  ASSERT_TRUE(
+      progress.ObserveStageCompletion(0, StageKind::kReduce, Duration(observed))
+          .ok());
+  EXPECT_NEAR(progress.plan().makespan.seconds(), original * 1.2, 1e-9);
+  const StageSpanEstimate updated =
+      progress.plan().FindStage(0, StageKind::kReduce).value();
+  EXPECT_NEAR(updated.end, observed, 1e-9);
+  // States still partition the (stretched) makespan.
+  double covered = 0;
+  for (const auto& s : progress.plan().states) covered += s.duration;
+  EXPECT_NEAR(covered, progress.plan().makespan.seconds(), 1e-6);
+}
+
+TEST(ProgressTest, ObservationRejectsUnknownStage) {
+  ProgressIndicator progress(MakePlan());
+  EXPECT_FALSE(
+      progress.ObserveStageCompletion(99, StageKind::kMap, Duration(10)).ok());
+  EXPECT_FALSE(
+      progress.ObserveStageCompletion(0, StageKind::kMap, Duration(0)).ok());
+}
+
+TEST(ProgressDeathTest, EmptyPlanAborts) {
+  DagEstimate empty;
+  empty.makespan = Duration(0);
+  EXPECT_DEATH({ ProgressIndicator p(empty); }, "CHECK");
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,186 @@
+// Property-based tests of the max-min fair-share rate solver: invariants
+// that must hold for arbitrary flow mixes, swept over seeded random
+// populations via parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/rate_solver.h"
+#include "common/rng.h"
+
+namespace dagperf {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ResourceVector PaperCaps() {
+  ResourceVector caps;
+  caps[Resource::kDiskRead] = 240e6;
+  caps[Resource::kDiskWrite] = 240e6;
+  caps[Resource::kNetwork] = 125e6;
+  caps[Resource::kCpu] = 6;
+  return caps;
+}
+
+std::vector<Flow> RandomFlows(uint64_t seed, int count) {
+  Rng rng(seed);
+  std::vector<Flow> flows;
+  for (int i = 0; i < count; ++i) {
+    Flow f;
+    f.population = rng.Uniform(0.5, 8.0);
+    // Each flow demands a random subset of resources.
+    if (rng.NextDouble() < 0.7) f.demand[Resource::kDiskRead] = rng.Uniform(1e6, 5e8);
+    if (rng.NextDouble() < 0.7) f.demand[Resource::kDiskWrite] = rng.Uniform(1e6, 5e8);
+    if (rng.NextDouble() < 0.7) f.demand[Resource::kNetwork] = rng.Uniform(1e6, 5e8);
+    if (rng.NextDouble() < 0.7) f.demand[Resource::kCpu] = rng.Uniform(0.1, 20.0);
+    f.per_task_cap[Resource::kCpu] = 1.0;
+    // Ensure at least one demand so the flow is non-trivial.
+    if (f.demand == ResourceVector{}) f.demand[Resource::kNetwork] = 1e7;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+class RateSolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RateSolverPropertyTest, CapacityNeverExceeded) {
+  const auto flows = RandomFlows(GetParam(), 1 + GetParam() % 9);
+  const auto rates = SolveRates(PaperCaps(), flows);
+  const ResourceVector util = SolutionUtilization(PaperCaps(), flows, rates);
+  for (Resource r : kAllResources) {
+    EXPECT_LE(util[r], 1.0 + 1e-6) << ResourceName(r) << " seed=" << GetParam();
+  }
+}
+
+TEST_P(RateSolverPropertyTest, AllRatesPositiveAndFinite) {
+  const auto flows = RandomFlows(GetParam(), 1 + GetParam() % 9);
+  const auto rates = SolveRates(PaperCaps(), flows);
+  for (const auto& r : rates) {
+    EXPECT_GT(r.progress_rate, 0.0);
+    EXPECT_TRUE(std::isfinite(r.progress_rate));
+  }
+}
+
+TEST_P(RateSolverPropertyTest, SomeResourceSaturatedOrAllCapped) {
+  // Pareto optimality: either a resource is fully used, or every flow is
+  // pinned at its own per-task cap.
+  const auto flows = RandomFlows(GetParam(), 2 + GetParam() % 6);
+  const auto rates = SolveRates(PaperCaps(), flows);
+  const ResourceVector util = SolutionUtilization(PaperCaps(), flows, rates);
+  double max_util = 0;
+  for (Resource r : kAllResources) max_util = std::max(max_util, util[r]);
+  if (max_util < 1.0 - 1e-6) {
+    for (size_t f = 0; f < flows.size(); ++f) {
+      const double cpu_d = flows[f].demand[Resource::kCpu];
+      ASSERT_GT(cpu_d, 0.0) << "uncapped flow below saturation";
+      EXPECT_NEAR(rates[f].progress_rate * cpu_d, 1.0, 1e-6)
+          << "flow " << f << " not at its CPU cap though nothing is saturated";
+    }
+  }
+}
+
+TEST_P(RateSolverPropertyTest, ScaleInvariance) {
+  // Scaling all demands by k (per-task bandwidth caps unchanged) scales all
+  // progress rates by exactly 1/k: the same bandwidth allocation moves k
+  // times more slowly through each task.
+  const auto flows = RandomFlows(GetParam(), 2 + GetParam() % 5);
+  std::vector<Flow> scaled = flows;
+  const double k = 3.7;
+  for (auto& f : scaled) {
+    for (Resource r : kAllResources) f.demand[r] *= k;
+  }
+  const auto base = SolveRates(PaperCaps(), flows);
+  const auto after = SolveRates(PaperCaps(), scaled);
+  for (size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_NEAR(after[f].progress_rate * k, base[f].progress_rate,
+                1e-6 * base[f].progress_rate);
+  }
+}
+
+TEST_P(RateSolverPropertyTest, AddingFlowNeverSpeedsSingleResourcePeers) {
+  // With multiple resources, adding a flow CAN speed up a third party (it
+  // slows a competitor on one device, freeing another) — so monotonicity is
+  // only guaranteed when all flows contend on one resource.
+  Rng rng(GetParam() * 7919);
+  std::vector<Flow> flows;
+  const int count = 2 + GetParam() % 5;
+  for (int i = 0; i < count; ++i) {
+    Flow f;
+    f.population = rng.Uniform(0.5, 6.0);
+    f.demand[Resource::kNetwork] = rng.Uniform(1e6, 5e8);
+    flows.push_back(f);
+  }
+  auto extended = flows;
+  Flow extra;
+  extra.population = 3.0;
+  extra.demand[Resource::kNetwork] = 5e7;
+  extended.push_back(extra);
+  const auto base = SolveRates(PaperCaps(), flows);
+  const auto after = SolveRates(PaperCaps(), extended);
+  for (size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_LE(after[f].progress_rate, base[f].progress_rate * (1.0 + 1e-9));
+  }
+}
+
+TEST_P(RateSolverPropertyTest, MoreCapacityNeverSlower) {
+  const auto flows = RandomFlows(GetParam(), 2 + GetParam() % 5);
+  ResourceVector bigger = PaperCaps();
+  for (Resource r : kAllResources) bigger[r] *= 2.0;
+  const auto base = SolveRates(PaperCaps(), flows);
+  const auto after = SolveRates(bigger, flows);
+  for (size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GE(after[f].progress_rate, base[f].progress_rate * (1.0 - 1e-9));
+  }
+}
+
+TEST_P(RateSolverPropertyTest, OfferedShareCoversConsumption) {
+  // A flow's consumption on each resource never exceeds what it was offered,
+  // and the bottleneck is consumed fully.
+  const auto flows = RandomFlows(GetParam(), 2 + GetParam() % 6);
+  const auto rates = SolveRates(PaperCaps(), flows);
+  for (size_t f = 0; f < flows.size(); ++f) {
+    for (Resource r : kAllResources) {
+      const double d = flows[f].demand[r];
+      if (d <= 0) continue;
+      const double consumed = d * rates[f].progress_rate;
+      EXPECT_LE(consumed, rates[f].offered[r] * (1.0 + 1e-6))
+          << ResourceName(r) << " flow " << f;
+    }
+    if (rates[f].bottleneck >= 0) {
+      const Resource b = static_cast<Resource>(rates[f].bottleneck);
+      if (flows[f].demand[b] > 0 && rates[f].offered[b] > 0) {
+        EXPECT_NEAR(flows[f].demand[b] * rates[f].progress_rate,
+                    rates[f].offered[b], 1e-6 * rates[f].offered[b]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateSolverPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+TEST(RateSolverEdgeTest, EmptyFlowsIsEmpty) {
+  EXPECT_TRUE(SolveRates(PaperCaps(), {}).empty());
+}
+
+TEST(RateSolverEdgeTest, HugePopulationStillPositive) {
+  Flow f;
+  f.population = 1e6;
+  f.demand[Resource::kNetwork] = 1e6;
+  const auto rates = SolveRates(PaperCaps(), {f});
+  EXPECT_GT(rates[0].progress_rate, 0.0);
+  EXPECT_NEAR(rates[0].progress_rate, 125e6 / 1e6 / 1e6, 1e-12);
+}
+
+TEST(RateSolverEdgeTest, TinyDemandIsAlmostInstant) {
+  Flow f;
+  f.population = 1;
+  f.demand[Resource::kDiskRead] = 1e-6;
+  const auto rates = SolveRates(PaperCaps(), {f});
+  EXPECT_GT(rates[0].progress_rate, 1e12);
+  EXPECT_NE(rates[0].progress_rate, kInf);
+}
+
+}  // namespace
+}  // namespace dagperf

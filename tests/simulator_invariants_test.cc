@@ -1,0 +1,232 @@
+// Parameterized invariant tests of the simulator across the full workload
+// library: structural properties that must hold for any workload, plus
+// preemption-specific behaviour.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sim/simulator.h"
+#include "workloads/hibench.h"
+#include "workloads/micro.h"
+#include "workloads/tpch.h"
+#include "workloads/web_analytics.h"
+
+namespace dagperf {
+namespace {
+
+ClusterSpec SmallPaperCluster() {
+  ClusterSpec c = ClusterSpec::PaperCluster();
+  c.num_nodes = 4;
+  return c;
+}
+
+/// Builds one of the named library workflows at test scale.
+DagWorkflow BuildFlow(const std::string& name) {
+  const Bytes micro = Bytes::FromGB(8);
+  if (name == "WC") {
+    DagBuilder b(name);
+    JobSpec spec = WordCountSpec(micro);
+    spec.num_reduce_tasks = 24;
+    b.AddJob(spec);
+    return std::move(b).Build().value();
+  }
+  if (name == "TS") {
+    DagBuilder b(name);
+    b.AddJob(TsSpec(micro));
+    return std::move(b).Build().value();
+  }
+  if (name == "TSC") {
+    DagBuilder b(name);
+    b.AddJob(TscSpec(micro));
+    return std::move(b).Build().value();
+  }
+  if (name == "TS3R") {
+    DagBuilder b(name);
+    b.AddJob(Ts3rSpec(micro));
+    return std::move(b).Build().value();
+  }
+  if (name == "KMeans") return KMeansFlow(micro, 2).value();
+  if (name == "PageRank") return PageRankFlow(micro, 2).value();
+  if (name == "WebAnalytics") return WebAnalyticsFlow(Bytes::FromGB(10)).value();
+  if (name == "Q5") return TpchQueryFlow(5, Bytes::FromGB(8)).value();
+  ADD_FAILURE() << "unknown workload " << name;
+  DagBuilder b("fallback");
+  b.AddJob(TsSpec(Bytes::FromGB(1)));
+  return std::move(b).Build().value();
+}
+
+class SimInvariantsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SimInvariantsTest, CompletesWithConsistentRecords) {
+  const DagWorkflow flow = BuildFlow(GetParam());
+  const Simulator sim(SmallPaperCluster(), SchedulerConfig{}, SimOptions{});
+  const SimResult result = sim.Run(flow).value();
+
+  // Every stage of every job ran exactly its task count.
+  for (JobId id = 0; id < flow.num_jobs(); ++id) {
+    const JobProfile& job = flow.job(id);
+    EXPECT_EQ(result.TaskDurations(id, StageKind::kMap).size(),
+              static_cast<size_t>(job.map.num_tasks))
+        << job.name;
+    if (job.has_reduce()) {
+      EXPECT_EQ(result.TaskDurations(id, StageKind::kReduce).size(),
+                static_cast<size_t>(job.reduce->num_tasks))
+          << job.name;
+    }
+  }
+
+  // One stage record per executed stage, spanning positive time.
+  EXPECT_EQ(static_cast<int>(result.stages().size()), flow.TotalStages());
+  for (const auto& s : result.stages()) {
+    EXPECT_LT(s.start, s.end);
+    EXPECT_LE(s.end, result.makespan().seconds() + 1e-9);
+  }
+
+  // The makespan is exactly the last stage completion.
+  double last_end = 0;
+  for (const auto& s : result.stages()) last_end = std::max(last_end, s.end);
+  EXPECT_NEAR(result.makespan().seconds(), last_end, 1e-9);
+}
+
+TEST_P(SimInvariantsTest, PhaseTimesSumToDuration) {
+  const DagWorkflow flow = BuildFlow(GetParam());
+  SimOptions options;
+  options.task_startup_seconds = 0.7;
+  const Simulator sim(SmallPaperCluster(), SchedulerConfig{}, options);
+  const SimResult result = sim.Run(flow).value();
+  for (const auto& t : result.tasks()) {
+    double sum = t.startup_s;
+    for (double s : t.substage_s) sum += s;
+    EXPECT_NEAR(sum, t.duration(), 1e-6);
+    EXPECT_NEAR(t.startup_s, 0.7, 1e-9);
+  }
+}
+
+TEST_P(SimInvariantsTest, StatesPartitionTheMakespan) {
+  const DagWorkflow flow = BuildFlow(GetParam());
+  const Simulator sim(SmallPaperCluster(), SchedulerConfig{}, SimOptions{});
+  const SimResult result = sim.Run(flow).value();
+  double covered = 0;
+  for (const auto& st : result.states()) covered += st.duration();
+  EXPECT_NEAR(covered, result.makespan().seconds(), 1e-6);
+  // Every state has at least one running stage.
+  for (const auto& st : result.states()) {
+    EXPECT_FALSE(st.running.empty()) << "state " << st.index;
+  }
+}
+
+TEST_P(SimInvariantsTest, DagOrderRespected) {
+  const DagWorkflow flow = BuildFlow(GetParam());
+  const Simulator sim(SmallPaperCluster(), SchedulerConfig{}, SimOptions{});
+  const SimResult result = sim.Run(flow).value();
+  for (const auto& [from, to] : flow.edges()) {
+    const StageKind last_of_parent =
+        flow.job(from).has_reduce() ? StageKind::kReduce : StageKind::kMap;
+    const double parent_end = result.FindStage(from, last_of_parent)->end;
+    const double child_start = result.FindStage(to, StageKind::kMap)->start;
+    EXPECT_GE(child_start, parent_end - 1e-9)
+        << flow.job(from).name << " -> " << flow.job(to).name;
+  }
+}
+
+TEST_P(SimInvariantsTest, SlotCapNeverExceeded) {
+  const DagWorkflow flow = BuildFlow(GetParam());
+  SchedulerConfig sched;
+  sched.max_tasks_per_node = 3;
+  const Simulator sim(SmallPaperCluster(), sched, SimOptions{});
+  const SimResult result = sim.Run(flow).value();
+  // Sweep the timeline: concurrent tasks per node never exceed the cap.
+  std::vector<std::pair<double, int>> events;  // (+1 at start, -1 at end).
+  std::map<int, std::vector<std::pair<double, int>>> per_node;
+  for (const auto& t : result.tasks()) {
+    per_node[t.node].push_back({t.start, +1});
+    per_node[t.node].push_back({t.end, -1});
+  }
+  for (auto& [node, evs] : per_node) {
+    std::sort(evs.begin(), evs.end(), [](const auto& a, const auto& b) {
+      // Process ends before starts at equal times (a slot frees then fills).
+      return a.first < b.first || (a.first == b.first && a.second < b.second);
+    });
+    int running = 0;
+    for (const auto& [time, delta] : evs) {
+      running += delta;
+      EXPECT_LE(running, 3) << "node " << node << " at t=" << time;
+    }
+  }
+}
+
+TEST_P(SimInvariantsTest, PreemptionOffStillCompletes) {
+  const DagWorkflow flow = BuildFlow(GetParam());
+  SimOptions options;
+  options.enable_preemption = false;
+  const Simulator sim(SmallPaperCluster(), SchedulerConfig{}, options);
+  const SimResult result = sim.Run(flow).value();
+  EXPECT_GT(result.makespan().seconds(), 0.0);
+  EXPECT_EQ(static_cast<int>(result.stages().size()), flow.TotalStages());
+}
+
+TEST_P(SimInvariantsTest, SeedChangesOnlySkewedOutcomes) {
+  const DagWorkflow flow = BuildFlow(GetParam());
+  SimOptions a;
+  a.seed = 1;
+  SimOptions b;
+  b.seed = 2;
+  const double t_a =
+      Simulator(SmallPaperCluster(), SchedulerConfig{}, a).Run(flow)->makespan().seconds();
+  const double t_b =
+      Simulator(SmallPaperCluster(), SchedulerConfig{}, b).Run(flow)->makespan().seconds();
+  bool any_skew = false;
+  for (const auto& job : flow.jobs()) {
+    if (job.has_reduce() && job.reduce->task_size_cv > 1e-9) any_skew = true;
+  }
+  if (!any_skew) {
+    EXPECT_DOUBLE_EQ(t_a, t_b);
+  } else {
+    // Skewed draws differ, but totals stay within a plausible band.
+    EXPECT_NEAR(t_a, t_b, 0.25 * t_a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SimInvariantsTest,
+                         ::testing::Values("WC", "TS", "TSC", "TS3R", "KMeans",
+                                           "PageRank", "WebAnalytics", "Q5"));
+
+TEST(PreemptionTest, RestoresFairShareFaster) {
+  // A long job is running on the whole cluster when a second job arrives
+  // (chained behind a tiny trigger job). With preemption, the second job's
+  // map stage should start and finish earlier than without.
+  const auto build = [] {
+    DagBuilder b("preempt-scenario");
+    JobSpec hog = TsSpec(Bytes::FromGB(20));
+    hog.name = "hog";
+    b.AddJob(hog);
+    JobSpec trigger = TsSpec(Bytes::FromMB(256));
+    trigger.name = "trigger";
+    trigger.num_reduce_tasks = 1;
+    const JobId t = b.AddJob(trigger);
+    JobSpec late = WordCountSpec(Bytes::FromGB(8));
+    late.name = "late";
+    late.num_reduce_tasks = 8;
+    b.AddJobAfter(t, late);
+    return std::move(b).Build().value();
+  };
+  const DagWorkflow flow = build();
+  SimOptions with;
+  SimOptions without;
+  without.enable_preemption = false;
+  const ClusterSpec cluster = SmallPaperCluster();
+  const SimResult r_with =
+      Simulator(cluster, SchedulerConfig{}, with).Run(flow).value();
+  const SimResult r_without =
+      Simulator(cluster, SchedulerConfig{}, without).Run(flow).value();
+  const double with_span = r_with.FindStage(2, StageKind::kMap)->end -
+                           r_with.FindStage(2, StageKind::kMap)->start;
+  const double without_span = r_without.FindStage(2, StageKind::kMap)->end -
+                              r_without.FindStage(2, StageKind::kMap)->start;
+  EXPECT_LT(with_span, without_span + 1e-9);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,267 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace dagperf {
+namespace {
+
+ClusterSpec SmallCluster(int nodes = 2) {
+  ClusterSpec c = ClusterSpec::PaperCluster();
+  c.num_nodes = nodes;
+  return c;
+}
+
+SchedulerConfig DefaultSched(int max_tasks_per_node = 0) {
+  SchedulerConfig s;
+  s.max_tasks_per_node = max_tasks_per_node;
+  return s;
+}
+
+SimOptions NoStartup() {
+  SimOptions o;
+  o.task_startup_seconds = 0.0;
+  return o;
+}
+
+JobSpec TinyJob(const std::string& name, double input_gb = 1.0) {
+  JobSpec spec;
+  spec.name = name;
+  spec.input = Bytes::FromGB(input_gb);
+  spec.split_size = Bytes::FromMB(256);
+  spec.num_reduce_tasks = 2;
+  spec.replicas = 1;
+  spec.remote_read_fraction = 0.0;
+  return spec;
+}
+
+DagWorkflow SingleJobFlow(const JobSpec& spec) {
+  DagBuilder b(spec.name + "-flow");
+  b.AddJob(spec);
+  return std::move(b).Build().value();
+}
+
+TEST(SimulatorTest, SingleMapOnlyJobCompletes) {
+  JobSpec spec = TinyJob("m");
+  spec.num_reduce_tasks = 0;
+  spec.map_selectivity = 0.0;  // Pure scan, no output.
+  const Simulator sim(SmallCluster(), DefaultSched(), NoStartup());
+  const SimResult result = sim.Run(SingleJobFlow(spec)).value();
+  EXPECT_GT(result.makespan().seconds(), 0.0);
+  // 4 map tasks recorded, no reduce tasks.
+  EXPECT_EQ(result.TaskDurations(0, StageKind::kMap).size(), 4u);
+  EXPECT_TRUE(result.TaskDurations(0, StageKind::kReduce).empty());
+  ASSERT_EQ(result.stages().size(), 1u);
+}
+
+TEST(SimulatorTest, MapThenReduceOrdering) {
+  const Simulator sim(SmallCluster(), DefaultSched(), NoStartup());
+  const SimResult result = sim.Run(SingleJobFlow(TinyJob("mr"))).value();
+  const StageRecord map = result.FindStage(0, StageKind::kMap).value();
+  const StageRecord reduce = result.FindStage(0, StageKind::kReduce).value();
+  // Slow-start 1.0: reduce starts only after the last map finishes.
+  EXPECT_GE(reduce.start, map.end - 1e-9);
+  EXPECT_NEAR(result.makespan().seconds(), reduce.end, 1e-9);
+}
+
+TEST(SimulatorTest, SingleTaskTimeMatchesAnalyticBound) {
+  // One map task alone on an idle cluster: the fluid simulator must agree
+  // exactly with the per-sub-stage max formula (no contention anywhere).
+  JobSpec spec = TinyJob("solo", 0.25);  // One 256 MB split... input 250MB.
+  spec.input = Bytes::FromMB(256);
+  spec.num_reduce_tasks = 0;
+  spec.map_selectivity = 0.0;
+  spec.map_compute = Rate::MBps(50);
+  spec.remote_read_fraction = 0.0;
+  const ClusterSpec cluster = SmallCluster(1);
+  const Simulator sim(cluster, DefaultSched(), NoStartup());
+  const SimResult result = sim.Run(SingleJobFlow(spec)).value();
+  const auto durations = result.TaskDurations(0, StageKind::kMap);
+  ASSERT_EQ(durations.size(), 1u);
+  // read 256 MB at 200 MB/s = 1.28 s; compute 256/50 = 5.12 s -> CPU-bound.
+  EXPECT_NEAR(durations[0], 5.12, 1e-6);
+}
+
+TEST(SimulatorTest, StartupDelayAddsToTaskTime) {
+  JobSpec spec = TinyJob("s", 0.25);
+  spec.input = Bytes::FromMB(256);
+  spec.num_reduce_tasks = 0;
+  spec.map_selectivity = 0.0;
+  spec.map_compute = Rate::MBps(50);
+  SimOptions opts;
+  opts.task_startup_seconds = 2.5;
+  const Simulator sim(SmallCluster(1), DefaultSched(), opts);
+  const SimResult result = sim.Run(SingleJobFlow(spec)).value();
+  EXPECT_NEAR(result.TaskDurations(0, StageKind::kMap)[0], 5.12 + 2.5, 1e-6);
+}
+
+TEST(SimulatorTest, ParallelismCappedBySlots) {
+  // 8 map tasks, 1 slot per node, 2 nodes -> four sequential waves.
+  JobSpec spec = TinyJob("waves");
+  spec.input = Bytes::FromMB(2048);  // Exactly 8 x 256 MB splits.
+  spec.num_reduce_tasks = 0;
+  spec.map_selectivity = 0.0;
+  spec.map_compute = Rate::MBps(64);  // 4 s per 256 MB split.
+  const Simulator sim(SmallCluster(2), DefaultSched(/*max_tasks_per_node=*/1),
+                      NoStartup());
+  const SimResult result = sim.Run(SingleJobFlow(spec)).value();
+  // 8 tasks / 2 concurrent = 4 waves of 4 s.
+  EXPECT_NEAR(result.makespan().seconds(), 16.0, 1e-6);
+}
+
+TEST(SimulatorTest, CpuContentionSlowsTasks) {
+  // 12 CPU-bound tasks on one 6-core node: each runs at half a core.
+  JobSpec spec = TinyJob("cpu", 3.0);
+  spec.num_reduce_tasks = 0;
+  spec.map_selectivity = 0.0;
+  spec.map_compute = Rate::MBps(25);  // ~10.24 s per split at a full core.
+  const Simulator sim(SmallCluster(1), DefaultSched(12), NoStartup());
+  const SimResult result = sim.Run(SingleJobFlow(spec)).value();
+  const auto durations = result.TaskDurations(0, StageKind::kMap);
+  ASSERT_EQ(durations.size(), 12u);
+  const double expected_single = 256.0 / 25.0;
+  for (double d : durations) {
+    EXPECT_NEAR(d, 2 * expected_single, 0.5);  // Half a core each.
+  }
+}
+
+TEST(SimulatorTest, DagDependencyRespected) {
+  DagBuilder b("chain");
+  JobSpec a = TinyJob("a");
+  JobSpec c = TinyJob("c");
+  const JobId ja = b.AddJob(a);
+  const JobId jc = b.AddJobAfter(ja, c);
+  const DagWorkflow flow = std::move(b).Build().value();
+  const Simulator sim(SmallCluster(), DefaultSched(), NoStartup());
+  const SimResult result = sim.Run(flow).value();
+  const StageRecord a_reduce = result.FindStage(ja, StageKind::kReduce).value();
+  const StageRecord c_map = result.FindStage(jc, StageKind::kMap).value();
+  EXPECT_GE(c_map.start, a_reduce.end - 1e-9);
+}
+
+TEST(SimulatorTest, IndependentJobsOverlap) {
+  DagBuilder b("parallel");
+  b.AddJob(TinyJob("a", 4.0));
+  b.AddJob(TinyJob("c", 4.0));
+  const DagWorkflow flow = std::move(b).Build().value();
+  const Simulator sim(SmallCluster(4), DefaultSched(), NoStartup());
+  const SimResult result = sim.Run(flow).value();
+  const StageRecord a_map = result.FindStage(0, StageKind::kMap).value();
+  const StageRecord c_map = result.FindStage(1, StageKind::kMap).value();
+  // Both start at t=0.
+  EXPECT_NEAR(a_map.start, 0.0, 1e-9);
+  EXPECT_NEAR(c_map.start, 0.0, 1e-9);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  const Simulator sim(SmallCluster(), DefaultSched());
+  const DagWorkflow flow = SingleJobFlow(TinyJob("det", 4.0));
+  const SimResult r1 = sim.Run(flow).value();
+  const SimResult r2 = sim.Run(flow).value();
+  EXPECT_DOUBLE_EQ(r1.makespan().seconds(), r2.makespan().seconds());
+  ASSERT_EQ(r1.tasks().size(), r2.tasks().size());
+  for (size_t i = 0; i < r1.tasks().size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.tasks()[i].start, r2.tasks()[i].start);
+    EXPECT_DOUBLE_EQ(r1.tasks()[i].end, r2.tasks()[i].end);
+  }
+}
+
+TEST(SimulatorTest, SkewSpreadsReduceDurations) {
+  JobSpec skewed = TinyJob("skew", 8.0);
+  skewed.num_reduce_tasks = 16;
+  skewed.reduce_skew_cv = 0.5;
+  JobSpec flat = skewed;
+  flat.name = "flat";
+  flat.reduce_skew_cv = 0.0;
+  const Simulator sim(SmallCluster(2), DefaultSched(), NoStartup());
+  const SimResult r_skew = sim.Run(SingleJobFlow(skewed)).value();
+  const SimResult r_flat = sim.Run(SingleJobFlow(flat)).value();
+  const SampleStats s_skew =
+      ComputeStats(r_skew.TaskDurations(0, StageKind::kReduce));
+  const SampleStats s_flat =
+      ComputeStats(r_flat.TaskDurations(0, StageKind::kReduce));
+  EXPECT_GT(s_skew.stddev / s_skew.mean, 0.2);
+  EXPECT_LT(s_flat.stddev / s_flat.mean, 0.1);
+}
+
+TEST(SimulatorTest, StateTimelineCoversMakespan) {
+  DagBuilder b("states");
+  b.AddJob(TinyJob("a", 2.0));
+  b.AddJob(TinyJob("c", 3.0));
+  const DagWorkflow flow = std::move(b).Build().value();
+  const Simulator sim(SmallCluster(2), DefaultSched(), NoStartup());
+  const SimResult result = sim.Run(flow).value();
+  const auto& states = result.states();
+  ASSERT_FALSE(states.empty());
+  EXPECT_NEAR(states.front().start, 0.0, 1e-9);
+  EXPECT_NEAR(states.back().end, result.makespan().seconds(), 1e-9);
+  // Contiguous, non-overlapping, and indexed from 1.
+  for (size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i].index, static_cast<int>(i) + 1);
+    if (i > 0) {
+      EXPECT_NEAR(states[i].start, states[i - 1].end, 1e-9);
+    }
+    EXPECT_GT(states[i].duration(), 0.0);
+  }
+}
+
+TEST(SimulatorTest, TaskRecordsConsistent) {
+  const Simulator sim(SmallCluster(), DefaultSched());
+  const DagWorkflow flow = SingleJobFlow(TinyJob("rec", 4.0));
+  const SimResult result = sim.Run(flow).value();
+  const JobProfile& job = flow.job(0);
+  EXPECT_EQ(result.TaskDurations(0, StageKind::kMap).size(),
+            static_cast<size_t>(job.map.num_tasks));
+  EXPECT_EQ(result.TaskDurations(0, StageKind::kReduce).size(),
+            static_cast<size_t>(job.reduce->num_tasks));
+  for (const auto& t : result.tasks()) {
+    EXPECT_GE(t.start, 0.0);
+    EXPECT_GT(t.end, t.start);
+    EXPECT_LE(t.end, result.makespan().seconds() + 1e-9);
+    EXPECT_GE(t.node, 0);
+    EXPECT_LT(t.node, 2);
+  }
+}
+
+TEST(SimulatorTest, RejectsOversizedContainer) {
+  JobSpec spec = TinyJob("fat");
+  spec.map_slot.memory = Bytes::FromGB(64);  // > 32 GB node.
+  const Simulator sim(SmallCluster(), DefaultSched(), NoStartup());
+  const auto result = sim.Run(SingleJobFlow(spec));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(SimulatorTest, MoreNodesNeverSlower) {
+  const DagWorkflow flow = SingleJobFlow(TinyJob("scale", 8.0));
+  double prev = 1e300;
+  for (int nodes : {1, 2, 4, 8}) {
+    const Simulator sim(SmallCluster(nodes), DefaultSched(), NoStartup());
+    const double t = sim.Run(flow).value().makespan().seconds();
+    EXPECT_LE(t, prev + 1e-6) << nodes << " nodes";
+    prev = t;
+  }
+}
+
+TEST(SimulatorTest, NetworkBoundShuffleMatchesBandwidth) {
+  // TeraSort-like job on 1 node: shuffle+write volumes dominated by the
+  // the disk; validate total makespan is at least the disk-write bound.
+  JobSpec spec = TinyJob("ts", 4.0);
+  spec.map_selectivity = 1.0;
+  spec.reduce_selectivity = 1.0;
+  spec.num_reduce_tasks = 8;
+  const ClusterSpec cluster = SmallCluster(1);
+  const Simulator sim(cluster, DefaultSched(), NoStartup());
+  const SimResult result = sim.Run(SingleJobFlow(spec)).value();
+  // Disk writes >= spill (4 GB) + materialise (4 GB) + output (4 GB).
+  const double min_write_seconds =
+      3.0 * Bytes::FromGB(4).value() / cluster.node.disk_write_bw.bytes_per_sec();
+  EXPECT_GT(result.makespan().seconds(), min_write_seconds);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,147 @@
+#include "workloads/spark.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "sim/simulator.h"
+
+namespace dagperf {
+namespace {
+
+SparkStage Stage(const std::string& name, double input_gb, double ratio,
+                 double mbps, bool cache = false) {
+  SparkStage s;
+  s.name = name;
+  s.input = Bytes::FromGB(input_gb);
+  s.output_ratio = ratio;
+  s.compute = Rate::MBps(mbps);
+  s.cache_output = cache;
+  return s;
+}
+
+TEST(SparkCompilerTest, SingleStageBecomesMapOnlyJob) {
+  SparkAppSpec app;
+  app.name = "scan";
+  app.output_replicas = 3;
+  app.stages.push_back(Stage("scan", 10, 0.5, 100));
+  const DagWorkflow flow = CompileSparkApp(app).value();
+  ASSERT_EQ(flow.num_jobs(), 1);
+  EXPECT_FALSE(flow.job(0).has_reduce());
+  EXPECT_EQ(flow.job(0).spec.replicas, 3);
+  EXPECT_DOUBLE_EQ(flow.job(0).spec.map_selectivity, 0.5);
+}
+
+TEST(SparkCompilerTest, WideEdgeCreatesShuffle) {
+  SparkAppSpec app;
+  app.stages.push_back(Stage("scan", 10, 1.0, 100));
+  app.stages.push_back(Stage("agg", 0, 0.1, 80));
+  app.edges.push_back({0, 1, /*wide=*/true});
+  const DagWorkflow flow = CompileSparkApp(app).value();
+  ASSERT_EQ(flow.num_jobs(), 2);
+  EXPECT_TRUE(flow.job(0).has_reduce());  // The producer shuffles.
+  // The consumer's input equals the producer's output.
+  EXPECT_NEAR(flow.job(1).spec.input.value(), JobOutput(flow.job(0).spec).value(),
+              1.0);
+}
+
+TEST(SparkCompilerTest, NarrowChainContracts) {
+  SparkAppSpec app;
+  app.stages.push_back(Stage("parse", 10, 0.5, 100));
+  app.stages.push_back(Stage("filter", 0, 0.2, 200));
+  app.stages.push_back(Stage("project", 0, 0.5, 400));
+  app.edges.push_back({0, 1, /*wide=*/false});
+  app.edges.push_back({1, 2, /*wide=*/false});
+  const DagWorkflow flow = CompileSparkApp(app).value();
+  // All three pipeline into a single job.
+  ASSERT_EQ(flow.num_jobs(), 1);
+  const JobSpec& spec = flow.job(0).spec;
+  EXPECT_EQ(spec.name, "parse+filter+project");
+  EXPECT_NEAR(spec.map_selectivity, 0.5 * 0.2 * 0.5, 1e-12);
+  // Fused compute: 1/100 + 0.5/200 + 0.1/400 MB-cost per byte.
+  const double cost = 1.0 / 100e6 + 0.5 / 200e6 + 0.1 / 400e6;
+  EXPECT_NEAR(spec.map_compute.bytes_per_sec(), 1.0 / cost, 1.0);
+}
+
+TEST(SparkCompilerTest, NarrowEdgeWithFanoutDoesNotContract) {
+  SparkAppSpec app;
+  app.stages.push_back(Stage("scan", 10, 1.0, 100, /*cache=*/true));
+  app.stages.push_back(Stage("a", 0, 0.1, 100));
+  app.stages.push_back(Stage("b", 0, 0.1, 100));
+  app.edges.push_back({0, 1, false});
+  app.edges.push_back({0, 2, false});
+  const DagWorkflow flow = CompileSparkApp(app).value();
+  EXPECT_EQ(flow.num_jobs(), 3);
+  // Consumers of a cached stage read from memory.
+  EXPECT_DOUBLE_EQ(flow.job(1).spec.input_cache_fraction, 1.0);
+  const auto& read = flow.job(1).map.substages.front();
+  EXPECT_DOUBLE_EQ(read.demand[Resource::kDiskRead], 0.0);
+  EXPECT_GT(read.demand[Resource::kCpu], 0.0);
+}
+
+TEST(SparkCompilerTest, RejectsBadApps) {
+  SparkAppSpec empty;
+  EXPECT_FALSE(CompileSparkApp(empty).ok());
+
+  SparkAppSpec cycle;
+  cycle.stages.push_back(Stage("a", 10, 1, 100));
+  cycle.stages.push_back(Stage("b", 0, 1, 100));
+  cycle.edges = {{0, 1, true}, {1, 0, true}};
+  EXPECT_FALSE(CompileSparkApp(cycle).ok());
+
+  SparkAppSpec double_input;
+  double_input.stages.push_back(Stage("a", 10, 1, 100));
+  double_input.stages.push_back(Stage("b", 5, 1, 100));  // Input + parent.
+  double_input.edges = {{0, 1, true}};
+  EXPECT_FALSE(CompileSparkApp(double_input).ok());
+
+  SparkAppSpec no_input;
+  no_input.stages.push_back(Stage("a", 0, 1, 100));  // Source without bytes.
+  EXPECT_FALSE(CompileSparkApp(no_input).ok());
+}
+
+TEST(SparkCompilerTest, IterativeMlAppShape) {
+  const SparkAppSpec app = IterativeMlApp(Bytes::FromGB(20), 4);
+  const DagWorkflow flow = CompileSparkApp(app).value();
+  // scan + 4 gradient stages.
+  EXPECT_EQ(flow.num_jobs(), 5);
+  // Gradient stages read the cache: almost all input from memory.
+  for (JobId id = 1; id < flow.num_jobs(); ++id) {
+    EXPECT_GT(flow.job(id).spec.input_cache_fraction, 0.99) << id;
+  }
+}
+
+TEST(SparkCompilerTest, CachingSpeedsUpIterations) {
+  // The same app with caching disabled must be predicted (and simulated)
+  // slower: every iteration re-reads the training set from disk.
+  SparkAppSpec cached = IterativeMlApp(Bytes::FromGB(20), 3);
+  SparkAppSpec uncached = cached;
+  uncached.stages[0].cache_output = false;
+
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const auto time_of = [&](const SparkAppSpec& app) {
+    const DagWorkflow flow = CompileSparkApp(app).value();
+    const Simulator sim(cluster, SchedulerConfig{}, SimOptions{});
+    return sim.Run(flow)->makespan().seconds();
+  };
+  EXPECT_LT(time_of(cached), time_of(uncached));
+}
+
+TEST(SparkCompilerTest, ModelsEstimateCompiledApps) {
+  const DagWorkflow flow =
+      CompileSparkApp(IterativeMlApp(Bytes::FromGB(20), 3)).value();
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const Simulator sim(cluster, SchedulerConfig{}, SimOptions{});
+  const SimResult truth = sim.Run(flow).value();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  const DagEstimate est = estimator.Estimate(flow, source).value();
+  EXPECT_GT(RelativeAccuracy(est.makespan.seconds(), truth.makespan().seconds()),
+            0.75);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,80 @@
+#include "dag/spec_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workloads/micro.h"
+#include "workloads/web_analytics.h"
+
+namespace dagperf {
+namespace {
+
+TEST(SpecIoTest, JobSpecRoundTrip) {
+  JobSpec spec = Ts3rSpec(Bytes::FromGB(42));
+  spec.reduce_skew_cv = 0.33;
+  spec.input_cache_fraction = 0.25;
+  spec.map_slot.memory = Bytes::FromGB(3);
+  const Result<JobSpec> back = JobSpecFromJson(JobSpecToJson(spec));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, spec);
+}
+
+TEST(SpecIoTest, WorkflowRoundTripPreservesTopology) {
+  const DagWorkflow flow = WebAnalyticsFlow(Bytes::FromGB(10)).value();
+  const Result<DagWorkflow> back = WorkflowFromJson(WorkflowToJson(flow));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name(), flow.name());
+  ASSERT_EQ(back->num_jobs(), flow.num_jobs());
+  EXPECT_EQ(back->edges(), flow.edges());
+  for (JobId id = 0; id < flow.num_jobs(); ++id) {
+    EXPECT_EQ(back->job(id).spec, flow.job(id).spec) << id;
+  }
+}
+
+TEST(SpecIoTest, DefaultsFillAbsentFields) {
+  const Json minimal = Json::Parse("{\"name\": \"tiny\", \"input_gb\": 1}").value();
+  const JobSpec spec = JobSpecFromJson(minimal).value();
+  EXPECT_EQ(spec.name, "tiny");
+  EXPECT_DOUBLE_EQ(spec.input.ToGB(), 1.0);
+  const JobSpec defaults;
+  EXPECT_EQ(spec.replicas, defaults.replicas);
+  EXPECT_EQ(spec.map_compute, defaults.map_compute);
+}
+
+TEST(SpecIoTest, UnknownFieldRejected) {
+  const Json bad =
+      Json::Parse("{\"name\": \"x\", \"input_gigabytes\": 1}").value();
+  const auto result = JobSpecFromJson(bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("input_gigabytes"), std::string::npos);
+}
+
+TEST(SpecIoTest, BadTopologyRejectedAtBuild) {
+  const Json cyclic = Json::Parse(
+                          "{\"jobs\": [{\"name\": \"a\"}, {\"name\": \"b\"}],"
+                          " \"edges\": [[0, 1], [1, 0]]}")
+                          .value();
+  EXPECT_FALSE(WorkflowFromJson(cyclic).ok());
+
+  const Json bad_edge =
+      Json::Parse("{\"jobs\": [{\"name\": \"a\"}], \"edges\": [[0]]}").value();
+  EXPECT_FALSE(WorkflowFromJson(bad_edge).ok());
+
+  const Json no_jobs = Json::Parse("{\"name\": \"x\"}").value();
+  EXPECT_FALSE(WorkflowFromJson(no_jobs).ok());
+}
+
+TEST(SpecIoTest, FileRoundTrip) {
+  const DagWorkflow flow = WebAnalyticsFlow(Bytes::FromGB(10)).value();
+  const std::string path = ::testing::TempDir() + "/dagperf_flow.json";
+  ASSERT_TRUE(SaveWorkflow(flow, path).ok());
+  const Result<DagWorkflow> back = LoadWorkflow(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_jobs(), flow.num_jobs());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadWorkflow(path).ok());  // Gone.
+}
+
+}  // namespace
+}  // namespace dagperf

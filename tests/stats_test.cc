@@ -1,0 +1,133 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dagperf {
+namespace {
+
+TEST(ComputeStatsTest, EmptySampleIsAllZero) {
+  SampleStats s = ComputeStats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(ComputeStatsTest, BasicMoments) {
+  SampleStats s = ComputeStats({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(ComputeStatsTest, MedianInterpolatesEvenCount) {
+  SampleStats s = ComputeStats({1, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(PercentileTest, Endpoints) {
+  std::vector<double> v = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+}
+
+TEST(ExpectedMaxOfNormalTest, SingleDrawIsMean) {
+  EXPECT_DOUBLE_EQ(ExpectedMaxOfNormal(10.0, 2.0, 1), 10.0);
+}
+
+TEST(ExpectedMaxOfNormalTest, ZeroStddevIsMean) {
+  EXPECT_DOUBLE_EQ(ExpectedMaxOfNormal(10.0, 0.0, 100), 10.0);
+}
+
+TEST(ExpectedMaxOfNormalTest, TwoDrawsExact) {
+  // E[max of 2 N(0,1)] = 1/sqrt(pi).
+  EXPECT_NEAR(ExpectedMaxOfNormal(0.0, 1.0, 2), 1.0 / std::sqrt(M_PI), 1e-12);
+}
+
+TEST(ExpectedMaxOfNormalTest, MatchesMonteCarlo) {
+  Rng rng(42);
+  for (int n : {5, 10, 50, 200}) {
+    const int trials = 20000;
+    double sum = 0;
+    for (int t = 0; t < trials; ++t) {
+      double mx = -1e300;
+      for (int i = 0; i < n; ++i) mx = std::max(mx, rng.Normal(100.0, 15.0));
+      sum += mx;
+    }
+    const double mc = sum / trials;
+    const double approx = ExpectedMaxOfNormal(100.0, 15.0, n);
+    // The Gumbel approximation is a few percent accurate in this range.
+    EXPECT_NEAR(approx, mc, 0.05 * mc) << "n=" << n;
+  }
+}
+
+TEST(ExpectedMaxOfNormalTest, MonotoneInN) {
+  double prev = ExpectedMaxOfNormal(10, 3, 2);
+  for (int n : {4, 8, 16, 64, 256}) {
+    const double cur = ExpectedMaxOfNormal(10, 3, n);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(RelativeAccuracyTest, PerfectEstimateIsOne) {
+  EXPECT_DOUBLE_EQ(RelativeAccuracy(100.0, 100.0), 1.0);
+}
+
+TEST(RelativeAccuracyTest, SymmetricErrors) {
+  EXPECT_DOUBLE_EQ(RelativeAccuracy(90.0, 100.0), 0.9);
+  EXPECT_DOUBLE_EQ(RelativeAccuracy(110.0, 100.0), 0.9);
+}
+
+TEST(RelativeAccuracyTest, ClampsAtZero) {
+  EXPECT_DOUBLE_EQ(RelativeAccuracy(500.0, 100.0), 0.0);
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 2 + 3x over a few points, features (1, x).
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v : {0.0, 1.0, 2.0, 5.0, 9.0}) {
+    x.push_back(1.0);
+    x.push_back(v);
+    y.push_back(2.0 + 3.0 * v);
+  }
+  const std::vector<double> beta = LeastSquares(x, y, 2);
+  ASSERT_EQ(beta.size(), 2u);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, OverdeterminedNoisyFit) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(0, 10);
+    x.push_back(1.0);
+    x.push_back(v);
+    y.push_back(4.0 - 0.5 * v + rng.Normal(0, 0.01));
+  }
+  const std::vector<double> beta = LeastSquares(x, y, 2);
+  EXPECT_NEAR(beta[0], 4.0, 0.01);
+  EXPECT_NEAR(beta[1], -0.5, 0.01);
+}
+
+TEST(LeastSquaresTest, SingularColumnYieldsFiniteResult) {
+  // Second feature identically zero: coefficient should come back 0, not NaN.
+  std::vector<double> x = {1, 0, 1, 0, 1, 0};
+  std::vector<double> y = {2, 2, 2};
+  const std::vector<double> beta = LeastSquares(x, y, 2);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(beta[1]));
+}
+
+}  // namespace
+}  // namespace dagperf

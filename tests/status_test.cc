@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, Factories) {
+  EXPECT_EQ(Status::NotFound("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), ErrorCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.value(); }, "boom");
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.AddRow({"xxxx", "1"});
+  t.AddRow({"y", "2"});
+  const std::string out = t.ToString();
+  // Both value cells start at the same column.
+  size_t line_start = 0;
+  std::vector<std::string> lines;
+  for (size_t i = 0; i <= out.size(); ++i) {
+    if (i == out.size() || out[i] == '\n') {
+      lines.push_back(out.substr(line_start, i - line_start));
+      line_start = i + 1;
+    }
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_NO_FATAL_FAILURE(t.ToString());
+}
+
+TEST(TextTableTest, CellFormatsDoubles) {
+  EXPECT_EQ(TextTable::Cell(0.98765, 2), "0.99");
+  EXPECT_EQ(TextTable::Cell(1.0, 4), "1.0000");
+}
+
+TEST(TextTableDeathTest, OverlongRowAborts) {
+  TextTable t({"only"});
+  EXPECT_DEATH(t.AddRow({"a", "b"}), "CHECK");
+}
+
+}  // namespace
+}  // namespace dagperf

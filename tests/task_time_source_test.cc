@@ -1,0 +1,114 @@
+#include "model/task_time_source.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace dagperf {
+namespace {
+
+NodeSpec TestNode() {
+  NodeSpec node;
+  node.cores = 6;
+  node.disk_read_bw = Rate::MBps(500);
+  node.disk_write_bw = Rate::MBps(500);
+  node.network_bw = Rate::MBps(100);
+  return node;
+}
+
+StageProfile NetStage(double cv = 0.0) {
+  StageProfile stage;
+  stage.name = "job/map";
+  stage.num_tasks = 10;
+  stage.task_size_cv = cv;
+  SubStageProfile ss;
+  ss.name = "transfer";
+  ss.demand[Resource::kNetwork] = Bytes::FromMB(100).value();
+  stage.substages.push_back(ss);
+  return stage;
+}
+
+TEST(BoeTaskTimeSourceTest, MatchesBoeModel) {
+  const BoeModel model(TestNode());
+  const BoeTaskTimeSource source(model);
+  const StageProfile stage = NetStage();
+  EstimationContext ctx;
+  ctx.running.push_back({&stage, 4.0});
+  ctx.query = 0;
+  // 100 MB at 100/4 = 25 MB/s -> 4 s.
+  EXPECT_NEAR(source.TaskTime(ctx).seconds(), 4.0, 1e-9);
+}
+
+TEST(BoeTaskTimeSourceTest, AddsFixedOverhead) {
+  const BoeModel model(TestNode());
+  const BoeTaskTimeSource source(model, Duration::Seconds(1.5));
+  const StageProfile stage = NetStage();
+  EstimationContext ctx;
+  ctx.running.push_back({&stage, 4.0});
+  EXPECT_NEAR(source.TaskTime(ctx).seconds(), 5.5, 1e-9);
+}
+
+TEST(BoeTaskTimeSourceTest, DistUsesStageCv) {
+  const BoeModel model(TestNode());
+  const BoeTaskTimeSource source(model);
+  const StageProfile stage = NetStage(/*cv=*/0.25);
+  EstimationContext ctx;
+  ctx.running.push_back({&stage, 4.0});
+  const NormalParams dist = source.TaskTimeDist(ctx);
+  EXPECT_NEAR(dist.mean, 4.0, 1e-9);
+  EXPECT_NEAR(dist.stddev, 1.0, 1e-9);
+}
+
+TEST(ProfileTaskTimeSourceTest, MeanAndMedianStatistics) {
+  const StageProfile stage = NetStage();
+  ProfileTaskTimeSource mean_source(ProfileStatistic::kMean);
+  mean_source.AddProfile("job/map", {10, 10, 10, 30});
+  ProfileTaskTimeSource median_source(ProfileStatistic::kMedian);
+  median_source.AddProfile("job/map", {10, 10, 10, 30});
+
+  EstimationContext ctx;
+  ctx.running.push_back({&stage, 1.0});
+  EXPECT_NEAR(mean_source.TaskTime(ctx).seconds(), 15.0, 1e-9);
+  EXPECT_NEAR(median_source.TaskTime(ctx).seconds(), 10.0, 1e-9);
+}
+
+TEST(ProfileTaskTimeSourceTest, DistFromSample) {
+  const StageProfile stage = NetStage();
+  ProfileTaskTimeSource source(ProfileStatistic::kMean);
+  source.AddProfile("job/map", {8, 12});
+  EstimationContext ctx;
+  ctx.running.push_back({&stage, 1.0});
+  const NormalParams dist = source.TaskTimeDist(ctx);
+  EXPECT_NEAR(dist.mean, 10.0, 1e-9);
+  EXPECT_NEAR(dist.stddev, 2.0, 1e-9);
+}
+
+TEST(ProfileTaskTimeSourceTest, FromSimulationCoversAllStages) {
+  JobSpec spec;
+  spec.name = "profiled";
+  spec.input = Bytes::FromGB(1);
+  spec.num_reduce_tasks = 2;
+  spec.replicas = 1;
+  DagBuilder builder("flow");
+  builder.AddJob(spec);
+  const DagWorkflow flow = std::move(builder).Build().value();
+  const Simulator sim(ClusterSpec::PaperCluster(), SchedulerConfig{});
+  const SimResult result = sim.Run(flow).value();
+  const ProfileTaskTimeSource source =
+      ProfileTaskTimeSource::FromSimulation(flow, result, ProfileStatistic::kMean)
+          .value();
+  EXPECT_TRUE(source.HasProfile("profiled/map"));
+  EXPECT_TRUE(source.HasProfile("profiled/reduce"));
+  EXPECT_FALSE(source.HasProfile("other/map"));
+}
+
+TEST(ProfileTaskTimeSourceDeathTest, UnknownStageAborts) {
+  const StageProfile stage = NetStage();
+  ProfileTaskTimeSource source(ProfileStatistic::kMean);
+  EstimationContext ctx;
+  ctx.running.push_back({&stage, 1.0});
+  EXPECT_DEATH((void)source.TaskTime(ctx), "job/map");
+}
+
+}  // namespace
+}  // namespace dagperf

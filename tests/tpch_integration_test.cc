@@ -1,0 +1,76 @@
+// Integration tests: every TPC-H query plan (and the full Table III suite
+// at reduced scale) simulates to completion and the profile-driven
+// state-based estimate tracks the simulated execution.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "exp/dag_suite.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "sim/simulator.h"
+#include "workloads/suite.h"
+#include "workloads/tpch.h"
+
+namespace dagperf {
+namespace {
+
+class TpchQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchQueryTest, SimulatesAndEstimatesAccurately) {
+  const int query = GetParam();
+  const DagWorkflow flow = TpchQueryFlow(query, Bytes::FromGB(16)).value();
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const Simulator sim(cluster, SchedulerConfig{}, SimOptions{});
+  const Result<SimResult> truth = sim.Run(flow);
+  ASSERT_TRUE(truth.ok()) << "Q" << query << ": " << truth.status().ToString();
+  EXPECT_GT(truth->makespan().seconds(), 0.0);
+  EXPECT_EQ(static_cast<int>(truth->stages().size()), flow.TotalStages());
+
+  const ProfileTaskTimeSource source =
+      ProfileTaskTimeSource::FromSimulation(flow, *truth, ProfileStatistic::kMean)
+          .value();
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  const DagEstimate est = estimator.Estimate(flow, source).value();
+  EXPECT_GT(RelativeAccuracy(est.makespan.seconds(), truth->makespan().seconds()),
+            0.75)
+      << "Q" << query << " est " << est.makespan.seconds() << " truth "
+      << truth->makespan().seconds();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest, ::testing::Range(1, 23));
+
+TEST(SuiteIntegrationTest, FullSuiteEvaluatesAtSmallScale) {
+  const std::vector<NamedFlow> suite = TableThreeSuite(/*scale=*/0.1).value();
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  double worst = 1.0;
+  std::string worst_name;
+  for (const auto& nf : suite) {
+    const Result<DagAccuracyRow> row =
+        EvaluateDagWorkflow(nf, cluster, SchedulerConfig{}, SimOptions{});
+    ASSERT_TRUE(row.ok()) << nf.name << ": " << row.status().ToString();
+    const double m = std::min({row->acc_mean, row->acc_median, row->acc_normal});
+    if (m < worst) {
+      worst = m;
+      worst_name = nf.name;
+    }
+  }
+  // Even at a scale where stages are only a few waves, no workflow should
+  // be estimated with less than ~50% accuracy.
+  EXPECT_GT(worst, 0.5) << worst_name;
+}
+
+TEST(SuiteIntegrationTest, PaperScaleSpotChecks) {
+  // A handful of full-scale workflows hit the paper's accuracy band.
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  for (const char* name : {"TS-Q1", "WC-Q6", "WC-TS", "TS-KM"}) {
+    const NamedFlow nf = TableThreeFlow(name).value();
+    const DagAccuracyRow row =
+        EvaluateDagWorkflow(nf, cluster, SchedulerConfig{}, SimOptions{}).value();
+    EXPECT_GT(row.acc_mean, 0.8) << name;
+    EXPECT_LT(row.estimate_latency_ms, 1000.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,103 @@
+#include "sim/trace_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.h"
+#include "workloads/micro.h"
+
+namespace dagperf {
+namespace {
+
+DagWorkflow MakeFlow() {
+  DagBuilder b("trace \"flow\"");  // Name needing JSON escaping.
+  b.AddJob(TsSpec(Bytes::FromGB(2)));
+  return std::move(b).Build().value();
+}
+
+SimResult MakeResult(const DagWorkflow& flow) {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.num_nodes = 2;
+  return Simulator(cluster, SchedulerConfig{}, SimOptions{}).Run(flow).value();
+}
+
+struct Fixture {
+  Fixture() : flow(MakeFlow()), result(MakeResult(flow)) {}
+  DagWorkflow flow;
+  SimResult result;
+};
+
+TEST(TraceWriterTest, JsonContainsAllSections) {
+  Fixture fx;
+  std::ostringstream out;
+  WriteJson(fx.flow, fx.result, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"workflow\""), std::string::npos);
+  EXPECT_NE(json.find("\"makespan_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"states\""), std::string::npos);
+  EXPECT_NE(json.find("\"tasks\""), std::string::npos);
+  // The quote in the workflow name is escaped.
+  EXPECT_NE(json.find("trace \\\"flow\\\""), std::string::npos);
+  // Balanced braces (crude structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceWriterTest, CsvHasHeaderAndOneRowPerTask) {
+  Fixture fx;
+  std::ostringstream out;
+  WriteTaskCsv(fx.flow, fx.result, out);
+  const std::string csv = out.str();
+  const size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, fx.result.tasks().size() + 1);  // Header + rows.
+  EXPECT_EQ(csv.rfind("job,stage,task,node,start_s,end_s,duration_s,startup_s", 0),
+            0u);
+}
+
+TEST(TraceWriterTest, ChromeTraceLanesNeverOverlap) {
+  Fixture fx;
+  std::ostringstream out;
+  WriteChromeTrace(fx.flow, fx.result, out);
+  const std::string trace = out.str();
+  EXPECT_EQ(trace.front(), '[');
+  // Parse back (pid, tid, ts, dur) tuples crudely and verify lane packing.
+  struct Span {
+    int pid;
+    int tid;
+    double ts;
+    double dur;
+  };
+  std::vector<Span> spans;
+  size_t pos = 0;
+  while ((pos = trace.find("\"ts\": ", pos)) != std::string::npos) {
+    Span s{};
+    s.ts = std::stod(trace.substr(pos + 6));
+    const size_t dur_pos = trace.find("\"dur\": ", pos);
+    s.dur = std::stod(trace.substr(dur_pos + 7));
+    const size_t pid_pos = trace.find("\"pid\": ", pos);
+    s.pid = std::stoi(trace.substr(pid_pos + 7));
+    const size_t tid_pos = trace.find("\"tid\": ", pos);
+    s.tid = std::stoi(trace.substr(tid_pos + 7));
+    spans.push_back(s);
+    pos = tid_pos;
+  }
+  ASSERT_GT(spans.size(), fx.result.tasks().size());  // Tasks + state markers.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = i + 1; j < spans.size(); ++j) {
+      if (spans[i].pid != spans[j].pid || spans[i].tid != spans[j].tid) continue;
+      const double a0 = spans[i].ts;
+      const double a1 = spans[i].ts + spans[i].dur;
+      const double b0 = spans[j].ts;
+      const double b1 = spans[j].ts + spans[j].dur;
+      EXPECT_TRUE(a1 <= b0 + 1e-3 || b1 <= a0 + 1e-3)
+          << "overlap in pid " << spans[i].pid << " tid " << spans[i].tid;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,136 @@
+#include "tuner/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workloads/micro.h"
+#include "workloads/tpch.h"
+
+namespace dagperf {
+namespace {
+
+const ClusterSpec kCluster = ClusterSpec::PaperCluster();
+const SchedulerConfig kSched;
+
+TEST(TuneReducersTest, PicksBestExploredCandidate) {
+  const ReducerTuning tuning =
+      TuneReducers(TsSpec(Bytes::FromGB(50)), kCluster, kSched).value();
+  ASSERT_FALSE(tuning.explored.empty());
+  for (const auto& c : tuning.explored) {
+    EXPECT_GE(c.predicted, tuning.best_time);
+    EXPECT_GT(c.knob, 0);
+  }
+  EXPECT_GT(tuning.best_reducers, 0);
+}
+
+TEST(TuneReducersTest, ExplicitCandidatesRespected) {
+  const ReducerTuning tuning =
+      TuneReducers(TsSpec(Bytes::FromGB(20)), kCluster, kSched, {10, 40, 160})
+          .value();
+  ASSERT_EQ(tuning.explored.size(), 3u);
+  EXPECT_TRUE(tuning.best_reducers == 10 || tuning.best_reducers == 40 ||
+              tuning.best_reducers == 160);
+}
+
+TEST(TuneReducersTest, TunedNoWorseThanDefaultUnderSimulation) {
+  // The chosen configuration must actually be at least as good as the
+  // default when executed (simulated), not just predicted better.
+  JobSpec job = TsSpec(Bytes::FromGB(50));
+  const ReducerTuning tuning = TuneReducers(job, kCluster, kSched).value();
+
+  const auto simulate = [&](int reducers) {
+    JobSpec candidate = job;
+    candidate.num_reduce_tasks = reducers;
+    DagBuilder b("sim");
+    b.AddJob(candidate);
+    const DagWorkflow flow = std::move(b).Build().value();
+    return Simulator(kCluster, kSched, SimOptions{}).Run(flow)->makespan().seconds();
+  };
+  const double tuned = simulate(tuning.best_reducers);
+  const double default_time = simulate(ResolveReducers(job));
+  EXPECT_LE(tuned, default_time * 1.1);  // Within noise of the default or better.
+}
+
+TEST(TuneReducersTest, RejectsMapOnlyAndBadCandidates) {
+  JobSpec map_only = TsSpec(Bytes::FromGB(1));
+  map_only.num_reduce_tasks = 0;
+  EXPECT_FALSE(TuneReducers(map_only, kCluster, kSched).ok());
+  EXPECT_FALSE(
+      TuneReducers(TsSpec(Bytes::FromGB(1)), kCluster, kSched, {0}).ok());
+}
+
+TEST(DecideCompressionTest, NetworkBoundShuffleWantsCompression) {
+  // TeraSort's shuffle saturates the 1 GbE link: compressing 100 GB of
+  // intermediate data to 30 GB should be predicted to win.
+  const CompressionDecision decision =
+      DecideCompression(TsSpec(Bytes::FromGB(100)), kCluster, kSched).value();
+  EXPECT_TRUE(decision.compress);
+  EXPECT_LT(decision.with_compression, decision.without_compression);
+}
+
+TEST(DecideCompressionTest, CpuBoundJobAvoidsCompression) {
+  // A CPU-starved job with an expensive codec: the CPU spent compressing
+  // dwarfs the I/O it saves.
+  JobSpec job = WordCountSpec(Bytes::FromGB(100));
+  job.map_compute = Rate::MBps(10);  // Even more CPU-bound than stock WC.
+  job.map_selectivity = 0.3;
+  job.compress_compute = Rate::MBps(5);  // Pathologically slow codec.
+  const CompressionDecision decision =
+      DecideCompression(job, kCluster, kSched).value();
+  EXPECT_FALSE(decision.compress);
+}
+
+TEST(DecideBranchPolicyTest, ComplementaryBottlenecksCoRun) {
+  // CPU-bound WC + network-bound TS overlap nicely: co-running wins.
+  DagBuilder b("hybrid");
+  b.AddJob(WordCountSpec(Bytes::FromGB(50)));
+  b.AddJob(TsSpec(Bytes::FromGB(50)));
+  const DagWorkflow flow = std::move(b).Build().value();
+  const BranchDecision decision =
+      DecideBranchPolicy(flow, kCluster, kSched).value();
+  EXPECT_EQ(decision.policy, BranchPolicy::kCoRun);
+  EXPECT_LT(decision.corun_time, decision.serialized_time);
+}
+
+TEST(DecideBranchPolicyTest, RequiresTwoSources) {
+  DagBuilder b("single");
+  b.AddJob(TsSpec(Bytes::FromGB(1)));
+  const DagWorkflow flow = std::move(b).Build().value();
+  EXPECT_FALSE(DecideBranchPolicy(flow, kCluster, kSched).ok());
+}
+
+TEST(SizeClusterTest, FindsMinimalSizeMonotonically) {
+  const DagWorkflow flow = TpchQueryFlow(5).value();
+  const Duration deadline = Duration::Seconds(200);
+  const ClusterSizing sizing =
+      SizeCluster(flow, deadline, kCluster, kSched).value();
+  EXPECT_GE(sizing.nodes, 1);
+  EXPECT_LE(sizing.predicted, deadline);
+  // Minimality: one node fewer must miss the deadline (when > 1).
+  if (sizing.nodes > 1) {
+    bool found_smaller_passing = false;
+    for (const auto& c : sizing.explored) {
+      if (c.knob == sizing.nodes - 1 && c.predicted <= deadline) {
+        found_smaller_passing = true;
+      }
+    }
+    EXPECT_FALSE(found_smaller_passing);
+  }
+}
+
+TEST(SizeClusterTest, ImpossibleDeadlineIsNotFound) {
+  const DagWorkflow flow = TpchQueryFlow(9).value();
+  const auto result =
+      SizeCluster(flow, Duration::Seconds(1), kCluster, kSched, /*max_nodes=*/8);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(SizeClusterTest, RejectsBadArguments) {
+  const DagWorkflow flow = TpchQueryFlow(1).value();
+  EXPECT_FALSE(SizeCluster(flow, Duration(0), kCluster, kSched).ok());
+  EXPECT_FALSE(SizeCluster(flow, Duration(100), kCluster, kSched, 0).ok());
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,83 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace dagperf {
+namespace {
+
+TEST(BytesTest, Factories) {
+  EXPECT_DOUBLE_EQ(Bytes::FromKB(1).value(), 1e3);
+  EXPECT_DOUBLE_EQ(Bytes::FromMB(1).value(), 1e6);
+  EXPECT_DOUBLE_EQ(Bytes::FromGB(1).value(), 1e9);
+  EXPECT_DOUBLE_EQ(Bytes::FromGB(1.5).ToMB(), 1500.0);
+}
+
+TEST(BytesTest, Arithmetic) {
+  const Bytes a = Bytes::FromMB(100);
+  const Bytes b = Bytes::FromMB(50);
+  EXPECT_DOUBLE_EQ((a + b).ToMB(), 150.0);
+  EXPECT_DOUBLE_EQ((a - b).ToMB(), 50.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).ToMB(), 200.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).ToMB(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).ToMB(), 200.0);
+  Bytes c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.ToMB(), 150.0);
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.ToMB(), 100.0);
+}
+
+TEST(BytesTest, Comparison) {
+  EXPECT_LT(Bytes::FromMB(1), Bytes::FromMB(2));
+  EXPECT_EQ(Bytes::FromKB(1000), Bytes::FromMB(1));
+  EXPECT_GE(Bytes::FromGB(1), Bytes::FromMB(999));
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Seconds(10);
+  const Duration b = Duration::Millis(500);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 10.5);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 9.5);
+  EXPECT_DOUBLE_EQ((a * 3).seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(a / b, 20.0);
+  EXPECT_TRUE(Duration::Infinite().is_infinite());
+  EXPECT_FALSE(a.is_infinite());
+}
+
+TEST(RateTest, Factories) {
+  EXPECT_DOUBLE_EQ(Rate::MBps(100).bytes_per_sec(), 1e8);
+  EXPECT_DOUBLE_EQ(Rate::GBps(1).bytes_per_sec(), 1e9);
+  // 1 Gbps = 125 MB/s.
+  EXPECT_DOUBLE_EQ(Rate::Gbps(1).ToMBps(), 125.0);
+}
+
+TEST(CrossTypeTest, BytesOverRateIsDuration) {
+  const Duration t = Bytes::FromMB(1000) / Rate::MBps(100);
+  EXPECT_DOUBLE_EQ(t.seconds(), 10.0);
+}
+
+TEST(CrossTypeTest, ZeroRateYieldsInfiniteDuration) {
+  const Duration t = Bytes::FromMB(1) / Rate(0);
+  EXPECT_TRUE(t.is_infinite());
+}
+
+TEST(CrossTypeTest, RateTimesDurationIsBytes) {
+  EXPECT_DOUBLE_EQ((Rate::MBps(50) * Duration::Seconds(4)).ToMB(), 200.0);
+  EXPECT_DOUBLE_EQ((Duration::Seconds(4) * Rate::MBps(50)).ToMB(), 200.0);
+}
+
+TEST(CrossTypeTest, BytesOverDurationIsRate) {
+  EXPECT_DOUBLE_EQ((Bytes::FromMB(200) / Duration::Seconds(4)).ToMBps(), 50.0);
+}
+
+TEST(ToStringTest, HumanReadable) {
+  EXPECT_EQ(Bytes::FromGB(2).ToString(), "2 GB");
+  EXPECT_EQ(Bytes::FromMB(1.5).ToString(), "1.5 MB");
+  EXPECT_EQ(Duration::Seconds(12).ToString(), "12 s");
+  EXPECT_EQ(Duration::Infinite().ToString(), "inf");
+  EXPECT_EQ(Rate::MBps(100).ToString(), "100 MB/s");
+}
+
+}  // namespace
+}  // namespace dagperf

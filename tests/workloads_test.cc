@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/job_profile.h"
+#include "workloads/hibench.h"
+#include "workloads/micro.h"
+#include "workloads/suite.h"
+#include "workloads/tpch.h"
+#include "workloads/web_analytics.h"
+
+namespace dagperf {
+namespace {
+
+TEST(MicroWorkloadsTest, TableOneConfigurations) {
+  const JobSpec wc = WordCountSpec();
+  EXPECT_TRUE(wc.compress_map_output);
+  EXPECT_EQ(wc.replicas, 3);
+
+  const JobSpec tsc = TscSpec();
+  EXPECT_TRUE(tsc.compress_map_output);
+  EXPECT_EQ(tsc.replicas, 1);
+  EXPECT_EQ(tsc.name, "TSC");
+
+  const JobSpec ts = TsSpec();
+  EXPECT_FALSE(ts.compress_map_output);
+  EXPECT_EQ(ts.replicas, 1);
+  EXPECT_EQ(ts.name, "TS");
+
+  EXPECT_EQ(Ts2rSpec().replicas, 2);
+  EXPECT_EQ(Ts2rSpec().name, "TS2R");
+  EXPECT_EQ(Ts3rSpec().replicas, 3);
+  EXPECT_EQ(Ts3rSpec().name, "TS3R");
+}
+
+TEST(MicroWorkloadsTest, SpecsCompile) {
+  for (const JobSpec& spec :
+       {WordCountSpec(), TsSpec(), TscSpec(), Ts2rSpec(), Ts3rSpec()}) {
+    EXPECT_TRUE(CompileJob(spec).ok()) << spec.name;
+  }
+}
+
+TEST(WebAnalyticsTest, FourJobDiamond) {
+  const DagWorkflow flow = WebAnalyticsFlow().value();
+  ASSERT_EQ(flow.num_jobs(), 4);
+  // j1 -> {j2, j3} -> j4.
+  EXPECT_EQ(flow.Sources().size(), 1u);
+  EXPECT_EQ(flow.children(0).size(), 2u);
+  EXPECT_EQ(flow.parents(3).size(), 2u);
+  // 4 MapReduce jobs = 8 stages; the paper counts 7 workflow states because
+  // two boundaries coincide, but the stage count is fixed by the jobs.
+  EXPECT_EQ(flow.TotalStages(), 8);
+}
+
+TEST(HiBenchTest, KMeansChainShape) {
+  const DagWorkflow flow = KMeansFlow(Bytes::FromGB(10), 3).value();
+  // 3 iterations + classification.
+  ASSERT_EQ(flow.num_jobs(), 4);
+  // Linear chain.
+  for (JobId id = 1; id < flow.num_jobs(); ++id) {
+    EXPECT_EQ(flow.parents(id).size(), 1u);
+  }
+  // Classification job is map-only.
+  EXPECT_FALSE(flow.job(3).has_reduce());
+  // Iteration maps are CPU-heavy: compute demand dominates read demand.
+  const auto& read_map = flow.job(0).map.substages.front();
+  const double cpu_core_s = read_map.demand[Resource::kCpu];
+  const double read_bytes = read_map.demand[Resource::kDiskRead];
+  EXPECT_GT(cpu_core_s, read_bytes / 200e6);  // Slower than the disk feed.
+}
+
+TEST(HiBenchTest, PageRankChainShape) {
+  const DagWorkflow flow = PageRankFlow(Bytes::FromGB(9), 3).value();
+  // prepare + 3 x (join, agg).
+  ASSERT_EQ(flow.num_jobs(), 7);
+  for (JobId id = 1; id < flow.num_jobs(); ++id) {
+    EXPECT_EQ(flow.parents(id), std::vector<JobId>{id - 1});
+  }
+}
+
+TEST(TpchTest, TableSizesSumToTotal) {
+  const Bytes total = Bytes::FromGB(80);
+  double sum = 0;
+  for (TpchTable t :
+       {TpchTable::kLineitem, TpchTable::kOrders, TpchTable::kPartsupp,
+        TpchTable::kCustomer, TpchTable::kPart, TpchTable::kSupplier,
+        TpchTable::kNation, TpchTable::kRegion}) {
+    sum += TpchTableSize(t, total).ToGB();
+  }
+  EXPECT_NEAR(sum, 80.0, 1.0);
+  // Lineitem dominates.
+  EXPECT_GT(TpchTableSize(TpchTable::kLineitem, total).ToGB(), 50.0);
+}
+
+TEST(TpchTest, AllQueriesBuild) {
+  for (int q = 1; q <= 22; ++q) {
+    const auto flow = TpchQueryFlow(q);
+    ASSERT_TRUE(flow.ok()) << "Q" << q << ": " << flow.status().ToString();
+    EXPECT_EQ(flow->num_jobs(), TpchQueryJobCount(q)) << "Q" << q;
+    EXPECT_GE(flow->num_jobs(), 2) << "Q" << q;
+  }
+}
+
+TEST(TpchTest, Q21HasNineJobsPerPaper) {
+  EXPECT_EQ(TpchQueryJobCount(21), 9);
+}
+
+TEST(TpchTest, DataFlowShrinksDownstream) {
+  // Aggregation queries end in small jobs: the last job's input should be
+  // far below the initial scan volume.
+  const DagWorkflow q1 = TpchQueryFlow(1).value();
+  const Bytes first = q1.job(0).spec.input;
+  const Bytes last = q1.job(q1.num_jobs() - 1).spec.input;
+  EXPECT_LT(last.value(), 0.2 * first.value());
+}
+
+TEST(TpchTest, FinalJobReplicatedIntermediatesNot) {
+  const DagWorkflow q5 = TpchQueryFlow(5).value();
+  for (JobId id = 0; id < q5.num_jobs(); ++id) {
+    const int expected = id + 1 == q5.num_jobs() ? 3 : 1;
+    EXPECT_EQ(q5.job(id).spec.replicas, expected) << "job " << id;
+  }
+}
+
+TEST(SuiteTest, FiftyOneWorkflows) {
+  const std::vector<NamedFlow> suite = TableThreeSuite(/*scale=*/0.05).value();
+  ASSERT_EQ(suite.size(), 51u);
+  std::set<std::string> names;
+  for (const auto& nf : suite) names.insert(nf.name);
+  EXPECT_EQ(names.size(), 51u);  // All distinct.
+  EXPECT_TRUE(names.count("TS-Q1"));
+  EXPECT_TRUE(names.count("TS-Q22"));
+  EXPECT_TRUE(names.count("WC-Q21"));
+  EXPECT_TRUE(names.count("WC-TS3R"));
+  EXPECT_TRUE(names.count("TS-PR"));
+}
+
+TEST(SuiteTest, HybridFlowsHaveParallelRoots) {
+  const NamedFlow nf = TableThreeFlow("WC-Q5", 0.05).value();
+  // WordCount plus the query's scan jobs all start immediately.
+  EXPECT_GE(nf.flow.Sources().size(), 2u);
+}
+
+TEST(SuiteTest, Q21HybridStageCount) {
+  // Q21 has 9 jobs -> 18 stages; paper: "18 stages when run in parallel
+  // with the WC job" (i.e. the query side alone).
+  const NamedFlow nf = TableThreeFlow("WC-Q21", 0.05).value();
+  EXPECT_EQ(nf.flow.num_jobs(), 10);  // WC + 9.
+  int query_stages = 0;
+  for (JobId id = 0; id < nf.flow.num_jobs(); ++id) {
+    if (nf.flow.job(id).name.rfind("Q21-", 0) == 0) {
+      query_stages += nf.flow.job(id).has_reduce() ? 2 : 1;
+    }
+  }
+  EXPECT_EQ(query_stages, 18);
+}
+
+TEST(SuiteTest, UnknownNameRejected) {
+  EXPECT_FALSE(TableThreeFlow("WC-Q23").ok());
+  EXPECT_FALSE(TableThreeFlow("bogus").ok());
+}
+
+TEST(SuiteTest, ScaleShrinksInputs) {
+  const NamedFlow big = TableThreeFlow("WC-TS", 1.0).value();
+  const NamedFlow small = TableThreeFlow("WC-TS", 0.1).value();
+  EXPECT_NEAR(small.flow.job(0).spec.input.value(),
+              0.1 * big.flow.job(0).spec.input.value(), 1.0);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,364 @@
+// dagperf command-line tool: simulate and estimate the library's named
+// workflows, export traces, run parallelism sweeps, and tune jobs — without
+// writing C++.
+//
+// Usage:
+//   dagperf list
+//   dagperf export   --flow NAME [--out FILE.json]
+//   dagperf simulate --flow NAME|--spec FILE.json [--scale S] [--nodes N]
+//                    [--seed K] [--json FILE] [--csv FILE] [--chrome FILE]
+//   dagperf estimate --flow NAME|--spec FILE.json [--scale S] [--nodes N]
+//                    [--variant boe|mean|median|normal]
+//   dagperf compare  --flow NAME|--spec FILE.json [--scale S] [--nodes N]
+//   dagperf sweep    --job WC|TS|TSC|TS2R|TS3R [--input-gb G] [--baseline R]
+//   dagperf tune     --job WC|TS|TSC|TS2R|TS3R [--input-gb G]
+//
+// Workflow NAMEs are the Table III suite names (TS-Q1..TS-Q22, WC-Q1..,
+// WC-TS, WC-KM, ...) plus "web-analytics"; --spec loads a JSON workflow
+// file (author one by editing `dagperf export` output).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "dag/spec_io.h"
+#include "exp/single_job.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "sim/simulator.h"
+#include "sim/trace_writer.h"
+#include "tuner/tuner.h"
+#include "workloads/micro.h"
+#include "workloads/suite.h"
+#include "workloads/web_analytics.h"
+
+namespace dagperf {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dagperf <list|export|simulate|estimate|compare|sweep|tune> "
+               "[--flow NAME | --spec FILE.json] [--job WC|TS|TSC|TS2R|TS3R] "
+               "[--scale S] [--nodes N] [--seed K] [--input-gb G] [--baseline R] "
+               "[--variant boe|mean|median|normal] [--out F] "
+               "[--json F] [--csv F] [--chrome F]\n");
+  return 2;
+}
+
+Result<DagWorkflow> LoadFlow(const Args& args) {
+  const std::string spec_path = args.Get("spec", "");
+  if (!spec_path.empty()) return LoadWorkflow(spec_path);
+  const std::string name = args.Get("flow", "");
+  if (name.empty()) {
+    return Status::InvalidArgument("--flow NAME or --spec FILE is required");
+  }
+  const double scale = args.GetDouble("scale", 1.0);
+  if (name == "web-analytics") {
+    return WebAnalyticsFlow(Bytes::FromGB(100.0 * scale));
+  }
+  Result<NamedFlow> named = TableThreeFlow(name, scale);
+  if (!named.ok()) return named.status();
+  return std::move(named).value().flow;
+}
+
+int CmdExport(const Args& args) {
+  Result<DagWorkflow> flow = LoadFlow(args);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::printf("%s", WorkflowToJson(*flow).Dump().c_str());
+    return 0;
+  }
+  const Status st = SaveWorkflow(*flow, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+ClusterSpec LoadCluster(const Args& args) {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.num_nodes = args.GetInt("nodes", cluster.num_nodes);
+  return cluster;
+}
+
+Result<JobSpec> LoadJob(const Args& args) {
+  const std::string job = args.Get("job", "");
+  const Bytes input = Bytes::FromGB(args.GetDouble("input-gb", 100.0));
+  if (job == "WC") return WordCountSpec(input);
+  if (job == "TS") return TsSpec(input);
+  if (job == "TSC") return TscSpec(input);
+  if (job == "TS2R") return Ts2rSpec(input);
+  if (job == "TS3R") return Ts3rSpec(input);
+  return Status::InvalidArgument("--job must be WC, TS, TSC, TS2R or TS3R");
+}
+
+int CmdList() {
+  std::printf("named workflows (--flow):\n  web-analytics\n");
+  const auto suite = TableThreeSuite(0.01);
+  if (suite.ok()) {
+    int col = 0;
+    for (const auto& nf : *suite) {
+      std::printf("  %-10s", nf.name.c_str());
+      if (++col % 6 == 0) std::printf("\n");
+    }
+    if (col % 6 != 0) std::printf("\n");
+  }
+  std::printf("micro jobs (--job): WC TS TSC TS2R TS3R\n");
+  return 0;
+}
+
+int CmdSimulate(const Args& args) {
+  Result<DagWorkflow> flow = LoadFlow(args);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = LoadCluster(args);
+  SimOptions options;
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const Simulator sim(cluster, SchedulerConfig{}, options);
+  Result<SimResult> result = sim.Run(*flow);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s on %d nodes: makespan %.1f s, %zu tasks, %zu states\n",
+              flow->name().c_str(), cluster.num_nodes, result->makespan().seconds(),
+              result->tasks().size(), result->states().size());
+  TextTable table({"stage", "start (s)", "end (s)", "tasks", "median task (s)"});
+  for (const auto& s : result->stages()) {
+    const auto durations = result->TaskDurations(s.job, s.stage);
+    table.AddRow({flow->job(s.job).name + "/" + StageKindName(s.stage),
+                  TextTable::Cell(s.start, 1), TextTable::Cell(s.end, 1),
+                  std::to_string(durations.size()),
+                  TextTable::Cell(ComputeStats(durations).median, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const auto dump = [&](const std::string& key, auto writer) {
+    const std::string path = args.Get(key, "");
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return false;
+    }
+    writer(*flow, *result, out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!dump("json", WriteJson)) return 1;
+  if (!dump("csv", WriteTaskCsv)) return 1;
+  if (!dump("chrome", WriteChromeTrace)) return 1;
+  return 0;
+}
+
+Result<DagEstimate> RunEstimate(const DagWorkflow& flow, const ClusterSpec& cluster,
+                                const std::string& variant,
+                                const SimResult* profile_run) {
+  const SchedulerConfig sched;
+  if (variant == "boe") {
+    const BoeModel boe(cluster.node);
+    const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+    return StateBasedEstimator(cluster, sched).Estimate(flow, source);
+  }
+  if (profile_run == nullptr) {
+    return Status::InvalidArgument(
+        "profile-driven variants need a simulated profiling run");
+  }
+  EstimatorOptions options;
+  ProfileStatistic stat = ProfileStatistic::kMean;
+  if (variant == "median") stat = ProfileStatistic::kMedian;
+  if (variant == "normal") options.skew_aware = true;
+  Result<ProfileTaskTimeSource> source =
+      ProfileTaskTimeSource::FromSimulation(flow, *profile_run, stat);
+  if (!source.ok()) return source.status();
+  return StateBasedEstimator(cluster, sched, options).Estimate(flow, *source);
+}
+
+int CmdEstimate(const Args& args) {
+  Result<DagWorkflow> flow = LoadFlow(args);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = LoadCluster(args);
+  const std::string variant = args.Get("variant", "boe");
+  std::optional<SimResult> profile_run;
+  if (variant != "boe") {
+    Result<SimResult> run =
+        Simulator(cluster, SchedulerConfig{}, SimOptions{}).Run(*flow);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    profile_run = std::move(run).value();
+  }
+  Result<DagEstimate> estimate = RunEstimate(
+      *flow, cluster, variant, profile_run ? &*profile_run : nullptr);
+  if (!estimate.ok()) {
+    std::fprintf(stderr, "%s\n", estimate.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s (%s estimate): makespan %.1f s, %zu states\n",
+              flow->name().c_str(), variant.c_str(), estimate->makespan.seconds(),
+              estimate->states.size());
+  TextTable table({"state", "start (s)", "duration (s)", "running (delta)"});
+  for (const auto& st : estimate->states) {
+    std::string running;
+    for (const auto& r : st.running) {
+      if (!running.empty()) running += ", ";
+      running += flow->job(r.job).name + "/" + StageKindName(r.kind) + "(" +
+                 std::to_string(r.parallelism) + ")";
+    }
+    table.AddRow({std::to_string(st.index), TextTable::Cell(st.start, 1),
+                  TextTable::Cell(st.duration, 1), running});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdCompare(const Args& args) {
+  Result<DagWorkflow> flow = LoadFlow(args);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = LoadCluster(args);
+  Result<SimResult> truth =
+      Simulator(cluster, SchedulerConfig{}, SimOptions{}).Run(*flow);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s simulated: %.1f s\n", flow->name().c_str(),
+              truth->makespan().seconds());
+  TextTable table({"variant", "estimate (s)", "accuracy"});
+  for (const char* variant : {"boe", "mean", "median", "normal"}) {
+    Result<DagEstimate> estimate = RunEstimate(*flow, cluster, variant, &*truth);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "%s: %s\n", variant, estimate.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({variant, TextTable::Cell(estimate->makespan.seconds(), 1),
+                  TextTable::Cell(RelativeAccuracy(estimate->makespan.seconds(),
+                                                   truth->makespan().seconds()),
+                                  4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdSweep(const Args& args) {
+  Result<JobSpec> job = LoadJob(args);
+  if (!job.ok()) {
+    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
+    return 1;
+  }
+  SingleJobSweepConfig config;
+  config.baseline_reference = args.GetInt("baseline", 2);
+  Result<SingleJobSweepResult> sweep = RunSingleJobSweep(*job, config);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
+    return 1;
+  }
+  TextTable table({"delta", "map truth", "map BOE", "shuffle truth",
+                   "shuffle BOE", "reduce truth", "reduce BOE"});
+  for (const auto& p : sweep->points) {
+    table.AddRow({std::to_string(p.tasks_per_node), TextTable::Cell(p.truth.map_s, 1),
+                  TextTable::Cell(p.boe.map_s, 1),
+                  TextTable::Cell(p.truth.shuffle_s, 1),
+                  TextTable::Cell(p.boe.shuffle_s, 1),
+                  TextTable::Cell(p.truth.reduce_s, 1),
+                  TextTable::Cell(p.boe.reduce_s, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  const SweepAccuracy acc = BoeSweepAccuracy(*sweep);
+  std::printf("BOE mean accuracy: map %.1f%% shuffle %.1f%% reduce %.1f%%\n",
+              100 * acc.map, 100 * acc.shuffle, 100 * acc.reduce);
+  return 0;
+}
+
+int CmdTune(const Args& args) {
+  Result<JobSpec> job = LoadJob(args);
+  if (!job.ok()) {
+    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = LoadCluster(args);
+  Result<ReducerTuning> reducers = TuneReducers(*job, cluster, SchedulerConfig{});
+  if (reducers.ok()) {
+    std::printf("reducer tuning for %s:\n", job->name.c_str());
+    TextTable table({"reducers", "predicted (s)"});
+    for (const auto& c : reducers->explored) {
+      table.AddRow({std::to_string(c.knob), TextTable::Cell(c.predicted.seconds(), 1)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("best: %d reducers -> %.1f s\n", reducers->best_reducers,
+                reducers->best_time.seconds());
+  }
+  Result<CompressionDecision> compression =
+      DecideCompression(*job, cluster, SchedulerConfig{});
+  if (compression.ok()) {
+    std::printf("compression: with %.1f s, without %.1f s -> %s\n",
+                compression->with_compression.seconds(),
+                compression->without_compression.seconds(),
+                compression->compress ? "COMPRESS" : "DO NOT COMPRESS");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return Usage();
+    const std::string key = arg + 2;
+    if (i + 1 >= argc) return Usage();
+    args.options[key] = argv[++i];
+  }
+  if (args.command == "list") return CmdList();
+  if (args.command == "export") return CmdExport(args);
+  if (args.command == "simulate") return CmdSimulate(args);
+  if (args.command == "estimate") return CmdEstimate(args);
+  if (args.command == "compare") return CmdCompare(args);
+  if (args.command == "sweep") return CmdSweep(args);
+  if (args.command == "tune") return CmdTune(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace dagperf
+
+int main(int argc, char** argv) { return dagperf::Main(argc, argv); }
