@@ -1,0 +1,154 @@
+// Sweep-engine throughput: the what-if workload the paper motivates (§I,
+// job self-tuning / capacity planning) is hundreds of Estimate() calls over
+// candidate knobs. This bench prices a 64-candidate reducer sweep three
+// ways — the serial uncached baseline (the pre-sweep-engine hot path),
+// serial with the shared task-time memo, and the full parallel + cached
+// sweep engine — checks the three produce bit-identical estimates, and
+// reports estimates/sec, speedups and cache hit rate to stdout and
+// BENCH_sweep.json.
+//
+// Build & run:  ./build/bench/bench_sweep_throughput [reps]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "model/sweep.h"
+#include "workloads/micro.h"
+#include "workloads/tpch.h"
+
+namespace dagperf {
+namespace {
+
+constexpr int kCandidates = 64;
+constexpr int kThreads = 8;
+
+/// One reducer-sweep candidate: the nightly DAG (TeraSort feeding two
+/// TPC-H reports) with the TeraSort reducer count set to `reducers`. Only
+/// one stage of the DAG changes between candidates — the situation the
+/// cross-candidate cache is built for.
+DagWorkflow NightlyCandidate(int reducers) {
+  JobSpec ts = TsSpec(Bytes::FromGB(100));
+  ts.num_reduce_tasks = reducers;
+  DagBuilder b("nightly-r" + std::to_string(reducers));
+  b.AddJob(ts);
+  AppendTpchQuery(b, 5);
+  AppendTpchQuery(b, 1);
+  return std::move(b).Build().value();
+}
+
+struct Timed {
+  double seconds = 0.0;
+  SweepResult result;
+};
+
+Timed Run(const std::vector<EstimateRequest>& requests,
+          const TaskTimeSource& source, const SweepOptions& options, int reps) {
+  Timed best;
+  best.seconds = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    SweepResult result = EstimateBatch(requests, SchedulerConfig{}, source, options);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed < best.seconds) {
+      best.seconds = elapsed;
+      best.result = std::move(result);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace dagperf
+
+int main(int argc, char** argv) {
+  using namespace dagperf;
+  const int reps = argc > 1 ? std::max(1, std::atoi(argv[1])) : 3;
+
+  std::vector<DagWorkflow> flows;
+  flows.reserve(kCandidates);
+  for (int r = 1; r <= kCandidates; ++r) flows.push_back(NightlyCandidate(4 * r));
+
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  std::vector<EstimateRequest> requests;
+  requests.reserve(flows.size());
+  for (const DagWorkflow& flow : flows) {
+    requests.push_back({&flow, cluster, flow.name()});
+  }
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+
+  SweepOptions serial_uncached;
+  serial_uncached.threads = 1;
+  serial_uncached.memoize = false;
+
+  SweepOptions serial_cached;
+  serial_cached.threads = 1;
+
+  SweepOptions parallel_cached;
+  parallel_cached.threads = kThreads;
+
+  const Timed baseline = Run(requests, source, serial_uncached, reps);
+  const Timed cached = Run(requests, source, serial_cached, reps);
+  const Timed engine = Run(requests, source, parallel_cached, reps);
+
+  // The determinism contract: cached and parallel results must be
+  // bit-identical to the serial uncached loop.
+  bool identical = true;
+  for (int i = 0; i < kCandidates; ++i) {
+    const double want = baseline.result.estimates[i]->makespan.seconds();
+    if (cached.result.estimates[i]->makespan.seconds() != want ||
+        engine.result.estimates[i]->makespan.seconds() != want) {
+      identical = false;
+    }
+  }
+
+  const double base_rate = kCandidates / baseline.seconds;
+  const double engine_rate = kCandidates / engine.seconds;
+  const double speedup = baseline.seconds / engine.seconds;
+  const double cached_speedup = baseline.seconds / cached.seconds;
+
+  std::printf("64-candidate reducer sweep (nightly DAG, %d jobs/candidate)\n",
+              flows.front().num_jobs());
+  std::printf("  serial uncached : %8.1f est/s  (%.3f s)\n", base_rate,
+              baseline.seconds);
+  std::printf("  serial + cache  : %8.1f est/s  (%.3f s, %.2fx)\n",
+              kCandidates / cached.seconds, cached.seconds, cached_speedup);
+  std::printf("  %d threads+cache: %8.1f est/s  (%.3f s, %.2fx)\n", kThreads,
+              engine_rate, engine.seconds, speedup);
+  std::printf("  cache hit rate  : %.1f%% (%llu hits / %llu misses)\n",
+              100.0 * engine.result.stats.cache_hit_rate,
+              static_cast<unsigned long long>(engine.result.stats.cache_hits),
+              static_cast<unsigned long long>(engine.result.stats.cache_misses));
+  std::printf("  bit-identical   : %s\n", identical ? "yes" : "NO (BUG)");
+
+  Json doc = Json::MakeObject();
+  doc.Set("bench", Json::MakeString("sweep_throughput"));
+  doc.Set("candidates", Json::MakeNumber(kCandidates));
+  doc.Set("threads", Json::MakeNumber(kThreads));
+  doc.Set("reps", Json::MakeNumber(reps));
+  doc.Set("serial_uncached_s", Json::MakeNumber(baseline.seconds));
+  doc.Set("serial_cached_s", Json::MakeNumber(cached.seconds));
+  doc.Set("parallel_cached_s", Json::MakeNumber(engine.seconds));
+  doc.Set("serial_estimates_per_s", Json::MakeNumber(base_rate));
+  doc.Set("parallel_estimates_per_s", Json::MakeNumber(engine_rate));
+  doc.Set("speedup_parallel_cached_vs_serial", Json::MakeNumber(speedup));
+  doc.Set("speedup_serial_cached_vs_serial", Json::MakeNumber(cached_speedup));
+  doc.Set("cache_hit_rate", Json::MakeNumber(engine.result.stats.cache_hit_rate));
+  doc.Set("cache_hits", Json::MakeNumber(
+                            static_cast<double>(engine.result.stats.cache_hits)));
+  doc.Set("cache_misses", Json::MakeNumber(static_cast<double>(
+                              engine.result.stats.cache_misses)));
+  doc.Set("bit_identical", Json::MakeBool(identical));
+  std::ofstream out("BENCH_sweep.json");
+  out << doc.Dump() << "\n";
+  std::printf("wrote BENCH_sweep.json\n");
+
+  return identical ? 0 : 1;
+}

@@ -1,8 +1,9 @@
 // Capacity planning with the cost models (the paper's motivating
 // application, §I: "capacity planning on the cloud"): find the smallest
-// cluster that finishes a nightly analytics DAG within its deadline. The
-// estimator evaluates each candidate size in well under a millisecond, so
-// the search is effectively free; the chosen size is then validated against
+// cluster that finishes a nightly analytics DAG within its deadline. All
+// candidate sizes are priced in a single EstimateBatch call — the sweep
+// engine fans the candidates across a worker pool and shares task-time work
+// through the memo cache — and the chosen size is then validated against
 // the simulator.
 //
 // Build & run:  ./build/examples/capacity_planner
@@ -10,8 +11,7 @@
 #include <cstdio>
 
 #include "common/stats.h"
-#include "model/state_estimator.h"
-#include "model/task_time_source.h"
+#include "model/sweep.h"
 #include "sim/simulator.h"
 #include "workloads/micro.h"
 #include "workloads/tpch.h"
@@ -28,15 +28,6 @@ DagWorkflow NightlyBatch() {
   return std::move(b).Build().value();
 }
 
-double EstimateSeconds(const DagWorkflow& flow, int nodes) {
-  ClusterSpec cluster = ClusterSpec::PaperCluster();
-  cluster.num_nodes = nodes;
-  const BoeModel boe(cluster.node);
-  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
-  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
-  return estimator.Estimate(flow, source).value().makespan.seconds();
-}
-
 }  // namespace
 
 int main() {
@@ -45,18 +36,35 @@ int main() {
   std::printf("workflow '%s' (%d jobs), deadline %.0f s\n", flow.name().c_str(),
               flow.num_jobs(), deadline_s);
 
-  int chosen = -1;
+  // One what-if request per candidate size, priced as a single batch.
+  const BoeModel boe(ClusterSpec::PaperCluster().node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  std::vector<EstimateRequest> requests;
   for (int nodes = 2; nodes <= 64; ++nodes) {
-    const double est = EstimateSeconds(flow, nodes);
-    if (nodes <= 8 || nodes % 8 == 0 || (est <= deadline_s && chosen < 0)) {
-      std::printf("  %2d nodes -> estimated %7.1f s%s\n", nodes, est,
-                  est <= deadline_s ? "  <= deadline" : "");
-    }
-    if (est <= deadline_s) {
-      chosen = nodes;
-      break;
-    }
+    ClusterSpec cluster = ClusterSpec::PaperCluster();
+    cluster.num_nodes = nodes;
+    requests.push_back({&flow, cluster, std::to_string(nodes) + " nodes"});
   }
+  const SweepResult sweep = EstimateBatch(requests, SchedulerConfig{}, source);
+
+  int chosen = -1;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const int nodes = requests[i].cluster.num_nodes;
+    if (!sweep.estimates[i].ok()) {
+      std::fprintf(stderr, "%d nodes: %s\n", nodes,
+                   sweep.estimates[i].status().ToString().c_str());
+      return 1;
+    }
+    const double est = sweep.estimates[i]->makespan.seconds();
+    const bool meets = est <= deadline_s;
+    if (nodes <= 8 || nodes % 8 == 0 || (meets && chosen < 0)) {
+      std::printf("  %2d nodes -> estimated %7.1f s%s\n", nodes, est,
+                  meets ? "  <= deadline" : "");
+    }
+    if (meets && chosen < 0) chosen = nodes;
+  }
+  std::printf("sweep: %d candidates, task-time cache hit rate %.0f%%\n",
+              sweep.stats.candidates, 100.0 * sweep.stats.cache_hit_rate);
   if (chosen < 0) {
     std::printf("no cluster size up to 64 nodes meets the deadline\n");
     return 1;

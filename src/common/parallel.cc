@@ -1,0 +1,137 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/check.h"
+
+namespace dagperf {
+
+ThreadPool::ThreadPool(int threads) {
+  DAGPERF_CHECK(threads > 0);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DAGPERF_CHECK_MSG(!shutdown_, "submit after shutdown");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& DefaultPool() {
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(static_cast<int>(std::max(1u, hw)));
+  }();
+  return *pool;
+}
+
+namespace {
+
+/// Shared bookkeeping of one ParallelFor call. Helpers hold it via
+/// shared_ptr so a helper scheduled after the caller already drained the
+/// range (and returned) still touches valid memory.
+struct ForState {
+  std::atomic<std::int64_t> next;
+  std::int64_t end = 0;
+  /// Iterations not yet finished (executed or skipped). The caller may only
+  /// return once this reaches zero.
+  std::atomic<std::int64_t> remaining;
+  std::atomic<bool> stop{false};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr error;
+
+  explicit ForState(std::int64_t begin, std::int64_t limit)
+      : next(begin), end(limit), remaining(limit - begin) {}
+};
+
+/// Claims and runs iterations until the range is exhausted.
+void DrainRange(ForState& state, const std::function<void(std::int64_t)>& fn) {
+  while (true) {
+    const std::int64_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.end) return;
+    if (!state.stop.load(std::memory_order_acquire)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+        state.stop.store(true, std::memory_order_release);
+      }
+    }
+    if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& fn, ThreadPool* pool) {
+  if (end <= begin) return;
+  const std::int64_t n = end - begin;
+  if (pool == nullptr) pool = &DefaultPool();
+
+  auto state = std::make_shared<ForState>(begin, end);
+  // One helper per pool thread (capped by the iteration count minus the
+  // caller's own share). Helpers that start late find the range drained and
+  // return immediately.
+  const int helpers =
+      static_cast<int>(std::min<std::int64_t>(pool->size(), n - 1));
+  for (int h = 0; h < helpers; ++h) {
+    pool->Submit([state, fn] { DrainRange(*state, fn); });
+  }
+  DrainRange(*state, fn);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] {
+    return state->remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace dagperf

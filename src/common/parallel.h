@@ -1,0 +1,93 @@
+#ifndef DAGPERF_COMMON_PARALLEL_H_
+#define DAGPERF_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dagperf {
+
+/// Fixed-size worker pool executing closures FIFO. Two roles in the library:
+///
+///  * The execution engine's "task slots": the pool size caps how many map
+///    or reduce tasks run concurrently, mirroring a node's container limit.
+///  * The sweep engine's compute fleet: ParallelFor/ParallelMap fan
+///    independent estimator invocations across the pool (model/sweep.h).
+///
+/// Promoted out of src/engine/ so model-layer code can use it without
+/// depending on the engine.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Wait() started from another
+  /// thread; tasks may enqueue further tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by other
+  /// tasks) has finished. Reusable; multiple threads may wait concurrently.
+  void Wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide default pool, created on first use and sized to the
+/// hardware's concurrency (at least 1). Shared by every ParallelFor caller
+/// that does not supply its own pool.
+ThreadPool& DefaultPool();
+
+/// Runs fn(i) for every i in [begin, end) across `pool` (the default pool
+/// when null), with the calling thread participating in the work.
+///
+/// Properties:
+///  * Every index is executed exactly once; the call returns only after all
+///    iterations finished.
+///  * Exception-safe: the first exception thrown by fn is captured and
+///    rethrown in the caller after the remaining in-flight iterations
+///    drained; iterations not yet claimed when the exception was recorded
+///    are skipped.
+///  * Deadlock-free under nesting: because the caller claims indices itself,
+///    the loop completes even if every pool worker is busy elsewhere.
+///  * Load-balanced: indices are claimed one at a time from a shared atomic
+///    counter, suiting coarse iterations (an estimator call per index);
+///    for micro-iterations prefer batching work inside fn.
+void ParallelFor(std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& fn,
+                 ThreadPool* pool = nullptr);
+
+/// Maps fn over `items` in parallel, preserving input order in the result.
+/// The result type must be default-constructible and movable.
+template <typename T, typename Fn>
+auto ParallelMap(const std::vector<T>& items, const Fn& fn,
+                 ThreadPool* pool = nullptr)
+    -> std::vector<decltype(fn(items.front()))> {
+  std::vector<decltype(fn(items.front()))> out(items.size());
+  ParallelFor(
+      0, static_cast<std::int64_t>(items.size()),
+      [&](std::int64_t i) { out[static_cast<size_t>(i)] = fn(items[static_cast<size_t>(i)]); },
+      pool);
+  return out;
+}
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_PARALLEL_H_

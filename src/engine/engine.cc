@@ -5,7 +5,7 @@
 #include <mutex>
 
 #include "common/check.h"
-#include "engine/thread_pool.h"
+#include "common/parallel.h"
 
 namespace dagperf {
 

@@ -82,6 +82,12 @@ struct DagEstimate {
 /// task times under the state's contention via the supplied TaskTimeSource,
 /// (4) advance to the earliest stage completion, (5) transition the workflow
 /// state. The workflow estimate is the sum of state durations.
+///
+/// Thread safety: Estimate() is const and touches no shared mutable state —
+/// one estimator instance may serve concurrent Estimate() calls from many
+/// threads (the sweep engine in model/sweep.h relies on this), provided the
+/// supplied TaskTimeSource is itself safe for concurrent queries (all
+/// library sources are; see task_time_source.h).
 class StateBasedEstimator {
  public:
   StateBasedEstimator(const ClusterSpec& cluster, const SchedulerConfig& scheduler,

@@ -1,0 +1,133 @@
+#include "model/sweep.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace dagperf {
+
+namespace {
+
+Result<DagEstimate> EstimateOne(const EstimateRequest& request,
+                                const SchedulerConfig& scheduler,
+                                const TaskTimeSource& source,
+                                const EstimatorOptions& estimator_options) {
+  if (request.flow == nullptr) {
+    return Status::InvalidArgument("sweep request has no workflow");
+  }
+  const Status cluster_ok = request.cluster.Validate();
+  if (!cluster_ok.ok()) return cluster_ok;
+  const StateBasedEstimator estimator(request.cluster, scheduler,
+                                      estimator_options);
+  return estimator.Estimate(*request.flow, source);
+}
+
+}  // namespace
+
+SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
+                          const SchedulerConfig& scheduler,
+                          const TaskTimeSource& source, const SweepOptions& options) {
+  SweepResult result;
+  result.stats.candidates = static_cast<int>(requests.size());
+  if (requests.empty()) return result;
+
+  // Cache wiring. An external memo wins; otherwise a batch-local shared memo
+  // or one private memo per candidate.
+  TaskTimeMemo* shared_memo = options.memo;
+  std::optional<TaskTimeMemo> local_memo;
+  if (options.memoize && shared_memo == nullptr && options.share_cache) {
+    local_memo.emplace();
+    shared_memo = &*local_memo;
+  }
+  const TaskTimeMemo::Stats before =
+      shared_memo != nullptr ? shared_memo->stats() : TaskTimeMemo::Stats{};
+
+  std::vector<std::unique_ptr<TaskTimeMemo>> private_memos;
+  if (options.memoize && shared_memo == nullptr) {
+    private_memos.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      private_memos.push_back(std::make_unique<TaskTimeMemo>());
+    }
+  }
+
+  const auto evaluate = [&](size_t i) -> Result<DagEstimate> {
+    if (!options.memoize) {
+      return EstimateOne(requests[i], scheduler, source, options.estimator);
+    }
+    TaskTimeMemo* memo = shared_memo != nullptr ? shared_memo : private_memos[i].get();
+    const MemoizedTaskTimeSource cached(source, memo, options.cache_scope);
+    return EstimateOne(requests[i], scheduler, cached, options.estimator);
+  };
+
+  result.estimates.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    result.estimates.emplace_back(Status::Internal("not evaluated"));
+  }
+
+  if (options.pool == nullptr && options.threads == 1) {
+    for (size_t i = 0; i < requests.size(); ++i) result.estimates[i] = evaluate(i);
+  } else {
+    std::optional<ThreadPool> dedicated;
+    ThreadPool* pool = options.pool;
+    if (pool == nullptr && options.threads > 1) {
+      dedicated.emplace(options.threads);
+      pool = &*dedicated;
+    }
+    ParallelFor(
+        0, static_cast<std::int64_t>(requests.size()),
+        [&](std::int64_t i) { result.estimates[static_cast<size_t>(i)] = evaluate(i); },
+        pool);
+  }
+
+  for (size_t i = 0; i < result.estimates.size(); ++i) {
+    const Result<DagEstimate>& estimate = result.estimates[i];
+    if (!estimate.ok()) {
+      ++result.stats.failures;
+      continue;
+    }
+    if (estimate->makespan < result.stats.best_makespan) {
+      result.stats.best_makespan = estimate->makespan;
+      result.stats.best_index = static_cast<int>(i);
+    }
+  }
+
+  if (shared_memo != nullptr) {
+    const TaskTimeMemo::Stats after = shared_memo->stats();
+    result.stats.cache_hits = after.hits - before.hits;
+    result.stats.cache_misses = after.misses - before.misses;
+  } else {
+    for (const auto& memo : private_memos) {
+      const TaskTimeMemo::Stats s = memo->stats();
+      result.stats.cache_hits += s.hits;
+      result.stats.cache_misses += s.misses;
+    }
+  }
+  const std::uint64_t queries = result.stats.cache_hits + result.stats.cache_misses;
+  result.stats.cache_hit_rate =
+      queries == 0 ? 0.0
+                   : static_cast<double>(result.stats.cache_hits) /
+                         static_cast<double>(queries);
+  return result;
+}
+
+Result<std::vector<DagWorkflow>> BuildReducerCandidates(
+    const JobSpec& job, const std::vector<int>& reducer_counts) {
+  if (job.num_reduce_tasks == 0) {
+    return Status::InvalidArgument(job.name + ": map-only job has no reducers");
+  }
+  std::vector<DagWorkflow> flows;
+  flows.reserve(reducer_counts.size());
+  for (int reducers : reducer_counts) {
+    if (reducers < 1) return Status::InvalidArgument("candidate reducers < 1");
+    JobSpec candidate = job;
+    candidate.num_reduce_tasks = reducers;
+    DagBuilder builder(job.name + "-r" + std::to_string(reducers));
+    builder.AddJob(candidate);
+    Result<DagWorkflow> flow = std::move(builder).Build();
+    if (!flow.ok()) return flow.status();
+    flows.push_back(std::move(flow).value());
+  }
+  return flows;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,112 @@
+#include "model/task_time_cache.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace dagperf {
+
+namespace {
+
+/// Appends the raw bit pattern of a double — exact, no formatting loss.
+void AppendBits(std::string& out, double value) {
+  char bits[sizeof(double)];
+  std::memcpy(bits, &value, sizeof(double));
+  out.append(bits, sizeof(double));
+}
+
+void AppendStage(std::string& out, const ParallelStage& ps) {
+  const StageProfile& stage = *ps.stage;
+  out += stage.name;
+  out += '\0';
+  out += static_cast<char>(stage.kind);
+  AppendBits(out, static_cast<double>(stage.num_tasks));
+  AppendBits(out, stage.task_size_cv);
+  AppendBits(out, stage.slot.vcores);
+  AppendBits(out, stage.slot.memory.value());
+  for (const SubStageProfile& sub : stage.substages) {
+    for (double demand : sub.demand.values) AppendBits(out, demand);
+    out += ';';
+  }
+  AppendBits(out, ps.tasks_per_node);
+  out += '|';
+}
+
+}  // namespace
+
+std::string TaskTimeMemo::Fingerprint(const std::string& scope,
+                                      const EstimationContext& context) {
+  std::string key;
+  key.reserve(scope.size() + 1 + context.running.size() * 96);
+  key += scope;
+  key += '#';
+  for (const ParallelStage& ps : context.running) AppendStage(key, ps);
+  AppendBits(key, static_cast<double>(context.query));
+  return key;
+}
+
+TaskTimeMemo::Stats TaskTimeMemo::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  s.entries = entries_.size();
+  return s;
+}
+
+void TaskTimeMemo::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+MemoizedTaskTimeSource::MemoizedTaskTimeSource(const TaskTimeSource& base,
+                                               TaskTimeMemo* memo, std::string scope)
+    : base_(base), memo_(memo), scope_(std::move(scope)) {}
+
+Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) const {
+  const std::string key = TaskTimeMemo::Fingerprint(scope_, context);
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_->mutex_);
+    auto it = memo_->entries_.find(key);
+    if (it != memo_->entries_.end() && it->second.has_time) {
+      memo_->hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.time;
+    }
+  }
+  memo_->misses_.fetch_add(1, std::memory_order_relaxed);
+  const Duration time = base_.TaskTime(context);
+  {
+    std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
+    TaskTimeMemo::Entry& entry = memo_->entries_[key];
+    // A racing thread may have stored first; the source is deterministic, so
+    // both computed the same bits and either store is correct.
+    entry.time = time;
+    entry.has_time = true;
+  }
+  return time;
+}
+
+NormalParams MemoizedTaskTimeSource::TaskTimeDist(
+    const EstimationContext& context) const {
+  const std::string key = TaskTimeMemo::Fingerprint(scope_, context);
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_->mutex_);
+    auto it = memo_->entries_.find(key);
+    if (it != memo_->entries_.end() && it->second.has_dist) {
+      memo_->hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.dist;
+    }
+  }
+  memo_->misses_.fetch_add(1, std::memory_order_relaxed);
+  const NormalParams dist = base_.TaskTimeDist(context);
+  {
+    std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
+    TaskTimeMemo::Entry& entry = memo_->entries_[key];
+    entry.dist = dist;
+    entry.has_dist = true;
+  }
+  return dist;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,92 @@
+#ifndef DAGPERF_MODEL_TASK_TIME_CACHE_H_
+#define DAGPERF_MODEL_TASK_TIME_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "model/task_time_source.h"
+
+namespace dagperf {
+
+/// Thread-safe memo table for task-time queries.
+///
+/// The state-based estimator asks its TaskTimeSource for a task time once
+/// per (running stage, workflow state); across the states of one estimate —
+/// and far more so across the candidates of a what-if sweep — the same
+/// concurrent-execution context recurs constantly (e.g. every reducer-count
+/// candidate shares the identical map-only states). The memo keys on an
+/// *exact* serialisation of the EstimationContext (stage profile contents
+/// and per-node task populations, raw double bits — no rounding), so a hit
+/// returns bit-identical values to recomputation and cached estimates equal
+/// uncached ones exactly.
+///
+/// Keys optionally carry a caller-supplied scope prefix so one memo can be
+/// shared across sources or knob settings that the context alone does not
+/// distinguish (e.g. different node hardware, different fixed overheads).
+///
+/// All operations are safe to call concurrently.
+class TaskTimeMemo {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  Stats stats() const;
+  void Clear();
+
+  /// Exact serialisation of a context (plus scope), the memo key. Exposed
+  /// for tests.
+  static std::string Fingerprint(const std::string& scope,
+                                 const EstimationContext& context);
+
+ private:
+  friend class MemoizedTaskTimeSource;
+
+  struct Entry {
+    Duration time;
+    NormalParams dist;
+    bool has_time = false;
+    bool has_dist = false;
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+/// A TaskTimeSource decorator answering repeated queries from a TaskTimeMemo
+/// instead of re-invoking the wrapped source (BOE solve or profile lookup).
+///
+/// The wrapped source must be deterministic (same context in, same value
+/// out) and must outlive this object, as must the memo. Both conditions hold
+/// for BoeTaskTimeSource and ProfileTaskTimeSource. Safe for concurrent use
+/// when the wrapped source is (see the thread-safety contract in
+/// task_time_source.h).
+class MemoizedTaskTimeSource : public TaskTimeSource {
+ public:
+  MemoizedTaskTimeSource(const TaskTimeSource& base, TaskTimeMemo* memo,
+                         std::string scope = "");
+
+  Duration TaskTime(const EstimationContext& context) const override;
+  NormalParams TaskTimeDist(const EstimationContext& context) const override;
+
+ private:
+  const TaskTimeSource& base_;
+  TaskTimeMemo* memo_;
+  std::string scope_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_MODEL_TASK_TIME_CACHE_H_

@@ -37,6 +37,14 @@ struct EstimationContext {
 ///  * ProfileTaskTimeSource — statistics of profiled task durations captured
 ///    at the same degree of parallelism, used in §V-C / Table III to isolate
 ///    the state-based machinery's error from task-level model error.
+///
+/// Thread safety contract: TaskTime()/TaskTimeDist() must be safe to call
+/// concurrently and must be deterministic — the same context always yields
+/// the same value. Implementations are therefore const and read-only after
+/// construction (mutation such as AddProfile must happen before the source
+/// is shared). The sweep engine's memo cache (model/task_time_cache.h)
+/// additionally relies on determinism for its bit-identical-results
+/// guarantee.
 class TaskTimeSource {
  public:
   virtual ~TaskTimeSource() = default;

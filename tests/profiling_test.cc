@@ -5,43 +5,9 @@
 #include "boe/boe_model.h"
 #include "engine/builtin.h"
 #include "engine/datagen.h"
-#include "engine/thread_pool.h"
 
 namespace dagperf {
 namespace {
-
-TEST(ThreadPoolTest, RunsAllTasks) {
-  ThreadPool pool(4);
-  std::atomic<int> counter{0};
-  for (int i = 0; i < 1000; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
-  }
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 1000);
-}
-
-TEST(ThreadPoolTest, TasksCanSubmitTasks) {
-  ThreadPool pool(2);
-  std::atomic<int> counter{0};
-  pool.Submit([&] {
-    for (int i = 0; i < 10; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
-    }
-  });
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 10);
-}
-
-TEST(ThreadPoolTest, WaitIsReusable) {
-  ThreadPool pool(2);
-  std::atomic<int> counter{0};
-  pool.Submit([&counter] { counter.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 1);
-  pool.Submit([&counter] { counter.fetch_add(1); });
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 2);
-}
 
 TEST(ProfilingTest, SelectivitiesMatchMeasuredBytes) {
   LocalStore store;

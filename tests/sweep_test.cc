@@ -1,0 +1,220 @@
+#include "model/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/task_time_cache.h"
+#include "workloads/hibench.h"
+#include "workloads/micro.h"
+#include "workloads/suite.h"
+#include "workloads/tpch.h"
+
+namespace dagperf {
+namespace {
+
+const ClusterSpec kCluster = ClusterSpec::PaperCluster();
+const SchedulerConfig kSched;
+
+/// The golden-equivalence workload set: HiBench iterative DAGs, plain TPC-H
+/// queries, and Table III hybrids (micro + TPC-H side by side).
+std::vector<DagWorkflow> GoldenSuite() {
+  std::vector<DagWorkflow> flows;
+  flows.push_back(KMeansFlow(Bytes::FromGB(10), 2).value());
+  flows.push_back(PageRankFlow(Bytes::FromGB(9), 2).value());
+  flows.push_back(TpchQueryFlow(1, Bytes::FromGB(8)).value());
+  flows.push_back(TpchQueryFlow(5, Bytes::FromGB(8)).value());
+  flows.push_back(TableThreeFlow("TS-Q6", 0.1).value().flow);
+  flows.push_back(TableThreeFlow("WC-KM", 0.1).value().flow);
+  return flows;
+}
+
+/// Exact, bit-level comparison of two estimates. The sweep engine's
+/// contract is bit-identity, so every double is compared with ==.
+void ExpectIdentical(const DagEstimate& a, const DagEstimate& b) {
+  EXPECT_EQ(a.makespan.seconds(), b.makespan.seconds());
+  ASSERT_EQ(a.states.size(), b.states.size());
+  for (size_t s = 0; s < a.states.size(); ++s) {
+    EXPECT_EQ(a.states[s].index, b.states[s].index);
+    EXPECT_EQ(a.states[s].start, b.states[s].start);
+    EXPECT_EQ(a.states[s].duration, b.states[s].duration);
+    ASSERT_EQ(a.states[s].running.size(), b.states[s].running.size());
+    for (size_t r = 0; r < a.states[s].running.size(); ++r) {
+      EXPECT_EQ(a.states[s].running[r].job, b.states[s].running[r].job);
+      EXPECT_EQ(a.states[s].running[r].kind, b.states[s].running[r].kind);
+      EXPECT_EQ(a.states[s].running[r].parallelism, b.states[s].running[r].parallelism);
+      EXPECT_EQ(a.states[s].running[r].task_time_s, b.states[s].running[r].task_time_s);
+    }
+  }
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (size_t s = 0; s < a.stages.size(); ++s) {
+    EXPECT_EQ(a.stages[s].job, b.stages[s].job);
+    EXPECT_EQ(a.stages[s].kind, b.stages[s].kind);
+    EXPECT_EQ(a.stages[s].start, b.stages[s].start);
+    EXPECT_EQ(a.stages[s].end, b.stages[s].end);
+  }
+}
+
+TEST(SweepDeterminismTest, ParallelCachedMatchesSerialUncachedBitExactly) {
+  const std::vector<DagWorkflow> flows = GoldenSuite();
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+
+  // Serial ground truth: the plain estimator, no cache, one flow at a time.
+  const StateBasedEstimator estimator(kCluster, kSched);
+  std::vector<DagEstimate> golden;
+  for (const DagWorkflow& flow : flows) {
+    golden.push_back(estimator.Estimate(flow, source).value());
+  }
+
+  std::vector<EstimateRequest> requests;
+  for (const DagWorkflow& flow : flows) requests.push_back({&flow, kCluster, ""});
+  SweepOptions options;
+  options.threads = 4;  // Parallel + shared cache: the full sweep engine.
+  const SweepResult batch = EstimateBatch(requests, kSched, source, options);
+
+  ASSERT_EQ(batch.estimates.size(), flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    ASSERT_TRUE(batch.estimates[i].ok()) << batch.estimates[i].status().ToString();
+    ExpectIdentical(*batch.estimates[i], golden[i]);
+  }
+}
+
+TEST(SweepDeterminismTest, SkewAwareCachedMatchesUncached) {
+  // The Alg2-Normal path queries TaskTimeDist; the memo must be exact there
+  // too.
+  const DagWorkflow flow = TableThreeFlow("WC-Q6", 0.1).value().flow;
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  EstimatorOptions est_options;
+  est_options.skew_aware = true;
+
+  const StateBasedEstimator estimator(kCluster, kSched, est_options);
+  const DagEstimate golden = estimator.Estimate(flow, source).value();
+
+  TaskTimeMemo memo;
+  const MemoizedTaskTimeSource cached(source, &memo);
+  // Two passes: the second answers everything from the memo.
+  const DagEstimate first = estimator.Estimate(flow, cached).value();
+  const DagEstimate second = estimator.Estimate(flow, cached).value();
+  ExpectIdentical(first, golden);
+  ExpectIdentical(second, golden);
+  const TaskTimeMemo::Stats stats = memo.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(SweepDeterminismTest, RepeatedBatchesAreStable) {
+  // Same batch twice (fresh internal cache each time, different thread
+  // interleavings): identical output both times.
+  const DagWorkflow flow = TpchQueryFlow(9, Bytes::FromGB(8)).value();
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  std::vector<EstimateRequest> requests;
+  for (int i = 0; i < 8; ++i) requests.push_back({&flow, kCluster, ""});
+  SweepOptions options;
+  options.threads = 4;
+  const SweepResult a = EstimateBatch(requests, kSched, source, options);
+  const SweepResult b = EstimateBatch(requests, kSched, source, options);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectIdentical(*a.estimates[i], *b.estimates[i]);
+    ExpectIdentical(*a.estimates[i], *a.estimates[0]);
+  }
+  // Identical candidates share everything after the first: high hit rate.
+  EXPECT_GT(a.stats.cache_hit_rate, 0.5);
+}
+
+TEST(EstimateBatchTest, ReducerSweepSharesMapWork) {
+  const Result<std::vector<DagWorkflow>> flows =
+      BuildReducerCandidates(TsSpec(Bytes::FromGB(20)), {8, 16, 32, 64});
+  ASSERT_TRUE(flows.ok());
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  std::vector<EstimateRequest> requests;
+  for (const DagWorkflow& flow : *flows) requests.push_back({&flow, kCluster, ""});
+  const SweepResult result = EstimateBatch(requests, kSched, source);
+
+  EXPECT_EQ(result.stats.candidates, 4);
+  EXPECT_EQ(result.stats.failures, 0);
+  // The map stage is identical across candidates; its states must hit.
+  EXPECT_GT(result.stats.cache_hits, 0u);
+  // best_index is the first minimal makespan.
+  ASSERT_GE(result.stats.best_index, 0);
+  for (const auto& estimate : result.estimates) {
+    EXPECT_GE(estimate->makespan, result.stats.best_makespan);
+  }
+}
+
+TEST(EstimateBatchTest, ReportsPerCandidateFailures) {
+  const DagWorkflow flow = TpchQueryFlow(1, Bytes::FromGB(4)).value();
+  std::vector<EstimateRequest> requests;
+  requests.push_back({&flow, kCluster, "good"});
+  requests.push_back({nullptr, kCluster, "no-flow"});
+  ClusterSpec bad = kCluster;
+  bad.num_nodes = 0;
+  requests.push_back({&flow, bad, "bad-cluster"});
+
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const SweepResult result = EstimateBatch(requests, kSched, source);
+  EXPECT_TRUE(result.estimates[0].ok());
+  EXPECT_FALSE(result.estimates[1].ok());
+  EXPECT_FALSE(result.estimates[2].ok());
+  EXPECT_EQ(result.stats.failures, 2);
+  EXPECT_EQ(result.stats.best_index, 0);
+}
+
+TEST(EstimateBatchTest, EmptyBatch) {
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const SweepResult result = EstimateBatch({}, kSched, source);
+  EXPECT_TRUE(result.estimates.empty());
+  EXPECT_EQ(result.stats.candidates, 0);
+  EXPECT_EQ(result.stats.best_index, -1);
+}
+
+TEST(EstimateBatchTest, ExternalMemoAccumulatesAcrossCalls) {
+  const DagWorkflow flow = KMeansFlow(Bytes::FromGB(5), 2).value();
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  std::vector<EstimateRequest> requests{{&flow, kCluster, ""}};
+  TaskTimeMemo memo;
+  SweepOptions options;
+  options.memo = &memo;
+  const SweepResult first = EstimateBatch(requests, kSched, source, options);
+  const SweepResult second = EstimateBatch(requests, kSched, source, options);
+  // The second call answers everything from the memo warmed by the first,
+  // and per-batch stats count only that batch's queries.
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+  EXPECT_EQ(second.stats.cache_hit_rate, 1.0);
+  ExpectIdentical(*first.estimates[0], *second.estimates[0]);
+}
+
+TEST(TaskTimeMemoTest, ScopeSeparatesEntries) {
+  // Same context under different scopes must not collide: two node types
+  // sharing one memo get distinct entries.
+  DagBuilder builder("wc-scope");
+  builder.AddJob(WordCountSpec(Bytes::FromGB(50)));  // CPU-bound, slots full.
+  const DagWorkflow flow = std::move(builder).Build().value();
+  const BoeModel boe_a(kCluster.node);
+  NodeSpec slow = kCluster.node;
+  slow.cores = 1;  // Same scheduler view, much weaker execution model.
+  const BoeModel boe_b(slow);
+  const BoeTaskTimeSource source_a(boe_a, Duration::Seconds(1));
+  const BoeTaskTimeSource source_b(boe_b, Duration::Seconds(1));
+
+  TaskTimeMemo memo;
+  const MemoizedTaskTimeSource cached_a(source_a, &memo, "paper-node");
+  const MemoizedTaskTimeSource cached_b(source_b, &memo, "slow-node");
+  const StateBasedEstimator estimator(kCluster, kSched);
+  const DagEstimate est_a = estimator.Estimate(flow, cached_a).value();
+  const DagEstimate est_b = estimator.Estimate(flow, cached_b).value();
+  // The scoped entries kept the two models apart: fewer cores, slower job.
+  EXPECT_GT(est_b.makespan.seconds(), est_a.makespan.seconds());
+  // And both match their uncached versions exactly.
+  ExpectIdentical(est_a, estimator.Estimate(flow, source_a).value());
+  ExpectIdentical(est_b, estimator.Estimate(flow, source_b).value());
+}
+
+}  // namespace
+}  // namespace dagperf

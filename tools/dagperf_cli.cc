@@ -11,6 +11,9 @@
 //                    [--variant boe|mean|median|normal]
 //   dagperf compare  --flow NAME|--spec FILE.json [--scale S] [--nodes N]
 //   dagperf sweep    --job WC|TS|TSC|TS2R|TS3R [--input-gb G] [--baseline R]
+//   dagperf sweep    --job J --reducers 8,16,32 [--threads N] [--json FILE]
+//   dagperf sweep    --flow NAME|--spec FILE.json --nodes-list 2,4,8,16
+//                    [--scale S] [--deadline-s D] [--threads N] [--json FILE]
 //   dagperf tune     --job WC|TS|TSC|TS2R|TS3R [--input-gb G]
 //
 // Workflow NAMEs are the Table III suite names (TS-Q1..TS-Q22, WC-Q1..,
@@ -22,13 +25,17 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "dag/spec_io.h"
 #include "exp/single_job.h"
 #include "model/state_estimator.h"
+#include "model/sweep.h"
 #include "model/task_time_source.h"
 #include "sim/simulator.h"
 #include "sim/trace_writer.h"
@@ -63,7 +70,8 @@ int Usage() {
                "usage: dagperf <list|export|simulate|estimate|compare|sweep|tune> "
                "[--flow NAME | --spec FILE.json] [--job WC|TS|TSC|TS2R|TS3R] "
                "[--scale S] [--nodes N] [--seed K] [--input-gb G] [--baseline R] "
-               "[--variant boe|mean|median|normal] [--out F] "
+               "[--reducers 8,16,32] [--nodes-list 2,4,8] [--threads N] "
+               "[--deadline-s D] [--variant boe|mean|median|normal] [--out F] "
                "[--json F] [--csv F] [--chrome F]\n");
   return 2;
 }
@@ -278,7 +286,162 @@ int CmdCompare(const Args& args) {
   return 0;
 }
 
+/// Parses a comma-separated integer list ("8,16,32").
+Result<std::vector<int>> ParseIntList(const std::string& text) {
+  std::vector<int> values;
+  std::string token;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      if (token.empty()) return Status::InvalidArgument("empty list entry");
+      try {
+        size_t used = 0;
+        const int value = std::stoi(token, &used);
+        if (used != token.size()) throw std::invalid_argument(token);
+        values.push_back(value);
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("not an integer: " + token);
+      }
+      token.clear();
+    } else {
+      token += text[i];
+    }
+  }
+  if (values.empty()) return Status::InvalidArgument("empty list");
+  return values;
+}
+
+/// Shared tail of the what-if sweeps: print the candidate table and cache
+/// stats, optionally dump the JSON table.
+int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
+                const SweepResult& sweep, const Args& args) {
+  TextTable table({knob_name, "predicted (s)", "states"});
+  Json rows = Json::MakeArray();
+  for (size_t i = 0; i < knobs.size(); ++i) {
+    if (!sweep.estimates[i].ok()) {
+      std::fprintf(stderr, "%s=%d: %s\n", knob_name.c_str(), knobs[i],
+                   sweep.estimates[i].status().ToString().c_str());
+      return 1;
+    }
+    const DagEstimate& estimate = *sweep.estimates[i];
+    table.AddRow({std::to_string(knobs[i]),
+                  TextTable::Cell(estimate.makespan.seconds(), 1),
+                  std::to_string(estimate.states.size())});
+    Json row = Json::MakeObject();
+    row.Set(knob_name, Json::MakeNumber(knobs[i]));
+    row.Set("predicted_s", Json::MakeNumber(estimate.makespan.seconds()));
+    rows.Append(std::move(row));
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("best: %s=%d -> %.1f s\n", knob_name.c_str(),
+              knobs[static_cast<size_t>(sweep.stats.best_index)],
+              sweep.stats.best_makespan.seconds());
+  std::printf("cache: %.1f%% hit rate (%llu hits, %llu misses)\n",
+              100.0 * sweep.stats.cache_hit_rate,
+              static_cast<unsigned long long>(sweep.stats.cache_hits),
+              static_cast<unsigned long long>(sweep.stats.cache_misses));
+
+  const std::string json_path = args.Get("json", "");
+  if (!json_path.empty()) {
+    Json doc = Json::MakeObject();
+    doc.Set("knob", Json::MakeString(knob_name));
+    doc.Set("candidates", std::move(rows));
+    doc.Set("best_" + knob_name,
+            Json::MakeNumber(knobs[static_cast<size_t>(sweep.stats.best_index)]));
+    doc.Set("best_predicted_s", Json::MakeNumber(sweep.stats.best_makespan.seconds()));
+    doc.Set("cache_hit_rate", Json::MakeNumber(sweep.stats.cache_hit_rate));
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << doc.Dump() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+/// Reducer-count what-if grid for a micro job, priced by the sweep engine.
+int CmdReducerSweep(const Args& args) {
+  Result<JobSpec> job = LoadJob(args);
+  if (!job.ok()) {
+    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<int>> grid = ParseIntList(args.Get("reducers", ""));
+  if (!grid.ok()) {
+    std::fprintf(stderr, "--reducers: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<DagWorkflow>> flows = BuildReducerCandidates(*job, *grid);
+  if (!flows.ok()) {
+    std::fprintf(stderr, "%s\n", flows.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = LoadCluster(args);
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  std::vector<EstimateRequest> requests;
+  for (const DagWorkflow& flow : *flows) requests.push_back({&flow, cluster, ""});
+  SweepOptions options;
+  options.threads = args.GetInt("threads", 0);
+  const SweepResult sweep = EstimateBatch(requests, SchedulerConfig{}, source, options);
+  std::printf("reducer sweep for %s on %d nodes (%d candidates, %d threads):\n",
+              job->name.c_str(), cluster.num_nodes, sweep.stats.candidates,
+              options.threads);
+  return ReportSweep("reducers", *grid, sweep, args);
+}
+
+/// Cluster-size what-if grid for a workflow (capacity planning).
+int CmdNodesSweep(const Args& args) {
+  Result<DagWorkflow> flow = LoadFlow(args);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<int>> grid = ParseIntList(args.Get("nodes-list", ""));
+  if (!grid.ok()) {
+    std::fprintf(stderr, "--nodes-list: %s\n", grid.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec base = LoadCluster(args);
+  const BoeModel boe(base.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  std::vector<EstimateRequest> requests;
+  for (int nodes : *grid) {
+    ClusterSpec cluster = base;
+    cluster.num_nodes = nodes;
+    requests.push_back({&*flow, cluster, ""});
+  }
+  SweepOptions options;
+  options.threads = args.GetInt("threads", 0);
+  const SweepResult sweep = EstimateBatch(requests, SchedulerConfig{}, source, options);
+  std::printf("cluster-size sweep for %s (%d candidates, %d threads):\n",
+              flow->name().c_str(), sweep.stats.candidates, options.threads);
+  const double deadline = args.GetDouble("deadline-s", 0.0);
+  if (deadline > 0) {
+    int smallest = -1;
+    for (size_t i = 0; i < grid->size(); ++i) {
+      if (sweep.estimates[i].ok() &&
+          sweep.estimates[i]->makespan.seconds() <= deadline &&
+          (smallest < 0 || (*grid)[i] < smallest)) {
+        smallest = (*grid)[i];
+      }
+    }
+    if (smallest > 0) {
+      std::printf("smallest size within %.0f s deadline: %d nodes\n", deadline,
+                  smallest);
+    } else {
+      std::printf("no listed size meets the %.0f s deadline\n", deadline);
+    }
+  }
+  return ReportSweep("nodes", *grid, sweep, args);
+}
+
 int CmdSweep(const Args& args) {
+  // Grid modes run on the sweep engine; the bare --job form keeps the
+  // original single-job parallelism sweep (paper Fig. 6 methodology).
+  if (args.options.count("reducers") > 0) return CmdReducerSweep(args);
+  if (args.options.count("nodes-list") > 0) return CmdNodesSweep(args);
   Result<JobSpec> job = LoadJob(args);
   if (!job.ok()) {
     std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
