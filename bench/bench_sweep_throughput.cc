@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
                             static_cast<double>(engine.result.stats.cache_hits)));
   doc.Set("cache_misses", Json::MakeNumber(static_cast<double>(
                               engine.result.stats.cache_misses)));
+  doc.Set("failures", Json::MakeNumber(engine.result.stats.failures));
   doc.Set("bit_identical", Json::MakeBool(identical));
   std::ofstream out("BENCH_sweep.json");
   out << doc.Dump() << "\n";

@@ -6,8 +6,43 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dagperf {
+
+namespace {
+
+/// Pool/ParallelFor metric handles, resolved once (registry references stay
+/// valid forever; recording is lock-free and gated on the enabled flag).
+struct PoolMetrics {
+  obs::Counter& tasks_executed;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_wait_us;
+  obs::Histogram& worker_wait_us;
+  obs::Counter& for_calls;
+  obs::Counter& for_iterations;
+
+  PoolMetrics()
+      : tasks_executed(obs::MetricsRegistry::Default().GetCounter(
+            "pool.tasks_executed")),
+        queue_depth(obs::MetricsRegistry::Default().GetGauge("pool.queue_depth")),
+        task_wait_us(obs::MetricsRegistry::Default().GetHistogram(
+            "pool.task_wait_us")),
+        worker_wait_us(obs::MetricsRegistry::Default().GetHistogram(
+            "pool.worker_wait_us")),
+        for_calls(obs::MetricsRegistry::Default().GetCounter(
+            "parallel_for.calls")),
+        for_iterations(obs::MetricsRegistry::Default().GetCounter(
+            "parallel_for.iterations")) {}
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   DAGPERF_CHECK(threads > 0);
@@ -27,11 +62,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const bool metrics_on = obs::MetricsEnabled();
+  Job job{std::move(task), metrics_on ? obs::MonotonicUs() : 0.0};
   {
     std::unique_lock<std::mutex> lock(mutex_);
     DAGPERF_CHECK_MSG(!shutdown_, "submit after shutdown");
-    queue_.push(std::move(task));
+    queue_.push(std::move(job));
     ++in_flight_;
+    if (metrics_on) {
+      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+    }
   }
   work_available_.notify_one();
 }
@@ -43,15 +83,27 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Job job;
     {
+      const bool metrics_on = obs::MetricsEnabled();
+      const double wait_start = metrics_on ? obs::MonotonicUs() : 0.0;
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // Shutdown with a drained queue.
-      task = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop();
+      if (metrics_on) {
+        const double now = obs::MonotonicUs();
+        Metrics().worker_wait_us.Record(now - wait_start);
+        if (job.submit_us > 0) Metrics().task_wait_us.Record(now - job.submit_us);
+        Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+      }
     }
-    task();
+    {
+      obs::ScopedSpan span("pool.task", "pool");
+      job.fn();
+    }
+    Metrics().tasks_executed.Add(1);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_idle_.notify_all();
@@ -115,6 +167,8 @@ void ParallelFor(std::int64_t begin, std::int64_t end,
   if (end <= begin) return;
   const std::int64_t n = end - begin;
   if (pool == nullptr) pool = &DefaultPool();
+  Metrics().for_calls.Add(1);
+  Metrics().for_iterations.Add(static_cast<std::uint64_t>(n));
 
   auto state = std::make_shared<ForState>(begin, end);
   // One helper per pool thread (capped by the iteration count minus the

@@ -20,6 +20,12 @@ namespace dagperf {
 ///
 /// Promoted out of src/engine/ so model-layer code can use it without
 /// depending on the engine.
+///
+/// Observability (obs/metrics.h, active only while metrics/tracing are
+/// enabled): counter `pool.tasks_executed`, gauge `pool.queue_depth`,
+/// histograms `pool.task_wait_us` (submit -> dequeue latency) and
+/// `pool.worker_wait_us` (worker idle time), plus one `pool.task` trace
+/// span per executed task on the worker's lane.
 class ThreadPool {
  public:
   explicit ThreadPool(int threads);
@@ -41,10 +47,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its submit timestamp (0 while metrics are off).
+  struct Job {
+    std::function<void()> fn;
+    double submit_us = 0.0;
+  };
+
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_idle_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Job> queue_;
   std::vector<std::thread> workers_;
   int in_flight_ = 0;
   bool shutdown_ = false;

@@ -1,0 +1,261 @@
+#include "model/explain.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+namespace {
+
+std::string StageName(const DagWorkflow& flow, JobId job, StageKind kind) {
+  return flow.job(job).name + "/" + StageKindName(kind);
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+std::string FormatShare(double share) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", share * 100.0);
+  return buf;
+}
+
+/// Left-pads/truncates nothing; simple right-pad for text tables.
+std::string Pad(const std::string& s, size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace
+
+std::vector<CriticalSegment> CriticalPath(const DagEstimate& estimate) {
+  std::vector<CriticalSegment> segments;
+  for (const StateEstimate& state : estimate.states) {
+    if (state.duration <= 0.0) continue;
+    // A state always has a critical stage when it has a duration (the
+    // arg-min that advanced time); fall back to the first running stage for
+    // robustness against hand-built estimates.
+    const int idx =
+        state.critical >= 0 && state.critical < static_cast<int>(state.running.size())
+            ? state.critical
+            : 0;
+    if (state.running.empty()) continue;
+    const RunningStageEstimate& critical = state.running[idx];
+    if (!segments.empty() && segments.back().job == critical.job &&
+        segments.back().kind == critical.kind) {
+      segments.back().duration += state.duration;
+    } else {
+      CriticalSegment segment;
+      segment.job = critical.job;
+      segment.kind = critical.kind;
+      segment.start = state.start;
+      segment.duration = state.duration;
+      segments.push_back(segment);
+    }
+  }
+  return segments;
+}
+
+Result<ExplainReport> Explain(const DagWorkflow& flow, const ClusterSpec& cluster,
+                              const SchedulerConfig& scheduler,
+                              const TaskTimeSource& source, EstimatorOptions options) {
+  options.attribute_bottlenecks = true;
+  const StateBasedEstimator estimator(cluster, scheduler, options);
+  Result<DagEstimate> estimate = estimator.Estimate(flow, source);
+  if (!estimate.ok()) return estimate.status();
+  ExplainReport report;
+  report.estimate = std::move(estimate).value();
+  report.critical_path = CriticalPath(report.estimate);
+  for (const CriticalSegment& segment : report.critical_path) {
+    report.critical_total_s += segment.duration;
+  }
+  return report;
+}
+
+std::string ExplainToText(const DagWorkflow& flow, const ExplainReport& report) {
+  std::string out;
+  const double makespan = report.estimate.makespan.seconds();
+  out += "workflow " + flow.name() + ": estimated makespan " +
+         FormatSeconds(makespan) + " s, " +
+         std::to_string(report.estimate.states.size()) + " states\n\n";
+
+  // Critical path: which stage paced each slice of the makespan.
+  out += "critical path (segments sum to the makespan):\n";
+  size_t name_width = 5;
+  for (const CriticalSegment& s : report.critical_path) {
+    name_width = std::max(name_width, StageName(flow, s.job, s.kind).size());
+  }
+  out += "  " + Pad("stage", name_width) + "  start      duration   share\n";
+  for (const CriticalSegment& s : report.critical_path) {
+    out += "  " + Pad(StageName(flow, s.job, s.kind), name_width) + "  " +
+           Pad(FormatSeconds(s.start), 9) + "  " + Pad(FormatSeconds(s.duration), 9) +
+           "  " + FormatShare(makespan > 0 ? s.duration / makespan : 0.0) + "\n";
+  }
+  out += "\n";
+
+  // Per-state detail with bottleneck attribution.
+  out += "states:\n";
+  for (const StateEstimate& state : report.estimate.states) {
+    out += "  state " + std::to_string(state.index) + "  [" +
+           FormatSeconds(state.start) + " s + " + FormatSeconds(state.duration) +
+           " s]\n";
+    for (size_t i = 0; i < state.running.size(); ++i) {
+      const RunningStageEstimate& rs = state.running[i];
+      out += "    " + Pad(StageName(flow, rs.job, rs.kind), name_width) +
+             "  p=" + Pad(std::to_string(rs.parallelism), 5) +
+             " task=" + FormatSeconds(rs.task_time_s) + "s";
+      if (rs.has_attribution) {
+        out += "  bottleneck=" + std::string(ResourceName(rs.bottleneck)) + " (";
+        bool first = true;
+        for (Resource r : kAllResources) {
+          if (!first) out += " ";
+          first = false;
+          out += std::string(ResourceName(r)) + "=" + FormatShare(rs.utilization[r]);
+        }
+        out += ")";
+      }
+      if (static_cast<int>(i) == state.critical) out += "  <- critical";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Json ExplainToJson(const DagWorkflow& flow, const ExplainReport& report) {
+  Json root = Json::MakeObject();
+  root.Set("workflow", Json::MakeString(flow.name()));
+  root.Set("makespan_s", Json::MakeNumber(report.estimate.makespan.seconds()));
+  root.Set("critical_total_s", Json::MakeNumber(report.critical_total_s));
+
+  Json path = Json::MakeArray();
+  for (const CriticalSegment& s : report.critical_path) {
+    Json segment = Json::MakeObject();
+    segment.Set("stage", Json::MakeString(StageName(flow, s.job, s.kind)));
+    segment.Set("start_s", Json::MakeNumber(s.start));
+    segment.Set("duration_s", Json::MakeNumber(s.duration));
+    path.Append(std::move(segment));
+  }
+  root.Set("critical_path", std::move(path));
+
+  Json states = Json::MakeArray();
+  for (const StateEstimate& state : report.estimate.states) {
+    Json js = Json::MakeObject();
+    js.Set("index", Json::MakeNumber(state.index));
+    js.Set("start_s", Json::MakeNumber(state.start));
+    js.Set("duration_s", Json::MakeNumber(state.duration));
+    js.Set("critical", Json::MakeNumber(state.critical));
+    Json running = Json::MakeArray();
+    for (const RunningStageEstimate& rs : state.running) {
+      Json jr = Json::MakeObject();
+      jr.Set("stage", Json::MakeString(StageName(flow, rs.job, rs.kind)));
+      jr.Set("parallelism", Json::MakeNumber(rs.parallelism));
+      jr.Set("task_s", Json::MakeNumber(rs.task_time_s));
+      if (rs.has_attribution) {
+        jr.Set("bottleneck", Json::MakeString(ResourceName(rs.bottleneck)));
+        Json util = Json::MakeObject();
+        for (Resource r : kAllResources) {
+          util.Set(ResourceName(r), Json::MakeNumber(rs.utilization[r]));
+        }
+        jr.Set("utilization", std::move(util));
+      }
+      running.Append(std::move(jr));
+    }
+    js.Set("running", std::move(running));
+    states.Append(std::move(js));
+  }
+  root.Set("states", std::move(states));
+  return root;
+}
+
+void AppendEstimateTraceEvents(const DagWorkflow& flow, const DagEstimate& estimate,
+                               std::vector<obs::ChromeTraceEvent>& events) {
+  constexpr int kEstimatePid = 1;
+  constexpr int kStateLane = 1000000;  // Above any plausible job id.
+
+  // One lane per job: its stage spans in modeled time (1 s -> 1 "us" so
+  // Perfetto's timeline reads directly in seconds).
+  for (const StageSpanEstimate& span : estimate.stages) {
+    obs::ChromeTraceEvent event;
+    event.name = StageName(flow, span.job, span.kind);
+    event.cat = "estimate";
+    event.ph = 'X';
+    event.ts_us = span.start * 1e6;
+    event.dur_us = (span.end - span.start) * 1e6;
+    event.pid = kEstimatePid;
+    event.tid = static_cast<int>(span.job);
+    events.push_back(std::move(event));
+  }
+
+  // State lane: one span per state naming its critical stage.
+  bool any_attribution = false;
+  for (const StateEstimate& state : estimate.states) {
+    obs::ChromeTraceEvent event;
+    event.name = "state " + std::to_string(state.index);
+    event.cat = "estimate";
+    event.ph = 'X';
+    event.ts_us = state.start * 1e6;
+    event.dur_us = state.duration * 1e6;
+    event.pid = kEstimatePid;
+    event.tid = kStateLane;
+    event.num_args.emplace_back("running", static_cast<double>(state.running.size()));
+    if (state.critical >= 0 &&
+        state.critical < static_cast<int>(state.running.size())) {
+      const RunningStageEstimate& critical = state.running[state.critical];
+      event.str_args.emplace_back("critical",
+                                  StageName(flow, critical.job, critical.kind));
+    }
+    events.push_back(std::move(event));
+    for (const RunningStageEstimate& rs : state.running) {
+      if (rs.has_attribution) any_attribution = true;
+    }
+  }
+
+  // Per-resource modeled load counters: for each state, the sum over its
+  // running stages of parallelism x utilisation share — how many concurrent
+  // tasks keep the resource busy. Only meaningful with attribution on.
+  if (any_attribution) {
+    for (const StateEstimate& state : estimate.states) {
+      obs::ChromeTraceEvent event;
+      event.name = "resource load";
+      event.cat = "estimate";
+      event.ph = 'C';
+      event.ts_us = state.start * 1e6;
+      event.pid = kEstimatePid;
+      event.tid = 0;
+      for (Resource r : kAllResources) {
+        double load = 0.0;
+        for (const RunningStageEstimate& rs : state.running) {
+          if (!rs.has_attribution) continue;
+          load += static_cast<double>(rs.parallelism) * rs.utilization[r];
+        }
+        event.num_args.emplace_back(ResourceName(r), load);
+      }
+      events.push_back(std::move(event));
+    }
+    // Close the last counter interval at the makespan.
+    obs::ChromeTraceEvent event;
+    event.name = "resource load";
+    event.cat = "estimate";
+    event.ph = 'C';
+    event.ts_us = estimate.makespan.seconds() * 1e6;
+    event.pid = kEstimatePid;
+    event.tid = 0;
+    for (Resource r : kAllResources) event.num_args.emplace_back(ResourceName(r), 0.0);
+    events.push_back(std::move(event));
+  }
+}
+
+void WriteEstimateChromeTrace(const DagWorkflow& flow, const DagEstimate& estimate,
+                              std::ostream& out) {
+  std::vector<obs::ChromeTraceEvent> events;
+  AppendEstimateTraceEvents(flow, estimate, events);
+  obs::WriteChromeTraceEvents(events, out, {{1, "estimate " + flow.name()}});
+}
+
+}  // namespace dagperf

@@ -1,0 +1,73 @@
+#ifndef DAGPERF_MODEL_EXPLAIN_H_
+#define DAGPERF_MODEL_EXPLAIN_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/chrome_trace.h"
+#include "model/state_estimator.h"
+
+namespace dagperf {
+
+/// One segment of the critical path through an estimated state timeline:
+/// a maximal run of adjacent states whose completion was paced by the same
+/// stage. Segments are contiguous and their durations sum exactly to the
+/// makespan (states partition the timeline and every state contributes its
+/// full duration to exactly one segment).
+struct CriticalSegment {
+  JobId job = 0;
+  StageKind kind = StageKind::kMap;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+/// Bottleneck-attribution report: the estimate plus the critical path
+/// through its state timeline. Produced by Explain(), rendered by
+/// ExplainToText()/ExplainToJson() and `dagperf explain`.
+struct ExplainReport {
+  DagEstimate estimate;
+  std::vector<CriticalSegment> critical_path;
+  /// Sum of segment durations; equals estimate.makespan to within exact
+  /// floating-point identity (the segments are the state durations).
+  double critical_total_s = 0.0;
+};
+
+/// Runs the state-based estimator with bottleneck attribution forced on and
+/// derives the critical path. Other EstimatorOptions fields are honoured.
+Result<ExplainReport> Explain(const DagWorkflow& flow, const ClusterSpec& cluster,
+                              const SchedulerConfig& scheduler,
+                              const TaskTimeSource& source,
+                              EstimatorOptions options = {});
+
+/// Critical path of an existing estimate: per state, the stage Algorithm 1's
+/// arg-min advanced time to (StateEstimate::critical), merged across
+/// adjacent states. Zero-duration states never open a segment.
+std::vector<CriticalSegment> CriticalPath(const DagEstimate& estimate);
+
+/// Human-readable report: per-state table (parallelism, task time,
+/// bottleneck resource, utilisation shares) plus the critical path summary.
+std::string ExplainToText(const DagWorkflow& flow, const ExplainReport& report);
+
+/// Machine-readable report. Top-level keys: workflow, makespan_s,
+/// critical_total_s, critical_path[], states[].
+Json ExplainToJson(const DagWorkflow& flow, const ExplainReport& report);
+
+/// Renders the estimated state timeline as Chrome-trace events: one lane
+/// per job (pid 1 "estimate", tid = job id) carrying its stage spans, a
+/// state lane with each state's critical stage, and a per-resource counter
+/// track of modeled load (sum over running stages of parallelism x
+/// utilisation share) when the estimate carries attribution.
+void AppendEstimateTraceEvents(const DagWorkflow& flow, const DagEstimate& estimate,
+                               std::vector<obs::ChromeTraceEvent>& events);
+
+/// Writes the estimate timeline as a complete Chrome-trace JSON document
+/// (open with Perfetto / chrome://tracing).
+void WriteEstimateChromeTrace(const DagWorkflow& flow, const DagEstimate& estimate,
+                              std::ostream& out);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_MODEL_EXPLAIN_H_

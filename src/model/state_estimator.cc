@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <string>
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dagperf {
 
@@ -13,6 +17,29 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kEps = 1e-9;
+
+/// Estimator metric handles (obs/metrics.h); recording is gated on the
+/// process-wide metrics flag, so holding them costs nothing when disabled.
+struct EstimatorMetrics {
+  obs::Counter& estimates;
+  obs::Counter& states;
+  obs::Histogram& task_time_query_us;
+  obs::Gauge& states_per_sec;
+
+  EstimatorMetrics()
+      : estimates(obs::MetricsRegistry::Default().GetCounter(
+            "estimator.estimates")),
+        states(obs::MetricsRegistry::Default().GetCounter("estimator.states")),
+        task_time_query_us(obs::MetricsRegistry::Default().GetHistogram(
+            "estimator.task_time_query_us")),
+        states_per_sec(obs::MetricsRegistry::Default().GetGauge(
+            "estimator.states_per_sec")) {}
+};
+
+EstimatorMetrics& Metrics() {
+  static EstimatorMetrics* metrics = new EstimatorMetrics();
+  return *metrics;
+}
 
 /// One in-flight wave of tasks: `size` tasks that started together and have
 /// completed `frac` of their duration.
@@ -167,6 +194,14 @@ StateBasedEstimator::StateBasedEstimator(const ClusterSpec& cluster,
 
 Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
                                                   const TaskTimeSource& source) const {
+  const bool metrics_on = obs::MetricsEnabled();
+  const double wall_start = metrics_on ? obs::MonotonicUs() : 0.0;
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Default();
+  std::optional<obs::ScopedSpan> estimate_span;
+  if (tracer.enabled()) {
+    estimate_span.emplace(tracer, "estimate " + flow.name(), "estimator");
+  }
+
   const int n = flow.num_jobs();
   std::vector<JobEst> jobs(n);
   int unfinished = n;
@@ -194,6 +229,11 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
   while (unfinished > 0) {
     if (state_index > options_.max_states) {
       return Status::Internal(flow.name() + ": state limit exceeded");
+    }
+    std::optional<obs::ScopedSpan> state_span;
+    if (tracer.enabled()) {
+      state_span.emplace(tracer, "state " + std::to_string(state_index),
+                         "estimator");
     }
 
     // (1) The set of running stages in this state.
@@ -239,14 +279,23 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
       context.running.push_back(ps);
     }
     std::vector<NormalParams> dists(running.size());
+    std::vector<std::optional<TaskAttribution>> attributions(
+        options_.attribute_bottlenecks ? running.size() : 0);
     for (size_t i = 0; i < running.size(); ++i) {
       if (context_slot[i] == SIZE_MAX) continue;
       context.query = context_slot[i];
+      const double query_start = metrics_on ? obs::MonotonicUs() : 0.0;
       dists[i] = source.TaskTimeDist(context);
       if (!options_.skew_aware) {
         // Point estimate drives the wave model when skew-unaware.
         dists[i].mean = source.TaskTime(context).seconds();
         dists[i].stddev = 0.0;
+      }
+      if (metrics_on) {
+        Metrics().task_time_query_us.Record(obs::MonotonicUs() - query_start);
+      }
+      if (options_.attribute_bottlenecks) {
+        attributions[i] = source.Attribution(context);
       }
       if (options_.node_speed_cv > 0) {
         // A task's duration scales with 1/speed of its host. For log-normal
@@ -266,12 +315,17 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
       if (st.start_time < 0) st.start_time = now;
     }
 
-    // (4) Earliest stage completion.
+    // (4) Earliest stage completion. The arg-min stage ends the state and
+    // is therefore the state's critical-path segment.
     double dt = kInf;
+    int critical = -1;
     for (size_t i = 0; i < running.size(); ++i) {
       StageEst& st = stage_of(running[i].job, running[i].kind);
       const double rest = RestTime(st, delta[i], dists[i], options_);
-      dt = std::min(dt, rest);
+      if (rest < dt) {
+        dt = rest;
+        critical = static_cast<int>(i);
+      }
     }
     if (dt == kInf) {
       return Status::Internal(flow.name() + ": no stage can make progress");
@@ -283,15 +337,24 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
     state.index = state_index++;
     state.start = now;
     state.duration = dt;
+    state.critical = critical;
     for (size_t i = 0; i < running.size(); ++i) {
       RunningStageEstimate rse;
       rse.job = running[i].job;
       rse.kind = running[i].kind;
       rse.parallelism = delta[i];
       rse.task_time_s = dists[i].mean;
+      if (options_.attribute_bottlenecks && attributions[i].has_value()) {
+        rse.has_attribution = true;
+        rse.bottleneck = attributions[i]->bottleneck;
+        for (Resource r : kAllResources) {
+          rse.utilization[r] = attributions[i]->UtilizationShare(r);
+        }
+      }
       state.running.push_back(rse);
     }
     estimate.states.push_back(std::move(state));
+    Metrics().states.Add(1);
 
     // (5) Advance everyone and transition.
     now += dt;
@@ -321,6 +384,14 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
   }
 
   estimate.makespan = Duration(now);
+  Metrics().estimates.Add(1);
+  if (metrics_on) {
+    const double elapsed_s = (obs::MonotonicUs() - wall_start) * 1e-6;
+    if (elapsed_s > 0) {
+      Metrics().states_per_sec.Set(
+          static_cast<double>(estimate.states.size()) / elapsed_s);
+    }
+  }
   return estimate;
 }
 

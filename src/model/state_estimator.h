@@ -38,6 +38,13 @@ struct EstimatorOptions {
 
   /// Safety bound on state iterations.
   int max_states = 1000000;
+
+  /// Ask the TaskTimeSource for per-stage resource attribution (BOE
+  /// bottleneck arg-max + utilisation shares) and record it on every
+  /// RunningStageEstimate. Off by default: attribution re-prices each
+  /// running stage once per state, which would roughly double BOE cost on
+  /// the sweep hot path. Explain reports (model/explain.h) turn it on.
+  bool attribute_bottlenecks = false;
 };
 
 /// One running stage inside an estimated workflow state.
@@ -48,6 +55,15 @@ struct RunningStageEstimate {
   int parallelism = 0;
   /// Estimated per-task execution time under this state's contention.
   double task_time_s = 0.0;
+  /// Resource attribution, filled when EstimatorOptions::
+  /// attribute_bottlenecks is set and the source models resources (BOE).
+  bool has_attribution = false;
+  /// The BOE model's arg-max: the resource pacing the task's longest
+  /// sub-stage under this state's contention.
+  Resource bottleneck = Resource::kCpu;
+  /// Per-resource utilisation share of the task's work time, in [0, 1];
+  /// exactly 1.0 for a resource that paces every sub-stage.
+  ResourceVector utilization;
 };
 
 /// One estimated workflow state (paper Fig. 5 / Algorithm 1 iteration).
@@ -56,6 +72,11 @@ struct StateEstimate {
   double start = 0.0;
   double duration = 0.0;
   std::vector<RunningStageEstimate> running;
+  /// Index into `running` of the stage whose completion ends this state —
+  /// the stage Algorithm 1's arg-min advanced time to. Concatenating each
+  /// state's critical stage yields the critical path through the timeline
+  /// (segments sum exactly to the makespan; see model/explain.h).
+  int critical = -1;
 };
 
 /// Estimated wall-clock span of one job stage.

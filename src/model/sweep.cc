@@ -2,11 +2,42 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dagperf {
 
 namespace {
+
+/// Sweep-engine metrics (obs/metrics.h): cumulative candidate/failure
+/// counts, the last batch's cache behaviour, and the memo hit-rate gauge the
+/// CLI's --metrics-json surfaces next to `sweep --json` output.
+struct SweepMetrics {
+  obs::Counter& candidates;
+  obs::Counter& failures;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Gauge& cache_hit_rate;
+
+  SweepMetrics()
+      : candidates(
+            obs::MetricsRegistry::Default().GetCounter("sweep.candidates")),
+        failures(obs::MetricsRegistry::Default().GetCounter("sweep.failures")),
+        cache_hits(
+            obs::MetricsRegistry::Default().GetCounter("sweep.cache_hits")),
+        cache_misses(
+            obs::MetricsRegistry::Default().GetCounter("sweep.cache_misses")),
+        cache_hit_rate(
+            obs::MetricsRegistry::Default().GetGauge("sweep.cache_hit_rate")) {}
+};
+
+SweepMetrics& Metrics() {
+  static SweepMetrics* metrics = new SweepMetrics();
+  return *metrics;
+}
 
 Result<DagEstimate> EstimateOne(const EstimateRequest& request,
                                 const SchedulerConfig& scheduler,
@@ -51,6 +82,16 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
   }
 
   const auto evaluate = [&](size_t i) -> Result<DagEstimate> {
+    std::optional<obs::ScopedSpan> span;
+    if (obs::TraceRecorder::Default().enabled()) {
+      const std::string& label = requests[i].label;
+      span.emplace("candidate " +
+                       (label.empty()
+                            ? (requests[i].flow != nullptr ? requests[i].flow->name()
+                                                           : std::to_string(i))
+                            : label),
+                   "sweep");
+    }
     if (!options.memoize) {
       return EstimateOne(requests[i], scheduler, source, options.estimator);
     }
@@ -107,6 +148,13 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
       queries == 0 ? 0.0
                    : static_cast<double>(result.stats.cache_hits) /
                          static_cast<double>(queries);
+
+  SweepMetrics& metrics = Metrics();
+  metrics.candidates.Add(static_cast<std::uint64_t>(result.stats.candidates));
+  metrics.failures.Add(static_cast<std::uint64_t>(result.stats.failures));
+  metrics.cache_hits.Add(result.stats.cache_hits);
+  metrics.cache_misses.Add(result.stats.cache_misses);
+  metrics.cache_hit_rate.Set(result.stats.cache_hit_rate);
   return result;
 }
 

@@ -3,9 +3,32 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/metrics.h"
+
 namespace dagperf {
 
 namespace {
+
+/// Registry mirrors of the memo's internal stats, so `dagperf
+/// --metrics-json` and the sweep thread pool's dashboards see cache
+/// behaviour without plumbing a memo pointer around. Aggregated across all
+/// memo instances in the process.
+struct MemoMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& insert_races;
+
+  MemoMetrics()
+      : hits(obs::MetricsRegistry::Default().GetCounter("memo.hits")),
+        misses(obs::MetricsRegistry::Default().GetCounter("memo.misses")),
+        insert_races(
+            obs::MetricsRegistry::Default().GetCounter("memo.insert_races")) {}
+};
+
+MemoMetrics& Metrics() {
+  static MemoMetrics* metrics = new MemoMetrics();
+  return *metrics;
+}
 
 /// Appends the raw bit pattern of a double — exact, no formatting loss.
 void AppendBits(std::string& out, double value) {
@@ -48,6 +71,7 @@ TaskTimeMemo::Stats TaskTimeMemo::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.insert_races = insert_races_.load(std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> lock(mutex_);
   s.entries = entries_.size();
   return s;
@@ -58,6 +82,7 @@ void TaskTimeMemo::Clear() {
   entries_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  insert_races_.store(0, std::memory_order_relaxed);
 }
 
 MemoizedTaskTimeSource::MemoizedTaskTimeSource(const TaskTimeSource& base,
@@ -71,16 +96,22 @@ Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) cons
     auto it = memo_->entries_.find(key);
     if (it != memo_->entries_.end() && it->second.has_time) {
       memo_->hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().hits.Add(1);
       return it->second.time;
     }
   }
   memo_->misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().misses.Add(1);
   const Duration time = base_.TaskTime(context);
   {
     std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
     TaskTimeMemo::Entry& entry = memo_->entries_[key];
     // A racing thread may have stored first; the source is deterministic, so
     // both computed the same bits and either store is correct.
+    if (entry.has_time) {
+      memo_->insert_races_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().insert_races.Add(1);
+    }
     entry.time = time;
     entry.has_time = true;
   }
@@ -95,18 +126,29 @@ NormalParams MemoizedTaskTimeSource::TaskTimeDist(
     auto it = memo_->entries_.find(key);
     if (it != memo_->entries_.end() && it->second.has_dist) {
       memo_->hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().hits.Add(1);
       return it->second.dist;
     }
   }
   memo_->misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().misses.Add(1);
   const NormalParams dist = base_.TaskTimeDist(context);
   {
     std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
     TaskTimeMemo::Entry& entry = memo_->entries_[key];
+    if (entry.has_dist) {
+      memo_->insert_races_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().insert_races.Add(1);
+    }
     entry.dist = dist;
     entry.has_dist = true;
   }
   return dist;
+}
+
+std::optional<TaskAttribution> MemoizedTaskTimeSource::Attribution(
+    const EstimationContext& context) const {
+  return base_.Attribution(context);
 }
 
 }  // namespace dagperf

@@ -33,6 +33,10 @@ class TaskTimeMemo {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Misses whose insert found the value already stored: two threads
+    /// computed the same key concurrently (harmless — the source is
+    /// deterministic — but duplicated work worth watching under load).
+    std::uint64_t insert_races = 0;
     std::size_t entries = 0;
 
     double hit_rate() const {
@@ -63,6 +67,7 @@ class TaskTimeMemo {
   std::unordered_map<std::string, Entry> entries_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> insert_races_{0};
 };
 
 /// A TaskTimeSource decorator answering repeated queries from a TaskTimeMemo
@@ -80,6 +85,12 @@ class MemoizedTaskTimeSource : public TaskTimeSource {
 
   Duration TaskTime(const EstimationContext& context) const override;
   NormalParams TaskTimeDist(const EstimationContext& context) const override;
+
+  /// Attribution passes through uncached: it is queried only by explain
+  /// reports (one-off, off the sweep hot path), and caching it would double
+  /// every memo entry for data the sweeps never read.
+  std::optional<TaskAttribution> Attribution(
+      const EstimationContext& context) const override;
 
  private:
   const TaskTimeSource& base_;

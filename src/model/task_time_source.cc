@@ -25,6 +25,23 @@ Duration BoeTaskTimeSource::TaskTime(const EstimationContext& context) const {
   return estimates[context.query].duration + fixed_overhead_;
 }
 
+std::optional<TaskAttribution> BoeTaskTimeSource::Attribution(
+    const EstimationContext& context) const {
+  DAGPERF_CHECK(context.query < context.running.size());
+  const std::vector<TaskEstimate> estimates = model_.EstimateParallel(context.running);
+  const TaskEstimate& task = estimates[context.query];
+  TaskAttribution attribution;
+  attribution.bottleneck = task.bottleneck;
+  attribution.work_time = task.duration;
+  for (const SubStageEstimate& substage : task.substages) {
+    for (const OpEstimate& op : substage.ops) {
+      if (op.time.is_infinite()) continue;
+      attribution.busy[op.resource] += op.time.seconds();
+    }
+  }
+  return attribution;
+}
+
 ProfileTaskTimeSource::ProfileTaskTimeSource(ProfileStatistic statistic)
     : statistic_(statistic) {}
 

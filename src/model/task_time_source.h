@@ -1,6 +1,7 @@
 #ifndef DAGPERF_MODEL_TASK_TIME_SOURCE_H_
 #define DAGPERF_MODEL_TASK_TIME_SOURCE_H_
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <string>
@@ -29,6 +30,27 @@ struct EstimationContext {
   size_t query = 0;
 };
 
+/// Resource attribution of one task in a context — the data behind the
+/// bottleneck-explain reports (model/explain.h). `busy` holds, per
+/// resource, the seconds the resource is active while the task runs (the
+/// time pushing the task's demand through its allocated share); dividing by
+/// `work_time` gives the utilisation share, exactly 1.0 for the resource
+/// that paces every sub-stage.
+struct TaskAttribution {
+  /// The arg-max of the BOE model: bottleneck of the task's longest
+  /// sub-stage (paper §III's "the" bottleneck of the stage).
+  Resource bottleneck = Resource::kCpu;
+  ResourceVector busy;
+  /// Modeled task work time (excludes any fixed container overhead).
+  Duration work_time;
+
+  /// Fraction of the task's work time resource `r` is active, in [0, 1].
+  double UtilizationShare(Resource r) const {
+    const double t = work_time.seconds();
+    return t > 0 ? std::min(1.0, busy[r] / t) : 0.0;
+  }
+};
+
 /// Supplies per-task execution-time estimates to the state-based workflow
 /// estimator. Two families exist, matching the paper's methodology:
 ///
@@ -55,6 +77,17 @@ class TaskTimeSource {
   /// Distribution estimate for skew-aware (Alg2) wave makespans. The default
   /// derives the spread from the stage's task-size CV around TaskTime().
   virtual NormalParams TaskTimeDist(const EstimationContext& context) const;
+
+  /// Resource attribution of the queried task: which resource bottlenecks
+  /// it and how busy each resource is. nullopt when the source has no
+  /// resource-level model (profiled durations carry no attribution).
+  /// Queried by the estimator only when EstimatorOptions::
+  /// attribute_bottlenecks is set — off the sweep hot path.
+  virtual std::optional<TaskAttribution> Attribution(
+      const EstimationContext& context) const {
+    (void)context;
+    return std::nullopt;
+  }
 };
 
 /// Task times computed by the BOE model from stage profiles and the current
@@ -67,6 +100,12 @@ class BoeTaskTimeSource : public TaskTimeSource {
                              Duration fixed_overhead = Duration(0));
 
   Duration TaskTime(const EstimationContext& context) const override;
+
+  /// Full BOE attribution: bottleneck = the model's arg-max for the queried
+  /// stage; busy seconds = per-resource operation times summed across the
+  /// task's sub-stages.
+  std::optional<TaskAttribution> Attribution(
+      const EstimationContext& context) const override;
 
  private:
   const BoeModel& model_;

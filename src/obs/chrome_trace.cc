@@ -1,0 +1,98 @@
+#include "obs/chrome_trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dagperf {
+namespace obs {
+
+namespace {
+
+std::string Escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteNumber(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << 0;
+    return;
+  }
+  out << value;
+}
+
+}  // namespace
+
+void WriteChromeTraceEvents(
+    const std::vector<ChromeTraceEvent>& events, std::ostream& out,
+    const std::vector<std::pair<std::int64_t, std::string>>& process_names) {
+  out << "[\n";
+  bool first = true;
+  for (const auto& [pid, label] : process_names) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+        << ", \"tid\": 0, \"args\": {\"name\": \"" << Escaped(label) << "\"}}";
+  }
+  for (const ChromeTraceEvent& e : events) {
+    if (!first) out << ",\n";
+    first = false;
+    // Field order matters to downstream consumers that scan rather than
+    // parse (tests grep "ts" -> "dur" -> "pid" -> "tid" in sequence).
+    out << "  {\"name\": \"" << Escaped(e.name) << "\", \"cat\": \""
+        << Escaped(e.cat.empty() ? std::string("default") : e.cat)
+        << "\", \"ph\": \"" << e.ph << "\", \"ts\": ";
+    WriteNumber(out, e.ts_us);
+    if (e.ph == 'X') {
+      out << ", \"dur\": ";
+      WriteNumber(out, e.dur_us);
+    }
+    out << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+    if (!e.num_args.empty() || !e.str_args.empty()) {
+      out << ", \"args\": {";
+      bool first_arg = true;
+      for (const auto& [key, value] : e.num_args) {
+        if (!first_arg) out << ", ";
+        first_arg = false;
+        out << "\"" << Escaped(key) << "\": ";
+        WriteNumber(out, value);
+      }
+      for (const auto& [key, value] : e.str_args) {
+        if (!first_arg) out << ", ";
+        first_arg = false;
+        out << "\"" << Escaped(key) << "\": \"" << Escaped(value) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace obs
+}  // namespace dagperf

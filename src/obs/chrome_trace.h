@@ -1,0 +1,48 @@
+#ifndef DAGPERF_OBS_CHROME_TRACE_H_
+#define DAGPERF_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dagperf {
+namespace obs {
+
+/// One Chrome trace-event ("traceEvents" array element). The library uses
+/// two phases:
+///  * 'X' — a complete span [ts_us, ts_us + dur_us) on lane (pid, tid);
+///  * 'C' — a counter sample: each num_arg becomes one series of the
+///    counter track `name` (dur_us ignored).
+/// Perfetto and chrome://tracing group lanes by pid and stack tid lanes
+/// inside each process, so writers map "one lane per X" onto tid.
+struct ChromeTraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  /// Extra payload shown in the viewer's args pane ('X') or plotted as
+  /// counter series ('C').
+  std::vector<std::pair<std::string, double>> num_args;
+  std::vector<std::pair<std::string, std::string>> str_args;
+};
+
+/// Writes `events` as a Chrome trace-event JSON array. The one trace
+/// emitter in the library: the simulator's task timelines
+/// (sim/trace_writer.h), the estimator's state timelines (model/explain.h)
+/// and the obs span recorder (obs/trace.h) all render through it, so every
+/// export opens in Perfetto the same way. Also names optional process
+/// labels: a metadata event is emitted for every entry of `process_names`
+/// (pid -> label).
+void WriteChromeTraceEvents(
+    const std::vector<ChromeTraceEvent>& events, std::ostream& out,
+    const std::vector<std::pair<std::int64_t, std::string>>& process_names = {});
+
+}  // namespace obs
+}  // namespace dagperf
+
+#endif  // DAGPERF_OBS_CHROME_TRACE_H_

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dagperf {
+namespace obs {
+
+std::int64_t CurrentThreadLane() {
+  static std::atomic<std::int64_t> next{0};
+  thread_local const std::int64_t lane = next.fetch_add(1);
+  return lane;
+}
+
+TraceRecorder& TraceRecorder::Default() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Add(ChromeTraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::AddCounter(const std::string& name, double ts_us,
+                               std::vector<std::pair<std::string, double>> series,
+                               std::int64_t pid) {
+  if (!enabled()) return;
+  ChromeTraceEvent event;
+  event.name = name;
+  event.cat = "counter";
+  event.ph = 'C';
+  event.ts_us = ts_us;
+  event.pid = pid;
+  event.num_args = std::move(series);
+  Add(std::move(event));
+}
+
+std::vector<ChromeTraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void TraceRecorder::Write(std::ostream& out) const {
+  WriteChromeTraceEvents(Events(), out);
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder& recorder, std::string name,
+                       std::string cat, std::int64_t pid) {
+  if (!recorder.enabled()) return;
+  recorder_ = &recorder;
+  event_.name = std::move(name);
+  event_.cat = std::move(cat);
+  event_.pid = pid;
+  event_.tid = CurrentThreadLane();
+  event_.ts_us = MonotonicUs();
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string cat, std::int64_t pid)
+    : ScopedSpan(TraceRecorder::Default(), std::move(name), std::move(cat),
+                 pid) {}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) return;
+  event_.dur_us = MonotonicUs() - event_.ts_us;
+  recorder_->Add(std::move(event_));
+}
+
+void ScopedSpan::AddArg(const std::string& key, double value) {
+  if (recorder_ == nullptr) return;
+  event_.num_args.emplace_back(key, value);
+}
+
+void ScopedSpan::AddArg(const std::string& key, std::string value) {
+  if (recorder_ == nullptr) return;
+  event_.str_args.emplace_back(key, std::move(value));
+}
+
+}  // namespace obs
+}  // namespace dagperf

@@ -1,0 +1,89 @@
+#ifndef DAGPERF_OBS_TRACE_H_
+#define DAGPERF_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+
+namespace dagperf {
+namespace obs {
+
+/// Stable small integer identifying the calling thread, assigned in first-
+/// use order. Used as the "tid" lane of recorded spans so a trace shows one
+/// lane per worker thread.
+std::int64_t CurrentThreadLane();
+
+/// Collects trace events for export as Chrome-trace/Perfetto JSON.
+///
+/// Off by default; while disabled, Add() is a relaxed-load-and-return and
+/// ScopedSpan construction takes no timestamps. Recording appends to one
+/// mutex-guarded vector — spans in this library are coarse (an estimate, a
+/// workflow state, a sweep candidate, a pool task), so the lock is not a
+/// hot-path concern; metrics cover the fine-grained signals.
+///
+/// Timebase: microseconds on the shared monotonic clock (MonotonicUs), so
+/// spans from every subsystem align in one timeline.
+class TraceRecorder {
+ public:
+  /// Process-wide recorder used by library instrumentation (leaked
+  /// singleton, same lifetime policy as MetricsRegistry::Default).
+  static TraceRecorder& Default();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one event; no-op while disabled.
+  void Add(ChromeTraceEvent event);
+
+  /// Appends a counter sample ('C') on track `name` at `ts_us`.
+  void AddCounter(const std::string& name, double ts_us,
+                  std::vector<std::pair<std::string, double>> series,
+                  std::int64_t pid = 0);
+
+  std::vector<ChromeTraceEvent> Events() const;
+  std::size_t size() const;
+  void Clear();
+
+  /// Writes the recorded events as a Chrome trace-event JSON array.
+  void Write(std::ostream& out) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<ChromeTraceEvent> events_;
+};
+
+/// RAII span: records a complete ('X') event covering its lifetime on the
+/// calling thread's lane. If the recorder is disabled at construction the
+/// span is inert (no clock reads, no allocation beyond the moved strings).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder& recorder, std::string name, std::string cat,
+             std::int64_t pid = 0);
+  /// Convenience on the default recorder.
+  ScopedSpan(std::string name, std::string cat, std::int64_t pid = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  void AddArg(const std::string& key, double value);
+  void AddArg(const std::string& key, std::string value);
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  // Null when inert.
+  ChromeTraceEvent event_;
+};
+
+}  // namespace obs
+}  // namespace dagperf
+
+#endif  // DAGPERF_OBS_TRACE_H_

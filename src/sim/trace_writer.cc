@@ -100,8 +100,8 @@ void WriteTaskCsv(const DagWorkflow& flow, const SimResult& result,
   }
 }
 
-void WriteChromeTrace(const DagWorkflow& flow, const SimResult& result,
-                      std::ostream& out) {
+void AppendSimTraceEvents(const DagWorkflow& flow, const SimResult& result,
+                          std::vector<obs::ChromeTraceEvent>& events) {
   // Assign each task a lane ("tid") within its node ("pid") by packing
   // overlapping tasks into the lowest free lane — tasks in one lane never
   // overlap, which is what the trace viewer expects.
@@ -117,8 +117,6 @@ void WriteChromeTrace(const DagWorkflow& flow, const SimResult& result,
               return a->start < b->start;
             });
 
-  out << "[\n";
-  bool first = true;
   for (const TaskRecord* t : tasks) {
     auto& lanes = lanes_per_node[t->node];
     size_t lane = 0;
@@ -128,22 +126,36 @@ void WriteChromeTrace(const DagWorkflow& flow, const SimResult& result,
     if (lane == lanes.size()) lanes.push_back(Lane{});
     lanes[lane].busy_until = t->end;
 
-    if (!first) out << ",\n";
-    first = false;
+    obs::ChromeTraceEvent event;
+    event.name = StageName(flow, t->job, t->stage) + " #" + std::to_string(t->index);
+    event.cat = "task";
+    event.ph = 'X';
     // Times in microseconds per the trace-event spec.
-    out << "  {\"name\": \"" << JsonEscape(StageName(flow, t->job, t->stage)) << " #"
-        << t->index << "\", \"cat\": \"task\", \"ph\": \"X\", \"ts\": "
-        << t->start * 1e6 << ", \"dur\": " << (t->end - t->start) * 1e6
-        << ", \"pid\": " << t->node << ", \"tid\": " << lane << "}";
+    event.ts_us = t->start * 1e6;
+    event.dur_us = (t->end - t->start) * 1e6;
+    event.pid = t->node;
+    event.tid = static_cast<int>(lane);
+    events.push_back(std::move(event));
   }
   // State markers on a dedicated track.
   for (const auto& st : result.states()) {
-    out << ",\n  {\"name\": \"state " << st.index
-        << "\", \"cat\": \"state\", \"ph\": \"X\", \"ts\": " << st.start * 1e6
-        << ", \"dur\": " << st.duration() * 1e6
-        << ", \"pid\": 10000, \"tid\": 0}";
+    obs::ChromeTraceEvent event;
+    event.name = "state " + std::to_string(st.index);
+    event.cat = "state";
+    event.ph = 'X';
+    event.ts_us = st.start * 1e6;
+    event.dur_us = st.duration() * 1e6;
+    event.pid = 10000;
+    event.tid = 0;
+    events.push_back(std::move(event));
   }
-  out << "\n]\n";
+}
+
+void WriteChromeTrace(const DagWorkflow& flow, const SimResult& result,
+                      std::ostream& out) {
+  std::vector<obs::ChromeTraceEvent> events;
+  AppendSimTraceEvents(flow, result, events);
+  obs::WriteChromeTraceEvents(events, out);
 }
 
 }  // namespace dagperf

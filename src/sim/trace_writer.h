@@ -2,8 +2,10 @@
 #define DAGPERF_SIM_TRACE_WRITER_H_
 
 #include <ostream>
+#include <vector>
 
 #include "dag/dag_workflow.h"
+#include "obs/chrome_trace.h"
 #include "sim/sim_result.h"
 
 namespace dagperf {
@@ -26,7 +28,17 @@ void WriteJson(const DagWorkflow& flow, const SimResult& result, std::ostream& o
 void WriteTaskCsv(const DagWorkflow& flow, const SimResult& result,
                   std::ostream& out);
 
-/// Writes a Chrome trace-event JSON array ("traceEvents" format).
+/// Appends the simulated execution as Chrome-trace events: one span per
+/// task, packed into per-node lanes (pid = node, tid = lowest lane whose
+/// previous task has finished — tasks in one lane never overlap), plus state
+/// markers on a dedicated pid-10000 track. Compose with other producers
+/// (e.g. model/explain.h's estimate timeline) before serialising via
+/// obs::WriteChromeTraceEvents.
+void AppendSimTraceEvents(const DagWorkflow& flow, const SimResult& result,
+                          std::vector<obs::ChromeTraceEvent>& events);
+
+/// Writes a Chrome trace-event JSON array ("traceEvents" format). Thin
+/// wrapper over AppendSimTraceEvents + obs::WriteChromeTraceEvents.
 void WriteChromeTrace(const DagWorkflow& flow, const SimResult& result,
                       std::ostream& out);
 

@@ -1,0 +1,220 @@
+#include "model/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "boe/boe_model.h"
+#include "common/json.h"
+#include "workloads/micro.h"
+
+namespace dagperf {
+namespace {
+
+ClusterSpec TestCluster(int nodes = 8) {
+  ClusterSpec c = ClusterSpec::PaperCluster();
+  c.num_nodes = nodes;
+  return c;
+}
+
+/// The WordCount fixture from the paper's HiBench suite, small enough to
+/// keep the test fast but with distinct map and reduce contention regimes.
+DagWorkflow WordCountFlow() {
+  DagBuilder b("wordcount");
+  b.AddJob(WordCountSpec(Bytes::FromGB(20)));
+  return std::move(b).Build().value();
+}
+
+/// WordCount feeding TeraSort: exercises multi-job states and critical-path
+/// hand-off between jobs.
+DagWorkflow ChainedFlow() {
+  DagBuilder b("wc-ts");
+  const JobId wc = b.AddJob(WordCountSpec(Bytes::FromGB(20)));
+  b.AddJobAfter(wc, TsSpec(Bytes::FromGB(10)));
+  return std::move(b).Build().value();
+}
+
+ExplainReport MustExplain(const DagWorkflow& flow, const ClusterSpec& cluster,
+                          const BoeTaskTimeSource& source) {
+  Result<ExplainReport> report =
+      Explain(flow, cluster, SchedulerConfig{}, source);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(report).value();
+}
+
+// Golden property: the bottleneck the explain report names for every running
+// stage must be exactly the BoeModel's arg-max, recomputed independently
+// from the state's recorded contention context.
+TEST(ExplainTest, BottleneckMatchesBoeArgMaxPerState) {
+  const DagWorkflow flow = WordCountFlow();
+  const ClusterSpec cluster = TestCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const ExplainReport report = MustExplain(flow, cluster, source);
+
+  ASSERT_FALSE(report.estimate.states.empty());
+  int attributed = 0;
+  for (const StateEstimate& state : report.estimate.states) {
+    // Rebuild the estimator's EstimationContext: stages granted parallelism,
+    // at delta / num_nodes tasks per node.
+    std::vector<ParallelStage> running;
+    std::vector<size_t> slot_of(state.running.size(), SIZE_MAX);
+    for (size_t i = 0; i < state.running.size(); ++i) {
+      const RunningStageEstimate& rs = state.running[i];
+      if (rs.parallelism <= 0) continue;
+      const JobProfile& job = flow.job(rs.job);
+      ParallelStage ps;
+      ps.stage = rs.kind == StageKind::kMap ? &job.map : &*job.reduce;
+      ps.tasks_per_node =
+          static_cast<double>(rs.parallelism) / cluster.num_nodes;
+      slot_of[i] = running.size();
+      running.push_back(ps);
+    }
+    const std::vector<TaskEstimate> golden = boe.EstimateParallel(running);
+    for (size_t i = 0; i < state.running.size(); ++i) {
+      const RunningStageEstimate& rs = state.running[i];
+      if (slot_of[i] == SIZE_MAX) continue;
+      ASSERT_TRUE(rs.has_attribution);
+      EXPECT_EQ(rs.bottleneck, golden[slot_of[i]].bottleneck)
+          << "state " << state.index << " stage " << i;
+      // The bottleneck resource paces some sub-stage fully.
+      EXPECT_GT(rs.utilization[rs.bottleneck], 0.0);
+      for (Resource r : kAllResources) {
+        EXPECT_GE(rs.utilization[r], 0.0);
+        EXPECT_LE(rs.utilization[r], 1.0);
+      }
+      ++attributed;
+    }
+  }
+  EXPECT_GT(attributed, 0);
+}
+
+TEST(ExplainTest, CriticalPathSegmentsAreContiguousAndSumToMakespan) {
+  const ClusterSpec cluster = TestCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  for (const DagWorkflow& flow : {WordCountFlow(), ChainedFlow()}) {
+    const ExplainReport report = MustExplain(flow, cluster, source);
+    ASSERT_FALSE(report.critical_path.empty()) << flow.name();
+
+    double sum = 0.0;
+    double cursor = 0.0;
+    for (const CriticalSegment& segment : report.critical_path) {
+      EXPECT_NEAR(segment.start, cursor, 1e-9) << flow.name();
+      EXPECT_GT(segment.duration, 0.0);
+      cursor = segment.start + segment.duration;
+      sum += segment.duration;
+    }
+    EXPECT_NEAR(sum, report.estimate.makespan.seconds(), 1e-9) << flow.name();
+    EXPECT_NEAR(report.critical_total_s, sum, 1e-9) << flow.name();
+    // Adjacent segments belong to different stages (maximal merging).
+    for (size_t i = 1; i < report.critical_path.size(); ++i) {
+      const CriticalSegment& a = report.critical_path[i - 1];
+      const CriticalSegment& b = report.critical_path[i];
+      EXPECT_TRUE(a.job != b.job || a.kind != b.kind) << flow.name();
+    }
+  }
+}
+
+TEST(ExplainTest, EveryStateNamesItsCriticalStage) {
+  const DagWorkflow flow = ChainedFlow();
+  const ClusterSpec cluster = TestCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const ExplainReport report = MustExplain(flow, cluster, source);
+  for (const StateEstimate& state : report.estimate.states) {
+    ASSERT_GE(state.critical, 0);
+    ASSERT_LT(state.critical, static_cast<int>(state.running.size()));
+  }
+}
+
+TEST(ExplainTest, DefaultEstimateSkipsAttribution) {
+  const DagWorkflow flow = WordCountFlow();
+  const ClusterSpec cluster = TestCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  const DagEstimate estimate = estimator.Estimate(flow, source).value();
+  for (const StateEstimate& state : estimate.states) {
+    for (const RunningStageEstimate& rs : state.running) {
+      EXPECT_FALSE(rs.has_attribution);
+    }
+    // The critical index is tracked regardless of attribution.
+    EXPECT_GE(state.critical, 0);
+  }
+}
+
+TEST(ExplainTest, AttributionDoesNotChangeTheEstimate) {
+  const DagWorkflow flow = ChainedFlow();
+  const ClusterSpec cluster = TestCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator plain(cluster, SchedulerConfig{});
+  const DagEstimate baseline = plain.Estimate(flow, source).value();
+  const ExplainReport report = MustExplain(flow, cluster, source);
+  EXPECT_EQ(report.estimate.makespan.seconds(), baseline.makespan.seconds());
+  EXPECT_EQ(report.estimate.states.size(), baseline.states.size());
+}
+
+TEST(ExplainTest, JsonReportParsesWithRequiredKeys) {
+  const DagWorkflow flow = WordCountFlow();
+  const ClusterSpec cluster = TestCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const ExplainReport report = MustExplain(flow, cluster, source);
+
+  const Json doc = ExplainToJson(flow, report);
+  const Result<Json> parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetString("workflow", ""), "wordcount");
+  EXPECT_NEAR(parsed->GetNumber("makespan_s", -1),
+              report.estimate.makespan.seconds(), 1e-9);
+  EXPECT_NEAR(parsed->GetNumber("critical_total_s", -1),
+              report.estimate.makespan.seconds(), 1e-9);
+  const Json* path = parsed->Get("critical_path");
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->AsArray().size(), report.critical_path.size());
+  const Json* states = parsed->Get("states");
+  ASSERT_NE(states, nullptr);
+  ASSERT_EQ(states->AsArray().size(), report.estimate.states.size());
+  const Json* running = states->AsArray()[0].Get("running");
+  ASSERT_NE(running, nullptr);
+  ASSERT_FALSE(running->AsArray().empty());
+  EXPECT_NE(running->AsArray()[0].GetString("bottleneck", ""), "");
+  ASSERT_NE(running->AsArray()[0].Get("utilization"), nullptr);
+
+  // The text rendering carries the same headline number.
+  const std::string text = ExplainToText(flow, report);
+  EXPECT_NE(text.find("wordcount"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+}
+
+TEST(ExplainTest, EstimateChromeTraceIsValidJson) {
+  const DagWorkflow flow = ChainedFlow();
+  const ClusterSpec cluster = TestCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const ExplainReport report = MustExplain(flow, cluster, source);
+
+  std::ostringstream out;
+  WriteEstimateChromeTrace(flow, report.estimate, out);
+  const Result<Json> doc = Json::Parse(out.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  size_t spans = 0;
+  size_t counters = 0;
+  for (const Json& event : doc->AsArray()) {
+    const std::string ph = event.GetString("ph", "");
+    if (ph == "X") ++spans;
+    if (ph == "C") ++counters;
+  }
+  // One span per stage plus one per state; attribution is on, so the
+  // resource-load counter track is present too.
+  EXPECT_EQ(spans,
+            report.estimate.stages.size() + report.estimate.states.size());
+  EXPECT_EQ(counters, report.estimate.states.size() + 1);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/chrome_trace.h"
+
+namespace dagperf {
+namespace {
+
+TEST(ObsTraceTest, DisabledRecorderRecordsNothing) {
+  obs::TraceRecorder recorder;
+  {
+    obs::ScopedSpan span(recorder, "work", "test");
+    EXPECT_FALSE(span.active());
+    span.AddArg("ignored", 1.0);
+  }
+  recorder.Add(obs::ChromeTraceEvent{});
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(ObsTraceTest, ScopedSpanRecordsACompleteEvent) {
+  obs::TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  {
+    obs::ScopedSpan span(recorder, "work", "test");
+    EXPECT_TRUE(span.active());
+    span.AddArg("items", 3.0);
+    span.AddArg("mode", "golden");
+  }
+  const std::vector<obs::ChromeTraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].ph, 'X');
+  EXPECT_GE(events[0].dur_us, 0.0);
+  ASSERT_EQ(events[0].num_args.size(), 1u);
+  EXPECT_EQ(events[0].num_args[0].first, "items");
+  ASSERT_EQ(events[0].str_args.size(), 1u);
+  EXPECT_EQ(events[0].str_args[0].second, "golden");
+}
+
+TEST(ObsTraceTest, NestedSpansCloseInReverseOrderOnOneLane) {
+  obs::TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  {
+    obs::ScopedSpan outer(recorder, "outer", "test");
+    obs::ScopedSpan inner(recorder, "inner", "test");
+  }
+  const std::vector<obs::ChromeTraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destructors record innermost first; both spans share the thread's lane.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+}
+
+TEST(ObsTraceTest, WrittenTraceIsValidJsonWithOrderedFields) {
+  obs::TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  { obs::ScopedSpan span(recorder, "a \"quoted\" name", "test"); }
+  recorder.AddCounter("load", 12.5, {{"cpu", 3.0}, {"network", 0.5}});
+  std::ostringstream out;
+  recorder.Write(out);
+  const std::string text = out.str();
+
+  const Result<Json> doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->AsArray().size(), 2u);
+  EXPECT_EQ(doc->AsArray()[0].GetString("ph", ""), "X");
+  EXPECT_EQ(doc->AsArray()[1].GetString("ph", ""), "C");
+  const Json* args = doc->AsArray()[1].Get("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->GetNumber("cpu", -1), 3.0);
+
+  // Downstream consumers scan fields in order: ts before dur before pid
+  // before tid (trace_writer_test's crude parser depends on this).
+  const size_t ts = text.find("\"ts\": ");
+  const size_t dur = text.find("\"dur\": ");
+  const size_t pid = text.find("\"pid\": ", ts);
+  const size_t tid = text.find("\"tid\": ", ts);
+  ASSERT_NE(ts, std::string::npos);
+  ASSERT_NE(dur, std::string::npos);
+  EXPECT_LT(ts, dur);
+  EXPECT_LT(dur, pid);
+  EXPECT_LT(pid, tid);
+}
+
+TEST(ObsTraceTest, ProcessNamesEmitMetadataEvents) {
+  std::vector<obs::ChromeTraceEvent> events;
+  obs::ChromeTraceEvent event;
+  event.name = "span";
+  event.ph = 'X';
+  event.pid = 7;
+  events.push_back(event);
+  std::ostringstream out;
+  obs::WriteChromeTraceEvents(events, out, {{7, "estimate"}});
+  const Result<Json> doc = Json::Parse(out.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->AsArray().size(), 2u);
+  EXPECT_EQ(doc->AsArray()[0].GetString("ph", ""), "M");
+  EXPECT_EQ(doc->AsArray()[0].GetString("name", ""), "process_name");
+}
+
+TEST(ObsTraceTest, ClearEmptiesTheRecorder) {
+  obs::TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  { obs::ScopedSpan span(recorder, "work", "test"); }
+  EXPECT_EQ(recorder.size(), 1u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -9,6 +9,8 @@
 //                    [--seed K] [--json FILE] [--csv FILE] [--chrome FILE]
 //   dagperf estimate --flow NAME|--spec FILE.json [--scale S] [--nodes N]
 //                    [--variant boe|mean|median|normal]
+//   dagperf explain  --flow NAME|--spec FILE.json [--scale S] [--nodes N]
+//                    [--json FILE]
 //   dagperf compare  --flow NAME|--spec FILE.json [--scale S] [--nodes N]
 //   dagperf sweep    --job WC|TS|TSC|TS2R|TS3R [--input-gb G] [--baseline R]
 //   dagperf sweep    --job J --reducers 8,16,32 [--threads N] [--json FILE]
@@ -19,6 +21,11 @@
 // Workflow NAMEs are the Table III suite names (TS-Q1..TS-Q22, WC-Q1..,
 // WC-TS, WC-KM, ...) plus "web-analytics"; --spec loads a JSON workflow
 // file (author one by editing `dagperf export` output).
+//
+// Observability (any command): --metrics-json FILE dumps the metrics
+// registry after the run; --trace-out FILE enables span tracing and writes
+// the recorded Chrome-trace timeline (open in Perfetto). `explain` and
+// `estimate` additionally append the *modeled* state timeline to the trace.
 
 #include <cstdio>
 #include <cstring>
@@ -34,9 +41,12 @@
 #include "common/table.h"
 #include "dag/spec_io.h"
 #include "exp/single_job.h"
+#include "model/explain.h"
 #include "model/state_estimator.h"
 #include "model/sweep.h"
 #include "model/task_time_source.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/trace_writer.h"
 #include "tuner/tuner.h"
@@ -67,12 +77,14 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dagperf <list|export|simulate|estimate|compare|sweep|tune> "
+               "usage: dagperf <list|export|simulate|estimate|explain|compare|"
+               "sweep|tune> "
                "[--flow NAME | --spec FILE.json] [--job WC|TS|TSC|TS2R|TS3R] "
                "[--scale S] [--nodes N] [--seed K] [--input-gb G] [--baseline R] "
                "[--reducers 8,16,32] [--nodes-list 2,4,8] [--threads N] "
                "[--deadline-s D] [--variant boe|mean|median|normal] [--out F] "
-               "[--json F] [--csv F] [--chrome F]\n");
+               "[--json F] [--csv F] [--chrome F] "
+               "[--metrics-json F] [--trace-out F]\n");
   return 2;
 }
 
@@ -252,6 +264,48 @@ int CmdEstimate(const Args& args) {
                   TextTable::Cell(st.duration, 1), running});
   }
   std::printf("%s", table.ToString().c_str());
+  if (obs::TraceRecorder::Default().enabled()) {
+    std::vector<obs::ChromeTraceEvent> events;
+    AppendEstimateTraceEvents(*flow, *estimate, events);
+    for (auto& event : events) obs::TraceRecorder::Default().Add(std::move(event));
+  }
+  return 0;
+}
+
+/// Bottleneck-attribution report: estimates with the BOE source and prints
+/// the critical path plus per-state bottleneck resources (model/explain.h).
+int CmdExplain(const Args& args) {
+  Result<DagWorkflow> flow = LoadFlow(args);
+  if (!flow.ok()) {
+    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSpec cluster = LoadCluster(args);
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  Result<ExplainReport> report =
+      Explain(*flow, cluster, SchedulerConfig{}, source);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", ExplainToText(*flow, *report).c_str());
+
+  const std::string json_path = args.Get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << ExplainToJson(*flow, *report).Dump() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (obs::TraceRecorder::Default().enabled()) {
+    std::vector<obs::ChromeTraceEvent> events;
+    AppendEstimateTraceEvents(*flow, report->estimate, events);
+    for (auto& event : events) obs::TraceRecorder::Default().Add(std::move(event));
+  }
   return 0;
 }
 
@@ -348,6 +402,14 @@ int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
     doc.Set("best_" + knob_name,
             Json::MakeNumber(knobs[static_cast<size_t>(sweep.stats.best_index)]));
     doc.Set("best_predicted_s", Json::MakeNumber(sweep.stats.best_makespan.seconds()));
+    // Same batch statistics bench_sweep_throughput records in
+    // BENCH_sweep.json, so the CLI and the benchmark agree field-for-field.
+    doc.Set("num_candidates", Json::MakeNumber(sweep.stats.candidates));
+    doc.Set("failures", Json::MakeNumber(sweep.stats.failures));
+    doc.Set("cache_hits",
+            Json::MakeNumber(static_cast<double>(sweep.stats.cache_hits)));
+    doc.Set("cache_misses",
+            Json::MakeNumber(static_cast<double>(sweep.stats.cache_misses)));
     doc.Set("cache_hit_rate", Json::MakeNumber(sweep.stats.cache_hit_rate));
     std::ofstream out(json_path);
     if (!out) {
@@ -511,14 +573,54 @@ int Main(int argc, char** argv) {
     if (i + 1 >= argc) return Usage();
     args.options[key] = argv[++i];
   }
-  if (args.command == "list") return CmdList();
-  if (args.command == "export") return CmdExport(args);
-  if (args.command == "simulate") return CmdSimulate(args);
-  if (args.command == "estimate") return CmdEstimate(args);
-  if (args.command == "compare") return CmdCompare(args);
-  if (args.command == "sweep") return CmdSweep(args);
-  if (args.command == "tune") return CmdTune(args);
-  return Usage();
+  // Observability flags apply to every command: enable collection before
+  // dispatch, dump after. This is the library's own obs layer observing the
+  // run — commands need no per-command wiring beyond what they trace.
+  const std::string metrics_path = args.Get("metrics-json", "");
+  const std::string trace_path = args.Get("trace-out", "");
+  if (!metrics_path.empty()) obs::SetMetricsEnabled(true);
+  if (!trace_path.empty()) obs::TraceRecorder::Default().SetEnabled(true);
+
+  int rc;
+  if (args.command == "list") {
+    rc = CmdList();
+  } else if (args.command == "export") {
+    rc = CmdExport(args);
+  } else if (args.command == "simulate") {
+    rc = CmdSimulate(args);
+  } else if (args.command == "estimate") {
+    rc = CmdEstimate(args);
+  } else if (args.command == "explain") {
+    rc = CmdExplain(args);
+  } else if (args.command == "compare") {
+    rc = CmdCompare(args);
+  } else if (args.command == "sweep") {
+    rc = CmdSweep(args);
+  } else if (args.command == "tune") {
+    rc = CmdTune(args);
+  } else {
+    return Usage();
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    out << obs::MetricsRegistry::Default().ToJson() << "\n";
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::TraceRecorder::Default().Write(out);
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+  return rc;
 }
 
 }  // namespace
