@@ -1,0 +1,52 @@
+// Replays every file under the corpus directories given on the command line
+// through the fuzz entry point, as an ordinary ctest. This keeps the corpus
+// (including minimised crash inputs from past fuzz runs) exercised on every
+// build, without requiring a fuzzer-enabled toolchain.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "spec_ingestion.h"
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: corpus_replay CORPUS_DIR...\n");
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "not a directory: %s\n", argv[i]);
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", entry.path().c_str());
+        return 1;
+      }
+      const std::string bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+      // Any abort, sanitizer report, or uncaught exception fails the test by
+      // killing the process; a normal return is a pass.
+      dagperf::RunSpecIngestion(
+          reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+      ++replayed;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "corpus is empty\n");
+    return 1;
+  }
+  std::printf("replayed %d corpus inputs\n", replayed);
+  return 0;
+}

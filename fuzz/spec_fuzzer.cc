@@ -1,0 +1,14 @@
+// libFuzzer harness over the spec-ingestion surface. Build with
+// -DDAGPERF_BUILD_FUZZERS=ON under clang; run as
+//   ./spec_fuzzer fuzz/corpus -max_total_time=60
+// Crashes reproduce with ./spec_fuzzer <crash-file>; minimised inputs
+// belong in fuzz/corpus/ so the replay test pins the fix.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "spec_ingestion.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return dagperf::RunSpecIngestion(data, size);
+}

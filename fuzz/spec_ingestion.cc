@@ -1,0 +1,22 @@
+#include "spec_ingestion.h"
+
+#include <string>
+
+#include "common/json.h"
+#include "dag/spec_io.h"
+
+namespace dagperf {
+
+int RunSpecIngestion(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const Result<Json> doc = Json::Parse(text);
+  if (!doc.ok()) return 0;
+  // Statuses are intentionally dropped: the property under test is that the
+  // ingestion path terminates normally on arbitrary parseable documents,
+  // not what it decides about them.
+  (void)WorkflowFromJson(*doc);
+  (void)JobSpecFromJson(*doc);
+  return 0;
+}
+
+}  // namespace dagperf

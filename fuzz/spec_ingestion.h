@@ -1,0 +1,22 @@
+#ifndef DAGPERF_FUZZ_SPEC_INGESTION_H_
+#define DAGPERF_FUZZ_SPEC_INGESTION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dagperf {
+
+/// Shared fuzz entry point for the spec-ingestion surface: treats `data` as
+/// JSON text and drives it through Json::Parse, WorkflowFromJson, and
+/// JobSpecFromJson. Any input must produce either a workflow or a clean
+/// Status — never a DAGPERF_CHECK abort, an uncaught exception, or UB.
+///
+/// Used by both the libFuzzer harness (spec_fuzzer.cc) and the checked-in
+/// corpus replay test (corpus_replay.cc), so every corpus file doubles as a
+/// regression test in plain ctest runs. Always returns 0 (the libFuzzer
+/// convention for "input consumed").
+int RunSpecIngestion(const uint8_t* data, size_t size);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_FUZZ_SPEC_INGESTION_H_

@@ -30,12 +30,16 @@ SubStageEstimate EstimateSubStage(const SubStageProfile& substage,
   double worst = 0.0;
   for (Resource r : kAllResources) {
     const double demand = substage.demand[r];
-    if (demand <= 0) continue;
+    if (demand <= 0) continue;  // NaN demand fails this test and is priced.
     OpEstimate op;
     op.resource = r;
     op.demand = demand;
     const double a = alloc[r];
-    op.time = a > 0 ? Duration(demand / a) : Duration::Infinite();
+    // Zero/negative/NaN throughput means the operation can never complete;
+    // a non-finite demand is poison that must surface, not propagate — both
+    // price at Infinite, so no NaN ever reaches the duration arithmetic.
+    op.time = std::isfinite(demand) && a > 0 ? Duration(demand / a)
+                                             : Duration::Infinite();
     est.ops.push_back(op);
     if (op.time.seconds() > worst) {
       worst = op.time.seconds();
@@ -74,6 +78,19 @@ BoeModel::BoeModel(const NodeSpec& node, BoeOptions options)
   DAGPERF_CHECK(options_.max_iterations > 0);
 }
 
+Status BoeModel::Validate() const {
+  std::string bad;
+  for (Resource r : kAllResources) {
+    const double capacity = capacities_[r];
+    if (std::isfinite(capacity) && capacity > 0) continue;  // NaN-safe.
+    if (!bad.empty()) bad += ", ";
+    bad += std::string(ResourceName(r)) + " capacity " +
+           std::to_string(capacity);
+  }
+  if (bad.empty()) return Status::Ok();
+  return Status::InvalidArgument("node has non-positive or non-finite " + bad);
+}
+
 TaskEstimate BoeModel::EstimateTask(const StageProfile& stage,
                                     double tasks_per_node) const {
   ParallelStage ps{&stage, tasks_per_node};
@@ -87,6 +104,11 @@ std::vector<TaskEstimate> BoeModel::EstimateParallel(
     DAGPERF_CHECK(ps.tasks_per_node > 0);
   }
   if (stages.empty()) return {};
+  // The refinement modes route through the exact rate solver, whose
+  // invariant is positive finite capacity on every demanded resource. On a
+  // bad node (see Validate()) fall back to the paper rule, which prices a
+  // zero/NaN capacity at Duration::Infinite() and keeps Estimate* total.
+  if (!Validate().ok()) return EstimatePaper(stages);
   switch (options_.mode) {
     case BoeOptions::ContentionMode::kPaper:
       return EstimatePaper(stages);

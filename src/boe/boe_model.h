@@ -88,6 +88,14 @@ class BoeModel {
  public:
   explicit BoeModel(const NodeSpec& node, BoeOptions options = {});
 
+  /// Checks the node's effective throughputs: InvalidArgument naming every
+  /// resource axis whose capacity is zero, negative, NaN, or infinite.
+  /// Estimate* methods stay total even on a bad node (a zero/NaN capacity
+  /// prices affected operations at Duration::Infinite(), never NaN), but
+  /// callers feeding user-supplied hardware specs should check this first —
+  /// the estimator/simulator firewall does it via ValidateClusterSpec.
+  Status Validate() const;
+
   /// Task time for a single stage running alone with `tasks_per_node`
   /// concurrent tasks per node.
   TaskEstimate EstimateTask(const StageProfile& stage, double tasks_per_node) const;

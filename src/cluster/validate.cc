@@ -1,0 +1,52 @@
+#include "cluster/validate.h"
+
+#include <cmath>
+
+namespace dagperf {
+
+namespace {
+
+/// Adds a violation unless `value` is finite and strictly positive — the
+/// NaN-safe form of the "must be positive" rule (NaN fails every comparison,
+/// so `!(value > 0)` catches it where `value <= 0` would not).
+void RequirePositiveFinite(double value, const std::string& pointer,
+                           ValidationReport& report) {
+  if (!std::isfinite(value)) {
+    report.Add(pointer, "must be finite, got " + std::to_string(value));
+  } else if (!(value > 0)) {
+    report.Add(pointer, "must be positive, got " + std::to_string(value));
+  }
+}
+
+}  // namespace
+
+ValidationReport ValidateClusterSpec(const ClusterSpec& cluster,
+                                     const std::string& prefix) {
+  ValidationReport report;
+  if (cluster.num_nodes <= 0) {
+    report.Add(prefix + "/num_nodes", "must be positive, got " +
+                                          std::to_string(cluster.num_nodes));
+  } else if (cluster.num_nodes > kMaxClusterNodes) {
+    report.Add(prefix + "/num_nodes",
+               "exceeds the " + std::to_string(kMaxClusterNodes) + " node cap");
+  }
+  if (cluster.node.cores <= 0) {
+    report.Add(prefix + "/node/cores", "must be positive, got " +
+                                           std::to_string(cluster.node.cores));
+  } else if (cluster.node.cores > kMaxCoresPerNode) {
+    report.Add(prefix + "/node/cores", "exceeds the " +
+                                           std::to_string(kMaxCoresPerNode) +
+                                           " cores-per-node cap");
+  }
+  RequirePositiveFinite(cluster.node.disk_read_bw.ToMBps(),
+                        prefix + "/node/disk_read_bw_mbps", report);
+  RequirePositiveFinite(cluster.node.disk_write_bw.ToMBps(),
+                        prefix + "/node/disk_write_bw_mbps", report);
+  RequirePositiveFinite(cluster.node.network_bw.ToMBps(),
+                        prefix + "/node/network_bw_mbps", report);
+  RequirePositiveFinite(cluster.node.memory.ToGB(), prefix + "/node/memory_gb",
+                        report);
+  return report;
+}
+
+}  // namespace dagperf

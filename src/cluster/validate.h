@@ -1,0 +1,29 @@
+#ifndef DAGPERF_CLUSTER_VALIDATE_H_
+#define DAGPERF_CLUSTER_VALIDATE_H_
+
+#include <string>
+
+#include "cluster/cluster_spec.h"
+#include "common/validation.h"
+
+namespace dagperf {
+
+/// Sanity caps on cluster shape. Far above anything physical today, but low
+/// enough that derived quantities (total cores, slot counts, per-node
+/// shares) stay in safely representable integer/double range.
+inline constexpr int kMaxClusterNodes = 10'000'000;
+inline constexpr int kMaxCoresPerNode = 100'000;
+
+/// Validation-firewall entry point for cluster hardware descriptions.
+/// Collects every violation — non-finite (NaN/Inf), non-positive, or
+/// implausibly large values on any of the four modelled resource axes (CPU
+/// cores, disk read, disk write, network) plus memory and node count — under
+/// JSON pointers rooted at `prefix` ("" for a standalone cluster document).
+/// ClusterSpec::Validate() remains the cheap single-error check used by
+/// invariant guards; this is the exhaustive front-door diagnostic.
+ValidationReport ValidateClusterSpec(const ClusterSpec& cluster,
+                                     const std::string& prefix = "");
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_CLUSTER_VALIDATE_H_

@@ -1,0 +1,41 @@
+#include "common/cancel.h"
+
+#include <chrono>
+
+namespace dagperf {
+
+namespace {
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Deadline Deadline::AfterSeconds(double seconds) {
+  if (seconds == std::numeric_limits<double>::infinity()) return Never();
+  return Deadline(NowUs() + seconds * 1e6);
+}
+
+bool Deadline::expired() const {
+  if (never()) return false;
+  return NowUs() >= deadline_us_;
+}
+
+double Deadline::remaining_seconds() const {
+  if (never()) return std::numeric_limits<double>::infinity();
+  return (deadline_us_ - NowUs()) * 1e-6;
+}
+
+Status CheckBudget(const CancelToken& cancel, const Deadline& deadline,
+                   const std::string& what) {
+  if (cancel.cancelled()) return Status::Cancelled(what + ": cancelled");
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded(what + ": deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dagperf

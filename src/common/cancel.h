@@ -1,0 +1,97 @@
+#ifndef DAGPERF_COMMON_CANCEL_H_
+#define DAGPERF_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace dagperf {
+
+/// Cooperative cancellation signal. A token is a cheap, copyable handle to a
+/// shared flag: every copy observes the same Cancel() call, so one token can
+/// be embedded in the options of an estimator, a sweep, and a ParallelFor
+/// while the caller keeps a copy to fire from another thread.
+///
+/// Cancellation is *cooperative*: long-running loops poll cancelled() at
+/// their natural step boundaries (estimator states, sweep candidates,
+/// ParallelFor iterations) and unwind with Status::Cancelled. Nothing is
+/// interrupted mid-step, so partial results stay consistent.
+///
+/// A default-constructed token is inert — cancelled() is always false and
+/// costs one pointer test — so APIs can take a CancelToken by value without
+/// forcing every caller to allocate one.
+class CancelToken {
+ public:
+  /// Inert token: never cancellable, Cancel() is a no-op.
+  CancelToken() = default;
+
+  /// A live token whose copies all share one flag.
+  static CancelToken Cancellable() {
+    CancelToken token;
+    token.state_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Signals cancellation to every copy of this token. Safe to call from any
+  /// thread, any number of times. No-op on an inert token.
+  void Cancel() const {
+    if (state_ != nullptr) state_->store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_acquire);
+  }
+
+  /// Whether this token can ever fire (i.e. was created via Cancellable()).
+  bool can_cancel() const { return state_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// An absolute wall-clock budget on the monotonic clock. Default-constructed
+/// deadlines never expire (expired() is a constant-false test, no clock
+/// read), so embedding one in options is free for callers that do not set
+/// it.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Never() { return Deadline(); }
+
+  /// Expires `seconds` from now (0 = already expired: useful for "fail fast
+  /// if any budget is needed" probes and deterministic tests).
+  static Deadline AfterSeconds(double seconds);
+
+  bool never() const {
+    return deadline_us_ == std::numeric_limits<double>::infinity();
+  }
+
+  /// One clock read; always false for a never-deadline.
+  bool expired() const;
+
+  /// Seconds until expiry (negative once expired, +inf for never).
+  double remaining_seconds() const;
+
+ private:
+  explicit Deadline(double deadline_us) : deadline_us_(deadline_us) {}
+
+  /// Absolute expiry in microseconds on the monotonic clock, +inf = never.
+  double deadline_us_ = std::numeric_limits<double>::infinity();
+};
+
+/// The per-step budget poll shared by the estimator, sweep, and parallel
+/// loops: Ok while neither signal fired, otherwise Cancelled or
+/// DeadlineExceeded naming `what` (cancellation wins ties — it is the more
+/// deliberate signal). Checks the token first: that is one atomic load,
+/// cheaper than the deadline's clock read.
+Status CheckBudget(const CancelToken& cancel, const Deadline& deadline,
+                   const std::string& what);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_CANCEL_H_

@@ -216,6 +216,11 @@ std::string Json::Dump() const {
 
 namespace {
 
+/// Recursion bound of the parser. Spec documents are a few levels deep;
+/// anything deeper is adversarial input trying to overflow the stack, and is
+/// rejected with a parse error instead.
+constexpr int kMaxParseDepth = 128;
+
 /// Recursive-descent parser over a string view with position tracking.
 class Parser {
  public:
@@ -253,6 +258,7 @@ class Parser {
   Result<Json> ParseValue() {
     SkipSpace();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
+    if (depth_ >= kMaxParseDepth) return Error("nesting too deep");
     const char c = text_[pos_];
     if (c == '{') return ParseObject();
     if (c == '[') return ParseArray();
@@ -356,23 +362,34 @@ class Parser {
 
   Result<Json> ParseArray() {
     if (!Consume('[')) return Error("expected array");
+    ++depth_;
     Json array = Json::MakeArray();
     SkipSpace();
-    if (Consume(']')) return array;
+    if (Consume(']')) {
+      --depth_;
+      return array;
+    }
     while (true) {
       Result<Json> value = ParseValue();
       if (!value.ok()) return value;
       array.Append(std::move(value).value());
-      if (Consume(']')) return array;
+      if (Consume(']')) {
+        --depth_;
+        return array;
+      }
       if (!Consume(',')) return Error("expected ',' or ']'");
     }
   }
 
   Result<Json> ParseObject() {
     if (!Consume('{')) return Error("expected object");
+    ++depth_;
     Json object = Json::MakeObject();
     SkipSpace();
-    if (Consume('}')) return object;
+    if (Consume('}')) {
+      --depth_;
+      return object;
+    }
     while (true) {
       SkipSpace();
       Result<std::string> key = ParseString();
@@ -381,13 +398,17 @@ class Parser {
       Result<Json> value = ParseValue();
       if (!value.ok()) return value;
       object.Set(*key, std::move(value).value());
-      if (Consume('}')) return object;
+      if (Consume('}')) {
+        --depth_;
+        return object;
+      }
       if (!Consume(',')) return Error("expected ',' or '}'");
     }
   }
 
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -134,16 +134,31 @@ struct ForState {
   std::mutex mutex;
   std::condition_variable done;
   std::exception_ptr error;
+  /// Budget observed before each claimed iteration (inert/never by
+  /// default, so the plain overload pays only the pointer tests).
+  CancelToken cancel;
+  Deadline deadline;
+  /// First budget breach, if any (under mutex).
+  Status budget_status;
 
   explicit ForState(std::int64_t begin, std::int64_t limit)
       : next(begin), end(limit), remaining(limit - begin) {}
 };
 
-/// Claims and runs iterations until the range is exhausted.
+/// Claims and runs iterations until the range is exhausted, an exception is
+/// recorded, or the budget fires.
 void DrainRange(ForState& state, const std::function<void(std::int64_t)>& fn) {
   while (true) {
     const std::int64_t i = state.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state.end) return;
+    if (!state.stop.load(std::memory_order_acquire) &&
+        (state.cancel.cancelled() || state.deadline.expired())) {
+      const Status budget =
+          CheckBudget(state.cancel, state.deadline, "parallel_for");
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.budget_status.ok() && !budget.ok()) state.budget_status = budget;
+      state.stop.store(true, std::memory_order_release);
+    }
     if (!state.stop.load(std::memory_order_acquire)) {
       try {
         fn(i);
@@ -160,17 +175,21 @@ void DrainRange(ForState& state, const std::function<void(std::int64_t)>& fn) {
   }
 }
 
-}  // namespace
-
-void ParallelFor(std::int64_t begin, std::int64_t end,
-                 const std::function<void(std::int64_t)>& fn, ThreadPool* pool) {
-  if (end <= begin) return;
+/// Shared body of both overloads; returns the budget status (Ok for the
+/// plain overload's inert budget).
+Status ParallelForImpl(std::int64_t begin, std::int64_t end,
+                       const std::function<void(std::int64_t)>& fn,
+                       const CancelToken& cancel, const Deadline& deadline,
+                       ThreadPool* pool) {
+  if (end <= begin) return Status::Ok();
   const std::int64_t n = end - begin;
   if (pool == nullptr) pool = &DefaultPool();
   Metrics().for_calls.Add(1);
   Metrics().for_iterations.Add(static_cast<std::uint64_t>(n));
 
   auto state = std::make_shared<ForState>(begin, end);
+  state->cancel = cancel;
+  state->deadline = deadline;
   // One helper per pool thread (capped by the iteration count minus the
   // caller's own share). Helpers that start late find the range drained and
   // return immediately.
@@ -186,6 +205,21 @@ void ParallelFor(std::int64_t begin, std::int64_t end,
     return state->remaining.load(std::memory_order_acquire) == 0;
   });
   if (state->error) std::rethrow_exception(state->error);
+  return state->budget_status;
+}
+
+}  // namespace
+
+void ParallelFor(std::int64_t begin, std::int64_t end,
+                 const std::function<void(std::int64_t)>& fn, ThreadPool* pool) {
+  ParallelForImpl(begin, end, fn, CancelToken(), Deadline::Never(), pool);
+}
+
+Status ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& fn,
+                   const CancelToken& cancel, const Deadline& deadline,
+                   ThreadPool* pool) {
+  return ParallelForImpl(begin, end, fn, cancel, deadline, pool);
 }
 
 }  // namespace dagperf

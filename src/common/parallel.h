@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/status.h"
+
 namespace dagperf {
 
 /// Fixed-size worker pool executing closures FIFO. Two roles in the library:
@@ -85,6 +88,19 @@ ThreadPool& DefaultPool();
 void ParallelFor(std::int64_t begin, std::int64_t end,
                  const std::function<void(std::int64_t)>& fn,
                  ThreadPool* pool = nullptr);
+
+/// Cancellable/deadlined variant. Before claiming each iteration, the
+/// drainer polls `cancel` and `deadline`; once either fires, unclaimed
+/// iterations are skipped while in-flight ones run to completion (fn is
+/// never interrupted mid-iteration). Returns Ok when the full range
+/// executed, otherwise the Cancelled/DeadlineExceeded status that stopped
+/// the loop — the caller knows exactly why its range is partial. Exceptions
+/// from fn still propagate as in the plain overload and take precedence
+/// over a budget status.
+Status ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& fn,
+                   const CancelToken& cancel, const Deadline& deadline,
+                   ThreadPool* pool = nullptr);
 
 /// Maps fn over `items` in parallel, preserving input order in the result.
 /// The result type must be default-constructible and movable.

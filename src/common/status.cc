@@ -19,11 +19,17 @@ const char* CodeName(ErrorCode code) {
       return "FAILED_PRECONDITION";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ErrorCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }
 
 }  // namespace
+
+bool IsRetryable(ErrorCode code) { return code == ErrorCode::kInternal; }
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

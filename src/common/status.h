@@ -16,7 +16,18 @@ enum class ErrorCode {
   kNotFound,
   kFailedPrecondition,
   kInternal,
+  /// The caller-supplied Deadline expired before the operation finished.
+  /// Partial results (e.g. a sweep's already-evaluated candidates) are still
+  /// returned by APIs that document it.
+  kDeadlineExceeded,
+  /// A CancelToken observed by the operation was cancelled.
+  kCancelled,
 };
+
+/// Whether a failed operation is worth retrying with the same inputs.
+/// kInternal failures (iteration guards, transient limits) may succeed on a
+/// retry with adjusted limits; invalid input and expired budgets will not.
+bool IsRetryable(ErrorCode code);
 
 /// A success-or-error value carrying a human-readable message on failure.
 class Status {
@@ -37,6 +48,12 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(ErrorCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(ErrorCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(ErrorCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

@@ -1,0 +1,38 @@
+#include "common/validation.h"
+
+#include "obs/metrics.h"
+
+namespace dagperf {
+
+void ValidationReport::Merge(const ValidationReport& other,
+                             const std::string& prefix) {
+  for (const Violation& v : other.violations_) {
+    violations_.push_back({prefix + v.pointer, v.message});
+  }
+}
+
+std::string ValidationReport::ToString(const std::string& subject) const {
+  std::string out = subject + ": " + std::to_string(violations_.size()) +
+                    (violations_.size() == 1 ? " violation:" : " violations:");
+  for (const Violation& v : violations_) {
+    out += " ";
+    out += v.pointer.empty() ? "(root)" : v.pointer;
+    out += ": ";
+    out += v.message;
+    out += ";";
+  }
+  if (!violations_.empty()) out.pop_back();
+  return out;
+}
+
+Status ValidationReport::ToStatus(const std::string& subject) const {
+  if (ok()) return Status::Ok();
+  // Every firewall rejection funnels through here, so this is the one place
+  // the validation-failure counter needs to live.
+  static obs::Counter* failures =
+      &obs::MetricsRegistry::Default().GetCounter("validation.failures");
+  failures->Add(1);
+  return Status::InvalidArgument(ToString(subject));
+}
+
+}  // namespace dagperf

@@ -1,0 +1,53 @@
+#ifndef DAGPERF_COMMON_VALIDATION_H_
+#define DAGPERF_COMMON_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dagperf {
+
+/// One rule violation found by a validator, located by a JSON pointer
+/// (RFC 6901) into the offending document — "/jobs/3/input_gb",
+/// "/edges/0", "/node/disk_read_bw_mbps" — so tooling can highlight the
+/// exact field and users of hand-authored spec files can fix every problem
+/// in one pass.
+struct Violation {
+  std::string pointer;
+  std::string message;
+};
+
+/// Accumulates *all* violations of a validation pass instead of stopping at
+/// the first — the front door of the validation firewall. Downstream code
+/// (profile compiler, estimator, simulator) keeps cheap single-condition
+/// checks for true invariants; everything user-reachable funnels through a
+/// report first, so a malformed-but-parseable spec produces one structured
+/// InvalidArgument naming every offending field rather than an abort (or a
+/// fix-one-rerun-find-the-next loop).
+class ValidationReport {
+ public:
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  void Add(std::string pointer, std::string message) {
+    violations_.push_back({std::move(pointer), std::move(message)});
+  }
+
+  /// Appends another report's violations under an additional pointer prefix
+  /// ("" keeps them as-is).
+  void Merge(const ValidationReport& other, const std::string& prefix = "");
+
+  /// "<subject>: 2 violations: /jobs/0/input_gb: must be positive; ..."
+  std::string ToString(const std::string& subject) const;
+
+  /// Ok when empty, otherwise one InvalidArgument carrying every violation.
+  Status ToStatus(const std::string& subject) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_VALIDATION_H_

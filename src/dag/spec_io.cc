@@ -1,8 +1,14 @@
 #include "dag/spec_io.h"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
+
+#include "dag/validate.h"
 
 namespace dagperf {
 
@@ -37,6 +43,76 @@ const std::set<std::string>& KnownJobKeys() {
   };
   return *keys;
 }
+
+/// Typed field accessors for ingestion. Unlike Json::GetNumber (which keeps
+/// the fallback when a present field has the wrong type — hiding typos like
+/// `"input_gb": "100"`), these reject wrong-typed present fields, and the
+/// integer accessor additionally rejects non-integral and out-of-int-range
+/// numbers before any cast (casting e.g. 1e20 to int is undefined
+/// behaviour). They record the first error in `status` and keep parsing, so
+/// the surrounding code stays a flat assignment list.
+class FieldReader {
+ public:
+  explicit FieldReader(const Json& json) : json_(json) {}
+
+  const Status& status() const { return status_; }
+
+  double Number(const char* key, double fallback) {
+    const Json* v = json_.Get(key);
+    if (v == nullptr) return fallback;
+    if (v->type() != Json::Type::kNumber) {
+      Fail(std::string("field \"") + key + "\" must be a number");
+      return fallback;
+    }
+    return v->AsNumber();
+  }
+
+  int Int(const char* key, int fallback) {
+    const Json* v = json_.Get(key);
+    if (v == nullptr) return fallback;
+    if (v->type() != Json::Type::kNumber) {
+      Fail(std::string("field \"") + key + "\" must be a number");
+      return fallback;
+    }
+    const double d = v->AsNumber();
+    if (!std::isfinite(d) || d != std::floor(d) ||
+        d < static_cast<double>(std::numeric_limits<int>::min()) ||
+        d > static_cast<double>(std::numeric_limits<int>::max())) {
+      Fail(std::string("field \"") + key + "\" must be an integer (got " +
+           std::to_string(d) + ")");
+      return fallback;
+    }
+    return static_cast<int>(d);
+  }
+
+  bool Bool(const char* key, bool fallback) {
+    const Json* v = json_.Get(key);
+    if (v == nullptr) return fallback;
+    if (v->type() != Json::Type::kBool) {
+      Fail(std::string("field \"") + key + "\" must be a boolean");
+      return fallback;
+    }
+    return v->AsBool();
+  }
+
+  std::string String(const char* key, const std::string& fallback) {
+    const Json* v = json_.Get(key);
+    if (v == nullptr) return fallback;
+    if (v->type() != Json::Type::kString) {
+      Fail(std::string("field \"") + key + "\" must be a string");
+      return fallback;
+    }
+    return v->AsString();
+  }
+
+ private:
+  void Fail(std::string message) {
+    if (status_.ok()) status_ = Status::InvalidArgument(std::move(message));
+  }
+
+  const Json& json_;
+  Status status_;
+};
 
 }  // namespace
 
@@ -78,43 +154,47 @@ Result<JobSpec> JobSpecFromJson(const Json& json) {
     }
   }
   JobSpec spec;  // Field defaults.
-  spec.name = json.GetString("name", "job");
-  spec.input = Bytes::FromGB(json.GetNumber("input_gb", spec.input.ToGB()));
-  spec.split_size = Bytes::FromMB(json.GetNumber("split_mb", spec.split_size.ToMB()));
-  spec.num_reduce_tasks = static_cast<int>(
-      json.GetNumber("num_reduce_tasks", spec.num_reduce_tasks));
-  spec.map_selectivity = json.GetNumber("map_selectivity", spec.map_selectivity);
+  FieldReader r(json);
+  spec.name = r.String("name", "job");
+  spec.input = Bytes::FromGB(r.Number("input_gb", spec.input.ToGB()));
+  spec.split_size = Bytes::FromMB(r.Number("split_mb", spec.split_size.ToMB()));
+  spec.num_reduce_tasks = r.Int("num_reduce_tasks", spec.num_reduce_tasks);
+  spec.map_selectivity = r.Number("map_selectivity", spec.map_selectivity);
   spec.reduce_selectivity =
-      json.GetNumber("reduce_selectivity", spec.reduce_selectivity);
+      r.Number("reduce_selectivity", spec.reduce_selectivity);
   spec.compress_map_output =
-      json.GetBool("compress_map_output", spec.compress_map_output);
-  spec.compression_ratio = json.GetNumber("compression_ratio", spec.compression_ratio);
-  spec.replicas = static_cast<int>(json.GetNumber("replicas", spec.replicas));
+      r.Bool("compress_map_output", spec.compress_map_output);
+  spec.compression_ratio = r.Number("compression_ratio", spec.compression_ratio);
+  spec.replicas = r.Int("replicas", spec.replicas);
   spec.map_compute =
-      Rate::MBps(json.GetNumber("map_compute_mbps", spec.map_compute.ToMBps()));
+      Rate::MBps(r.Number("map_compute_mbps", spec.map_compute.ToMBps()));
   spec.reduce_compute =
-      Rate::MBps(json.GetNumber("reduce_compute_mbps", spec.reduce_compute.ToMBps()));
+      Rate::MBps(r.Number("reduce_compute_mbps", spec.reduce_compute.ToMBps()));
   spec.sort_compute =
-      Rate::MBps(json.GetNumber("sort_compute_mbps", spec.sort_compute.ToMBps()));
+      Rate::MBps(r.Number("sort_compute_mbps", spec.sort_compute.ToMBps()));
   spec.compress_compute = Rate::MBps(
-      json.GetNumber("compress_compute_mbps", spec.compress_compute.ToMBps()));
+      r.Number("compress_compute_mbps", spec.compress_compute.ToMBps()));
   spec.remote_read_fraction =
-      json.GetNumber("remote_read_fraction", spec.remote_read_fraction);
+      r.Number("remote_read_fraction", spec.remote_read_fraction);
   spec.input_cache_fraction =
-      json.GetNumber("input_cache_fraction", spec.input_cache_fraction);
-  spec.shuffle_cache_hit = json.GetNumber("shuffle_cache_hit", spec.shuffle_cache_hit);
+      r.Number("input_cache_fraction", spec.input_cache_fraction);
+  spec.shuffle_cache_hit = r.Number("shuffle_cache_hit", spec.shuffle_cache_hit);
   spec.sort_buffer =
-      Bytes::FromMB(json.GetNumber("sort_buffer_mb", spec.sort_buffer.ToMB()));
+      Bytes::FromMB(r.Number("sort_buffer_mb", spec.sort_buffer.ToMB()));
   spec.reduce_merge_buffer = Bytes::FromMB(
-      json.GetNumber("reduce_merge_buffer_mb", spec.reduce_merge_buffer.ToMB()));
-  spec.reduce_skew_cv = json.GetNumber("reduce_skew_cv", spec.reduce_skew_cv);
-  spec.map_slot.vcores = json.GetNumber("map_slot_vcores", spec.map_slot.vcores);
+      r.Number("reduce_merge_buffer_mb", spec.reduce_merge_buffer.ToMB()));
+  spec.reduce_skew_cv = r.Number("reduce_skew_cv", spec.reduce_skew_cv);
+  spec.map_slot.vcores = r.Number("map_slot_vcores", spec.map_slot.vcores);
   spec.map_slot.memory =
-      Bytes::FromGB(json.GetNumber("map_slot_memory_gb", spec.map_slot.memory.ToGB()));
+      Bytes::FromGB(r.Number("map_slot_memory_gb", spec.map_slot.memory.ToGB()));
   spec.reduce_slot.vcores =
-      json.GetNumber("reduce_slot_vcores", spec.reduce_slot.vcores);
+      r.Number("reduce_slot_vcores", spec.reduce_slot.vcores);
   spec.reduce_slot.memory = Bytes::FromGB(
-      json.GetNumber("reduce_slot_memory_gb", spec.reduce_slot.memory.ToGB()));
+      r.Number("reduce_slot_memory_gb", spec.reduce_slot.memory.ToGB()));
+  if (!r.status().ok()) {
+    return Status::InvalidArgument("job spec \"" + spec.name +
+                                   "\": " + r.status().message());
+  }
   return spec;
 }
 
@@ -135,6 +215,37 @@ Json WorkflowToJson(const DagWorkflow& flow) {
   return j;
 }
 
+namespace {
+
+/// Parses one "[from, to]" edge pair, type- and range-checking each element
+/// before any cast (a string element or a 1e20 double must become a clean
+/// error, not a CHECK abort or undefined behaviour).
+Result<std::pair<JobId, JobId>> EdgeFromJson(const Json& edge, size_t index) {
+  const std::string where = "edge " + std::to_string(index);
+  if (edge.type() != Json::Type::kArray || edge.AsArray().size() != 2) {
+    return Status::InvalidArgument(where + ": must be a [from, to] pair");
+  }
+  JobId ids[2];
+  for (int e = 0; e < 2; ++e) {
+    const Json& element = edge.AsArray()[e];
+    if (element.type() != Json::Type::kNumber) {
+      return Status::InvalidArgument(where + ": endpoints must be numbers");
+    }
+    const double d = element.AsNumber();
+    if (!std::isfinite(d) || d != std::floor(d) || d < 0 ||
+        d > static_cast<double>(kMaxJobsPerWorkflow)) {
+      return Status::InvalidArgument(
+          where + ": endpoint " + std::to_string(d) +
+          " is not a job index in [0, " + std::to_string(kMaxJobsPerWorkflow) +
+          "]");
+    }
+    ids[e] = static_cast<JobId>(d);
+  }
+  return std::make_pair(ids[0], ids[1]);
+}
+
+}  // namespace
+
 Result<DagWorkflow> WorkflowFromJson(const Json& json) {
   if (json.type() != Json::Type::kObject) {
     return Status::InvalidArgument("workflow must be a JSON object");
@@ -143,24 +254,42 @@ Result<DagWorkflow> WorkflowFromJson(const Json& json) {
   if (jobs == nullptr || jobs->type() != Json::Type::kArray) {
     return Status::InvalidArgument("workflow needs a \"jobs\" array");
   }
-  DagBuilder builder(json.GetString("name", "workflow"));
+  const Json* name = json.Get("name");
+  if (name != nullptr && name->type() != Json::Type::kString) {
+    return Status::InvalidArgument("workflow \"name\" must be a string");
+  }
+
+  std::vector<JobSpec> specs;
+  specs.reserve(jobs->AsArray().size());
   for (const Json& job : jobs->AsArray()) {
     Result<JobSpec> spec = JobSpecFromJson(job);
     if (!spec.ok()) return spec.status();
-    builder.AddJob(std::move(spec).value());
+    specs.push_back(std::move(spec).value());
   }
+  std::vector<std::pair<JobId, JobId>> edge_list;
   if (const Json* edges = json.Get("edges"); edges != nullptr) {
     if (edges->type() != Json::Type::kArray) {
       return Status::InvalidArgument("\"edges\" must be an array");
     }
-    for (const Json& edge : edges->AsArray()) {
-      if (edge.type() != Json::Type::kArray || edge.AsArray().size() != 2) {
-        return Status::InvalidArgument("each edge must be a [from, to] pair");
-      }
-      builder.AddEdge(static_cast<JobId>(edge.AsArray()[0].AsNumber()),
-                      static_cast<JobId>(edge.AsArray()[1].AsNumber()));
+    edge_list.reserve(edges->AsArray().size());
+    for (size_t k = 0; k < edges->AsArray().size(); ++k) {
+      Result<std::pair<JobId, JobId>> edge =
+          EdgeFromJson(edges->AsArray()[k], k);
+      if (!edge.ok()) return edge.status();
+      edge_list.push_back(edge.value());
     }
   }
+
+  // The validation firewall: every semantic rule — field ranges, derived
+  // task counts, edge ranges, duplicates, cycles — is checked here in one
+  // pass, and all violations come back together as JSON-pointer diagnostics.
+  const Status valid =
+      ValidateWorkflowSpec(specs, edge_list).ToStatus("workflow");
+  if (!valid.ok()) return valid;
+
+  DagBuilder builder(json.GetString("name", "workflow"));
+  for (JobSpec& spec : specs) builder.AddJob(std::move(spec));
+  for (const auto& [from, to] : edge_list) builder.AddEdge(from, to);
   return std::move(builder).Build();
 }
 

@@ -1,0 +1,274 @@
+#include "dag/validate.h"
+
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+namespace {
+
+/// Largest sensible HDFS replica count; replicas multiply write volume, so an
+/// absurd value turns into an absurd (if finite) estimate — cap it instead.
+constexpr int kMaxReplicas = 1000;
+
+std::string Num(double v) { return std::to_string(v); }
+
+/// NaN-safe "must be positive and finite": NaN fails every comparison, so
+/// `!(v > 0)` catches it where `v <= 0` would let it through.
+void RequirePositiveFinite(double v, const std::string& pointer,
+                           ValidationReport& report) {
+  if (!std::isfinite(v)) {
+    report.Add(pointer, "must be finite, got " + Num(v));
+  } else if (!(v > 0)) {
+    report.Add(pointer, "must be positive, got " + Num(v));
+  }
+}
+
+void RequireNonNegativeFinite(double v, const std::string& pointer,
+                              ValidationReport& report) {
+  if (!std::isfinite(v)) {
+    report.Add(pointer, "must be finite, got " + Num(v));
+  } else if (!(v >= 0)) {
+    report.Add(pointer, "must be >= 0, got " + Num(v));
+  }
+}
+
+void RequireFraction(double v, const std::string& pointer,
+                     ValidationReport& report) {
+  if (!(v >= 0) || !(v <= 1)) {  // NaN fails both arms.
+    report.Add(pointer, "must be in [0, 1], got " + Num(v));
+  }
+}
+
+bool IsPositiveFinite(double v) { return std::isfinite(v) && v > 0; }
+
+/// Compiled-stage checks for ValidateWorkflow: demands must be finite and
+/// non-negative, task counts in range. Pointers name the compiled stage
+/// ("/jobs/2/reduce/..."), not a JSON field — these flows were built in code.
+void CheckStageProfile(const StageProfile& stage, const std::string& prefix,
+                       ValidationReport& report) {
+  if (stage.num_tasks < 1) {
+    report.Add(prefix + "/num_tasks",
+               "must be >= 1, got " + std::to_string(stage.num_tasks));
+  } else if (stage.num_tasks > kMaxTasksPerStage) {
+    report.Add(prefix + "/num_tasks",
+               "exceeds the " + std::to_string(kMaxTasksPerStage) +
+                   " tasks-per-stage cap");
+  }
+  RequirePositiveFinite(stage.slot.vcores, prefix + "/slot/vcores", report);
+  RequirePositiveFinite(stage.slot.memory.ToGB(), prefix + "/slot/memory_gb",
+                        report);
+  RequireNonNegativeFinite(stage.task_size_cv, prefix + "/task_size_cv",
+                           report);
+  for (size_t s = 0; s < stage.substages.size(); ++s) {
+    const SubStageProfile& sub = stage.substages[s];
+    for (Resource r : kAllResources) {
+      const double demand = sub.demand[r];
+      if (!std::isfinite(demand) || !(demand >= 0)) {
+        report.Add(prefix + "/substages/" + std::to_string(s),
+                   "sub-stage \"" + sub.name + "\" has bad " +
+                       ResourceName(r) + " demand " + Num(demand));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ValidationReport ValidateJobSpec(const JobSpec& spec,
+                                 const std::string& prefix) {
+  ValidationReport report;
+  RequirePositiveFinite(spec.input.ToGB(), prefix + "/input_gb", report);
+  RequirePositiveFinite(spec.split_size.ToMB(), prefix + "/split_mb", report);
+  if (spec.num_reduce_tasks < kAutoReducers) {
+    report.Add(prefix + "/num_reduce_tasks",
+               "must be >= -1 (-1 = auto), got " +
+                   std::to_string(spec.num_reduce_tasks));
+  } else if (spec.num_reduce_tasks > kMaxTasksPerStage) {
+    report.Add(prefix + "/num_reduce_tasks",
+               "exceeds the " + std::to_string(kMaxTasksPerStage) +
+                   " tasks-per-stage cap");
+  }
+  RequireNonNegativeFinite(spec.map_selectivity, prefix + "/map_selectivity",
+                           report);
+  RequireNonNegativeFinite(spec.reduce_selectivity,
+                           prefix + "/reduce_selectivity", report);
+  if (!(spec.compression_ratio > 0) || !(spec.compression_ratio <= 1)) {
+    report.Add(prefix + "/compression_ratio",
+               "must be in (0, 1], got " + Num(spec.compression_ratio));
+  }
+  if (spec.replicas < 1) {
+    report.Add(prefix + "/replicas",
+               "must be >= 1, got " + std::to_string(spec.replicas));
+  } else if (spec.replicas > kMaxReplicas) {
+    report.Add(prefix + "/replicas", "exceeds the " +
+                                         std::to_string(kMaxReplicas) +
+                                         " replica cap");
+  }
+  RequirePositiveFinite(spec.map_compute.ToMBps(),
+                        prefix + "/map_compute_mbps", report);
+  RequirePositiveFinite(spec.reduce_compute.ToMBps(),
+                        prefix + "/reduce_compute_mbps", report);
+  RequirePositiveFinite(spec.sort_compute.ToMBps(),
+                        prefix + "/sort_compute_mbps", report);
+  RequirePositiveFinite(spec.compress_compute.ToMBps(),
+                        prefix + "/compress_compute_mbps", report);
+  RequireFraction(spec.remote_read_fraction, prefix + "/remote_read_fraction",
+                  report);
+  RequireFraction(spec.input_cache_fraction, prefix + "/input_cache_fraction",
+                  report);
+  RequireFraction(spec.shuffle_cache_hit, prefix + "/shuffle_cache_hit",
+                  report);
+  RequirePositiveFinite(spec.sort_buffer.ToMB(), prefix + "/sort_buffer_mb",
+                        report);
+  RequirePositiveFinite(spec.reduce_merge_buffer.ToMB(),
+                        prefix + "/reduce_merge_buffer_mb", report);
+  RequireNonNegativeFinite(spec.reduce_skew_cv, prefix + "/reduce_skew_cv",
+                           report);
+  RequirePositiveFinite(spec.map_slot.vcores, prefix + "/map_slot_vcores",
+                        report);
+  RequirePositiveFinite(spec.map_slot.memory.ToGB(),
+                        prefix + "/map_slot_memory_gb", report);
+  RequirePositiveFinite(spec.reduce_slot.vcores,
+                        prefix + "/reduce_slot_vcores", report);
+  RequirePositiveFinite(spec.reduce_slot.memory.ToGB(),
+                        prefix + "/reduce_slot_memory_gb", report);
+
+  // Derived sizes, checked only once their inputs are individually valid (so
+  // a single bad field does not also produce derived-value noise). All
+  // arithmetic stays in double space: the point is to reject values whose
+  // int casts downstream would overflow or whose products go non-finite.
+  const bool input_ok = IsPositiveFinite(spec.input.value());
+  const bool split_ok = IsPositiveFinite(spec.split_size.value());
+  const bool map_sel_ok =
+      std::isfinite(spec.map_selectivity) && spec.map_selectivity >= 0;
+  if (input_ok && split_ok) {
+    const double maps = std::ceil(spec.input.value() / spec.split_size.value());
+    if (!(maps <= kMaxTasksPerStage)) {
+      report.Add(prefix + "/split_mb",
+                 "derives " + Num(maps) + " map tasks, exceeding the " +
+                     std::to_string(kMaxTasksPerStage) + " tasks-per-stage cap");
+    }
+  }
+  if (input_ok && map_sel_ok) {
+    const double raw_bytes = spec.input.value() * spec.map_selectivity;
+    if (!std::isfinite(raw_bytes)) {
+      report.Add(prefix + "/map_selectivity",
+                 "raw map output (input * selectivity) is not finite");
+    } else if (spec.num_reduce_tasks == kAutoReducers) {
+      const double reducers = std::ceil(raw_bytes / 1e9);
+      if (!(reducers <= kMaxTasksPerStage)) {
+        report.Add(prefix + "/num_reduce_tasks",
+                   "auto-derived reducer count " + Num(reducers) +
+                       " exceeds the " + std::to_string(kMaxTasksPerStage) +
+                       " tasks-per-stage cap");
+      }
+    }
+  }
+  return report;
+}
+
+ValidationReport ValidateWorkflowSpec(
+    const std::vector<JobSpec>& jobs,
+    const std::vector<std::pair<JobId, JobId>>& edges) {
+  ValidationReport report;
+  if (jobs.empty()) {
+    report.Add("/jobs", "workflow needs at least one job");
+  } else if (jobs.size() > static_cast<size_t>(kMaxJobsPerWorkflow)) {
+    report.Add("/jobs", "exceeds the " + std::to_string(kMaxJobsPerWorkflow) +
+                            " jobs-per-workflow cap");
+  } else {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      report.Merge(ValidateJobSpec(jobs[i], "/jobs/" + std::to_string(i)));
+    }
+  }
+
+  const int n = static_cast<int>(jobs.size());
+  if (edges.size() > static_cast<size_t>(kMaxEdgesPerWorkflow)) {
+    report.Add("/edges", "exceeds the " +
+                             std::to_string(kMaxEdgesPerWorkflow) +
+                             " edges-per-workflow cap");
+    return report;  // Refuse to chew through an adversarial edge list.
+  }
+  std::set<std::pair<JobId, JobId>> seen;
+  std::vector<std::vector<JobId>> children(n);
+  std::vector<int> indegree(n, 0);
+  for (size_t k = 0; k < edges.size(); ++k) {
+    const auto& [from, to] = edges[k];
+    const std::string pointer = "/edges/" + std::to_string(k);
+    if (from < 0 || from >= n) {
+      report.Add(pointer + "/0", "job id " + std::to_string(from) +
+                                     " out of range [0, " + std::to_string(n) +
+                                     ")");
+      continue;
+    }
+    if (to < 0 || to >= n) {
+      report.Add(pointer + "/1", "job id " + std::to_string(to) +
+                                     " out of range [0, " + std::to_string(n) +
+                                     ")");
+      continue;
+    }
+    if (from == to) {
+      report.Add(pointer, "self-edge on job " + std::to_string(from));
+      continue;
+    }
+    if (!seen.insert({from, to}).second) {
+      report.Add(pointer, "duplicate edge " + std::to_string(from) + " -> " +
+                              std::to_string(to));
+      continue;
+    }
+    children[from].push_back(to);
+    ++indegree[to];
+  }
+
+  // Kahn's algorithm over the well-formed edges; whatever is left with a
+  // positive in-degree sits on (or behind) a cycle.
+  std::deque<JobId> ready;
+  for (JobId j = 0; j < n; ++j) {
+    if (indegree[j] == 0) ready.push_back(j);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const JobId j = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (JobId c : children[j]) {
+      if (--indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (visited < n) {
+    std::string cyclic;
+    for (JobId j = 0; j < n; ++j) {
+      if (indegree[j] > 0) {
+        if (!cyclic.empty()) cyclic += ", ";
+        cyclic += std::to_string(j);
+        if (!jobs[j].name.empty()) cyclic += " (" + jobs[j].name + ")";
+      }
+    }
+    report.Add("/edges", "cycle detected involving jobs " + cyclic);
+  }
+  return report;
+}
+
+ValidationReport ValidateWorkflow(const DagWorkflow& flow) {
+  ValidationReport report;
+  if (flow.num_jobs() == 0) {
+    report.Add("/jobs", "workflow needs at least one job");
+    return report;
+  }
+  for (JobId i = 0; i < flow.num_jobs(); ++i) {
+    const JobProfile& job = flow.job(i);
+    const std::string prefix = "/jobs/" + std::to_string(i);
+    report.Merge(ValidateJobSpec(job.spec, prefix));
+    CheckStageProfile(job.map, prefix + "/map", report);
+    if (job.has_reduce()) {
+      CheckStageProfile(*job.reduce, prefix + "/reduce", report);
+    }
+  }
+  return report;
+}
+
+}  // namespace dagperf

@@ -1,0 +1,60 @@
+#ifndef DAGPERF_DAG_VALIDATE_H_
+#define DAGPERF_DAG_VALIDATE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/validation.h"
+#include "dag/dag_workflow.h"
+#include "workload/job_spec.h"
+
+namespace dagperf {
+
+/// Caps on workflow shape. Generous for real workloads (the paper's largest
+/// DAGs have a handful of jobs; production DAGs have thousands of stages at
+/// most) but small enough that every derived count — map tasks from
+/// input/split, resolved reducers, total stages — fits comfortably in int
+/// arithmetic, so downstream code can cast without overflow checks.
+inline constexpr int kMaxJobsPerWorkflow = 100'000;
+inline constexpr int kMaxEdgesPerWorkflow = 1'000'000;
+inline constexpr int kMaxTasksPerStage = 10'000'000;
+
+/// Validation-firewall entry points for workflow descriptions.
+///
+/// These collect *all* violations of a spec as JSON-pointer diagnostics
+/// (see common/validation.h) and are wired in front of every user-reachable
+/// ingestion path: WorkflowFromJson/LoadWorkflow run ValidateWorkflowSpec
+/// before building, and Simulator::Run / StateBasedEstimator::Estimate /
+/// EstimateBatch re-validate built inputs cheaply. Downstream code keeps
+/// DAGPERF_CHECK for true invariants — by the time a spec passes the
+/// firewall, a failed CHECK means a library bug, not bad input.
+///
+/// NaN/Inf discipline: every rule is written NaN-safe (`!(x > 0)` instead of
+/// `x <= 0`), so non-finite values coming from arithmetic overflow in JSON
+/// (e.g. "1e400" parsing to Inf, or GB-to-bytes scaling overflowing) are
+/// named violations instead of poison propagating into estimates.
+
+/// Validates one job spec's fields and derived sizes (map task count,
+/// resolved reducer count). Pointers are rooted at `prefix` and use the
+/// spec_io JSON field names ("/input_gb", "/map_slot_vcores", ...).
+ValidationReport ValidateJobSpec(const JobSpec& spec,
+                                 const std::string& prefix = "");
+
+/// Validates a whole workflow description before DagBuilder::Build: every
+/// job spec (under "/jobs/<i>"), every edge ("/edges/<k>": range, self-loop,
+/// duplicate), and acyclicity over the well-formed edges.
+ValidationReport ValidateWorkflowSpec(
+    const std::vector<JobSpec>& jobs,
+    const std::vector<std::pair<JobId, JobId>>& edges);
+
+/// Re-validates an already-built workflow: each job's spec plus the compiled
+/// profile (finite non-negative sub-stage demands, positive task counts).
+/// Topology is construction-guaranteed by DagBuilder. This is the check the
+/// estimator-facing firewall runs on programmatically built flows, and the
+/// property tests run over every built-in workload suite.
+ValidationReport ValidateWorkflow(const DagWorkflow& flow);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_DAG_VALIDATE_H_

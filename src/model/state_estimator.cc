@@ -6,8 +6,10 @@
 #include <optional>
 #include <string>
 
+#include "cluster/validate.h"
 #include "common/check.h"
 #include "common/stats.h"
+#include "dag/validate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,6 +27,8 @@ struct EstimatorMetrics {
   obs::Counter& states;
   obs::Histogram& task_time_query_us;
   obs::Gauge& states_per_sec;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& cancelled;
 
   EstimatorMetrics()
       : estimates(obs::MetricsRegistry::Default().GetCounter(
@@ -33,7 +37,11 @@ struct EstimatorMetrics {
         task_time_query_us(obs::MetricsRegistry::Default().GetHistogram(
             "estimator.task_time_query_us")),
         states_per_sec(obs::MetricsRegistry::Default().GetGauge(
-            "estimator.states_per_sec")) {}
+            "estimator.states_per_sec")),
+        deadline_exceeded(obs::MetricsRegistry::Default().GetCounter(
+            "estimator.deadline_exceeded")),
+        cancelled(obs::MetricsRegistry::Default().GetCounter(
+            "estimator.cancelled")) {}
 };
 
 EstimatorMetrics& Metrics() {
@@ -188,12 +196,20 @@ Result<StageSpanEstimate> DagEstimate::FindStage(JobId job, StageKind kind) cons
 StateBasedEstimator::StateBasedEstimator(const ClusterSpec& cluster,
                                          const SchedulerConfig& scheduler,
                                          EstimatorOptions options)
-    : cluster_(cluster), allocator_(cluster, scheduler), options_(options) {
-  DAGPERF_CHECK(cluster_.Validate().ok());
+    : cluster_(cluster), options_(options) {
+  init_ = ValidateClusterSpec(cluster_).ToStatus("cluster");
+  if (init_.ok()) allocator_.emplace(cluster_, scheduler);
 }
 
 Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
                                                   const TaskTimeSource& source) const {
+  if (!init_.ok()) return init_;
+  // The validation firewall: reject malformed flows (non-finite demands,
+  // out-of-range counts) with a full diagnostic before touching the state
+  // machine, so nothing downstream needs to defend against them.
+  if (Status valid = ValidateWorkflow(flow).ToStatus(flow.name()); !valid.ok()) {
+    return valid;
+  }
   const bool metrics_on = obs::MetricsEnabled();
   const double wall_start = metrics_on ? obs::MonotonicUs() : 0.0;
   obs::TraceRecorder& tracer = obs::TraceRecorder::Default();
@@ -230,6 +246,19 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
     if (state_index > options_.max_states) {
       return Status::Internal(flow.name() + ": state limit exceeded");
     }
+    // Cooperative budget poll at the state boundary — the estimator's
+    // natural step granularity. Inert token + never-deadline reduce this to
+    // a pointer test and a constant compare.
+    if (options_.cancel.cancelled() || options_.deadline.expired()) {
+      const Status budget =
+          CheckBudget(options_.cancel, options_.deadline, "estimate " + flow.name());
+      if (budget.code() == ErrorCode::kDeadlineExceeded) {
+        Metrics().deadline_exceeded.Add(1);
+      } else {
+        Metrics().cancelled.Add(1);
+      }
+      return budget;
+    }
     std::optional<obs::ScopedSpan> state_span;
     if (tracer.enabled()) {
       state_span.emplace(tracer, "state " + std::to_string(state_index),
@@ -265,7 +294,7 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
           std::ceil(stage_of(r.job, r.kind).TasksOutstanding() - kEps));
       demands.push_back(d);
     }
-    const std::vector<int> delta = allocator_.Allocate(demands);
+    const std::vector<int> delta = allocator_->Allocate(demands);
 
     // (3) Task times under this state's contention (BOE or profile).
     EstimationContext context;
@@ -309,6 +338,16 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
         dists[i].stddev =
             std::sqrt(dists[i].stddev * dists[i].stddev * slowdown * slowdown +
                       node_sd * node_sd);
+      }
+      // A NaN task time would silently corrupt the arg-min below (NaN fails
+      // every comparison); a negative one would move time backwards. Either
+      // means the task-time source misbehaved on inputs the firewall let
+      // through — fail loudly instead of estimating garbage.
+      if (std::isnan(dists[i].mean) || dists[i].mean < 0) {
+        return Status::InvalidArgument(
+            flow.name() + ": task-time source returned bad task time " +
+            std::to_string(dists[i].mean) + " for stage " +
+            stage_of(running[i].job, running[i].kind).profile->name);
       }
       // Stage start is when it first receives containers.
       StageEst& st = stage_of(running[i].job, running[i].kind);

@@ -1,9 +1,11 @@
 #ifndef DAGPERF_MODEL_STATE_ESTIMATOR_H_
 #define DAGPERF_MODEL_STATE_ESTIMATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "cluster/cluster_spec.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "dag/dag_workflow.h"
 #include "model/task_time_source.h"
@@ -38,6 +40,15 @@ struct EstimatorOptions {
 
   /// Safety bound on state iterations.
   int max_states = 1000000;
+
+  /// Cooperative cancellation: polled once per state transition (together
+  /// with `deadline`); a fired token unwinds with Status::Cancelled. The
+  /// default token is inert and costs one pointer test per state.
+  CancelToken cancel;
+
+  /// Wall-clock budget for one Estimate() call, polled per state transition;
+  /// expiry unwinds with Status::DeadlineExceeded. Defaults to never.
+  Deadline deadline;
 
   /// Ask the TaskTimeSource for per-stage resource attribution (BOE
   /// bottleneck arg-max + utilisation shares) and record it on every
@@ -111,16 +122,24 @@ struct DagEstimate {
 /// library sources are; see task_time_source.h).
 class StateBasedEstimator {
  public:
+  /// An invalid cluster does not abort: construction records the validation
+  /// failure and every Estimate() call returns it (so a CLI-supplied
+  /// `--nodes -1` surfaces as InvalidArgument, not a CHECK crash).
   StateBasedEstimator(const ClusterSpec& cluster, const SchedulerConfig& scheduler,
                       EstimatorOptions options = {});
 
+  /// Runs the validation firewall over `flow` (dag/validate.h) before
+  /// estimating; malformed flows return InvalidArgument listing every
+  /// violation. Honours EstimatorOptions::{cancel, deadline} per state.
   Result<DagEstimate> Estimate(const DagWorkflow& flow,
                                const TaskTimeSource& source) const;
 
  private:
   ClusterSpec cluster_;
-  DrfAllocator allocator_;
+  /// Engaged iff init_ is Ok (DrfAllocator requires a valid cluster).
+  std::optional<DrfAllocator> allocator_;
   EstimatorOptions options_;
+  Status init_ = Status::Ok();
 };
 
 }  // namespace dagperf

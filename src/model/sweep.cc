@@ -1,10 +1,12 @@
 #include "model/sweep.h"
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "common/cancel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -21,6 +23,9 @@ struct SweepMetrics {
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
   obs::Gauge& cache_hit_rate;
+  obs::Counter& cancelled;
+  obs::Counter& deadline_exceeded;
+  obs::Counter& retries;
 
   SweepMetrics()
       : candidates(
@@ -31,7 +36,11 @@ struct SweepMetrics {
         cache_misses(
             obs::MetricsRegistry::Default().GetCounter("sweep.cache_misses")),
         cache_hit_rate(
-            obs::MetricsRegistry::Default().GetGauge("sweep.cache_hit_rate")) {}
+            obs::MetricsRegistry::Default().GetGauge("sweep.cache_hit_rate")),
+        cancelled(obs::MetricsRegistry::Default().GetCounter("sweep.cancelled")),
+        deadline_exceeded(obs::MetricsRegistry::Default().GetCounter(
+            "sweep.deadline_exceeded")),
+        retries(obs::MetricsRegistry::Default().GetCounter("sweep.retries")) {}
 };
 
 SweepMetrics& Metrics() {
@@ -46,8 +55,9 @@ Result<DagEstimate> EstimateOne(const EstimateRequest& request,
   if (request.flow == nullptr) {
     return Status::InvalidArgument("sweep request has no workflow");
   }
-  const Status cluster_ok = request.cluster.Validate();
-  if (!cluster_ok.ok()) return cluster_ok;
+  // The estimator is the firewall here: its constructor validates the
+  // cluster (every violation, not just the first) and Estimate() validates
+  // the flow, so an invalid candidate yields a full diagnostic.
   const StateBasedEstimator estimator(request.cluster, scheduler,
                                       estimator_options);
   return estimator.Estimate(*request.flow, source);
@@ -81,6 +91,18 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
     }
   }
 
+  // Batch-level budget propagates into each candidate's estimator (unless
+  // the caller set estimator-level signals), so a firing budget also unwinds
+  // the candidate currently mid-estimate, not just unstarted ones.
+  EstimatorOptions estimator_options = options.estimator;
+  if (!estimator_options.cancel.can_cancel()) {
+    estimator_options.cancel = options.cancel;
+  }
+  if (estimator_options.deadline.never()) {
+    estimator_options.deadline = options.deadline;
+  }
+
+  std::atomic<int> retries{0};
   const auto evaluate = [&](size_t i) -> Result<DagEstimate> {
     std::optional<obs::ScopedSpan> span;
     if (obs::TraceRecorder::Default().enabled()) {
@@ -92,21 +114,45 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
                             : label),
                    "sweep");
     }
-    if (!options.memoize) {
-      return EstimateOne(requests[i], scheduler, source, options.estimator);
+    const auto once = [&]() -> Result<DagEstimate> {
+      if (!options.memoize) {
+        return EstimateOne(requests[i], scheduler, source, estimator_options);
+      }
+      TaskTimeMemo* memo =
+          shared_memo != nullptr ? shared_memo : private_memos[i].get();
+      const MemoizedTaskTimeSource cached(source, memo, options.cache_scope);
+      return EstimateOne(requests[i], scheduler, cached, estimator_options);
+    };
+    Result<DagEstimate> estimate = once();
+    int attempts = 0;
+    while (!estimate.ok() && IsRetryable(estimate.status().code()) &&
+           attempts < options.max_retries && !options.cancel.cancelled() &&
+           !options.deadline.expired()) {
+      ++attempts;
+      retries.fetch_add(1, std::memory_order_relaxed);
+      estimate = once();
     }
-    TaskTimeMemo* memo = shared_memo != nullptr ? shared_memo : private_memos[i].get();
-    const MemoizedTaskTimeSource cached(source, memo, options.cache_scope);
-    return EstimateOne(requests[i], scheduler, cached, options.estimator);
+    return estimate;
   };
 
   result.estimates.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     result.estimates.emplace_back(Status::Internal("not evaluated"));
   }
+  // Which slots actually ran: under a firing budget, skipped slots keep the
+  // placeholder and are stamped with the budget status below.
+  std::vector<char> evaluated(requests.size(), 0);
 
+  Status budget_status = Status::Ok();
   if (options.pool == nullptr && options.threads == 1) {
-    for (size_t i = 0; i < requests.size(); ++i) result.estimates[i] = evaluate(i);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (budget_status.ok()) {
+        budget_status = CheckBudget(options.cancel, options.deadline, "sweep");
+      }
+      if (!budget_status.ok()) break;
+      result.estimates[i] = evaluate(i);
+      evaluated[i] = 1;
+    }
   } else {
     std::optional<ThreadPool> dedicated;
     ThreadPool* pool = options.pool;
@@ -114,23 +160,43 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
       dedicated.emplace(options.threads);
       pool = &*dedicated;
     }
-    ParallelFor(
+    budget_status = ParallelFor(
         0, static_cast<std::int64_t>(requests.size()),
-        [&](std::int64_t i) { result.estimates[static_cast<size_t>(i)] = evaluate(i); },
-        pool);
+        [&](std::int64_t i) {
+          result.estimates[static_cast<size_t>(i)] = evaluate(i);
+          evaluated[static_cast<size_t>(i)] = 1;
+        },
+        options.cancel, options.deadline, pool);
+  }
+  if (!budget_status.ok()) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!evaluated[i]) result.estimates[i] = budget_status;
+    }
   }
 
   for (size_t i = 0; i < result.estimates.size(); ++i) {
     const Result<DagEstimate>& estimate = result.estimates[i];
     if (!estimate.ok()) {
-      ++result.stats.failures;
+      switch (estimate.status().code()) {
+        case ErrorCode::kCancelled:
+          ++result.stats.cancelled;
+          break;
+        case ErrorCode::kDeadlineExceeded:
+          ++result.stats.deadline_exceeded;
+          break;
+        default:
+          ++result.stats.failures;
+          break;
+      }
       continue;
     }
+    ++result.stats.completed;
     if (estimate->makespan < result.stats.best_makespan) {
       result.stats.best_makespan = estimate->makespan;
       result.stats.best_index = static_cast<int>(i);
     }
   }
+  result.stats.retries = retries.load(std::memory_order_relaxed);
 
   if (shared_memo != nullptr) {
     const TaskTimeMemo::Stats after = shared_memo->stats();
@@ -155,6 +221,10 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
   metrics.cache_hits.Add(result.stats.cache_hits);
   metrics.cache_misses.Add(result.stats.cache_misses);
   metrics.cache_hit_rate.Set(result.stats.cache_hit_rate);
+  metrics.cancelled.Add(static_cast<std::uint64_t>(result.stats.cancelled));
+  metrics.deadline_exceeded.Add(
+      static_cast<std::uint64_t>(result.stats.deadline_exceeded));
+  metrics.retries.Add(static_cast<std::uint64_t>(result.stats.retries));
   return result;
 }
 

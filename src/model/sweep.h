@@ -62,12 +62,40 @@ struct SweepOptions {
   /// Pool override; when set, `threads` is ignored.
   ThreadPool* pool = nullptr;
 
+  /// Cooperative cancellation for the whole batch: candidates not yet
+  /// started are skipped (their slot carries Status::Cancelled), candidates
+  /// mid-estimate unwind at their next state boundary. Completed estimates
+  /// are kept — EstimateBatch always returns the partial results.
+  CancelToken cancel;
+
+  /// Wall-clock budget for the whole batch, with the same partial-result
+  /// semantics as `cancel` (unfinished slots carry DeadlineExceeded).
+  Deadline deadline;
+
+  /// Re-attempt candidates that fail with a *retryable* error (see
+  /// IsRetryable: transient resource-bound failures, not invalid input) up
+  /// to this many extra times each. Attempts stop early once the batch
+  /// budget fires. 0 = no retries.
+  int max_retries = 0;
+
+  /// Per-candidate estimator options. The batch-level cancel/deadline are
+  /// propagated into these (unless the caller set estimator-level ones), so
+  /// a firing budget also unwinds the candidate currently estimating.
   EstimatorOptions estimator;
 };
 
 struct SweepStats {
   int candidates = 0;
+  /// Candidates with a successful estimate.
+  int completed = 0;
+  /// Candidates that failed with a real error (invalid input, internal) —
+  /// budget-related outcomes are counted separately below.
   int failures = 0;
+  /// Candidates skipped or unwound by cancellation / the batch deadline.
+  int cancelled = 0;
+  int deadline_exceeded = 0;
+  /// Total retry attempts performed across all candidates.
+  int retries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   /// hits / (hits + misses); 0 when the cache was off or unused.
@@ -85,9 +113,13 @@ struct SweepResult {
 };
 
 /// Estimates every request, fanning candidates across the pool and sharing
-/// task-time work through the memo cache per `options`. The per-candidate
-/// results (order, values, errors) are bit-identical to calling
-/// StateBasedEstimator::Estimate serially per request without a cache.
+/// task-time work through the memo cache per `options`. When no budget
+/// fires, the per-candidate results (order, values, errors) are
+/// bit-identical to calling StateBasedEstimator::Estimate serially per
+/// request without a cache. When cancellation or the deadline fires
+/// mid-batch, already-finished candidates keep their results and every
+/// unfinished slot carries the budget status — callers always get the
+/// partial results plus per-outcome counts in SweepStats.
 SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
                           const SchedulerConfig& scheduler,
                           const TaskTimeSource& source,

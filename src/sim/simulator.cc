@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "cluster/rate_solver.h"
+#include "cluster/validate.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "dag/validate.h"
 
 namespace dagperf {
 
@@ -725,12 +727,26 @@ Result<SimResult> SimRun::Run() {
 Simulator::Simulator(const ClusterSpec& cluster, const SchedulerConfig& scheduler,
                      const SimOptions& options)
     : cluster_(cluster), scheduler_(scheduler), options_(options) {
-  DAGPERF_CHECK(cluster_.Validate().ok());
-  DAGPERF_CHECK(scheduler_.vcores_per_core > 0);
-  DAGPERF_CHECK(options_.task_startup_seconds >= 0);
+  ValidationReport report = ValidateClusterSpec(cluster_);
+  if (!(scheduler_.vcores_per_core > 0)) {  // NaN-safe.
+    report.Add("/scheduler/vcores_per_core",
+               "must be positive, got " +
+                   std::to_string(scheduler_.vcores_per_core));
+  }
+  if (!(options_.task_startup_seconds >= 0) ||
+      !std::isfinite(options_.task_startup_seconds)) {
+    report.Add("/options/task_startup_seconds",
+               "must be finite and >= 0, got " +
+                   std::to_string(options_.task_startup_seconds));
+  }
+  init_ = report.ToStatus("simulator config");
 }
 
 Result<SimResult> Simulator::Run(const DagWorkflow& flow) const {
+  if (!init_.ok()) return init_;
+  if (Status valid = ValidateWorkflow(flow).ToStatus(flow.name()); !valid.ok()) {
+    return valid;
+  }
   SimRun run(cluster_, scheduler_, options_, flow);
   return run.Run();
 }

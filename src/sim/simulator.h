@@ -72,10 +72,14 @@ struct SimOptions {
 /// analytical models approximate away.
 class Simulator {
  public:
+  /// An invalid cluster or configuration does not abort: the validation
+  /// failure is recorded and returned by every Run() call, so user-supplied
+  /// specs surface as InvalidArgument instead of a CHECK crash.
   Simulator(const ClusterSpec& cluster, const SchedulerConfig& scheduler,
             const SimOptions& options = {});
 
-  /// Executes the workflow to completion and returns the observed task,
+  /// Runs the validation firewall over `flow` (dag/validate.h), then
+  /// executes the workflow to completion and returns the observed task,
   /// stage, and state timeline. Fails if any task can never be placed (slot
   /// demand exceeds node capacity) or the time bound is hit.
   Result<SimResult> Run(const DagWorkflow& flow) const;
@@ -84,6 +88,7 @@ class Simulator {
   ClusterSpec cluster_;
   SchedulerConfig scheduler_;
   SimOptions options_;
+  Status init_ = Status::Ok();
 };
 
 }  // namespace dagperf

@@ -1,0 +1,235 @@
+// Validation-firewall tests (docs/robustness.md): multi-error reports with
+// JSON pointers for job specs, workflow topology, cluster hardware, and the
+// BOE node check; plus the firewall wiring — estimator and simulator return
+// InvalidArgument (never abort) on malformed-but-parseable inputs.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "boe/boe_model.h"
+#include "cluster/validate.h"
+#include "common/json.h"
+#include "dag/spec_io.h"
+#include "dag/validate.h"
+#include "model/state_estimator.h"
+#include "model/task_time_source.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "workloads/micro.h"
+
+namespace dagperf {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+DagWorkflow SingleJobFlow(const JobSpec& spec) {
+  DagBuilder builder(spec.name);
+  builder.AddJob(spec);
+  Result<DagWorkflow> flow = std::move(builder).Build();
+  EXPECT_TRUE(flow.ok()) << flow.status().ToString();
+  return std::move(flow).value();
+}
+
+bool HasViolationAt(const ValidationReport& report, const std::string& pointer) {
+  for (const auto& v : report.violations()) {
+    if (v.pointer == pointer) return true;
+  }
+  return false;
+}
+
+TEST(ValidateJobSpec, AccumulatesEveryViolationWithPointers) {
+  JobSpec spec = WordCountSpec(Bytes::FromGB(1));
+  spec.input = Bytes(-5);
+  spec.split_size = Bytes(0);
+  spec.map_selectivity = kNaN;
+  spec.replicas = -1;
+  const ValidationReport report = ValidateJobSpec(spec);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationAt(report, "/input_gb"));
+  EXPECT_TRUE(HasViolationAt(report, "/split_mb"));
+  EXPECT_TRUE(HasViolationAt(report, "/map_selectivity"));
+  EXPECT_TRUE(HasViolationAt(report, "/replicas"));
+  EXPECT_GE(report.violations().size(), 4u);
+}
+
+TEST(ValidateJobSpec, CleanSpecPasses) {
+  EXPECT_TRUE(ValidateJobSpec(WordCountSpec(Bytes::FromGB(100))).ok());
+}
+
+TEST(ValidateJobSpec, DerivedMapCountOverflowIsCaught) {
+  JobSpec spec = WordCountSpec(Bytes::FromGB(1));
+  spec.input = Bytes::FromGB(1e9);
+  spec.split_size = Bytes(1);
+  const ValidationReport report = ValidateJobSpec(spec);
+  EXPECT_TRUE(HasViolationAt(report, "/split_mb"));
+}
+
+TEST(ValidateJobSpec, AutoReducerOverflowIsCaught) {
+  JobSpec spec = WordCountSpec(Bytes::FromGB(1));
+  spec.num_reduce_tasks = kAutoReducers;
+  spec.map_selectivity = 1e15;  // raw map output in the exabytes
+  const ValidationReport report = ValidateJobSpec(spec);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateWorkflowSpec, CycleAndEdgeErrorsAccumulate) {
+  std::vector<JobSpec> jobs = {WordCountSpec(Bytes::FromGB(1)),
+                               WordCountSpec(Bytes::FromGB(1))};
+  jobs[1].name = "second";
+  const std::vector<std::pair<JobId, JobId>> edges = {
+      {0, 1}, {1, 0}, {0, 0}, {0, 1}, {0, 99}};
+  const ValidationReport report = ValidateWorkflowSpec(jobs, edges);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(HasViolationAt(report, "/edges/2"));  // self-edge
+  EXPECT_TRUE(HasViolationAt(report, "/edges/3"));  // duplicate
+  EXPECT_TRUE(HasViolationAt(report, "/edges/4/1"));  // out of range
+  // The cycle is reported too, naming the jobs involved.
+  const std::string text = report.ToString("flow");
+  EXPECT_NE(text.find("cycle"), std::string::npos) << text;
+}
+
+TEST(ValidateWorkflowSpec, EmptyWorkflowRejected) {
+  const ValidationReport report = ValidateWorkflowSpec({}, {});
+  EXPECT_TRUE(HasViolationAt(report, "/jobs"));
+}
+
+TEST(SpecIo, WrongTypedFieldsRejectedNotAborted) {
+  const Result<Json> doc = Json::Parse(
+      R"({"jobs": [{"name": "a", "input_gb": "ten"}], "edges": []})");
+  ASSERT_TRUE(doc.ok());
+  const Result<DagWorkflow> flow = WorkflowFromJson(*doc);
+  ASSERT_FALSE(flow.ok());
+  EXPECT_EQ(flow.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SpecIo, HugeReducerCountRejected) {
+  const Result<Json> doc = Json::Parse(
+      R"({"jobs": [{"name": "a", "input_gb": 1,
+                    "num_reduce_tasks": 1e12}], "edges": []})");
+  ASSERT_TRUE(doc.ok());
+  const Result<DagWorkflow> flow = WorkflowFromJson(*doc);
+  ASSERT_FALSE(flow.ok());
+  EXPECT_EQ(flow.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SpecIo, StringEdgesRejected) {
+  const Result<Json> doc = Json::Parse(
+      R"({"jobs": [{"name": "a"}, {"name": "b"}], "edges": [["a", "b"]]})");
+  ASSERT_TRUE(doc.ok());
+  const Result<DagWorkflow> flow = WorkflowFromJson(*doc);
+  ASSERT_FALSE(flow.ok());
+  EXPECT_EQ(flow.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SpecIo, CyclicDocumentReportsAllViolations) {
+  const Result<Json> doc = Json::Parse(
+      R"({"jobs": [{"name": "a", "input_gb": -1}, {"name": "b"}],
+          "edges": [[0, 1], [1, 0]]})");
+  ASSERT_TRUE(doc.ok());
+  const Result<DagWorkflow> flow = WorkflowFromJson(*doc);
+  ASSERT_FALSE(flow.ok());
+  const std::string& msg = flow.status().message();
+  EXPECT_NE(msg.find("/jobs/0/input_gb"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+}
+
+TEST(ValidateClusterSpec, FlagsEveryBadAxis) {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.num_nodes = 0;
+  cluster.node.cores = -2;
+  cluster.node.disk_read_bw = Rate::MBps(kNaN);
+  cluster.node.network_bw = Rate::MBps(kInf);
+  cluster.node.memory = Bytes(0);
+  const ValidationReport report = ValidateClusterSpec(cluster);
+  EXPECT_TRUE(HasViolationAt(report, "/num_nodes"));
+  EXPECT_TRUE(HasViolationAt(report, "/node/cores"));
+  EXPECT_TRUE(HasViolationAt(report, "/node/disk_read_bw_mbps"));
+  EXPECT_TRUE(HasViolationAt(report, "/node/network_bw_mbps"));
+  EXPECT_TRUE(HasViolationAt(report, "/node/memory_gb"));
+}
+
+TEST(ValidateClusterSpec, PaperClusterPasses) {
+  EXPECT_TRUE(ValidateClusterSpec(ClusterSpec::PaperCluster()).ok());
+}
+
+TEST(BoeModel, ValidateNamesEachBadCapacityAxis) {
+  NodeSpec node;
+  node.disk_read_bw = Rate::MBps(0);
+  node.network_bw = Rate::MBps(kNaN);
+  const BoeModel boe(node);
+  const Status status = boe.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("disk-read"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("network"), std::string::npos)
+      << status.message();
+  EXPECT_TRUE(BoeModel(NodeSpec{}).Validate().ok());
+}
+
+TEST(BoeModel, ZeroCapacityPricesInfiniteNeverNaN) {
+  NodeSpec node;
+  node.disk_read_bw = Rate::MBps(0);  // map input can never be read
+  const BoeModel boe(node);
+  const Result<JobProfile> profile = CompileJob(WordCountSpec(Bytes::FromGB(1)));
+  ASSERT_TRUE(profile.ok());
+  const TaskEstimate task = boe.EstimateTask(profile->map, 1.0);
+  EXPECT_FALSE(std::isnan(task.duration.seconds()));
+  EXPECT_TRUE(std::isinf(task.duration.seconds()));
+  for (const auto& ss : task.substages) {
+    EXPECT_FALSE(std::isnan(ss.duration.seconds()));
+  }
+}
+
+TEST(Firewall, EstimatorRejectsInvalidClusterWithoutAborting) {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.num_nodes = -1;
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(1)));
+  const Result<DagEstimate> estimate = estimator.Estimate(flow, source);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(estimate.status().message().find("/num_nodes"), std::string::npos);
+}
+
+TEST(Firewall, SimulatorRejectsInvalidClusterWithoutAborting) {
+  ClusterSpec cluster = ClusterSpec::PaperCluster();
+  cluster.node.cores = 0;
+  const Simulator sim(cluster, SchedulerConfig{});
+  const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(1)));
+  const Result<SimResult> run = sim.Run(flow);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Firewall, SimulatorRejectsBadOptions) {
+  SimOptions options;
+  options.task_startup_seconds = kNaN;
+  const Simulator sim(ClusterSpec::PaperCluster(), SchedulerConfig{}, options);
+  const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(1)));
+  const Result<SimResult> run = sim.Run(flow);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Firewall, ValidationFailureCounterIncrements) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter& failures =
+      obs::MetricsRegistry::Default().GetCounter("validation.failures");
+  const std::uint64_t before = failures.value();
+  ValidationReport report;
+  report.Add("/x", "broken");
+  EXPECT_FALSE(report.ToStatus("test").ok());
+  EXPECT_EQ(failures.value(), before + 1);
+  obs::SetMetricsEnabled(false);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,87 @@
+// Property: every workload the library ships validates clean through the
+// firewall, and survives a Save -> Load -> validate round-trip — i.e. the
+// validators reject only genuinely malformed inputs, and the JSON codec
+// neither loses nor corrupts any field the validators inspect.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dag/spec_io.h"
+#include "dag/validate.h"
+#include "workloads/hibench.h"
+#include "workloads/micro.h"
+#include "workloads/suite.h"
+#include "workloads/tpch.h"
+#include "workloads/web_analytics.h"
+
+namespace dagperf {
+namespace {
+
+std::vector<DagWorkflow> BuiltInFlows() {
+  std::vector<DagWorkflow> flows;
+  const Result<std::vector<NamedFlow>> suite = TableThreeSuite(0.1);
+  EXPECT_TRUE(suite.ok());
+  if (suite.ok()) {
+    for (const NamedFlow& nf : *suite) flows.push_back(nf.flow);
+  }
+  const auto add = [&](Result<DagWorkflow> flow) {
+    EXPECT_TRUE(flow.ok()) << flow.status().ToString();
+    if (flow.ok()) flows.push_back(std::move(flow).value());
+  };
+  add(WebAnalyticsFlow(Bytes::FromGB(50)));
+  add(KMeansFlow(Bytes::FromGB(20), 2));
+  add(PageRankFlow(Bytes::FromGB(20), 2));
+  for (int query : {1, 2, 3, 4}) add(TpchQueryFlow(query, Bytes::FromGB(40)));
+  for (const JobSpec& spec :
+       {WordCountSpec(Bytes::FromGB(25)), TsSpec(Bytes::FromGB(25)),
+        TscSpec(Bytes::FromGB(25)), Ts2rSpec(Bytes::FromGB(25)),
+        Ts3rSpec(Bytes::FromGB(25))}) {
+    DagBuilder builder(spec.name);
+    builder.AddJob(spec);
+    add(std::move(builder).Build());
+  }
+  return flows;
+}
+
+TEST(ValidationProperty, EveryBuiltInWorkloadValidatesClean) {
+  const std::vector<DagWorkflow> flows = BuiltInFlows();
+  ASSERT_FALSE(flows.empty());
+  for (const DagWorkflow& flow : flows) {
+    const ValidationReport report = ValidateWorkflow(flow);
+    EXPECT_TRUE(report.ok()) << report.ToString(flow.name());
+  }
+}
+
+TEST(ValidationProperty, SaveLoadRoundTripValidatesClean) {
+  const std::vector<DagWorkflow> flows = BuiltInFlows();
+  ASSERT_FALSE(flows.empty());
+  const std::string path = ::testing::TempDir() + "/roundtrip_flow.json";
+  for (const DagWorkflow& flow : flows) {
+    ASSERT_TRUE(SaveWorkflow(flow, path).ok()) << flow.name();
+    const Result<DagWorkflow> loaded = LoadWorkflow(path);
+    ASSERT_TRUE(loaded.ok()) << flow.name() << ": "
+                             << loaded.status().ToString();
+    const ValidationReport report = ValidateWorkflow(*loaded);
+    EXPECT_TRUE(report.ok()) << report.ToString(flow.name());
+    EXPECT_EQ(loaded->name(), flow.name());
+    EXPECT_EQ(loaded->num_jobs(), flow.num_jobs());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ValidationProperty, SerialisedFormReparsesViaJson) {
+  // WorkflowToJson output must be accepted by WorkflowFromJson directly
+  // (the same property the fuzzer assumes when mutating valid corpus seeds).
+  const std::vector<DagWorkflow> flows = BuiltInFlows();
+  for (const DagWorkflow& flow : flows) {
+    const Result<DagWorkflow> reparsed = WorkflowFromJson(WorkflowToJson(flow));
+    EXPECT_TRUE(reparsed.ok())
+        << flow.name() << ": " << reparsed.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dagperf

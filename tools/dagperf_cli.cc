@@ -8,15 +8,21 @@
 //   dagperf simulate --flow NAME|--spec FILE.json [--scale S] [--nodes N]
 //                    [--seed K] [--json FILE] [--csv FILE] [--chrome FILE]
 //   dagperf estimate --flow NAME|--spec FILE.json [--scale S] [--nodes N]
-//                    [--variant boe|mean|median|normal]
+//                    [--variant boe|mean|median|normal] [--deadline-seconds D]
 //   dagperf explain  --flow NAME|--spec FILE.json [--scale S] [--nodes N]
-//                    [--json FILE]
+//                    [--json FILE] [--deadline-seconds D]
 //   dagperf compare  --flow NAME|--spec FILE.json [--scale S] [--nodes N]
 //   dagperf sweep    --job WC|TS|TSC|TS2R|TS3R [--input-gb G] [--baseline R]
 //   dagperf sweep    --job J --reducers 8,16,32 [--threads N] [--json FILE]
 //   dagperf sweep    --flow NAME|--spec FILE.json --nodes-list 2,4,8,16
 //                    [--scale S] [--deadline-s D] [--threads N] [--json FILE]
+//                    [--deadline-seconds D]
 //   dagperf tune     --job WC|TS|TSC|TS2R|TS3R [--input-gb G]
+//
+// --deadline-seconds bounds the wall-clock the estimator may spend; on
+// expiry the command exits 3 (sweeps print whatever candidates finished).
+// Exit codes: 0 ok, 1 output trouble, 2 invalid input, 3 deadline/cancelled,
+// 4 internal error. Diagnostics go to stderr; stdout carries only results.
 //
 // Workflow NAMEs are the Table III suite names (TS-Q1..TS-Q22, WC-Q1..,
 // WC-TS, WC-KM, ...) plus "web-analytics"; --spec loads a JSON workflow
@@ -36,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/json.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -57,6 +64,47 @@
 namespace dagperf {
 namespace {
 
+/// Exit codes of the CLI, stable for scripting:
+///   0 success, 1 output/runtime trouble (e.g. unwritable --json file),
+///   2 invalid input (bad usage, malformed spec, unknown flow),
+///   3 deadline exceeded or cancelled (partial results may have printed),
+///   4 internal error (a library bug — please report).
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitInvalid = 2;
+constexpr int kExitDeadline = 3;
+constexpr int kExitInternal = 4;
+
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk:
+      return kExitOk;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kNotFound:
+    case ErrorCode::kFailedPrecondition:
+      return kExitInvalid;
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kCancelled:
+      return kExitDeadline;
+    case ErrorCode::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
+}
+
+/// Prints the diagnostic to stderr (never stdout — stdout is for results,
+/// so piped output stays parseable) and maps the status to an exit code.
+int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
+/// Thrown by flag accessors on unparseable values; caught in Main and
+/// reported as invalid input (exit 2), never an uncaught-exception abort.
+struct FlagError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
@@ -67,11 +115,33 @@ struct Args {
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+    if (it == options.end()) return fallback;
+    try {
+      size_t used = 0;
+      const double value = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return value;
+    } catch (const std::exception&) {
+      throw FlagError("--" + key + ": not a number: " + it->second);
+    }
   }
   int GetInt(const std::string& key, int fallback) const {
     auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoi(it->second);
+    if (it == options.end()) return fallback;
+    try {
+      size_t used = 0;
+      const int value = std::stoi(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return value;
+    } catch (const std::exception&) {
+      throw FlagError("--" + key + ": not an integer: " + it->second);
+    }
+  }
+
+  /// --deadline-seconds D as a wall-clock budget (absent or <= 0 = none).
+  Deadline GetDeadline() const {
+    const double seconds = GetDouble("deadline-seconds", 0.0);
+    return seconds > 0 ? Deadline::AfterSeconds(seconds) : Deadline::Never();
   }
 };
 
@@ -82,7 +152,8 @@ int Usage() {
                "[--flow NAME | --spec FILE.json] [--job WC|TS|TSC|TS2R|TS3R] "
                "[--scale S] [--nodes N] [--seed K] [--input-gb G] [--baseline R] "
                "[--reducers 8,16,32] [--nodes-list 2,4,8] [--threads N] "
-               "[--deadline-s D] [--variant boe|mean|median|normal] [--out F] "
+               "[--deadline-s D] [--deadline-seconds D] "
+               "[--variant boe|mean|median|normal] [--out F] "
                "[--json F] [--csv F] [--chrome F] "
                "[--metrics-json F] [--trace-out F]\n");
   return 2;
@@ -106,20 +177,14 @@ Result<DagWorkflow> LoadFlow(const Args& args) {
 
 int CmdExport(const Args& args) {
   Result<DagWorkflow> flow = LoadFlow(args);
-  if (!flow.ok()) {
-    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
-    return 1;
-  }
+  if (!flow.ok()) return Fail(flow.status());
   const std::string out = args.Get("out", "");
   if (out.empty()) {
     std::printf("%s", WorkflowToJson(*flow).Dump().c_str());
     return 0;
   }
   const Status st = SaveWorkflow(*flow, out);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
+  if (!st.ok()) return Fail(st);
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }
@@ -158,19 +223,13 @@ int CmdList() {
 
 int CmdSimulate(const Args& args) {
   Result<DagWorkflow> flow = LoadFlow(args);
-  if (!flow.ok()) {
-    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
-    return 1;
-  }
+  if (!flow.ok()) return Fail(flow.status());
   const ClusterSpec cluster = LoadCluster(args);
   SimOptions options;
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   const Simulator sim(cluster, SchedulerConfig{}, options);
   Result<SimResult> result = sim.Run(*flow);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return Fail(result.status());
   std::printf("%s on %d nodes: makespan %.1f s, %zu tasks, %zu states\n",
               flow->name().c_str(), cluster.num_nodes, result->makespan().seconds(),
               result->tasks().size(), result->states().size());
@@ -204,18 +263,20 @@ int CmdSimulate(const Args& args) {
 
 Result<DagEstimate> RunEstimate(const DagWorkflow& flow, const ClusterSpec& cluster,
                                 const std::string& variant,
-                                const SimResult* profile_run) {
+                                const SimResult* profile_run,
+                                const Deadline& deadline = Deadline::Never()) {
   const SchedulerConfig sched;
+  EstimatorOptions options;
+  options.deadline = deadline;
   if (variant == "boe") {
     const BoeModel boe(cluster.node);
     const BoeTaskTimeSource source(boe, Duration::Seconds(1));
-    return StateBasedEstimator(cluster, sched).Estimate(flow, source);
+    return StateBasedEstimator(cluster, sched, options).Estimate(flow, source);
   }
   if (profile_run == nullptr) {
     return Status::InvalidArgument(
         "profile-driven variants need a simulated profiling run");
   }
-  EstimatorOptions options;
   ProfileStatistic stat = ProfileStatistic::kMean;
   if (variant == "median") stat = ProfileStatistic::kMedian;
   if (variant == "normal") options.skew_aware = true;
@@ -227,28 +288,20 @@ Result<DagEstimate> RunEstimate(const DagWorkflow& flow, const ClusterSpec& clus
 
 int CmdEstimate(const Args& args) {
   Result<DagWorkflow> flow = LoadFlow(args);
-  if (!flow.ok()) {
-    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
-    return 1;
-  }
+  if (!flow.ok()) return Fail(flow.status());
   const ClusterSpec cluster = LoadCluster(args);
   const std::string variant = args.Get("variant", "boe");
   std::optional<SimResult> profile_run;
   if (variant != "boe") {
     Result<SimResult> run =
         Simulator(cluster, SchedulerConfig{}, SimOptions{}).Run(*flow);
-    if (!run.ok()) {
-      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
-      return 1;
-    }
+    if (!run.ok()) return Fail(run.status());
     profile_run = std::move(run).value();
   }
-  Result<DagEstimate> estimate = RunEstimate(
-      *flow, cluster, variant, profile_run ? &*profile_run : nullptr);
-  if (!estimate.ok()) {
-    std::fprintf(stderr, "%s\n", estimate.status().ToString().c_str());
-    return 1;
-  }
+  Result<DagEstimate> estimate =
+      RunEstimate(*flow, cluster, variant, profile_run ? &*profile_run : nullptr,
+                  args.GetDeadline());
+  if (!estimate.ok()) return Fail(estimate.status());
   std::printf("%s (%s estimate): makespan %.1f s, %zu states\n",
               flow->name().c_str(), variant.c_str(), estimate->makespan.seconds(),
               estimate->states.size());
@@ -276,19 +329,15 @@ int CmdEstimate(const Args& args) {
 /// the critical path plus per-state bottleneck resources (model/explain.h).
 int CmdExplain(const Args& args) {
   Result<DagWorkflow> flow = LoadFlow(args);
-  if (!flow.ok()) {
-    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
-    return 1;
-  }
+  if (!flow.ok()) return Fail(flow.status());
   const ClusterSpec cluster = LoadCluster(args);
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  EstimatorOptions options;
+  options.deadline = args.GetDeadline();
   Result<ExplainReport> report =
-      Explain(*flow, cluster, SchedulerConfig{}, source);
-  if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    return 1;
-  }
+      Explain(*flow, cluster, SchedulerConfig{}, source, options);
+  if (!report.ok()) return Fail(report.status());
   std::printf("%s", ExplainToText(*flow, *report).c_str());
 
   const std::string json_path = args.Get("json", "");
@@ -311,17 +360,11 @@ int CmdExplain(const Args& args) {
 
 int CmdCompare(const Args& args) {
   Result<DagWorkflow> flow = LoadFlow(args);
-  if (!flow.ok()) {
-    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
-    return 1;
-  }
+  if (!flow.ok()) return Fail(flow.status());
   const ClusterSpec cluster = LoadCluster(args);
   Result<SimResult> truth =
       Simulator(cluster, SchedulerConfig{}, SimOptions{}).Run(*flow);
-  if (!truth.ok()) {
-    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
-    return 1;
-  }
+  if (!truth.ok()) return Fail(truth.status());
   std::printf("%s simulated: %.1f s\n", flow->name().c_str(),
               truth->makespan().seconds());
   TextTable table({"variant", "estimate (s)", "accuracy"});
@@ -365,16 +408,21 @@ Result<std::vector<int>> ParseIntList(const std::string& text) {
 }
 
 /// Shared tail of the what-if sweeps: print the candidate table and cache
-/// stats, optionally dump the JSON table.
+/// stats, optionally dump the JSON table. Failed candidates go to stderr and
+/// the survivors still print — a sweep cut short by --deadline-seconds shows
+/// its partial results. Exit code: 0 all completed, 3 if the budget fired,
+/// otherwise the first failure's code.
 int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
                 const SweepResult& sweep, const Args& args) {
   TextTable table({knob_name, "predicted (s)", "states"});
   Json rows = Json::MakeArray();
+  Status first_failure = Status::Ok();
   for (size_t i = 0; i < knobs.size(); ++i) {
     if (!sweep.estimates[i].ok()) {
       std::fprintf(stderr, "%s=%d: %s\n", knob_name.c_str(), knobs[i],
                    sweep.estimates[i].status().ToString().c_str());
-      return 1;
+      if (first_failure.ok()) first_failure = sweep.estimates[i].status();
+      continue;
     }
     const DagEstimate& estimate = *sweep.estimates[i];
     table.AddRow({std::to_string(knobs[i]),
@@ -386,9 +434,21 @@ int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
     rows.Append(std::move(row));
   }
   std::printf("%s", table.ToString().c_str());
-  std::printf("best: %s=%d -> %.1f s\n", knob_name.c_str(),
-              knobs[static_cast<size_t>(sweep.stats.best_index)],
-              sweep.stats.best_makespan.seconds());
+  if (sweep.stats.completed < sweep.stats.candidates) {
+    std::fprintf(stderr,
+                 "%d/%d candidates completed (%d cancelled, %d deadline, "
+                 "%d failed, %d retries)\n",
+                 sweep.stats.completed, sweep.stats.candidates,
+                 sweep.stats.cancelled, sweep.stats.deadline_exceeded,
+                 sweep.stats.failures, sweep.stats.retries);
+  }
+  if (sweep.stats.best_index >= 0) {
+    std::printf("best: %s=%d -> %.1f s\n", knob_name.c_str(),
+                knobs[static_cast<size_t>(sweep.stats.best_index)],
+                sweep.stats.best_makespan.seconds());
+  } else {
+    std::fprintf(stderr, "no candidate completed\n");
+  }
   std::printf("cache: %.1f%% hit rate (%llu hits, %llu misses)\n",
               100.0 * sweep.stats.cache_hit_rate,
               static_cast<unsigned long long>(sweep.stats.cache_hits),
@@ -399,13 +459,20 @@ int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
     Json doc = Json::MakeObject();
     doc.Set("knob", Json::MakeString(knob_name));
     doc.Set("candidates", std::move(rows));
-    doc.Set("best_" + knob_name,
-            Json::MakeNumber(knobs[static_cast<size_t>(sweep.stats.best_index)]));
-    doc.Set("best_predicted_s", Json::MakeNumber(sweep.stats.best_makespan.seconds()));
+    if (sweep.stats.best_index >= 0) {
+      doc.Set("best_" + knob_name,
+              Json::MakeNumber(knobs[static_cast<size_t>(sweep.stats.best_index)]));
+      doc.Set("best_predicted_s",
+              Json::MakeNumber(sweep.stats.best_makespan.seconds()));
+    }
     // Same batch statistics bench_sweep_throughput records in
     // BENCH_sweep.json, so the CLI and the benchmark agree field-for-field.
     doc.Set("num_candidates", Json::MakeNumber(sweep.stats.candidates));
+    doc.Set("completed", Json::MakeNumber(sweep.stats.completed));
     doc.Set("failures", Json::MakeNumber(sweep.stats.failures));
+    doc.Set("cancelled", Json::MakeNumber(sweep.stats.cancelled));
+    doc.Set("deadline_exceeded", Json::MakeNumber(sweep.stats.deadline_exceeded));
+    doc.Set("retries", Json::MakeNumber(sweep.stats.retries));
     doc.Set("cache_hits",
             Json::MakeNumber(static_cast<double>(sweep.stats.cache_hits)));
     doc.Set("cache_misses",
@@ -414,31 +481,29 @@ int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
     std::ofstream out(json_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
-      return 1;
+      return kExitRuntime;
     }
     out << doc.Dump() << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return 0;
+  if (sweep.stats.cancelled > 0 || sweep.stats.deadline_exceeded > 0) {
+    return kExitDeadline;
+  }
+  if (!first_failure.ok()) return ExitCodeFor(first_failure);
+  return kExitOk;
 }
 
 /// Reducer-count what-if grid for a micro job, priced by the sweep engine.
 int CmdReducerSweep(const Args& args) {
   Result<JobSpec> job = LoadJob(args);
-  if (!job.ok()) {
-    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
-    return 1;
-  }
+  if (!job.ok()) return Fail(job.status());
   Result<std::vector<int>> grid = ParseIntList(args.Get("reducers", ""));
   if (!grid.ok()) {
-    std::fprintf(stderr, "--reducers: %s\n", grid.status().ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "--reducers: ");
+    return Fail(grid.status());
   }
   Result<std::vector<DagWorkflow>> flows = BuildReducerCandidates(*job, *grid);
-  if (!flows.ok()) {
-    std::fprintf(stderr, "%s\n", flows.status().ToString().c_str());
-    return 1;
-  }
+  if (!flows.ok()) return Fail(flows.status());
   const ClusterSpec cluster = LoadCluster(args);
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
@@ -446,6 +511,7 @@ int CmdReducerSweep(const Args& args) {
   for (const DagWorkflow& flow : *flows) requests.push_back({&flow, cluster, ""});
   SweepOptions options;
   options.threads = args.GetInt("threads", 0);
+  options.deadline = args.GetDeadline();
   const SweepResult sweep = EstimateBatch(requests, SchedulerConfig{}, source, options);
   std::printf("reducer sweep for %s on %d nodes (%d candidates, %d threads):\n",
               job->name.c_str(), cluster.num_nodes, sweep.stats.candidates,
@@ -456,14 +522,11 @@ int CmdReducerSweep(const Args& args) {
 /// Cluster-size what-if grid for a workflow (capacity planning).
 int CmdNodesSweep(const Args& args) {
   Result<DagWorkflow> flow = LoadFlow(args);
-  if (!flow.ok()) {
-    std::fprintf(stderr, "%s\n", flow.status().ToString().c_str());
-    return 1;
-  }
+  if (!flow.ok()) return Fail(flow.status());
   Result<std::vector<int>> grid = ParseIntList(args.Get("nodes-list", ""));
   if (!grid.ok()) {
-    std::fprintf(stderr, "--nodes-list: %s\n", grid.status().ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "--nodes-list: ");
+    return Fail(grid.status());
   }
   const ClusterSpec base = LoadCluster(args);
   const BoeModel boe(base.node);
@@ -476,6 +539,7 @@ int CmdNodesSweep(const Args& args) {
   }
   SweepOptions options;
   options.threads = args.GetInt("threads", 0);
+  options.deadline = args.GetDeadline();
   const SweepResult sweep = EstimateBatch(requests, SchedulerConfig{}, source, options);
   std::printf("cluster-size sweep for %s (%d candidates, %d threads):\n",
               flow->name().c_str(), sweep.stats.candidates, options.threads);
@@ -505,17 +569,11 @@ int CmdSweep(const Args& args) {
   if (args.options.count("reducers") > 0) return CmdReducerSweep(args);
   if (args.options.count("nodes-list") > 0) return CmdNodesSweep(args);
   Result<JobSpec> job = LoadJob(args);
-  if (!job.ok()) {
-    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
-    return 1;
-  }
+  if (!job.ok()) return Fail(job.status());
   SingleJobSweepConfig config;
   config.baseline_reference = args.GetInt("baseline", 2);
   Result<SingleJobSweepResult> sweep = RunSingleJobSweep(*job, config);
-  if (!sweep.ok()) {
-    std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
-    return 1;
-  }
+  if (!sweep.ok()) return Fail(sweep.status());
   TextTable table({"delta", "map truth", "map BOE", "shuffle truth",
                    "shuffle BOE", "reduce truth", "reduce BOE"});
   for (const auto& p : sweep->points) {
@@ -535,10 +593,7 @@ int CmdSweep(const Args& args) {
 
 int CmdTune(const Args& args) {
   Result<JobSpec> job = LoadJob(args);
-  if (!job.ok()) {
-    std::fprintf(stderr, "%s\n", job.status().ToString().c_str());
-    return 1;
-  }
+  if (!job.ok()) return Fail(job.status());
   const ClusterSpec cluster = LoadCluster(args);
   Result<ReducerTuning> reducers = TuneReducers(*job, cluster, SchedulerConfig{});
   if (reducers.ok()) {
@@ -582,24 +637,29 @@ int Main(int argc, char** argv) {
   if (!trace_path.empty()) obs::TraceRecorder::Default().SetEnabled(true);
 
   int rc;
-  if (args.command == "list") {
-    rc = CmdList();
-  } else if (args.command == "export") {
-    rc = CmdExport(args);
-  } else if (args.command == "simulate") {
-    rc = CmdSimulate(args);
-  } else if (args.command == "estimate") {
-    rc = CmdEstimate(args);
-  } else if (args.command == "explain") {
-    rc = CmdExplain(args);
-  } else if (args.command == "compare") {
-    rc = CmdCompare(args);
-  } else if (args.command == "sweep") {
-    rc = CmdSweep(args);
-  } else if (args.command == "tune") {
-    rc = CmdTune(args);
-  } else {
-    return Usage();
+  try {
+    if (args.command == "list") {
+      rc = CmdList();
+    } else if (args.command == "export") {
+      rc = CmdExport(args);
+    } else if (args.command == "simulate") {
+      rc = CmdSimulate(args);
+    } else if (args.command == "estimate") {
+      rc = CmdEstimate(args);
+    } else if (args.command == "explain") {
+      rc = CmdExplain(args);
+    } else if (args.command == "compare") {
+      rc = CmdCompare(args);
+    } else if (args.command == "sweep") {
+      rc = CmdSweep(args);
+    } else if (args.command == "tune") {
+      rc = CmdTune(args);
+    } else {
+      return Usage();
+    }
+  } catch (const FlagError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return kExitInvalid;
   }
 
   if (!metrics_path.empty()) {
