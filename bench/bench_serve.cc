@@ -1,0 +1,183 @@
+// Estimation-service throughput: N concurrent clients issue a recurring
+// stream of estimate requests (the paper's §I serving scenario — the same
+// self-tuning / capacity queries arriving again and again) against two
+// stacks:
+//
+//   cold — the pre-service per-request path: every request constructs its
+//          own BOE model, task-time source and estimator, no cache;
+//   warm — one long-lived EstimationService: shared pool, admission queue,
+//          and the persistent cross-request task-time memo.
+//
+// Reports requests/sec, p50/p99 latency and the memo hit rate to stdout and
+// BENCH_serve.json. The warm stack must beat cold on throughput — that gap
+// is the service layer's reason to exist.
+//
+// Build & run:  ./build/bench/bench_serve [clients] [requests-per-client]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "service/service.h"
+#include "workloads/suite.h"
+
+namespace dagperf {
+namespace {
+
+/// Latencies (seconds) of one measured run plus its wall-clock.
+struct RunResult {
+  std::vector<double> latencies;
+  double wall_seconds = 0.0;
+
+  double Rps() const {
+    return wall_seconds > 0 ? static_cast<double>(latencies.size()) / wall_seconds
+                            : 0.0;
+  }
+  double QuantileMs(double q) {
+    if (latencies.empty()) return 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t i = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies.size())));
+    return latencies[i] * 1e3;
+  }
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `clients` threads, each issuing `per_client` sequential requests
+/// round-robin over the workflow names, and collects per-request latencies.
+template <typename PerRequest>
+RunResult DriveClients(int clients, int per_client,
+                       const std::vector<std::string>& names,
+                       const PerRequest& request_fn) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  const double start = Now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (int i = 0; i < per_client; ++i) {
+        const std::string& name = names[(c + i) % names.size()];
+        const double begin = Now();
+        if (!request_fn(name)) {
+          std::fprintf(stderr, "request for %s failed\n", name.c_str());
+          std::exit(1);
+        }
+        latencies[c].push_back(Now() - begin);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  RunResult result;
+  result.wall_seconds = Now() - start;
+  for (std::vector<double>& per_thread : latencies) {
+    result.latencies.insert(result.latencies.end(), per_thread.begin(),
+                            per_thread.end());
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int per_client = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  Result<std::vector<NamedFlow>> suite = TableThreeSuite(0.5);
+  if (!suite.ok()) {
+    std::fprintf(stderr, "%s\n", suite.status().ToString().c_str());
+    return 1;
+  }
+  // A small recurring set — the serving pattern the persistent memo targets.
+  const std::size_t distinct = std::min<std::size_t>(4, suite->size());
+  std::vector<std::string> names;
+  std::vector<DagWorkflow> flows;
+  for (std::size_t i = 0; i < distinct; ++i) {
+    names.push_back((*suite)[i].name);
+    flows.push_back((*suite)[i].flow);
+  }
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  std::printf("bench_serve: %d clients x %d requests over %zu workflows\n",
+              clients, per_client, names.size());
+
+  // Cold: the per-request stack, same client concurrency, no shared state.
+  RunResult cold = DriveClients(clients, per_client, names, [&](const std::string&
+                                                                    name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] != name) continue;
+      const BoeModel model(cluster.node);
+      const BoeTaskTimeSource source(model, Duration::Seconds(1));
+      const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+      return estimator.Estimate(flows[i], source).ok();
+    }
+    return false;
+  });
+
+  // Warm: one service, registered once, shared memo across every request.
+  EstimationService service;
+  for (std::size_t i = 0; i < distinct; ++i) {
+    if (Status st = service.RegisterWorkflow(names[i], std::move(flows[i]));
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  RunResult warm =
+      DriveClients(clients, per_client, names, [&](const std::string& name) {
+        ServiceRequest request;
+        request.workflow = name;
+        return service.Submit(std::move(request)).get().ok();
+      });
+  const TaskTimeMemo::Stats cache = service.Stats().cache;
+
+  const double cold_rps = cold.Rps();
+  const double warm_rps = warm.Rps();
+  const double speedup = cold_rps > 0 ? warm_rps / cold_rps : 0.0;
+  const double cold_p50 = cold.QuantileMs(0.50), cold_p99 = cold.QuantileMs(0.99);
+  const double warm_p50 = warm.QuantileMs(0.50), warm_p99 = warm.QuantileMs(0.99);
+  std::printf("cold (per-request stack): %8.1f req/s  p50 %6.2f ms  p99 %6.2f ms\n",
+              cold_rps, cold_p50, cold_p99);
+  std::printf("warm (service + memo):    %8.1f req/s  p50 %6.2f ms  p99 %6.2f ms\n",
+              warm_rps, warm_p50, warm_p99);
+  std::printf("speedup %.2fx, cache hit rate %.1f%% (%llu hits, %llu misses)\n",
+              speedup, 100.0 * cache.hit_rate(),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
+
+  Json doc = Json::MakeObject();
+  doc.Set("clients", Json::MakeNumber(clients));
+  doc.Set("requests_per_client", Json::MakeNumber(per_client));
+  doc.Set("distinct_workflows", Json::MakeNumber(static_cast<double>(distinct)));
+  Json cold_json = Json::MakeObject();
+  cold_json.Set("requests_per_sec", Json::MakeNumber(cold_rps));
+  cold_json.Set("p50_ms", Json::MakeNumber(cold_p50));
+  cold_json.Set("p99_ms", Json::MakeNumber(cold_p99));
+  doc.Set("cold", std::move(cold_json));
+  Json warm_json = Json::MakeObject();
+  warm_json.Set("requests_per_sec", Json::MakeNumber(warm_rps));
+  warm_json.Set("p50_ms", Json::MakeNumber(warm_p50));
+  warm_json.Set("p99_ms", Json::MakeNumber(warm_p99));
+  doc.Set("warm", std::move(warm_json));
+  doc.Set("warm_vs_cold_speedup", Json::MakeNumber(speedup));
+  doc.Set("cache_hit_rate", Json::MakeNumber(cache.hit_rate()));
+  doc.Set("cache_hits", Json::MakeNumber(static_cast<double>(cache.hits)));
+  doc.Set("cache_misses", Json::MakeNumber(static_cast<double>(cache.misses)));
+  std::ofstream out("BENCH_serve.json");
+  out << doc.Dump();
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dagperf
+
+int main(int argc, char** argv) { return dagperf::Main(argc, argv); }

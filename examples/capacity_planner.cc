@@ -10,11 +10,7 @@
 
 #include <cstdio>
 
-#include "common/stats.h"
-#include "model/sweep.h"
-#include "sim/simulator.h"
-#include "workloads/micro.h"
-#include "workloads/tpch.h"
+#include <dagperf/dagperf.h>
 
 namespace {
 

@@ -10,13 +10,7 @@
 
 #include <cstdio>
 
-#include "boe/boe_model.h"
-#include "dag/dag_workflow.h"
-#include "engine/builtin.h"
-#include "engine/datagen.h"
-#include "engine/profiling.h"
-#include "model/state_estimator.h"
-#include "model/task_time_source.h"
+#include <dagperf/dagperf.h>
 
 int main() {
   using namespace dagperf;

@@ -8,10 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "model/progress.h"
-#include "model/task_time_source.h"
-#include "sim/simulator.h"
-#include "workloads/tpch.h"
+#include <dagperf/dagperf.h>
 
 int main() {
   using namespace dagperf;

@@ -5,12 +5,7 @@
 
 #include <cstdio>
 
-#include "boe/boe_model.h"
-#include "cluster/cluster_spec.h"
-#include "dag/dag_workflow.h"
-#include "model/state_estimator.h"
-#include "model/task_time_source.h"
-#include "workload/job_spec.h"
+#include <dagperf/dagperf.h>
 
 int main() {
   using namespace dagperf;

@@ -8,11 +8,7 @@
 
 #include <cstdio>
 
-#include "common/stats.h"
-#include "model/state_estimator.h"
-#include "model/task_time_source.h"
-#include "sim/simulator.h"
-#include "workloads/spark.h"
+#include <dagperf/dagperf.h>
 
 namespace {
 

@@ -1,0 +1,67 @@
+#ifndef DAGPERF_DAGPERF_H_
+#define DAGPERF_DAGPERF_H_
+
+/// The dagperf public facade: the one header downstream code includes.
+///
+///   #include <dagperf/dagperf.h>
+///
+/// Everything reachable from here is the supported API surface, versioned by
+/// <dagperf/version.h> and documented in docs/api.md (which also spells out
+/// the stability tiers — reaching into "src/..." headers directly works but
+/// carries no compatibility promise). The examples/ directory compiles
+/// against this header alone; CI enforces that.
+
+#include <dagperf/version.h>
+
+// Vocabulary: units, errors, Result<T>, budgets (cancellation + deadlines).
+#include "common/cancel.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "common/validation.h"
+
+// Describing work and hardware: job specs, DAG workflows, cluster shapes.
+#include "cluster/cluster_spec.h"
+#include "dag/dag_workflow.h"
+#include "dag/spec_io.h"
+#include "dag/validate.h"
+#include "workload/job_profile.h"
+#include "workload/job_spec.h"
+
+// The models: BOE task costs, DRF scheduling, the state-based estimator,
+// what-if sweeps, explain reports, the discrete-event simulator baseline.
+#include "boe/boe_model.h"
+#include "model/explain.h"
+#include "model/progress.h"
+#include "model/state_estimator.h"
+#include "model/sweep.h"
+#include "model/task_time_cache.h"
+#include "model/task_time_source.h"
+#include "scheduler/drf.h"
+#include "sim/simulator.h"
+
+// The estimation service: long-lived serving entry point + NDJSON protocol.
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service.h"
+
+// Ready-made workloads: paper micro jobs, the Table III suite, TPC-H,
+// Spark-ML shapes, the web-analytics running example.
+#include "workloads/micro.h"
+#include "workloads/spark.h"
+#include "workloads/suite.h"
+#include "workloads/tpch.h"
+#include "workloads/web_analytics.h"
+
+// Execution engine (toy MapReduce used for ground-truth validation runs).
+#include "engine/builtin.h"
+#include "engine/datagen.h"
+#include "engine/profiling.h"
+
+// Observability: metrics registry and trace spans.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#endif  // DAGPERF_DAGPERF_H_

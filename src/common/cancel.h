@@ -92,6 +92,47 @@ class Deadline {
 Status CheckBudget(const CancelToken& cancel, const Deadline& deadline,
                    const std::string& what);
 
+/// The pair every cancellable operation carries: a cooperative cancel signal
+/// plus a wall-clock bound. Factored so EstimatorOptions, SweepOptions, and
+/// the estimation service's request type share one vocabulary (and so a
+/// budget can be handed through layers as a single value). Default = inert
+/// token + never-deadline: embedding a Budget costs callers nothing.
+struct Budget {
+  CancelToken cancel;
+  Deadline deadline;
+
+  /// A budget that only expires (the common "serve this within D seconds"
+  /// case; seconds <= 0 means no bound).
+  static Budget Within(double seconds) {
+    Budget budget;
+    if (seconds > 0) budget.deadline = Deadline::AfterSeconds(seconds);
+    return budget;
+  }
+
+  /// Cheap poll: has either signal fired? One atomic load when the deadline
+  /// is never, plus one clock read otherwise.
+  bool exhausted() const { return cancel.cancelled() || deadline.expired(); }
+
+  /// Whether either signal can ever fire — used to decide if a caller's
+  /// budget should override a default one.
+  bool limited() const { return cancel.can_cancel() || !deadline.never(); }
+
+  /// CheckBudget over this pair.
+  Status Check(const std::string& what) const {
+    return CheckBudget(cancel, deadline, what);
+  }
+
+  /// This budget, with unset signals (inert token / never-deadline) filled
+  /// from `fallback` — how a batch-level budget propagates into each
+  /// candidate without clobbering caller-set per-candidate signals.
+  Budget MergedWith(const Budget& fallback) const {
+    Budget merged = *this;
+    if (!merged.cancel.can_cancel()) merged.cancel = fallback.cancel;
+    if (merged.deadline.never()) merged.deadline = fallback.deadline;
+    return merged;
+  }
+};
+
 }  // namespace dagperf
 
 #endif  // DAGPERF_COMMON_CANCEL_H_

@@ -214,6 +214,50 @@ std::string Json::Dump() const {
   return out;
 }
 
+void Json::DumpCompactTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberTo(number_, out);
+      break;
+    case Type::kString:
+      EscapeTo(string_, out);
+      break;
+    case Type::kArray: {
+      out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        array_[i].DumpCompactTo(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        if (i++ > 0) out += ',';
+        EscapeTo(key, out);
+        out += ':';
+        value.DumpCompactTo(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::DumpCompact() const {
+  std::string out;
+  DumpCompactTo(out);
+  return out;
+}
+
 namespace {
 
 /// Recursion bound of the parser. Spec documents are a few levels deep;

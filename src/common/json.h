@@ -53,11 +53,16 @@ class Json {
   /// Serialises with 2-space indentation and escaped strings.
   std::string Dump() const;
 
+  /// Serialises to a single line with no whitespace — the newline-delimited
+  /// framing of the service wire protocol (one document per line).
+  std::string DumpCompact() const;
+
   /// Strict parse of a complete JSON document (trailing garbage rejected).
   static Result<Json> Parse(const std::string& text);
 
  private:
   void DumpTo(std::string& out, int indent) const;
+  void DumpCompactTo(std::string& out) const;
 
   Type type_;
   bool bool_ = false;

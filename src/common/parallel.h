@@ -102,6 +102,13 @@ Status ParallelFor(std::int64_t begin, std::int64_t end,
                    const CancelToken& cancel, const Deadline& deadline,
                    ThreadPool* pool = nullptr);
 
+/// Budget-carrying convenience over the cancellable overload.
+inline Status ParallelFor(std::int64_t begin, std::int64_t end,
+                          const std::function<void(std::int64_t)>& fn,
+                          const Budget& budget, ThreadPool* pool = nullptr) {
+  return ParallelFor(begin, end, fn, budget.cancel, budget.deadline, pool);
+}
+
 /// Maps fn over `items` in parallel, preserving input order in the result.
 /// The result type must be default-constructible and movable.
 template <typename T, typename Fn>

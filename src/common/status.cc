@@ -5,9 +5,7 @@
 
 namespace dagperf {
 
-namespace {
-
-const char* CodeName(ErrorCode code) {
+const char* ErrorCodeName(ErrorCode code) {
   switch (code) {
     case ErrorCode::kOk:
       return "OK";
@@ -23,17 +21,21 @@ const char* CodeName(ErrorCode code) {
       return "DEADLINE_EXCEEDED";
     case ErrorCode::kCancelled:
       return "CANCELLED";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
 
-}  // namespace
-
-bool IsRetryable(ErrorCode code) { return code == ErrorCode::kInternal; }
+bool IsRetryable(ErrorCode code) {
+  // Load shedding is transient by definition: the same request succeeds once
+  // the admission queue drains, so clients should back off and retry.
+  return code == ErrorCode::kInternal || code == ErrorCode::kResourceExhausted;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = ErrorCodeName(code_);
   out += ": ";
   out += message_;
   return out;

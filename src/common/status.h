@@ -22,7 +22,15 @@ enum class ErrorCode {
   kDeadlineExceeded,
   /// A CancelToken observed by the operation was cancelled.
   kCancelled,
+  /// A bounded resource (the estimation service's admission queue) is full
+  /// and the request was shed instead of queued. Retry later — backing off —
+  /// with the same inputs.
+  kResourceExhausted,
 };
+
+/// Stable upper-snake-case name of a code ("INVALID_ARGUMENT", ...), the
+/// vocabulary used by Status::ToString and the service wire protocol.
+const char* ErrorCodeName(ErrorCode code);
 
 /// Whether a failed operation is worth retrying with the same inputs.
 /// kInternal failures (iteration guards, transient limits) may succeed on a
@@ -54,6 +62,9 @@ class Status {
   }
   static Status Cancelled(std::string message) {
     return Status(ErrorCode::kCancelled, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(ErrorCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

@@ -249,9 +249,8 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
     // Cooperative budget poll at the state boundary — the estimator's
     // natural step granularity. Inert token + never-deadline reduce this to
     // a pointer test and a constant compare.
-    if (options_.cancel.cancelled() || options_.deadline.expired()) {
-      const Status budget =
-          CheckBudget(options_.cancel, options_.deadline, "estimate " + flow.name());
+    if (options_.budget.exhausted()) {
+      const Status budget = options_.budget.Check("estimate " + flow.name());
       if (budget.code() == ErrorCode::kDeadlineExceeded) {
         Metrics().deadline_exceeded.Add(1);
       } else {
@@ -432,6 +431,15 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
     }
   }
   return estimate;
+}
+
+Status StateBasedEstimator::Estimate(const DagWorkflow& flow,
+                                     const TaskTimeSource& source,
+                                     DagEstimate* out) const {
+  Result<DagEstimate> estimate = Estimate(flow, source);
+  if (!estimate.ok()) return estimate.status();
+  *out = std::move(estimate).value();
+  return Status::Ok();
 }
 
 }  // namespace dagperf

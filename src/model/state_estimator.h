@@ -41,14 +41,11 @@ struct EstimatorOptions {
   /// Safety bound on state iterations.
   int max_states = 1000000;
 
-  /// Cooperative cancellation: polled once per state transition (together
-  /// with `deadline`); a fired token unwinds with Status::Cancelled. The
-  /// default token is inert and costs one pointer test per state.
-  CancelToken cancel;
-
-  /// Wall-clock budget for one Estimate() call, polled per state transition;
-  /// expiry unwinds with Status::DeadlineExceeded. Defaults to never.
-  Deadline deadline;
+  /// Cooperative budget for one Estimate() call, polled once per state
+  /// transition: a fired token unwinds with Status::Cancelled, an expired
+  /// deadline with Status::DeadlineExceeded. The default budget is inert
+  /// (one pointer test + one constant compare per state).
+  Budget budget;
 
   /// Ask the TaskTimeSource for per-stage resource attribution (BOE
   /// bottleneck arg-max + utilisation shares) and record it on every
@@ -130,9 +127,15 @@ class StateBasedEstimator {
 
   /// Runs the validation firewall over `flow` (dag/validate.h) before
   /// estimating; malformed flows return InvalidArgument listing every
-  /// violation. Honours EstimatorOptions::{cancel, deadline} per state.
+  /// violation. Honours EstimatorOptions::budget per state.
   Result<DagEstimate> Estimate(const DagWorkflow& flow,
                                const TaskTimeSource& source) const;
+
+  /// Pre-Result transition shim: `*out` is written only on success. Will be
+  /// removed next release — call the Result<DagEstimate> overload.
+  [[deprecated("use Estimate(flow, source) returning Result<DagEstimate>")]]
+  Status Estimate(const DagWorkflow& flow, const TaskTimeSource& source,
+                  DagEstimate* out) const;
 
  private:
   ClusterSpec cluster_;

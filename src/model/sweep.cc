@@ -95,12 +95,7 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
   // the caller set estimator-level signals), so a firing budget also unwinds
   // the candidate currently mid-estimate, not just unstarted ones.
   EstimatorOptions estimator_options = options.estimator;
-  if (!estimator_options.cancel.can_cancel()) {
-    estimator_options.cancel = options.cancel;
-  }
-  if (estimator_options.deadline.never()) {
-    estimator_options.deadline = options.deadline;
-  }
+  estimator_options.budget = estimator_options.budget.MergedWith(options.budget);
 
   std::atomic<int> retries{0};
   const auto evaluate = [&](size_t i) -> Result<DagEstimate> {
@@ -126,8 +121,7 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
     Result<DagEstimate> estimate = once();
     int attempts = 0;
     while (!estimate.ok() && IsRetryable(estimate.status().code()) &&
-           attempts < options.max_retries && !options.cancel.cancelled() &&
-           !options.deadline.expired()) {
+           attempts < options.max_retries && !options.budget.exhausted()) {
       ++attempts;
       retries.fetch_add(1, std::memory_order_relaxed);
       estimate = once();
@@ -147,7 +141,7 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
   if (options.pool == nullptr && options.threads == 1) {
     for (size_t i = 0; i < requests.size(); ++i) {
       if (budget_status.ok()) {
-        budget_status = CheckBudget(options.cancel, options.deadline, "sweep");
+        budget_status = options.budget.Check("sweep");
       }
       if (!budget_status.ok()) break;
       result.estimates[i] = evaluate(i);
@@ -166,7 +160,7 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
           result.estimates[static_cast<size_t>(i)] = evaluate(i);
           evaluated[static_cast<size_t>(i)] = 1;
         },
-        options.cancel, options.deadline, pool);
+        options.budget, pool);
   }
   if (!budget_status.ok()) {
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -226,6 +220,17 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
       static_cast<std::uint64_t>(result.stats.deadline_exceeded));
   metrics.retries.Add(static_cast<std::uint64_t>(result.stats.retries));
   return result;
+}
+
+Status EstimateBatch(const std::vector<EstimateRequest>& requests,
+                     const SchedulerConfig& scheduler,
+                     const TaskTimeSource& source, const SweepOptions& options,
+                     SweepResult* out) {
+  *out = EstimateBatch(requests, scheduler, source, options);
+  for (const auto& estimate : out->estimates) {
+    if (!estimate.ok()) return estimate.status();
+  }
+  return Status::Ok();
 }
 
 Result<std::vector<DagWorkflow>> BuildReducerCandidates(

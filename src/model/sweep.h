@@ -62,15 +62,11 @@ struct SweepOptions {
   /// Pool override; when set, `threads` is ignored.
   ThreadPool* pool = nullptr;
 
-  /// Cooperative cancellation for the whole batch: candidates not yet
-  /// started are skipped (their slot carries Status::Cancelled), candidates
-  /// mid-estimate unwind at their next state boundary. Completed estimates
-  /// are kept — EstimateBatch always returns the partial results.
-  CancelToken cancel;
-
-  /// Wall-clock budget for the whole batch, with the same partial-result
-  /// semantics as `cancel` (unfinished slots carry DeadlineExceeded).
-  Deadline deadline;
+  /// Cooperative budget for the whole batch: candidates not yet started are
+  /// skipped (their slot carries Status::Cancelled / DeadlineExceeded),
+  /// candidates mid-estimate unwind at their next state boundary. Completed
+  /// estimates are kept — EstimateBatch always returns the partial results.
+  Budget budget;
 
   /// Re-attempt candidates that fail with a *retryable* error (see
   /// IsRetryable: transient resource-bound failures, not invalid input) up
@@ -124,6 +120,15 @@ SweepResult EstimateBatch(const std::vector<EstimateRequest>& requests,
                           const SchedulerConfig& scheduler,
                           const TaskTimeSource& source,
                           const SweepOptions& options = {});
+
+/// Pre-Result transition shim: `*out` receives the full SweepResult and the
+/// returned Status is the first per-candidate error (Ok when every candidate
+/// completed). Will be removed next release — call EstimateBatch directly.
+[[deprecated("use EstimateBatch returning SweepResult")]]
+Status EstimateBatch(const std::vector<EstimateRequest>& requests,
+                     const SchedulerConfig& scheduler,
+                     const TaskTimeSource& source, const SweepOptions& options,
+                     SweepResult* out);
 
 /// Compiles one single-job workflow per reducer count — the candidate set of
 /// a reducer sweep. Fails on invalid counts (< 1) or uncompilable specs.

@@ -1,0 +1,259 @@
+#include "service/protocol.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "dag/spec_io.h"
+#include "workload/job_profile.h"
+
+namespace dagperf {
+
+namespace {
+
+Json ErrorResponse(const Json* id, const Status& status) {
+  Json error = Json::MakeObject();
+  error.Set("code", Json::MakeString(ErrorCodeName(status.code())));
+  error.Set("retryable", Json::MakeBool(IsRetryable(status.code())));
+  error.Set("message", Json::MakeString(status.message()));
+  Json response = Json::MakeObject();
+  if (id != nullptr) response.Set("id", *id);
+  response.Set("ok", Json::MakeBool(false));
+  response.Set("error", std::move(error));
+  return response;
+}
+
+Json OkResponse(const Json* id, Json result) {
+  Json response = Json::MakeObject();
+  if (id != nullptr) response.Set("id", *id);
+  response.Set("ok", Json::MakeBool(true));
+  response.Set("result", std::move(result));
+  return response;
+}
+
+Json StageSpansToJson(const DagWorkflow& flow, const DagEstimate& estimate) {
+  Json stages = Json::MakeArray();
+  for (const StageSpanEstimate& span : estimate.stages) {
+    Json s = Json::MakeObject();
+    s.Set("job", Json::MakeString(flow.job(span.job).name));
+    s.Set("kind", Json::MakeString(StageKindName(span.kind)));
+    s.Set("start_s", Json::MakeNumber(span.start));
+    s.Set("end_s", Json::MakeNumber(span.end));
+    stages.Append(std::move(s));
+  }
+  return stages;
+}
+
+Json EstimateToJson(const WorkflowEstimate& served, bool explain) {
+  Json result = Json::MakeObject();
+  result.Set("workflow", Json::MakeString(served.workflow));
+  result.Set("cluster", Json::MakeString(served.cluster));
+  result.Set("makespan_s", Json::MakeNumber(served.estimate.makespan.seconds()));
+  result.Set("states", Json::MakeNumber(
+                           static_cast<double>(served.estimate.states.size())));
+  result.Set("queue_wait_ms", Json::MakeNumber(served.queue_wait_ms));
+  result.Set("service_ms", Json::MakeNumber(served.service_ms));
+  result.Set("stages", StageSpansToJson(*served.flow, served.estimate));
+  if (explain) {
+    Json path = Json::MakeArray();
+    for (const CriticalSegment& segment : served.critical_path) {
+      Json s = Json::MakeObject();
+      s.Set("job", Json::MakeString(served.flow->job(segment.job).name));
+      s.Set("kind", Json::MakeString(StageKindName(segment.kind)));
+      s.Set("start_s", Json::MakeNumber(segment.start));
+      s.Set("duration_s", Json::MakeNumber(segment.duration));
+      path.Append(std::move(s));
+    }
+    result.Set("critical_path", std::move(path));
+  }
+  return result;
+}
+
+Json SweepToJson(const ServiceSweepResult& served) {
+  Json result = Json::MakeObject();
+  result.Set("workflow", Json::MakeString(served.workflow));
+  result.Set("cluster", Json::MakeString(served.cluster));
+  result.Set("service_ms", Json::MakeNumber(served.service_ms));
+  Json candidates = Json::MakeArray();
+  for (std::size_t i = 0; i < served.sweep.estimates.size(); ++i) {
+    const Result<DagEstimate>& estimate = served.sweep.estimates[i];
+    Json c = Json::MakeObject();
+    if (i < served.nodes_list.size()) {
+      c.Set("nodes", Json::MakeNumber(served.nodes_list[i]));
+    }
+    c.Set("ok", Json::MakeBool(estimate.ok()));
+    if (estimate.ok()) {
+      c.Set("makespan_s", Json::MakeNumber(estimate.value().makespan.seconds()));
+    } else {
+      c.Set("code", Json::MakeString(ErrorCodeName(estimate.status().code())));
+      c.Set("message", Json::MakeString(estimate.status().message()));
+    }
+    candidates.Append(std::move(c));
+  }
+  result.Set("candidates", std::move(candidates));
+  const SweepStats& stats = served.sweep.stats;
+  if (stats.best_index >= 0 &&
+      stats.best_index < static_cast<int>(served.nodes_list.size())) {
+    Json best = Json::MakeObject();
+    best.Set("nodes", Json::MakeNumber(served.nodes_list[stats.best_index]));
+    best.Set("makespan_s", Json::MakeNumber(stats.best_makespan.seconds()));
+    result.Set("best", std::move(best));
+  }
+  Json sweep_stats = Json::MakeObject();
+  sweep_stats.Set("completed", Json::MakeNumber(stats.completed));
+  sweep_stats.Set("failures", Json::MakeNumber(stats.failures));
+  sweep_stats.Set("cancelled", Json::MakeNumber(stats.cancelled));
+  sweep_stats.Set("deadline_exceeded", Json::MakeNumber(stats.deadline_exceeded));
+  sweep_stats.Set("cache_hit_rate", Json::MakeNumber(stats.cache_hit_rate));
+  result.Set("stats", std::move(sweep_stats));
+  return result;
+}
+
+Json StatsToJson(const ServiceStats& stats) {
+  Json result = Json::MakeObject();
+  result.Set("submitted", Json::MakeNumber(static_cast<double>(stats.submitted)));
+  result.Set("completed", Json::MakeNumber(static_cast<double>(stats.completed)));
+  result.Set("failed", Json::MakeNumber(static_cast<double>(stats.failed)));
+  result.Set("shed", Json::MakeNumber(static_cast<double>(stats.shed)));
+  result.Set("expired_in_queue",
+             Json::MakeNumber(static_cast<double>(stats.expired_in_queue)));
+  result.Set("queue_depth", Json::MakeNumber(stats.queue_depth));
+  result.Set("draining", Json::MakeBool(stats.draining));
+  result.Set("workflows", Json::MakeNumber(stats.workflows));
+  result.Set("clusters", Json::MakeNumber(stats.clusters));
+  Json cache = Json::MakeObject();
+  cache.Set("hits", Json::MakeNumber(static_cast<double>(stats.cache.hits)));
+  cache.Set("misses", Json::MakeNumber(static_cast<double>(stats.cache.misses)));
+  cache.Set("entries", Json::MakeNumber(static_cast<double>(stats.cache.entries)));
+  cache.Set("hit_rate", Json::MakeNumber(stats.cache.hit_rate()));
+  result.Set("cache", std::move(cache));
+  return result;
+}
+
+/// Reads the shared request fields (workflow / inline flow / cluster /
+/// budget). Returns non-Ok on a malformed inline flow or field type.
+Status FillRequestCommon(const Json& request, std::string* workflow,
+                         std::shared_ptr<const DagWorkflow>* flow,
+                         std::string* cluster, Budget* budget) {
+  *workflow = request.GetString("workflow", "");
+  *cluster = request.GetString("cluster", "");
+  if (const Json* inline_flow = request.Get("flow"); inline_flow != nullptr) {
+    Result<DagWorkflow> parsed = WorkflowFromJson(*inline_flow);
+    if (!parsed.ok()) return parsed.status();
+    *flow = std::make_shared<const DagWorkflow>(std::move(parsed).value());
+  }
+  if (workflow->empty() && *flow == nullptr) {
+    return Status::InvalidArgument(
+        "request must carry \"workflow\" (a registered name) or an inline "
+        "\"flow\" document");
+  }
+  if (!workflow->empty() && *flow != nullptr) {
+    return Status::InvalidArgument(
+        "\"workflow\" and \"flow\" are mutually exclusive");
+  }
+  const double deadline_s = request.GetNumber("deadline_s", 0.0);
+  if (deadline_s < 0) {
+    return Status::InvalidArgument("\"deadline_s\" must be >= 0");
+  }
+  *budget = Budget::Within(deadline_s);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Protocol::Protocol(EstimationService* service) : service_(service) {}
+
+std::string Protocol::HandleLine(const std::string& line) {
+  ++requests_handled_;
+  Result<Json> parsed = Json::Parse(line);
+  if (!parsed.ok()) {
+    return ErrorResponse(nullptr, parsed.status()).DumpCompact();
+  }
+  const Json& request = parsed.value();
+  if (request.type() != Json::Type::kObject) {
+    return ErrorResponse(nullptr,
+                         Status::InvalidArgument("request must be a JSON object"))
+        .DumpCompact();
+  }
+  const Json* id = request.Get("id");
+  const std::string op = request.GetString("op", "");
+
+  if (op == "estimate" || op == "explain") {
+    ServiceRequest service_request;
+    service_request.explain = (op == "explain");
+    if (Status common = FillRequestCommon(
+            request, &service_request.workflow, &service_request.flow,
+            &service_request.cluster, &service_request.budget);
+        !common.ok()) {
+      return ErrorResponse(id, common).DumpCompact();
+    }
+    const double nodes = request.GetNumber("nodes", 0.0);
+    service_request.nodes = static_cast<int>(nodes);
+    if (nodes < 0 || nodes != static_cast<double>(service_request.nodes)) {
+      return ErrorResponse(
+                 id, Status::InvalidArgument("\"nodes\" must be a non-negative "
+                                             "integer"))
+          .DumpCompact();
+    }
+    Result<WorkflowEstimate> served =
+        service_->Submit(std::move(service_request)).get();
+    if (!served.ok()) return ErrorResponse(id, served.status()).DumpCompact();
+    return OkResponse(id, EstimateToJson(served.value(), op == "explain"))
+        .DumpCompact();
+  }
+
+  if (op == "sweep") {
+    ServiceSweepRequest sweep_request;
+    if (Status common = FillRequestCommon(
+            request, &sweep_request.workflow, &sweep_request.flow,
+            &sweep_request.cluster, &sweep_request.budget);
+        !common.ok()) {
+      return ErrorResponse(id, common).DumpCompact();
+    }
+    const Json* nodes_list = request.Get("nodes_list");
+    if (nodes_list == nullptr || nodes_list->type() != Json::Type::kArray) {
+      return ErrorResponse(id, Status::InvalidArgument(
+                                   "sweep requires a \"nodes_list\" array"))
+          .DumpCompact();
+    }
+    for (const Json& entry : nodes_list->AsArray()) {
+      if (entry.type() != Json::Type::kNumber || entry.AsNumber() < 1 ||
+          entry.AsNumber() != std::floor(entry.AsNumber())) {
+        return ErrorResponse(id, Status::InvalidArgument(
+                                     "\"nodes_list\" entries must be integers "
+                                     ">= 1"))
+            .DumpCompact();
+      }
+      sweep_request.nodes_list.push_back(static_cast<int>(entry.AsNumber()));
+    }
+    Result<ServiceSweepResult> served =
+        service_->SubmitSweep(std::move(sweep_request)).get();
+    if (!served.ok()) return ErrorResponse(id, served.status()).DumpCompact();
+    return OkResponse(id, SweepToJson(served.value())).DumpCompact();
+  }
+
+  if (op == "stats") {
+    return OkResponse(id, StatsToJson(service_->Stats())).DumpCompact();
+  }
+
+  if (op == "drain") {
+    Result<int> inflight = service_->Drain();
+    if (!inflight.ok()) return ErrorResponse(id, inflight.status()).DumpCompact();
+    drain_requested_ = true;
+    Json result = Json::MakeObject();
+    result.Set("drained", Json::MakeBool(true));
+    result.Set("inflight", Json::MakeNumber(inflight.value()));
+    return OkResponse(id, std::move(result)).DumpCompact();
+  }
+
+  return ErrorResponse(
+             id, Status::InvalidArgument(
+                     op.empty()
+                         ? "request carries no \"op\""
+                         : "unknown op \"" + op +
+                               "\" (estimate|explain|sweep|stats|drain)"))
+      .DumpCompact();
+}
+
+}  // namespace dagperf

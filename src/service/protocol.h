@@ -1,0 +1,57 @@
+#ifndef DAGPERF_SERVICE_PROTOCOL_H_
+#define DAGPERF_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/service.h"
+
+namespace dagperf {
+
+/// The service wire protocol: newline-delimited JSON, one request document
+/// per line in, one response document per line out. Versioned and stable —
+/// see docs/api.md for the full contract. Requests:
+///
+///   {"op": "estimate", "workflow": "tpch-q16", "cluster": "default",
+///    "nodes": 8, "deadline_s": 1.5, "id": 7}
+///   {"op": "explain",  ... same fields ...}
+///   {"op": "sweep",    "workflow": "...", "nodes_list": [2, 4, 8, 16]}
+///   {"op": "stats"}
+///   {"op": "drain"}
+///
+/// `workflow` names a registered flow; an inline `"flow": {...}` document
+/// (dag/spec_io.h format) may be sent instead. `id` is any JSON value and is
+/// echoed verbatim on the response so clients can match pipelined replies.
+///
+/// Responses:
+///   {"id": 7, "ok": true,  "result": {...}}
+///   {"id": 7, "ok": false, "error": {"code": "RESOURCE_EXHAUSTED",
+///                                    "retryable": true, "message": "..."}}
+///
+/// Error codes are the stable ErrorCodeName vocabulary (common/status.h);
+/// `retryable` mirrors IsRetryable so clients can back off mechanically.
+class Protocol {
+ public:
+  explicit Protocol(EstimationService* service);
+
+  /// Handles one request line and returns the response line (compact JSON,
+  /// no trailing newline). Never throws and never returns malformed output:
+  /// parse failures, unknown ops, and service errors all come back as
+  /// well-formed error responses. Blocks until the service fulfils the
+  /// request (transports provide concurrency, the protocol stays pipelined).
+  std::string HandleLine(const std::string& line);
+
+  /// Whether a drain request was handled — transports stop reading then.
+  bool drain_requested() const { return drain_requested_; }
+
+  std::uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  EstimationService* service_;
+  bool drain_requested_ = false;
+  std::uint64_t requests_handled_ = 0;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_SERVICE_PROTOCOL_H_

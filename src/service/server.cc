@@ -1,0 +1,132 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/protocol.h"
+
+namespace dagperf {
+
+ServeSummary ServeLines(EstimationService& service, std::istream& in,
+                        std::ostream& out) {
+  Protocol protocol(&service);
+  ServeSummary summary;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << protocol.HandleLine(line) << '\n';
+    out.flush();
+    ++summary.requests;
+    if (protocol.drain_requested()) {
+      summary.drained = true;
+      break;
+    }
+  }
+  return summary;
+}
+
+namespace {
+
+Status SocketError(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Sends the whole buffer, riding out short writes and EINTR.
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Serves one connection: splits the byte stream on '\n', one protocol
+/// round-trip per line. Returns true when a drain verb ended the session.
+bool ServeConnection(Protocol& protocol, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // Client closed.
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!SendAll(fd, protocol.HandleLine(line) + "\n")) return false;
+      if (protocol.drain_requested()) return true;
+    }
+  }
+}
+
+}  // namespace
+
+Status ServeTcp(EstimationService& service, const TcpServerOptions& options) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return SocketError("socket");
+
+  const int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = SocketError("bind");
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    const Status status = SocketError("listen");
+    ::close(listen_fd);
+    return status;
+  }
+  if (options.on_listen) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      options.on_listen(ntohs(bound.sin_port));
+    }
+  }
+
+  Protocol protocol(&service);
+  int connections = 0;
+  bool drained = false;
+  while (!drained) {
+    if (options.max_connections > 0 && connections >= options.max_connections) {
+      break;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      const Status status = SocketError("accept");
+      ::close(listen_fd);
+      return status;
+    }
+    ++connections;
+    drained = ServeConnection(protocol, fd);
+    ::close(fd);
+  }
+  ::close(listen_fd);
+  return Status::Ok();
+}
+
+}  // namespace dagperf

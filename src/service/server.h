@@ -1,0 +1,50 @@
+#ifndef DAGPERF_SERVICE_SERVER_H_
+#define DAGPERF_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <ostream>
+
+#include "service/service.h"
+
+namespace dagperf {
+
+/// Transports for the NDJSON protocol (service/protocol.h): a stream pump
+/// for stdio / pipes / tests, and a minimal localhost TCP server. Both stop
+/// on client EOF or after handling a `drain` request.
+
+struct ServeSummary {
+  std::uint64_t requests = 0;
+  /// True when the loop ended because a drain verb was served (as opposed to
+  /// the client closing the stream).
+  bool drained = false;
+};
+
+/// Pumps request lines from `in` to response lines on `out` until EOF or
+/// drain. Responses are flushed per line so a pipe peer can pipeline without
+/// deadlocking on buffering. Blank lines are ignored.
+ServeSummary ServeLines(EstimationService& service, std::istream& in,
+                        std::ostream& out);
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 asks the kernel for a free port.
+  int port = 0;
+
+  /// Called once with the actually-bound port before the first accept —
+  /// how a test (or a parent process) learns a kernel-assigned port.
+  std::function<void(int)> on_listen;
+
+  /// Stop after serving this many connections; 0 = until drain. Connections
+  /// are served sequentially (concurrency lives in the service's pool, and
+  /// the protocol is pipelined within a connection).
+  int max_connections = 0;
+};
+
+/// Runs the protocol over TCP on localhost. Returns Ok after a drain verb or
+/// the connection limit, an error Status if the socket could not be set up.
+Status ServeTcp(EstimationService& service, const TcpServerOptions& options);
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_SERVICE_SERVER_H_

@@ -1,0 +1,435 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "boe/boe_model.h"
+#include "cluster/validate.h"
+#include "dag/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dagperf {
+
+namespace {
+
+/// Service metric handles (obs/metrics.h); recording is gated on the
+/// process-wide metrics flag, so holding them is free when disabled.
+struct ServiceMetrics {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& shed;
+  obs::Counter& expired_in_queue;
+  obs::Gauge& queue_depth;
+  obs::Gauge& cache_hit_rate;
+  obs::Histogram& latency_us;
+  obs::Histogram& queue_wait_us;
+
+  ServiceMetrics()
+      : submitted(obs::MetricsRegistry::Default().GetCounter("service.submitted")),
+        completed(obs::MetricsRegistry::Default().GetCounter("service.completed")),
+        failed(obs::MetricsRegistry::Default().GetCounter("service.failed")),
+        shed(obs::MetricsRegistry::Default().GetCounter("service.shed")),
+        expired_in_queue(obs::MetricsRegistry::Default().GetCounter(
+            "service.expired_in_queue")),
+        queue_depth(obs::MetricsRegistry::Default().GetGauge("service.queue_depth")),
+        cache_hit_rate(
+            obs::MetricsRegistry::Default().GetGauge("service.cache_hit_rate")),
+        latency_us(
+            obs::MetricsRegistry::Default().GetHistogram("service.latency_us")),
+        queue_wait_us(obs::MetricsRegistry::Default().GetHistogram(
+            "service.queue_wait_us")) {}
+};
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics* metrics = new ServiceMetrics();
+  return *metrics;
+}
+
+/// A future already carrying `status` — the shape of every synchronous
+/// rejection (shedding, draining, unresolvable names).
+template <typename T>
+std::future<Result<T>> FailedFuture(Status status) {
+  std::promise<Result<T>> promise;
+  promise.set_value(Result<T>(std::move(status)));
+  return promise.get_future();
+}
+
+}  // namespace
+
+/// One registered cluster: its spec, its BOE model, and the task-time
+/// source requests are priced with. The source defaults to the entry's own
+/// BOE source and can be repointed via RegisterSource (profile-driven
+/// serving). Immutable after registration — replacement swaps the shared_ptr
+/// while in-flight requests keep theirs.
+struct EstimationService::ClusterEntry {
+  std::string name;
+  ClusterSpec spec;
+  BoeModel model;
+  BoeTaskTimeSource boe_source;
+  /// The active source (points at `boe_source` unless repointed) and the
+  /// memo scope its entries are keyed under.
+  const TaskTimeSource* source;
+  std::string scope;
+
+  ClusterEntry(std::string entry_name, const ClusterSpec& cluster)
+      : name(std::move(entry_name)),
+        spec(cluster),
+        model(cluster.node),
+        boe_source(model, Duration::Seconds(1)),
+        source(&boe_source),
+        scope(name) {}
+
+  ClusterEntry(const ClusterEntry&) = delete;
+  ClusterEntry& operator=(const ClusterEntry&) = delete;
+};
+
+EstimationService::EstimationService(ServiceOptions options)
+    : options_(std::move(options)) {
+  int threads = options_.threads;
+  if (threads <= 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  options_.threads = threads;
+  options_.max_queue_depth = std::max(1, options_.max_queue_depth);
+  pool_ = std::make_unique<ThreadPool>(threads);
+  RegisterCluster("default", ClusterSpec::PaperCluster());
+}
+
+EstimationService::~EstimationService() { Drain(); }
+
+Status EstimationService::RegisterWorkflow(const std::string& name,
+                                           DagWorkflow flow) {
+  if (name.empty()) {
+    return Status::InvalidArgument("workflow name must be non-empty");
+  }
+  // Validate at the door: a registered flow is served many times, so the
+  // firewall runs once here instead of surfacing per-request.
+  if (Status valid = ValidateWorkflow(flow).ToStatus(name); !valid.ok()) {
+    return valid;
+  }
+  auto shared = std::make_shared<const DagWorkflow>(std::move(flow));
+  std::unique_lock lock(registry_mutex_);
+  workflows_[name] = std::move(shared);
+  return Status::Ok();
+}
+
+Status EstimationService::RegisterCluster(const std::string& name,
+                                          const ClusterSpec& cluster) {
+  if (name.empty()) {
+    return Status::InvalidArgument("cluster name must be non-empty");
+  }
+  if (Status valid = ValidateClusterSpec(cluster).ToStatus(name); !valid.ok()) {
+    return valid;
+  }
+  auto entry = std::make_shared<ClusterEntry>(name, cluster);
+  std::unique_lock lock(registry_mutex_);
+  clusters_[name] = std::move(entry);
+  return Status::Ok();
+}
+
+Status EstimationService::RegisterSource(const std::string& cluster,
+                                         const TaskTimeSource* source,
+                                         const std::string& scope) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must be non-null");
+  }
+  std::unique_lock lock(registry_mutex_);
+  auto it = clusters_.find(cluster);
+  if (it == clusters_.end()) {
+    return Status::NotFound("cluster not registered: " + cluster);
+  }
+  // Rebuild the entry so in-flight requests keep the one they resolved.
+  auto entry = std::make_shared<ClusterEntry>(cluster, it->second->spec);
+  entry->source = source;
+  entry->scope = scope;
+  it->second = std::move(entry);
+  return Status::Ok();
+}
+
+std::vector<std::string> EstimationService::WorkflowNames() const {
+  std::shared_lock lock(registry_mutex_);
+  std::vector<std::string> names;
+  names.reserve(workflows_.size());
+  for (const auto& [name, flow] : workflows_) names.push_back(name);
+  return names;
+}
+
+Result<std::shared_ptr<const DagWorkflow>> EstimationService::ResolveFlow(
+    const std::string& name, const std::shared_ptr<const DagWorkflow>& inline_flow,
+    std::string* resolved_name) const {
+  if (inline_flow != nullptr) {
+    *resolved_name = inline_flow->name();
+    return inline_flow;
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("request names no workflow");
+  }
+  std::shared_lock lock(registry_mutex_);
+  auto it = workflows_.find(name);
+  if (it == workflows_.end()) {
+    return Status::NotFound("workflow not registered: " + name);
+  }
+  *resolved_name = name;
+  return it->second;
+}
+
+Result<std::shared_ptr<const EstimationService::ClusterEntry>>
+EstimationService::ResolveCluster(const std::string& name) const {
+  const std::string& key = name.empty() ? std::string("default") : name;
+  std::shared_lock lock(registry_mutex_);
+  auto it = clusters_.find(key);
+  if (it == clusters_.end()) {
+    return Status::NotFound("cluster not registered: " + key);
+  }
+  return it->second;
+}
+
+Status EstimationService::Admit() {
+  // Claim a slot optimistically; back out when the bound is exceeded. The
+  // transient overshoot is invisible (competing claimants also back out).
+  const int depth = queue_depth_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (depth > options_.max_queue_depth) {
+    queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed.Add(1);
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.max_queue_depth) +
+        " deep): retry with backoff");
+  }
+  Metrics().queue_depth.Set(depth);
+  return Status::Ok();
+}
+
+void EstimationService::ReleaseSlot() {
+  const int depth = queue_depth_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  Metrics().queue_depth.Set(depth);
+}
+
+Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& request,
+                                                    double submit_us) {
+  const double start_us = obs::MonotonicUs();
+  // A request can spend its whole budget waiting in the queue; detect that
+  // here so an expired request costs a check, not an estimate.
+  if (request.budget.exhausted()) {
+    Status status = request.budget.Check("serve " + request.workflow);
+    if (status.code() == ErrorCode::kDeadlineExceeded) {
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().expired_in_queue.Add(1);
+    }
+    return status;
+  }
+
+  std::string workflow_name;
+  Result<std::shared_ptr<const DagWorkflow>> flow =
+      ResolveFlow(request.workflow, request.flow, &workflow_name);
+  if (!flow.ok()) return flow.status();
+  Result<std::shared_ptr<const ClusterEntry>> cluster =
+      ResolveCluster(request.cluster);
+  if (!cluster.ok()) return cluster.status();
+  const ClusterEntry& entry = **cluster;
+
+  std::optional<obs::ScopedSpan> span;
+  if (obs::TraceRecorder::Default().enabled()) {
+    span.emplace("serve " + workflow_name, "service");
+  }
+
+  ClusterSpec spec = entry.spec;
+  if (request.nodes > 0) spec.num_nodes = request.nodes;
+
+  EstimatorOptions estimator_options = options_.estimator;
+  estimator_options.budget = request.budget;
+  estimator_options.attribute_bottlenecks =
+      request.explain || estimator_options.attribute_bottlenecks;
+
+  // The warm path: every task-time query goes through the service-lifetime
+  // memo, scoped by the cluster entry so hardware never aliases.
+  const MemoizedTaskTimeSource cached(*entry.source, &memo_, entry.scope);
+  const StateBasedEstimator estimator(spec, options_.scheduler, estimator_options);
+  Result<DagEstimate> estimate = estimator.Estimate(**flow, cached);
+  if (!estimate.ok()) return estimate.status();
+
+  WorkflowEstimate served;
+  served.estimate = std::move(estimate).value();
+  if (request.explain) {
+    served.critical_path = CriticalPath(served.estimate);
+  }
+  served.flow = std::move(flow).value();
+  served.workflow = std::move(workflow_name);
+  served.cluster = entry.name;
+  const double end_us = obs::MonotonicUs();
+  served.queue_wait_ms = (start_us - submit_us) * 1e-3;
+  served.service_ms = (end_us - start_us) * 1e-3;
+  Metrics().queue_wait_us.Record(start_us - submit_us);
+  Metrics().latency_us.Record(end_us - submit_us);
+  return served;
+}
+
+std::future<Result<WorkflowEstimate>> EstimationService::Submit(
+    ServiceRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().submitted.Add(1);
+
+  // Shared lock: many Submits run concurrently; Drain's unique lock ensures
+  // no Submit is between the draining check and the pool enqueue when the
+  // pool starts waiting.
+  std::shared_lock admission(admission_mutex_);
+  if (draining_.load(std::memory_order_acquire)) {
+    return FailedFuture<WorkflowEstimate>(
+        Status::FailedPrecondition("service is draining"));
+  }
+  if (Status admitted = Admit(); !admitted.ok()) {
+    return FailedFuture<WorkflowEstimate>(std::move(admitted));
+  }
+
+  if (options_.default_deadline_seconds > 0 && request.budget.deadline.never()) {
+    request.budget.deadline =
+        Deadline::AfterSeconds(options_.default_deadline_seconds);
+  }
+
+  auto promise = std::make_shared<std::promise<Result<WorkflowEstimate>>>();
+  std::future<Result<WorkflowEstimate>> future = promise->get_future();
+  const double submit_us = obs::MonotonicUs();
+  pool_->Submit([this, request = std::move(request), promise, submit_us]() {
+    Result<WorkflowEstimate> result = Execute(request, submit_us);
+    if (result.ok()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().completed.Add(1);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().failed.Add(1);
+    }
+    const TaskTimeMemo::Stats cache = memo_.stats();
+    Metrics().cache_hit_rate.Set(cache.hit_rate());
+    ReleaseSlot();
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+std::vector<std::future<Result<WorkflowEstimate>>> EstimationService::SubmitBatch(
+    std::vector<ServiceRequest> requests) {
+  std::vector<std::future<Result<WorkflowEstimate>>> futures;
+  futures.reserve(requests.size());
+  for (ServiceRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
+    ServiceSweepRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().submitted.Add(1);
+
+  std::shared_lock admission(admission_mutex_);
+  if (draining_.load(std::memory_order_acquire)) {
+    return FailedFuture<ServiceSweepResult>(
+        Status::FailedPrecondition("service is draining"));
+  }
+  if (Status admitted = Admit(); !admitted.ok()) {
+    return FailedFuture<ServiceSweepResult>(std::move(admitted));
+  }
+  if (options_.default_deadline_seconds > 0 && request.budget.deadline.never()) {
+    request.budget.deadline =
+        Deadline::AfterSeconds(options_.default_deadline_seconds);
+  }
+
+  auto promise = std::make_shared<std::promise<Result<ServiceSweepResult>>>();
+  std::future<Result<ServiceSweepResult>> future = promise->get_future();
+  pool_->Submit([this, request = std::move(request), promise]() {
+    const double start_us = obs::MonotonicUs();
+    const auto finish = [&](Result<ServiceSweepResult> result) {
+      if (result.ok()) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().completed.Add(1);
+      } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        Metrics().failed.Add(1);
+      }
+      ReleaseSlot();
+      promise->set_value(std::move(result));
+    };
+    if (request.nodes_list.empty()) {
+      finish(Status::InvalidArgument("sweep has an empty nodes list"));
+      return;
+    }
+    std::string workflow_name;
+    Result<std::shared_ptr<const DagWorkflow>> flow =
+        ResolveFlow(request.workflow, request.flow, &workflow_name);
+    if (!flow.ok()) {
+      finish(flow.status());
+      return;
+    }
+    Result<std::shared_ptr<const ClusterEntry>> cluster =
+        ResolveCluster(request.cluster);
+    if (!cluster.ok()) {
+      finish(cluster.status());
+      return;
+    }
+    const ClusterEntry& entry = **cluster;
+    std::vector<EstimateRequest> candidates;
+    candidates.reserve(request.nodes_list.size());
+    for (int nodes : request.nodes_list) {
+      ClusterSpec spec = entry.spec;
+      spec.num_nodes = nodes;
+      candidates.push_back(
+          {flow.value().get(), spec, workflow_name + "@" + std::to_string(nodes)});
+    }
+    SweepOptions sweep_options;
+    sweep_options.memo = &memo_;
+    sweep_options.cache_scope = entry.scope;
+    // Candidates fan out across the service pool; the worker running this
+    // closure participates (ParallelFor is nest-safe), so a sweep uses idle
+    // capacity without a second pool.
+    sweep_options.pool = pool_.get();
+    sweep_options.budget = request.budget;
+    sweep_options.estimator = options_.estimator;
+    ServiceSweepResult result;
+    result.sweep =
+        EstimateBatch(candidates, options_.scheduler, *entry.source, sweep_options);
+    result.nodes_list = request.nodes_list;
+    result.workflow = std::move(workflow_name);
+    result.cluster = entry.name;
+    result.service_ms = (obs::MonotonicUs() - start_us) * 1e-3;
+    const TaskTimeMemo::Stats cache = memo_.stats();
+    Metrics().cache_hit_rate.Set(cache.hit_rate());
+    finish(std::move(result));
+  });
+  return future;
+}
+
+Result<int> EstimationService::Drain() {
+  {
+    // Unique lock: every in-flight Submit finishes its pool enqueue before
+    // the flag flips, so Wait() below observes all of them and the
+    // ThreadPool "no Submit after Wait" contract holds.
+    std::unique_lock admission(admission_mutex_);
+    draining_.store(true, std::memory_order_release);
+  }
+  const int inflight = queue_depth_.load(std::memory_order_acquire);
+  pool_->Wait();
+  return inflight;
+}
+
+ServiceStats EstimationService::Stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  stats.draining = draining_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock lock(registry_mutex_);
+    stats.workflows = static_cast<int>(workflows_.size());
+    stats.clusters = static_cast<int>(clusters_.size());
+  }
+  stats.cache = memo_.stats();
+  return stats;
+}
+
+}  // namespace dagperf

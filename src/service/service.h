@@ -1,0 +1,234 @@
+#ifndef DAGPERF_SERVICE_SERVICE_H_
+#define DAGPERF_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_spec.h"
+#include "common/cancel.h"
+#include "common/parallel.h"
+#include "common/status.h"
+#include "dag/dag_workflow.h"
+#include "model/explain.h"
+#include "model/state_estimator.h"
+#include "model/sweep.h"
+#include "model/task_time_cache.h"
+#include "model/task_time_source.h"
+#include "scheduler/drf.h"
+
+namespace dagperf {
+
+/// The estimation service — the paper's headline applications (job
+/// self-tuning, capacity planning, §I) are recurring streams of estimate
+/// queries, not one-shot CLI runs. EstimationService turns the estimator
+/// into a long-lived, warm, concurrent entry point: it owns the worker
+/// pool, keeps one TaskTimeMemo alive across requests (scoped per
+/// registered cluster so hardware changes never alias), holds a registry of
+/// loaded workflows and clusters, and admits requests through a bounded
+/// queue that sheds load with Status::ResourceExhausted instead of building
+/// unbounded backlog. The NDJSON wire protocol on top lives in
+/// service/protocol.h; transports (stdio, TCP) in service/server.h.
+
+/// Construction-time service knobs.
+struct ServiceOptions {
+  /// Worker threads; 0 sizes to the hardware concurrency.
+  int threads = 0;
+
+  /// Admission bound: requests submitted while this many are already queued
+  /// or executing are shed with Status::ResourceExhausted (clients retry
+  /// with backoff — the code is retryable). Must be >= 1.
+  int max_queue_depth = 256;
+
+  /// Deadline applied to requests that carry none (0 = unbounded). A serving
+  /// deployment should set this: one pathological query must not occupy a
+  /// worker forever.
+  double default_deadline_seconds = 0.0;
+
+  /// Base estimator knobs (wave model, skew awareness, ...) shared by every
+  /// request; per-request fields (budget, attribution) are overlaid.
+  EstimatorOptions estimator;
+
+  SchedulerConfig scheduler;
+};
+
+/// One estimate query. Exactly one of `workflow` (a registered name) or
+/// `flow` (a caller-supplied workflow, shared ownership so it outlives the
+/// async execution) must be set.
+struct ServiceRequest {
+  std::string workflow;
+  std::shared_ptr<const DagWorkflow> flow;
+
+  /// Registered cluster name; empty selects "default".
+  std::string cluster;
+
+  /// When > 0, overrides the cluster's node count for this request only.
+  /// Cheap: node hardware (and thus the BOE model and cache scope) is
+  /// unchanged; per-node task populations are part of every memo key.
+  int nodes = 0;
+
+  /// Per-request budget; merged with the service's default deadline. Polled
+  /// at admission, at dequeue (a request can expire while queued), and per
+  /// estimator state.
+  Budget budget;
+
+  /// Attribute bottlenecks and derive the critical path (explain verb).
+  bool explain = false;
+};
+
+/// A served estimate: the model output plus resolved names and the
+/// service-side timing the caller would otherwise have to measure.
+struct WorkflowEstimate {
+  DagEstimate estimate;
+  /// Filled when ServiceRequest::explain was set.
+  std::vector<CriticalSegment> critical_path;
+  /// The flow that was estimated (registered or caller-supplied) — kept so
+  /// renderers (protocol explain reports) can name jobs without a second
+  /// registry lookup.
+  std::shared_ptr<const DagWorkflow> flow;
+  std::string workflow;
+  std::string cluster;
+  double queue_wait_ms = 0.0;
+  double service_ms = 0.0;
+};
+
+/// A cluster-size sweep query (capacity planning): price `workflow` at every
+/// node count in `nodes_list` on one service turn, sharing the persistent
+/// memo across candidates.
+struct ServiceSweepRequest {
+  std::string workflow;
+  std::shared_ptr<const DagWorkflow> flow;
+  std::string cluster;
+  std::vector<int> nodes_list;
+  Budget budget;
+};
+
+struct ServiceSweepResult {
+  SweepResult sweep;
+  std::vector<int> nodes_list;
+  std::string workflow;
+  std::string cluster;
+  double service_ms = 0.0;
+};
+
+/// Monotonic service counters plus the memo cache's cumulative behaviour.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  /// Requests rejected at admission (queue full).
+  std::uint64_t shed = 0;
+  /// Requests whose budget expired while they sat in the queue.
+  std::uint64_t expired_in_queue = 0;
+  int queue_depth = 0;
+  bool draining = false;
+  int workflows = 0;
+  int clusters = 0;
+  TaskTimeMemo::Stats cache;
+};
+
+class EstimationService {
+ public:
+  explicit EstimationService(ServiceOptions options = {});
+  /// Drains (waits for in-flight work) before tearing the pool down.
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  /// Registers a workflow under `name` after running it through the
+  /// validation firewall (dag/validate.h) — the service never holds a flow
+  /// a request could fail validation on. Re-registering a name replaces it
+  /// for future requests; in-flight requests keep the version they resolved.
+  Status RegisterWorkflow(const std::string& name, DagWorkflow flow);
+
+  /// Registers a cluster under `name` (validated). Each cluster owns its
+  /// BOE model and task-time source; its memo entries are scoped by the
+  /// cluster name so differing node hardware never aliases in the cache.
+  Status RegisterCluster(const std::string& name, const ClusterSpec& cluster);
+
+  /// Points a registered cluster's task-time queries at a caller-owned
+  /// source (profile-driven serving, test doubles). The source must be
+  /// thread-safe and deterministic (TaskTimeSource contract) and must
+  /// outlive the service. `scope` keys its memo entries; pass a fresh scope
+  /// when the source's answers differ from the BOE source's.
+  Status RegisterSource(const std::string& cluster, const TaskTimeSource* source,
+                        const std::string& scope);
+
+  std::vector<std::string> WorkflowNames() const;
+
+  /// Submits one estimate query. Never blocks on estimation: the returned
+  /// future is either already failed (shed / draining / unresolvable name)
+  /// or will be fulfilled by a worker. Safe from any thread.
+  std::future<Result<WorkflowEstimate>> Submit(ServiceRequest request);
+
+  /// Batch convenience: one future per request, admitted independently (a
+  /// full queue sheds the tail, not the whole batch).
+  std::vector<std::future<Result<WorkflowEstimate>>> SubmitBatch(
+      std::vector<ServiceRequest> requests);
+
+  /// Submits a cluster-size sweep; counts as one admission-queue slot. The
+  /// candidates fan out across the same pool and share the persistent memo.
+  std::future<Result<ServiceSweepResult>> SubmitSweep(ServiceSweepRequest request);
+
+  /// Graceful shutdown: stops admitting (subsequent Submits fail with
+  /// FailedPrecondition), waits for every queued and in-flight request to
+  /// fulfil its future, and returns how many were in flight when the drain
+  /// began. Idempotent.
+  Result<int> Drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServiceStats Stats() const;
+
+  /// The cross-request memo (exposed for benchmarks/tests).
+  TaskTimeMemo& memo() { return memo_; }
+
+ private:
+  struct ClusterEntry;
+
+  /// Resolves the request's workflow/cluster under the registry lock.
+  Result<std::shared_ptr<const DagWorkflow>> ResolveFlow(
+      const std::string& name, const std::shared_ptr<const DagWorkflow>& inline_flow,
+      std::string* resolved_name) const;
+  Result<std::shared_ptr<const ClusterEntry>> ResolveCluster(
+      const std::string& name) const;
+
+  /// Admission control; on success the caller owns one queue slot.
+  Status Admit();
+  void ReleaseSlot();
+
+  /// Runs one estimate on a worker thread (slot already held).
+  Result<WorkflowEstimate> Execute(const ServiceRequest& request,
+                                   double submit_us);
+
+  ServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  TaskTimeMemo memo_;
+
+  /// Guards registries (shared: request resolution; unique: registration).
+  mutable std::shared_mutex registry_mutex_;
+  std::map<std::string, std::shared_ptr<const DagWorkflow>> workflows_;
+  std::map<std::string, std::shared_ptr<const ClusterEntry>> clusters_;
+
+  /// Taken shared around every Submit (admission + pool enqueue), unique by
+  /// Drain before it waits — so no Submit races ThreadPool::Wait.
+  mutable std::shared_mutex admission_mutex_;
+  std::atomic<bool> draining_{false};
+
+  std::atomic<int> queue_depth_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> expired_in_queue_{0};
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_SERVICE_SERVICE_H_

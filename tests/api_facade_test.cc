@@ -1,0 +1,117 @@
+// Tests of the versioned public facade: <dagperf/dagperf.h> is
+// self-sufficient (this file includes nothing else from the library), the
+// version macros exist and are numerically comparable, and the deprecated
+// Status-out-param shims still behave like their Result<T> replacements.
+
+#include <dagperf/dagperf.h>
+
+#include <gtest/gtest.h>
+
+#ifndef DAGPERF_VERSION_MAJOR
+#error "dagperf.h must provide DAGPERF_VERSION_MAJOR"
+#endif
+#ifndef DAGPERF_VERSION_MINOR
+#error "dagperf.h must provide DAGPERF_VERSION_MINOR"
+#endif
+
+// The facade version gates features numerically; the service layer arrived
+// in 0.4.
+#if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR < 4
+#error "service layer requires dagperf >= 0.4"
+#endif
+
+namespace dagperf {
+namespace {
+
+TEST(ApiFacadeTest, VersionMacros) {
+  EXPECT_GE(DAGPERF_VERSION_MAJOR, 0);
+  EXPECT_GE(DAGPERF_VERSION_MINOR, 4);
+  const std::string version = DAGPERF_VERSION_STRING;
+  EXPECT_EQ(version, std::to_string(DAGPERF_VERSION_MAJOR) + "." +
+                         std::to_string(DAGPERF_VERSION_MINOR));
+}
+
+TEST(ApiFacadeTest, FacadeCoversTheSupportedSurface) {
+  // Touch one symbol from each facade section; compiling this file with
+  // only <dagperf/dagperf.h> is the actual assertion.
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  EXPECT_GT(cluster.num_nodes, 0);
+  const Status status = Status::ResourceExhausted("x");
+  EXPECT_TRUE(IsRetryable(status.code()));
+  EXPECT_STREQ(ErrorCodeName(status.code()), "RESOURCE_EXHAUSTED");
+  const Budget budget = Budget::Within(60.0);
+  EXPECT_TRUE(budget.limited());
+  EstimationService service;
+  EXPECT_FALSE(service.draining());
+  EXPECT_EQ(service.Stats().clusters, 1);
+}
+
+Result<DagWorkflow> FacadeFlow() {
+  Result<NamedFlow> named = TableThreeFlow("TS-Q6", 0.01);
+  if (!named.ok()) return named.status();
+  return std::move(named).value().flow;
+}
+
+// The deprecated shims are exercised on purpose; silence the warnings the
+// rest of the build is expected to emit for them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(ApiFacadeTest, DeprecatedEstimateShimMatchesResultOverload) {
+  Result<DagWorkflow> flow = FacadeFlow();
+  ASSERT_TRUE(flow.ok());
+  const ClusterSpec cluster = ClusterSpec::PaperCluster();
+  const BoeModel boe(cluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(cluster, SchedulerConfig{});
+
+  Result<DagEstimate> direct = estimator.Estimate(*flow, source);
+  ASSERT_TRUE(direct.ok());
+
+  DagEstimate shimmed;
+  const Status status = estimator.Estimate(*flow, source, &shimmed);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(shimmed.makespan.seconds(), direct->makespan.seconds());
+  EXPECT_EQ(shimmed.states.size(), direct->states.size());
+}
+
+TEST(ApiFacadeTest, DeprecatedBatchShimReturnsFirstError) {
+  Result<DagWorkflow> flow = FacadeFlow();
+  ASSERT_TRUE(flow.ok());
+  const ClusterSpec good = ClusterSpec::PaperCluster();
+  ClusterSpec bad = good;
+  bad.num_nodes = -1;
+  const BoeModel boe(good.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+
+  const std::vector<EstimateRequest> requests = {{&*flow, good, "good"},
+                                                 {&*flow, bad, "bad"}};
+  SweepResult out;
+  const Status status =
+      EstimateBatch(requests, SchedulerConfig{}, source, SweepOptions{}, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  ASSERT_EQ(out.estimates.size(), 2u);
+  EXPECT_TRUE(out.estimates[0].ok());
+  EXPECT_FALSE(out.estimates[1].ok());
+}
+
+TEST(ApiFacadeTest, DeprecatedSimulatorShimMatchesResultOverload) {
+  Result<DagWorkflow> flow = FacadeFlow();
+  ASSERT_TRUE(flow.ok());
+  const Simulator sim(ClusterSpec::PaperCluster(), SchedulerConfig{},
+                      SimOptions{});
+  Result<SimResult> direct = sim.Run(*flow);
+  ASSERT_TRUE(direct.ok());
+  // SimResult has no default constructor, so the shim's out-param is seeded
+  // with a value it then overwrites.
+  SimResult shimmed = direct.value();
+  const Status status = sim.Run(*flow, &shimmed);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(shimmed.makespan().seconds(), direct->makespan().seconds());
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace dagperf

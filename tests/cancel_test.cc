@@ -94,7 +94,7 @@ TEST(Estimator, ExpiredDeadlineUnwindsPerState) {
       "estimator.deadline_exceeded");
   const std::uint64_t before = exceeded.value();
   EstimatorOptions options;
-  options.deadline = Deadline::AfterSeconds(0);
+  options.budget.deadline = Deadline::AfterSeconds(0);
   const ClusterSpec cluster = ClusterSpec::PaperCluster();
   const StateBasedEstimator estimator(cluster, SchedulerConfig{}, options);
   const BoeModel boe(cluster.node);
@@ -109,8 +109,8 @@ TEST(Estimator, ExpiredDeadlineUnwindsPerState) {
 
 TEST(Estimator, PreCancelledTokenUnwinds) {
   EstimatorOptions options;
-  options.cancel = CancelToken::Cancellable();
-  options.cancel.Cancel();
+  options.budget.cancel = CancelToken::Cancellable();
+  options.budget.cancel.Cancel();
   const ClusterSpec cluster = ClusterSpec::PaperCluster();
   const StateBasedEstimator estimator(cluster, SchedulerConfig{}, options);
   const BoeModel boe(cluster.node);
@@ -131,7 +131,7 @@ TEST(EstimateBatch, ExpiredDeadlineYieldsPartialResultsAndCounts) {
                                               EstimateRequest{&flow, cluster, ""});
   SweepOptions options;
   options.threads = 1;
-  options.deadline = Deadline::AfterSeconds(0);
+  options.budget.deadline = Deadline::AfterSeconds(0);
   const SweepResult sweep =
       EstimateBatch(requests, SchedulerConfig{}, source, options);
   ASSERT_EQ(sweep.estimates.size(), requests.size());
@@ -164,8 +164,8 @@ TEST(EstimateBatch, CancelledBatchStampsCancelled) {
                                               EstimateRequest{&flow, cluster, ""});
   SweepOptions options;
   options.threads = 1;
-  options.cancel = CancelToken::Cancellable();
-  options.cancel.Cancel();
+  options.budget.cancel = CancelToken::Cancellable();
+  options.budget.cancel.Cancel();
   const SweepResult sweep =
       EstimateBatch(requests, SchedulerConfig{}, source, options);
   EXPECT_EQ(sweep.stats.cancelled, sweep.stats.candidates);
@@ -187,8 +187,8 @@ TEST(EstimateBatch, UnexpiredBudgetIsHarmless) {
   const std::vector<EstimateRequest> requests(3,
                                               EstimateRequest{&flow, cluster, ""});
   SweepOptions options;
-  options.cancel = CancelToken::Cancellable();
-  options.deadline = Deadline::AfterSeconds(3600);
+  options.budget.cancel = CancelToken::Cancellable();
+  options.budget.deadline = Deadline::AfterSeconds(3600);
   const SweepResult sweep =
       EstimateBatch(requests, SchedulerConfig{}, source, options);
   EXPECT_EQ(sweep.stats.completed, sweep.stats.candidates);

@@ -1,0 +1,439 @@
+// Tests of the estimation service layer (src/service/): admission control
+// and load shedding, deadline expiry inside the queue, graceful drain with
+// requests in flight, cross-request memo reuse (asserted through the obs
+// counters), and the NDJSON wire protocol.
+
+#include "service/service.h"
+
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "dag/spec_io.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "workloads/suite.h"
+#include "workloads/web_analytics.h"
+
+namespace dagperf {
+namespace {
+
+DagWorkflow TestFlow() {
+  Result<NamedFlow> named = TableThreeFlow("TS-Q6", 0.01);
+  EXPECT_TRUE(named.ok()) << named.status().ToString();
+  return std::move(named).value().flow;
+}
+
+/// A task-time source whose first query blocks until Open() — holds a
+/// service worker mid-estimate so tests can pile requests up behind it.
+class GateSource : public TaskTimeSource {
+ public:
+  Duration TaskTime(const EstimationContext&) const override {
+    std::unique_lock lock(mutex_);
+    ++entered_;
+    entered_cv_.notify_all();
+    open_cv_.wait(lock, [&] { return open_; });
+    return Duration::Seconds(1);
+  }
+
+  void Open() {
+    {
+      std::lock_guard lock(mutex_);
+      open_ = true;
+    }
+    open_cv_.notify_all();
+  }
+
+  /// Blocks until a worker is inside TaskTime (i.e. an estimate is running).
+  void WaitUntilEntered() const {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ > 0; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable open_cv_;
+  mutable std::condition_variable entered_cv_;
+  mutable bool open_ = false;
+  mutable int entered_ = 0;
+};
+
+TEST(ServiceTest, EstimatesRegisteredWorkflow) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+
+  ServiceRequest request;
+  request.workflow = "q6";
+  Result<WorkflowEstimate> served = service.Submit(std::move(request)).get();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_GT(served.value().estimate.makespan.seconds(), 0.0);
+  EXPECT_EQ(served.value().workflow, "q6");
+  EXPECT_EQ(served.value().cluster, "default");
+  EXPECT_TRUE(served.value().critical_path.empty());
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServiceTest, ExplainFillsCriticalPath) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  ServiceRequest request;
+  request.workflow = "q6";
+  request.explain = true;
+  Result<WorkflowEstimate> served = service.Submit(std::move(request)).get();
+  ASSERT_TRUE(served.ok());
+  ASSERT_FALSE(served.value().critical_path.empty());
+  // Critical-path segments partition the timeline: durations sum to the
+  // makespan.
+  double total = 0.0;
+  for (const CriticalSegment& s : served.value().critical_path) {
+    total += s.duration;
+  }
+  EXPECT_NEAR(total, served.value().estimate.makespan.seconds(), 1e-9);
+}
+
+TEST(ServiceTest, UnknownNamesFailFast) {
+  EstimationService service;
+  ServiceRequest request;
+  request.workflow = "no-such-flow";
+  Result<WorkflowEstimate> served = service.Submit(std::move(request)).get();
+  ASSERT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), ErrorCode::kNotFound);
+
+  ServiceRequest no_flow;
+  Result<WorkflowEstimate> empty = service.Submit(std::move(no_flow)).get();
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), ErrorCode::kInvalidArgument);
+
+  ServiceRequest bad_cluster;
+  bad_cluster.workflow = "no-such-flow";
+  bad_cluster.cluster = "no-such-cluster";
+  Result<WorkflowEstimate> cluster =
+      service.Submit(std::move(bad_cluster)).get();
+  EXPECT_FALSE(cluster.ok());
+}
+
+TEST(ServiceTest, RegistrationRunsValidationFirewall) {
+  EstimationService service;
+  ClusterSpec bad = ClusterSpec::PaperCluster();
+  bad.num_nodes = -3;
+  const Status status = service.RegisterCluster("bad", bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, QueueFullShedsWithResourceExhausted) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.max_queue_depth = 1;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  // First request occupies the only worker, blocked inside the source.
+  ServiceRequest first;
+  first.workflow = "q6";
+  std::future<Result<WorkflowEstimate>> inflight =
+      service.Submit(std::move(first));
+  gate.WaitUntilEntered();
+
+  // The queue (depth 1) is now full: the next submit must be shed, not
+  // queued — its future is ready immediately.
+  ServiceRequest second;
+  second.workflow = "q6";
+  std::future<Result<WorkflowEstimate>> shed = service.Submit(std::move(second));
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  Result<WorkflowEstimate> shed_result = shed.get();
+  ASSERT_FALSE(shed_result.ok());
+  EXPECT_EQ(shed_result.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_TRUE(IsRetryable(shed_result.status().code()));
+
+  gate.Open();
+  ASSERT_TRUE(inflight.get().ok());
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+}
+
+TEST(ServiceTest, DeadlineExpiresInQueue) {
+  ServiceOptions options;
+  options.threads = 1;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  ServiceRequest first;
+  first.workflow = "q6";
+  std::future<Result<WorkflowEstimate>> inflight =
+      service.Submit(std::move(first));
+  gate.WaitUntilEntered();
+
+  // Queued behind the blocked worker with a deadline that expires while it
+  // waits: the worker must reject it at dequeue without estimating.
+  ServiceRequest doomed;
+  doomed.workflow = "q6";
+  doomed.budget.deadline = Deadline::AfterSeconds(0.01);
+  std::future<Result<WorkflowEstimate>> expired =
+      service.Submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.Open();
+
+  Result<WorkflowEstimate> result = expired.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kDeadlineExceeded);
+  ASSERT_TRUE(inflight.get().ok());
+  EXPECT_EQ(service.Stats().expired_in_queue, 1u);
+}
+
+TEST(ServiceTest, DrainWaitsForInflightAndRejectsNewWork) {
+  ServiceOptions options;
+  options.threads = 2;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  ServiceRequest request;
+  request.workflow = "q6";
+  std::future<Result<WorkflowEstimate>> inflight =
+      service.Submit(std::move(request));
+  gate.WaitUntilEntered();
+
+  std::promise<Result<int>> drained_promise;
+  std::future<Result<int>> drained = drained_promise.get_future();
+  std::thread drainer([&] { drained_promise.set_value(service.Drain()); });
+
+  // The drain must not finish while the estimate is still blocked.
+  EXPECT_EQ(drained.wait_for(std::chrono::milliseconds(50)),
+            std::future_status::timeout);
+  EXPECT_TRUE(service.draining());
+
+  // New work is rejected while draining, with a non-retryable code.
+  ServiceRequest late;
+  late.workflow = "q6";
+  Result<WorkflowEstimate> rejected = service.Submit(std::move(late)).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kFailedPrecondition);
+
+  gate.Open();
+  drainer.join();
+  Result<int> drain_result = drained.get();
+  ASSERT_TRUE(drain_result.ok());
+  EXPECT_GE(drain_result.value(), 1);
+  ASSERT_TRUE(inflight.get().ok());
+}
+
+TEST(ServiceTest, MemoIsReusedAcrossRequests) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter& hits = obs::MetricsRegistry::Default().GetCounter("memo.hits");
+  const std::uint64_t hits_before = hits.value();
+
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+
+  ServiceRequest first;
+  first.workflow = "q6";
+  Result<WorkflowEstimate> cold = service.Submit(std::move(first)).get();
+  ASSERT_TRUE(cold.ok());
+  const TaskTimeMemo::Stats after_cold = service.Stats().cache;
+  EXPECT_EQ(after_cold.hits, 0u);
+  EXPECT_GT(after_cold.misses, 0u);
+
+  // The identical request again: every task-time query must hit the
+  // cross-request memo, and the answer must be bit-identical.
+  ServiceRequest second;
+  second.workflow = "q6";
+  Result<WorkflowEstimate> warm = service.Submit(std::move(second)).get();
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().estimate.makespan.seconds(),
+            cold.value().estimate.makespan.seconds());
+
+  const TaskTimeMemo::Stats after_warm = service.Stats().cache;
+  EXPECT_GT(after_warm.hits, 0u);
+  EXPECT_EQ(after_warm.misses, after_cold.misses);
+  EXPECT_GT(after_warm.hit_rate(), 0.0);
+
+  // The memo's own obs counter observed the hits too (the service shares
+  // the library-wide "memo.*" instrumentation).
+  EXPECT_GT(hits.value(), hits_before);
+  obs::SetMetricsEnabled(false);
+}
+
+TEST(ServiceTest, PerClusterCacheScopesNeverAlias) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  // Halve every I/O path so task times differ no matter which resource the
+  // flow bottlenecks on.
+  ClusterSpec other = ClusterSpec::PaperCluster();
+  other.node.disk_read_bw = Rate::MBps(100);
+  other.node.disk_write_bw = Rate::MBps(90);
+  other.node.network_bw = Rate::MBps(60);
+  ASSERT_TRUE(service.RegisterCluster("big-nodes", other).ok());
+
+  ServiceRequest on_default;
+  on_default.workflow = "q6";
+  Result<WorkflowEstimate> base = service.Submit(std::move(on_default)).get();
+  ASSERT_TRUE(base.ok());
+
+  // Same workflow on different hardware: the scoped memo must not serve the
+  // default cluster's entries, so the answers differ.
+  ServiceRequest on_big;
+  on_big.workflow = "q6";
+  on_big.cluster = "big-nodes";
+  Result<WorkflowEstimate> big = service.Submit(std::move(on_big)).get();
+  ASSERT_TRUE(big.ok());
+  EXPECT_NE(base.value().estimate.makespan.seconds(),
+            big.value().estimate.makespan.seconds());
+}
+
+TEST(ServiceTest, SweepSharesMemoAndFindsBest) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  ServiceSweepRequest sweep;
+  sweep.workflow = "q6";
+  sweep.nodes_list = {2, 4, 8};
+  Result<ServiceSweepResult> served = service.SubmitSweep(std::move(sweep)).get();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  const SweepResult& result = served.value().sweep;
+  ASSERT_EQ(result.estimates.size(), 3u);
+  EXPECT_EQ(result.stats.completed, 3);
+  ASSERT_GE(result.stats.best_index, 0);
+  // More nodes, faster: best candidate is the largest cluster.
+  EXPECT_EQ(served.value().nodes_list[result.stats.best_index], 8);
+
+  ServiceSweepRequest empty;
+  empty.workflow = "q6";
+  Result<ServiceSweepResult> bad = service.SubmitSweep(std::move(empty)).get();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, BatchAdmitsIndependently) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.max_queue_depth = 2;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  std::vector<ServiceRequest> requests(3);
+  for (ServiceRequest& r : requests) r.workflow = "q6";
+  auto futures = service.SubmitBatch(std::move(requests));
+  ASSERT_EQ(futures.size(), 3u);
+  // Queue depth 2: the batch's tail is shed, the head is queued.
+  ASSERT_EQ(futures[2].wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(futures[2].get().status().code(), ErrorCode::kResourceExhausted);
+  gate.Open();
+  EXPECT_TRUE(futures[0].get().ok());
+  EXPECT_TRUE(futures[1].get().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+
+TEST(ProtocolTest, EstimateRoundTrip) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  Protocol protocol(&service);
+
+  const std::string response =
+      protocol.HandleLine(R"({"op":"estimate","workflow":"q6","id":42})");
+  Result<Json> parsed = Json::Parse(response);
+  ASSERT_TRUE(parsed.ok()) << response;
+  EXPECT_TRUE(parsed.value().GetBool("ok", false));
+  EXPECT_EQ(parsed.value().GetNumber("id", -1), 42);
+  const Json* result = parsed.value().Get("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_GT(result->GetNumber("makespan_s", 0.0), 0.0);
+  EXPECT_EQ(result->GetString("workflow", ""), "q6");
+  // One line, compact: the NDJSON framing invariant.
+  EXPECT_EQ(response.find('\n'), std::string::npos);
+}
+
+TEST(ProtocolTest, ErrorsUseStableCodeVocabulary) {
+  EstimationService service;
+  Protocol protocol(&service);
+
+  const auto error_code = [&](const std::string& line) {
+    Result<Json> parsed = Json::Parse(protocol.HandleLine(line));
+    EXPECT_TRUE(parsed.ok());
+    EXPECT_FALSE(parsed.value().GetBool("ok", true));
+    const Json* error = parsed.value().Get("error");
+    return error == nullptr ? std::string() : error->GetString("code", "");
+  };
+
+  EXPECT_EQ(error_code("this is not json"), "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code("[1,2,3]"), "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(R"({"op":"bogus"})"), "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(R"({"op":"estimate"})"), "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(R"({"op":"estimate","workflow":"nope"})"), "NOT_FOUND");
+  EXPECT_EQ(error_code(R"({"op":"sweep","workflow":"nope"})"),
+            "INVALID_ARGUMENT");
+  EXPECT_FALSE(protocol.drain_requested());
+}
+
+TEST(ProtocolTest, StatsAndDrainVerbs) {
+  EstimationService service;
+  Protocol protocol(&service);
+
+  Result<Json> stats = Json::Parse(protocol.HandleLine(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().GetBool("ok", false));
+  EXPECT_FALSE(protocol.drain_requested());
+
+  Result<Json> drain = Json::Parse(protocol.HandleLine(R"({"op":"drain"})"));
+  ASSERT_TRUE(drain.ok());
+  EXPECT_TRUE(drain.value().GetBool("ok", false));
+  EXPECT_TRUE(protocol.drain_requested());
+  EXPECT_TRUE(service.draining());
+}
+
+TEST(ProtocolTest, InlineFlowDocument) {
+  EstimationService service;
+  Protocol protocol(&service);
+  Result<DagWorkflow> flow = WebAnalyticsFlow(Bytes::FromGB(1));
+  ASSERT_TRUE(flow.ok());
+  Json request = Json::MakeObject();
+  request.Set("op", Json::MakeString("estimate"));
+  request.Set("flow", WorkflowToJson(flow.value()));
+  Result<Json> parsed = Json::Parse(protocol.HandleLine(request.DumpCompact()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().GetBool("ok", false))
+      << protocol.HandleLine(request.DumpCompact());
+  EXPECT_GT(parsed.value().Get("result")->GetNumber("makespan_s", 0.0), 0.0);
+}
+
+TEST(ServerTest, ServeLinesPumpsUntilDrain) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  std::istringstream in(
+      "{\"op\":\"estimate\",\"workflow\":\"q6\",\"id\":1}\n"
+      "\n"
+      "{\"op\":\"stats\",\"id\":2}\n"
+      "{\"op\":\"drain\",\"id\":3}\n"
+      "{\"op\":\"stats\",\"id\":4}\n");
+  std::ostringstream out;
+  const ServeSummary summary = ServeLines(service, in, out);
+  EXPECT_EQ(summary.requests, 3u);  // Blank skipped; nothing after drain.
+  EXPECT_TRUE(summary.drained);
+  // Exactly one response line per request.
+  int lines = 0;
+  for (char c : out.str()) lines += c == '\n';
+  EXPECT_EQ(lines, 3);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -18,6 +18,15 @@
 //                    [--scale S] [--deadline-s D] [--threads N] [--json FILE]
 //                    [--deadline-seconds D]
 //   dagperf tune     --job WC|TS|TSC|TS2R|TS3R [--input-gb G]
+//   dagperf serve    [--stdio | --port P] [--scale S] [--nodes N]
+//                    [--threads N] [--queue-depth D] [--deadline-seconds D]
+//
+// `serve` runs the estimation service (src/service/): the named workflow
+// suite is pre-registered and requests arrive as newline-delimited JSON
+// (service/protocol.h; docs/api.md has the full contract) on stdin
+// (--stdio, the default) or a localhost TCP port (--port, 0 picks a free
+// one and prints it to stderr). --deadline-seconds becomes the service's
+// default per-request deadline. The loop ends on EOF or a `drain` request.
 //
 // --deadline-seconds bounds the wall-clock the estimator may spend; on
 // expiry the command exits 3 (sweeps print whatever candidates finished).
@@ -36,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <optional>
 #include <stdexcept>
@@ -54,6 +64,8 @@
 #include "model/task_time_source.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/server.h"
+#include "service/service.h"
 #include "sim/simulator.h"
 #include "sim/trace_writer.h"
 #include "tuner/tuner.h"
@@ -86,6 +98,10 @@ int ExitCodeFor(const Status& status) {
     case ErrorCode::kDeadlineExceeded:
     case ErrorCode::kCancelled:
       return kExitDeadline;
+    case ErrorCode::kResourceExhausted:
+      // Transient (the service shed the request); retryable, so runtime
+      // trouble rather than invalid input.
+      return kExitRuntime;
     case ErrorCode::kInternal:
       return kExitInternal;
   }
@@ -148,14 +164,15 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: dagperf <list|export|simulate|estimate|explain|compare|"
-               "sweep|tune> "
+               "sweep|tune|serve> "
                "[--flow NAME | --spec FILE.json] [--job WC|TS|TSC|TS2R|TS3R] "
                "[--scale S] [--nodes N] [--seed K] [--input-gb G] [--baseline R] "
                "[--reducers 8,16,32] [--nodes-list 2,4,8] [--threads N] "
                "[--deadline-s D] [--deadline-seconds D] "
                "[--variant boe|mean|median|normal] [--out F] "
                "[--json F] [--csv F] [--chrome F] "
-               "[--metrics-json F] [--trace-out F]\n");
+               "[--metrics-json F] [--trace-out F] "
+               "[--stdio] [--port P] [--queue-depth D]\n");
   return 2;
 }
 
@@ -267,7 +284,7 @@ Result<DagEstimate> RunEstimate(const DagWorkflow& flow, const ClusterSpec& clus
                                 const Deadline& deadline = Deadline::Never()) {
   const SchedulerConfig sched;
   EstimatorOptions options;
-  options.deadline = deadline;
+  options.budget.deadline = deadline;
   if (variant == "boe") {
     const BoeModel boe(cluster.node);
     const BoeTaskTimeSource source(boe, Duration::Seconds(1));
@@ -334,7 +351,7 @@ int CmdExplain(const Args& args) {
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
   EstimatorOptions options;
-  options.deadline = args.GetDeadline();
+  options.budget.deadline = args.GetDeadline();
   Result<ExplainReport> report =
       Explain(*flow, cluster, SchedulerConfig{}, source, options);
   if (!report.ok()) return Fail(report.status());
@@ -511,7 +528,7 @@ int CmdReducerSweep(const Args& args) {
   for (const DagWorkflow& flow : *flows) requests.push_back({&flow, cluster, ""});
   SweepOptions options;
   options.threads = args.GetInt("threads", 0);
-  options.deadline = args.GetDeadline();
+  options.budget.deadline = args.GetDeadline();
   const SweepResult sweep = EstimateBatch(requests, SchedulerConfig{}, source, options);
   std::printf("reducer sweep for %s on %d nodes (%d candidates, %d threads):\n",
               job->name.c_str(), cluster.num_nodes, sweep.stats.candidates,
@@ -539,7 +556,7 @@ int CmdNodesSweep(const Args& args) {
   }
   SweepOptions options;
   options.threads = args.GetInt("threads", 0);
-  options.deadline = args.GetDeadline();
+  options.budget.deadline = args.GetDeadline();
   const SweepResult sweep = EstimateBatch(requests, SchedulerConfig{}, source, options);
   std::printf("cluster-size sweep for %s (%d candidates, %d threads):\n",
               flow->name().c_str(), sweep.stats.candidates, options.threads);
@@ -617,6 +634,66 @@ int CmdTune(const Args& args) {
   return 0;
 }
 
+/// Long-lived estimation service over the NDJSON protocol. Diagnostics (what
+/// was registered, where the server listens) go to stderr; stdout carries
+/// only protocol responses so a pipe peer parses every line.
+int CmdServe(const Args& args) {
+  ServiceOptions options;
+  options.threads = args.GetInt("threads", 0);
+  options.max_queue_depth = args.GetInt("queue-depth", 256);
+  options.default_deadline_seconds = args.GetDouble("deadline-seconds", 0.0);
+  if (options.max_queue_depth < 1) {
+    return Fail(Status::InvalidArgument("--queue-depth must be >= 1"));
+  }
+  EstimationService service(options);
+
+  const int nodes = args.GetInt("nodes", 0);
+  if (nodes != 0) {
+    ClusterSpec cluster = ClusterSpec::PaperCluster();
+    cluster.num_nodes = nodes;
+    if (Status st = service.RegisterCluster("default", cluster); !st.ok()) {
+      return Fail(st);
+    }
+  }
+
+  // Pre-register the named suite at --scale, same names `dagperf list`
+  // prints; clients can still send inline "flow" documents.
+  const double scale = args.GetDouble("scale", 1.0);
+  Result<std::vector<NamedFlow>> suite = TableThreeSuite(scale);
+  if (!suite.ok()) return Fail(suite.status());
+  for (NamedFlow& named : suite.value()) {
+    if (Status st = service.RegisterWorkflow(named.name, std::move(named.flow));
+        !st.ok()) {
+      return Fail(st);
+    }
+  }
+  Result<DagWorkflow> web = WebAnalyticsFlow(Bytes::FromGB(100.0 * scale));
+  if (!web.ok()) return Fail(web.status());
+  if (Status st = service.RegisterWorkflow("web-analytics", std::move(web).value());
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::fprintf(stderr, "dagperf serve: %zu workflows registered (scale %g)\n",
+               service.WorkflowNames().size(), scale);
+
+  if (args.options.count("port") > 0) {
+    TcpServerOptions tcp;
+    tcp.port = args.GetInt("port", 0);
+    tcp.max_connections = args.GetInt("max-connections", 0);
+    tcp.on_listen = [](int port) {
+      std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
+    };
+    if (Status st = ServeTcp(service, tcp); !st.ok()) return Fail(st);
+    return kExitOk;
+  }
+
+  const ServeSummary summary = ServeLines(service, std::cin, std::cout);
+  std::fprintf(stderr, "served %llu requests (%s)\n",
+               static_cast<unsigned long long>(summary.requests),
+               summary.drained ? "drained" : "stdin closed");
+  return kExitOk;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
@@ -625,6 +702,11 @@ int Main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) return Usage();
     const std::string key = arg + 2;
+    // Valueless switches; everything else is a --key VALUE pair.
+    if (key == "stdio") {
+      args.options[key] = "1";
+      continue;
+    }
     if (i + 1 >= argc) return Usage();
     args.options[key] = argv[++i];
   }
@@ -654,6 +736,8 @@ int Main(int argc, char** argv) {
       rc = CmdSweep(args);
     } else if (args.command == "tune") {
       rc = CmdTune(args);
+    } else if (args.command == "serve") {
+      rc = CmdServe(args);
     } else {
       return Usage();
     }
