@@ -1,45 +1,62 @@
 // Replays every file under the corpus directories given on the command line
-// through the fuzz entry point, as an ordinary ctest. This keeps the corpus
+// through a fuzz entry point, as an ordinary ctest. This keeps the corpora
 // (including minimised crash inputs from past fuzz runs) exercised on every
 // build, without requiring a fuzzer-enabled toolchain.
+//
+// Directories are replayed through the spec-ingestion entry point by
+// default; a directory preceded by --protocol goes through the NDJSON
+// protocol entry point instead:
+//   corpus_replay fuzz/corpus --protocol fuzz/corpus_protocol
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "protocol_ingestion.h"
 #include "spec_ingestion.h"
 
 namespace fs = std::filesystem;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: corpus_replay CORPUS_DIR...\n");
+    std::fprintf(stderr,
+                 "usage: corpus_replay [--spec|--protocol] CORPUS_DIR...\n");
     return 2;
   }
   int replayed = 0;
+  int (*entry)(const std::uint8_t*, std::size_t) = dagperf::RunSpecIngestion;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spec") == 0) {
+      entry = dagperf::RunSpecIngestion;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--protocol") == 0) {
+      entry = dagperf::RunProtocolIngestion;
+      continue;
+    }
     const fs::path root(argv[i]);
     std::error_code ec;
     if (!fs::is_directory(root, ec)) {
       std::fprintf(stderr, "not a directory: %s\n", argv[i]);
       return 2;
     }
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      std::ifstream in(entry.path(), std::ios::binary);
+    for (const auto& file : fs::recursive_directory_iterator(root)) {
+      if (!file.is_regular_file()) continue;
+      std::ifstream in(file.path(), std::ios::binary);
       if (!in) {
-        std::fprintf(stderr, "cannot read %s\n", entry.path().c_str());
+        std::fprintf(stderr, "cannot read %s\n", file.path().c_str());
         return 1;
       }
       const std::string bytes((std::istreambuf_iterator<char>(in)),
                               std::istreambuf_iterator<char>());
       // Any abort, sanitizer report, or uncaught exception fails the test by
       // killing the process; a normal return is a pass.
-      dagperf::RunSpecIngestion(
-          reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+      entry(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+            bytes.size());
       ++replayed;
     }
   }

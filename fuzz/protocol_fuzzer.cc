@@ -1,0 +1,14 @@
+// libFuzzer harness over the NDJSON serving surface. Build with
+// -DDAGPERF_BUILD_FUZZERS=ON under clang; run as
+//   ./protocol_fuzzer fuzz/corpus_protocol -max_total_time=60
+// Crashes reproduce with ./protocol_fuzzer <crash-file>; minimised inputs
+// belong in fuzz/corpus_protocol/ so the replay test pins the fix.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "protocol_ingestion.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return dagperf::RunProtocolIngestion(data, size);
+}

@@ -1,0 +1,60 @@
+#include "protocol_ingestion.h"
+
+#include <sstream>
+#include <string>
+
+#include "service/server.h"
+#include "service/service.h"
+#include "workloads/suite.h"
+
+namespace dagperf {
+
+namespace {
+
+/// A small line cap so corpus inputs can actually cross the limit without
+/// being megabytes on disk.
+constexpr std::size_t kFuzzMaxLineBytes = 512;
+
+Result<DagWorkflow> FuzzFlow() {
+  Result<NamedFlow> named = TableThreeFlow("TS-Q6", 0.01);
+  if (!named.ok()) return named.status();
+  return std::move(named).value().flow;
+}
+
+}  // namespace
+
+int RunProtocolIngestion(const uint8_t* data, size_t size) {
+  // A fresh service per input: a drain verb in the stream flips the service
+  // into draining for good, which must not leak into the next input.
+  ServiceOptions options;
+  options.threads = 1;
+  options.max_queue_depth = 8;
+  EstimationService service(options);
+  Result<DagWorkflow> flow = FuzzFlow();
+  if (flow.ok()) {
+    (void)service.RegisterWorkflow("q6", *flow);
+  }
+
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  std::ostringstream out;
+  const ServeSummary summary =
+      ServeLines(service, in, out, kFuzzMaxLineBytes);
+  // Cheap self-checks the sanitizers can't do: every response line the pump
+  // produced is itself one line of valid JSON.
+  const std::string responses = out.str();
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < responses.size()) {
+    std::size_t end = responses.find('\n', start);
+    if (end == std::string::npos) end = responses.size();
+    ++lines;
+    start = end + 1;
+  }
+  // One response per handled request (oversized/garbage lines included —
+  // they get error responses, they are not swallowed).
+  if (lines < summary.requests) __builtin_trap();
+  return 0;
+}
+
+}  // namespace dagperf

@@ -42,6 +42,14 @@
 #include "scheduler/drf.h"
 #include "sim/simulator.h"
 
+// Resilience: client-side retry with jittered backoff, circuit breakers,
+// the request watchdog, and the deterministic fault injector chaos tests
+// drive (docs/robustness.md).
+#include "resilience/circuit_breaker.h"
+#include "resilience/fault.h"
+#include "resilience/retry.h"
+#include "resilience/watchdog.h"
+
 // The estimation service: long-lived serving entry point + NDJSON protocol.
 #include "service/protocol.h"
 #include "service/server.h"

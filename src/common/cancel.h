@@ -2,9 +2,11 @@
 #define DAGPERF_COMMON_CANCEL_H_
 
 #include <atomic>
+#include <initializer_list>
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -35,21 +37,54 @@ class CancelToken {
     return token;
   }
 
+  /// A live token that additionally observes every parent: cancelled() is
+  /// true once Cancel() was called on this token *or* on any parent.
+  /// Cancelling the linked token does not propagate upward — parents stay
+  /// untouched — which is how one request-scoped token can be fired by a
+  /// watchdog while the caller's token and a service-wide shutdown token
+  /// remain independent signals feeding the same request. Inert parents are
+  /// skipped, so linking against a default-constructed token costs nothing.
+  static CancelToken LinkedTo(std::initializer_list<CancelToken> parents) {
+    CancelToken token = Cancellable();
+    auto observed = std::make_shared<
+        std::vector<std::shared_ptr<std::atomic<bool>>>>();
+    for (const CancelToken& parent : parents) {
+      if (parent.state_ != nullptr) observed->push_back(parent.state_);
+      if (parent.parents_ != nullptr) {
+        observed->insert(observed->end(), parent.parents_->begin(),
+                         parent.parents_->end());
+      }
+    }
+    if (!observed->empty()) token.parents_ = std::move(observed);
+    return token;
+  }
+
   /// Signals cancellation to every copy of this token. Safe to call from any
-  /// thread, any number of times. No-op on an inert token.
+  /// thread, any number of times. No-op on an inert token. Parents of a
+  /// linked token are not signalled.
   void Cancel() const {
     if (state_ != nullptr) state_->store(true, std::memory_order_release);
   }
 
   bool cancelled() const {
-    return state_ != nullptr && state_->load(std::memory_order_acquire);
+    if (state_ != nullptr && state_->load(std::memory_order_acquire)) return true;
+    if (parents_ != nullptr) {
+      for (const auto& parent : *parents_) {
+        if (parent->load(std::memory_order_acquire)) return true;
+      }
+    }
+    return false;
   }
 
-  /// Whether this token can ever fire (i.e. was created via Cancellable()).
-  bool can_cancel() const { return state_ != nullptr; }
+  /// Whether this token can ever fire (i.e. was created via Cancellable()
+  /// or LinkedTo() with at least one live parent).
+  bool can_cancel() const { return state_ != nullptr || parents_ != nullptr; }
 
  private:
   std::shared_ptr<std::atomic<bool>> state_;
+  /// Parent flags observed by cancelled(); shared so copying a linked token
+  /// copies two pointers, never the vector.
+  std::shared_ptr<const std::vector<std::shared_ptr<std::atomic<bool>>>> parents_;
 };
 
 /// An absolute wall-clock budget on the monotonic clock. Default-constructed

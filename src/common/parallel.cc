@@ -61,7 +61,20 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace internal {
+std::atomic<SubmitHook> g_submit_hook{nullptr};
+}  // namespace internal
+
+void SetThreadPoolSubmitHook(internal::SubmitHook hook) {
+  internal::g_submit_hook.store(hook, std::memory_order_release);
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  if (internal::SubmitHook hook =
+          internal::g_submit_hook.load(std::memory_order_relaxed);
+      hook != nullptr) {
+    hook();
+  }
   const bool metrics_on = obs::MetricsEnabled();
   Job job{std::move(task), metrics_on ? obs::MonotonicUs() : 0.0};
   {

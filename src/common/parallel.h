@@ -1,6 +1,7 @@
 #ifndef DAGPERF_COMMON_PARALLEL_H_
 #define DAGPERF_COMMON_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -69,6 +70,23 @@ class ThreadPool {
 /// hardware's concurrency (at least 1). Shared by every ParallelFor caller
 /// that does not supply its own pool.
 ThreadPool& DefaultPool();
+
+namespace internal {
+/// Hook invoked at the top of every ThreadPool::Submit, null by default (the
+/// cost of an uninstalled hook is one relaxed atomic load). Installed by the
+/// resilience layer's fault injector — which sits *above* common in the
+/// dependency stack and therefore cannot be called from here directly — to
+/// inject deterministic submit delays (fault point `pool.submit`). Not a
+/// general extension point: keep it to fault injection and tests.
+using SubmitHook = void (*)();
+extern std::atomic<SubmitHook> g_submit_hook;
+}  // namespace internal
+
+/// Installs (or, with nullptr, removes) the process-wide submit hook. The
+/// caller must guarantee the hook outlives every Submit call — in practice
+/// both users (fault injector, tests) install function pointers to static
+/// code, never unloaded.
+void SetThreadPoolSubmitHook(internal::SubmitHook hook);
 
 /// Runs fn(i) for every i in [begin, end) across `pool` (the default pool
 /// when null), with the calling thread participating in the work.

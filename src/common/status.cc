@@ -23,14 +23,19 @@ const char* ErrorCodeName(ErrorCode code) {
       return "CANCELLED";
     case ErrorCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
 
 bool IsRetryable(ErrorCode code) {
-  // Load shedding is transient by definition: the same request succeeds once
-  // the admission queue drains, so clients should back off and retry.
-  return code == ErrorCode::kInternal || code == ErrorCode::kResourceExhausted;
+  // Load shedding and unavailability are transient by definition: the same
+  // request succeeds once the admission queue drains, the circuit breaker
+  // half-opens, or a replacement server comes up — so clients should back
+  // off and retry.
+  return code == ErrorCode::kInternal || code == ErrorCode::kResourceExhausted ||
+         code == ErrorCode::kUnavailable;
 }
 
 std::string Status::ToString() const {

@@ -26,6 +26,11 @@ enum class ErrorCode {
   /// and the request was shed instead of queued. Retry later — backing off —
   /// with the same inputs.
   kResourceExhausted,
+  /// The serving path is temporarily refusing work: the service is shutting
+  /// down mid-request, or a circuit breaker opened after repeated failures.
+  /// Retryable — the same request succeeds against a healthy (or restarted)
+  /// server.
+  kUnavailable,
 };
 
 /// Stable upper-snake-case name of a code ("INVALID_ARGUMENT", ...), the
@@ -65,6 +70,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(ErrorCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(ErrorCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == ErrorCode::kOk; }

@@ -4,10 +4,28 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "resilience/fault.h"
 
 namespace dagperf {
 
 namespace {
+
+/// Chaos seams (latency-only: TaskTime has no error channel, so injected
+/// error plans surface at service.execute instead — see docs/robustness.md).
+/// model.task_time delays the underlying source's computation on a memo
+/// miss; memo.insert delays between compute and store, widening the
+/// insert-race window the memo's last-write-wins path must tolerate.
+resilience::FaultPoint& TaskTimeFault() {
+  static resilience::FaultPoint& point =
+      resilience::FaultInjector::Default().GetPoint("model.task_time");
+  return point;
+}
+
+resilience::FaultPoint& MemoInsertFault() {
+  static resilience::FaultPoint& point =
+      resilience::FaultInjector::Default().GetPoint("memo.insert");
+  return point;
+}
 
 /// Registry mirrors of the memo's internal stats, so `dagperf
 /// --metrics-json` and the sweep thread pool's dashboards see cache
@@ -102,7 +120,9 @@ Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) cons
   }
   memo_->misses_.fetch_add(1, std::memory_order_relaxed);
   Metrics().misses.Add(1);
+  (void)TaskTimeFault().Evaluate();
   const Duration time = base_.TaskTime(context);
+  (void)MemoInsertFault().Evaluate();
   {
     std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
     TaskTimeMemo::Entry& entry = memo_->entries_[key];
@@ -132,7 +152,9 @@ NormalParams MemoizedTaskTimeSource::TaskTimeDist(
   }
   memo_->misses_.fetch_add(1, std::memory_order_relaxed);
   Metrics().misses.Add(1);
+  (void)TaskTimeFault().Evaluate();
   const NormalParams dist = base_.TaskTimeDist(context);
+  (void)MemoInsertFault().Evaluate();
   {
     std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
     TaskTimeMemo::Entry& entry = memo_->entries_[key];

@@ -1,0 +1,196 @@
+#include "resilience/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/parallel.h"
+
+namespace dagperf {
+namespace resilience {
+
+namespace {
+
+/// splitmix64 — the same finalising mixer common/rng uses for seeding;
+/// repeated here so a decision is a pure hash, not a stateful stream.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashName(const std::string& name) {
+  // FNV-1a: stable across runs and platforms (std::hash is neither).
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from a 64-bit hash (top 53 bits).
+double ToUnit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+Status MakeInjected(const std::string& name, ErrorCode code) {
+  const std::string message = "injected fault at " + name;
+  switch (code) {
+    case ErrorCode::kInternal:
+      return Status::Internal(message);
+    case ErrorCode::kUnavailable:
+      return Status::Unavailable(message);
+    case ErrorCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
+    case ErrorCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case ErrorCode::kCancelled:
+      return Status::Cancelled(message);
+    case ErrorCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case ErrorCode::kNotFound:
+      return Status::NotFound(message);
+    case ErrorCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case ErrorCode::kOk:
+      break;
+  }
+  return Status::Ok();
+}
+
+/// The pool.submit seam: common/parallel.h cannot depend on this layer, so
+/// the injector installs this function pointer while armed. Status results
+/// are ignored — Submit has no error channel — making pool.submit a
+/// latency-only point.
+void PoolSubmitHook() {
+  static FaultPoint& point = FaultInjector::Default().GetPoint("pool.submit");
+  (void)point.Evaluate();
+}
+
+}  // namespace
+
+FaultDecision FaultPoint::Evaluate() {
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+
+  FaultPlan plan;
+  std::uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan = plan_;
+    seed = seed_;
+  }
+  const std::uint64_t n = evaluations_.fetch_add(1, std::memory_order_relaxed);
+  if (n < static_cast<std::uint64_t>(plan.skip_first)) return {};
+  if (plan.max_fires > 0 &&
+      fires_.load(std::memory_order_relaxed) >=
+          static_cast<std::uint64_t>(plan.max_fires)) {
+    return {};
+  }
+  if (ToUnit(Mix64(seed ^ HashName(name_) ^ n)) >= plan.probability) return {};
+
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  if (plan.latency_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(plan.latency_ms));
+  }
+  FaultDecision decision;
+  decision.fired = true;
+  decision.status = MakeInjected(name_, plan.error);
+  return decision;
+}
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultPoint& FaultInjector::GetPoint(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<FaultPoint>& slot = points_[name];
+  if (slot == nullptr) slot = std::make_unique<FaultPoint>(name);
+  return *slot;
+}
+
+Status FaultInjector::Configure(const std::string& name, const FaultPlan& plan) {
+  if (name.empty()) return Status::InvalidArgument("fault point name is empty");
+  if (plan.probability < 0 || plan.probability > 1) {
+    return Status::InvalidArgument("fault probability must be in [0, 1]");
+  }
+  if (plan.latency_ms < 0 || plan.max_fires < 0 || plan.skip_first < 0) {
+    return Status::InvalidArgument(
+        "fault latency/max_fires/skip_first must be >= 0");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_[name] = plan;
+  std::unique_ptr<FaultPoint>& slot = points_[name];
+  if (slot == nullptr) slot = std::make_unique<FaultPoint>(name);
+  if (armed_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> point_lock(slot->mutex_);
+    slot->plan_ = plan;
+    slot->seed_ = seed_;
+    slot->armed_.store(plan.probability > 0, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Arm(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  for (auto& [name, point] : points_) {
+    const auto plan = plans_.find(name);
+    const bool live = plan != plans_.end() && plan->second.probability > 0;
+    {
+      std::lock_guard<std::mutex> point_lock(point->mutex_);
+      if (live) point->plan_ = plan->second;
+      point->seed_ = seed;
+    }
+    // Re-arming restarts every deterministic schedule.
+    point->evaluations_.store(0, std::memory_order_relaxed);
+    point->fires_.store(0, std::memory_order_relaxed);
+    point->armed_.store(live, std::memory_order_release);
+  }
+  armed_.store(true, std::memory_order_release);
+  // pool.submit lives below this layer; reach it through the hook seam.
+  if (plans_.count("pool.submit") > 0 &&
+      plans_["pool.submit"].probability > 0) {
+    SetThreadPoolSubmitHook(&PoolSubmitHook);
+  }
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+  for (auto& [name, point] : points_) {
+    point->armed_.store(false, std::memory_order_release);
+  }
+  SetThreadPoolSubmitHook(nullptr);
+}
+
+std::uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seed_;
+}
+
+void FaultInjector::ResetAll() {
+  Disarm();
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  for (auto& [name, point] : points_) {
+    point->evaluations_.store(0, std::memory_order_relaxed);
+    point->fires_.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<FaultInjector::PointStats> FaultInjector::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PointStats> stats;
+  stats.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    stats.push_back({name, point->evaluations(), point->fires()});
+  }
+  return stats;
+}
+
+}  // namespace resilience
+}  // namespace dagperf

@@ -1,0 +1,148 @@
+#ifndef DAGPERF_RESILIENCE_FAULT_H_
+#define DAGPERF_RESILIENCE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dagperf {
+namespace resilience {
+
+/// Deterministic, seeded fault injection for chaos testing (docs/
+/// robustness.md has the fault-point catalog). Named fault points are
+/// compiled into the layer seams the library owns — task-time queries, memo
+/// inserts, thread-pool submits, the service's admission and execute paths,
+/// the TCP server's accept/read/write calls — and are *off by default*:
+/// a disarmed point costs one relaxed atomic-bool load, the same discipline
+/// as the obs layer's disabled metrics (guarded by bench_resilience's
+/// BENCH_resilience.json measurement).
+///
+/// Determinism: whether evaluation number n of a point fires is a pure
+/// function of (injector seed, point name, n) — a splitmix64 hash, no shared
+/// RNG stream — so a fixed seed yields the same per-point fire pattern
+/// run-to-run regardless of how threads interleave their claims of n.
+
+/// What one fault point does when it fires. A plan with error == kOk injects
+/// latency only; probability 0 never fires.
+struct FaultPlan {
+  /// Chance in [0, 1] that an evaluation fires.
+  double probability = 0.0;
+  /// Delay injected (in the caller's thread) on every fired evaluation.
+  double latency_ms = 0.0;
+  /// Status code returned to the seam on a fired evaluation; kOk means the
+  /// plan is latency-only and the seam proceeds normally after the delay.
+  ErrorCode error = ErrorCode::kOk;
+  /// Fire at most this many times (0 = unlimited).
+  int max_fires = 0;
+  /// Let the first N evaluations pass untouched before the probability
+  /// applies — "fail the warm path, not the handshake" schedules.
+  int skip_first = 0;
+};
+
+/// The outcome of one FaultPoint::Evaluate call, already slept: when
+/// `status` is non-Ok the seam should fail with it; otherwise proceed.
+struct FaultDecision {
+  bool fired = false;
+  Status status;
+};
+
+/// One named injection seam. Call sites resolve the point once (static local
+/// or member, like obs metric handles) and Evaluate() per pass; the handle
+/// stays valid for the process lifetime.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string name) : name_(std::move(name)) {}
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  /// The hot-path probe: one relaxed load and out when the point is not
+  /// armed. When armed, decides deterministically from (seed, name, call
+  /// index), sleeps any injected latency in the calling thread, and returns
+  /// the plan's status on fire.
+  FaultDecision Evaluate();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FaultInjector;
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  /// Guards plan_/seed_ against Configure/Arm racing Evaluate. Only taken
+  /// on the armed path — chaos runs, never production — so a mutex is fine.
+  std::mutex mutex_;
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> fires_{0};
+};
+
+/// Process-wide directory of fault points plus the arm/disarm switch.
+/// Workflow: Configure() plans for the points under test, Arm(seed), run the
+/// scenario, Disarm() (and usually ResetAll() between scenarios).
+class FaultInjector {
+ public:
+  /// The singleton every compiled-in seam resolves its point from. Leaked,
+  /// like the metrics registry, so handles outlive static teardown.
+  static FaultInjector& Default();
+
+  /// Resolves (registering on first use) the point named `name`. The
+  /// returned reference is valid forever.
+  FaultPoint& GetPoint(const std::string& name);
+
+  /// Sets the plan for `name` (registering the point if needed). Takes
+  /// effect immediately when the injector is armed. Rejects probabilities
+  /// outside [0, 1] and negative latencies/counts.
+  Status Configure(const std::string& name, const FaultPlan& plan);
+
+  /// Arms every point that has a plan with probability > 0, under `seed`.
+  /// Re-arming with a new seed restarts every point's deterministic
+  /// schedule (call indices reset).
+  void Arm(std::uint64_t seed);
+
+  /// Disarms every point; plans are kept for a later re-Arm.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+  std::uint64_t seed() const;
+
+  /// Drops all plans and zeroes every point's counters (disarms first).
+  void ResetAll();
+
+  struct PointStats {
+    std::string name;
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+  };
+  /// Snapshot of every registered point, name-sorted.
+  std::vector<PointStats> Stats() const;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+  std::map<std::string, FaultPlan> plans_;
+  std::atomic<bool> armed_{false};
+  std::uint64_t seed_ = 0;
+};
+
+/// Evaluates `point` and returns the injected status (Ok when the point did
+/// not fire or the plan is latency-only) — the one-liner most seams want.
+inline Status InjectAt(FaultPoint& point) { return point.Evaluate().status; }
+
+}  // namespace resilience
+}  // namespace dagperf
+
+#endif  // DAGPERF_RESILIENCE_FAULT_H_

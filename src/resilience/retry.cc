@@ -1,0 +1,94 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace dagperf {
+namespace resilience {
+
+namespace {
+
+obs::Counter& RetriesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Default().GetCounter("resilience.retries");
+  return counter;
+}
+
+}  // namespace
+
+RetryPolicy::RetryPolicy(RetryOptions options)
+    : options_(options), rng_(options.seed) {
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.initial_backoff_ms = std::max(0.0, options_.initial_backoff_ms);
+  options_.max_backoff_ms =
+      std::max(options_.initial_backoff_ms, options_.max_backoff_ms);
+  options_.multiplier = std::max(1.0, options_.multiplier);
+}
+
+double RetryPolicy::NextBackoffMs(int retry) {
+  const double cap =
+      std::min(options_.max_backoff_ms,
+               options_.initial_backoff_ms *
+                   std::pow(options_.multiplier, std::max(0, retry)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.Uniform(0.0, std::max(cap, 1e-9));
+}
+
+bool RetryPolicy::KeepTrying(const Status& status, int attempt,
+                             const Budget& budget) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.attempts;
+  }
+  if (!IsRetryable(status.code())) return false;
+  if (attempt >= options_.max_attempts || budget.exhausted()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.gave_up;
+    return false;
+  }
+  double sleep_ms = NextBackoffMs(attempt - 1);
+  // Never sleep past the deadline: cap to the remaining budget so the final
+  // attempt still has wall-clock to run in.
+  const double remaining_ms = budget.deadline.remaining_seconds() * 1e3;
+  if (std::isfinite(remaining_ms)) {
+    sleep_ms = std::min(sleep_ms, std::max(0.0, remaining_ms * 0.5));
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  if (budget.exhausted()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.gave_up;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.retries;
+  }
+  RetriesCounter().Add(1);
+  return true;
+}
+
+Status RetryPolicy::RunStatus(const std::function<Status()>& op,
+                              const Budget& budget) {
+  Status status = op();
+  int attempt = 1;
+  while (!status.ok() && KeepTrying(status, attempt, budget)) {
+    status = op();
+    ++attempt;
+  }
+  return status;
+}
+
+RetryPolicy::Stats RetryPolicy::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace resilience
+}  // namespace dagperf

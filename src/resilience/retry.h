@@ -1,0 +1,89 @@
+#ifndef DAGPERF_RESILIENCE_RETRY_H_
+#define DAGPERF_RESILIENCE_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/cancel.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dagperf {
+namespace resilience {
+
+/// Client-side retry with exponential backoff and full jitter — the policy
+/// the wire protocol's `retryable` flag asks clients to apply mechanically.
+
+struct RetryOptions {
+  /// Total tries including the first (>= 1). 4 = one call + three retries.
+  int max_attempts = 4;
+  /// Backoff cap grows initial * multiplier^retry, clamped to max; the
+  /// actual sleep is Uniform(0, cap) — "full jitter", which de-synchronises
+  /// a thundering herd of shed clients better than equal or decorrelated
+  /// jitter for this service's bursty admission queue.
+  double initial_backoff_ms = 10.0;
+  double max_backoff_ms = 2000.0;
+  double multiplier = 2.0;
+  /// Seed of the jitter stream (common/rng): a fixed seed makes every sleep
+  /// of a policy instance reproducible.
+  std::uint64_t seed = 1;
+};
+
+/// Executes operations until success, a non-retryable failure, attempt
+/// exhaustion, or budget expiry. Thread-safe: concurrent Run calls share the
+/// jitter stream under a mutex (sleeps happen outside it). Each retry
+/// increments the obs counter `resilience.retries`.
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions options = {});
+
+  /// Runs `op` under the policy. Retries only statuses with
+  /// IsRetryable(code); sleeps the jittered backoff between attempts, capped
+  /// by the budget's remaining time. Returns the first success, the first
+  /// non-retryable failure, or — once attempts or budget run out — the last
+  /// retryable failure.
+  template <typename T>
+  Result<T> Run(const std::function<Result<T>()>& op,
+                const Budget& budget = {}) {
+    Result<T> result = op();
+    int attempt = 1;
+    while (!result.ok() && KeepTrying(result.status(), attempt, budget)) {
+      result = op();
+      ++attempt;
+    }
+    return result;
+  }
+
+  /// Status-only convenience for operations with no value.
+  Status RunStatus(const std::function<Status()>& op, const Budget& budget = {});
+
+  /// The jittered sleep before retry number `retry` (0-based), in
+  /// milliseconds — exposed for tests; Run uses exactly this.
+  double NextBackoffMs(int retry);
+
+  struct Stats {
+    /// Attempts that returned a failure (successes are not counted).
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    /// Runs that returned a retryable failure after exhausting attempts or
+    /// budget.
+    std::uint64_t gave_up = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Decides whether to retry after `status` on 1-based attempt `attempt`,
+  /// and performs the backoff sleep when it says yes.
+  bool KeepTrying(const Status& status, int attempt, const Budget& budget);
+
+  RetryOptions options_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace resilience
+}  // namespace dagperf
+
+#endif  // DAGPERF_RESILIENCE_RETRY_H_

@@ -1,0 +1,83 @@
+#ifndef DAGPERF_RESILIENCE_WATCHDOG_H_
+#define DAGPERF_RESILIENCE_WATCHDOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/cancel.h"
+
+namespace dagperf {
+namespace resilience {
+
+struct WatchdogOptions {
+  /// How often the watchdog thread scans its watch list. Scans are O(watched)
+  /// map walks under a mutex — cheap at service concurrency (hundreds).
+  double poll_interval_ms = 20.0;
+  /// Obs counter incremented per cancelled watch; empty = none. The service
+  /// passes "service.watchdog_cancels".
+  std::string counter_name;
+};
+
+/// Cancels registered CancelTokens that outlive their hard wall-clock bound.
+/// The estimation service registers each request's *linked* token with a
+/// fire time of `watchdog_multiple x deadline`: cooperative deadline checks
+/// normally end the request long before, so the watchdog firing means the
+/// request is stuck somewhere that is not polling its budget — the watchdog
+/// is the backstop that turns a hang into a DEADLINE_EXCEEDED.
+///
+/// The poll thread starts lazily on the first Watch() and exits on
+/// destruction. Tokens are fired, never waited on: cancellation stays
+/// cooperative, so a truly wedged (non-polling) task is not reaped — the
+/// watchdog bounds *well-behaved-but-slow* work.
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Starts watching `token`; it is Cancel()ed if still registered after
+  /// `fire_after_seconds` (<= 0 fires on the next scan). Returns an id for
+  /// Unwatch. Inert tokens are accepted and counted but cancel nothing.
+  std::uint64_t Watch(CancelToken token, double fire_after_seconds);
+
+  /// Stops watching (normal completion path). Safe on unknown/fired ids.
+  void Unwatch(std::uint64_t id);
+
+  struct Stats {
+    std::uint64_t watched = 0;
+    std::uint64_t fired = 0;
+  };
+  Stats stats() const;
+
+  /// Currently registered watches (test hook).
+  std::size_t pending() const;
+
+ private:
+  struct Watched {
+    CancelToken token;
+    Deadline fire_at;
+  };
+
+  void Loop();
+
+  const WatchdogOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Watched> watches_;
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace resilience
+}  // namespace dagperf
+
+#endif  // DAGPERF_RESILIENCE_WATCHDOG_H_

@@ -12,16 +12,29 @@ namespace dagperf {
 
 namespace {
 
-Json ErrorResponse(const Json* id, const Status& status) {
+Json ErrorResponseWithCode(const Json* id, const std::string& code,
+                           bool retryable, const std::string& message) {
   Json error = Json::MakeObject();
-  error.Set("code", Json::MakeString(ErrorCodeName(status.code())));
-  error.Set("retryable", Json::MakeBool(IsRetryable(status.code())));
-  error.Set("message", Json::MakeString(status.message()));
+  error.Set("code", Json::MakeString(code));
+  error.Set("retryable", Json::MakeBool(retryable));
+  error.Set("message", Json::MakeString(message));
   Json response = Json::MakeObject();
   if (id != nullptr) response.Set("id", *id);
   response.Set("ok", Json::MakeBool(false));
   response.Set("error", std::move(error));
   return response;
+}
+
+Json ErrorResponse(const Json* id, const Status& status) {
+  return ErrorResponseWithCode(id, ErrorCodeName(status.code()),
+                               IsRetryable(status.code()), status.message());
+}
+
+/// The explicit-null id for responses to lines that never yielded a request
+/// object — clients matching pipelined replies by id see the slot consumed.
+const Json& NullId() {
+  static const Json* null_id = new Json();
+  return *null_id;
 }
 
 Json OkResponse(const Json* id, Json result) {
@@ -168,11 +181,17 @@ std::string Protocol::HandleLine(const std::string& line) {
   ++requests_handled_;
   Result<Json> parsed = Json::Parse(line);
   if (!parsed.ok()) {
-    return ErrorResponse(nullptr, parsed.status()).DumpCompact();
+    // Malformed JSON is a protocol-level failure, not a service error: the
+    // stable code PARSE_ERROR (never retryable — resending the same bytes
+    // cannot help) with an explicit null id, so a pipelining client sees
+    // the response slot consumed instead of a silent skip.
+    return ErrorResponseWithCode(&NullId(), "PARSE_ERROR", false,
+                                 parsed.status().message())
+        .DumpCompact();
   }
   const Json& request = parsed.value();
   if (request.type() != Json::Type::kObject) {
-    return ErrorResponse(nullptr,
+    return ErrorResponse(&NullId(),
                          Status::InvalidArgument("request must be a JSON object"))
         .DumpCompact();
   }
@@ -254,6 +273,10 @@ std::string Protocol::HandleLine(const std::string& line) {
                          : "unknown op \"" + op +
                                "\" (estimate|explain|sweep|stats|drain)"))
       .DumpCompact();
+}
+
+std::string Protocol::TransportErrorLine(const Status& status) {
+  return ErrorResponse(&NullId(), status).DumpCompact();
 }
 
 }  // namespace dagperf

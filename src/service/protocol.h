@@ -29,7 +29,11 @@ namespace dagperf {
 ///                                    "retryable": true, "message": "..."}}
 ///
 /// Error codes are the stable ErrorCodeName vocabulary (common/status.h);
-/// `retryable` mirrors IsRetryable so clients can back off mechanically.
+/// `retryable` mirrors IsRetryable so clients can back off mechanically. Two
+/// protocol-level failures answer with an explicit `"id": null` (the line
+/// never yielded a request object to echo an id from): malformed JSON comes
+/// back as `PARSE_ERROR{retryable: false}`, and transports answer oversized
+/// frames with INVALID_ARGUMENT via TransportErrorLine.
 class Protocol {
  public:
   explicit Protocol(EstimationService* service);
@@ -43,6 +47,12 @@ class Protocol {
 
   /// Whether a drain request was handled — transports stop reading then.
   bool drain_requested() const { return drain_requested_; }
+
+  /// A protocol-shaped error line (`{"id":null,"ok":false,"error":{...}}`,
+  /// no trailing newline) for failures detected by the transport itself —
+  /// oversized frames, framing violations — so every answered line on the
+  /// wire has the one response shape.
+  static std::string TransportErrorLine(const Status& status);
 
   std::uint64_t requests_handled() const { return requests_handled_; }
 

@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "dag/validate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/fault.h"
 
 namespace dagperf {
 
@@ -57,6 +59,22 @@ std::future<Result<T>> FailedFuture(Status status) {
   return promise.get_future();
 }
 
+/// Chaos seams (resilience/fault.h): service.admit injects admission
+/// rejections after a slot was legitimately granted; service.execute injects
+/// estimator-path failures — the errors the per-cluster breaker and the
+/// protocol's retryable flag exist for.
+resilience::FaultPoint& AdmitFault() {
+  static resilience::FaultPoint& point =
+      resilience::FaultInjector::Default().GetPoint("service.admit");
+  return point;
+}
+
+resilience::FaultPoint& ExecuteFault() {
+  static resilience::FaultPoint& point =
+      resilience::FaultInjector::Default().GetPoint("service.execute");
+  return point;
+}
+
 }  // namespace
 
 /// One registered cluster: its spec, its BOE model, and the task-time
@@ -94,6 +112,12 @@ EstimationService::EstimationService(ServiceOptions options)
   }
   options_.threads = threads;
   options_.max_queue_depth = std::max(1, options_.max_queue_depth);
+  if (options_.watchdog_multiple > 0) {
+    options_.watchdog_multiple = std::max(1.0, options_.watchdog_multiple);
+    resilience::WatchdogOptions watchdog_options;
+    watchdog_options.counter_name = "service.watchdog_cancels";
+    watchdog_ = std::make_unique<resilience::Watchdog>(watchdog_options);
+  }
   pool_ = std::make_unique<ThreadPool>(threads);
   RegisterCluster("default", ClusterSpec::PaperCluster());
 }
@@ -199,6 +223,12 @@ Status EstimationService::Admit() {
         "admission queue full (" + std::to_string(options_.max_queue_depth) +
         " deep): retry with backoff");
   }
+  // Chaos seam: an injected rejection releases the slot it was granted, so
+  // conservation (admitted == released) holds under any schedule.
+  if (Status injected = resilience::InjectAt(AdmitFault()); !injected.ok()) {
+    queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
+    return injected;
+  }
   Metrics().queue_depth.Set(depth);
   return Status::Ok();
 }
@@ -231,40 +261,95 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
   if (!cluster.ok()) return cluster.status();
   const ClusterEntry& entry = **cluster;
 
-  std::optional<obs::ScopedSpan> span;
-  if (obs::TraceRecorder::Default().enabled()) {
-    span.emplace("serve " + workflow_name, "service");
+  // The breaker gates the estimation path only — resolution failures above
+  // are client errors and never open it. Every Allow() below is matched by
+  // exactly one Record() on the way out.
+  resilience::CircuitBreaker* breaker = BreakerFor(entry.name);
+  if (breaker != nullptr) {
+    if (Status allowed = breaker->Allow(); !allowed.ok()) return allowed;
   }
 
-  ClusterSpec spec = entry.spec;
-  if (request.nodes > 0) spec.num_nodes = request.nodes;
+  Result<WorkflowEstimate> result = [&]() -> Result<WorkflowEstimate> {
+    if (Status injected = resilience::InjectAt(ExecuteFault()); !injected.ok()) {
+      return injected;
+    }
 
-  EstimatorOptions estimator_options = options_.estimator;
-  estimator_options.budget = request.budget;
-  estimator_options.attribute_bottlenecks =
-      request.explain || estimator_options.attribute_bottlenecks;
+    std::optional<obs::ScopedSpan> span;
+    if (obs::TraceRecorder::Default().enabled()) {
+      span.emplace("serve " + workflow_name, "service");
+    }
 
-  // The warm path: every task-time query goes through the service-lifetime
-  // memo, scoped by the cluster entry so hardware never aliases.
-  const MemoizedTaskTimeSource cached(*entry.source, &memo_, entry.scope);
-  const StateBasedEstimator estimator(spec, options_.scheduler, estimator_options);
-  Result<DagEstimate> estimate = estimator.Estimate(**flow, cached);
-  if (!estimate.ok()) return estimate.status();
+    ClusterSpec spec = entry.spec;
+    if (request.nodes > 0) spec.num_nodes = request.nodes;
 
-  WorkflowEstimate served;
-  served.estimate = std::move(estimate).value();
-  if (request.explain) {
-    served.critical_path = CriticalPath(served.estimate);
+    EstimatorOptions estimator_options = options_.estimator;
+    estimator_options.budget = request.budget;
+    estimator_options.attribute_bottlenecks =
+        request.explain || estimator_options.attribute_bottlenecks;
+
+    // The warm path: every task-time query goes through the service-lifetime
+    // memo, scoped by the cluster entry so hardware never aliases.
+    const MemoizedTaskTimeSource cached(*entry.source, &memo_, entry.scope);
+    const StateBasedEstimator estimator(spec, options_.scheduler,
+                                        estimator_options);
+    Result<DagEstimate> estimate = estimator.Estimate(**flow, cached);
+    if (!estimate.ok()) return estimate.status();
+
+    WorkflowEstimate served;
+    served.estimate = std::move(estimate).value();
+    if (request.explain) {
+      served.critical_path = CriticalPath(served.estimate);
+    }
+    served.flow = std::move(flow).value();
+    served.workflow = std::move(workflow_name);
+    served.cluster = entry.name;
+    const double end_us = obs::MonotonicUs();
+    served.queue_wait_ms = (start_us - submit_us) * 1e-3;
+    served.service_ms = (end_us - start_us) * 1e-3;
+    Metrics().queue_wait_us.Record(start_us - submit_us);
+    Metrics().latency_us.Record(end_us - submit_us);
+    return served;
+  }();
+
+  // kCancelled is neutral to the breaker (Record releases the probe slot
+  // without judging the path); the shutdown/watchdog rewrite happens in the
+  // submit closure, after this record, so a shutdown burst cannot open it.
+  if (breaker != nullptr) breaker->Record(result.status());
+  return result;
+}
+
+resilience::CircuitBreaker* EstimationService::BreakerFor(
+    const std::string& cluster) {
+  if (options_.breaker_failure_threshold <= 0) return nullptr;
+  std::lock_guard<std::mutex> lock(breakers_mutex_);
+  std::unique_ptr<resilience::CircuitBreaker>& slot = breakers_[cluster];
+  if (slot == nullptr) {
+    resilience::CircuitBreakerOptions breaker_options;
+    breaker_options.failure_threshold = options_.breaker_failure_threshold;
+    breaker_options.open_seconds = options_.breaker_open_seconds;
+    breaker_options.gauge_name =
+        cluster == "default" ? "resilience.breaker_state"
+                             : "resilience.breaker_state." + cluster;
+    slot = std::make_unique<resilience::CircuitBreaker>(breaker_options);
   }
-  served.flow = std::move(flow).value();
-  served.workflow = std::move(workflow_name);
-  served.cluster = entry.name;
-  const double end_us = obs::MonotonicUs();
-  served.queue_wait_ms = (start_us - submit_us) * 1e-3;
-  served.service_ms = (end_us - start_us) * 1e-3;
-  Metrics().queue_wait_us.Record(start_us - submit_us);
-  Metrics().latency_us.Record(end_us - submit_us);
-  return served;
+  return slot.get();
+}
+
+Status EstimationService::MapCancelCause(const Status& status,
+                                         const CancelToken& caller_cancel) {
+  if (status.code() != ErrorCode::kCancelled) return status;
+  if (shutdown_cancel_.cancelled()) {
+    return Status::Unavailable(
+        "service shut down before completion: retry against a healthy server");
+  }
+  if (!caller_cancel.cancelled()) {
+    // Only the watchdog could have fired the request-scoped token.
+    watchdog_fired_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded(
+        "cancelled by watchdog: exceeded the hard wall-clock bound (" +
+        std::to_string(options_.watchdog_multiple) + "x deadline)");
+  }
+  return status;
 }
 
 std::future<Result<WorkflowEstimate>> EstimationService::Submit(
@@ -289,11 +374,31 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
         Deadline::AfterSeconds(options_.default_deadline_seconds);
   }
 
+  // Request-scoped token: observes the caller's cancel and the service-wide
+  // shutdown signal, and is what the watchdog fires. Cancelling it never
+  // propagates to the caller's token, so MapCancelCause can still tell the
+  // three signals apart after the unwind.
+  const CancelToken caller_cancel = request.budget.cancel;
+  request.budget.cancel =
+      CancelToken::LinkedTo({caller_cancel, shutdown_cancel_});
+  std::uint64_t watch_id = 0;
+  if (watchdog_ != nullptr && !request.budget.deadline.never()) {
+    watch_id = watchdog_->Watch(
+        request.budget.cancel,
+        request.budget.deadline.remaining_seconds() * options_.watchdog_multiple);
+  }
+
   auto promise = std::make_shared<std::promise<Result<WorkflowEstimate>>>();
   std::future<Result<WorkflowEstimate>> future = promise->get_future();
   const double submit_us = obs::MonotonicUs();
-  pool_->Submit([this, request = std::move(request), promise, submit_us]() {
+  pool_->Submit([this, request = std::move(request), promise, submit_us,
+                 caller_cancel, watch_id]() {
     Result<WorkflowEstimate> result = Execute(request, submit_us);
+    if (watch_id != 0) watchdog_->Unwatch(watch_id);
+    if (!result.ok()) {
+      result = Result<WorkflowEstimate>(
+          MapCancelCause(result.status(), caller_cancel));
+    }
     if (result.ok()) {
       completed_.fetch_add(1, std::memory_order_relaxed);
       Metrics().completed.Add(1);
@@ -336,6 +441,11 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
     request.budget.deadline =
         Deadline::AfterSeconds(options_.default_deadline_seconds);
   }
+  // Sweeps observe shutdown too (cancelled candidates surface per-candidate
+  // inside the sweep result); no watchdog — a sweep is many estimates, each
+  // already bounded by the shared budget.
+  request.budget.cancel =
+      CancelToken::LinkedTo({request.budget.cancel, shutdown_cancel_});
 
   auto promise = std::make_shared<std::promise<Result<ServiceSweepResult>>>();
   std::future<Result<ServiceSweepResult>> future = promise->get_future();
@@ -414,6 +524,34 @@ Result<int> EstimationService::Drain() {
   return inflight;
 }
 
+EstimationService::ShutdownReport EstimationService::Shutdown(
+    double grace_seconds) {
+  ShutdownReport report;
+  const double start_us = obs::MonotonicUs();
+  {
+    // Same ordering contract as Drain: every in-flight Submit finishes its
+    // pool enqueue before the flag flips.
+    std::unique_lock admission(admission_mutex_);
+    draining_.store(true, std::memory_order_release);
+  }
+  report.inflight_at_shutdown = queue_depth_.load(std::memory_order_acquire);
+  const Deadline grace = Deadline::AfterSeconds(std::max(0.0, grace_seconds));
+  while (queue_depth_.load(std::memory_order_acquire) > 0 && !grace.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  report.cancelled = queue_depth_.load(std::memory_order_acquire);
+  report.graceful = report.cancelled == 0;
+  if (!report.graceful) {
+    // Grace expired with work still running: fire the service-wide token.
+    // Every remaining request unwinds at its next budget poll and its
+    // future resolves (via MapCancelCause) to UNAVAILABLE{retryable}.
+    shutdown_cancel_.Cancel();
+  }
+  pool_->Wait();
+  report.waited_seconds = (obs::MonotonicUs() - start_us) * 1e-6;
+  return report;
+}
+
 ServiceStats EstimationService::Stats() const {
   ServiceStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
@@ -421,6 +559,7 @@ ServiceStats EstimationService::Stats() const {
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  stats.watchdog_fired = watchdog_fired_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   stats.draining = draining_.load(std::memory_order_relaxed);
   {

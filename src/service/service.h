@@ -6,6 +6,7 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "model/sweep.h"
 #include "model/task_time_cache.h"
 #include "model/task_time_source.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/watchdog.h"
 #include "scheduler/drf.h"
 
 namespace dagperf {
@@ -55,6 +58,23 @@ struct ServiceOptions {
   EstimatorOptions estimator;
 
   SchedulerConfig scheduler;
+
+  /// Watchdog backstop: a request still running after `watchdog_multiple x
+  /// its deadline` has its token fired and fails with DEADLINE_EXCEEDED —
+  /// the hard bound for work stuck somewhere that is not polling its budget.
+  /// 0 disables; requests with no deadline are never watched. Must be >= 1
+  /// when set (the cooperative check should always win first).
+  double watchdog_multiple = 0.0;
+
+  /// Consecutive failures (INTERNAL / DEADLINE_EXCEEDED / UNAVAILABLE) that
+  /// open a per-cluster circuit breaker; while open, requests against that
+  /// cluster fail fast with UNAVAILABLE{retryable}. 0 disables (library
+  /// default — `dagperf serve` turns it on). Breaker state is mirrored to
+  /// the obs gauge "resilience.breaker_state[.<cluster>]".
+  int breaker_failure_threshold = 0;
+
+  /// Cooldown before an open breaker probes again.
+  double breaker_open_seconds = 1.0;
 };
 
 /// One estimate query. Exactly one of `workflow` (a registered name) or
@@ -125,6 +145,8 @@ struct ServiceStats {
   std::uint64_t shed = 0;
   /// Requests whose budget expired while they sat in the queue.
   std::uint64_t expired_in_queue = 0;
+  /// Requests the watchdog had to cancel (hard wall-clock bound).
+  std::uint64_t watchdog_fired = 0;
   int queue_depth = 0;
   bool draining = false;
   int workflows = 0;
@@ -182,6 +204,26 @@ class EstimationService {
   /// began. Idempotent.
   Result<int> Drain();
 
+  /// What a bounded shutdown observed (the `dagperf serve` SIGTERM path).
+  struct ShutdownReport {
+    /// Queue depth when shutdown began.
+    int inflight_at_shutdown = 0;
+    /// Requests still running when the grace period expired — their tokens
+    /// were fired and their futures carry UNAVAILABLE{retryable}.
+    int cancelled = 0;
+    double waited_seconds = 0.0;
+    /// Everything drained inside the grace period; nothing was cancelled.
+    bool graceful = false;
+  };
+
+  /// Drain with a bound: stops admission, waits up to `grace_seconds` for
+  /// in-flight requests to finish on their own, then fires the service-wide
+  /// shutdown token — every remaining request unwinds cooperatively and its
+  /// future resolves to UNAVAILABLE{retryable} ("retry against a healthy
+  /// server"). Every submitted future is fulfilled either way; the pool is
+  /// quiesced on return. Idempotent.
+  ShutdownReport Shutdown(double grace_seconds);
+
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   ServiceStats Stats() const;
@@ -207,6 +249,15 @@ class EstimationService {
   Result<WorkflowEstimate> Execute(const ServiceRequest& request,
                                    double submit_us);
 
+  /// The per-cluster breaker (created lazily); nullptr when breakers are
+  /// disabled. Entries are never destroyed while the service lives.
+  resilience::CircuitBreaker* BreakerFor(const std::string& cluster);
+
+  /// Rewrites a kCancelled result by cause: shutdown-token fired ->
+  /// UNAVAILABLE{retryable}; watchdog fired (caller's token untouched) ->
+  /// DEADLINE_EXCEEDED; a genuine caller cancel stays kCancelled.
+  Status MapCancelCause(const Status& status, const CancelToken& caller_cancel);
+
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   TaskTimeMemo memo_;
@@ -221,12 +272,25 @@ class EstimationService {
   mutable std::shared_mutex admission_mutex_;
   std::atomic<bool> draining_{false};
 
+  /// Fired by Shutdown once the grace period expires; linked (never merged)
+  /// into every request's token so a caller's own cancel stays a distinct
+  /// signal.
+  CancelToken shutdown_cancel_ = CancelToken::Cancellable();
+
+  /// Hard wall-clock backstop (created in the ctor when watchdog_multiple
+  /// > 0); fires request tokens, never joins threads.
+  std::unique_ptr<resilience::Watchdog> watchdog_;
+
+  mutable std::mutex breakers_mutex_;
+  std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+
   std::atomic<int> queue_depth_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> expired_in_queue_{0};
+  std::atomic<std::uint64_t> watchdog_fired_{0};
 };
 
 }  // namespace dagperf

@@ -20,6 +20,12 @@
 #error "service layer requires dagperf >= 0.4"
 #endif
 
+// The resilience layer (RetryPolicy, CircuitBreaker, FaultInjector,
+// graceful shutdown) arrived in 0.5.
+#if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR < 5
+#error "resilience layer requires dagperf >= 0.5"
+#endif
+
 namespace dagperf {
 namespace {
 
@@ -44,6 +50,33 @@ TEST(ApiFacadeTest, FacadeCoversTheSupportedSurface) {
   EstimationService service;
   EXPECT_FALSE(service.draining());
   EXPECT_EQ(service.Stats().clusters, 1);
+}
+
+TEST(ApiFacadeTest, ResilienceSurfaceIsReachableThroughTheFacade) {
+  // UNAVAILABLE joined the stable vocabulary in 0.5 and is retryable.
+  const Status unavailable = Status::Unavailable("x");
+  EXPECT_STREQ(ErrorCodeName(unavailable.code()), "UNAVAILABLE");
+  EXPECT_TRUE(IsRetryable(unavailable.code()));
+
+  resilience::RetryPolicy retry({.max_attempts = 3, .initial_backoff_ms = 0.0});
+  int calls = 0;
+  const Status status = retry.RunStatus([&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("warming up") : Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+
+  resilience::CircuitBreaker breaker({.failure_threshold = 2});
+  EXPECT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), resilience::BreakerState::kOpen);
+  EXPECT_EQ(breaker.Allow().code(), ErrorCode::kUnavailable);
+
+  // The fault injector is reachable (and off by default).
+  EXPECT_FALSE(resilience::FaultInjector::Default().armed());
 }
 
 Result<DagWorkflow> FacadeFlow() {

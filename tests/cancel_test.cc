@@ -46,6 +46,45 @@ TEST(CancelToken, CopiesShareOneFlag) {
   EXPECT_TRUE(copy.cancelled());
 }
 
+TEST(CancelToken, LinkedTokenObservesParentsWithoutPropagatingUp) {
+  const CancelToken caller = CancelToken::Cancellable();
+  const CancelToken shutdown = CancelToken::Cancellable();
+  const CancelToken linked = CancelToken::LinkedTo({caller, shutdown});
+  EXPECT_TRUE(linked.can_cancel());
+  EXPECT_FALSE(linked.cancelled());
+
+  // Cancelling the child (the watchdog path) fires only the child.
+  linked.Cancel();
+  EXPECT_TRUE(linked.cancelled());
+  EXPECT_FALSE(caller.cancelled());
+  EXPECT_FALSE(shutdown.cancelled());
+
+  // Any parent firing is observed by a fresh child.
+  const CancelToken linked2 = CancelToken::LinkedTo({caller, shutdown});
+  EXPECT_FALSE(linked2.cancelled());
+  shutdown.Cancel();
+  EXPECT_TRUE(linked2.cancelled());
+  EXPECT_FALSE(caller.cancelled());
+}
+
+TEST(CancelToken, LinkingFlattensAndSkipsInertParents) {
+  const CancelToken root = CancelToken::Cancellable();
+  // Linking through an intermediate linked token still observes the root
+  // (parent lists are flattened, not chained).
+  const CancelToken middle = CancelToken::LinkedTo({root, CancelToken()});
+  const CancelToken leaf = CancelToken::LinkedTo({middle});
+  EXPECT_FALSE(leaf.cancelled());
+  root.Cancel();
+  EXPECT_TRUE(leaf.cancelled());
+
+  // All-inert parents yield a plain cancellable token, not a dead one.
+  const CancelToken orphan = CancelToken::LinkedTo({CancelToken()});
+  EXPECT_TRUE(orphan.can_cancel());
+  EXPECT_FALSE(orphan.cancelled());
+  orphan.Cancel();
+  EXPECT_TRUE(orphan.cancelled());
+}
+
 TEST(Deadline, NeverAndExpired) {
   const Deadline never = Deadline::Never();
   EXPECT_TRUE(never.never());

@@ -1,0 +1,473 @@
+// Chaos tests: seeded fault schedules driven through a real loopback TCP
+// server. The seed comes from DAGPERF_CHAOS_SEED (a number, or "random" for
+// a random_device draw) and is always logged so any failure reproduces with
+// a single env var. Invariants asserted are seed-independent: no crash, no
+// hang (the test finishing under its timeout is the assertion), every
+// request answered exactly once, and counter conservation
+//   submitted == completed + failed + shed + injected admission rejections.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "resilience/fault.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "workloads/suite.h"
+
+namespace dagperf {
+namespace {
+
+using resilience::FaultInjector;
+
+/// The schedule seed for this process: DAGPERF_CHAOS_SEED, "random" (drawn
+/// once and logged), or 1. Logged either way — chaos failures must carry
+/// their repro line.
+std::uint64_t ChaosSeed() {
+  static const std::uint64_t seed = [] {
+    const char* env = std::getenv("DAGPERF_CHAOS_SEED");
+    std::uint64_t value = 1;
+    if (env != nullptr && env[0] != '\0') {
+      if (std::string(env) == "random") {
+        std::random_device device;
+        value = (static_cast<std::uint64_t>(device()) << 32) ^ device();
+      } else {
+        value = std::strtoull(env, nullptr, 10);
+      }
+    }
+    std::cout << "[chaos] seed " << value
+              << "  (repro: DAGPERF_CHAOS_SEED=" << value << ")" << std::endl;
+    return value;
+  }();
+  return seed;
+}
+
+struct InjectorReset {
+  InjectorReset() { FaultInjector::Default().ResetAll(); }
+  ~InjectorReset() { FaultInjector::Default().ResetAll(); }
+};
+
+DagWorkflow TestFlow() {
+  Result<NamedFlow> named = TableThreeFlow("TS-Q6", 0.01);
+  EXPECT_TRUE(named.ok()) << named.status().ToString();
+  return std::move(named).value().flow;
+}
+
+class TestTcpServer {
+ public:
+  TestTcpServer(EstimationService& service, TcpServerOptions options = {}) {
+    options.stop = stop_;
+    std::promise<int> port_promise;
+    std::future<int> port_future = port_promise.get_future();
+    options.on_listen = [&port_promise](int port) {
+      port_promise.set_value(port);
+    };
+    thread_ = std::thread(
+        [this, &service, options] { result_ = ServeTcp(service, options); });
+    port_ = port_future.get();
+  }
+
+  ~TestTcpServer() { Stop(); }
+
+  const Result<TcpServeSummary>& Stop() {
+    if (thread_.joinable()) {
+      stop_.Cancel();
+      thread_.join();
+    }
+    return result_;
+  }
+
+  int port() const { return port_; }
+
+ private:
+  CancelToken stop_ = CancelToken::Cancellable();
+  std::thread thread_;
+  int port_ = 0;
+  Result<TcpServeSummary> result_ = Status::Internal("serve never ran");
+};
+
+/// Minimal blocking loopback client. Unlike the transport test's client this
+/// one treats early close as data (chaos schedules legitimately sever
+/// connections) — ReadLineOrClose reports which happened.
+class ChaosClient {
+ public:
+  explicit ChaosClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~ChaosClient() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool Send(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  struct LineOrClose {
+    bool closed = false;
+    std::string line;
+  };
+
+  LineOrClose ReadLineOrClose(double timeout_seconds = 20.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_seconds);
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        LineOrClose out;
+        out.line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return out;
+      }
+      const auto remaining = deadline - std::chrono::steady_clock::now();
+      const int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count());
+      if (wait_ms <= 0) {
+        ADD_FAILURE() << "chaos client hung waiting for a line "
+                      << "(seed " << ChaosSeed() << ")";
+        return {.closed = true, .line = ""};
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, wait_ms) <= 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return {.closed = true, .line = ""};
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string EstimateLine(int id) {
+  return R"({"op":"estimate","workflow":"q6","id":)" + std::to_string(id) +
+         "}\n";
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, SameSeedSameFailureSchedule) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector
+                  .Configure("service.execute",
+                             {.probability = 0.3, .error = ErrorCode::kInternal})
+                  .ok());
+
+  // Single worker + sequential submission: evaluation order is the request
+  // order, so the fire pattern must replay exactly for a fixed seed.
+  auto run_schedule = [](std::uint64_t seed) {
+    FaultInjector::Default().Arm(seed);
+    ServiceOptions options;
+    options.threads = 1;
+    EstimationService service(options);
+    EXPECT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+    std::vector<int> failed;
+    for (int i = 0; i < 40; ++i) {
+      ServiceRequest request;
+      request.workflow = "q6";
+      if (!service.Submit(std::move(request)).get().ok()) failed.push_back(i);
+    }
+    FaultInjector::Default().Disarm();
+    return failed;
+  };
+
+  const std::uint64_t seed = ChaosSeed();
+  const std::vector<int> first = run_schedule(seed);
+  const std::vector<int> second = run_schedule(seed);
+  EXPECT_EQ(first, second) << "seed " << seed;
+  EXPECT_NE(run_schedule(seed + 1), first);
+}
+
+TEST(ChaosTest, FaultScheduleOverLoopbackAnswersEveryRequest) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  // Service-level faults only: the transport stays honest, so every request
+  // must yield exactly one response (possibly an error) with its own id.
+  ASSERT_TRUE(injector
+                  .Configure("service.execute",
+                             {.probability = 0.10, .error = ErrorCode::kInternal})
+                  .ok());
+  ASSERT_TRUE(injector
+                  .Configure("service.admit",
+                             {.probability = 0.05,
+                              .error = ErrorCode::kResourceExhausted})
+                  .ok());
+  ASSERT_TRUE(
+      injector.Configure("model.task_time", {.probability = 0.2,
+                                             .latency_ms = 1.0}).ok());
+  ASSERT_TRUE(injector.Configure("memo.insert", {.probability = 0.2,
+                                                 .latency_ms = 1.0}).ok());
+  ASSERT_TRUE(
+      injector.Configure("pool.submit", {.probability = 0.1,
+                                         .latency_ms = 1.0}).ok());
+  injector.Arm(ChaosSeed());
+
+  ServiceOptions service_options;
+  service_options.threads = 4;
+  EstimationService service(service_options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  TestTcpServer server(service);
+
+  constexpr int kClients = 4;
+  constexpr int kRequests = 10;
+  std::atomic<int> answered{0};
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ChaosClient client(server.port());
+      ASSERT_TRUE(client.connected());
+      for (int r = 0; r < kRequests; ++r) {
+        ASSERT_TRUE(client.Send(EstimateLine(c * 100 + r)));
+      }
+      for (int r = 0; r < kRequests; ++r) {
+        const ChaosClient::LineOrClose got = client.ReadLineOrClose();
+        ASSERT_FALSE(got.closed)
+            << "connection severed with responses outstanding (seed "
+            << ChaosSeed() << ")";
+        Result<Json> parsed = Json::Parse(got.line);
+        ASSERT_TRUE(parsed.ok()) << got.line;
+        EXPECT_EQ(parsed.value().GetNumber("id", -1), c * 100 + r);
+        answered.fetch_add(1);
+        if (parsed.value().GetBool("ok", false)) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  injector.Disarm();
+
+  EXPECT_EQ(answered.load(), kClients * kRequests);
+
+  // Conservation: every admitted slot was released, and every submission is
+  // accounted for by exactly one terminal counter or an injected rejection.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queue_depth, 0);
+  const std::uint64_t admit_rejections =
+      injector.GetPoint("service.admit").fires();
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.failed + stats.shed + admit_rejections)
+      << "seed " << ChaosSeed();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(ok_count.load(), static_cast<int>(stats.completed));
+}
+
+TEST(ChaosTest, TornFramesAndDisconnectsNeverWedgeTheServer) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  // Transport faults too: reads and writes fail at 10%, accepts at 10% —
+  // connections get severed mid-request and mid-response.
+  ASSERT_TRUE(injector
+                  .Configure("server.read",
+                             {.probability = 0.1, .error = ErrorCode::kUnavailable})
+                  .ok());
+  ASSERT_TRUE(injector
+                  .Configure("server.write",
+                             {.probability = 0.1, .error = ErrorCode::kUnavailable})
+                  .ok());
+  ASSERT_TRUE(injector
+                  .Configure("server.accept",
+                             {.probability = 0.1, .error = ErrorCode::kUnavailable})
+                  .ok());
+  const std::uint64_t seed = ChaosSeed();
+  injector.Arm(seed);
+
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  TcpServerOptions options;
+  options.read_idle_timeout_seconds = 0.2;
+  TestTcpServer server(service, options);
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 16; ++c) {
+    const std::uint64_t behaviour = rng();
+    clients.emplace_back([&, c, behaviour] {
+      ChaosClient client(server.port());
+      if (!client.connected()) return;  // Injected accept failure.
+      switch (behaviour % 4) {
+        case 0:  // Connect and vanish.
+          break;
+        case 1:  // Torn frame, then vanish (idle timeout reaps the buffer).
+          client.Send(R"({"op":"esti)");
+          break;
+        case 2:  // Fire a request and never read the response.
+          client.Send(EstimateLine(c));
+          break;
+        case 3: {  // Well-behaved — but must tolerate injected severing.
+          if (!client.Send("not json\n" + EstimateLine(c))) break;
+          for (int r = 0; r < 2; ++r) {
+            if (client.ReadLineOrClose(10.0).closed) break;
+          }
+          break;
+        }
+      }
+      client.Close();
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  injector.Disarm();
+
+  // The server survived the storm: a clean client is served end to end.
+  std::unique_ptr<ChaosClient> survivor;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    survivor = std::make_unique<ChaosClient>(server.port());
+    if (survivor->connected()) break;
+  }
+  ASSERT_TRUE(survivor->connected());
+  ASSERT_TRUE(survivor->Send(EstimateLine(999)));
+  const ChaosClient::LineOrClose got = survivor->ReadLineOrClose();
+  ASSERT_FALSE(got.closed);
+  Result<Json> parsed = Json::Parse(got.line);
+  ASSERT_TRUE(parsed.ok()) << got.line;
+  EXPECT_TRUE(parsed.value().GetBool("ok", false));
+  EXPECT_EQ(parsed.value().GetNumber("id", -1), 999);
+  EXPECT_EQ(service.Stats().queue_depth, 0);
+}
+
+/// A task-time source whose queries block until Open() — parks all the
+/// service workers so shutdown fires with requests genuinely in flight.
+class GateSource : public TaskTimeSource {
+ public:
+  Duration TaskTime(const EstimationContext&) const override {
+    std::unique_lock lock(mutex_);
+    ++entered_;
+    entered_cv_.notify_all();
+    open_cv_.wait(lock, [&] { return open_; });
+    return Duration::Seconds(1);
+  }
+
+  void Open() {
+    {
+      std::lock_guard lock(mutex_);
+      open_ = true;
+    }
+    open_cv_.notify_all();
+  }
+
+  void WaitUntilEntered(int count) const {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable open_cv_;
+  mutable std::condition_variable entered_cv_;
+  mutable bool open_ = false;
+  mutable int entered_ = 0;
+};
+
+TEST(ChaosTest, ShutdownUnderLoadAnswersEveryInflightRequest) {
+  constexpr int kInflight = 8;
+  ServiceOptions service_options;
+  service_options.threads = kInflight;
+  EstimationService service(service_options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  TcpServerOptions options;
+  options.drain_grace_seconds = 0.1;
+  TestTcpServer server(service, options);
+
+  std::vector<std::thread> clients;
+  std::atomic<int> unavailable{0};
+  std::atomic<int> succeeded{0};
+  for (int c = 0; c < kInflight; ++c) {
+    clients.emplace_back([&, c] {
+      ChaosClient client(server.port());
+      ASSERT_TRUE(client.connected());
+      ASSERT_TRUE(client.Send(EstimateLine(c)));
+      const ChaosClient::LineOrClose got = client.ReadLineOrClose();
+      // Shutdown still answers: the in-flight request resolves (ok or
+      // UNAVAILABLE{retryable}) and the response is written before the
+      // connection unwinds.
+      ASSERT_FALSE(got.closed) << "request " << c << " was dropped";
+      Result<Json> parsed = Json::Parse(got.line);
+      ASSERT_TRUE(parsed.ok()) << got.line;
+      EXPECT_EQ(parsed.value().GetNumber("id", -1), c);
+      if (parsed.value().GetBool("ok", false)) {
+        succeeded.fetch_add(1);
+      } else {
+        const Json* error = parsed.value().Get("error");
+        ASSERT_NE(error, nullptr);
+        EXPECT_EQ(error->GetString("code", ""), "UNAVAILABLE");
+        EXPECT_TRUE(error->GetBool("retryable", false));
+        unavailable.fetch_add(1);
+      }
+    });
+  }
+  gate.WaitUntilEntered(kInflight);  // All workers parked mid-estimate.
+
+  // The SIGTERM path: open the gate only after the grace period has lapsed
+  // and the shutdown token has fired — workers unwind cooperatively.
+  std::thread release([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    gate.Open();
+  });
+  const Result<TcpServeSummary>& summary = server.Stop();
+  release.join();
+  for (std::thread& thread : clients) thread.join();
+
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary->stopped);
+  EXPECT_FALSE(summary->drained);
+  EXPECT_EQ(summary->shutdown.inflight_at_shutdown, kInflight);
+  EXPECT_FALSE(summary->shutdown.graceful);
+  EXPECT_EQ(summary->shutdown.cancelled, kInflight);
+  EXPECT_EQ(succeeded.load() + unavailable.load(), kInflight);
+  // `cancelled` counts requests still running when the token fired; each of
+  // them either unwound (UNAVAILABLE) or squeaked through to a result.
+  EXPECT_GT(unavailable.load(), 0);
+  EXPECT_LE(unavailable.load(), summary->shutdown.cancelled);
+  EXPECT_EQ(service.Stats().queue_depth, 0);
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -1,0 +1,595 @@
+// Tests of the resilience layer (src/resilience/): deterministic fault
+// injection (same seed => same fire pattern), retry with jittered backoff,
+// circuit-breaker state transitions, the request watchdog, and their
+// integration into the estimation service (watchdog cancellation mapped to
+// DEADLINE_EXCEEDED, bounded shutdown mapped to UNAVAILABLE, per-cluster
+// breakers fast-failing while open).
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "resilience/circuit_breaker.h"
+#include "resilience/fault.h"
+#include "resilience/retry.h"
+#include "resilience/watchdog.h"
+#include "service/service.h"
+#include "workloads/suite.h"
+
+namespace dagperf {
+namespace {
+
+using resilience::BreakerState;
+using resilience::CircuitBreaker;
+using resilience::CircuitBreakerOptions;
+using resilience::FaultInjector;
+using resilience::FaultPlan;
+using resilience::FaultPoint;
+using resilience::RetryOptions;
+using resilience::RetryPolicy;
+using resilience::Watchdog;
+using resilience::WatchdogOptions;
+
+/// Every test that touches the (process-global) injector goes through this
+/// guard so a failing assertion cannot leak an armed schedule into the next
+/// test.
+struct InjectorReset {
+  InjectorReset() { FaultInjector::Default().ResetAll(); }
+  ~InjectorReset() { FaultInjector::Default().ResetAll(); }
+};
+
+std::vector<int> FiredIndices(FaultPoint& point, int evaluations) {
+  std::vector<int> fired;
+  for (int i = 0; i < evaluations; ++i) {
+    if (point.Evaluate().fired) fired.push_back(i);
+  }
+  return fired;
+}
+
+TEST(FaultInjector, DisarmedPointIsFreeAndNeverFires) {
+  InjectorReset guard;
+  FaultPoint& point = FaultInjector::Default().GetPoint("test.disarmed");
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(point.Evaluate().fired);
+  }
+  // Disarmed evaluations do not even count (the armed path owns counters).
+  EXPECT_EQ(point.evaluations(), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameFirePattern) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(
+      injector.Configure("test.pattern", {.probability = 0.3}).ok());
+  FaultPoint& point = injector.GetPoint("test.pattern");
+
+  injector.Arm(1234);
+  const std::vector<int> first = FiredIndices(point, 200);
+  injector.Arm(1234);  // Re-arming restarts the schedule.
+  const std::vector<int> second = FiredIndices(point, 200);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.size(), 30u);  // ~60 expected at p=0.3.
+  EXPECT_LT(first.size(), 120u);
+
+  injector.Arm(99);
+  const std::vector<int> other_seed = FiredIndices(point, 200);
+  EXPECT_NE(first, other_seed);
+}
+
+TEST(FaultInjector, SkipFirstAndMaxFiresBoundTheSchedule) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector
+                  .Configure("test.bounded", {.probability = 1.0,
+                                              .max_fires = 3,
+                                              .skip_first = 5})
+                  .ok());
+  FaultPoint& point = injector.GetPoint("test.bounded");
+  injector.Arm(1);
+  const std::vector<int> fired = FiredIndices(point, 20);
+  EXPECT_EQ(fired, (std::vector<int>{5, 6, 7}));
+  EXPECT_EQ(point.fires(), 3u);
+}
+
+TEST(FaultInjector, InjectedStatusCarriesThePlannedCode) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector
+                  .Configure("test.error", {.probability = 1.0,
+                                            .error = ErrorCode::kUnavailable})
+                  .ok());
+  injector.Arm(7);
+  const Status injected =
+      resilience::InjectAt(injector.GetPoint("test.error"));
+  EXPECT_EQ(injected.code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(injected.code()));
+
+  injector.Disarm();
+  EXPECT_TRUE(resilience::InjectAt(injector.GetPoint("test.error")).ok());
+}
+
+TEST(FaultInjector, ConfigureRejectsMalformedPlans) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  EXPECT_EQ(injector.Configure("", {.probability = 0.5}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("x", {.probability = 1.5}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(injector.Configure("x", {.probability = -0.1}).code(),
+            ErrorCode::kInvalidArgument);
+  FaultPlan negative_latency;
+  negative_latency.probability = 0.5;
+  negative_latency.latency_ms = -1;
+  EXPECT_EQ(injector.Configure("x", negative_latency).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(FaultInjector, ThreadPoolSubmitSeamFiresThroughTheHook) {
+  InjectorReset guard;
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector.Configure("pool.submit", {.probability = 1.0}).ok());
+  injector.Arm(5);
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([] {});
+    }
+    pool.Wait();
+  }
+  EXPECT_GE(injector.GetPoint("pool.submit").fires(), 8u);
+  injector.Disarm();
+  const std::uint64_t after_disarm = injector.GetPoint("pool.submit").fires();
+  {
+    ThreadPool pool(2);
+    pool.Submit([] {});
+    pool.Wait();
+  }
+  EXPECT_EQ(injector.GetPoint("pool.submit").fires(), after_disarm);
+}
+
+TEST(RetryPolicy, RetriesRetryableUntilSuccess) {
+  RetryPolicy retry({.max_attempts = 5, .initial_backoff_ms = 0.0});
+  int calls = 0;
+  Result<int> result = retry.Run<int>([&]() -> Result<int> {
+    ++calls;
+    if (calls < 3) return Status::ResourceExhausted("shed");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retry.stats().retries, 2u);
+  EXPECT_EQ(retry.stats().gave_up, 0u);
+}
+
+TEST(RetryPolicy, NonRetryableFailsImmediately) {
+  RetryPolicy retry({.max_attempts = 5, .initial_backoff_ms = 0.0});
+  int calls = 0;
+  const Status status = retry.RunStatus([&] {
+    ++calls;
+    return Status::InvalidArgument("bad request");
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retry.stats().retries, 0u);
+}
+
+TEST(RetryPolicy, GivesUpAfterMaxAttempts) {
+  RetryPolicy retry({.max_attempts = 3, .initial_backoff_ms = 0.0});
+  int calls = 0;
+  const Status status = retry.RunStatus([&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retry.stats().gave_up, 1u);
+  EXPECT_EQ(retry.stats().retries, 2u);
+}
+
+TEST(RetryPolicy, ExhaustedBudgetStopsRetrying) {
+  RetryPolicy retry({.max_attempts = 100, .initial_backoff_ms = 0.0});
+  Budget budget;
+  budget.deadline = Deadline::AfterSeconds(0);  // Already expired.
+  int calls = 0;
+  const Status status = retry.RunStatus(
+      [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      budget);
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retry.stats().gave_up, 1u);
+}
+
+TEST(RetryPolicy, BackoffIsJitteredWithinTheExponentialCap) {
+  RetryPolicy retry({.max_attempts = 4,
+                     .initial_backoff_ms = 10.0,
+                     .max_backoff_ms = 50.0,
+                     .multiplier = 2.0,
+                     .seed = 42});
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_GE(retry.NextBackoffMs(0), 0.0);
+    EXPECT_LE(retry.NextBackoffMs(0), 10.0);
+    EXPECT_LE(retry.NextBackoffMs(1), 20.0);
+    EXPECT_LE(retry.NextBackoffMs(10), 50.0);  // Clamped to max.
+  }
+  // Full jitter: draws differ (same policy, advancing stream).
+  RetryPolicy a({.seed = 42});
+  EXPECT_NE(a.NextBackoffMs(3), a.NextBackoffMs(3));
+  // Same seed, fresh policy: reproducible.
+  RetryPolicy b({.seed = 42});
+  RetryPolicy c({.seed = 42});
+  EXPECT_EQ(b.NextBackoffMs(3), c.NextBackoffMs(3));
+}
+
+TEST(RetryPolicy, RetriesCounterTicksWhenMetricsEnabled) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter& counter =
+      obs::MetricsRegistry::Default().GetCounter("resilience.retries");
+  const std::uint64_t before = counter.value();
+  RetryPolicy retry({.max_attempts = 3, .initial_backoff_ms = 0.0});
+  int calls = 0;
+  (void)retry.RunStatus([&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("x") : Status::Ok();
+  });
+  EXPECT_EQ(counter.value(), before + 2);
+  obs::SetMetricsEnabled(false);
+}
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailuresAndRejectsRetryably) {
+  CircuitBreaker breaker({.failure_threshold = 3, .open_seconds = 60.0});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  const Status rejected = breaker.Allow();
+  EXPECT_EQ(rejected.code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(rejected.code()));
+  EXPECT_EQ(breaker.stats().opens, 1u);
+  EXPECT_EQ(breaker.stats().rejected, 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker breaker({.failure_threshold = 2});
+  breaker.Allow().ok();
+  breaker.RecordFailure();
+  breaker.Allow().ok();
+  breaker.RecordSuccess();  // Streak broken.
+  breaker.Allow().ok();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOrReopens) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_seconds = 0.02;
+  {
+    CircuitBreaker breaker(options);
+    ASSERT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure();
+    ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+    EXPECT_FALSE(breaker.Allow().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    // Cooldown over: one probe is admitted, a second is rejected while the
+    // first is still in flight.
+    ASSERT_TRUE(breaker.Allow().ok());
+    EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+    EXPECT_FALSE(breaker.Allow().ok());
+    breaker.RecordSuccess();
+    EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  }
+  {
+    CircuitBreaker breaker(options);
+    ASSERT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    ASSERT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure();  // Probe failed: straight back to open.
+    EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+    EXPECT_FALSE(breaker.Allow().ok());
+  }
+}
+
+TEST(CircuitBreaker, NeutralOutcomesReleaseProbesWithoutJudging) {
+  CircuitBreaker breaker({.failure_threshold = 1, .open_seconds = 0.02});
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  ASSERT_TRUE(breaker.Allow().ok());
+  // A NOT_FOUND probe outcome proves nothing: the slot frees, the state
+  // stays half-open, and the next probe is admitted.
+  breaker.Record(Status::NotFound("no such workflow"));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow().ok());
+}
+
+TEST(CircuitBreaker, CountsOnlyServingPathFailures) {
+  EXPECT_TRUE(CircuitBreaker::CountsAsFailure(ErrorCode::kInternal));
+  EXPECT_TRUE(CircuitBreaker::CountsAsFailure(ErrorCode::kDeadlineExceeded));
+  EXPECT_TRUE(CircuitBreaker::CountsAsFailure(ErrorCode::kUnavailable));
+  EXPECT_FALSE(CircuitBreaker::CountsAsFailure(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(CircuitBreaker::CountsAsFailure(ErrorCode::kNotFound));
+  EXPECT_FALSE(CircuitBreaker::CountsAsFailure(ErrorCode::kCancelled));
+  EXPECT_FALSE(CircuitBreaker::CountsAsFailure(ErrorCode::kResourceExhausted));
+}
+
+TEST(CircuitBreaker, DisabledBreakerIsTransparent) {
+  CircuitBreaker breaker({.failure_threshold = 0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.Allow().ok());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, GaugeMirrorsState) {
+  obs::SetMetricsEnabled(true);
+  CircuitBreaker breaker({.failure_threshold = 1,
+                          .open_seconds = 60.0,
+                          .gauge_name = "test.breaker_state"});
+  obs::Gauge& gauge =
+      obs::MetricsRegistry::Default().GetGauge("test.breaker_state");
+  EXPECT_EQ(gauge.value(), 0.0);
+  ASSERT_TRUE(breaker.Allow().ok());
+  breaker.RecordFailure();
+  EXPECT_EQ(gauge.value(), 1.0);
+  obs::SetMetricsEnabled(false);
+}
+
+TEST(Watchdog, FiresOverdueTokensAndSkipsCompletedOnes) {
+  Watchdog watchdog({.poll_interval_ms = 5.0});
+  const CancelToken overdue = CancelToken::Cancellable();
+  const CancelToken completed = CancelToken::Cancellable();
+  (void)watchdog.Watch(overdue, 0.01);
+  const std::uint64_t done_id = watchdog.Watch(completed, 0.01);
+  watchdog.Unwatch(done_id);  // The request finished in time.
+
+  for (int i = 0; i < 200 && !overdue.cancelled(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(overdue.cancelled());
+  EXPECT_FALSE(completed.cancelled());
+  EXPECT_EQ(watchdog.stats().watched, 2u);
+  EXPECT_EQ(watchdog.stats().fired, 1u);
+  EXPECT_EQ(watchdog.pending(), 0u);
+}
+
+TEST(Watchdog, DestructionWithPendingWatchesIsClean) {
+  const CancelToken token = CancelToken::Cancellable();
+  {
+    Watchdog watchdog;
+    watchdog.Watch(token, 3600.0);
+  }
+  EXPECT_FALSE(token.cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// Service integration.
+
+DagWorkflow TestFlow() {
+  Result<NamedFlow> named = TableThreeFlow("TS-Q6", 0.01);
+  EXPECT_TRUE(named.ok()) << named.status().ToString();
+  return std::move(named).value().flow;
+}
+
+/// A task-time source whose queries block until Open() — parks service
+/// workers mid-estimate so shutdown/watchdog behaviour can be observed with
+/// requests genuinely in flight.
+class GateSource : public TaskTimeSource {
+ public:
+  Duration TaskTime(const EstimationContext&) const override {
+    std::unique_lock lock(mutex_);
+    ++entered_;
+    entered_cv_.notify_all();
+    open_cv_.wait(lock, [&] { return open_; });
+    return Duration::Seconds(1);
+  }
+
+  void Open() {
+    {
+      std::lock_guard lock(mutex_);
+      open_ = true;
+    }
+    open_cv_.notify_all();
+  }
+
+  void WaitUntilEntered(int count) const {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable open_cv_;
+  mutable std::condition_variable entered_cv_;
+  mutable bool open_ = false;
+  mutable int entered_ = 0;
+};
+
+TEST(ServiceResilience, WatchdogCancellationSurfacesAsDeadlineExceeded) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.watchdog_multiple = 1.0;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  ServiceRequest request;
+  request.workflow = "q6";
+  request.budget = Budget::Within(0.05);
+  std::future<Result<WorkflowEstimate>> future =
+      service.Submit(std::move(request));
+  gate.WaitUntilEntered(1);
+
+  // Hold the worker hostage well past watchdog_multiple x deadline, then
+  // release it: the estimator's next budget poll sees the fired token.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  gate.Open();
+
+  Result<WorkflowEstimate> result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().message().find("watchdog"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(service.Stats().watchdog_fired, 1u);
+}
+
+TEST(ServiceResilience, ShutdownUnderLoadAnswersEveryRequestRetryably) {
+  ServiceOptions options;
+  options.threads = 4;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  std::vector<std::future<Result<WorkflowEstimate>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    ServiceRequest request;
+    request.workflow = "q6";
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  gate.WaitUntilEntered(4);  // All workers parked, 4 more requests queued.
+
+  std::thread release([&] {
+    // Open the gate only after the grace period has expired and the
+    // shutdown token fired — the parked workers then unwind cooperatively.
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    gate.Open();
+  });
+  const EstimationService::ShutdownReport report = service.Shutdown(0.05);
+  release.join();
+
+  EXPECT_EQ(report.inflight_at_shutdown, 8);
+  EXPECT_FALSE(report.graceful);
+  EXPECT_GT(report.cancelled, 0);
+
+  // Hard guarantee: every future resolves, and every cancelled request is
+  // answered with the retryable UNAVAILABLE, never a silent drop.
+  for (std::future<Result<WorkflowEstimate>>& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    Result<WorkflowEstimate> result = future.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::kUnavailable);
+    EXPECT_TRUE(IsRetryable(result.status().code()));
+  }
+
+  // Admission is closed for good after shutdown.
+  ServiceRequest late;
+  late.workflow = "q6";
+  Result<WorkflowEstimate> rejected = service.Submit(std::move(late)).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(ServiceResilience, GracefulShutdownWithIdleServiceReportsClean) {
+  EstimationService service;
+  const EstimationService::ShutdownReport report = service.Shutdown(1.0);
+  EXPECT_TRUE(report.graceful);
+  EXPECT_EQ(report.inflight_at_shutdown, 0);
+  EXPECT_EQ(report.cancelled, 0);
+}
+
+TEST(ServiceResilience, BreakerOpensOnInjectedFailuresAndFastFails) {
+  InjectorReset guard;
+  ServiceOptions options;
+  options.threads = 1;
+  options.breaker_failure_threshold = 2;
+  options.breaker_open_seconds = 60.0;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector
+                  .Configure("service.execute",
+                             {.probability = 1.0, .error = ErrorCode::kInternal})
+                  .ok());
+  injector.Arm(11);
+  for (int i = 0; i < 2; ++i) {
+    ServiceRequest request;
+    request.workflow = "q6";
+    Result<WorkflowEstimate> result = service.Submit(std::move(request)).get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::kInternal);
+  }
+  injector.Disarm();
+
+  // The breaker is open: the healthy path is not even tried.
+  ServiceRequest request;
+  request.workflow = "q6";
+  Result<WorkflowEstimate> rejected = service.Submit(std::move(request)).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(rejected.status().code()));
+  EXPECT_NE(rejected.status().message().find("breaker"), std::string::npos);
+}
+
+TEST(ServiceResilience, ClientErrorsNeverOpenTheBreaker) {
+  ServiceOptions options;
+  options.threads = 1;
+  options.breaker_failure_threshold = 2;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ServiceRequest request;
+    request.workflow = "missing";
+    Result<WorkflowEstimate> result = service.Submit(std::move(request)).get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  }
+  // A good request still flows: NOT_FOUND never tripped the breaker.
+  ServiceRequest good;
+  good.workflow = "q6";
+  EXPECT_TRUE(service.Submit(std::move(good)).get().ok());
+}
+
+TEST(ServiceResilience, InjectedAdmitFaultShedsWithoutLeakingSlots) {
+  InjectorReset guard;
+  ServiceOptions options;
+  options.threads = 1;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+
+  FaultInjector& injector = FaultInjector::Default();
+  ASSERT_TRUE(injector
+                  .Configure("service.admit",
+                             {.probability = 1.0,
+                              .error = ErrorCode::kResourceExhausted,
+                              .max_fires = 3})
+                  .ok());
+  injector.Arm(3);
+  int rejected = 0;
+  for (int i = 0; i < 3; ++i) {
+    ServiceRequest request;
+    request.workflow = "q6";
+    Result<WorkflowEstimate> result = service.Submit(std::move(request)).get();
+    if (!result.ok() &&
+        result.status().code() == ErrorCode::kResourceExhausted) {
+      ++rejected;
+    }
+  }
+  injector.Disarm();
+  EXPECT_EQ(rejected, 3);
+  // Slots were backed out: the queue is empty and a real request succeeds.
+  EXPECT_EQ(service.Stats().queue_depth, 0);
+  ServiceRequest good;
+  good.workflow = "q6";
+  EXPECT_TRUE(service.Submit(std::move(good)).get().ok());
+}
+
+}  // namespace
+}  // namespace dagperf

@@ -375,7 +375,10 @@ TEST(ProtocolTest, ErrorsUseStableCodeVocabulary) {
     return error == nullptr ? std::string() : error->GetString("code", "");
   };
 
-  EXPECT_EQ(error_code("this is not json"), "INVALID_ARGUMENT");
+  // Malformed JSON is the protocol-level PARSE_ERROR (never retryable, with
+  // an explicit null id); valid-but-wrong-shaped documents keep the status
+  // vocabulary.
+  EXPECT_EQ(error_code("this is not json"), "PARSE_ERROR");
   EXPECT_EQ(error_code("[1,2,3]"), "INVALID_ARGUMENT");
   EXPECT_EQ(error_code(R"({"op":"bogus"})"), "INVALID_ARGUMENT");
   EXPECT_EQ(error_code(R"({"op":"estimate"})"), "INVALID_ARGUMENT");

@@ -20,13 +20,22 @@
 //   dagperf tune     --job WC|TS|TSC|TS2R|TS3R [--input-gb G]
 //   dagperf serve    [--stdio | --port P] [--scale S] [--nodes N]
 //                    [--threads N] [--queue-depth D] [--deadline-seconds D]
+//                    [--grace-seconds G] [--watchdog-multiple M]
+//                    [--breaker-threshold K] [--read-idle-seconds I]
 //
 // `serve` runs the estimation service (src/service/): the named workflow
 // suite is pre-registered and requests arrive as newline-delimited JSON
 // (service/protocol.h; docs/api.md has the full contract) on stdin
 // (--stdio, the default) or a localhost TCP port (--port, 0 picks a free
 // one and prints it to stderr). --deadline-seconds becomes the service's
-// default per-request deadline. The loop ends on EOF or a `drain` request.
+// default per-request deadline. The loop ends on EOF or a `drain` request;
+// the TCP server additionally shuts down gracefully on SIGTERM/SIGINT
+// (docs/robustness.md): the listener closes, in-flight requests get
+// --grace-seconds to finish, stragglers are cancelled with
+// UNAVAILABLE{retryable}, and the process exits 0. --breaker-threshold K
+// opens a per-cluster circuit breaker after K consecutive serving failures
+// (0 disables; default 8); --watchdog-multiple M cancels any request
+// running past M x its deadline.
 //
 // --deadline-seconds bounds the wall-clock the estimator may spend; on
 // expiry the command exits 3 (sweeps print whatever candidates finished).
@@ -42,6 +51,7 @@
 // the recorded Chrome-trace timeline (open in Perfetto). `explain` and
 // `estimate` additionally append the *modeled* state timeline to the trace.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -172,7 +182,9 @@ int Usage() {
                "[--variant boe|mean|median|normal] [--out F] "
                "[--json F] [--csv F] [--chrome F] "
                "[--metrics-json F] [--trace-out F] "
-               "[--stdio] [--port P] [--queue-depth D]\n");
+               "[--stdio] [--port P] [--queue-depth D] [--grace-seconds G] "
+               "[--watchdog-multiple M] [--breaker-threshold K] "
+               "[--read-idle-seconds I]\n");
   return 2;
 }
 
@@ -634,6 +646,16 @@ int CmdTune(const Args& args) {
   return 0;
 }
 
+/// The TCP server's stop signal: SIGTERM/SIGINT fire this token. Cancel()
+/// is one lock-free atomic store — async-signal-safe. Leaked so the handler
+/// never races static teardown.
+CancelToken& ServeStopToken() {
+  static CancelToken* token = new CancelToken(CancelToken::Cancellable());
+  return *token;
+}
+
+void HandleServeSignal(int) { ServeStopToken().Cancel(); }
+
 /// Long-lived estimation service over the NDJSON protocol. Diagnostics (what
 /// was registered, where the server listens) go to stderr; stdout carries
 /// only protocol responses so a pipe peer parses every line.
@@ -642,6 +664,10 @@ int CmdServe(const Args& args) {
   options.threads = args.GetInt("threads", 0);
   options.max_queue_depth = args.GetInt("queue-depth", 256);
   options.default_deadline_seconds = args.GetDouble("deadline-seconds", 0.0);
+  options.watchdog_multiple = args.GetDouble("watchdog-multiple", 0.0);
+  // Serving default: breakers ON (library default is off) — a cluster whose
+  // estimation path keeps failing should shed fast, not grind.
+  options.breaker_failure_threshold = args.GetInt("breaker-threshold", 8);
   if (options.max_queue_depth < 1) {
     return Fail(Status::InvalidArgument("--queue-depth must be >= 1"));
   }
@@ -680,10 +706,34 @@ int CmdServe(const Args& args) {
     TcpServerOptions tcp;
     tcp.port = args.GetInt("port", 0);
     tcp.max_connections = args.GetInt("max-connections", 0);
+    tcp.drain_grace_seconds = args.GetDouble("grace-seconds", 5.0);
+    tcp.read_idle_timeout_seconds = args.GetDouble("read-idle-seconds", 30.0);
+    tcp.stop = ServeStopToken();
     tcp.on_listen = [](int port) {
       std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
     };
-    if (Status st = ServeTcp(service, tcp); !st.ok()) return Fail(st);
+    std::signal(SIGTERM, HandleServeSignal);
+    std::signal(SIGINT, HandleServeSignal);
+    Result<TcpServeSummary> served = ServeTcp(service, tcp);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    if (!served.ok()) return Fail(served.status());
+    const TcpServeSummary& summary = served.value();
+    std::fprintf(stderr, "served %llu requests over %llu connections (%s)\n",
+                 static_cast<unsigned long long>(summary.requests),
+                 static_cast<unsigned long long>(summary.connections),
+                 summary.stopped   ? "stopped by signal"
+                 : summary.drained ? "drained"
+                                   : "connection limit");
+    if (summary.stopped) {
+      std::fprintf(stderr,
+                   "shutdown: %d in flight, %d cancelled, graceful=%s, "
+                   "waited %.3fs\n",
+                   summary.shutdown.inflight_at_shutdown,
+                   summary.shutdown.cancelled,
+                   summary.shutdown.graceful ? "yes" : "no",
+                   summary.shutdown.waited_seconds);
+    }
     return kExitOk;
   }
 
