@@ -61,7 +61,7 @@ void Run() {
     std::string running;
     std::string deltas;
     std::string times;
-    for (const auto& r : state.running) {
+    for (const auto& r : est.running(state)) {
       if (!running.empty()) {
         running += ", ";
         deltas += ", ";

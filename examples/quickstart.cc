@@ -54,7 +54,7 @@ int main() {
               estimate.makespan.seconds(), estimate.states.size());
   for (const auto& state : estimate.states) {
     std::printf("  state %d: %6.1f s, %zu running stage(s)\n", state.index,
-                state.duration, state.running.size());
+                state.duration, estimate.running(state).size());
   }
   return 0;
 }

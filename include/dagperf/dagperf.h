@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/arena.h"
 #include "common/units.h"
 #include "common/validation.h"
 
@@ -34,6 +35,7 @@
 // what-if sweeps, explain reports, the discrete-event simulator baseline.
 #include "boe/boe_model.h"
 #include "model/explain.h"
+#include "model/incremental.h"
 #include "model/progress.h"
 #include "model/state_estimator.h"
 #include "model/sweep.h"

@@ -53,6 +53,86 @@ SubStageEstimate EstimateSubStage(const SubStageProfile& substage,
   return est;
 }
 
+/// Duration of one sub-stage at the given per-task allocation: the max over
+/// its priced operations. Mirrors EstimateSubStage's pricing exactly —
+/// demand <= 0 is unpriced, a NaN demand or non-positive throughput prices
+/// at infinity — but as a select-and-max over the fixed resource axes with
+/// no per-operation state, so the compiler can unroll and vectorize it.
+inline double SubStageDuration(const SubStageProfile& substage,
+                               const ResourceVector& alloc) {
+  double worst = 0.0;
+  for (int r = 0; r < kNumResources; ++r) {
+    const double d = substage.demand.values[r];
+    const double a = alloc.values[r];
+    const bool priced = !(d <= 0.0);  // NaN demand is priced (at infinity).
+    const double t = priced ? (std::isfinite(d) && a > 0 ? d / a : kInf) : 0.0;
+    worst = t > worst ? t : worst;
+  }
+  return worst;
+}
+
+/// Per-task paper-rule allocation (Eq. 5 equal split, clipped by the
+/// per-task caps) — shared by EstimatePaper and the duration-only path.
+ResourceVector PaperAllocation(const ResourceVector& capacities,
+                               const std::vector<ParallelStage>& stages) {
+  ResourceVector contenders;
+  for (const auto& ps : stages) {
+    const ResourceVector total = ps.stage->TotalDemand();
+    for (Resource r : kAllResources) {
+      if (total[r] > 0) contenders[r] += ps.tasks_per_node;
+    }
+  }
+  const ResourceVector task_caps = PerTaskCaps();
+  ResourceVector alloc;
+  for (Resource r : kAllResources) {
+    double share = contenders[r] > 0 ? capacities[r] / contenders[r] : capacities[r];
+    // A lone task cannot exceed its own per-task cap (e.g. one core), but it
+    // can always use at least what an equal split would give it.
+    if (task_caps[r] > 0) share = std::min(std::max(share, 0.0), task_caps[r]);
+    alloc[r] = share;
+  }
+  return alloc;
+}
+
+/// Flat scratch for the duration-only iterative modes: sub-stage and task
+/// durations live in index-addressed arrays reused across calls.
+struct DurationScratch {
+  std::vector<size_t> offset;  // substage array offset per stage
+  std::vector<double> sub;     // current sub-stage durations (flat)
+  std::vector<double> next_sub;
+  std::vector<double> task;  // current task durations
+  std::vector<double> next_task;
+  std::vector<Flow> flows;
+  std::vector<std::pair<size_t, size_t>> flow_key;  // (stage, substage)
+  std::vector<FlowRate> rates;
+};
+
+DurationScratch& LocalDurationScratch() {
+  static thread_local DurationScratch scratch;
+  return scratch;
+}
+
+/// Seeds `s.offset`, `s.sub`, and `s.task` with the paper-mode estimate —
+/// the common starting point of both iterative modes.
+void SeedPaperDurations(const ResourceVector& capacities,
+                        const std::vector<ParallelStage>& stages,
+                        DurationScratch& s) {
+  const ResourceVector alloc = PaperAllocation(capacities, stages);
+  s.offset.clear();
+  s.sub.clear();
+  s.task.clear();
+  for (const auto& ps : stages) {
+    s.offset.push_back(s.sub.size());
+    double total = 0.0;
+    for (const auto& ss : ps.stage->substages) {
+      const double t = SubStageDuration(ss, alloc);
+      s.sub.push_back(t);
+      total += t;
+    }
+    s.task.push_back(total);
+  }
+}
+
 TaskEstimate CombineSubStages(const StageProfile& stage,
                               std::vector<SubStageEstimate> substages) {
   TaskEstimate task;
@@ -125,23 +205,7 @@ std::vector<TaskEstimate> BoeModel::EstimatePaper(
     const std::vector<ParallelStage>& stages) const {
   // Contenders per resource: every task of every stage that uses the
   // resource anywhere in its pipeline (the paper's Delta for mu_X(Delta)).
-  ResourceVector contenders;
-  for (const auto& ps : stages) {
-    const ResourceVector total = ps.stage->TotalDemand();
-    for (Resource r : kAllResources) {
-      if (total[r] > 0) contenders[r] += ps.tasks_per_node;
-    }
-  }
-
-  const ResourceVector task_caps = PerTaskCaps();
-  ResourceVector alloc;
-  for (Resource r : kAllResources) {
-    double share = contenders[r] > 0 ? capacities_[r] / contenders[r] : capacities_[r];
-    // A lone task cannot exceed its own per-task cap (e.g. one core), but it
-    // can always use at least what an equal split would give it.
-    if (task_caps[r] > 0) share = std::min(std::max(share, 0.0), task_caps[r]);
-    alloc[r] = share;
-  }
+  const ResourceVector alloc = PaperAllocation(capacities_, stages);
 
   std::vector<TaskEstimate> out;
   out.reserve(stages.size());
@@ -271,6 +335,160 @@ std::vector<TaskEstimate> BoeModel::EstimateAlignedSelf(
     if (delta < options_.tolerance) break;
   }
   return current;
+}
+
+void BoeModel::EstimateDurations(const std::vector<ParallelStage>& stages,
+                                 std::vector<double>* out) const {
+  for (const auto& ps : stages) {
+    DAGPERF_CHECK(ps.stage != nullptr);
+    DAGPERF_CHECK(ps.tasks_per_node > 0);
+  }
+  out->clear();
+  if (stages.empty()) return;
+  // Same mode routing as EstimateParallel, including the bad-node fallback
+  // to the paper rule (which stays total by pricing at infinity).
+  if (!Validate().ok()) return DurationsPaper(stages, out);
+  switch (options_.mode) {
+    case BoeOptions::ContentionMode::kPaper:
+      return DurationsPaper(stages, out);
+    case BoeOptions::ContentionMode::kSteadyState:
+      return DurationsSteadyState(stages, out);
+    case BoeOptions::ContentionMode::kAlignedSelf:
+      return DurationsAlignedSelf(stages, out);
+  }
+  DAGPERF_CHECK(false);
+}
+
+void BoeModel::DurationsPaper(const std::vector<ParallelStage>& stages,
+                              std::vector<double>* out) const {
+  const ResourceVector alloc = PaperAllocation(capacities_, stages);
+  out->resize(stages.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    double total = 0.0;
+    for (const auto& ss : stages[i].stage->substages) {
+      total += SubStageDuration(ss, alloc);
+    }
+    (*out)[i] = total;
+  }
+}
+
+void BoeModel::DurationsSteadyState(const std::vector<ParallelStage>& stages,
+                                    std::vector<double>* out) const {
+  // The flat mirror of EstimateSteadyState: identical iteration structure
+  // and arithmetic over index-addressed duration arrays.
+  DurationScratch& s = LocalDurationScratch();
+  SeedPaperDurations(capacities_, stages, s);
+  const ResourceVector task_caps = PerTaskCaps();
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    s.flows.clear();
+    s.flow_key.clear();
+    for (size_t i = 0; i < stages.size(); ++i) {
+      const auto& ps = stages[i];
+      const double total_time = std::max(s.task[i], 1e-12);
+      for (size_t sub = 0; sub < ps.stage->substages.size(); ++sub) {
+        const double frac = std::max(s.sub[s.offset[i] + sub], 0.0) / total_time;
+        if (frac <= 1e-12) continue;
+        Flow flow;
+        flow.population = ps.tasks_per_node * frac;
+        flow.demand = ps.stage->substages[sub].demand;
+        flow.per_task_cap = task_caps;
+        s.flows.push_back(flow);
+        s.flow_key.emplace_back(i, sub);
+      }
+    }
+    SolveRates(capacities_, s.flows, &s.rates);
+
+    s.next_sub = s.sub;
+    for (size_t k = 0; k < s.flows.size(); ++k) {
+      const auto [i, sub] = s.flow_key[k];
+      // Resources the sub-stage does not demand are unpriced, so (unlike the
+      // struct-building path) the allocation needs no capacity backfill.
+      s.next_sub[s.offset[i] + sub] =
+          SubStageDuration(stages[i].stage->substages[sub], s.rates[k].offered);
+    }
+    s.next_task.resize(stages.size());
+    for (size_t i = 0; i < stages.size(); ++i) {
+      double total = 0.0;
+      for (size_t sub = 0; sub < stages[i].stage->substages.size(); ++sub) {
+        total += s.next_sub[s.offset[i] + sub];
+      }
+      s.next_task[i] = total;
+    }
+
+    double delta = 0.0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      const double old_t = s.task[i];
+      const double new_t = s.next_task[i];
+      if (old_t != kInf && new_t != kInf) {
+        delta = std::max(delta, std::fabs(new_t - old_t) / std::max(old_t, 1e-12));
+      }
+    }
+    s.sub.swap(s.next_sub);
+    s.task.swap(s.next_task);
+    if (delta < options_.tolerance) break;
+  }
+  out->assign(s.task.begin(), s.task.end());
+}
+
+void BoeModel::DurationsAlignedSelf(const std::vector<ParallelStage>& stages,
+                                    std::vector<double>* out) const {
+  // The flat mirror of EstimateAlignedSelf (same iteration structure).
+  DurationScratch& s = LocalDurationScratch();
+  SeedPaperDurations(capacities_, stages, s);
+  const ResourceVector task_caps = PerTaskCaps();
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    s.next_sub = s.sub;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      for (size_t sub = 0; sub < stages[i].stage->substages.size(); ++sub) {
+        s.flows.clear();
+        Flow self;
+        self.population = stages[i].tasks_per_node;
+        self.demand = stages[i].stage->substages[sub].demand;
+        self.per_task_cap = task_caps;
+        s.flows.push_back(self);
+        for (size_t j = 0; j < stages.size(); ++j) {
+          if (j == i) continue;
+          const double total_time = std::max(s.task[j], 1e-12);
+          for (size_t t = 0; t < stages[j].stage->substages.size(); ++t) {
+            const double frac =
+                std::max(s.sub[s.offset[j] + t], 0.0) / total_time;
+            if (frac <= 1e-12) continue;
+            Flow other;
+            other.population = stages[j].tasks_per_node * frac;
+            other.demand = stages[j].stage->substages[t].demand;
+            other.per_task_cap = task_caps;
+            s.flows.push_back(other);
+          }
+        }
+        SolveRates(capacities_, s.flows, &s.rates);
+        s.next_sub[s.offset[i] + sub] =
+            SubStageDuration(stages[i].stage->substages[sub], s.rates[0].offered);
+      }
+    }
+    s.next_task.resize(stages.size());
+    for (size_t i = 0; i < stages.size(); ++i) {
+      double total = 0.0;
+      for (size_t sub = 0; sub < stages[i].stage->substages.size(); ++sub) {
+        total += s.next_sub[s.offset[i] + sub];
+      }
+      s.next_task[i] = total;
+    }
+
+    double delta = 0.0;
+    for (size_t i = 0; i < stages.size(); ++i) {
+      const double old_t = s.task[i];
+      const double new_t = s.next_task[i];
+      if (old_t != kInf && new_t != kInf) {
+        delta = std::max(delta, std::fabs(new_t - old_t) / std::max(old_t, 1e-12));
+      }
+    }
+    s.sub.swap(s.next_sub);
+    s.task.swap(s.next_task);
+    if (delta < options_.tolerance) break;
+  }
+  out->assign(s.task.begin(), s.task.end());
 }
 
 }  // namespace dagperf

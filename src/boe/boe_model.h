@@ -105,6 +105,15 @@ class BoeModel {
   std::vector<TaskEstimate> EstimateParallel(
       const std::vector<ParallelStage>& stages) const;
 
+  /// Duration-only fast path for hot loops: writes one task duration in
+  /// seconds per input stage into `*out` (resized, capacity reused).
+  /// Bit-identical to the `.duration` fields of EstimateParallel but skips
+  /// the per-operation/sub-stage breakdown — no strings, no OpEstimate
+  /// vectors, flat thread-local scratch — so the per-op max over resources
+  /// compiles to a branch-free loop over the fixed resource axes.
+  void EstimateDurations(const std::vector<ParallelStage>& stages,
+                         std::vector<double>* out) const;
+
   const NodeSpec& node() const { return node_; }
   const BoeOptions& options() const { return options_; }
 
@@ -114,6 +123,13 @@ class BoeModel {
       const std::vector<ParallelStage>& stages) const;
   std::vector<TaskEstimate> EstimateAlignedSelf(
       const std::vector<ParallelStage>& stages) const;
+
+  void DurationsPaper(const std::vector<ParallelStage>& stages,
+                      std::vector<double>* out) const;
+  void DurationsSteadyState(const std::vector<ParallelStage>& stages,
+                            std::vector<double>* out) const;
+  void DurationsAlignedSelf(const std::vector<ParallelStage>& stages,
+                            std::vector<double>* out) const;
 
   NodeSpec node_;
   ResourceVector capacities_;

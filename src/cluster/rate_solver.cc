@@ -27,7 +27,10 @@ double WaterFill(double capacity, const std::vector<double>& populations,
   if (total <= capacity) return kInf;
 
   // Raise L through the sorted wants until the running sum hits capacity.
-  std::vector<size_t> order(wants.size());
+  // Thread-local scratch: the solver sits on the estimation hot path, where
+  // warm calls must not touch the heap (see tests/alloc_regression_test.cc).
+  static thread_local std::vector<size_t> order;
+  order.resize(wants.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return wants[a] < wants[b]; });
@@ -68,11 +71,33 @@ double WaterFill(double capacity, const std::vector<double>& populations,
 /// convergence is verified by the property-test suite.
 std::vector<FlowRate> SolveRates(const ResourceVector& capacities,
                                  const std::vector<Flow>& flows) {
-  const size_t n = flows.size();
-  std::vector<FlowRate> out(n);
+  std::vector<FlowRate> out;
+  SolveRates(capacities, flows, &out);
+  return out;
+}
 
-  std::vector<double> cap_rate(n, kInf);  // min_r per_task_cap_r / d_fr.
-  std::vector<bool> trivial(n, false);
+void SolveRates(const ResourceVector& capacities, const std::vector<Flow>& flows,
+                std::vector<FlowRate>* result) {
+  const size_t n = flows.size();
+  std::vector<FlowRate>& out = *result;
+  out.assign(n, FlowRate{});
+
+  // Thread-local scratch, capacity reused across calls: a warm solve (same
+  // or smaller flow count) performs no heap allocation. Values are fully
+  // re-assigned below, so reuse never changes the arithmetic.
+  struct Scratch {
+    std::vector<double> cap_rate;
+    std::vector<unsigned char> trivial;
+    std::vector<double> prev_rates;
+    std::vector<double> populations;
+    std::vector<double> wants;
+    std::vector<size_t> users;
+  };
+  static thread_local Scratch scratch;
+  std::vector<double>& cap_rate = scratch.cap_rate;
+  std::vector<unsigned char>& trivial = scratch.trivial;
+  cap_rate.assign(n, kInf);  // min_r per_task_cap_r / d_fr.
+  trivial.assign(n, 0);
   for (size_t f = 0; f < n; ++f) {
     DAGPERF_CHECK(flows[f].population > 0);
     bool any = false;
@@ -86,7 +111,7 @@ std::vector<FlowRate> SolveRates(const ResourceVector& capacities,
       if (task_cap > 0) cap_rate[f] = std::min(cap_rate[f], task_cap / d);
     }
     if (!any) {
-      trivial[f] = true;
+      trivial[f] = 1;
       out[f].progress_rate = kInf;
       out[f].bottleneck = -1;
     }
@@ -116,13 +141,17 @@ std::vector<FlowRate> SolveRates(const ResourceVector& capacities,
 
   constexpr int kMaxIterations = 300;
   constexpr double kTolerance = 1e-13;
-  std::vector<double> prev_rates(n, 0.0);
+  std::vector<double>& prev_rates = scratch.prev_rates;
+  prev_rates.assign(n, 0.0);
+  std::vector<double>& populations = scratch.populations;
+  std::vector<double>& wants = scratch.wants;
+  std::vector<size_t>& users = scratch.users;
   for (int iter = 0; iter < kMaxIterations; ++iter) {
     for (int r = 0; r < kNumResources; ++r) {
       if (capacities.values[r] <= 0) continue;
-      std::vector<double> populations;
-      std::vector<double> wants;
-      std::vector<size_t> users;
+      populations.clear();
+      wants.clear();
+      users.clear();
       for (size_t f = 0; f < n; ++f) {
         if (trivial[f]) continue;
         const double d = flows[f].demand.values[r];
@@ -194,7 +223,6 @@ std::vector<FlowRate> SolveRates(const ResourceVector& capacities,
       out[f].offered.values[r] = offer;
     }
   }
-  return out;
 }
 
 ResourceVector SolutionUtilization(const ResourceVector& capacities,

@@ -58,6 +58,11 @@ struct FlowRate {
 std::vector<FlowRate> SolveRates(const ResourceVector& capacities,
                                  const std::vector<Flow>& flows);
 
+/// Allocation-lean variant for hot loops: writes the solution into `*out`
+/// (resized to flows.size(), capacity reused). Identical arithmetic.
+void SolveRates(const ResourceVector& capacities, const std::vector<Flow>& flows,
+                std::vector<FlowRate>* out);
+
 /// Convenience: the utilization of each resource implied by a solution
 /// (consumed / capacity, 0 when capacity is 0).
 ResourceVector SolutionUtilization(const ResourceVector& capacities,

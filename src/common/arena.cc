@@ -1,0 +1,63 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dagperf {
+
+Arena::Arena(std::size_t initial_block_bytes)
+    : next_block_bytes_(std::max<std::size_t>(initial_block_bytes, 64)) {}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  DAGPERF_CHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  if (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+    if (aligned + bytes <= block.size) {
+      used_ = aligned + bytes;
+      return block.data.get() + aligned;
+    }
+  }
+  // Over-reserve by the alignment so the aligned start always fits.
+  NextBlock(bytes + align);
+  Block& block = blocks_[current_];
+  const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+  used_ = aligned + bytes;
+  return block.data.get() + aligned;
+}
+
+void Arena::NextBlock(std::size_t bytes) {
+  // First try the retained blocks after the current one (Reset keeps them).
+  const std::size_t next = blocks_.empty() ? 0 : current_ + 1;
+  for (std::size_t i = next; i < blocks_.size(); ++i) {
+    if (blocks_[i].size >= bytes) {
+      std::swap(blocks_[next], blocks_[i]);
+      current_ = next;
+      used_ = 0;
+      return;
+    }
+  }
+  Block block;
+  block.size = std::max(bytes, next_block_bytes_);
+  block.data = std::make_unique<char[]>(block.size);
+  next_block_bytes_ = std::max(next_block_bytes_ * 2, block.size);
+  blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(next),
+                 std::move(block));
+  current_ = next;
+  used_ = 0;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  used_ = 0;
+}
+
+std::size_t Arena::reserved_bytes() const {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.size;
+  return total;
+}
+
+}  // namespace dagperf

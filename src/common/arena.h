@@ -1,0 +1,76 @@
+#ifndef DAGPERF_COMMON_ARENA_H_
+#define DAGPERF_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace dagperf {
+
+/// A bump-pointer arena for per-estimate scratch storage.
+///
+/// The estimator's hot path (model/state_estimator.cc) carves all of its
+/// per-job/per-stage SoA arrays out of one arena per estimate. Reset()
+/// rewinds the bump pointer but KEEPS the allocated blocks, so a warm
+/// estimate of the same (or smaller) workflow performs zero heap
+/// allocations — the steady state of a dense sweep neighborhood.
+///
+/// Blocks grow geometrically; a request larger than the default block gets a
+/// dedicated block of exactly its size. Allocations are never individually
+/// freed and no destructors run: the arena is for trivially-destructible
+/// data only (the SoA arrays are plain scalars and pointers).
+///
+/// Not thread-safe: one arena serves one estimate on one thread (the
+/// estimator keeps one per worker thread).
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_block_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* Allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed array of `n` value-initialised (zeroed) Ts. T must be trivially
+  /// copyable and trivially destructible — nothing ever runs destructors.
+  template <typename T>
+  T* AllocateArray(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "Arena stores trivial data only");
+    T* data = static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) data[i] = T{};
+    return data;
+  }
+
+  /// Rewinds to empty while keeping every block for reuse. After enough
+  /// Resets at a stable working-set size, Allocate never touches the heap.
+  void Reset();
+
+  /// Total bytes currently reserved across all blocks (capacity, not use).
+  std::size_t reserved_bytes() const;
+
+ private:
+  static constexpr std::size_t kDefaultBlockBytes = 16 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Moves `current_` to a block with at least `bytes` free (reusing a
+  /// retained block when large enough, else appending a new one).
+  void NextBlock(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // Block being bumped.
+  std::size_t used_ = 0;     // Bytes used inside blocks_[current_].
+  std::size_t next_block_bytes_;
+};
+
+}  // namespace dagperf
+
+#endif  // DAGPERF_COMMON_ARENA_H_

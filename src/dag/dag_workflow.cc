@@ -1,12 +1,50 @@
 #include "dag/dag_workflow.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
 #include <queue>
 #include <set>
 
 #include "common/check.h"
 
 namespace dagperf {
+
+namespace {
+
+/// Appends the raw bit patterns of numeric fields — exact, no formatting
+/// loss. Numeric blocks go through a stack buffer in one append() each; the
+/// serialiser runs once per job at Build() time, but the bytes it produces
+/// are compared and hashed on every incremental-estimation lookup, so the
+/// layout stays dense and deterministic.
+void AppendStageProfile(std::string& out, const StageProfile& stage) {
+  out += stage.name;
+  out += '\0';
+  char head[1 + 4 * sizeof(double)];
+  char* p = head;
+  *p++ = static_cast<char>(stage.kind);
+  const double fields[4] = {static_cast<double>(stage.num_tasks),
+                            stage.task_size_cv, stage.slot.vcores,
+                            stage.slot.memory.value()};
+  std::memcpy(p, fields, sizeof(fields));
+  out.append(head, sizeof(head));
+  for (const SubStageProfile& sub : stage.substages) {
+    char block[sizeof(sub.demand.values) + 1];
+    std::memcpy(block, sub.demand.values.data(), sizeof(sub.demand.values));
+    block[sizeof(sub.demand.values)] = ';';
+    out.append(block, sizeof(block));
+  }
+  out += '|';
+}
+
+void AppendInt64(std::string& out, std::int64_t value) {
+  char bits[sizeof(std::int64_t)];
+  std::memcpy(bits, &value, sizeof(std::int64_t));
+  out.append(bits, sizeof(std::int64_t));
+}
+
+}  // namespace
 
 const JobProfile& DagWorkflow::job(JobId id) const {
   DAGPERF_CHECK(id >= 0 && id < num_jobs());
@@ -16,6 +54,16 @@ const JobProfile& DagWorkflow::job(JobId id) const {
 const std::vector<JobId>& DagWorkflow::parents(JobId id) const {
   DAGPERF_CHECK(id >= 0 && id < num_jobs());
   return parents_[id];
+}
+
+const std::string& DagWorkflow::job_fingerprint(JobId id) const {
+  DAGPERF_CHECK(id >= 0 && id < num_jobs());
+  return job_fingerprints_[id];
+}
+
+std::size_t DagWorkflow::job_fingerprint_hash(JobId id) const {
+  DAGPERF_CHECK(id >= 0 && id < num_jobs());
+  return job_fingerprint_hashes_[id];
 }
 
 const std::vector<JobId>& DagWorkflow::children(JobId id) const {
@@ -135,6 +183,23 @@ Result<DagWorkflow> DagBuilder::Build() && {
     Result<JobProfile> profile = CompileJob(spec);
     if (!profile.ok()) return profile.status();
     flow.jobs_.push_back(std::move(profile).value());
+  }
+
+  // Structural fingerprints, precomputed while the flow is being frozen:
+  // the compiled stage profiles plus the sorted parent list, byte-exact.
+  flow.job_fingerprints_.resize(n);
+  flow.job_fingerprint_hashes_.resize(n);
+  const std::hash<std::string> hasher;
+  for (JobId id = 0; id < n; ++id) {
+    std::string& fp = flow.job_fingerprints_[id];
+    const JobProfile& job = flow.jobs_[id];
+    AppendStageProfile(fp, job.map);
+    fp += job.has_reduce() ? '\1' : '\0';
+    if (job.has_reduce()) AppendStageProfile(fp, *job.reduce);
+    const std::vector<JobId>& parents = flow.parents_[id];
+    AppendInt64(fp, static_cast<std::int64_t>(parents.size()));
+    for (JobId parent : parents) AppendInt64(fp, parent);
+    flow.job_fingerprint_hashes_[id] = hasher(fp);
   }
   return flow;
 }

@@ -41,6 +41,21 @@ class DagWorkflow {
   /// workflow state transitions contributed by stage starts/completions.
   int TotalStages() const;
 
+  /// Exact-byte structural fingerprint of one job: the compiled stage
+  /// profiles (every field a task-time model can read) plus the sorted
+  /// parent list. Two jobs with equal fingerprints are interchangeable for
+  /// any estimate — the incremental engine keys checkpoint prefixes on these
+  /// bytes and the sweep engine orders candidates by them. Precomputed at
+  /// Build() time, because the hot re-estimation paths read them on every
+  /// call while the flow itself is immutable.
+  const std::string& job_fingerprint(JobId id) const;
+  const std::vector<std::string>& job_fingerprints() const {
+    return job_fingerprints_;
+  }
+  /// std::hash of job_fingerprint(id) — a cheap per-job ordering signature
+  /// (stable within the process; not for persistence).
+  std::size_t job_fingerprint_hash(JobId id) const;
+
  private:
   friend class DagBuilder;
   DagWorkflow() = default;
@@ -50,6 +65,8 @@ class DagWorkflow {
   std::vector<std::pair<JobId, JobId>> edges_;
   std::vector<std::vector<JobId>> parents_;
   std::vector<std::vector<JobId>> children_;
+  std::vector<std::string> job_fingerprints_;
+  std::vector<std::size_t> job_fingerprint_hashes_;
 };
 
 /// Incremental builder. Usage:

@@ -1,6 +1,7 @@
 #include "dag/validate.h"
 
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <set>
 
@@ -16,30 +17,55 @@ constexpr int kMaxReplicas = 1000;
 
 std::string Num(double v) { return std::to_string(v); }
 
+/// Pointer strings are built ONLY when a violation is recorded: the
+/// validation firewall runs in front of every estimate, so its happy path
+/// must not pay for string concatenation. Validators therefore pass the
+/// (prefix, field) pair down and concatenate lazily here.
+std::string Pointer(const std::string& prefix, const char* field) {
+  return prefix + field;
+}
+
+std::string Pointer(const std::string& prefix, const char* stage,
+                    const char* field) {
+  return prefix + stage + field;
+}
+
 /// NaN-safe "must be positive and finite": NaN fails every comparison, so
 /// `!(v > 0)` catches it where `v <= 0` would let it through.
-void RequirePositiveFinite(double v, const std::string& pointer,
-                           ValidationReport& report) {
+void RequirePositiveFinite(double v, const std::string& prefix,
+                           const char* field, ValidationReport& report) {
   if (!std::isfinite(v)) {
-    report.Add(pointer, "must be finite, got " + Num(v));
+    report.Add(Pointer(prefix, field), "must be finite, got " + Num(v));
   } else if (!(v > 0)) {
-    report.Add(pointer, "must be positive, got " + Num(v));
+    report.Add(Pointer(prefix, field), "must be positive, got " + Num(v));
   }
 }
 
-void RequireNonNegativeFinite(double v, const std::string& pointer,
-                              ValidationReport& report) {
+void RequireNonNegativeFinite(double v, const std::string& prefix,
+                              const char* field, ValidationReport& report) {
   if (!std::isfinite(v)) {
-    report.Add(pointer, "must be finite, got " + Num(v));
+    report.Add(Pointer(prefix, field), "must be finite, got " + Num(v));
   } else if (!(v >= 0)) {
-    report.Add(pointer, "must be >= 0, got " + Num(v));
+    report.Add(Pointer(prefix, field), "must be >= 0, got " + Num(v));
   }
 }
 
-void RequireFraction(double v, const std::string& pointer,
+void RequireFraction(double v, const std::string& prefix, const char* field,
                      ValidationReport& report) {
   if (!(v >= 0) || !(v <= 1)) {  // NaN fails both arms.
-    report.Add(pointer, "must be in [0, 1], got " + Num(v));
+    report.Add(Pointer(prefix, field), "must be in [0, 1], got " + Num(v));
+  }
+}
+
+/// Positive-finite check for a stage-scoped field ("/map/slot/vcores").
+void RequireStagePositiveFinite(double v, const std::string& prefix,
+                                const char* stage, const char* field,
+                                ValidationReport& report) {
+  if (!std::isfinite(v)) {
+    report.Add(Pointer(prefix, stage, field), "must be finite, got " + Num(v));
+  } else if (!(v > 0)) {
+    report.Add(Pointer(prefix, stage, field),
+               "must be positive, got " + Num(v));
   }
 }
 
@@ -49,26 +75,31 @@ bool IsPositiveFinite(double v) { return std::isfinite(v) && v > 0; }
 /// non-negative, task counts in range. Pointers name the compiled stage
 /// ("/jobs/2/reduce/..."), not a JSON field — these flows were built in code.
 void CheckStageProfile(const StageProfile& stage, const std::string& prefix,
-                       ValidationReport& report) {
+                       const char* stage_field, ValidationReport& report) {
   if (stage.num_tasks < 1) {
-    report.Add(prefix + "/num_tasks",
+    report.Add(Pointer(prefix, stage_field, "/num_tasks"),
                "must be >= 1, got " + std::to_string(stage.num_tasks));
   } else if (stage.num_tasks > kMaxTasksPerStage) {
-    report.Add(prefix + "/num_tasks",
+    report.Add(Pointer(prefix, stage_field, "/num_tasks"),
                "exceeds the " + std::to_string(kMaxTasksPerStage) +
                    " tasks-per-stage cap");
   }
-  RequirePositiveFinite(stage.slot.vcores, prefix + "/slot/vcores", report);
-  RequirePositiveFinite(stage.slot.memory.ToGB(), prefix + "/slot/memory_gb",
-                        report);
-  RequireNonNegativeFinite(stage.task_size_cv, prefix + "/task_size_cv",
-                           report);
+  RequireStagePositiveFinite(stage.slot.vcores, prefix, stage_field,
+                             "/slot/vcores", report);
+  RequireStagePositiveFinite(stage.slot.memory.ToGB(), prefix, stage_field,
+                             "/slot/memory_gb", report);
+  if (!std::isfinite(stage.task_size_cv) || !(stage.task_size_cv >= 0)) {
+    report.Add(Pointer(prefix, stage_field, "/task_size_cv"),
+               std::isfinite(stage.task_size_cv)
+                   ? "must be >= 0, got " + Num(stage.task_size_cv)
+                   : "must be finite, got " + Num(stage.task_size_cv));
+  }
   for (size_t s = 0; s < stage.substages.size(); ++s) {
     const SubStageProfile& sub = stage.substages[s];
     for (Resource r : kAllResources) {
       const double demand = sub.demand[r];
       if (!std::isfinite(demand) || !(demand >= 0)) {
-        report.Add(prefix + "/substages/" + std::to_string(s),
+        report.Add(prefix + stage_field + "/substages/" + std::to_string(s),
                    "sub-stage \"" + sub.name + "\" has bad " +
                        ResourceName(r) + " demand " + Num(demand));
       }
@@ -81,61 +112,61 @@ void CheckStageProfile(const StageProfile& stage, const std::string& prefix,
 ValidationReport ValidateJobSpec(const JobSpec& spec,
                                  const std::string& prefix) {
   ValidationReport report;
-  RequirePositiveFinite(spec.input.ToGB(), prefix + "/input_gb", report);
-  RequirePositiveFinite(spec.split_size.ToMB(), prefix + "/split_mb", report);
+  RequirePositiveFinite(spec.input.ToGB(), prefix, "/input_gb", report);
+  RequirePositiveFinite(spec.split_size.ToMB(), prefix, "/split_mb", report);
   if (spec.num_reduce_tasks < kAutoReducers) {
-    report.Add(prefix + "/num_reduce_tasks",
+    report.Add(Pointer(prefix, "/num_reduce_tasks"),
                "must be >= -1 (-1 = auto), got " +
                    std::to_string(spec.num_reduce_tasks));
   } else if (spec.num_reduce_tasks > kMaxTasksPerStage) {
-    report.Add(prefix + "/num_reduce_tasks",
+    report.Add(Pointer(prefix, "/num_reduce_tasks"),
                "exceeds the " + std::to_string(kMaxTasksPerStage) +
                    " tasks-per-stage cap");
   }
-  RequireNonNegativeFinite(spec.map_selectivity, prefix + "/map_selectivity",
+  RequireNonNegativeFinite(spec.map_selectivity, prefix, "/map_selectivity",
                            report);
-  RequireNonNegativeFinite(spec.reduce_selectivity,
-                           prefix + "/reduce_selectivity", report);
+  RequireNonNegativeFinite(spec.reduce_selectivity, prefix,
+                           "/reduce_selectivity", report);
   if (!(spec.compression_ratio > 0) || !(spec.compression_ratio <= 1)) {
-    report.Add(prefix + "/compression_ratio",
+    report.Add(Pointer(prefix, "/compression_ratio"),
                "must be in (0, 1], got " + Num(spec.compression_ratio));
   }
   if (spec.replicas < 1) {
-    report.Add(prefix + "/replicas",
+    report.Add(Pointer(prefix, "/replicas"),
                "must be >= 1, got " + std::to_string(spec.replicas));
   } else if (spec.replicas > kMaxReplicas) {
-    report.Add(prefix + "/replicas", "exceeds the " +
-                                         std::to_string(kMaxReplicas) +
-                                         " replica cap");
+    report.Add(Pointer(prefix, "/replicas"), "exceeds the " +
+                                                 std::to_string(kMaxReplicas) +
+                                                 " replica cap");
   }
-  RequirePositiveFinite(spec.map_compute.ToMBps(),
-                        prefix + "/map_compute_mbps", report);
-  RequirePositiveFinite(spec.reduce_compute.ToMBps(),
-                        prefix + "/reduce_compute_mbps", report);
-  RequirePositiveFinite(spec.sort_compute.ToMBps(),
-                        prefix + "/sort_compute_mbps", report);
-  RequirePositiveFinite(spec.compress_compute.ToMBps(),
-                        prefix + "/compress_compute_mbps", report);
-  RequireFraction(spec.remote_read_fraction, prefix + "/remote_read_fraction",
+  RequirePositiveFinite(spec.map_compute.ToMBps(), prefix,
+                        "/map_compute_mbps", report);
+  RequirePositiveFinite(spec.reduce_compute.ToMBps(), prefix,
+                        "/reduce_compute_mbps", report);
+  RequirePositiveFinite(spec.sort_compute.ToMBps(), prefix,
+                        "/sort_compute_mbps", report);
+  RequirePositiveFinite(spec.compress_compute.ToMBps(), prefix,
+                        "/compress_compute_mbps", report);
+  RequireFraction(spec.remote_read_fraction, prefix, "/remote_read_fraction",
                   report);
-  RequireFraction(spec.input_cache_fraction, prefix + "/input_cache_fraction",
+  RequireFraction(spec.input_cache_fraction, prefix, "/input_cache_fraction",
                   report);
-  RequireFraction(spec.shuffle_cache_hit, prefix + "/shuffle_cache_hit",
+  RequireFraction(spec.shuffle_cache_hit, prefix, "/shuffle_cache_hit",
                   report);
-  RequirePositiveFinite(spec.sort_buffer.ToMB(), prefix + "/sort_buffer_mb",
+  RequirePositiveFinite(spec.sort_buffer.ToMB(), prefix, "/sort_buffer_mb",
                         report);
-  RequirePositiveFinite(spec.reduce_merge_buffer.ToMB(),
-                        prefix + "/reduce_merge_buffer_mb", report);
-  RequireNonNegativeFinite(spec.reduce_skew_cv, prefix + "/reduce_skew_cv",
+  RequirePositiveFinite(spec.reduce_merge_buffer.ToMB(), prefix,
+                        "/reduce_merge_buffer_mb", report);
+  RequireNonNegativeFinite(spec.reduce_skew_cv, prefix, "/reduce_skew_cv",
                            report);
-  RequirePositiveFinite(spec.map_slot.vcores, prefix + "/map_slot_vcores",
+  RequirePositiveFinite(spec.map_slot.vcores, prefix, "/map_slot_vcores",
                         report);
-  RequirePositiveFinite(spec.map_slot.memory.ToGB(),
-                        prefix + "/map_slot_memory_gb", report);
-  RequirePositiveFinite(spec.reduce_slot.vcores,
-                        prefix + "/reduce_slot_vcores", report);
-  RequirePositiveFinite(spec.reduce_slot.memory.ToGB(),
-                        prefix + "/reduce_slot_memory_gb", report);
+  RequirePositiveFinite(spec.map_slot.memory.ToGB(), prefix,
+                        "/map_slot_memory_gb", report);
+  RequirePositiveFinite(spec.reduce_slot.vcores, prefix,
+                        "/reduce_slot_vcores", report);
+  RequirePositiveFinite(spec.reduce_slot.memory.ToGB(), prefix,
+                        "/reduce_slot_memory_gb", report);
 
   // Derived sizes, checked only once their inputs are individually valid (so
   // a single bad field does not also produce derived-value noise). All
@@ -261,11 +292,14 @@ ValidationReport ValidateWorkflow(const DagWorkflow& flow) {
   }
   for (JobId i = 0; i < flow.num_jobs(); ++i) {
     const JobProfile& job = flow.job(i);
-    const std::string prefix = "/jobs/" + std::to_string(i);
+    // Fits the small-string buffer, so the happy path stays allocation-free.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/jobs/%d", static_cast<int>(i));
+    const std::string prefix(buf);
     report.Merge(ValidateJobSpec(job.spec, prefix));
-    CheckStageProfile(job.map, prefix + "/map", report);
+    CheckStageProfile(job.map, prefix, "/map", report);
     if (job.has_reduce()) {
-      CheckStageProfile(*job.reduce, prefix + "/reduce", report);
+      CheckStageProfile(*job.reduce, prefix, "/reduce", report);
     }
   }
   return report;

@@ -13,9 +13,10 @@ namespace {
 
 using RunningSet = std::vector<std::pair<JobId, StageKind>>;
 
-RunningSet EstimatedRunningSet(const StateEstimate& state) {
+RunningSet EstimatedRunningSet(const DagEstimate& estimate,
+                               const StateEstimate& state) {
   RunningSet set;
-  for (const auto& r : state.running) set.emplace_back(r.job, r.kind);
+  for (const auto& r : estimate.running(state)) set.emplace_back(r.job, r.kind);
   std::sort(set.begin(), set.end());
   return set;
 }
@@ -52,7 +53,8 @@ Result<ParallelJobsResult> RunParallelJobsExperiment(const DagWorkflow& flow,
     const StateEstimate* match = nullptr;
     for (size_t i = 0; i < estimate->states.size(); ++i) {
       if (used[i]) continue;
-      if (EstimatedRunningSet(estimate->states[i]) == truth_state.running) {
+      if (EstimatedRunningSet(*estimate, estimate->states[i]) ==
+          truth_state.running) {
         used[i] = true;
         match = &estimate->states[i];
         break;
@@ -60,7 +62,7 @@ Result<ParallelJobsResult> RunParallelJobsExperiment(const DagWorkflow& flow,
     }
     if (match == nullptr) continue;
 
-    for (const auto& est_running : match->running) {
+    for (const auto& est_running : estimate->running(*match)) {
       const std::vector<double> durations = truth->TaskDurationsInState(
           est_running.job, est_running.kind, truth_state.index);
       if (durations.empty()) continue;  // No task midpoint fell in the state.

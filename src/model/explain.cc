@@ -41,12 +41,13 @@ std::vector<CriticalSegment> CriticalPath(const DagEstimate& estimate) {
     // A state always has a critical stage when it has a duration (the
     // arg-min that advanced time); fall back to the first running stage for
     // robustness against hand-built estimates.
+    const RunningSpan running = estimate.running(state);
     const int idx =
-        state.critical >= 0 && state.critical < static_cast<int>(state.running.size())
+        state.critical >= 0 && state.critical < static_cast<int>(running.size())
             ? state.critical
             : 0;
-    if (state.running.empty()) continue;
-    const RunningStageEstimate& critical = state.running[idx];
+    if (running.empty()) continue;
+    const RunningStageEstimate& critical = running[idx];
     if (!segments.empty() && segments.back().job == critical.job &&
         segments.back().kind == critical.kind) {
       segments.back().duration += state.duration;
@@ -105,8 +106,9 @@ std::string ExplainToText(const DagWorkflow& flow, const ExplainReport& report) 
     out += "  state " + std::to_string(state.index) + "  [" +
            FormatSeconds(state.start) + " s + " + FormatSeconds(state.duration) +
            " s]\n";
-    for (size_t i = 0; i < state.running.size(); ++i) {
-      const RunningStageEstimate& rs = state.running[i];
+    const RunningSpan span = report.estimate.running(state);
+    for (size_t i = 0; i < span.size(); ++i) {
+      const RunningStageEstimate& rs = span[i];
       out += "    " + Pad(StageName(flow, rs.job, rs.kind), name_width) +
              "  p=" + Pad(std::to_string(rs.parallelism), 5) +
              " task=" + FormatSeconds(rs.task_time_s) + "s";
@@ -151,7 +153,7 @@ Json ExplainToJson(const DagWorkflow& flow, const ExplainReport& report) {
     js.Set("duration_s", Json::MakeNumber(state.duration));
     js.Set("critical", Json::MakeNumber(state.critical));
     Json running = Json::MakeArray();
-    for (const RunningStageEstimate& rs : state.running) {
+    for (const RunningStageEstimate& rs : report.estimate.running(state)) {
       Json jr = Json::MakeObject();
       jr.Set("stage", Json::MakeString(StageName(flow, rs.job, rs.kind)));
       jr.Set("parallelism", Json::MakeNumber(rs.parallelism));
@@ -203,15 +205,15 @@ void AppendEstimateTraceEvents(const DagWorkflow& flow, const DagEstimate& estim
     event.dur_us = state.duration * 1e6;
     event.pid = kEstimatePid;
     event.tid = kStateLane;
-    event.num_args.emplace_back("running", static_cast<double>(state.running.size()));
-    if (state.critical >= 0 &&
-        state.critical < static_cast<int>(state.running.size())) {
-      const RunningStageEstimate& critical = state.running[state.critical];
+    const RunningSpan span = estimate.running(state);
+    event.num_args.emplace_back("running", static_cast<double>(span.size()));
+    if (state.critical >= 0 && state.critical < static_cast<int>(span.size())) {
+      const RunningStageEstimate& critical = span[state.critical];
       event.str_args.emplace_back("critical",
                                   StageName(flow, critical.job, critical.kind));
     }
     events.push_back(std::move(event));
-    for (const RunningStageEstimate& rs : state.running) {
+    for (const RunningStageEstimate& rs : span) {
       if (rs.has_attribution) any_attribution = true;
     }
   }
@@ -230,7 +232,7 @@ void AppendEstimateTraceEvents(const DagWorkflow& flow, const DagEstimate& estim
       event.tid = 0;
       for (Resource r : kAllResources) {
         double load = 0.0;
-        for (const RunningStageEstimate& rs : state.running) {
+        for (const RunningStageEstimate& rs : estimate.running(state)) {
           if (!rs.has_attribution) continue;
           load += static_cast<double>(rs.parallelism) * rs.utilization[r];
         }

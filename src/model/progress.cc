@@ -31,7 +31,8 @@ std::vector<RunningStageEstimate> ProgressIndicator::RunningAt(
     Duration elapsed) const {
   const Result<StateEstimate> state = StateAt(elapsed);
   if (!state.ok()) return {};
-  return state->running;
+  const RunningSpan span = plan_.running(*state);
+  return std::vector<RunningStageEstimate>(span.begin(), span.end());
 }
 
 Status ProgressIndicator::ObserveStageCompletion(JobId job, StageKind kind,

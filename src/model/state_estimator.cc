@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "cluster/validate.h"
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/stats.h"
 #include "dag/validate.h"
+#include "model/incremental.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,44 +52,6 @@ EstimatorMetrics& Metrics() {
   return *metrics;
 }
 
-/// One in-flight wave of tasks: `size` tasks that started together and have
-/// completed `frac` of their duration.
-struct Wave {
-  double size = 0.0;
-  double frac = 0.0;
-  /// Whether this wave contains the stage's final tasks (it pays the
-  /// straggler tail under Alg2).
-  bool is_last = false;
-};
-
-/// Per-stage progress bookkeeping inside the estimator's state machine.
-struct StageEst {
-  const StageProfile* profile = nullptr;
-  bool ready = false;
-  bool complete = false;
-  /// Tasks not yet granted a container.
-  double not_started = 0.0;
-  /// Concurrently running waves (discrete model only; empty under kFluid,
-  /// which treats progress as a continuous pool in `not_started`).
-  std::vector<Wave> waves;
-  double start_time = -1.0;
-  double end_time = 0.0;
-
-  double TasksOutstanding() const {
-    double total = not_started;
-    for (const auto& w : waves) total += w.size;
-    return total;
-  }
-};
-
-struct JobEst {
-  int unfinished_parents = 0;
-  StageEst map;
-  StageEst reduce;
-  bool has_reduce = false;
-  bool done = false;
-};
-
 /// Expected duration of a wave. Only the stage's FINAL wave pays the
 /// straggler tail (expected max of the draws): mid-stage stragglers overlap
 /// the next wave, so slots stay busy and the stage drains at the mean task
@@ -101,11 +66,12 @@ double WaveTime(const NormalParams& dist, double wave_tasks, bool skew_aware,
   return ExpectedMaxOfNormal(dist.mean, dist.stddev, n);
 }
 
-/// Advances the stage through its wave schedule at parallelism `delta` for
-/// at most `dt_limit` seconds (infinity = run to completion). Returns the
-/// simulated time consumed. Mutates `st`.
-double StepStage(StageEst& st, int delta, const NormalParams& dist,
-                 const EstimatorOptions& options, double dt_limit) {
+/// Advances a stage (not_started pool + wave list) through its wave schedule
+/// at parallelism `delta` for at most `dt_limit` seconds (infinity = run to
+/// completion). Returns the simulated time consumed. Mutates its inputs.
+double StepStage(double& not_started, std::vector<WaveState>& waves, int delta,
+                 const NormalParams& dist, const EstimatorOptions& options,
+                 double dt_limit) {
   if (delta <= 0) return dt_limit;
   const bool skew = options.skew_aware;
 
@@ -114,74 +80,271 @@ double StepStage(StageEst& st, int delta, const NormalParams& dist,
     const double rate = delta / std::max(dist.mean, 1e-12);
     double tail = 0.0;
     if (skew) {
-      tail = WaveTime(dist, std::min<double>(delta, st.not_started), skew, true) -
+      tail = WaveTime(dist, std::min<double>(delta, not_started), skew, true) -
              dist.mean;
     }
-    const double to_finish = st.not_started / rate + tail;
+    const double to_finish = not_started / rate + tail;
     if (to_finish <= dt_limit + kEps) {
-      st.not_started = 0.0;
+      not_started = 0.0;
       return to_finish;
     }
-    st.not_started = std::max(0.0, st.not_started - dt_limit * rate);
+    not_started = std::max(0.0, not_started - dt_limit * rate);
     return dt_limit;
   }
 
   // Discrete waves. A parallelism drop (competitor arrival + preemption)
   // re-queues the newest waves' excess tasks.
   double active = 0.0;
-  for (const auto& w : st.waves) active += w.size;
-  while (active > delta + kEps && !st.waves.empty()) {
-    Wave& newest = st.waves.back();
+  for (const auto& w : waves) active += w.size;
+  while (active > delta + kEps && !waves.empty()) {
+    WaveState& newest = waves.back();
     const double excess = std::min(newest.size, active - delta);
     newest.size -= excess;
-    st.not_started += excess;
+    not_started += excess;
     active -= excess;
-    if (newest.size <= kEps) st.waves.pop_back();
+    if (newest.size <= kEps) waves.pop_back();
   }
 
   double elapsed = 0.0;
   int guard = 0;
-  while (elapsed < dt_limit - kEps &&
-         (st.not_started > kEps || !st.waves.empty())) {
+  while (elapsed < dt_limit - kEps && (not_started > kEps || !waves.empty())) {
     DAGPERF_CHECK_MSG(++guard < 1000000, "wave stepping did not terminate");
     // Fill idle slots with new waves.
     active = 0.0;
-    for (const auto& w : st.waves) active += w.size;
-    if (st.not_started > kEps && active < delta - kEps) {
-      Wave wave;
-      wave.size = std::min(st.not_started, delta - active);
-      st.not_started -= wave.size;
-      wave.is_last = st.not_started <= kEps;
-      st.waves.push_back(wave);
+    for (const auto& w : waves) active += w.size;
+    if (not_started > kEps && active < delta - kEps) {
+      WaveState wave;
+      wave.size = std::min(not_started, delta - active);
+      not_started -= wave.size;
+      wave.is_last = not_started <= kEps;
+      waves.push_back(wave);
       continue;
     }
     // Next wave completion.
     double next = kInf;
-    for (const auto& w : st.waves) {
+    for (const auto& w : waves) {
       const double t = WaveTime(dist, w.size, skew, w.is_last);
       next = std::min(next, t * (1.0 - w.frac));
     }
     if (next == kInf) break;  // No waves and nothing startable.
     const double step = std::min(next, dt_limit - elapsed);
-    for (auto& w : st.waves) {
+    for (auto& w : waves) {
       const double t = WaveTime(dist, w.size, skew, w.is_last);
       w.frac += step / std::max(t, 1e-12);
     }
     elapsed += step;
-    st.waves.erase(std::remove_if(st.waves.begin(), st.waves.end(),
-                                  [](const Wave& w) { return w.frac >= 1.0 - kEps; }),
-                   st.waves.end());
+    waves.erase(
+        std::remove_if(waves.begin(), waves.end(),
+                       [](const WaveState& w) { return w.frac >= 1.0 - kEps; }),
+        waves.end());
   }
   return elapsed;
 }
 
-/// Remaining time of a stage at parallelism `delta` (does not mutate).
-double RestTime(const StageEst& st, int delta, const NormalParams& dist,
-                const EstimatorOptions& options) {
-  if (st.TasksOutstanding() <= kEps) return 0.0;
-  if (delta <= 0) return kInf;
-  StageEst copy = st;
-  return StepStage(copy, delta, dist, options, kInf);
+/// Per-estimate working state in SoA layout: one slot per (job, stage kind)
+/// pair — slot 2*id is the map stage, 2*id+1 the reduce — with the scalar
+/// arrays carved from a bump arena and every scratch vector reused across
+/// states AND estimates. After a priming estimate at a given workflow size,
+/// a warm estimate allocates nothing (see tests/alloc_regression_test.cc).
+struct Workspace {
+  Arena arena;
+  int n = 0;      // Jobs.
+  int slots = 0;  // 2 * n.
+
+  // Per-slot arrays (arena-backed; profile == nullptr for absent reduces).
+  const StageProfile** profile = nullptr;
+  unsigned char* ready = nullptr;
+  unsigned char* complete = nullptr;
+  double* not_started = nullptr;
+  double* start_time = nullptr;
+  double* end_time = nullptr;
+  // Per-job arrays.
+  int* unfinished_parents = nullptr;
+  unsigned char* done = nullptr;
+  // Per-slot wave lists. std::vector (not arena) so capacity survives Reset;
+  // grown monotonically, never shrunk.
+  std::vector<std::vector<WaveState>> waves;
+
+  // Per-state scratch, capacity reused.
+  std::vector<int> running;  // Slot ids of this state's running stages.
+  std::vector<StageDemand> demands;
+  std::vector<int> delta;
+  std::vector<size_t> context_slot;
+  std::vector<NormalParams> dists;
+  std::vector<std::optional<TaskAttribution>> attributions;
+  EstimationContext context;
+  std::vector<WaveState> rest_waves;  // RestTime's non-mutating copy.
+
+  // Checkpoint scratch. fp_global points at the global fingerprint in
+  // effect for the current estimate — either the caller's precomputed one
+  // (EstimatorOptions::checkpoint_global_fp) or the ws-owned buffer below;
+  // fp_jobs always points at the flow's precomputed job fingerprints.
+  std::string global_fp;
+  const std::string* fp_global = nullptr;
+  const std::vector<std::string>* fp_jobs = nullptr;
+  std::string key;
+  std::vector<JobId> done_ids;
+
+  void Prepare(const DagWorkflow& flow) {
+    n = flow.num_jobs();
+    slots = 2 * n;
+    arena.Reset();
+    profile = arena.AllocateArray<const StageProfile*>(slots);
+    ready = arena.AllocateArray<unsigned char>(slots);
+    complete = arena.AllocateArray<unsigned char>(slots);
+    not_started = arena.AllocateArray<double>(slots);
+    start_time = arena.AllocateArray<double>(slots);
+    end_time = arena.AllocateArray<double>(slots);
+    unfinished_parents = arena.AllocateArray<int>(n);
+    done = arena.AllocateArray<unsigned char>(n);
+    if (static_cast<int>(waves.size()) < slots) waves.resize(slots);
+    for (int s = 0; s < slots; ++s) waves[s].clear();
+    for (JobId id = 0; id < n; ++id) {
+      const JobProfile& job = flow.job(id);
+      unfinished_parents[id] = static_cast<int>(flow.parents(id).size());
+      const int ms = 2 * id;
+      profile[ms] = &job.map;
+      not_started[ms] = job.map.num_tasks;
+      start_time[ms] = -1.0;
+      if (job.has_reduce()) {
+        profile[ms + 1] = &*job.reduce;
+        not_started[ms + 1] = job.reduce->num_tasks;
+        start_time[ms + 1] = -1.0;
+      }
+      // A job with no parents is a source: its map starts ready.
+      if (flow.parents(id).empty()) ready[ms] = 1;
+    }
+  }
+
+  double TasksOutstanding(int slot) const {
+    double total = not_started[slot];
+    for (const WaveState& w : waves[slot]) total += w.size;
+    return total;
+  }
+
+  /// Remaining time of a slot at parallelism `delta` (does not mutate the
+  /// slot: steps a scratch copy of its wave list).
+  double RestTime(int slot, int delta, const NormalParams& dist,
+                  const EstimatorOptions& options) {
+    if (TasksOutstanding(slot) <= kEps) return 0.0;
+    if (delta <= 0) return kInf;
+    double ns = not_started[slot];
+    rest_waves = waves[slot];
+    return StepStage(ns, rest_waves, delta, dist, options, kInf);
+  }
+};
+
+/// One workspace per thread, reused across estimates — the zero-allocation
+/// steady state. The in_use flag guards against a TaskTimeSource that
+/// re-enters Estimate() on the same thread (none in the library do, but a
+/// user source could): the re-entrant call falls back to a heap workspace.
+struct WorkspaceLease {
+  static thread_local Workspace workspace;
+  static thread_local bool in_use;
+
+  Workspace* ws;
+  std::unique_ptr<Workspace> fallback;
+
+  WorkspaceLease() {
+    if (!in_use) {
+      in_use = true;
+      ws = &workspace;
+    } else {
+      fallback = std::make_unique<Workspace>();
+      ws = fallback.get();
+    }
+  }
+  ~WorkspaceLease() {
+    if (fallback == nullptr) in_use = false;
+  }
+};
+
+thread_local Workspace WorkspaceLease::workspace;
+thread_local bool WorkspaceLease::in_use = false;
+
+/// Restores the estimator's dynamic state and partial output from `cp`.
+/// The done/activated bookkeeping is recomputed against the resuming flow's
+/// own structure, which is what makes resume valid across flows that share
+/// the prefix but differ elsewhere (even in job count).
+void RestoreCheckpoint(const EstimatorCheckpoint& cp, const DagWorkflow& flow,
+                       Workspace& ws, DagEstimate& estimate, double* now,
+                       int* state_index, int* unfinished) {
+  *now = cp.now;
+  *state_index = cp.next_state_index;
+  for (size_t a = 0; a < cp.jobs.size(); ++a) {
+    const JobId id = cp.jobs[a];
+    for (int k = 0; k < 2; ++k) {
+      const StageDynState& sd = cp.stage_state[2 * a + k];
+      const int slot = 2 * id + k;
+      ws.ready[slot] = sd.ready;
+      ws.complete[slot] = sd.complete;
+      ws.not_started[slot] = sd.not_started;
+      ws.start_time[slot] = sd.start_time;
+      ws.end_time[slot] = sd.end_time;
+      ws.waves[slot].assign(cp.waves.begin() + sd.wave_begin,
+                            cp.waves.begin() + sd.wave_begin + sd.wave_count);
+    }
+  }
+  for (JobId id : cp.done) ws.done[id] = 1;
+  *unfinished = ws.n - static_cast<int>(cp.done.size());
+  // Parent counts against the restored done set — exactly the value the
+  // decrements of a full replay would have left.
+  for (JobId id = 0; id < ws.n; ++id) {
+    int u = 0;
+    for (JobId parent : flow.parents(id)) u += ws.done[parent] ? 0 : 1;
+    ws.unfinished_parents[id] = u;
+  }
+  // The partial output: memcpy-speed assigns of trivially-copyable records.
+  estimate.states = cp.states;
+  estimate.running_pool = cp.running_pool;
+  estimate.stages = cp.stages;
+}
+
+/// Captures the current state into the store, unless a checkpoint for this
+/// boundary already exists (the common case once one candidate has paved the
+/// prefix — Contains() keeps the hot path from paying the capture copies).
+void MaybeStoreCheckpoint(PrefixCheckpointStore& store, const DagWorkflow& flow,
+                          Workspace& ws, const DagEstimate& estimate,
+                          double now, int state_index) {
+  ws.done_ids.clear();
+  for (JobId id = 0; id < ws.n; ++id) {
+    if (ws.done[id]) ws.done_ids.push_back(id);
+  }
+  if (!PrefixCheckpointStore::BuildKey(*ws.fp_global, *ws.fp_jobs, flow,
+                                       ws.done_ids.data(), ws.done_ids.size(),
+                                       &ws.key)) {
+    return;
+  }
+  if (store.Contains(ws.key)) return;
+
+  auto cp = std::make_shared<EstimatorCheckpoint>();
+  cp->key = ws.key;
+  cp->done = ws.done_ids;
+  cp->now = now;
+  cp->next_state_index = state_index;
+  for (JobId id = 0; id < ws.n; ++id) {
+    // unfinished_parents == 0 <=> every parent done <=> activated.
+    if (ws.unfinished_parents[id] != 0) continue;
+    cp->jobs.push_back(id);
+    for (int k = 0; k < 2; ++k) {
+      const int slot = 2 * id + k;
+      StageDynState sd;
+      sd.ready = ws.ready[slot];
+      sd.complete = ws.complete[slot];
+      sd.not_started = ws.not_started[slot];
+      sd.start_time = ws.start_time[slot];
+      sd.end_time = ws.end_time[slot];
+      sd.wave_begin = static_cast<int>(cp->waves.size());
+      sd.wave_count = static_cast<int>(ws.waves[slot].size());
+      cp->waves.insert(cp->waves.end(), ws.waves[slot].begin(),
+                       ws.waves[slot].end());
+      cp->stage_state.push_back(sd);
+    }
+  }
+  cp->states = estimate.states;
+  cp->running_pool = estimate.running_pool;
+  cp->stages = estimate.stages;
+  store.Insert(std::move(cp));
 }
 
 }  // namespace
@@ -196,14 +359,59 @@ Result<StageSpanEstimate> DagEstimate::FindStage(JobId job, StageKind kind) cons
 StateBasedEstimator::StateBasedEstimator(const ClusterSpec& cluster,
                                          const SchedulerConfig& scheduler,
                                          EstimatorOptions options)
-    : cluster_(cluster), options_(options) {
+    : cluster_(cluster), scheduler_(scheduler), options_(std::move(options)) {
   init_ = ValidateClusterSpec(cluster_).ToStatus("cluster");
-  if (init_.ok()) allocator_.emplace(cluster_, scheduler);
+  if (init_.ok()) allocator_.emplace(cluster_, scheduler_);
 }
 
-Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
-                                                  const TaskTimeSource& source) const {
+Status StateBasedEstimator::EstimateInto(const DagWorkflow& flow,
+                                         const TaskTimeSource& source,
+                                         DagEstimate* out) const {
   if (!init_.ok()) return init_;
+
+  WorkspaceLease lease;
+  Workspace& ws = *lease.ws;
+
+  // Prefix-resume: fingerprint the flow and look for the deepest checkpoint
+  // whose structural prefix matches. This runs *before* the validation
+  // firewall on purpose: fingerprinting only serializes the flow's own specs
+  // (safe on any constructed DagWorkflow), and a complete-result hit proves a
+  // byte-identical (flow, cluster, scheduler, options) tuple already passed
+  // validation when its entry was stored — so the hot re-estimation path can
+  // return the stored result without re-validating or preparing a workspace.
+  PrefixCheckpointStore* const store = options_.checkpoints;
+  std::shared_ptr<const EstimatorCheckpoint> resume;
+  if (store != nullptr) {
+    // Job fingerprints are precomputed on the immutable flow; the global
+    // fingerprint (scope, cluster, scheduler, options) is either supplied by
+    // the caller (the sweep computes it once per candidate for ordering) or
+    // serialised into workspace scratch here.
+    ws.fp_jobs = &flow.job_fingerprints();
+    if (options_.checkpoint_global_fp != nullptr) {
+      ws.fp_global = options_.checkpoint_global_fp;
+    } else {
+      ws.global_fp.clear();
+      PrefixCheckpointStore::AppendGlobalFingerprint(
+          options_.checkpoint_scope, cluster_, scheduler_, options_,
+          &ws.global_fp);
+      ws.fp_global = &ws.global_fp;
+    }
+    resume = store->Lookup(flow, *ws.fp_global, *ws.fp_jobs);
+    if (resume != nullptr &&
+        static_cast<int>(resume->done.size()) == flow.num_jobs()) {
+      // Complete-result checkpoint: every job was done at the boundary, so
+      // the stored partial output *is* the full estimate and `now` is the
+      // makespan. Copying the SoA records is the whole cost.
+      store->RecordResume(static_cast<int>(resume->states.size()));
+      out->states = resume->states;
+      out->running_pool = resume->running_pool;
+      out->stages = resume->stages;
+      out->makespan = Duration(resume->now);
+      Metrics().estimates.Add(1);
+      return Status::Ok();
+    }
+  }
+
   // The validation firewall: reject malformed flows (non-finite demands,
   // out-of-range counts) with a full diagnostic before touching the state
   // machine, so nothing downstream needs to defend against them.
@@ -218,29 +426,26 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
     estimate_span.emplace(tracer, "estimate " + flow.name(), "estimator");
   }
 
-  const int n = flow.num_jobs();
-  std::vector<JobEst> jobs(n);
+  ws.Prepare(flow);
+  const int n = ws.n;
   int unfinished = n;
-  for (JobId id = 0; id < n; ++id) {
-    const JobProfile& profile = flow.job(id);
-    jobs[id].unfinished_parents = static_cast<int>(flow.parents(id).size());
-    jobs[id].has_reduce = profile.has_reduce();
-    jobs[id].map.profile = &profile.map;
-    jobs[id].map.not_started = profile.map.num_tasks;
-    if (profile.has_reduce()) {
-      jobs[id].reduce.profile = &*profile.reduce;
-      jobs[id].reduce.not_started = profile.reduce->num_tasks;
-    }
-  }
-  for (JobId id : flow.Sources()) jobs[id].map.ready = true;
 
-  DagEstimate estimate;
+  DagEstimate& estimate = *out;
+  estimate.makespan = Duration(0);
+  estimate.states.clear();
+  estimate.running_pool.clear();
+  estimate.stages.clear();
+
   double now = 0.0;
   int state_index = 1;
 
-  const auto stage_of = [&](JobId id, StageKind kind) -> StageEst& {
-    return kind == StageKind::kMap ? jobs[id].map : jobs[id].reduce;
-  };
+  // Partial prefix-resume: continue from the deepest matching checkpoint
+  // found above instead of replaying the shared prefix.
+  if (resume != nullptr) {
+    RestoreCheckpoint(*resume, flow, ws, estimate, &now, &state_index,
+                      &unfinished);
+    store->RecordResume(static_cast<int>(resume->states.size()));
+  }
 
   while (unfinished > 0) {
     if (state_index > options_.max_states) {
@@ -264,66 +469,64 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
                          "estimator");
     }
 
-    // (1) The set of running stages in this state.
-    struct Running {
-      JobId job;
-      StageKind kind;
-    };
-    std::vector<Running> running;
-    for (JobId id = 0; id < n; ++id) {
-      for (StageKind kind : {StageKind::kMap, StageKind::kReduce}) {
-        if (kind == StageKind::kReduce && !jobs[id].has_reduce) continue;
-        StageEst& st = stage_of(id, kind);
-        if (st.ready && !st.complete && st.TasksOutstanding() > kEps) {
-          running.push_back({id, kind});
-        }
+    // (1) The set of running stages in this state (slot order == the
+    // original job-id-then-kind order).
+    ws.running.clear();
+    for (int slot = 0; slot < ws.slots; ++slot) {
+      if (ws.profile[slot] == nullptr) continue;
+      if (ws.ready[slot] && !ws.complete[slot] &&
+          ws.TasksOutstanding(slot) > kEps) {
+        ws.running.push_back(slot);
       }
     }
-    if (running.empty()) {
+    const size_t num_running = ws.running.size();
+    if (num_running == 0) {
       return Status::Internal(flow.name() + ": no runnable stage but jobs remain");
     }
 
     // (2) Degree of parallelism per running stage (DRF).
-    std::vector<StageDemand> demands;
-    demands.reserve(running.size());
-    for (const auto& r : running) {
+    ws.demands.clear();
+    for (const int slot : ws.running) {
       StageDemand d;
-      d.slot = stage_of(r.job, r.kind).profile->slot;
-      d.remaining_tasks = static_cast<int>(
-          std::ceil(stage_of(r.job, r.kind).TasksOutstanding() - kEps));
-      demands.push_back(d);
+      d.slot = ws.profile[slot]->slot;
+      d.remaining_tasks =
+          static_cast<int>(std::ceil(ws.TasksOutstanding(slot) - kEps));
+      ws.demands.push_back(d);
     }
-    const std::vector<int> delta = allocator_->Allocate(demands);
+    allocator_->Allocate(ws.demands, &ws.delta);
 
     // (3) Task times under this state's contention (BOE or profile).
-    EstimationContext context;
-    std::vector<size_t> context_slot(running.size(), SIZE_MAX);
-    for (size_t i = 0; i < running.size(); ++i) {
-      if (delta[i] <= 0) continue;
+    ws.context.running.clear();
+    ws.context_slot.assign(num_running, SIZE_MAX);
+    for (size_t i = 0; i < num_running; ++i) {
+      if (ws.delta[i] <= 0) continue;
       ParallelStage ps;
-      ps.stage = stage_of(running[i].job, running[i].kind).profile;
-      ps.tasks_per_node = static_cast<double>(delta[i]) / cluster_.num_nodes;
-      context_slot[i] = context.running.size();
-      context.running.push_back(ps);
+      ps.stage = ws.profile[ws.running[i]];
+      ps.tasks_per_node = static_cast<double>(ws.delta[i]) / cluster_.num_nodes;
+      ws.context_slot[i] = ws.context.running.size();
+      ws.context.running.push_back(ps);
     }
-    std::vector<NormalParams> dists(running.size());
-    std::vector<std::optional<TaskAttribution>> attributions(
-        options_.attribute_bottlenecks ? running.size() : 0);
-    for (size_t i = 0; i < running.size(); ++i) {
-      if (context_slot[i] == SIZE_MAX) continue;
-      context.query = context_slot[i];
+    ws.dists.assign(num_running, NormalParams{});
+    if (options_.attribute_bottlenecks) {
+      ws.attributions.assign(num_running, std::nullopt);
+    } else {
+      ws.attributions.clear();
+    }
+    for (size_t i = 0; i < num_running; ++i) {
+      if (ws.context_slot[i] == SIZE_MAX) continue;
+      ws.context.query = ws.context_slot[i];
       const double query_start = metrics_on ? obs::MonotonicUs() : 0.0;
-      dists[i] = source.TaskTimeDist(context);
+      ws.dists[i] = source.TaskTimeDist(ws.context);
       if (!options_.skew_aware) {
         // Point estimate drives the wave model when skew-unaware.
-        dists[i].mean = source.TaskTime(context).seconds();
-        dists[i].stddev = 0.0;
+        ws.dists[i].mean = source.TaskTime(ws.context).seconds();
+        ws.dists[i].stddev = 0.0;
       }
       if (metrics_on) {
         Metrics().task_time_query_us.Record(obs::MonotonicUs() - query_start);
       }
       if (options_.attribute_bottlenecks) {
-        attributions[i] = source.Attribution(context);
+        ws.attributions[i] = source.Attribution(ws.context);
       }
       if (options_.node_speed_cv > 0) {
         // A task's duration scales with 1/speed of its host. For log-normal
@@ -332,34 +535,33 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
         // so the mean inflates and node variance joins the tail dispersion.
         const double cv = options_.node_speed_cv;
         const double slowdown = 1.0 + cv * cv;
-        const double node_sd = dists[i].mean * slowdown * cv;
-        dists[i].mean *= slowdown;
-        dists[i].stddev =
-            std::sqrt(dists[i].stddev * dists[i].stddev * slowdown * slowdown +
-                      node_sd * node_sd);
+        const double node_sd = ws.dists[i].mean * slowdown * cv;
+        ws.dists[i].mean *= slowdown;
+        ws.dists[i].stddev = std::sqrt(
+            ws.dists[i].stddev * ws.dists[i].stddev * slowdown * slowdown +
+            node_sd * node_sd);
       }
       // A NaN task time would silently corrupt the arg-min below (NaN fails
       // every comparison); a negative one would move time backwards. Either
       // means the task-time source misbehaved on inputs the firewall let
       // through — fail loudly instead of estimating garbage.
-      if (std::isnan(dists[i].mean) || dists[i].mean < 0) {
+      if (std::isnan(ws.dists[i].mean) || ws.dists[i].mean < 0) {
         return Status::InvalidArgument(
             flow.name() + ": task-time source returned bad task time " +
-            std::to_string(dists[i].mean) + " for stage " +
-            stage_of(running[i].job, running[i].kind).profile->name);
+            std::to_string(ws.dists[i].mean) + " for stage " +
+            ws.profile[ws.running[i]]->name);
       }
       // Stage start is when it first receives containers.
-      StageEst& st = stage_of(running[i].job, running[i].kind);
-      if (st.start_time < 0) st.start_time = now;
+      if (ws.start_time[ws.running[i]] < 0) ws.start_time[ws.running[i]] = now;
     }
 
     // (4) Earliest stage completion. The arg-min stage ends the state and
     // is therefore the state's critical-path segment.
     double dt = kInf;
     int critical = -1;
-    for (size_t i = 0; i < running.size(); ++i) {
-      StageEst& st = stage_of(running[i].job, running[i].kind);
-      const double rest = RestTime(st, delta[i], dists[i], options_);
+    for (size_t i = 0; i < num_running; ++i) {
+      const double rest =
+          ws.RestTime(ws.running[i], ws.delta[i], ws.dists[i], options_);
       if (rest < dt) {
         dt = rest;
         critical = static_cast<int>(i);
@@ -370,54 +572,65 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
     }
     dt = std::max(dt, 0.0);
 
-    // Record the state.
+    // Record the state into the flat SoA output.
     StateEstimate state;
     state.index = state_index++;
     state.start = now;
     state.duration = dt;
     state.critical = critical;
-    for (size_t i = 0; i < running.size(); ++i) {
+    state.running_begin = static_cast<int>(estimate.running_pool.size());
+    state.running_count = static_cast<int>(num_running);
+    for (size_t i = 0; i < num_running; ++i) {
       RunningStageEstimate rse;
-      rse.job = running[i].job;
-      rse.kind = running[i].kind;
-      rse.parallelism = delta[i];
-      rse.task_time_s = dists[i].mean;
-      if (options_.attribute_bottlenecks && attributions[i].has_value()) {
+      rse.job = ws.running[i] >> 1;
+      rse.kind = (ws.running[i] & 1) ? StageKind::kReduce : StageKind::kMap;
+      rse.parallelism = ws.delta[i];
+      rse.task_time_s = ws.dists[i].mean;
+      if (options_.attribute_bottlenecks && ws.attributions[i].has_value()) {
         rse.has_attribution = true;
-        rse.bottleneck = attributions[i]->bottleneck;
+        rse.bottleneck = ws.attributions[i]->bottleneck;
         for (Resource r : kAllResources) {
-          rse.utilization[r] = attributions[i]->UtilizationShare(r);
+          rse.utilization[r] = ws.attributions[i]->UtilizationShare(r);
         }
       }
-      state.running.push_back(rse);
+      estimate.running_pool.push_back(rse);
     }
-    estimate.states.push_back(std::move(state));
+    estimate.states.push_back(state);
     Metrics().states.Add(1);
 
     // (5) Advance everyone and transition.
     now += dt;
-    for (size_t i = 0; i < running.size(); ++i) {
-      StageEst& st = stage_of(running[i].job, running[i].kind);
-      StepStage(st, delta[i], dists[i], options_, dt);
+    for (size_t i = 0; i < num_running; ++i) {
+      const int slot = ws.running[i];
+      StepStage(ws.not_started[slot], ws.waves[slot], ws.delta[i], ws.dists[i],
+                options_, dt);
     }
-    for (size_t i = 0; i < running.size(); ++i) {
-      StageEst& st = stage_of(running[i].job, running[i].kind);
-      if (st.complete || st.TasksOutstanding() > kEps) continue;
-      st.complete = true;
-      st.end_time = now;
-      estimate.stages.push_back(
-          {running[i].job, running[i].kind, st.start_time, st.end_time});
-      if (running[i].kind == StageKind::kMap && jobs[running[i].job].has_reduce) {
-        jobs[running[i].job].reduce.ready = true;
+    bool job_completed = false;
+    for (size_t i = 0; i < num_running; ++i) {
+      const int slot = ws.running[i];
+      if (ws.complete[slot] || ws.TasksOutstanding(slot) > kEps) continue;
+      ws.complete[slot] = 1;
+      ws.end_time[slot] = now;
+      const JobId job = slot >> 1;
+      const StageKind kind = (slot & 1) ? StageKind::kReduce : StageKind::kMap;
+      estimate.stages.push_back({job, kind, ws.start_time[slot], ws.end_time[slot]});
+      if (kind == StageKind::kMap && ws.profile[2 * job + 1] != nullptr) {
+        ws.ready[2 * job + 1] = 1;
       } else {
-        jobs[running[i].job].done = true;
+        ws.done[job] = 1;
+        job_completed = true;
         --unfinished;
-        for (JobId child : flow.children(running[i].job)) {
-          if (--jobs[child].unfinished_parents == 0) {
-            jobs[child].map.ready = true;
+        for (JobId child : flow.children(job)) {
+          if (--ws.unfinished_parents[child] == 0) {
+            ws.ready[2 * child] = 1;
           }
         }
       }
+    }
+    // A job-completion boundary: checkpoint for later candidates sharing
+    // this prefix (skipped cheaply when the boundary is already stored).
+    if (store != nullptr && job_completed) {
+      MaybeStoreCheckpoint(*store, flow, ws, estimate, now, state_index);
     }
   }
 
@@ -429,6 +642,15 @@ Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
       Metrics().states_per_sec.Set(
           static_cast<double>(estimate.states.size()) / elapsed_s);
     }
+  }
+  return Status::Ok();
+}
+
+Result<DagEstimate> StateBasedEstimator::Estimate(const DagWorkflow& flow,
+                                                  const TaskTimeSource& source) const {
+  DagEstimate estimate;
+  if (Status status = EstimateInto(flow, source, &estimate); !status.ok()) {
+    return status;
   }
   return estimate;
 }

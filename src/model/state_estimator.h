@@ -1,7 +1,9 @@
 #ifndef DAGPERF_MODEL_STATE_ESTIMATOR_H_
 #define DAGPERF_MODEL_STATE_ESTIMATOR_H_
 
+#include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_spec.h"
@@ -12,6 +14,8 @@
 #include "scheduler/drf.h"
 
 namespace dagperf {
+
+class PrefixCheckpointStore;  // model/incremental.h
 
 /// Options of the state-based workflow estimator.
 struct EstimatorOptions {
@@ -53,6 +57,30 @@ struct EstimatorOptions {
   /// running stage once per state, which would roughly double BOE cost on
   /// the sweep hot path. Explain reports (model/explain.h) turn it on.
   bool attribute_bottlenecks = false;
+
+  /// Prefix-resume checkpointing (model/incremental.h). When set, Estimate()
+  /// resumes from the deepest stored checkpoint whose structural prefix
+  /// matches the flow, and records new checkpoints at job-completion
+  /// boundaries. Resumed estimates are bit-identical to full replay. The
+  /// caller owns the store, which must outlive every Estimate() call.
+  PrefixCheckpointStore* checkpoints = nullptr;
+
+  /// Scope prefix for checkpoint keys, mirroring TaskTimeMemo scoping: the
+  /// TaskTimeSource identity is not captured by the checkpoint key, so set a
+  /// distinct scope per source (hardware model, fixed overheads, profile
+  /// data) when several share one store. The service uses its per-cluster
+  /// cache scope for both the memo and the checkpoint store.
+  std::string checkpoint_scope;
+
+  /// Advanced: the precomputed global checkpoint fingerprint — exactly the
+  /// bytes AppendGlobalFingerprint would produce for (checkpoint_scope, the
+  /// cluster, the scheduler, these options). The sweep engine computes it
+  /// once per candidate for evaluation ordering and passes it here so the
+  /// estimator skips re-serialising it on every call. (Per-job fingerprints
+  /// are precomputed on the immutable DagWorkflow itself.) A mismatched
+  /// fingerprint breaks resume correctness; leave null to have the
+  /// estimator compute its own. Must outlive the call.
+  const std::string* checkpoint_global_fp = nullptr;
 };
 
 /// One running stage inside an estimated workflow state.
@@ -75,16 +103,43 @@ struct RunningStageEstimate {
 };
 
 /// One estimated workflow state (paper Fig. 5 / Algorithm 1 iteration).
+/// Trivially copyable: the running-stage records live in the flat
+/// DagEstimate::running_pool (SoA layout), so copying a state vector — the
+/// core of a checkpoint resume — is a memcpy.
 struct StateEstimate {
   int index = 0;
   double start = 0.0;
   double duration = 0.0;
-  std::vector<RunningStageEstimate> running;
-  /// Index into `running` of the stage whose completion ends this state —
-  /// the stage Algorithm 1's arg-min advanced time to. Concatenating each
-  /// state's critical stage yields the critical path through the timeline
-  /// (segments sum exactly to the makespan; see model/explain.h).
+  /// This state's running stages are DagEstimate::running_pool
+  /// [running_begin, running_begin + running_count); read them through
+  /// DagEstimate::running().
+  int running_begin = 0;
+  int running_count = 0;
+  /// Index (within this state's running span) of the stage whose completion
+  /// ends this state — the stage Algorithm 1's arg-min advanced time to.
+  /// Concatenating each state's critical stage yields the critical path
+  /// through the timeline (segments sum exactly to the makespan; see
+  /// model/explain.h).
   int critical = -1;
+};
+
+/// Borrowed view of one state's running stages inside a DagEstimate.
+class RunningSpan {
+ public:
+  RunningSpan(const RunningStageEstimate* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const RunningStageEstimate* begin() const { return data_; }
+  const RunningStageEstimate* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const RunningStageEstimate& operator[](std::size_t i) const {
+    return data_[i];
+  }
+
+ private:
+  const RunningStageEstimate* data_;
+  std::size_t size_;
 };
 
 /// Estimated wall-clock span of one job stage.
@@ -99,7 +154,18 @@ struct StageSpanEstimate {
 struct DagEstimate {
   Duration makespan;
   std::vector<StateEstimate> states;
+  /// Flat pool of per-state running-stage records; index it through
+  /// running(state) rather than directly.
+  std::vector<RunningStageEstimate> running_pool;
   std::vector<StageSpanEstimate> stages;
+
+  /// The running stages of `state`, which must belong to this estimate. The
+  /// view borrows from running_pool: it is invalidated by mutating the
+  /// estimate.
+  RunningSpan running(const StateEstimate& state) const {
+    return RunningSpan(running_pool.data() + state.running_begin,
+                       static_cast<std::size_t>(state.running_count));
+  }
 
   Result<StageSpanEstimate> FindStage(JobId job, StageKind kind) const;
 };
@@ -131,6 +197,14 @@ class StateBasedEstimator {
   Result<DagEstimate> Estimate(const DagWorkflow& flow,
                                const TaskTimeSource& source) const;
 
+  /// Allocation-free variant for hot loops: estimates into `*out`, reusing
+  /// its vector capacity. After a priming call at the same workflow size, a
+  /// warm estimate performs no heap allocation (the per-estimate state lives
+  /// in a thread-local arena; see docs/performance.md). `*out` is cleared
+  /// and rewritten; on error its contents are unspecified.
+  Status EstimateInto(const DagWorkflow& flow, const TaskTimeSource& source,
+                      DagEstimate* out) const;
+
   /// Pre-Result transition shim: `*out` is written only on success. Will be
   /// removed next release — call the Result<DagEstimate> overload.
   [[deprecated("use Estimate(flow, source) returning Result<DagEstimate>")]]
@@ -139,6 +213,7 @@ class StateBasedEstimator {
 
  private:
   ClusterSpec cluster_;
+  SchedulerConfig scheduler_;
   /// Engaged iff init_ is Ok (DrfAllocator requires a valid cluster).
   std::optional<DrfAllocator> allocator_;
   EstimatorOptions options_;

@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "common/status.h"
 #include "dag/dag_workflow.h"
+#include "model/incremental.h"
 #include "model/state_estimator.h"
 #include "model/task_time_cache.h"
 #include "model/task_time_source.h"
@@ -59,6 +60,20 @@ struct SweepOptions {
   /// (different node hardware, sources, or fixed overheads).
   std::string cache_scope;
 
+  /// Incremental re-estimation (model/incremental.h): candidates sharing a
+  /// workflow prefix resume from checkpointed estimator state instead of
+  /// replaying it. Results stay bit-identical — resume restores the exact
+  /// recorded state — so this only trades memory for throughput.
+  bool incremental = true;
+
+  /// External checkpoint store reused across EstimateBatch calls (the
+  /// service wires its cross-request store here; the caller owns it). When
+  /// null and `share_cache` is on, an incremental batch uses a batch-local
+  /// store so candidates still share prefixes within the batch. Entries are
+  /// scoped by `cache_scope` — reuse the store across differing sources only
+  /// with distinct scopes, exactly like the task-time memo.
+  PrefixCheckpointStore* checkpoints = nullptr;
+
   /// Pool override; when set, `threads` is ignored.
   ThreadPool* pool = nullptr;
 
@@ -96,6 +111,13 @@ struct SweepStats {
   std::uint64_t cache_misses = 0;
   /// hits / (hits + misses); 0 when the cache was off or unused.
   double cache_hit_rate = 0.0;
+  /// Incremental re-estimation over this batch: candidates that resumed
+  /// from a shared-prefix checkpoint / started from scratch, the total
+  /// workflow states skipped by resuming, and checkpoints newly recorded.
+  std::uint64_t prefix_hits = 0;
+  std::uint64_t prefix_misses = 0;
+  std::uint64_t resumed_states = 0;
+  std::uint64_t checkpoints_stored = 0;
   /// Index of the smallest-makespan successful estimate (first on ties),
   /// -1 when every candidate failed.
   int best_index = -1;

@@ -77,12 +77,20 @@ void AppendStage(std::string& out, const ParallelStage& ps) {
 std::string TaskTimeMemo::Fingerprint(const std::string& scope,
                                       const EstimationContext& context) {
   std::string key;
+  FingerprintTo(scope, context, &key);
+  return key;
+}
+
+void TaskTimeMemo::FingerprintTo(const std::string& scope,
+                                 const EstimationContext& context,
+                                 std::string* out) {
+  std::string& key = *out;
+  key.clear();
   key.reserve(scope.size() + 1 + context.running.size() * 96);
   key += scope;
   key += '#';
   for (const ParallelStage& ps : context.running) AppendStage(key, ps);
   AppendBits(key, static_cast<double>(context.query));
-  return key;
 }
 
 TaskTimeMemo::Stats TaskTimeMemo::stats() const {
@@ -108,7 +116,8 @@ MemoizedTaskTimeSource::MemoizedTaskTimeSource(const TaskTimeSource& base,
     : base_(base), memo_(memo), scope_(std::move(scope)) {}
 
 Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) const {
-  const std::string key = TaskTimeMemo::Fingerprint(scope_, context);
+  static thread_local std::string key;
+  TaskTimeMemo::FingerprintTo(scope_, context, &key);
   {
     std::shared_lock<std::shared_mutex> lock(memo_->mutex_);
     auto it = memo_->entries_.find(key);
@@ -140,7 +149,8 @@ Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) cons
 
 NormalParams MemoizedTaskTimeSource::TaskTimeDist(
     const EstimationContext& context) const {
-  const std::string key = TaskTimeMemo::Fingerprint(scope_, context);
+  static thread_local std::string key;
+  TaskTimeMemo::FingerprintTo(scope_, context, &key);
   {
     std::shared_lock<std::shared_mutex> lock(memo_->mutex_);
     auto it = memo_->entries_.find(key);

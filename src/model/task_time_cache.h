@@ -53,6 +53,11 @@ class TaskTimeMemo {
   static std::string Fingerprint(const std::string& scope,
                                  const EstimationContext& context);
 
+  /// Allocation-free variant for hot loops: rebuilds the key into `*out`
+  /// (cleared first, capacity reused).
+  static void FingerprintTo(const std::string& scope,
+                            const EstimationContext& context, std::string* out);
+
  private:
   friend class MemoizedTaskTimeSource;
 

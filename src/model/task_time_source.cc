@@ -21,8 +21,12 @@ BoeTaskTimeSource::BoeTaskTimeSource(const BoeModel& model, Duration fixed_overh
 
 Duration BoeTaskTimeSource::TaskTime(const EstimationContext& context) const {
   DAGPERF_CHECK(context.query < context.running.size());
-  const std::vector<TaskEstimate> estimates = model_.EstimateParallel(context.running);
-  return estimates[context.query].duration + fixed_overhead_;
+  // Duration-only fast path: bit-identical to EstimateParallel's durations
+  // without materialising the per-operation breakdown (Attribution still
+  // pays for the full estimate, but only runs when attribution is on).
+  static thread_local std::vector<double> durations;
+  model_.EstimateDurations(context.running, &durations);
+  return Duration(durations[context.query]) + fixed_overhead_;
 }
 
 std::optional<TaskAttribution> BoeTaskTimeSource::Attribution(

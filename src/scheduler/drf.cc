@@ -34,9 +34,17 @@ int DrfAllocator::ClusterSlots(const SlotDemand& demand) const {
 }
 
 std::vector<int> DrfAllocator::Allocate(const std::vector<StageDemand>& stages) const {
+  std::vector<int> granted;
+  Allocate(stages, &granted);
+  return granted;
+}
+
+void DrfAllocator::Allocate(const std::vector<StageDemand>& stages,
+                            std::vector<int>* out) const {
   const size_t n = stages.size();
-  std::vector<int> granted(n, 0);
-  if (n == 0) return granted;
+  std::vector<int>& granted = *out;
+  granted.assign(n, 0);
+  if (n == 0) return;
 
   double used_vcores = 0;
   double used_memory = 0;
@@ -72,7 +80,6 @@ std::vector<int> DrfAllocator::Allocate(const std::vector<StageDemand>& stages) 
     used_memory += stages[best].slot.memory.value();
     used_tasks += 1;
   }
-  return granted;
 }
 
 }  // namespace dagperf

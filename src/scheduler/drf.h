@@ -45,6 +45,11 @@ class DrfAllocator {
   /// per input stage; entries are in [0, remaining_tasks].
   std::vector<int> Allocate(const std::vector<StageDemand>& stages) const;
 
+  /// Allocation-free variant for hot loops: writes the grants into
+  /// `*granted` (resized to stages.size(), capacity reused).
+  void Allocate(const std::vector<StageDemand>& stages,
+                std::vector<int>* granted) const;
+
   /// Max concurrent tasks of a single uniform stage (the cluster-wide slot
   /// count for that container shape).
   int ClusterSlots(const SlotDemand& demand) const;

@@ -119,6 +119,17 @@ Json SweepToJson(const ServiceSweepResult& served) {
   sweep_stats.Set("cancelled", Json::MakeNumber(stats.cancelled));
   sweep_stats.Set("deadline_exceeded", Json::MakeNumber(stats.deadline_exceeded));
   sweep_stats.Set("cache_hit_rate", Json::MakeNumber(stats.cache_hit_rate));
+  Json incremental = Json::MakeObject();
+  incremental.Set("prefix_hits",
+                  Json::MakeNumber(static_cast<double>(stats.prefix_hits)));
+  incremental.Set("prefix_misses",
+                  Json::MakeNumber(static_cast<double>(stats.prefix_misses)));
+  incremental.Set("resumed_states",
+                  Json::MakeNumber(static_cast<double>(stats.resumed_states)));
+  incremental.Set(
+      "checkpoints_stored",
+      Json::MakeNumber(static_cast<double>(stats.checkpoints_stored)));
+  sweep_stats.Set("incremental", std::move(incremental));
   result.Set("stats", std::move(sweep_stats));
   return result;
 }
@@ -141,6 +152,22 @@ Json StatsToJson(const ServiceStats& stats) {
   cache.Set("entries", Json::MakeNumber(static_cast<double>(stats.cache.entries)));
   cache.Set("hit_rate", Json::MakeNumber(stats.cache.hit_rate()));
   result.Set("cache", std::move(cache));
+  Json incremental = Json::MakeObject();
+  incremental.Set("hits",
+                  Json::MakeNumber(static_cast<double>(stats.incremental.hits)));
+  incremental.Set(
+      "misses", Json::MakeNumber(static_cast<double>(stats.incremental.misses)));
+  incremental.Set(
+      "inserts", Json::MakeNumber(static_cast<double>(stats.incremental.inserts)));
+  incremental.Set(
+      "resumed_states",
+      Json::MakeNumber(static_cast<double>(stats.incremental.resumed_states)));
+  incremental.Set(
+      "entries", Json::MakeNumber(static_cast<double>(stats.incremental.entries)));
+  incremental.Set(
+      "bytes", Json::MakeNumber(static_cast<double>(stats.incremental.bytes)));
+  incremental.Set("hit_rate", Json::MakeNumber(stats.incremental.hit_rate()));
+  result.Set("incremental", std::move(incremental));
   return result;
 }
 

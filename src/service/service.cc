@@ -288,7 +288,12 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
         request.explain || estimator_options.attribute_bottlenecks;
 
     // The warm path: every task-time query goes through the service-lifetime
-    // memo, scoped by the cluster entry so hardware never aliases.
+    // memo, scoped by the cluster entry so hardware never aliases, and the
+    // estimator resumes recurring workflows from the service-lifetime
+    // checkpoint store (the cluster bits are part of the checkpoint key, so
+    // re-registration can never resume from stale state).
+    estimator_options.checkpoints = &checkpoints_;
+    estimator_options.checkpoint_scope = entry.scope;
     const MemoizedTaskTimeSource cached(*entry.source, &memo_, entry.scope);
     const StateBasedEstimator estimator(spec, options_.scheduler,
                                         estimator_options);
@@ -491,6 +496,7 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
     SweepOptions sweep_options;
     sweep_options.memo = &memo_;
     sweep_options.cache_scope = entry.scope;
+    sweep_options.checkpoints = &checkpoints_;
     // Candidates fan out across the service pool; the worker running this
     // closure participates (ParallelFor is nest-safe), so a sweep uses idle
     // capacity without a second pool.
@@ -568,6 +574,7 @@ ServiceStats EstimationService::Stats() const {
     stats.clusters = static_cast<int>(clusters_.size());
   }
   stats.cache = memo_.stats();
+  stats.incremental = checkpoints_.stats();
   return stats;
 }
 

@@ -152,6 +152,8 @@ struct ServiceStats {
   int workflows = 0;
   int clusters = 0;
   TaskTimeMemo::Stats cache;
+  /// The cross-request prefix-checkpoint store (incremental re-estimation).
+  PrefixCheckpointStore::Stats incremental;
 };
 
 class EstimationService {
@@ -231,6 +233,12 @@ class EstimationService {
   /// The cross-request memo (exposed for benchmarks/tests).
   TaskTimeMemo& memo() { return memo_; }
 
+  /// The cross-request prefix-checkpoint store (exposed for
+  /// benchmarks/tests). Entries are scoped like the memo — per cluster
+  /// entry — and keyed on the cluster bits themselves, so re-registering a
+  /// cluster under the same name can never resume from stale state.
+  PrefixCheckpointStore& checkpoints() { return checkpoints_; }
+
  private:
   struct ClusterEntry;
 
@@ -261,6 +269,7 @@ class EstimationService {
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   TaskTimeMemo memo_;
+  PrefixCheckpointStore checkpoints_;
 
   /// Guards registries (shared: request resolution; unique: registration).
   mutable std::shared_mutex registry_mutex_;

@@ -59,10 +59,11 @@ TEST(ExplainTest, BottleneckMatchesBoeArgMaxPerState) {
   for (const StateEstimate& state : report.estimate.states) {
     // Rebuild the estimator's EstimationContext: stages granted parallelism,
     // at delta / num_nodes tasks per node.
+    const RunningSpan span = report.estimate.running(state);
     std::vector<ParallelStage> running;
-    std::vector<size_t> slot_of(state.running.size(), SIZE_MAX);
-    for (size_t i = 0; i < state.running.size(); ++i) {
-      const RunningStageEstimate& rs = state.running[i];
+    std::vector<size_t> slot_of(span.size(), SIZE_MAX);
+    for (size_t i = 0; i < span.size(); ++i) {
+      const RunningStageEstimate& rs = span[i];
       if (rs.parallelism <= 0) continue;
       const JobProfile& job = flow.job(rs.job);
       ParallelStage ps;
@@ -73,8 +74,8 @@ TEST(ExplainTest, BottleneckMatchesBoeArgMaxPerState) {
       running.push_back(ps);
     }
     const std::vector<TaskEstimate> golden = boe.EstimateParallel(running);
-    for (size_t i = 0; i < state.running.size(); ++i) {
-      const RunningStageEstimate& rs = state.running[i];
+    for (size_t i = 0; i < span.size(); ++i) {
+      const RunningStageEstimate& rs = span[i];
       if (slot_of[i] == SIZE_MAX) continue;
       ASSERT_TRUE(rs.has_attribution);
       EXPECT_EQ(rs.bottleneck, golden[slot_of[i]].bottleneck)
@@ -126,7 +127,8 @@ TEST(ExplainTest, EveryStateNamesItsCriticalStage) {
   const ExplainReport report = MustExplain(flow, cluster, source);
   for (const StateEstimate& state : report.estimate.states) {
     ASSERT_GE(state.critical, 0);
-    ASSERT_LT(state.critical, static_cast<int>(state.running.size()));
+    ASSERT_LT(state.critical,
+              static_cast<int>(report.estimate.running(state).size()));
   }
 }
 
@@ -138,7 +140,7 @@ TEST(ExplainTest, DefaultEstimateSkipsAttribution) {
   const StateBasedEstimator estimator(cluster, SchedulerConfig{});
   const DagEstimate estimate = estimator.Estimate(flow, source).value();
   for (const StateEstimate& state : estimate.states) {
-    for (const RunningStageEstimate& rs : state.running) {
+    for (const RunningStageEstimate& rs : estimate.running(state)) {
       EXPECT_FALSE(rs.has_attribution);
     }
     // The critical index is tracked regardless of attribution.

@@ -250,13 +250,27 @@ TEST(ServiceTest, MemoIsReusedAcrossRequests) {
   EXPECT_EQ(after_cold.hits, 0u);
   EXPECT_GT(after_cold.misses, 0u);
 
-  // The identical request again: every task-time query must hit the
-  // cross-request memo, and the answer must be bit-identical.
+  // The identical request again resumes from the cross-request checkpoint
+  // store — the whole replay is skipped, so the memo is never even queried —
+  // and the answer must be bit-identical.
   ServiceRequest second;
   second.workflow = "q6";
   Result<WorkflowEstimate> warm = service.Submit(std::move(second)).get();
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm.value().estimate.makespan.seconds(),
+            cold.value().estimate.makespan.seconds());
+  const PrefixCheckpointStore::Stats incremental = service.Stats().incremental;
+  EXPECT_GT(incremental.hits, 0u);
+  EXPECT_GT(incremental.resumed_states, 0u);
+
+  // With the checkpoints gone the request replays in full, and every
+  // task-time query must hit the cross-request memo.
+  service.checkpoints().Clear();
+  ServiceRequest third;
+  third.workflow = "q6";
+  Result<WorkflowEstimate> replay = service.Submit(std::move(third)).get();
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().estimate.makespan.seconds(),
             cold.value().estimate.makespan.seconds());
 
   const TaskTimeMemo::Stats after_warm = service.Stats().cache;

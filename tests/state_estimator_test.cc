@@ -56,8 +56,8 @@ TEST(StateEstimatorTest, SingleStageWaveArithmetic) {
   const DagEstimate est = estimator.Estimate(flow, ConstantSource(10.0)).value();
   EXPECT_NEAR(est.makespan.seconds(), 20.0, 1e-9);
   ASSERT_EQ(est.states.size(), 1u);
-  EXPECT_EQ(est.states[0].running.size(), 1u);
-  EXPECT_EQ(est.states[0].running[0].parallelism, 8);
+  EXPECT_EQ(est.running(est.states[0]).size(), 1u);
+  EXPECT_EQ(est.running(est.states[0])[0].parallelism, 8);
 }
 
 TEST(StateEstimatorTest, PartialLastWaveCostsFullWave) {
@@ -93,8 +93,8 @@ TEST(StateEstimatorTest, MapThenReduceStates) {
   const DagEstimate est = estimator.Estimate(flow, ConstantSource(5.0)).value();
   // Two states: map running, then reduce running.
   ASSERT_EQ(est.states.size(), 2u);
-  EXPECT_EQ(est.states[0].running[0].kind, StageKind::kMap);
-  EXPECT_EQ(est.states[1].running[0].kind, StageKind::kReduce);
+  EXPECT_EQ(est.running(est.states[0])[0].kind, StageKind::kMap);
+  EXPECT_EQ(est.running(est.states[1])[0].kind, StageKind::kReduce);
   // Stage spans recorded and contiguous.
   const StageSpanEstimate map = est.FindStage(0, StageKind::kMap).value();
   const StageSpanEstimate reduce = est.FindStage(0, StageKind::kReduce).value();
@@ -203,9 +203,9 @@ TEST(StateEstimatorTest, ParallelismSplitsAcrossJobs) {
   const DagEstimate est = estimator.Estimate(flow, ConstantSource(10.0)).value();
   // First state: both maps running, each with half the 4*12=48 slots.
   ASSERT_GE(est.states.size(), 1u);
-  ASSERT_EQ(est.states[0].running.size(), 2u);
-  EXPECT_EQ(est.states[0].running[0].parallelism, 24);
-  EXPECT_EQ(est.states[0].running[1].parallelism, 24);
+  ASSERT_EQ(est.running(est.states[0]).size(), 2u);
+  EXPECT_EQ(est.running(est.states[0])[0].parallelism, 24);
+  EXPECT_EQ(est.running(est.states[0])[1].parallelism, 24);
 }
 
 }  // namespace

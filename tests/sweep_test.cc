@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <random>
 #include <vector>
 
 #include "model/task_time_cache.h"
@@ -38,12 +41,14 @@ void ExpectIdentical(const DagEstimate& a, const DagEstimate& b) {
     EXPECT_EQ(a.states[s].index, b.states[s].index);
     EXPECT_EQ(a.states[s].start, b.states[s].start);
     EXPECT_EQ(a.states[s].duration, b.states[s].duration);
-    ASSERT_EQ(a.states[s].running.size(), b.states[s].running.size());
-    for (size_t r = 0; r < a.states[s].running.size(); ++r) {
-      EXPECT_EQ(a.states[s].running[r].job, b.states[s].running[r].job);
-      EXPECT_EQ(a.states[s].running[r].kind, b.states[s].running[r].kind);
-      EXPECT_EQ(a.states[s].running[r].parallelism, b.states[s].running[r].parallelism);
-      EXPECT_EQ(a.states[s].running[r].task_time_s, b.states[s].running[r].task_time_s);
+    const RunningSpan ra = a.running(a.states[s]);
+    const RunningSpan rb = b.running(b.states[s]);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t r = 0; r < ra.size(); ++r) {
+      EXPECT_EQ(ra[r].job, rb[r].job);
+      EXPECT_EQ(ra[r].kind, rb[r].kind);
+      EXPECT_EQ(ra[r].parallelism, rb[r].parallelism);
+      EXPECT_EQ(ra[r].task_time_s, rb[r].task_time_s);
     }
   }
   ASSERT_EQ(a.stages.size(), b.stages.size());
@@ -120,8 +125,102 @@ TEST(SweepDeterminismTest, RepeatedBatchesAreStable) {
     ExpectIdentical(*a.estimates[i], *b.estimates[i]);
     ExpectIdentical(*a.estimates[i], *a.estimates[0]);
   }
-  // Identical candidates share everything after the first: high hit rate.
-  EXPECT_GT(a.stats.cache_hit_rate, 0.5);
+  // Identical candidates share everything after the first: each one resumes
+  // from the first candidate's full-depth checkpoint.
+  EXPECT_EQ(a.stats.prefix_hits, requests.size() - 1);
+  EXPECT_GT(a.stats.resumed_states, 0u);
+
+  // With incremental resume off, the sharing falls back to the task-time
+  // memo: high hit rate, still bit-identical.
+  options.incremental = false;
+  const SweepResult c = EstimateBatch(requests, kSched, source, options);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ExpectIdentical(*c.estimates[i], *a.estimates[i]);
+  }
+  EXPECT_GT(c.stats.cache_hit_rate, 0.5);
+}
+
+TEST(SweepDeterminismTest, IncrementalMatchesFullReplayOnGoldenSuite) {
+  // The incremental engine's contract over the whole golden workload set:
+  // resuming from prefix checkpoints must be indistinguishable, bit for bit,
+  // from replaying every candidate in full.
+  const std::vector<DagWorkflow> flows = GoldenSuite();
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+
+  std::vector<EstimateRequest> requests;
+  for (const DagWorkflow& flow : flows) requests.push_back({&flow, kCluster, ""});
+  // Duplicate the suite so every flow has a full-depth checkpoint to hit.
+  for (const DagWorkflow& flow : flows) requests.push_back({&flow, kCluster, ""});
+
+  SweepOptions incremental;
+  incremental.threads = 4;
+  SweepOptions replay;
+  replay.threads = 4;
+  replay.incremental = false;
+  const SweepResult fast = EstimateBatch(requests, kSched, source, incremental);
+  const SweepResult full = EstimateBatch(requests, kSched, source, replay);
+  ASSERT_EQ(fast.estimates.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(fast.estimates[i].ok()) << fast.estimates[i].status().ToString();
+    ExpectIdentical(*fast.estimates[i], *full.estimates[i]);
+  }
+  // The duplicated half actually exercised resume.
+  EXPECT_GE(fast.stats.prefix_hits, flows.size());
+  EXPECT_GT(fast.stats.resumed_states, 0u);
+  EXPECT_EQ(full.stats.prefix_hits, 0u);
+}
+
+/// A three-job chain whose last job carries the swept knob — the dense
+/// tuner-neighborhood shape the incremental engine is built for.
+DagWorkflow ChainWithReducers(int reducers) {
+  DagBuilder builder("chain-r" + std::to_string(reducers));
+  const JobId a = builder.AddJob(WordCountSpec(Bytes::FromGB(20)));
+  const JobId b = builder.AddJobAfter(a, TsSpec(Bytes::FromGB(10)));
+  JobSpec last = TsSpec(Bytes::FromGB(5));
+  last.num_reduce_tasks = reducers;
+  builder.AddJobAfter(b, last);
+  return std::move(builder).Build().value();
+}
+
+TEST(SweepDeterminismTest, RandomizedKnobOrderingsStayBitIdentical) {
+  // Checkpoint resume depth depends on what happens to be in the store when
+  // a candidate runs, which depends on evaluation order — but the *results*
+  // must not. Sweep the same neighborhood under shuffled request orders and
+  // demand every estimate equals its serial uncached golden.
+  std::vector<DagWorkflow> flows;
+  std::vector<int> knobs = {4, 8, 12, 16, 24, 32, 48, 64};
+  for (int reducers : knobs) flows.push_back(ChainWithReducers(reducers));
+
+  const BoeModel boe(kCluster.node);
+  const BoeTaskTimeSource source(boe, Duration::Seconds(1));
+  const StateBasedEstimator estimator(kCluster, kSched);
+  std::vector<DagEstimate> golden;
+  for (const DagWorkflow& flow : flows) {
+    golden.push_back(estimator.Estimate(flow, source).value());
+  }
+
+  std::vector<size_t> perm(flows.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (unsigned seed = 0; seed < 4; ++seed) {
+    if (seed > 0) {
+      std::mt19937 rng(seed);
+      std::shuffle(perm.begin(), perm.end(), rng);
+    }
+    std::vector<EstimateRequest> requests;
+    for (size_t i : perm) requests.push_back({&flows[i], kCluster, ""});
+    SweepOptions options;
+    options.threads = 4;
+    const SweepResult batch = EstimateBatch(requests, kSched, source, options);
+    for (size_t slot = 0; slot < perm.size(); ++slot) {
+      ASSERT_TRUE(batch.estimates[slot].ok())
+          << batch.estimates[slot].status().ToString();
+      ExpectIdentical(*batch.estimates[slot], golden[perm[slot]]);
+    }
+    // The shared two-job prefix was found no matter the order.
+    EXPECT_GT(batch.stats.prefix_hits, 0u) << "seed " << seed;
+    EXPECT_GT(batch.stats.resumed_states, 0u) << "seed " << seed;
+  }
 }
 
 TEST(EstimateBatchTest, ReducerSweepSharesMapWork) {

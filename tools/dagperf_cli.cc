@@ -337,7 +337,7 @@ int CmdEstimate(const Args& args) {
   TextTable table({"state", "start (s)", "duration (s)", "running (delta)"});
   for (const auto& st : estimate->states) {
     std::string running;
-    for (const auto& r : st.running) {
+    for (const auto& r : estimate->running(st)) {
       if (!running.empty()) running += ", ";
       running += flow->job(r.job).name + "/" + StageKindName(r.kind) + "(" +
                  std::to_string(r.parallelism) + ")";
@@ -482,6 +482,11 @@ int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
               100.0 * sweep.stats.cache_hit_rate,
               static_cast<unsigned long long>(sweep.stats.cache_hits),
               static_cast<unsigned long long>(sweep.stats.cache_misses));
+  std::printf(
+      "incremental: %llu prefix hits, %llu misses, %llu states resumed\n",
+      static_cast<unsigned long long>(sweep.stats.prefix_hits),
+      static_cast<unsigned long long>(sweep.stats.prefix_misses),
+      static_cast<unsigned long long>(sweep.stats.resumed_states));
 
   const std::string json_path = args.Get("json", "");
   if (!json_path.empty()) {
@@ -507,6 +512,19 @@ int ReportSweep(const std::string& knob_name, const std::vector<int>& knobs,
     doc.Set("cache_misses",
             Json::MakeNumber(static_cast<double>(sweep.stats.cache_misses)));
     doc.Set("cache_hit_rate", Json::MakeNumber(sweep.stats.cache_hit_rate));
+    Json incremental = Json::MakeObject();
+    incremental.Set("prefix_hits",
+                    Json::MakeNumber(static_cast<double>(sweep.stats.prefix_hits)));
+    incremental.Set(
+        "prefix_misses",
+        Json::MakeNumber(static_cast<double>(sweep.stats.prefix_misses)));
+    incremental.Set(
+        "resumed_states",
+        Json::MakeNumber(static_cast<double>(sweep.stats.resumed_states)));
+    incremental.Set(
+        "checkpoints_stored",
+        Json::MakeNumber(static_cast<double>(sweep.stats.checkpoints_stored)));
+    doc.Set("incremental", std::move(incremental));
     std::ofstream out(json_path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
