@@ -6,7 +6,7 @@
 //
 // The custom main additionally measures the observability layer's cost on
 // the estimator hot path — throughput with metrics disabled vs enabled vs
-// span tracing on — and writes BENCH_obs.json. The disabled overhead is the
+// span tracing on — and writes BENCH_overhead.json. The disabled overhead is
 // number the obs layer's "off ~= free" contract is judged by (budget: <= 2%).
 
 #include <benchmark/benchmark.h>
@@ -101,7 +101,8 @@ double EstimateRate(const DagWorkflow& flow, const StateBasedEstimator& estimato
 }
 
 /// Measures estimator throughput metrics-off / metrics-on / tracing-on and
-/// writes BENCH_obs.json with the relative overheads.
+/// writes BENCH_overhead.json with the relative overheads. (BENCH_obs.json
+/// is bench_obs's request-observability artifact.)
 void WriteObsOverhead() {
   const NamedFlow nf = TableThreeFlow("WC-TS").value();
   const ClusterSpec cluster = ClusterSpec::PaperCluster();
@@ -136,11 +137,11 @@ void WriteObsOverhead() {
   doc.Set("estimates_per_s_tracing", Json::MakeNumber(rate_trace));
   doc.Set("metrics_overhead_pct", Json::MakeNumber(overhead_pct(rate_metrics)));
   doc.Set("tracing_overhead_pct", Json::MakeNumber(overhead_pct(rate_trace)));
-  std::ofstream out("BENCH_obs.json");
+  std::ofstream out("BENCH_overhead.json");
   out << doc.Dump() << "\n";
   std::printf(
       "obs overhead on %s: disabled %.0f est/s, metrics %.0f est/s (%.2f%%), "
-      "tracing %.0f est/s (%.2f%%)\nwrote BENCH_obs.json\n",
+      "tracing %.0f est/s (%.2f%%)\nwrote BENCH_overhead.json\n",
       "WC-TS", rate_off, rate_metrics, overhead_pct(rate_metrics), rate_trace,
       overhead_pct(rate_trace));
 }

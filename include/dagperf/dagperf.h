@@ -52,7 +52,9 @@
 #include "resilience/retry.h"
 #include "resilience/watchdog.h"
 
-// The estimation service: long-lived serving entry point + NDJSON protocol.
+// The estimation service: long-lived serving entry point + NDJSON protocol,
+// plus the loopback /metrics HTTP endpoint for Prometheus scrapes.
+#include "service/metrics_http.h"
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -70,8 +72,14 @@
 #include "engine/datagen.h"
 #include "engine/profiling.h"
 
-// Observability: metrics registry and trace spans.
+// Observability: metrics registry, trace spans, per-request records +
+// flight recorder, SLO sliding windows, Prometheus text rendering
+// (docs/observability.md).
 #include "obs/metrics.h"
+#include "obs/prom.h"
+#include "obs/request_record.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 #endif  // DAGPERF_DAGPERF_H_

@@ -403,6 +403,7 @@ Status StateBasedEstimator::EstimateInto(const DagWorkflow& flow,
       // the stored partial output *is* the full estimate and `now` is the
       // makespan. Copying the SoA records is the whole cost.
       store->RecordResume(static_cast<int>(resume->states.size()));
+      out->resumed_states = static_cast<int>(resume->states.size());
       out->states = resume->states;
       out->running_pool = resume->running_pool;
       out->stages = resume->stages;
@@ -432,6 +433,7 @@ Status StateBasedEstimator::EstimateInto(const DagWorkflow& flow,
 
   DagEstimate& estimate = *out;
   estimate.makespan = Duration(0);
+  estimate.resumed_states = 0;
   estimate.states.clear();
   estimate.running_pool.clear();
   estimate.stages.clear();
@@ -445,6 +447,7 @@ Status StateBasedEstimator::EstimateInto(const DagWorkflow& flow,
     RestoreCheckpoint(*resume, flow, ws, estimate, &now, &state_index,
                       &unfinished);
     store->RecordResume(static_cast<int>(resume->states.size()));
+    estimate.resumed_states = static_cast<int>(resume->states.size());
   }
 
   while (unfinished > 0) {

@@ -153,6 +153,10 @@ struct StageSpanEstimate {
 /// The estimator's output: the predicted execution plan of the workflow.
 struct DagEstimate {
   Duration makespan;
+  /// States restored from a prefix checkpoint instead of replayed (0 on a
+  /// full replay; == states.size() on a complete-result hit). Lets serving
+  /// observability classify each request's cost class without guessing.
+  int resumed_states = 0;
   std::vector<StateEstimate> states;
   /// Flat pool of per-state running-stage records; index it through
   /// running(state) rather than directly.

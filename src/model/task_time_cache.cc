@@ -124,11 +124,17 @@ Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) cons
     if (it != memo_->entries_.end() && it->second.has_time) {
       memo_->hits_.fetch_add(1, std::memory_order_relaxed);
       Metrics().hits.Add(1);
+      if (obs::internal::Enabled()) {
+        local_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
       return it->second.time;
     }
   }
   memo_->misses_.fetch_add(1, std::memory_order_relaxed);
   Metrics().misses.Add(1);
+  if (obs::internal::Enabled()) {
+    local_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   (void)TaskTimeFault().Evaluate();
   const Duration time = base_.TaskTime(context);
   (void)MemoInsertFault().Evaluate();
@@ -157,11 +163,17 @@ NormalParams MemoizedTaskTimeSource::TaskTimeDist(
     if (it != memo_->entries_.end() && it->second.has_dist) {
       memo_->hits_.fetch_add(1, std::memory_order_relaxed);
       Metrics().hits.Add(1);
+      if (obs::internal::Enabled()) {
+        local_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
       return it->second.dist;
     }
   }
   memo_->misses_.fetch_add(1, std::memory_order_relaxed);
   Metrics().misses.Add(1);
+  if (obs::internal::Enabled()) {
+    local_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
   (void)TaskTimeFault().Evaluate();
   const NormalParams dist = base_.TaskTimeDist(context);
   (void)MemoInsertFault().Evaluate();

@@ -97,10 +97,25 @@ class MemoizedTaskTimeSource : public TaskTimeSource {
   std::optional<TaskAttribution> Attribution(
       const EstimationContext& context) const override;
 
+  /// Hit/miss counts observed through *this instance* — the memo's own
+  /// stats aggregate every user of the table, which cannot attribute cache
+  /// behaviour to one request. The service creates one decorator per
+  /// request, so these counters classify that request's warm/cold path.
+  /// Only maintained while obs metrics are enabled (one extra relaxed add
+  /// per query when armed, nothing when not).
+  std::uint64_t local_hits() const {
+    return local_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t local_misses() const {
+    return local_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   const TaskTimeSource& base_;
   TaskTimeMemo* memo_;
   std::string scope_;
+  mutable std::atomic<std::uint64_t> local_hits_{0};
+  mutable std::atomic<std::uint64_t> local_misses_{0};
 };
 
 }  // namespace dagperf

@@ -1,0 +1,67 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace dagperf {
+namespace obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusSanitizeName(const std::string& name) {
+  std::string out = "dagperf_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string WritePrometheusText(const MetricsRegistry::Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusSanitizeName(name) + "_total";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusSanitizeName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << FormatDouble(value) << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = PrometheusSanitizeName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t in_bucket =
+          hist.buckets[static_cast<std::size_t>(b)];
+      if (in_bucket == 0) continue;  // Cumulative stays correct; elide.
+      cumulative += in_bucket;
+      out << prom << "_bucket{le=\""
+          << FormatDouble(Histogram::BucketLowerBound(b + 1)) << "\"} "
+          << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    out << prom << "_sum " << FormatDouble(hist.sum) << "\n";
+    out << prom << "_count " << hist.count << "\n";
+  }
+  return out.str();
+}
+
+std::string WritePrometheusText() {
+  return WritePrometheusText(MetricsRegistry::Default().Snap());
+}
+
+}  // namespace obs
+}  // namespace dagperf

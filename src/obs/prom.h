@@ -1,0 +1,35 @@
+#ifndef DAGPERF_OBS_PROM_H_
+#define DAGPERF_OBS_PROM_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dagperf {
+namespace obs {
+
+/// Prometheus text exposition (format 0.0.4) over a MetricsRegistry
+/// snapshot — the lingua franca every metrics stack scrapes, so dagperf
+/// telemetry lands in Prometheus/Grafana with zero adapter code.
+///
+/// Mapping:
+///  - metric names are sanitised (dots and other non-[a-zA-Z0-9_:] become
+///    '_') and prefixed "dagperf_";
+///  - Counter  -> `# TYPE <name>_total counter` with a `_total` suffix;
+///  - Gauge    -> `# TYPE <name> gauge`;
+///  - Histogram -> classic cumulative `_bucket{le="..."}` series over the
+///    log2 bucket upper bounds (empty buckets elided, `+Inf` always
+///    present) plus `_sum` and `_count`.
+///
+/// Output is deterministic (registry snapshots are name-sorted), which the
+/// golden-format test relies on.
+std::string PrometheusSanitizeName(const std::string& name);
+std::string WritePrometheusText(const MetricsRegistry::Snapshot& snapshot);
+
+/// Convenience: snapshot the default registry and render it.
+std::string WritePrometheusText();
+
+}  // namespace obs
+}  // namespace dagperf
+
+#endif  // DAGPERF_OBS_PROM_H_

@@ -1,0 +1,191 @@
+#ifndef DAGPERF_OBS_REQUEST_RECORD_H_
+#define DAGPERF_OBS_REQUEST_RECORD_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dagperf {
+namespace obs {
+
+/// Per-request attribution for the serving path. Aggregate metrics answer
+/// "how is the service doing"; a RequestRecord answers "why was request
+/// #4812 slow" — it carries everything the service learned about one request
+/// from admission to outcome, in one fixed-size, allocation-free struct
+/// (fixed char fields, trivially copyable) so recording costs a struct copy,
+/// never a heap walk. The `id` links the record to ScopedSpan traces (spans
+/// tag their "request_id" arg with it).
+
+/// How the estimate was produced — the cost classes of the warm path.
+enum class RequestPath : std::uint8_t {
+  kUnknown = 0,
+  /// Every state replayed, cold memo.
+  kFullReplay = 1,
+  /// Task times answered mostly by the cross-request memo.
+  kMemoWarm = 2,
+  /// Resumed from a prefix checkpoint (incremental re-estimation).
+  kIncremental = 3,
+};
+
+const char* RequestPathName(RequestPath path);
+
+struct RequestRecord {
+  /// Fixed-capacity name fields: longer names are truncated, never allocated.
+  static constexpr std::size_t kOpBytes = 16;
+  static constexpr std::size_t kNameBytes = 48;
+
+  std::uint64_t id = 0;
+  char op[kOpBytes] = {};        // "estimate" | "explain" | "sweep" | ...
+  char workflow[kNameBytes] = {};
+  char cluster[kNameBytes] = {};
+
+  /// MonotonicUs timebase. queue_wait = start - submit; exec = end - start.
+  double submit_us = 0.0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+
+  /// Estimator states actually stepped (post-resume) and memo behaviour.
+  std::uint32_t states = 0;
+  std::uint32_t resumed_states = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+
+  RequestPath path = RequestPath::kUnknown;
+  /// Stable outcome code (ErrorCodeName vocabulary, stored as its numeric
+  /// value — obs sits below common and cannot name ErrorCode itself).
+  std::uint8_t outcome_code = 0;
+  std::uint8_t retries = 0;
+  bool ok = false;
+  bool had_deadline = false;
+  /// Finished within its deadline (vacuously true without one).
+  bool deadline_met = true;
+  bool watchdog_fired = false;
+  bool breaker_rejected = false;
+  bool shed = false;
+  bool expired_in_queue = false;
+
+  double queue_wait_us() const { return start_us - submit_us; }
+  double exec_us() const { return end_us - start_us; }
+  double total_us() const { return end_us - submit_us; }
+
+  /// Bounded strcpy into the fixed name fields.
+  static void SetName(char* field, std::size_t capacity, const std::string& s);
+  void set_op(const std::string& s) { SetName(op, kOpBytes, s); }
+  void set_workflow(const std::string& s) { SetName(workflow, kNameBytes, s); }
+  void set_cluster(const std::string& s) { SetName(cluster, kNameBytes, s); }
+};
+
+/// A structured service event (breaker transition, watchdog fire, drain
+/// epoch) pinned alongside the request ring — the "what changed" context a
+/// post-mortem reads next to the slow requests.
+struct FlightEvent {
+  static constexpr std::size_t kKindBytes = 24;
+  static constexpr std::size_t kDetailBytes = 96;
+
+  double ts_us = 0.0;
+  char kind[kKindBytes] = {};    // "breaker" | "watchdog" | "drain" | ...
+  char detail[kDetailBytes] = {};
+};
+
+struct FlightRecorderOptions {
+  /// Request ring capacity (last N requests survive).
+  int capacity = 256;
+  /// Exemplar slots: the slowest requests of the current pin window and the
+  /// most recent error requests are pinned outside the ring, so one slow
+  /// burst an hour ago is still there after the ring wrapped.
+  int slowest_exemplars = 4;
+  int error_exemplars = 8;
+  /// Pin window for the slowest exemplars: on the first record after this
+  /// many seconds the slots recycle, so "slowest" tracks recent behaviour.
+  double exemplar_window_seconds = 300.0;
+  /// Event ring capacity.
+  int event_capacity = 64;
+};
+
+/// Lock-minimal ring of the last N RequestRecords plus pinned exemplars.
+///
+/// The hot path (Record) is: one relaxed enabled-load (disarmed exit), a
+/// fetch_add to claim a slot, a struct copy, and a seqlock-style publish —
+/// no mutex, no allocation. Exemplar pinning takes a small mutex but only
+/// when a record is an error or beats the current slowest set (rare by
+/// construction). Dump() walks the ring under the same publish protocol and
+/// skips slots that are mid-write.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  /// Appends `record` to the ring; pins it if it is an error or among the
+  /// slowest of the window. Disarmed cost: one relaxed load.
+  void Record(const RequestRecord& record);
+
+  /// Appends a structured event (strings truncated to the fixed fields).
+  void AddEvent(const std::string& kind, const std::string& detail);
+
+  struct Dump {
+    /// Ring contents, oldest first.
+    std::vector<RequestRecord> records;
+    /// Pinned slowest-of-window, slowest first.
+    std::vector<RequestRecord> slowest;
+    /// Pinned most-recent errors, oldest first.
+    std::vector<RequestRecord> errors;
+    /// Event ring, oldest first.
+    std::vector<FlightEvent> events;
+    std::uint64_t total_recorded = 0;
+  };
+  Dump Snapshot() const;
+
+  /// Serialises a Snapshot as a self-contained JSON object (same dialect as
+  /// MetricsRegistry::ToJson — obs does not depend on common/json).
+  std::string ToJson() const;
+
+  std::uint64_t total_recorded() const {
+    return total_recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    static constexpr std::size_t kWords =
+        (sizeof(RequestRecord) + sizeof(std::uint64_t) - 1) /
+        sizeof(std::uint64_t);
+
+    /// Even = published generation; odd = write in progress. Writers claim
+    /// the slot by CAS (even -> odd), so two writers wrapping onto the same
+    /// slot serialise instead of racing.
+    std::atomic<std::uint64_t> seq{0};
+    /// The record payload as atomic words: both sides of the seqlock copy
+    /// through relaxed atomic loads/stores, so a torn read is detected by
+    /// the seq re-check rather than being undefined behaviour.
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+
+  FlightRecorderOptions options_;
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> total_recorded_{0};
+
+  /// Lock-free admission pre-check: a record only takes the exemplar mutex
+  /// if it beats this floor (slowest pinned latency; 0 while the set fills)
+  /// or crosses the window deadline. Stale reads are benign.
+  std::atomic<double> slow_floor_us_{0.0};
+  std::atomic<double> exemplar_deadline_us_{0.0};
+
+  /// Exemplars + events: cold-path state under one mutex.
+  mutable std::mutex exemplar_mutex_;
+  std::vector<RequestRecord> slowest_;
+  double exemplar_window_start_us_ = 0.0;
+  std::vector<RequestRecord> errors_;
+  std::vector<FlightEvent> events_;
+  std::uint64_t event_head_ = 0;
+  std::uint64_t events_total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace dagperf
+
+#endif  // DAGPERF_OBS_REQUEST_RECORD_H_

@@ -32,7 +32,9 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
 
 void CircuitBreaker::TransitionLocked(BreakerState next) {
   if (state_ == next) return;
+  const BreakerState from = state_;
   state_ = next;
+  ++stats_.transitions;
   if (next == BreakerState::kOpen) {
     ++stats_.opens;
     reopen_ = Deadline::AfterSeconds(options_.open_seconds);
@@ -43,6 +45,13 @@ void CircuitBreaker::TransitionLocked(BreakerState next) {
   }
   if (next == BreakerState::kClosed) consecutive_failures_ = 0;
   if (gauge_ != nullptr) gauge_->Set(static_cast<double>(next));
+  // Transition history: the gauge above is last-write-only, so every change
+  // also bumps the process-wide counter and notifies the owner's hook.
+  static obs::Counter* transitions =
+      &obs::MetricsRegistry::Default().GetCounter(
+          "resilience.breaker_transitions");
+  transitions->Add(1);
+  if (options_.on_transition) options_.on_transition(from, next);
 }
 
 Status CircuitBreaker::Allow() {

@@ -2,6 +2,7 @@
 #define DAGPERF_RESILIENCE_CIRCUIT_BREAKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -50,6 +51,13 @@ struct CircuitBreakerOptions {
   /// "resilience.breaker_state" for the default cluster and
   /// "resilience.breaker_state.<cluster>" for the rest.
   std::string gauge_name;
+
+  /// Invoked on every state transition, after the state (and gauge) have
+  /// moved. The gauge only shows the last write; this hook is how transition
+  /// *history* escapes — the service feeds it into the flight recorder and
+  /// the "resilience.breaker_transitions" counter. Called with the breaker
+  /// mutex held: must be cheap and must not call back into this breaker.
+  std::function<void(BreakerState from, BreakerState to)> on_transition;
 };
 
 class CircuitBreaker {
@@ -87,6 +95,8 @@ class CircuitBreaker {
     std::uint64_t failures = 0;
     std::uint64_t successes = 0;
     std::uint64_t opens = 0;
+    /// Every state change (open + half-open + close), not just opens.
+    std::uint64_t transitions = 0;
   };
   Stats stats() const;
 

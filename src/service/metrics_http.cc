@@ -1,0 +1,193 @@
+#include "service/metrics_http.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "obs/prom.h"
+
+namespace dagperf {
+
+namespace {
+
+constexpr int kPollIntervalMs = 50;
+/// Headers past this size are dropped — a scraper sends a one-line GET.
+constexpr std::size_t kMaxHeaderBytes = 8192;
+/// A peer that cannot finish its one-line request in this long is cut loose.
+constexpr double kHeaderTimeoutSeconds = 5.0;
+
+Status SocketError(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(int code, const std::string& reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Reads until the end of the request headers (blank line), with a byte cap
+/// and a wall-clock bound. Returns false when the request never completed.
+bool ReadRequestHead(int fd, const CancelToken& stop, std::string* head) {
+  char chunk[1024];
+  const double start_us = obs::MonotonicUs();
+  while (!stop.cancelled()) {
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+    if (head->size() > kMaxHeaderBytes) return false;
+    if ((obs::MonotonicUs() - start_us) * 1e-6 > kHeaderTimeoutSeconds) {
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      // EOF before the blank line — but a bare "GET /metrics\n" from netcat
+      // deserves an answer too; accept any complete first line.
+      return head->find('\n') != std::string::npos;
+    }
+    head->append(chunk, static_cast<std::size_t>(n));
+  }
+  return false;
+}
+
+void AnswerScrape(int fd, const MetricsHttpOptions& options) {
+  std::string head;
+  if (!ReadRequestHead(fd, options.stop, &head)) return;
+  // Request line: METHOD SP TARGET [SP VERSION].
+  const std::size_t line_end = head.find_first_of("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t method_end = request_line.find(' ');
+  std::string method = request_line.substr(0, method_end);
+  std::string target;
+  if (method_end != std::string::npos) {
+    const std::size_t target_start = method_end + 1;
+    const std::size_t target_end = request_line.find(' ', target_start);
+    target = request_line.substr(target_start, target_end == std::string::npos
+                                                   ? std::string::npos
+                                                   : target_end - target_start);
+  }
+  if (const std::size_t query = target.find('?'); query != std::string::npos) {
+    target.resize(query);
+  }
+
+  if (method != "GET") {
+    SendAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                             "only GET is served\n"));
+    return;
+  }
+  if (target == "/metrics") {
+    if (options.before_scrape) options.before_scrape();
+    SendAll(fd,
+            HttpResponse(200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+                         obs::WritePrometheusText()));
+    return;
+  }
+  if (target == "/" || target == "/healthz") {
+    SendAll(fd, HttpResponse(200, "OK", "text/plain",
+                             "ok — metrics at /metrics\n"));
+    return;
+  }
+  SendAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                           "not found — metrics at /metrics\n"));
+}
+
+}  // namespace
+
+Result<MetricsHttpSummary> ServeMetricsHttp(const MetricsHttpOptions& options) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return SocketError("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const Status status = SocketError("bind");
+    ::close(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    const Status status = SocketError("listen");
+    ::close(listen_fd);
+    return status;
+  }
+  if (options.on_listen) {
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      options.on_listen(static_cast<int>(ntohs(bound.sin_port)));
+    }
+  }
+
+  MetricsHttpSummary summary;
+  while (!options.stop.cancelled()) {
+    if (options.max_requests > 0 &&
+        summary.requests >= static_cast<std::uint64_t>(options.max_requests)) {
+      break;
+    }
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    AnswerScrape(fd, options);
+    ::close(fd);
+    ++summary.requests;
+  }
+  summary.stopped = options.stop.cancelled();
+  ::close(listen_fd);
+  return summary;
+}
+
+}  // namespace dagperf

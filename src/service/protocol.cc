@@ -1,11 +1,16 @@
 #include "service/protocol.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/json.h"
 #include "dag/spec_io.h"
+#include "obs/metrics.h"
+#include "obs/prom.h"
 #include "workload/job_profile.h"
 
 namespace dagperf {
@@ -144,6 +149,11 @@ Json StatsToJson(const ServiceStats& stats) {
              Json::MakeNumber(static_cast<double>(stats.expired_in_queue)));
   result.Set("queue_depth", Json::MakeNumber(stats.queue_depth));
   result.Set("draining", Json::MakeBool(stats.draining));
+  // Which warm-state epoch the cache/incremental rates below belong to —
+  // bumped whenever a drain resets the memo and checkpoint stores, so
+  // clients never mix pre- and post-drain hit rates.
+  result.Set("stats_epoch",
+             Json::MakeNumber(static_cast<double>(stats.stats_epoch)));
   result.Set("workflows", Json::MakeNumber(stats.workflows));
   result.Set("clusters", Json::MakeNumber(stats.clusters));
   Json cache = Json::MakeObject();
@@ -169,6 +179,74 @@ Json StatsToJson(const ServiceStats& stats) {
   incremental.Set("hit_rate", Json::MakeNumber(stats.incremental.hit_rate()));
   result.Set("incremental", std::move(incremental));
   return result;
+}
+
+Json WindowReportToJson(const obs::SloTracker::WindowReport& w) {
+  Json j = Json::MakeObject();
+  j.Set("window_s", Json::MakeNumber(w.window_seconds));
+  j.Set("count", Json::MakeNumber(static_cast<double>(w.count)));
+  j.Set("errors", Json::MakeNumber(static_cast<double>(w.errors)));
+  j.Set("rps", Json::MakeNumber(w.rps));
+  j.Set("p50_ms", Json::MakeNumber(w.p50_ms));
+  j.Set("p99_ms", Json::MakeNumber(w.p99_ms));
+  j.Set("mean_ms", Json::MakeNumber(w.mean_ms));
+  j.Set("error_rate", Json::MakeNumber(w.error_rate));
+  j.Set("deadline_hit_rate", Json::MakeNumber(w.deadline_hit_rate));
+  j.Set("frac_over_objective", Json::MakeNumber(w.frac_over_objective));
+  j.Set("availability_burn", Json::MakeNumber(w.availability_burn));
+  j.Set("latency_burn", Json::MakeNumber(w.latency_burn));
+  return j;
+}
+
+Json SloReportToJson(const obs::SloTracker::Report& report) {
+  Json result = Json::MakeObject();
+  Json objectives = Json::MakeObject();
+  objectives.Set("p99_ms", Json::MakeNumber(report.objectives.p99_ms));
+  objectives.Set("availability",
+                 Json::MakeNumber(report.objectives.availability));
+  result.Set("objectives", std::move(objectives));
+  Json total = Json::MakeArray();
+  for (const auto& window : report.total) {
+    total.Append(WindowReportToJson(window));
+  }
+  result.Set("total", std::move(total));
+  Json by_class = Json::MakeObject();
+  for (const auto& cls : report.by_class) {
+    Json windows = Json::MakeArray();
+    for (const auto& window : cls.windows) {
+      windows.Append(WindowReportToJson(window));
+    }
+    by_class.Set(obs::OpClassName(cls.op), std::move(windows));
+  }
+  result.Set("by_class", std::move(by_class));
+  return result;
+}
+
+/// Parses one wire line into a request object. Returns false (and fills
+/// *error_line with the protocol-shaped error response) when the line is
+/// not valid JSON or not an object.
+bool ParseRequestLine(const std::string& line, Json* request,
+                      std::string* error_line) {
+  Result<Json> parsed = Json::Parse(line);
+  if (!parsed.ok()) {
+    // Malformed JSON is a protocol-level failure, not a service error: the
+    // stable code PARSE_ERROR (never retryable — resending the same bytes
+    // cannot help) with an explicit null id, so a pipelining client sees
+    // the response slot consumed instead of a silent skip.
+    *error_line = ErrorResponseWithCode(&NullId(), "PARSE_ERROR", false,
+                                        parsed.status().message())
+                      .DumpCompact();
+    return false;
+  }
+  if (parsed.value().type() != Json::Type::kObject) {
+    *error_line =
+        ErrorResponse(&NullId(),
+                      Status::InvalidArgument("request must be a JSON object"))
+            .DumpCompact();
+    return false;
+  }
+  *request = std::move(parsed).value();
+  return true;
 }
 
 /// Reads the shared request fields (workflow / inline flow / cluster /
@@ -206,22 +284,29 @@ Protocol::Protocol(EstimationService* service) : service_(service) {}
 
 std::string Protocol::HandleLine(const std::string& line) {
   ++requests_handled_;
-  Result<Json> parsed = Json::Parse(line);
-  if (!parsed.ok()) {
-    // Malformed JSON is a protocol-level failure, not a service error: the
-    // stable code PARSE_ERROR (never retryable — resending the same bytes
-    // cannot help) with an explicit null id, so a pipelining client sees
-    // the response slot consumed instead of a silent skip.
-    return ErrorResponseWithCode(&NullId(), "PARSE_ERROR", false,
-                                 parsed.status().message())
-        .DumpCompact();
+  Json request;
+  std::string error_line;
+  if (!ParseRequestLine(line, &request, &error_line)) return error_line;
+  return HandleRequest(request);
+}
+
+void Protocol::HandleLineStreaming(const std::string& line,
+                                   const LineSink& sink) {
+  ++requests_handled_;
+  Json request;
+  std::string error_line;
+  if (!ParseRequestLine(line, &request, &error_line)) {
+    sink(error_line);
+    return;
   }
-  const Json& request = parsed.value();
-  if (request.type() != Json::Type::kObject) {
-    return ErrorResponse(&NullId(),
-                         Status::InvalidArgument("request must be a JSON object"))
-        .DumpCompact();
+  if (request.GetString("op", "") == "watch") {
+    RunWatch(request, request.Get("id"), sink, /*single_frame=*/false);
+    return;
   }
+  sink(HandleRequest(request));
+}
+
+std::string Protocol::HandleRequest(const Json& request) {
   const Json* id = request.Get("id");
   const std::string op = request.GetString("op", "");
 
@@ -283,6 +368,65 @@ std::string Protocol::HandleLine(const std::string& line) {
     return OkResponse(id, StatsToJson(service_->Stats())).DumpCompact();
   }
 
+  if (op == "slo") {
+    const obs::SloTracker::Report report = service_->slo_tracker().Snapshot();
+    // Refresh the slo.* gauges alongside the report so a Prometheus scrape
+    // racing this verb sees the same windowed figures.
+    service_->slo_tracker().PublishGauges(report);
+    return OkResponse(id, SloReportToJson(report)).DumpCompact();
+  }
+
+  if (op == "flightrecorder") {
+    // FlightRecorder serialises itself (obs sits below common and cannot
+    // use common/json); round-trip through the parser to splice the dump
+    // into the response document.
+    Result<Json> dump = Json::Parse(service_->flight_recorder().ToJson());
+    if (!dump.ok()) {
+      return ErrorResponse(id, Status::Internal("flight recorder dump: " +
+                                                dump.status().message()))
+          .DumpCompact();
+    }
+    return OkResponse(id, std::move(dump).value()).DumpCompact();
+  }
+
+  if (op == "metrics") {
+    const std::string format = request.GetString("format", "json");
+    if (format == "prom") {
+      Json result = Json::MakeObject();
+      result.Set("content_type",
+                 Json::MakeString("text/plain; version=0.0.4; charset=utf-8"));
+      result.Set("text", Json::MakeString(obs::WritePrometheusText()));
+      return OkResponse(id, std::move(result)).DumpCompact();
+    }
+    if (format != "json") {
+      return ErrorResponse(id,
+                           Status::InvalidArgument(
+                               "\"format\" must be \"json\" or \"prom\""))
+          .DumpCompact();
+    }
+    Result<Json> parsed = Json::Parse(obs::MetricsRegistry::Default().ToJson());
+    if (!parsed.ok()) {
+      return ErrorResponse(id, Status::Internal("metrics snapshot: " +
+                                                parsed.status().message()))
+          .DumpCompact();
+    }
+    return OkResponse(id, std::move(parsed).value()).DumpCompact();
+  }
+
+  if (op == "watch") {
+    // One-shot entry point: a single frame, immediately. Streaming happens
+    // only through HandleLineStreaming, where the transport can observe
+    // backpressure and disconnects.
+    std::string frame;
+    RunWatch(request, id,
+             [&frame](const std::string& response_line) {
+               frame = response_line;
+               return true;
+             },
+             /*single_frame=*/true);
+    return frame;
+  }
+
   if (op == "drain") {
     Result<int> inflight = service_->Drain();
     if (!inflight.ok()) return ErrorResponse(id, inflight.status()).DumpCompact();
@@ -298,8 +442,67 @@ std::string Protocol::HandleLine(const std::string& line) {
                      op.empty()
                          ? "request carries no \"op\""
                          : "unknown op \"" + op +
-                               "\" (estimate|explain|sweep|stats|drain)"))
+                               "\" (estimate|explain|sweep|stats|slo|"
+                               "flightrecorder|metrics|watch|drain)"))
       .DumpCompact();
+}
+
+void Protocol::RunWatch(const Json& request, const Json* id,
+                        const LineSink& sink, bool single_frame) {
+  const double interval_raw = request.GetNumber("interval_ms", 1000.0);
+  if (interval_raw < 0) {
+    sink(ErrorResponse(id, Status::InvalidArgument(
+                               "\"interval_ms\" must be >= 0"))
+             .DumpCompact());
+    return;
+  }
+  const double interval_ms = std::min(60000.0, std::max(10.0, interval_raw));
+  const double count_raw = request.GetNumber("count", 0.0);
+  if (count_raw < 0 || count_raw != std::floor(count_raw)) {
+    sink(ErrorResponse(id, Status::InvalidArgument(
+                               "\"count\" must be a non-negative integer "
+                               "(0 = unbounded)"))
+             .DumpCompact());
+    return;
+  }
+  const std::uint64_t max_frames = static_cast<std::uint64_t>(count_raw);
+  std::uint64_t seq = 0;
+  for (;;) {
+    ++seq;  // Frames are 1-based: "seq":1 is the first frame of the stream.
+    const obs::SloTracker::Report report = service_->slo_tracker().Snapshot();
+    service_->slo_tracker().PublishGauges(report);
+    Json frame = Json::MakeObject();
+    frame.Set("seq", Json::MakeNumber(static_cast<double>(seq)));
+    frame.Set("ts_us", Json::MakeNumber(obs::MonotonicUs()));
+    frame.Set("stats", StatsToJson(service_->Stats()));
+    frame.Set("slo_10s", WindowReportToJson(report.total[0]));
+    frame.Set("slo_1m", WindowReportToJson(report.total[1]));
+    // Per-cluster breaker states (0 closed / 1 open / 2 half-open) so a
+    // watch client renders serving health without a second round-trip.
+    Json breakers = Json::MakeObject();
+    const obs::MetricsRegistry::Snapshot snap =
+        obs::MetricsRegistry::Default().Snap();
+    for (const auto& [name, value] : snap.gauges) {
+      if (name.rfind("resilience.breaker_state", 0) == 0) {
+        breakers.Set(name, Json::MakeNumber(value));
+      }
+    }
+    frame.Set("breakers", std::move(breakers));
+    if (!sink(OkResponse(id, std::move(frame)).DumpCompact())) return;
+    if (single_frame) return;
+    if (max_frames != 0 && seq >= max_frames) return;
+    if (service_->draining()) return;
+    // Sleep in short slices so a drain cuts the subscription off promptly
+    // instead of holding shutdown hostage for a full interval.
+    double remaining_ms = interval_ms;
+    while (remaining_ms > 0.0) {
+      const double slice_ms = std::min(remaining_ms, 50.0);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice_ms));
+      remaining_ms -= slice_ms;
+      if (service_->draining()) return;
+    }
+  }
 }
 
 std::string Protocol::TransportErrorLine(const Status& status) {

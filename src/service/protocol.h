@@ -2,8 +2,10 @@
 #define DAGPERF_SERVICE_PROTOCOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
+#include "common/json.h"
 #include "service/service.h"
 
 namespace dagperf {
@@ -17,6 +19,12 @@ namespace dagperf {
 ///   {"op": "explain",  ... same fields ...}
 ///   {"op": "sweep",    "workflow": "...", "nodes_list": [2, 4, 8, 16]}
 ///   {"op": "stats"}
+///   {"op": "slo"}             -- windowed SLO report (10s/1m/5m, burn rates)
+///   {"op": "flightrecorder"}  -- last-N request records + exemplars + events
+///   {"op": "metrics"}         -- full registry ("format": "prom" for
+///                                Prometheus text in result.text)
+///   {"op": "watch", "interval_ms": 1000, "count": 10}
+///                             -- streaming stats/SLO frames (see below)
 ///   {"op": "drain"}
 ///
 /// `workflow` names a registered flow; an inline `"flow": {...}` document
@@ -43,7 +51,21 @@ class Protocol {
   /// parse failures, unknown ops, and service errors all come back as
   /// well-formed error responses. Blocks until the service fulfils the
   /// request (transports provide concurrency, the protocol stays pipelined).
+  /// A `watch` op through this entry point yields exactly one frame (the
+  /// one-line-in/one-line-out contract holds on every transport).
   std::string HandleLine(const std::string& line);
+
+  /// Receives one complete response line (no trailing newline); returns
+  /// false to stop the op early (client disconnected, transport closing).
+  using LineSink = std::function<bool(const std::string&)>;
+
+  /// Streaming entry point used by the transports: non-streaming ops emit
+  /// exactly the HandleLine response through `sink`; `watch` pushes one
+  /// stats/SLO frame every `interval_ms` (default 1000, clamped to
+  /// [10, 60000]) until `count` frames were sent (0 = unbounded), the sink
+  /// returns false, or the service starts draining. Every frame is a
+  /// complete response document echoing the request id.
+  void HandleLineStreaming(const std::string& line, const LineSink& sink);
 
   /// Whether a drain request was handled — transports stop reading then.
   bool drain_requested() const { return drain_requested_; }
@@ -57,6 +79,13 @@ class Protocol {
   std::uint64_t requests_handled() const { return requests_handled_; }
 
  private:
+  /// Dispatches one parsed request object (shared by both entry points).
+  std::string HandleRequest(const Json& request);
+
+  /// The watch loop; `single_frame` is the HandleLine path.
+  void RunWatch(const Json& request, const Json* id, const LineSink& sink,
+                bool single_frame);
+
   EstimationService* service_;
   bool drain_requested_ = false;
   std::uint64_t requests_handled_ = 0;

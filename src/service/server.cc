@@ -35,8 +35,13 @@ ServeSummary ServeLines(EstimationService& service, std::istream& in,
       out.flush();
       continue;
     }
-    out << protocol.HandleLine(line) << '\n';
-    out.flush();
+    // Streaming entry point: plain ops emit one line, `watch` pushes a
+    // frame per tick until the stream dies or the service drains.
+    protocol.HandleLineStreaming(line, [&out](const std::string& response) {
+      out << response << '\n';
+      out.flush();
+      return static_cast<bool>(out);
+    });
     ++summary.requests;
     if (protocol.drain_requested()) {
       summary.drained = true;
@@ -184,7 +189,15 @@ void ServeConnection(int fd, EstimationService& service,
         continue;
       }
       ++requests;
-      if (!SendAll(fd, protocol.HandleLine(line) + "\n")) {
+      // SendAll failure (peer gone, write stalled out) flips the sink to
+      // false, which stops a mid-stream `watch` subscription cleanly.
+      bool sink_ok = true;
+      protocol.HandleLineStreaming(
+          line, [fd, &sink_ok](const std::string& response) {
+            sink_ok = SendAll(fd, response + "\n");
+            return sink_ok;
+          });
+      if (!sink_ok) {
         closing = true;
         break;
       }

@@ -24,6 +24,14 @@ struct ServiceMetrics {
   obs::Counter& failed;
   obs::Counter& shed;
   obs::Counter& expired_in_queue;
+  /// Per-request cost-class attribution (tentpole): how each served request
+  /// got its answer — full replay, memo-warm, or checkpoint resume.
+  obs::Counter& path_full_replay;
+  obs::Counter& path_memo_warm;
+  obs::Counter& path_incremental;
+  /// Warm-state reset epochs (drain/shutdown); rates exported next to this
+  /// counter are always computed within one epoch.
+  obs::Counter& reset_epoch;
   obs::Gauge& queue_depth;
   obs::Gauge& cache_hit_rate;
   obs::Histogram& latency_us;
@@ -36,6 +44,14 @@ struct ServiceMetrics {
         shed(obs::MetricsRegistry::Default().GetCounter("service.shed")),
         expired_in_queue(obs::MetricsRegistry::Default().GetCounter(
             "service.expired_in_queue")),
+        path_full_replay(obs::MetricsRegistry::Default().GetCounter(
+            "service.path.full_replay")),
+        path_memo_warm(obs::MetricsRegistry::Default().GetCounter(
+            "service.path.memo_warm")),
+        path_incremental(obs::MetricsRegistry::Default().GetCounter(
+            "service.path.incremental")),
+        reset_epoch(
+            obs::MetricsRegistry::Default().GetCounter("stats.reset_epoch")),
         queue_depth(obs::MetricsRegistry::Default().GetGauge("service.queue_depth")),
         cache_hit_rate(
             obs::MetricsRegistry::Default().GetGauge("service.cache_hit_rate")),
@@ -105,7 +121,9 @@ struct EstimationService::ClusterEntry {
 };
 
 EstimationService::EstimationService(ServiceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      flight_(options_.flight),
+      slo_(options_.slo) {
   int threads = options_.threads;
   if (threads <= 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -239,8 +257,10 @@ void EstimationService::ReleaseSlot() {
 }
 
 Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& request,
-                                                    double submit_us) {
+                                                    double submit_us,
+                                                    obs::RequestRecord* record) {
   const double start_us = obs::MonotonicUs();
+  if (record != nullptr) record->start_us = start_us;
   // A request can spend its whole budget waiting in the queue; detect that
   // here so an expired request costs a check, not an estimate.
   if (request.budget.exhausted()) {
@@ -248,6 +268,7 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
     if (status.code() == ErrorCode::kDeadlineExceeded) {
       expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
       Metrics().expired_in_queue.Add(1);
+      if (record != nullptr) record->expired_in_queue = true;
     }
     return status;
   }
@@ -260,13 +281,20 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
       ResolveCluster(request.cluster);
   if (!cluster.ok()) return cluster.status();
   const ClusterEntry& entry = **cluster;
+  if (record != nullptr) {
+    record->set_workflow(workflow_name);
+    record->set_cluster(entry.name);
+  }
 
   // The breaker gates the estimation path only — resolution failures above
   // are client errors and never open it. Every Allow() below is matched by
   // exactly one Record() on the way out.
   resilience::CircuitBreaker* breaker = BreakerFor(entry.name);
   if (breaker != nullptr) {
-    if (Status allowed = breaker->Allow(); !allowed.ok()) return allowed;
+    if (Status allowed = breaker->Allow(); !allowed.ok()) {
+      if (record != nullptr) record->breaker_rejected = true;
+      return allowed;
+    }
   }
 
   Result<WorkflowEstimate> result = [&]() -> Result<WorkflowEstimate> {
@@ -277,6 +305,10 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
     std::optional<obs::ScopedSpan> span;
     if (obs::TraceRecorder::Default().enabled()) {
       span.emplace("serve " + workflow_name, "service");
+      // Links the span to its RequestRecord in flight-recorder dumps.
+      if (record != nullptr) {
+        span->AddArg("request_id", static_cast<double>(record->id));
+      }
     }
 
     ClusterSpec spec = entry.spec;
@@ -313,6 +345,25 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
     served.service_ms = (end_us - start_us) * 1e-3;
     Metrics().queue_wait_us.Record(start_us - submit_us);
     Metrics().latency_us.Record(end_us - submit_us);
+    if (record != nullptr) {
+      // Cost-class attribution: the decorator is per-request, so its local
+      // hit/miss counts are exactly this request's memo behaviour.
+      record->states = static_cast<std::uint32_t>(served.estimate.states.size());
+      record->resumed_states =
+          static_cast<std::uint32_t>(served.estimate.resumed_states);
+      record->memo_hits = cached.local_hits();
+      record->memo_misses = cached.local_misses();
+      if (record->resumed_states > 0) {
+        record->path = obs::RequestPath::kIncremental;
+        Metrics().path_incremental.Add(1);
+      } else if (record->memo_hits > record->memo_misses) {
+        record->path = obs::RequestPath::kMemoWarm;
+        Metrics().path_memo_warm.Add(1);
+      } else {
+        record->path = obs::RequestPath::kFullReplay;
+        Metrics().path_full_replay.Add(1);
+      }
+    }
     return served;
   }();
 
@@ -335,13 +386,26 @@ resilience::CircuitBreaker* EstimationService::BreakerFor(
     breaker_options.gauge_name =
         cluster == "default" ? "resilience.breaker_state"
                              : "resilience.breaker_state." + cluster;
+    // Transition history into the flight recorder: the gauge above only
+    // shows the last write, but a post-mortem needs the open/half-open/close
+    // sequence with its timing. Runs under the breaker mutex — AddEvent only
+    // takes the recorder's own (leaf) mutex, so no ordering cycle.
+    breaker_options.on_transition = [this, cluster](
+                                        resilience::BreakerState from,
+                                        resilience::BreakerState to) {
+      flight_.AddEvent("breaker", cluster + ": " +
+                                      resilience::BreakerStateName(from) +
+                                      " -> " +
+                                      resilience::BreakerStateName(to));
+    };
     slot = std::make_unique<resilience::CircuitBreaker>(breaker_options);
   }
   return slot.get();
 }
 
 Status EstimationService::MapCancelCause(const Status& status,
-                                         const CancelToken& caller_cancel) {
+                                         const CancelToken& caller_cancel,
+                                         obs::RequestRecord* record) {
   if (status.code() != ErrorCode::kCancelled) return status;
   if (shutdown_cancel_.cancelled()) {
     return Status::Unavailable(
@@ -350,6 +414,14 @@ Status EstimationService::MapCancelCause(const Status& status,
   if (!caller_cancel.cancelled()) {
     // Only the watchdog could have fired the request-scoped token.
     watchdog_fired_.fetch_add(1, std::memory_order_relaxed);
+    if (record != nullptr) {
+      record->watchdog_fired = true;
+      // Cancelled requests are exactly the ones a post-mortem needs: pin the
+      // fire as a structured event next to the (error-exemplared) record.
+      flight_.AddEvent("watchdog",
+                       std::string(record->workflow) + "@" + record->cluster +
+                           ": hard wall-clock bound exceeded");
+    }
     return Status::DeadlineExceeded(
         "cancelled by watchdog: exceeded the hard wall-clock bound (" +
         std::to_string(options_.watchdog_multiple) + "x deadline)");
@@ -362,22 +434,49 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Metrics().submitted.Add(1);
 
+  // Request observability is armed with the metrics flag: when off, `record`
+  // stays a dead stack object and every recording site below is skipped —
+  // the disarmed cost is this one relaxed load (plus the zero-init).
+  const bool observe = obs::MetricsEnabled();
+  obs::RequestRecord record;
+  if (observe) {
+    record.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    record.set_op(request.explain ? "explain" : "estimate");
+    record.set_workflow(request.workflow);
+    record.set_cluster(request.cluster);
+    record.submit_us = obs::MonotonicUs();
+  }
+  // Synchronous rejections (draining / shed) still leave a record: error
+  // rates and the flight recorder must see the requests that never ran.
+  const auto reject = [&](Status status) {
+    if (observe) {
+      record.start_us = record.end_us = obs::MonotonicUs();
+      record.ok = false;
+      record.outcome_code = static_cast<std::uint8_t>(status.code());
+      record.shed = status.code() == ErrorCode::kResourceExhausted;
+      flight_.Record(record);
+      slo_.RecordOutcome(obs::OpClassFor(record.op), record.total_us() * 1e-3,
+                         false, false, true);
+    }
+    return FailedFuture<WorkflowEstimate>(std::move(status));
+  };
+
   // Shared lock: many Submits run concurrently; Drain's unique lock ensures
   // no Submit is between the draining check and the pool enqueue when the
   // pool starts waiting.
   std::shared_lock admission(admission_mutex_);
   if (draining_.load(std::memory_order_acquire)) {
-    return FailedFuture<WorkflowEstimate>(
-        Status::FailedPrecondition("service is draining"));
+    return reject(Status::FailedPrecondition("service is draining"));
   }
   if (Status admitted = Admit(); !admitted.ok()) {
-    return FailedFuture<WorkflowEstimate>(std::move(admitted));
+    return reject(std::move(admitted));
   }
 
   if (options_.default_deadline_seconds > 0 && request.budget.deadline.never()) {
     request.budget.deadline =
         Deadline::AfterSeconds(options_.default_deadline_seconds);
   }
+  record.had_deadline = !request.budget.deadline.never();
 
   // Request-scoped token: observes the caller's cancel and the service-wide
   // shutdown signal, and is what the watchdog fires. Cancelling it never
@@ -397,12 +496,13 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
   std::future<Result<WorkflowEstimate>> future = promise->get_future();
   const double submit_us = obs::MonotonicUs();
   pool_->Submit([this, request = std::move(request), promise, submit_us,
-                 caller_cancel, watch_id]() {
-    Result<WorkflowEstimate> result = Execute(request, submit_us);
+                 caller_cancel, watch_id, record, observe]() mutable {
+    Result<WorkflowEstimate> result =
+        Execute(request, submit_us, observe ? &record : nullptr);
     if (watch_id != 0) watchdog_->Unwatch(watch_id);
     if (!result.ok()) {
-      result = Result<WorkflowEstimate>(
-          MapCancelCause(result.status(), caller_cancel));
+      result = Result<WorkflowEstimate>(MapCancelCause(
+          result.status(), caller_cancel, observe ? &record : nullptr));
     }
     if (result.ok()) {
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -413,6 +513,18 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
     }
     const TaskTimeMemo::Stats cache = memo_.stats();
     Metrics().cache_hit_rate.Set(cache.hit_rate());
+    if (observe) {
+      record.end_us = obs::MonotonicUs();
+      record.ok = result.ok();
+      record.outcome_code =
+          static_cast<std::uint8_t>(result.status().code());
+      record.deadline_met =
+          !record.had_deadline ||
+          result.status().code() != ErrorCode::kDeadlineExceeded;
+      flight_.Record(record);
+      slo_.RecordOutcome(obs::OpClassFor(record.op), record.total_us() * 1e-3,
+                         record.ok, record.had_deadline, record.deadline_met);
+    }
     ReleaseSlot();
     promise->set_value(std::move(result));
   });
@@ -434,18 +546,40 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Metrics().submitted.Add(1);
 
+  const bool observe = obs::MetricsEnabled();
+  obs::RequestRecord record;
+  if (observe) {
+    record.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    record.set_op("sweep");
+    record.set_workflow(request.workflow);
+    record.set_cluster(request.cluster);
+    record.submit_us = obs::MonotonicUs();
+  }
+  const auto reject = [&](Status status) {
+    if (observe) {
+      record.start_us = record.end_us = obs::MonotonicUs();
+      record.ok = false;
+      record.outcome_code = static_cast<std::uint8_t>(status.code());
+      record.shed = status.code() == ErrorCode::kResourceExhausted;
+      flight_.Record(record);
+      slo_.RecordOutcome(obs::OpClass::kSweep, record.total_us() * 1e-3, false,
+                         false, true);
+    }
+    return FailedFuture<ServiceSweepResult>(std::move(status));
+  };
+
   std::shared_lock admission(admission_mutex_);
   if (draining_.load(std::memory_order_acquire)) {
-    return FailedFuture<ServiceSweepResult>(
-        Status::FailedPrecondition("service is draining"));
+    return reject(Status::FailedPrecondition("service is draining"));
   }
   if (Status admitted = Admit(); !admitted.ok()) {
-    return FailedFuture<ServiceSweepResult>(std::move(admitted));
+    return reject(std::move(admitted));
   }
   if (options_.default_deadline_seconds > 0 && request.budget.deadline.never()) {
     request.budget.deadline =
         Deadline::AfterSeconds(options_.default_deadline_seconds);
   }
+  record.had_deadline = !request.budget.deadline.never();
   // Sweeps observe shutdown too (cancelled candidates surface per-candidate
   // inside the sweep result); no watchdog — a sweep is many estimates, each
   // already bounded by the shared budget.
@@ -454,8 +588,10 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
 
   auto promise = std::make_shared<std::promise<Result<ServiceSweepResult>>>();
   std::future<Result<ServiceSweepResult>> future = promise->get_future();
-  pool_->Submit([this, request = std::move(request), promise]() {
+  pool_->Submit([this, request = std::move(request), promise, record,
+                 observe]() mutable {
     const double start_us = obs::MonotonicUs();
+    record.start_us = start_us;
     const auto finish = [&](Result<ServiceSweepResult> result) {
       if (result.ok()) {
         completed_.fetch_add(1, std::memory_order_relaxed);
@@ -463,6 +599,29 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
       } else {
         failed_.fetch_add(1, std::memory_order_relaxed);
         Metrics().failed.Add(1);
+      }
+      if (observe) {
+        record.end_us = obs::MonotonicUs();
+        record.ok = result.ok();
+        record.outcome_code =
+            static_cast<std::uint8_t>(result.status().code());
+        record.deadline_met =
+            !record.had_deadline ||
+            result.status().code() != ErrorCode::kDeadlineExceeded;
+        if (result.ok()) {
+          const SweepStats& stats = result.value().sweep.stats;
+          record.resumed_states =
+              static_cast<std::uint32_t>(stats.resumed_states);
+          record.path = stats.resumed_states > 0
+                            ? obs::RequestPath::kIncremental
+                            : (stats.cache_hit_rate > 0.5
+                                   ? obs::RequestPath::kMemoWarm
+                                   : obs::RequestPath::kFullReplay);
+        }
+        flight_.Record(record);
+        slo_.RecordOutcome(obs::OpClass::kSweep, record.total_us() * 1e-3,
+                           record.ok, record.had_deadline,
+                           record.deadline_met);
       }
       ReleaseSlot();
       promise->set_value(std::move(result));
@@ -517,6 +676,17 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
   return future;
 }
 
+void EstimationService::ResetWarmState() {
+  memo_.Clear();
+  checkpoints_.Clear();
+  stats_epoch_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().reset_epoch.Add(1);
+  // Recompute the rate gauges from the post-reset counters: a scrape after
+  // this point sees rates of the new epoch only, never a blend of the old
+  // epoch's numerator with the new epoch's denominator.
+  Metrics().cache_hit_rate.Set(memo_.stats().hit_rate());
+}
+
 Result<int> EstimationService::Drain() {
   {
     // Unique lock: every in-flight Submit finishes its pool enqueue before
@@ -527,6 +697,12 @@ Result<int> EstimationService::Drain() {
   }
   const int inflight = queue_depth_.load(std::memory_order_acquire);
   pool_->Wait();
+  if (!drain_reset_done_.exchange(true, std::memory_order_acq_rel)) {
+    flight_.AddEvent("drain", "pool quiesced with " +
+                                  std::to_string(inflight) +
+                                  " in flight; warm state reset");
+    ResetWarmState();
+  }
   return inflight;
 }
 
@@ -555,6 +731,15 @@ EstimationService::ShutdownReport EstimationService::Shutdown(
   }
   pool_->Wait();
   report.waited_seconds = (obs::MonotonicUs() - start_us) * 1e-6;
+  if (!drain_reset_done_.exchange(true, std::memory_order_acq_rel)) {
+    flight_.AddEvent("shutdown",
+                     report.graceful
+                         ? "graceful: all in-flight work drained"
+                         : "grace expired: cancelled " +
+                               std::to_string(report.cancelled) + " request" +
+                               (report.cancelled == 1 ? "" : "s"));
+    ResetWarmState();
+  }
   return report;
 }
 
@@ -566,6 +751,7 @@ ServiceStats EstimationService::Stats() const {
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
   stats.watchdog_fired = watchdog_fired_.load(std::memory_order_relaxed);
+  stats.stats_epoch = stats_epoch_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   stats.draining = draining_.load(std::memory_order_relaxed);
   {

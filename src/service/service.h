@@ -21,6 +21,8 @@
 #include "model/sweep.h"
 #include "model/task_time_cache.h"
 #include "model/task_time_source.h"
+#include "obs/request_record.h"
+#include "obs/slo.h"
 #include "resilience/circuit_breaker.h"
 #include "resilience/watchdog.h"
 #include "scheduler/drf.h"
@@ -75,6 +77,14 @@ struct ServiceOptions {
 
   /// Cooldown before an open breaker probes again.
   double breaker_open_seconds = 1.0;
+
+  /// Serving objectives the SLO tracker burns against (inert by default —
+  /// windows still fill, burn rates stay 0). `dagperf serve` maps
+  /// --slo-p99-ms / --slo-availability here.
+  obs::SloObjectives slo;
+
+  /// Flight-recorder geometry (ring capacity, exemplar slots).
+  obs::FlightRecorderOptions flight;
 };
 
 /// One estimate query. Exactly one of `workflow` (a registered name) or
@@ -147,6 +157,10 @@ struct ServiceStats {
   std::uint64_t expired_in_queue = 0;
   /// Requests the watchdog had to cancel (hard wall-clock bound).
   std::uint64_t watchdog_fired = 0;
+  /// How many times the warm state (memo + checkpoints) was reset — rates
+  /// computed from the cache stats below never span a reset: both are read
+  /// inside the same epoch. Drain/Shutdown bump this once.
+  std::uint64_t stats_epoch = 0;
   int queue_depth = 0;
   bool draining = false;
   int workflows = 0;
@@ -239,6 +253,24 @@ class EstimationService {
   /// cluster under the same name can never resume from stale state.
   PrefixCheckpointStore& checkpoints() { return checkpoints_; }
 
+  /// The last-N-requests ring + pinned exemplars + breaker/watchdog events.
+  /// Dump it via obs::FlightRecorder::ToJson (the protocol's
+  /// {"op":"flightrecorder"} verb and `serve --flight-out` do).
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  obs::FlightRecorder& flight_recorder() { return flight_; }
+
+  /// Windowed latency/error/deadline telemetry per op class with burn rates
+  /// against ServiceOptions::slo.
+  const obs::SloTracker& slo_tracker() const { return slo_; }
+
+  /// Clears the warm state (memo + prefix checkpoints), bumps the stats
+  /// epoch (ServiceStats::stats_epoch, obs counter "stats.reset_epoch"), and
+  /// recomputes the hit-rate gauges from the now-empty stats so no exported
+  /// rate ever mixes pre- and post-reset counters. Drain/Shutdown call this
+  /// once after the pool quiesces; it is also safe to call on a live service
+  /// (requests in flight simply start cold).
+  void ResetWarmState();
+
  private:
   struct ClusterEntry;
 
@@ -253,9 +285,13 @@ class EstimationService {
   Status Admit();
   void ReleaseSlot();
 
-  /// Runs one estimate on a worker thread (slot already held).
+  /// Runs one estimate on a worker thread (slot already held). `record` (null
+  /// while request observability is disarmed) accumulates the request's
+  /// attribution: resolved names, states executed, memo behaviour, path
+  /// class, breaker interaction.
   Result<WorkflowEstimate> Execute(const ServiceRequest& request,
-                                   double submit_us);
+                                   double submit_us,
+                                   obs::RequestRecord* record);
 
   /// The per-cluster breaker (created lazily); nullptr when breakers are
   /// disabled. Entries are never destroyed while the service lives.
@@ -263,8 +299,10 @@ class EstimationService {
 
   /// Rewrites a kCancelled result by cause: shutdown-token fired ->
   /// UNAVAILABLE{retryable}; watchdog fired (caller's token untouched) ->
-  /// DEADLINE_EXCEEDED; a genuine caller cancel stays kCancelled.
-  Status MapCancelCause(const Status& status, const CancelToken& caller_cancel);
+  /// DEADLINE_EXCEEDED; a genuine caller cancel stays kCancelled. A watchdog
+  /// fire is flagged on `record` (when armed) and logged as a flight event.
+  Status MapCancelCause(const Status& status, const CancelToken& caller_cancel,
+                        obs::RequestRecord* record);
 
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;
@@ -292,6 +330,16 @@ class EstimationService {
 
   mutable std::mutex breakers_mutex_;
   std::map<std::string, std::unique_ptr<resilience::CircuitBreaker>> breakers_;
+
+  /// Request observability (tentpole of the obs layer): ids link records to
+  /// trace spans; the recorder and SLO tracker consume completed records.
+  obs::FlightRecorder flight_;
+  obs::SloTracker slo_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> stats_epoch_{0};
+  /// Ensures the drain-path ResetWarmState runs once even though Drain,
+  /// Shutdown, and the destructor can all reach it.
+  std::atomic<bool> drain_reset_done_{false};
 
   std::atomic<int> queue_depth_{0};
   std::atomic<std::uint64_t> submitted_{0};

@@ -26,6 +26,12 @@
 #error "resilience layer requires dagperf >= 0.5"
 #endif
 
+// Serving observability (request records + flight recorder, SLO windows,
+// Prometheus export) arrived in 0.6.
+#if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR < 6
+#error "serving observability requires dagperf >= 0.6"
+#endif
+
 namespace dagperf {
 namespace {
 
@@ -77,6 +83,31 @@ TEST(ApiFacadeTest, ResilienceSurfaceIsReachableThroughTheFacade) {
 
   // The fault injector is reachable (and off by default).
   EXPECT_FALSE(resilience::FaultInjector::Default().armed());
+}
+
+TEST(ApiFacadeTest, ObservabilitySurfaceIsReachableThroughTheFacade) {
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+
+  obs::RequestRecord record;
+  record.id = 1;
+  record.end_us = 10.0;
+  obs::FlightRecorder recorder(obs::FlightRecorderOptions{.capacity = 4});
+  recorder.Record(record);
+  EXPECT_EQ(recorder.total_recorded(), 1u);
+
+  obs::SloTracker slo(obs::SloObjectives{.p99_ms = 100.0,
+                                         .availability = 0.999});
+  slo.RecordOutcome(obs::OpClass::kEstimate, 5.0, /*ok=*/true,
+                    /*had_deadline=*/false, /*deadline_met=*/false);
+  const obs::SloTracker::Report report = slo.Snapshot();
+  EXPECT_EQ(report.total.back().count, 1u);  // 5m window sees the request.
+
+  // Prometheus text rendering is reachable through the facade.
+  const std::string prom = obs::WritePrometheusText();
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+
+  obs::SetMetricsEnabled(was_enabled);
 }
 
 Result<DagWorkflow> FacadeFlow() {

@@ -1,0 +1,83 @@
+#include "obs/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dagperf {
+namespace {
+
+TEST(PromTest, SanitizesNamesWithPrefix) {
+  EXPECT_EQ(obs::PrometheusSanitizeName("service.latency_us"),
+            "dagperf_service_latency_us");
+  EXPECT_EQ(obs::PrometheusSanitizeName("slo.p99-ms 1m"),
+            "dagperf_slo_p99_ms_1m");
+  EXPECT_EQ(obs::PrometheusSanitizeName("already_ok:name"),
+            "dagperf_already_ok:name");
+}
+
+// Golden-format check against a hand-built snapshot: exposition format
+// 0.0.4 — counters get _total, histograms render cumulative le buckets with
+// a final +Inf equal to _count. The snapshot is constructed directly so the
+// golden text is exact and hermetic (no registry state leaks in).
+TEST(PromTest, GoldenExposition) {
+  obs::MetricsRegistry::Snapshot snap;
+  snap.counters.push_back({"service.submitted", 42});
+  snap.gauges.push_back({"service.queue_depth", 3.5});
+  obs::Histogram::Snapshot hist;
+  hist.count = 7;
+  hist.sum = 19.0;
+  // Buckets: 4 samples in [1,2) (bucket 32), 2 in [2,4) (33), 1 in [8,16)
+  // (35). Bucket 34 is empty and must be elided without breaking the
+  // cumulative counts.
+  hist.buckets[32] = 4;
+  hist.buckets[33] = 2;
+  hist.buckets[35] = 1;
+  snap.histograms.push_back({"service.latency_us", hist});
+
+  const std::string golden =
+      "# TYPE dagperf_service_submitted_total counter\n"
+      "dagperf_service_submitted_total 42\n"
+      "# TYPE dagperf_service_queue_depth gauge\n"
+      "dagperf_service_queue_depth 3.5\n"
+      "# TYPE dagperf_service_latency_us histogram\n"
+      "dagperf_service_latency_us_bucket{le=\"2\"} 4\n"
+      "dagperf_service_latency_us_bucket{le=\"4\"} 6\n"
+      "dagperf_service_latency_us_bucket{le=\"16\"} 7\n"
+      "dagperf_service_latency_us_bucket{le=\"+Inf\"} 7\n"
+      "dagperf_service_latency_us_sum 19\n"
+      "dagperf_service_latency_us_count 7\n";
+  EXPECT_EQ(obs::WritePrometheusText(snap), golden);
+}
+
+TEST(PromTest, EmptyHistogramStillWritesInfBucket) {
+  obs::MetricsRegistry::Snapshot snap;
+  snap.histograms.push_back({"empty", obs::Histogram::Snapshot{}});
+  const std::string text = obs::WritePrometheusText(snap);
+  EXPECT_NE(text.find("dagperf_empty_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dagperf_empty_count 0\n"), std::string::npos);
+}
+
+// Two snapshots of the same registry state must render byte-identical text
+// (snapshots are name-sorted) — scrapers diff exposition output.
+TEST(PromTest, DeterministicAcrossSnapshots) {
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.GetCounter("prom_test.zulu").Add(1);
+  registry.GetCounter("prom_test.alpha").Add(2);
+  const std::string first = obs::WritePrometheusText(registry.Snap());
+  const std::string second = obs::WritePrometheusText(registry.Snap());
+  EXPECT_EQ(first, second);
+  // Name-sorted: alpha renders before zulu.
+  EXPECT_LT(first.find("prom_test_alpha"), first.find("prom_test_zulu"));
+  registry.GetCounter("prom_test.zulu").Reset();
+  registry.GetCounter("prom_test.alpha").Reset();
+  obs::SetMetricsEnabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace dagperf

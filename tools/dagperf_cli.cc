@@ -22,6 +22,10 @@
 //                    [--threads N] [--queue-depth D] [--deadline-seconds D]
 //                    [--grace-seconds G] [--watchdog-multiple M]
 //                    [--breaker-threshold K] [--read-idle-seconds I]
+//                    [--metrics-port P] [--slo-p99-ms MS] [--slo-availability F]
+//                    [--flight-out FILE.json]
+//   dagperf metrics  [--port P] [--prom]
+//   dagperf top      --port P [--interval-ms I] [--iterations N]
 //
 // `serve` runs the estimation service (src/service/): the named workflow
 // suite is pre-registered and requests arrive as newline-delimited JSON
@@ -50,6 +54,19 @@
 // registry after the run; --trace-out FILE enables span tracing and writes
 // the recorded Chrome-trace timeline (open in Perfetto). `explain` and
 // `estimate` additionally append the *modeled* state timeline to the trace.
+// Both files are written on error exits too (2/3/4 included) — a failed run
+// is exactly when the telemetry matters.
+//
+// Serving observability (docs/observability.md): `serve --metrics-port P`
+// exposes Prometheus text on http://127.0.0.1:P/metrics; --slo-p99-ms /
+// --slo-availability arm SLO objectives (windowed burn rates via the `slo`
+// verb and slo.* gauges); --flight-out FILE dumps the request flight
+// recorder on exit, SIGTERM drain included. Any of these flags arms request
+// recording. `dagperf metrics --port P` fetches a running server's registry
+// over the `metrics` verb (--prom prints Prometheus text); without --port it
+// prints this process's own registry. `dagperf top --port P` subscribes via
+// the `watch` verb and renders live RPS / p50 / p99 / error rate / cache
+// hit rate / breaker states, one line per frame.
 
 #include <csignal>
 #include <cstdio>
@@ -60,7 +77,13 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "common/cancel.h"
 #include "common/json.h"
@@ -73,7 +96,9 @@
 #include "model/sweep.h"
 #include "model/task_time_source.h"
 #include "obs/metrics.h"
+#include "obs/prom.h"
 #include "obs/trace.h"
+#include "service/metrics_http.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "sim/simulator.h"
@@ -109,8 +134,9 @@ int ExitCodeFor(const Status& status) {
     case ErrorCode::kCancelled:
       return kExitDeadline;
     case ErrorCode::kResourceExhausted:
-      // Transient (the service shed the request); retryable, so runtime
-      // trouble rather than invalid input.
+    case ErrorCode::kUnavailable:
+      // Transient (the service shed the request / peer not reachable);
+      // retryable, so runtime trouble rather than invalid input.
       return kExitRuntime;
     case ErrorCode::kInternal:
       return kExitInternal;
@@ -174,7 +200,7 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: dagperf <list|export|simulate|estimate|explain|compare|"
-               "sweep|tune|serve> "
+               "sweep|tune|serve|metrics|top> "
                "[--flow NAME | --spec FILE.json] [--job WC|TS|TSC|TS2R|TS3R] "
                "[--scale S] [--nodes N] [--seed K] [--input-gb G] [--baseline R] "
                "[--reducers 8,16,32] [--nodes-list 2,4,8] [--threads N] "
@@ -184,7 +210,9 @@ int Usage() {
                "[--metrics-json F] [--trace-out F] "
                "[--stdio] [--port P] [--queue-depth D] [--grace-seconds G] "
                "[--watchdog-multiple M] [--breaker-threshold K] "
-               "[--read-idle-seconds I]\n");
+               "[--read-idle-seconds I] "
+               "[--metrics-port P] [--slo-p99-ms MS] [--slo-availability F] "
+               "[--flight-out F] [--prom] [--interval-ms I] [--iterations N]\n");
   return 2;
 }
 
@@ -689,6 +717,20 @@ int CmdServe(const Args& args) {
   if (options.max_queue_depth < 1) {
     return Fail(Status::InvalidArgument("--queue-depth must be >= 1"));
   }
+  options.slo.p99_ms = args.GetDouble("slo-p99-ms", 0.0);
+  options.slo.availability = args.GetDouble("slo-availability", 0.0);
+  if (options.slo.availability >= 1.0 || options.slo.availability < 0.0) {
+    return Fail(Status::InvalidArgument(
+        "--slo-availability must be a fraction in [0, 1), e.g. 0.999"));
+  }
+  const bool has_metrics_port = args.options.count("metrics-port") > 0;
+  const std::string flight_path = args.Get("flight-out", "");
+  if (has_metrics_port || !flight_path.empty() || options.slo.latency_enabled() ||
+      options.slo.availability_enabled()) {
+    // Any serving-observability flag arms collection: request records, SLO
+    // windows, and the metric registry all gate on the same switch.
+    obs::SetMetricsEnabled(true);
+  }
   EstimationService service(options);
 
   const int nodes = args.GetInt("nodes", 0);
@@ -720,46 +762,250 @@ int CmdServe(const Args& args) {
   std::fprintf(stderr, "dagperf serve: %zu workflows registered (scale %g)\n",
                service.WorkflowNames().size(), scale);
 
-  if (args.options.count("port") > 0) {
-    TcpServerOptions tcp;
-    tcp.port = args.GetInt("port", 0);
-    tcp.max_connections = args.GetInt("max-connections", 0);
-    tcp.drain_grace_seconds = args.GetDouble("grace-seconds", 5.0);
-    tcp.read_idle_timeout_seconds = args.GetDouble("read-idle-seconds", 30.0);
-    tcp.stop = ServeStopToken();
-    tcp.on_listen = [](int port) {
-      std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
+  // The Prometheus scrape endpoint runs beside either transport on its own
+  // thread; it is stopped and joined after the serve loop ends.
+  CancelToken metrics_stop = CancelToken::Cancellable();
+  std::thread metrics_thread;
+  if (has_metrics_port) {
+    MetricsHttpOptions http;
+    http.port = args.GetInt("metrics-port", 0);
+    http.stop = metrics_stop;
+    http.before_scrape = [&service] {
+      service.slo_tracker().PublishGauges(service.slo_tracker().Snapshot());
     };
-    std::signal(SIGTERM, HandleServeSignal);
-    std::signal(SIGINT, HandleServeSignal);
-    Result<TcpServeSummary> served = ServeTcp(service, tcp);
-    std::signal(SIGTERM, SIG_DFL);
-    std::signal(SIGINT, SIG_DFL);
-    if (!served.ok()) return Fail(served.status());
-    const TcpServeSummary& summary = served.value();
-    std::fprintf(stderr, "served %llu requests over %llu connections (%s)\n",
+    http.on_listen = [](int port) {
+      std::fprintf(stderr, "metrics on http://127.0.0.1:%d/metrics\n", port);
+    };
+    metrics_thread = std::thread([http] {
+      Result<MetricsHttpSummary> served = ServeMetricsHttp(http);
+      if (!served.ok()) {
+        std::fprintf(stderr, "metrics endpoint: %s\n",
+                     served.status().ToString().c_str());
+      }
+    });
+  }
+
+  const int rc = [&]() -> int {
+    if (args.options.count("port") > 0) {
+      TcpServerOptions tcp;
+      tcp.port = args.GetInt("port", 0);
+      tcp.max_connections = args.GetInt("max-connections", 0);
+      tcp.drain_grace_seconds = args.GetDouble("grace-seconds", 5.0);
+      tcp.read_idle_timeout_seconds = args.GetDouble("read-idle-seconds", 30.0);
+      tcp.stop = ServeStopToken();
+      tcp.on_listen = [](int port) {
+        std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
+      };
+      std::signal(SIGTERM, HandleServeSignal);
+      std::signal(SIGINT, HandleServeSignal);
+      Result<TcpServeSummary> served = ServeTcp(service, tcp);
+      std::signal(SIGTERM, SIG_DFL);
+      std::signal(SIGINT, SIG_DFL);
+      if (!served.ok()) return Fail(served.status());
+      const TcpServeSummary& summary = served.value();
+      std::fprintf(stderr, "served %llu requests over %llu connections (%s)\n",
+                   static_cast<unsigned long long>(summary.requests),
+                   static_cast<unsigned long long>(summary.connections),
+                   summary.stopped   ? "stopped by signal"
+                   : summary.drained ? "drained"
+                                     : "connection limit");
+      if (summary.stopped) {
+        std::fprintf(stderr,
+                     "shutdown: %d in flight, %d cancelled, graceful=%s, "
+                     "waited %.3fs\n",
+                     summary.shutdown.inflight_at_shutdown,
+                     summary.shutdown.cancelled,
+                     summary.shutdown.graceful ? "yes" : "no",
+                     summary.shutdown.waited_seconds);
+      }
+      return kExitOk;
+    }
+
+    const ServeSummary summary = ServeLines(service, std::cin, std::cout);
+    std::fprintf(stderr, "served %llu requests (%s)\n",
                  static_cast<unsigned long long>(summary.requests),
-                 static_cast<unsigned long long>(summary.connections),
-                 summary.stopped   ? "stopped by signal"
-                 : summary.drained ? "drained"
-                                   : "connection limit");
-    if (summary.stopped) {
-      std::fprintf(stderr,
-                   "shutdown: %d in flight, %d cancelled, graceful=%s, "
-                   "waited %.3fs\n",
-                   summary.shutdown.inflight_at_shutdown,
-                   summary.shutdown.cancelled,
-                   summary.shutdown.graceful ? "yes" : "no",
-                   summary.shutdown.waited_seconds);
+                 summary.drained ? "drained" : "stdin closed");
+    return kExitOk;
+  }();
+
+  metrics_stop.Cancel();
+  if (metrics_thread.joinable()) metrics_thread.join();
+
+  if (!flight_path.empty()) {
+    // Dumped on every exit path -- EOF, drain verb, SIGTERM shutdown -- so
+    // the last-N request records survive the process. Confirmation goes to
+    // stderr; stdout stays protocol-only.
+    std::ofstream out(flight_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", flight_path.c_str());
+      return rc == kExitOk ? kExitRuntime : rc;
+    }
+    out << service.flight_recorder().ToJson() << "\n";
+    std::fprintf(stderr, "wrote %s\n", flight_path.c_str());
+  }
+  return rc;
+}
+
+/// Connects to a local `dagperf serve --port` server, sends one request
+/// line, and invokes `on_line` per response line until it returns false or
+/// the peer closes. Used by `metrics` (one response) and `top` (a stream of
+/// watch frames).
+Status QueryServer(int port, const std::string& request,
+                   const std::function<bool(const std::string&)>& on_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("cannot connect to 127.0.0.1:" +
+                               std::to_string(port) + ": " + detail +
+                               " (is `dagperf serve --port` running?)");
+  }
+  const std::string line = request + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Unavailable("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  bool keep = true;
+  while (keep) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while (keep && (pos = buffer.find('\n')) != std::string::npos) {
+      const std::string response = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!response.empty()) keep = on_line(response);
+    }
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+/// Prints a server's metric registry (or, without --port, this process's
+/// own) as JSON or Prometheus text.
+int CmdMetrics(const Args& args) {
+  const bool prom = args.options.count("prom") > 0;
+  if (args.options.count("port") == 0) {
+    // Local mode: the current process's registry — an empty-but-armed
+    // registry is still useful for eyeballing the exposition format.
+    obs::SetMetricsEnabled(true);
+    if (prom) {
+      std::printf("%s", obs::WritePrometheusText().c_str());
+    } else {
+      std::printf("%s\n", obs::MetricsRegistry::Default().ToJson().c_str());
     }
     return kExitOk;
   }
+  const int port = args.GetInt("port", 0);
+  const std::string request =
+      prom ? R"({"op":"metrics","format":"prom","id":1})"
+           : R"({"op":"metrics","id":1})";
+  int rc = kExitRuntime;
+  const Status status =
+      QueryServer(port, request, [&](const std::string& line) {
+        Result<Json> parsed = Json::Parse(line);
+        if (!parsed.ok()) return false;
+        if (!parsed->GetBool("ok", false)) {
+          std::fprintf(stderr, "server error: %s\n", line.c_str());
+          return false;
+        }
+        const Json* result = parsed->Get("result");
+        if (result == nullptr) return false;
+        if (prom) {
+          std::printf("%s", result->GetString("text", "").c_str());
+        } else {
+          std::printf("%s\n", result->Dump().c_str());
+        }
+        rc = kExitOk;
+        return false;  // One response; done.
+      });
+  if (!status.ok()) return Fail(status);
+  return rc;
+}
 
-  const ServeSummary summary = ServeLines(service, std::cin, std::cout);
-  std::fprintf(stderr, "served %llu requests (%s)\n",
-               static_cast<unsigned long long>(summary.requests),
-               summary.drained ? "drained" : "stdin closed");
-  return kExitOk;
+/// Live serving dashboard: subscribes to a server's `watch` stream and
+/// renders one line per frame — RPS, latency quantiles, error and cache hit
+/// rates, queue depth, breaker states — until the stream ends (server
+/// drained, --iterations reached, or connection lost).
+int CmdTop(const Args& args) {
+  if (args.options.count("port") == 0) {
+    return Fail(Status::InvalidArgument(
+        "top needs --port P of a running `dagperf serve --port`"));
+  }
+  const int port = args.GetInt("port", 0);
+  const int interval_ms = args.GetInt("interval-ms", 1000);
+  const int iterations = args.GetInt("iterations", 0);
+  const std::string request = "{\"op\":\"watch\",\"interval_ms\":" +
+                              std::to_string(interval_ms) +
+                              ",\"count\":" + std::to_string(iterations) +
+                              ",\"id\":1}";
+  std::printf("%8s %9s %9s %7s %7s %6s %6s  %s\n", "rps", "p50(ms)",
+              "p99(ms)", "err%", "dl-hit%", "hit%", "queue", "breakers");
+  int rc = kExitRuntime;
+  int frames = 0;
+  const Status status =
+      QueryServer(port, request, [&](const std::string& line) {
+        Result<Json> parsed = Json::Parse(line);
+        if (!parsed.ok()) return true;  // Tolerate a torn line.
+        if (!parsed->GetBool("ok", false)) {
+          std::fprintf(stderr, "server error: %s\n", line.c_str());
+          return false;
+        }
+        const Json* result = parsed->Get("result");
+        const Json* slo = result ? result->Get("slo_10s") : nullptr;
+        const Json* stats = result ? result->Get("stats") : nullptr;
+        if (slo == nullptr || stats == nullptr) return false;
+        const Json* cache = stats->Get("cache");
+        std::string breakers;
+        if (const Json* b = result->Get("breakers");
+            b != nullptr && b->type() == Json::Type::kObject) {
+          for (const auto& [name, value] : b->AsObject()) {
+            // "resilience.breaker_state[.cluster]" -> cluster name.
+            std::string cluster = name.size() > 24 ? name.substr(25) : "default";
+            const int state = static_cast<int>(value.AsNumber());
+            if (!breakers.empty()) breakers += " ";
+            breakers += cluster + ":" +
+                        (state == 0 ? "closed"
+                                    : state == 1 ? "open" : "half-open");
+          }
+        }
+        if (breakers.empty()) breakers = "-";
+        std::printf("%8.1f %9.2f %9.2f %6.1f%% %6.1f%% %5.0f%% %6.0f  %s\n",
+                    slo->GetNumber("rps", 0.0), slo->GetNumber("p50_ms", 0.0),
+                    slo->GetNumber("p99_ms", 0.0),
+                    100.0 * slo->GetNumber("error_rate", 0.0),
+                    100.0 * slo->GetNumber("deadline_hit_rate", 1.0),
+                    100.0 * (cache ? cache->GetNumber("hit_rate", 0.0) : 0.0),
+                    stats->GetNumber("queue_depth", 0.0), breakers.c_str());
+        std::fflush(stdout);
+        rc = kExitOk;
+        // The server stops sending after `count` frames but leaves the
+        // connection open for the next request; stop reading client-side.
+        return iterations == 0 || ++frames < iterations;
+      });
+  if (!status.ok()) return Fail(status);
+  return rc;
 }
 
 int Main(int argc, char** argv) {
@@ -771,7 +1017,7 @@ int Main(int argc, char** argv) {
     if (std::strncmp(arg, "--", 2) != 0) return Usage();
     const std::string key = arg + 2;
     // Valueless switches; everything else is a --key VALUE pair.
-    if (key == "stdio") {
+    if (key == "stdio" || key == "prom") {
       args.options[key] = "1";
       continue;
     }
@@ -785,6 +1031,35 @@ int Main(int argc, char** argv) {
   const std::string trace_path = args.Get("trace-out", "");
   if (!metrics_path.empty()) obs::SetMetricsEnabled(true);
   if (!trace_path.empty()) obs::TraceRecorder::Default().SetEnabled(true);
+
+  // Writes the observability dumps. Runs on EVERY exit path through Main —
+  // error exits (2/3/4) and the FlagError catch included — because a failed
+  // run is exactly when the collected telemetry matters. Returns the exit
+  // code to use: `rc` normally, kExitRuntime when a dump itself failed on
+  // an otherwise-clean run (a command's own error always wins).
+  const auto dump_observability = [&](int rc) -> int {
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+        if (rc == kExitOk) rc = kExitRuntime;
+      } else {
+        out << obs::MetricsRegistry::Default().ToJson() << "\n";
+        std::printf("wrote %s\n", metrics_path.c_str());
+      }
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+        if (rc == kExitOk) rc = kExitRuntime;
+      } else {
+        obs::TraceRecorder::Default().Write(out);
+        std::printf("wrote %s\n", trace_path.c_str());
+      }
+    }
+    return rc;
+  };
 
   int rc;
   try {
@@ -806,33 +1081,18 @@ int Main(int argc, char** argv) {
       rc = CmdTune(args);
     } else if (args.command == "serve") {
       rc = CmdServe(args);
+    } else if (args.command == "metrics") {
+      rc = CmdMetrics(args);
+    } else if (args.command == "top") {
+      rc = CmdTop(args);
     } else {
       return Usage();
     }
   } catch (const FlagError& e) {
     std::fprintf(stderr, "%s\n", e.what());
-    return kExitInvalid;
+    return dump_observability(kExitInvalid);
   }
-
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
-      return 1;
-    }
-    out << obs::MetricsRegistry::Default().ToJson() << "\n";
-    std::printf("wrote %s\n", metrics_path.c_str());
-  }
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
-      return 1;
-    }
-    obs::TraceRecorder::Default().Write(out);
-    std::printf("wrote %s\n", trace_path.c_str());
-  }
-  return rc;
+  return dump_observability(rc);
 }
 
 }  // namespace
