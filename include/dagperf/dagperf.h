@@ -37,6 +37,7 @@
 #include "model/explain.h"
 #include "model/incremental.h"
 #include "model/progress.h"
+#include "model/snapshot.h"
 #include "model/state_estimator.h"
 #include "model/sweep.h"
 #include "model/task_time_cache.h"
@@ -45,19 +46,22 @@
 #include "sim/simulator.h"
 
 // Resilience: client-side retry with jittered backoff, circuit breakers,
-// the request watchdog, and the deterministic fault injector chaos tests
-// drive (docs/robustness.md).
+// the request watchdog, the CoDel-style overload/brownout controller, and
+// the deterministic fault injector chaos tests drive (docs/robustness.md).
 #include "resilience/circuit_breaker.h"
 #include "resilience/fault.h"
+#include "resilience/overload.h"
 #include "resilience/retry.h"
 #include "resilience/watchdog.h"
 
 // The estimation service: long-lived serving entry point + NDJSON protocol,
-// plus the loopback /metrics HTTP endpoint for Prometheus scrapes.
+// per-tenant DRF fair-share admission, plus the loopback /metrics HTTP
+// endpoint for Prometheus scrapes.
 #include "service/metrics_http.h"
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "service/tenancy.h"
 
 // Ready-made workloads: paper micro jobs, the Table III suite, TPC-H,
 // Spark-ML shapes, the web-analytics running example.

@@ -79,11 +79,28 @@ class Status {
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Server-suggested earliest retry time for retryable failures, in
+  /// milliseconds; 0 means "no hint" (clients fall back to their own
+  /// backoff). The estimation service attaches this to every shed response
+  /// so a CoDel-paced admission queue can spread the retry wave; the wire
+  /// protocol carries it as error.retry_after_ms and RetryPolicy honours it
+  /// as a backoff floor.
+  double retry_after_ms() const { return retry_after_ms_; }
+  void set_retry_after_ms(double ms) { retry_after_ms_ = ms < 0 ? 0.0 : ms; }
+
+  /// Chainable form for the construction helpers above:
+  ///   return Status::ResourceExhausted("...").WithRetryAfterMs(40);
+  Status&& WithRetryAfterMs(double ms) && {
+    set_retry_after_ms(ms);
+    return std::move(*this);
+  }
+
   std::string ToString() const;
 
  private:
   ErrorCode code_;
   std::string message_;
+  double retry_after_ms_ = 0.0;
 };
 
 /// Either a value of type T or an error Status. Accessing value() when

@@ -206,6 +206,20 @@ void PrefixCheckpointStore::Clear() {
   resumed_states_.store(0, std::memory_order_relaxed);
 }
 
+std::vector<std::shared_ptr<const EstimatorCheckpoint>>
+PrefixCheckpointStore::Export() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const EstimatorCheckpoint>> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, checkpoint] : entries_) out.push_back(checkpoint);
+  return out;
+}
+
+void PrefixCheckpointStore::Import(
+    const std::vector<std::shared_ptr<const EstimatorCheckpoint>>& entries) {
+  for (const auto& checkpoint : entries) Insert(checkpoint);
+}
+
 PrefixCheckpointStore::Stats PrefixCheckpointStore::stats() const {
   Stats s;
   s.hits = hits_.load(std::memory_order_relaxed);

@@ -155,6 +155,16 @@ class PrefixCheckpointStore {
   void Clear();
   Stats stats() const;
 
+  /// Snapshot of every stored checkpoint (order unspecified) — the
+  /// warm-state snapshot (model/snapshot.h) serialises these.
+  std::vector<std::shared_ptr<const EstimatorCheckpoint>> Export() const;
+
+  /// Re-inserts checkpoints through Insert(): first-wins, byte-capped, and
+  /// done-set registration all apply, so a restored store probes exactly
+  /// like the store it was saved from.
+  void Import(
+      const std::vector<std::shared_ptr<const EstimatorCheckpoint>>& entries);
+
   /// Appends the global part of a checkpoint key: scope + everything the
   /// estimator consumes from cluster, scheduler, and options. Excludes
   /// max_states and budget — both only bound how far an estimate gets, never

@@ -111,6 +111,37 @@ void TaskTimeMemo::Clear() {
   insert_races_.store(0, std::memory_order_relaxed);
 }
 
+std::vector<TaskTimeMemo::ExportedEntry> TaskTimeMemo::Export() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<ExportedEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    ExportedEntry exported;
+    exported.key = key;
+    exported.time = entry.time;
+    exported.dist = entry.dist;
+    exported.has_time = entry.has_time;
+    exported.has_dist = entry.has_dist;
+    out.push_back(std::move(exported));
+  }
+  return out;
+}
+
+void TaskTimeMemo::Import(const std::vector<ExportedEntry>& entries) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (const ExportedEntry& exported : entries) {
+    Entry& entry = entries_[exported.key];
+    if (exported.has_time && !entry.has_time) {
+      entry.time = exported.time;
+      entry.has_time = true;
+    }
+    if (exported.has_dist && !entry.has_dist) {
+      entry.dist = exported.dist;
+      entry.has_dist = true;
+    }
+  }
+}
+
 MemoizedTaskTimeSource::MemoizedTaskTimeSource(const TaskTimeSource& base,
                                                TaskTimeMemo* memo, std::string scope)
     : base_(base), memo_(memo), scope_(std::move(scope)) {}

@@ -6,6 +6,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "model/task_time_source.h"
 
@@ -48,8 +49,24 @@ class TaskTimeMemo {
   Stats stats() const;
   void Clear();
 
-  /// Exact serialisation of a context (plus scope), the memo key. Exposed
-  /// for tests.
+  /// One memo entry in exported form — the warm-state snapshot
+  /// (model/snapshot.h) serialises these; Entry itself stays private.
+  struct ExportedEntry {
+    std::string key;
+    Duration time;
+    NormalParams dist;
+    bool has_time = false;
+    bool has_dist = false;
+  };
+
+  /// Snapshot of every stored entry (order unspecified).
+  std::vector<ExportedEntry> Export() const;
+
+  /// Merges entries into the memo. Existing keys keep their stored value —
+  /// sources are deterministic, so a colliding import carries the same bits
+  /// either way. Hit/miss counters are untouched: imported warmth shows up
+  /// as hits, exactly like warmth earned by serving.
+  void Import(const std::vector<ExportedEntry>& entries);
   static std::string Fingerprint(const std::string& scope,
                                  const EstimationContext& context);
 

@@ -1,0 +1,156 @@
+#include "resilience/overload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dagperf {
+namespace resilience {
+
+namespace {
+
+/// overload.* metric handles; recording is gated on the process-wide obs
+/// flag like every other namespace.
+struct OverloadMetrics {
+  obs::Gauge& level;
+  obs::Counter& shed;
+  obs::Counter& escalations;
+  obs::Counter& recoveries;
+  obs::Histogram& sojourn_ms;
+
+  OverloadMetrics()
+      : level(obs::MetricsRegistry::Default().GetGauge("overload.level")),
+        shed(obs::MetricsRegistry::Default().GetCounter("overload.shed")),
+        escalations(obs::MetricsRegistry::Default().GetCounter(
+            "overload.escalations")),
+        recoveries(
+            obs::MetricsRegistry::Default().GetCounter("overload.recoveries")),
+        sojourn_ms(
+            obs::MetricsRegistry::Default().GetHistogram("overload.sojourn_ms")) {
+  }
+};
+
+OverloadMetrics& Metrics() {
+  static OverloadMetrics* metrics = new OverloadMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+OverloadController::OverloadController(OverloadOptions options)
+    : options_(options) {
+  options_.target_sojourn_ms = std::max(0.0, options_.target_sojourn_ms);
+  options_.interval_ms = std::max(1.0, options_.interval_ms);
+  options_.escalate_after = std::max(1, options_.escalate_after);
+  options_.recover_after = std::max(1, options_.recover_after);
+  options_.max_level = std::min(3, std::max(1, options_.max_level));
+  options_.retry_after_floor_ms = std::max(1.0, options_.retry_after_floor_ms);
+}
+
+void OverloadController::ObserveSojourn(double sojourn_ms, double now_us) {
+  Metrics().sojourn_ms.Record(std::max(0.0, sojourn_ms));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_end_us_ == 0.0) {
+    window_end_us_ = now_us + options_.interval_ms * 1e3;
+  }
+  if (now_us >= window_end_us_) {
+    CloseInterval(now_us);
+  }
+  if (window_min_ms_ < 0.0 || sojourn_ms < window_min_ms_) {
+    window_min_ms_ = sojourn_ms;
+  }
+}
+
+void OverloadController::CloseInterval(double now_us) {
+  // A window with no observations carries no signal either way: an idle
+  // service is not "below target", it is unmeasured — skip such windows so a
+  // quiet period neither escalates nor recovers the ladder.
+  if (window_min_ms_ >= 0.0) {
+    last_interval_min_ms_ = window_min_ms_;
+    if (window_min_ms_ > options_.target_sojourn_ms) {
+      ++bad_intervals_;
+      good_intervals_ = 0;
+      if (!forced_ && bad_intervals_ >= options_.escalate_after) {
+        bad_intervals_ = 0;
+        const int current = level_.load(std::memory_order_relaxed);
+        if (current < options_.max_level) {
+          ++escalations_;
+          Metrics().escalations.Add(1);
+          SetLevel(current + 1);
+        }
+      }
+    } else {
+      ++good_intervals_;
+      bad_intervals_ = 0;
+      if (!forced_ && good_intervals_ >= options_.recover_after) {
+        good_intervals_ = 0;
+        const int current = level_.load(std::memory_order_relaxed);
+        if (current > 0) {
+          ++recoveries_;
+          Metrics().recoveries.Add(1);
+          SetLevel(current - 1);
+        }
+      }
+    }
+  }
+  window_min_ms_ = -1.0;
+  window_end_us_ = now_us + options_.interval_ms * 1e3;
+}
+
+void OverloadController::SetLevel(int next) {
+  const int from = level_.load(std::memory_order_relaxed);
+  if (from == next) return;
+  level_.store(next, std::memory_order_release);
+  Metrics().level.Set(next);
+  if (on_transition_) on_transition_(from, next);
+}
+
+bool OverloadController::ShouldShed(bool warm, bool expensive) const {
+  const int level = level_.load(std::memory_order_acquire);
+  if (level <= 0 || warm) return false;
+  if (level >= options_.max_level) return true;  // Brownout: warm-only.
+  return expensive;
+}
+
+double OverloadController::RetryAfterMs() const {
+  const int level =
+      std::max(1, std::min(3, level_.load(std::memory_order_acquire)));
+  return options_.retry_after_floor_ms * static_cast<double>(1 << level);
+}
+
+void OverloadController::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().shed.Add(1);
+}
+
+void OverloadController::SetTransitionCallback(
+    std::function<void(int, int)> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_transition_ = std::move(callback);
+}
+
+void OverloadController::ForceLevelForTest(int level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (level < 0) {
+    forced_ = false;
+    return;
+  }
+  forced_ = true;
+  bad_intervals_ = good_intervals_ = 0;
+  SetLevel(std::min(options_.max_level, level));
+}
+
+OverloadController::Stats OverloadController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.level = level_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.escalations = escalations_;
+  s.recoveries = recoveries_;
+  s.last_interval_min_ms = last_interval_min_ms_;
+  return s;
+}
+
+}  // namespace resilience
+}  // namespace dagperf

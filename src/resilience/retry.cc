@@ -51,6 +51,10 @@ bool RetryPolicy::KeepTrying(const Status& status, int attempt,
     return false;
   }
   double sleep_ms = NextBackoffMs(attempt - 1);
+  // A server-provided retry_after_ms hint (overload / fair-share sheds) is a
+  // floor, not a replacement: jitter still spreads clients above it, and the
+  // budget cap below still wins — a hint can never starve the final attempt.
+  sleep_ms = std::max(sleep_ms, status.retry_after_ms());
   // Never sleep past the deadline: cap to the remaining budget so the final
   // attempt still has wall-clock to run in.
   const double remaining_ms = budget.deadline.remaining_seconds() * 1e3;

@@ -39,10 +39,11 @@ class RetryPolicy {
   explicit RetryPolicy(RetryOptions options = {});
 
   /// Runs `op` under the policy. Retries only statuses with
-  /// IsRetryable(code); sleeps the jittered backoff between attempts, capped
-  /// by the budget's remaining time. Returns the first success, the first
-  /// non-retryable failure, or — once attempts or budget run out — the last
-  /// retryable failure.
+  /// IsRetryable(code); sleeps the jittered backoff between attempts —
+  /// floored at the status's server-provided retry_after_ms hint when one is
+  /// set — capped by the budget's remaining time. Returns the first success,
+  /// the first non-retryable failure, or — once attempts or budget run out —
+  /// the last retryable failure.
   template <typename T>
   Result<T> Run(const std::function<Result<T>()>& op,
                 const Budget& budget = {}) {

@@ -18,11 +18,17 @@ namespace dagperf {
 namespace {
 
 Json ErrorResponseWithCode(const Json* id, const std::string& code,
-                           bool retryable, const std::string& message) {
+                           bool retryable, const std::string& message,
+                           double retry_after_ms = 0.0) {
   Json error = Json::MakeObject();
   error.Set("code", Json::MakeString(code));
   error.Set("retryable", Json::MakeBool(retryable));
   error.Set("message", Json::MakeString(message));
+  // Server-paced backoff hint (overload / fair-share sheds). Emitted only
+  // when the server actually set one, so existing error shapes are stable.
+  if (retry_after_ms > 0) {
+    error.Set("retry_after_ms", Json::MakeNumber(retry_after_ms));
+  }
   Json response = Json::MakeObject();
   if (id != nullptr) response.Set("id", *id);
   response.Set("ok", Json::MakeBool(false));
@@ -32,7 +38,8 @@ Json ErrorResponseWithCode(const Json* id, const std::string& code,
 
 Json ErrorResponse(const Json* id, const Status& status) {
   return ErrorResponseWithCode(id, ErrorCodeName(status.code()),
-                               IsRetryable(status.code()), status.message());
+                               IsRetryable(status.code()), status.message(),
+                               status.retry_after_ms());
 }
 
 /// The explicit-null id for responses to lines that never yielded a request
@@ -72,6 +79,13 @@ Json EstimateToJson(const WorkflowEstimate& served, bool explain) {
                            static_cast<double>(served.estimate.states.size())));
   result.Set("queue_wait_ms", Json::MakeNumber(served.queue_wait_ms));
   result.Set("service_ms", Json::MakeNumber(served.service_ms));
+  // Brownout tag: the answer is still the paper's model, but attribution may
+  // be absent and the state budget capped. Emitted only when set, so the
+  // healthy response shape is unchanged.
+  if (served.degraded) {
+    result.Set("degraded", Json::MakeBool(true));
+    result.Set("degrade_level", Json::MakeNumber(served.degrade_level));
+  }
   result.Set("stages", StageSpansToJson(*served.flow, served.estimate));
   if (explain) {
     Json path = Json::MakeArray();
@@ -178,6 +192,29 @@ Json StatsToJson(const ServiceStats& stats) {
       "bytes", Json::MakeNumber(static_cast<double>(stats.incremental.bytes)));
   incremental.Set("hit_rate", Json::MakeNumber(stats.incremental.hit_rate()));
   result.Set("incremental", std::move(incremental));
+  Json tenants = Json::MakeArray();
+  for (const TenantRegistry::TenantStats& tenant : stats.tenants) {
+    Json t = Json::MakeObject();
+    t.Set("name", Json::MakeString(tenant.name));
+    t.Set("inflight", Json::MakeNumber(tenant.inflight));
+    t.Set("queued", Json::MakeNumber(tenant.queued));
+    t.Set("submitted",
+          Json::MakeNumber(static_cast<double>(tenant.submitted)));
+    t.Set("completed",
+          Json::MakeNumber(static_cast<double>(tenant.completed)));
+    t.Set("failed", Json::MakeNumber(static_cast<double>(tenant.failed)));
+    t.Set("shed_total",
+          Json::MakeNumber(static_cast<double>(tenant.shed_total)));
+    t.Set("cpu_ms", Json::MakeNumber(tenant.cpu_ms));
+    t.Set("ema_cost_ms", Json::MakeNumber(tenant.ema_cost_ms));
+    tenants.Append(std::move(t));
+  }
+  result.Set("tenants", std::move(tenants));
+  Json overload = Json::MakeObject();
+  overload.Set("level", Json::MakeNumber(stats.overload_level));
+  overload.Set("shed",
+               Json::MakeNumber(static_cast<double>(stats.overload_shed)));
+  result.Set("overload", std::move(overload));
   return result;
 }
 
@@ -313,6 +350,7 @@ std::string Protocol::HandleRequest(const Json& request) {
   if (op == "estimate" || op == "explain") {
     ServiceRequest service_request;
     service_request.explain = (op == "explain");
+    service_request.tenant = request.GetString("tenant", "");
     if (Status common = FillRequestCommon(
             request, &service_request.workflow, &service_request.flow,
             &service_request.cluster, &service_request.budget);
@@ -336,6 +374,7 @@ std::string Protocol::HandleRequest(const Json& request) {
 
   if (op == "sweep") {
     ServiceSweepRequest sweep_request;
+    sweep_request.tenant = request.GetString("tenant", "");
     if (Status common = FillRequestCommon(
             request, &sweep_request.workflow, &sweep_request.flow,
             &sweep_request.cluster, &sweep_request.budget);

@@ -8,6 +8,7 @@
 #include "boe/boe_model.h"
 #include "cluster/validate.h"
 #include "dag/validate.h"
+#include "model/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resilience/fault.h"
@@ -136,6 +137,22 @@ EstimationService::EstimationService(ServiceOptions options)
     watchdog_options.counter_name = "service.watchdog_cancels";
     watchdog_ = std::make_unique<resilience::Watchdog>(watchdog_options);
   }
+  TenantRegistry::Options tenant_options;
+  tenant_options.capacity_slots = options_.max_queue_depth;
+  tenants_ = std::make_unique<TenantRegistry>(tenant_options);
+  if (options_.overload_target_sojourn_ms > 0) {
+    resilience::OverloadOptions overload_options = options_.overload;
+    overload_options.target_sojourn_ms = options_.overload_target_sojourn_ms;
+    overload_ =
+        std::make_unique<resilience::OverloadController>(overload_options);
+    // Ladder transitions into the flight recorder, same as breaker
+    // transitions: the overload gauge only shows the current level, but a
+    // post-mortem needs the escalation/recovery sequence with its timing.
+    overload_->SetTransitionCallback([this](int from, int to) {
+      flight_.AddEvent("overload", "brownout level " + std::to_string(from) +
+                                       " -> " + std::to_string(to));
+    });
+  }
   pool_ = std::make_unique<ThreadPool>(threads);
   RegisterCluster("default", ClusterSpec::PaperCluster());
 }
@@ -229,7 +246,49 @@ EstimationService::ResolveCluster(const std::string& name) const {
   return it->second;
 }
 
-Status EstimationService::Admit() {
+EstimationService::CostClass EstimationService::ClassifyCost(
+    const ServiceRequest& request) const {
+  std::string name;
+  Result<std::shared_ptr<const DagWorkflow>> flow =
+      ResolveFlow(request.workflow, request.flow, &name);
+  if (!flow.ok()) return CostClass::kCheap;
+  Result<std::shared_ptr<const ClusterEntry>> cluster =
+      ResolveCluster(request.cluster);
+  if (!cluster.ok()) return CostClass::kCheap;
+  {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    if (warm_keys_.count(WarmKey(cluster.value()->scope, name, request.nodes)) >
+        0) {
+      return CostClass::kWarm;
+    }
+  }
+  return flow.value()->num_jobs() >= options_.expensive_job_threshold
+             ? CostClass::kExpensive
+             : CostClass::kCheap;
+}
+
+std::string EstimationService::WarmKey(const std::string& scope,
+                                       const std::string& workflow,
+                                       int nodes) {
+  return scope + '|' + workflow + '|' + std::to_string(nodes);
+}
+
+void EstimationService::MarkWarm(const std::string& key) {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  warm_keys_.insert(key);
+}
+
+double EstimationService::RetryAfterHintMs() const {
+  if (overload_ != nullptr) return overload_->RetryAfterMs();
+  // No controller: scale a base hint by queue fullness so a nearly-full
+  // server spreads its retry storm wider than a briefly-full one.
+  const double fullness =
+      static_cast<double>(queue_depth_.load(std::memory_order_relaxed)) /
+      static_cast<double>(options_.max_queue_depth);
+  return 25.0 * (1.0 + std::clamp(fullness, 0.0, 1.0));
+}
+
+Status EstimationService::Admit(const std::string& tenant, CostClass cost) {
   // Claim a slot optimistically; back out when the bound is exceeded. The
   // transient overshoot is invisible (competing claimants also back out).
   const int depth = queue_depth_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -237,15 +296,44 @@ Status EstimationService::Admit() {
     queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
     shed_.fetch_add(1, std::memory_order_relaxed);
     Metrics().shed.Add(1);
+    tenants_->OnShed(tenant);
     return Status::ResourceExhausted(
-        "admission queue full (" + std::to_string(options_.max_queue_depth) +
-        " deep): retry with backoff");
+               "admission queue full (" +
+               std::to_string(options_.max_queue_depth) +
+               " deep): retry with backoff")
+        .WithRetryAfterMs(RetryAfterHintMs());
   }
   // Chaos seam: an injected rejection releases the slot it was granted, so
   // conservation (admitted == released) holds under any schedule.
   if (Status injected = resilience::InjectAt(AdmitFault()); !injected.ok()) {
     queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
     return injected;
+  }
+  // Cost-aware overload shedding: the controller drops expensive cold work
+  // first and warm work never (brownout exists to keep serving it).
+  if (overload_ != nullptr &&
+      overload_->ShouldShed(cost == CostClass::kWarm,
+                            cost == CostClass::kExpensive)) {
+    queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed.Add(1);
+    overload_->RecordShed();
+    tenants_->OnShed(tenant);
+    return Status::ResourceExhausted(
+               "overloaded (brownout level " +
+               std::to_string(overload_->level()) + "): shedding " +
+               (cost == CostClass::kExpensive ? "expensive" : "cold") +
+               " work, retry with backoff")
+        .WithRetryAfterMs(overload_->RetryAfterMs());
+  }
+  // Tenant fair share (DRF) last, so a lone tenant sees exactly the global
+  // queue-bound behaviour and only contended multi-tenant load diverges.
+  if (Status fair = tenants_->Admit(tenant); !fair.ok()) {
+    queue_depth_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed.Add(1);
+    fair.set_retry_after_ms(RetryAfterHintMs());
+    return fair;
   }
   Metrics().queue_depth.Set(depth);
   return Status::Ok();
@@ -261,6 +349,13 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
                                                     obs::RequestRecord* record) {
   const double start_us = obs::MonotonicUs();
   if (record != nullptr) record->start_us = start_us;
+  // Feed the overload controller the queue sojourn every dequeued request
+  // observed — including ones about to expire; their wait is exactly the
+  // signal the controller exists to see.
+  if (overload_ != nullptr) {
+    overload_->ObserveSojourn((start_us - submit_us) * 1e-3, start_us);
+  }
+  const int brownout = overload_ != nullptr ? overload_->level() : 0;
   // A request can spend its whole budget waiting in the queue; detect that
   // here so an expired request costs a check, not an estimate.
   if (request.budget.exhausted()) {
@@ -318,6 +413,17 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
     estimator_options.budget = request.budget;
     estimator_options.attribute_bottlenecks =
         request.explain || estimator_options.attribute_bottlenecks;
+    // Brownout overlay (the resilience/overload.h ladder): level >= 1 drops
+    // bottleneck attribution, level >= 2 additionally caps the state budget.
+    // The answer is tagged degraded below so clients can re-query later.
+    if (brownout >= 1) estimator_options.attribute_bottlenecks = false;
+    if (brownout >= 2) {
+      estimator_options.max_states =
+          estimator_options.max_states > 0
+              ? std::min(estimator_options.max_states,
+                         options_.brownout_max_states)
+              : options_.brownout_max_states;
+    }
 
     // The warm path: every task-time query goes through the service-lifetime
     // memo, scoped by the cluster entry so hardware never aliases, and the
@@ -330,16 +436,36 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
     const StateBasedEstimator estimator(spec, options_.scheduler,
                                         estimator_options);
     Result<DagEstimate> estimate = estimator.Estimate(**flow, cached);
-    if (!estimate.ok()) return estimate.status();
+    if (!estimate.ok()) {
+      Status status = estimate.status();
+      // A brownout state cap is the server's doing, not the workflow's:
+      // rewrite the estimator's kInternal into retryable RESOURCE_EXHAUSTED
+      // (with a retry hint) before the breaker sees it, so brownout never
+      // opens the cluster breaker.
+      if (brownout >= 2 && status.code() == ErrorCode::kInternal &&
+          status.message().find("state limit exceeded") != std::string::npos) {
+        return Status::ResourceExhausted(
+                   "brownout (level " + std::to_string(brownout) +
+                   ") state cap hit for " + workflow_name +
+                   ": retry when the server recovers")
+            .WithRetryAfterMs(RetryAfterHintMs());
+      }
+      return status;
+    }
 
     WorkflowEstimate served;
     served.estimate = std::move(estimate).value();
-    if (request.explain) {
+    if (request.explain && brownout < 1) {
       served.critical_path = CriticalPath(served.estimate);
     }
     served.flow = std::move(flow).value();
     served.workflow = std::move(workflow_name);
     served.cluster = entry.name;
+    served.degraded = brownout >= 1;
+    served.degrade_level = brownout;
+    // This triple now answers from warm state: cost classification stops
+    // shedding it and brownout level 3 keeps serving it.
+    MarkWarm(WarmKey(entry.scope, served.workflow, request.nodes));
     const double end_us = obs::MonotonicUs();
     served.queue_wait_ms = (start_us - submit_us) * 1e-3;
     served.service_ms = (end_us - start_us) * 1e-3;
@@ -468,7 +594,8 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
   if (draining_.load(std::memory_order_acquire)) {
     return reject(Status::FailedPrecondition("service is draining"));
   }
-  if (Status admitted = Admit(); !admitted.ok()) {
+  const std::string tenant = TenantRegistry::Canonical(request.tenant);
+  if (Status admitted = Admit(tenant, ClassifyCost(request)); !admitted.ok()) {
     return reject(std::move(admitted));
   }
 
@@ -496,14 +623,20 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
   std::future<Result<WorkflowEstimate>> future = promise->get_future();
   const double submit_us = obs::MonotonicUs();
   pool_->Submit([this, request = std::move(request), promise, submit_us,
-                 caller_cancel, watch_id, record, observe]() mutable {
+                 caller_cancel, watch_id, record, observe, tenant]() mutable {
+    tenants_->OnExecuteStart(tenant);
+    const double exec_start_us = obs::MonotonicUs();
     Result<WorkflowEstimate> result =
         Execute(request, submit_us, observe ? &record : nullptr);
+    // Execution time only (not queue wait): the EMA this feeds prices the
+    // tenant's future admissions, and waiting is not the tenant's cost.
+    const double exec_ms = (obs::MonotonicUs() - exec_start_us) * 1e-3;
     if (watch_id != 0) watchdog_->Unwatch(watch_id);
     if (!result.ok()) {
       result = Result<WorkflowEstimate>(MapCancelCause(
           result.status(), caller_cancel, observe ? &record : nullptr));
     }
+    tenants_->OnDone(tenant, result.ok(), exec_ms);
     if (result.ok()) {
       completed_.fetch_add(1, std::memory_order_relaxed);
       Metrics().completed.Add(1);
@@ -572,7 +705,10 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
   if (draining_.load(std::memory_order_acquire)) {
     return reject(Status::FailedPrecondition("service is draining"));
   }
-  if (Status admitted = Admit(); !admitted.ok()) {
+  const std::string tenant = TenantRegistry::Canonical(request.tenant);
+  // A sweep is many estimates on one slot — always expensive work to the
+  // overload controller, so brownout sheds batch capacity-planning first.
+  if (Status admitted = Admit(tenant, CostClass::kExpensive); !admitted.ok()) {
     return reject(std::move(admitted));
   }
   if (options_.default_deadline_seconds > 0 && request.budget.deadline.never()) {
@@ -588,11 +724,18 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
 
   auto promise = std::make_shared<std::promise<Result<ServiceSweepResult>>>();
   std::future<Result<ServiceSweepResult>> future = promise->get_future();
+  const double submit_us = obs::MonotonicUs();
   pool_->Submit([this, request = std::move(request), promise, record,
-                 observe]() mutable {
+                 observe, tenant, submit_us]() mutable {
     const double start_us = obs::MonotonicUs();
     record.start_us = start_us;
+    tenants_->OnExecuteStart(tenant);
+    if (overload_ != nullptr) {
+      overload_->ObserveSojourn((start_us - submit_us) * 1e-3, start_us);
+    }
     const auto finish = [&](Result<ServiceSweepResult> result) {
+      tenants_->OnDone(tenant, result.ok(),
+                       (obs::MonotonicUs() - start_us) * 1e-3);
       if (result.ok()) {
         completed_.fetch_add(1, std::memory_order_relaxed);
         Metrics().completed.Add(1);
@@ -679,12 +822,59 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
 void EstimationService::ResetWarmState() {
   memo_.Clear();
   checkpoints_.Clear();
+  {
+    // The warm-work set mirrors the caches: cleared state is cold state,
+    // and cost classification must see it that way.
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    warm_keys_.clear();
+  }
   stats_epoch_.fetch_add(1, std::memory_order_relaxed);
   Metrics().reset_epoch.Add(1);
   // Recompute the rate gauges from the post-reset counters: a scrape after
   // this point sees rates of the new epoch only, never a blend of the old
-  // epoch's numerator with the new epoch's denominator.
+  // epoch's numerator with the new epoch's denominator. The queue-depth
+  // gauge is re-set too — drain-path sheds can leave it at a stale depth.
   Metrics().cache_hit_rate.Set(memo_.stats().hit_rate());
+  Metrics().queue_depth.Set(queue_depth_.load(std::memory_order_relaxed));
+}
+
+Status EstimationService::SaveSnapshot(const std::string& path) {
+  SnapshotStats snapshot_stats;
+  Status status = SaveWarmSnapshot(path, memo_, checkpoints_, &snapshot_stats);
+  if (status.ok()) {
+    static obs::Counter& saves =
+        obs::MetricsRegistry::Default().GetCounter("service.snapshot_saves");
+    saves.Add(1);
+    flight_.AddEvent(
+        "snapshot", "saved " + std::to_string(snapshot_stats.memo_entries) +
+                        " memo entries + " +
+                        std::to_string(snapshot_stats.checkpoints) +
+                        " checkpoints (" +
+                        std::to_string(snapshot_stats.bytes) + " bytes)");
+  } else {
+    flight_.AddEvent("snapshot", "save failed: " + status.message());
+  }
+  return status;
+}
+
+Status EstimationService::LoadSnapshot(const std::string& path) {
+  SnapshotStats snapshot_stats;
+  Status status = LoadWarmSnapshot(path, &memo_, &checkpoints_, &snapshot_stats);
+  if (status.ok()) {
+    static obs::Counter& loads =
+        obs::MetricsRegistry::Default().GetCounter("service.snapshot_loads");
+    loads.Add(1);
+    flight_.AddEvent(
+        "snapshot", "restored " + std::to_string(snapshot_stats.memo_entries) +
+                        " memo entries + " +
+                        std::to_string(snapshot_stats.checkpoints) +
+                        " checkpoints");
+    // Restored triples are warm again the first time they are served;
+    // nothing to pre-seed in warm_keys_ — classification heals per serve.
+  } else {
+    flight_.AddEvent("snapshot", "restore rejected: " + status.message());
+  }
+  return status;
 }
 
 Result<int> EstimationService::Drain() {
@@ -701,6 +891,11 @@ Result<int> EstimationService::Drain() {
     flight_.AddEvent("drain", "pool quiesced with " +
                                   std::to_string(inflight) +
                                   " in flight; warm state reset");
+    // Snapshot before the reset wipes the warmth — best-effort: a failed
+    // save is a flight event and a cold next boot, never a failed drain.
+    if (!options_.snapshot_path.empty()) {
+      (void)SaveSnapshot(options_.snapshot_path);
+    }
     ResetWarmState();
   }
   return inflight;
@@ -738,6 +933,9 @@ EstimationService::ShutdownReport EstimationService::Shutdown(
                          : "grace expired: cancelled " +
                                std::to_string(report.cancelled) + " request" +
                                (report.cancelled == 1 ? "" : "s"));
+    if (!options_.snapshot_path.empty()) {
+      (void)SaveSnapshot(options_.snapshot_path);
+    }
     ResetWarmState();
   }
   return report;
@@ -761,6 +959,12 @@ ServiceStats EstimationService::Stats() const {
   }
   stats.cache = memo_.stats();
   stats.incremental = checkpoints_.stats();
+  stats.tenants = tenants_->Stats();
+  if (overload_ != nullptr) {
+    const resilience::OverloadController::Stats overload = overload_->stats();
+    stats.overload_level = overload.level;
+    stats.overload_shed = overload.shed;
+  }
   return stats;
 }
 

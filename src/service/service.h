@@ -9,6 +9,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster_spec.h"
@@ -24,8 +25,10 @@
 #include "obs/request_record.h"
 #include "obs/slo.h"
 #include "resilience/circuit_breaker.h"
+#include "resilience/overload.h"
 #include "resilience/watchdog.h"
 #include "scheduler/drf.h"
+#include "service/tenancy.h"
 
 namespace dagperf {
 
@@ -85,6 +88,35 @@ struct ServiceOptions {
 
   /// Flight-recorder geometry (ring capacity, exemplar slots).
   obs::FlightRecorderOptions flight;
+
+  /// Overload protection (resilience/overload.h): when > 0, a CoDel-style
+  /// controller watches queue sojourn against this target (ms) and walks
+  /// the brownout ladder — shedding expensive cold work with retryable
+  /// RESOURCE_EXHAUSTED + retry_after_ms, then degrading answers. 0
+  /// disables the controller entirely (library default — `dagperf serve`
+  /// maps --overload-target-ms here).
+  double overload_target_sojourn_ms = 0.0;
+
+  /// Remaining controller knobs (interval, escalate/recover counts, retry
+  /// floor); its target_sojourn_ms is overridden by the field above.
+  resilience::OverloadOptions overload;
+
+  /// Cold requests whose flow has at least this many jobs classify as
+  /// "expensive" for cost-aware shedding (a fast pre-estimate: the
+  /// state-count and task-time query volume both scale with job count).
+  int expensive_job_threshold = 12;
+
+  /// max_states cap applied to every estimate at brownout level >= 2; a
+  /// capped-out estimate fails with retryable RESOURCE_EXHAUSTED (never
+  /// kInternal, so brownout can't open the cluster breaker).
+  int brownout_max_states = 2048;
+
+  /// Warm-state snapshot file (model/snapshot.h). When set, Drain/Shutdown
+  /// serialise the memo + prefix-checkpoint store here immediately before
+  /// the warm-state reset, so a restarted shard restores its warmth with
+  /// LoadSnapshot instead of serving a cold-cache latency cliff. `dagperf
+  /// serve --snapshot-dir` maps here (plus periodic saves).
+  std::string snapshot_path;
 };
 
 /// One estimate query. Exactly one of `workflow` (a registered name) or
@@ -96,6 +128,10 @@ struct ServiceRequest {
 
   /// Registered cluster name; empty selects "default".
   std::string cluster;
+
+  /// Tenant the request is accounted and fair-shared under (wire field
+  /// "tenant"); empty selects "default". See service/tenancy.h.
+  std::string tenant;
 
   /// When > 0, overrides the cluster's node count for this request only.
   /// Cheap: node hardware (and thus the BOE model and cache scope) is
@@ -125,6 +161,12 @@ struct WorkflowEstimate {
   std::string cluster;
   double queue_wait_ms = 0.0;
   double service_ms = 0.0;
+  /// True when the answer was produced under brownout (level >= 1): the
+  /// estimate is still the paper's model, but attribution may be absent and
+  /// the state budget may have been capped. Wire field "degraded".
+  bool degraded = false;
+  /// Brownout ladder level the request executed at (0 = healthy).
+  int degrade_level = 0;
 };
 
 /// A cluster-size sweep query (capacity planning): price `workflow` at every
@@ -134,6 +176,9 @@ struct ServiceSweepRequest {
   std::string workflow;
   std::shared_ptr<const DagWorkflow> flow;
   std::string cluster;
+  /// Tenant accounting, as on ServiceRequest. A sweep holds one admission
+  /// slot but classifies as expensive work for overload shedding.
+  std::string tenant;
   std::vector<int> nodes_list;
   Budget budget;
 };
@@ -168,6 +213,12 @@ struct ServiceStats {
   TaskTimeMemo::Stats cache;
   /// The cross-request prefix-checkpoint store (incremental re-estimation).
   PrefixCheckpointStore::Stats incremental;
+  /// Per-tenant accounting (stats verb "tenants" array), name-ordered.
+  std::vector<TenantRegistry::TenantStats> tenants;
+  /// Brownout ladder level right now (0 = healthy; absent controller = 0).
+  int overload_level = 0;
+  /// Requests the overload controller shed (subset of `shed`).
+  std::uint64_t overload_shed = 0;
 };
 
 class EstimationService {
@@ -271,6 +322,24 @@ class EstimationService {
   /// (requests in flight simply start cold).
   void ResetWarmState();
 
+  /// Serialises the warm state (memo + prefix checkpoints) to `path` via
+  /// model/snapshot.h; logs a flight event either way. Drain/Shutdown call
+  /// this automatically (before the warm-state reset) when
+  /// ServiceOptions::snapshot_path is set; `dagperf serve` also calls it
+  /// periodically.
+  Status SaveSnapshot(const std::string& path);
+
+  /// Restores warm state from a snapshot file. Corrupt or stale snapshots
+  /// are rejected with a diagnostic and the service simply stays cold —
+  /// restoring is always optional. Call before serving traffic.
+  Status LoadSnapshot(const std::string& path);
+
+  /// The overload controller; nullptr when overload control is disabled
+  /// (ServiceOptions::overload_target_sojourn_ms == 0).
+  resilience::OverloadController* overload_controller() {
+    return overload_.get();
+  }
+
  private:
   struct ClusterEntry;
 
@@ -281,9 +350,33 @@ class EstimationService {
   Result<std::shared_ptr<const ClusterEntry>> ResolveCluster(
       const std::string& name) const;
 
-  /// Admission control; on success the caller owns one queue slot.
-  Status Admit();
+  /// Cost classes the fast pre-estimate sorts requests into for overload
+  /// shedding: warm work (memo/checkpoint-backed, never shed), cheap cold
+  /// work (shed only at the top of the ladder), expensive cold work (first
+  /// to go).
+  enum class CostClass { kWarm, kCheap, kExpensive };
+
+  /// Fast pre-classification: warm if the (scope, workflow, nodes) triple
+  /// completed successfully since the last warm-state reset, expensive if
+  /// cold with >= expensive_job_threshold jobs. Resolution failures come out
+  /// kCheap — the real error surfaces downstream with full context.
+  CostClass ClassifyCost(const ServiceRequest& request) const;
+
+  /// Admission control; on success the caller owns one global queue slot
+  /// AND one queued slot of `tenant` (released together). Rejections carry
+  /// retry_after_ms. Order: global queue bound, chaos seam, overload
+  /// controller, tenant fair share.
+  Status Admit(const std::string& tenant, CostClass cost);
   void ReleaseSlot();
+
+  /// retry_after_ms hint for shed responses: the controller's ladder-scaled
+  /// hint when overload control is on, else a queue-fullness-scaled base.
+  double RetryAfterHintMs() const;
+
+  /// Marks a (scope, workflow, nodes) triple warm after a successful serve.
+  void MarkWarm(const std::string& key);
+  static std::string WarmKey(const std::string& scope,
+                             const std::string& workflow, int nodes);
 
   /// Runs one estimate on a worker thread (slot already held). `record` (null
   /// while request observability is disarmed) accumulates the request's
@@ -308,6 +401,18 @@ class EstimationService {
   std::unique_ptr<ThreadPool> pool_;
   TaskTimeMemo memo_;
   PrefixCheckpointStore checkpoints_;
+
+  /// Per-tenant accounting + DRF fair-share admission (created in the ctor
+  /// after max_queue_depth is clamped; never null).
+  std::unique_ptr<TenantRegistry> tenants_;
+
+  /// CoDel-style overload controller; null when disabled.
+  std::unique_ptr<resilience::OverloadController> overload_;
+
+  /// (scope, workflow, nodes) triples that completed successfully since the
+  /// last warm-state reset — the "warm work" set brownout never sheds.
+  mutable std::mutex warm_mutex_;
+  std::unordered_set<std::string> warm_keys_;
 
   /// Guards registries (shared: request resolution; unique: registration).
   mutable std::shared_mutex registry_mutex_;

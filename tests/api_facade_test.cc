@@ -32,6 +32,12 @@
 #error "serving observability requires dagperf >= 0.6"
 #endif
 
+// Multi-tenant serving (DRF fair-share admission, overload brownout ladder,
+// warm-state snapshot/restore) arrived in 0.7.
+#if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR < 7
+#error "multi-tenant serving requires dagperf >= 0.7"
+#endif
+
 namespace dagperf {
 namespace {
 
@@ -83,6 +89,24 @@ TEST(ApiFacadeTest, ResilienceSurfaceIsReachableThroughTheFacade) {
 
   // The fault injector is reachable (and off by default).
   EXPECT_FALSE(resilience::FaultInjector::Default().armed());
+}
+
+TEST(ApiFacadeTest, MultiTenantServingSurfaceIsReachableThroughTheFacade) {
+  // 0.7 surface: overload controller, tenant registry, warm snapshots.
+  resilience::OverloadController controller;
+  controller.ForceLevelForTest(3);
+  EXPECT_TRUE(controller.ShouldShed(/*warm=*/false, /*expensive=*/false));
+  EXPECT_GT(controller.RetryAfterMs(), 0.0);
+
+  TenantRegistry tenants;
+  EXPECT_EQ(TenantRegistry::Canonical(""), "default");
+  EXPECT_TRUE(tenants.Admit("alice").ok());
+
+  TaskTimeMemo memo;
+  PrefixCheckpointStore store;
+  const Status missing =
+      LoadWarmSnapshot("no-such-snapshot-file", &memo, &store, nullptr);
+  EXPECT_EQ(missing.code(), ErrorCode::kNotFound);
 }
 
 TEST(ApiFacadeTest, ObservabilitySurfaceIsReachableThroughTheFacade) {

@@ -188,6 +188,11 @@ std::string EstimateLine(int id) {
          "}\n";
 }
 
+std::string TenantEstimateLine(const std::string& tenant, int id) {
+  return R"({"op":"estimate","workflow":"q6","tenant":")" + tenant +
+         R"(","id":)" + std::to_string(id) + "}\n";
+}
+
 // ---------------------------------------------------------------------------
 
 TEST(ChaosTest, SameSeedSameFailureSchedule) {
@@ -368,6 +373,141 @@ TEST(ChaosTest, TornFramesAndDisconnectsNeverWedgeTheServer) {
   EXPECT_TRUE(parsed.value().GetBool("ok", false));
   EXPECT_EQ(parsed.value().GetNumber("id", -1), 999);
   EXPECT_EQ(service.Stats().queue_depth, 0);
+}
+
+TEST(ChaosTest, GreedyTenantCannotStarveALightOne) {
+  InjectorReset guard;
+  const std::uint64_t seed = ChaosSeed();
+  FaultInjector& injector = FaultInjector::Default();
+  // Latency-only injection: every execution costs a few ms, so the greedy
+  // tenant's connections genuinely pile up against the small queue.
+  ASSERT_TRUE(injector
+                  .Configure("service.execute",
+                             {.probability = 1.0, .latency_ms = 3.0})
+                  .ok());
+  injector.Arm(seed);
+
+  ServiceOptions service_options;
+  service_options.threads = 2;
+  service_options.max_queue_depth = 8;
+  EstimationService service(service_options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  TestTcpServer server(service);
+
+  constexpr int kGreedyConnections = 12;
+  constexpr int kPerConnection = 10;
+  constexpr int kLightRequests = 8;
+  std::atomic<int> greedy_ok{0};
+  std::atomic<int> greedy_shed{0};
+  std::atomic<int> light_shed{0};
+
+  // The greedy tenant floods from many connections at once (per-connection
+  // request handling is sequential, so concurrency needs fan-out); start
+  // jitter comes from the chaos seed.
+  std::mt19937_64 rng(seed);
+  std::vector<std::thread> greedy;
+  for (int c = 0; c < kGreedyConnections; ++c) {
+    const int jitter_us = static_cast<int>(rng() % 2000);
+    greedy.emplace_back([&, c, jitter_us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(jitter_us));
+      ChaosClient client(server.port());
+      ASSERT_TRUE(client.connected());
+      for (int r = 0; r < kPerConnection; ++r) {
+        const int id = c * 1000 + r;
+        ASSERT_TRUE(client.Send(TenantEstimateLine("greedy", id)));
+        const ChaosClient::LineOrClose got = client.ReadLineOrClose();
+        ASSERT_FALSE(got.closed);
+        Result<Json> parsed = Json::Parse(got.line);
+        ASSERT_TRUE(parsed.ok()) << got.line;
+        EXPECT_EQ(parsed.value().GetNumber("id", -1), id);
+        if (parsed.value().GetBool("ok", false)) {
+          greedy_ok.fetch_add(1);
+          continue;
+        }
+        // The only way the service may refuse the flood: retryable
+        // pushback, never an internal error or a dropped line.
+        const Json* error = parsed.value().Get("error");
+        ASSERT_NE(error, nullptr) << got.line;
+        EXPECT_EQ(error->GetString("code", ""), "RESOURCE_EXHAUSTED")
+            << got.line;
+        EXPECT_TRUE(error->GetBool("retryable", false)) << got.line;
+        greedy_shed.fetch_add(1);
+      }
+    });
+  }
+
+  // The light tenant trickles one request at a time and retries sheds,
+  // honouring the server's retry_after_ms pacing hint (capped to keep the
+  // test brisk). DRF guarantees its share is never consumed by the flood, so
+  // a bounded number of retries must always land every request.
+  std::thread light_thread([&] {
+    ChaosClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    for (int r = 0; r < kLightRequests; ++r) {
+      bool served = false;
+      for (int attempt = 0; attempt < 25 && !served; ++attempt) {
+        ASSERT_TRUE(client.Send(TenantEstimateLine("light", 5000 + r)));
+        const ChaosClient::LineOrClose got = client.ReadLineOrClose();
+        ASSERT_FALSE(got.closed);
+        Result<Json> parsed = Json::Parse(got.line);
+        ASSERT_TRUE(parsed.ok()) << got.line;
+        EXPECT_EQ(parsed.value().GetNumber("id", -1), 5000 + r);
+        if (parsed.value().GetBool("ok", false)) {
+          served = true;
+          break;
+        }
+        const Json* error = parsed.value().Get("error");
+        ASSERT_NE(error, nullptr) << got.line;
+        EXPECT_EQ(error->GetString("code", ""), "RESOURCE_EXHAUSTED")
+            << got.line;
+        EXPECT_TRUE(error->GetBool("retryable", false)) << got.line;
+        light_shed.fetch_add(1);
+        const double hint = error->GetNumber("retry_after_ms", 5.0);
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            std::min(hint, 20.0)));
+      }
+      ASSERT_TRUE(served) << "light tenant starved on request " << r
+                          << " (seed " << seed << ")";
+    }
+  });
+
+  for (std::thread& thread : greedy) thread.join();
+  light_thread.join();
+  injector.Disarm();
+
+  // 12 concurrent connections against 8 queue slots: the flood must have
+  // been pushed back at least once, and every refusal above was retryable.
+  EXPECT_EQ(greedy_ok.load() + greedy_shed.load(),
+            kGreedyConnections * kPerConnection);
+  EXPECT_GT(greedy_shed.load(), 0) << "seed " << seed;
+
+  // Per-tenant conservation: all slots returned, every arrival accounted
+  // for by exactly one terminal counter.
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.queue_depth, 0);
+  bool saw_greedy = false;
+  bool saw_light = false;
+  for (const TenantRegistry::TenantStats& tenant : stats.tenants) {
+    EXPECT_EQ(tenant.inflight, 0) << tenant.name;
+    EXPECT_EQ(tenant.queued, 0) << tenant.name;
+    EXPECT_EQ(tenant.submitted,
+              tenant.completed + tenant.failed + tenant.shed_total)
+        << tenant.name << " (seed " << seed << ")";
+    if (tenant.name == "greedy") {
+      saw_greedy = true;
+      EXPECT_EQ(tenant.completed, static_cast<std::uint64_t>(greedy_ok.load()));
+      EXPECT_EQ(tenant.shed_total,
+                static_cast<std::uint64_t>(greedy_shed.load()));
+    }
+    if (tenant.name == "light") {
+      saw_light = true;
+      EXPECT_EQ(tenant.completed, static_cast<std::uint64_t>(kLightRequests));
+      EXPECT_EQ(tenant.shed_total,
+                static_cast<std::uint64_t>(light_shed.load()));
+    }
+  }
+  EXPECT_TRUE(saw_greedy);
+  EXPECT_TRUE(saw_light);
 }
 
 /// A task-time source whose queries block until Open() — parks all the

@@ -6,8 +6,10 @@
 // breakers fast-failing while open).
 
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <future>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -229,6 +231,75 @@ TEST(RetryPolicy, BackoffIsJitteredWithinTheExponentialCap) {
   RetryPolicy b({.seed = 42});
   RetryPolicy c({.seed = 42});
   EXPECT_EQ(b.NextBackoffMs(3), c.NextBackoffMs(3));
+}
+
+TEST(RetryPolicy, BackoffOverflowStaysFiniteAndCapped) {
+  // multiplier^retry overflows double to +inf long before retry counts get
+  // exotic; the max_backoff clamp must win over the overflow, never produce
+  // a NaN/inf sleep.
+  RetryPolicy retry({.max_attempts = 4,
+                     .initial_backoff_ms = 10.0,
+                     .max_backoff_ms = 50.0,
+                     .multiplier = 2.0,
+                     .seed = 7});
+  for (const int huge : {64, 1024, 1 << 20, std::numeric_limits<int>::max()}) {
+    const double sleep_ms = retry.NextBackoffMs(huge);
+    EXPECT_TRUE(std::isfinite(sleep_ms)) << huge;
+    EXPECT_GE(sleep_ms, 0.0) << huge;
+    EXPECT_LE(sleep_ms, 50.0) << huge;
+  }
+  // Negative retry numbers (defensive: callers count from 0) clamp too.
+  EXPECT_LE(retry.NextBackoffMs(-5), 10.0);
+}
+
+TEST(RetryPolicy, ServerRetryHintFloorsTheBackoffSleep) {
+  // A shed response's retry_after_ms is a floor under the jittered sleep:
+  // with jitter drawn from [0, 10) the only way the retry waits >= 50ms is
+  // the server hint.
+  RetryPolicy retry({.max_attempts = 3, .initial_backoff_ms = 10.0});
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = retry.RunStatus([&] {
+    ++calls;
+    if (calls == 1) {
+      return Status::ResourceExhausted("shed").WithRetryAfterMs(50.0);
+    }
+    return Status::Ok();
+  });
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_GE(elapsed_ms, 45.0) << "hint must floor the sleep";
+  EXPECT_EQ(retry.stats().retries, 1u);
+}
+
+TEST(RetryPolicy, BudgetCapBeatsTheServerHint) {
+  // A hostile/huge hint must not sleep past the deadline: the remaining
+  // budget still caps the sleep so the final attempt gets wall-clock.
+  RetryPolicy retry({.max_attempts = 3, .initial_backoff_ms = 1.0});
+  Budget budget;
+  budget.deadline = Deadline::AfterSeconds(0.2);
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const Status status = retry.RunStatus(
+      [&] {
+        ++calls;
+        if (calls == 1) {
+          return Status::ResourceExhausted("shed").WithRetryAfterMs(60000.0);
+        }
+        return Status::Ok();
+      },
+      budget);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_LT(elapsed_ms, 1000.0) << "a 60s hint must be capped by the budget";
 }
 
 TEST(RetryPolicy, RetriesCounterTicksWhenMetricsEnabled) {

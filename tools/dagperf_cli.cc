@@ -68,6 +68,7 @@
 // the `watch` verb and renders live RPS / p50 / p99 / error rate / cache
 // hit rate / breaker states, one line per frame.
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -211,6 +212,8 @@ int Usage() {
                "[--stdio] [--port P] [--queue-depth D] [--grace-seconds G] "
                "[--watchdog-multiple M] [--breaker-threshold K] "
                "[--read-idle-seconds I] "
+               "[--overload-target-ms T] [--snapshot-dir DIR] "
+               "[--snapshot-interval-seconds S] "
                "[--metrics-port P] [--slo-p99-ms MS] [--slo-availability F] "
                "[--flight-out F] [--prom] [--interval-ms I] [--iterations N]\n");
   return 2;
@@ -717,6 +720,21 @@ int CmdServe(const Args& args) {
   if (options.max_queue_depth < 1) {
     return Fail(Status::InvalidArgument("--queue-depth must be >= 1"));
   }
+  // Overload protection: --overload-target-ms T arms the CoDel-style
+  // controller (brownout ladder, cost-aware shedding); 0/absent leaves it
+  // off so a plain serve behaves exactly as before.
+  options.overload_target_sojourn_ms = args.GetDouble("overload-target-ms", 0.0);
+  if (options.overload_target_sojourn_ms < 0) {
+    return Fail(Status::InvalidArgument("--overload-target-ms must be >= 0"));
+  }
+  // Warm-state persistence: snapshots land in --snapshot-dir on drain /
+  // shutdown and every --snapshot-interval-seconds, and are restored at boot.
+  const std::string snapshot_dir = args.Get("snapshot-dir", "");
+  if (!snapshot_dir.empty()) {
+    options.snapshot_path = snapshot_dir + "/warm.snapshot";
+  }
+  const double snapshot_interval =
+      args.GetDouble("snapshot-interval-seconds", 30.0);
   options.slo.p99_ms = args.GetDouble("slo-p99-ms", 0.0);
   options.slo.availability = args.GetDouble("slo-availability", 0.0);
   if (options.slo.availability >= 1.0 || options.slo.availability < 0.0) {
@@ -761,6 +779,40 @@ int CmdServe(const Args& args) {
   }
   std::fprintf(stderr, "dagperf serve: %zu workflows registered (scale %g)\n",
                service.WorkflowNames().size(), scale);
+
+  // Restore warmth from the previous run before the first request lands. A
+  // missing file is a normal first boot; a corrupt or stale one is rejected
+  // by the loader and the service simply starts cold.
+  if (!options.snapshot_path.empty()) {
+    const Status restored = service.LoadSnapshot(options.snapshot_path);
+    if (restored.ok()) {
+      std::fprintf(stderr, "warm snapshot restored from %s\n",
+                   options.snapshot_path.c_str());
+    } else if (restored.code() != ErrorCode::kNotFound) {
+      std::fprintf(stderr, "warm snapshot rejected (starting cold): %s\n",
+                   restored.ToString().c_str());
+    }
+  }
+
+  // Periodic snapshot saves so a crash loses at most one interval of
+  // warmth; the drain/shutdown path saves once more, authoritatively.
+  CancelToken snapshot_stop = CancelToken::Cancellable();
+  std::thread snapshot_thread;
+  if (!options.snapshot_path.empty() && snapshot_interval > 0) {
+    snapshot_thread = std::thread([&service, snapshot_stop, snapshot_interval,
+                                   path = options.snapshot_path] {
+      for (;;) {
+        double remaining_s = snapshot_interval;
+        while (remaining_s > 0 && !snapshot_stop.cancelled()) {
+          const double slice_s = std::min(remaining_s, 0.05);
+          std::this_thread::sleep_for(std::chrono::duration<double>(slice_s));
+          remaining_s -= slice_s;
+        }
+        if (snapshot_stop.cancelled()) return;
+        (void)service.SaveSnapshot(path);
+      }
+    });
+  }
 
   // The Prometheus scrape endpoint runs beside either transport on its own
   // thread; it is stopped and joined after the serve loop ends.
@@ -828,6 +880,8 @@ int CmdServe(const Args& args) {
     return kExitOk;
   }();
 
+  snapshot_stop.Cancel();
+  if (snapshot_thread.joinable()) snapshot_thread.join();
   metrics_stop.Cancel();
   if (metrics_thread.joinable()) metrics_thread.join();
 
