@@ -75,7 +75,7 @@ struct Timed {
   SweepResult result;
 };
 
-Timed Run(const std::vector<EstimateRequest>& requests,
+Timed Run(const std::vector<SweepCandidate>& requests,
           const TaskTimeSource& source, const SweepOptions& options, int reps) {
   Timed best;
   best.seconds = 1e300;
@@ -105,9 +105,9 @@ bool BitIdentical(const SweepResult& got, const SweepResult& want) {
   return true;
 }
 
-std::vector<EstimateRequest> RequestsFor(const std::vector<DagWorkflow>& flows,
+std::vector<SweepCandidate> RequestsFor(const std::vector<DagWorkflow>& flows,
                                          const ClusterSpec& cluster) {
-  std::vector<EstimateRequest> requests;
+  std::vector<SweepCandidate> requests;
   requests.reserve(flows.size());
   for (const DagWorkflow& flow : flows) {
     requests.push_back({&flow, cluster, flow.name()});
@@ -130,7 +130,7 @@ int main(int argc, char** argv) {
   std::vector<DagWorkflow> flows;
   flows.reserve(kCandidates);
   for (int r = 1; r <= kCandidates; ++r) flows.push_back(NightlyCandidate(4 * r));
-  const std::vector<EstimateRequest> requests = RequestsFor(flows, cluster);
+  const std::vector<SweepCandidate> requests = RequestsFor(flows, cluster);
 
   SweepOptions serial_uncached;
   serial_uncached.threads = 1;
@@ -205,7 +205,7 @@ int main(int argc, char** argv) {
   for (int r = 1; r <= kDenseCandidates; ++r) {
     dense_flows.push_back(DenseCandidate(4 * r));
   }
-  const std::vector<EstimateRequest> dense_requests =
+  const std::vector<SweepCandidate> dense_requests =
       RequestsFor(dense_flows, cluster);
 
   TaskTimeMemo dense_memo;        // Warm memo for the non-incremental path.

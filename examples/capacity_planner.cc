@@ -35,7 +35,7 @@ int main() {
   // One what-if request per candidate size, priced as a single batch.
   const BoeModel boe(ClusterSpec::PaperCluster().node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
-  std::vector<EstimateRequest> requests;
+  std::vector<SweepCandidate> requests;
   for (int nodes = 2; nodes <= 64; ++nodes) {
     ClusterSpec cluster = ClusterSpec::PaperCluster();
     cluster.num_nodes = nodes;

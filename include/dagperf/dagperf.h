@@ -13,6 +13,9 @@
 
 #include <dagperf/version.h>
 
+// Stable error-code vocabulary, shared by the C++ API and the wire protocol.
+#include <dagperf/error_codes.h>
+
 // Vocabulary: units, errors, Result<T>, budgets (cancellation + deadlines).
 #include "common/cancel.h"
 #include "common/parallel.h"

@@ -6,14 +6,14 @@
 /// remove any surface that is not listed as stable in docs/api.md; MAJOR
 /// stays 0 until the first stability promise. Compare numerically:
 ///
-///   #if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR >= 7
-///     // multi-tenant serving (fair-share admission, overload brownout,
-///     // warm-state snapshot/restore) available
+///   #if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR >= 8
+///     // unified submission API (EstimateRequest/EstimateResponse),
+///     // in-flight estimate coalescing, hedged sweep execution available
 ///   #endif
 #define DAGPERF_VERSION_MAJOR 0
-#define DAGPERF_VERSION_MINOR 7
+#define DAGPERF_VERSION_MINOR 8
 
 /// "MAJOR.MINOR" as a string literal.
-#define DAGPERF_VERSION_STRING "0.7"
+#define DAGPERF_VERSION_STRING "0.8"
 
 #endif  // DAGPERF_VERSION_H_

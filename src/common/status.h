@@ -5,42 +5,11 @@
 #include <utility>
 #include <variant>
 
+// The ErrorCode enum plus ErrorCodeName/IsRetryable live in the public
+// facade header so the wire protocol and C++ API share one declaration.
+#include "dagperf/error_codes.h"
+
 namespace dagperf {
-
-/// Error vocabulary for fallible library operations. The library does not
-/// throw across its public API; construction helpers and algorithms that can
-/// fail return Status or Result<T>.
-enum class ErrorCode {
-  kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kFailedPrecondition,
-  kInternal,
-  /// The caller-supplied Deadline expired before the operation finished.
-  /// Partial results (e.g. a sweep's already-evaluated candidates) are still
-  /// returned by APIs that document it.
-  kDeadlineExceeded,
-  /// A CancelToken observed by the operation was cancelled.
-  kCancelled,
-  /// A bounded resource (the estimation service's admission queue) is full
-  /// and the request was shed instead of queued. Retry later — backing off —
-  /// with the same inputs.
-  kResourceExhausted,
-  /// The serving path is temporarily refusing work: the service is shutting
-  /// down mid-request, or a circuit breaker opened after repeated failures.
-  /// Retryable — the same request succeeds against a healthy (or restarted)
-  /// server.
-  kUnavailable,
-};
-
-/// Stable upper-snake-case name of a code ("INVALID_ARGUMENT", ...), the
-/// vocabulary used by Status::ToString and the service wire protocol.
-const char* ErrorCodeName(ErrorCode code);
-
-/// Whether a failed operation is worth retrying with the same inputs.
-/// kInternal failures (iteration guards, transient limits) may succeed on a
-/// retry with adjusted limits; invalid input and expired budgets will not.
-bool IsRetryable(ErrorCode code);
 
 /// A success-or-error value carrying a human-readable message on failure.
 class Status {

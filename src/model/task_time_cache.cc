@@ -1,5 +1,6 @@
 #include "model/task_time_cache.h"
 
+#include <algorithm>
 #include <cstring>
 #include <mutex>
 
@@ -95,49 +96,71 @@ void TaskTimeMemo::FingerprintTo(const std::string& scope,
 
 TaskTimeMemo::Stats TaskTimeMemo::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insert_races = insert_races_.load(std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  s.entries = entries_.size();
+  for (const Shard& shard : shards_) {
+    s.hits += shard.hits.load(std::memory_order_relaxed);
+    s.misses += shard.misses.load(std::memory_order_relaxed);
+    s.insert_races += shard.insert_races.load(std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    s.entries += shard.entries.size();
+  }
   return s;
 }
 
 void TaskTimeMemo::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  entries_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  insert_races_.store(0, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+    shard.insert_races.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::vector<TaskTimeMemo::ExportedEntry> TaskTimeMemo::Export() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<ExportedEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [key, entry] : entries_) {
-    ExportedEntry exported;
-    exported.key = key;
-    exported.time = entry.time;
-    exported.dist = entry.dist;
-    exported.has_time = entry.has_time;
-    exported.has_dist = entry.has_dist;
-    out.push_back(std::move(exported));
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    out.reserve(out.size() + shard.entries.size());
+    for (const auto& [key, entry] : shard.entries) {
+      ExportedEntry exported;
+      exported.key = key;
+      exported.time = entry.time;
+      exported.dist = entry.dist;
+      exported.has_time = entry.has_time;
+      exported.has_dist = entry.has_dist;
+      out.push_back(std::move(exported));
+    }
   }
+  // Keys are unique across shards, so sorting by key alone yields one total
+  // order regardless of shard hash or map iteration order — snapshot bytes
+  // for a given entry set are identical run to run.
+  std::sort(out.begin(), out.end(),
+            [](const ExportedEntry& a, const ExportedEntry& b) {
+              return a.key < b.key;
+            });
   return out;
 }
 
 void TaskTimeMemo::Import(const std::vector<ExportedEntry>& entries) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Bucket by shard first so each stripe is locked once, not per entry.
+  std::array<std::vector<const ExportedEntry*>, kShardCount> buckets;
   for (const ExportedEntry& exported : entries) {
-    Entry& entry = entries_[exported.key];
-    if (exported.has_time && !entry.has_time) {
-      entry.time = exported.time;
-      entry.has_time = true;
-    }
-    if (exported.has_dist && !entry.has_dist) {
-      entry.dist = exported.dist;
-      entry.has_dist = true;
+    buckets[ShardIndex(exported.key)].push_back(&exported);
+  }
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    if (buckets[i].empty()) continue;
+    Shard& shard = shards_[i];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    for (const ExportedEntry* exported : buckets[i]) {
+      Entry& entry = shard.entries[exported->key];
+      if (exported->has_time && !entry.has_time) {
+        entry.time = exported->time;
+        entry.has_time = true;
+      }
+      if (exported->has_dist && !entry.has_dist) {
+        entry.dist = exported->dist;
+        entry.has_dist = true;
+      }
     }
   }
 }
@@ -149,11 +172,14 @@ MemoizedTaskTimeSource::MemoizedTaskTimeSource(const TaskTimeSource& base,
 Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) const {
   static thread_local std::string key;
   TaskTimeMemo::FingerprintTo(scope_, context, &key);
+  // The shard is resolved once per query; both the probe and the insert
+  // below touch only this stripe's lock.
+  TaskTimeMemo::Shard& shard = memo_->ShardFor(key);
   {
-    std::shared_lock<std::shared_mutex> lock(memo_->mutex_);
-    auto it = memo_->entries_.find(key);
-    if (it != memo_->entries_.end() && it->second.has_time) {
-      memo_->hits_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.has_time) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       Metrics().hits.Add(1);
       if (obs::internal::Enabled()) {
         local_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -161,7 +187,7 @@ Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) cons
       return it->second.time;
     }
   }
-  memo_->misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   Metrics().misses.Add(1);
   if (obs::internal::Enabled()) {
     local_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -170,12 +196,12 @@ Duration MemoizedTaskTimeSource::TaskTime(const EstimationContext& context) cons
   const Duration time = base_.TaskTime(context);
   (void)MemoInsertFault().Evaluate();
   {
-    std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
-    TaskTimeMemo::Entry& entry = memo_->entries_[key];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    TaskTimeMemo::Entry& entry = shard.entries[key];
     // A racing thread may have stored first; the source is deterministic, so
     // both computed the same bits and either store is correct.
     if (entry.has_time) {
-      memo_->insert_races_.fetch_add(1, std::memory_order_relaxed);
+      shard.insert_races.fetch_add(1, std::memory_order_relaxed);
       Metrics().insert_races.Add(1);
     }
     entry.time = time;
@@ -188,11 +214,12 @@ NormalParams MemoizedTaskTimeSource::TaskTimeDist(
     const EstimationContext& context) const {
   static thread_local std::string key;
   TaskTimeMemo::FingerprintTo(scope_, context, &key);
+  TaskTimeMemo::Shard& shard = memo_->ShardFor(key);
   {
-    std::shared_lock<std::shared_mutex> lock(memo_->mutex_);
-    auto it = memo_->entries_.find(key);
-    if (it != memo_->entries_.end() && it->second.has_dist) {
-      memo_->hits_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.has_dist) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       Metrics().hits.Add(1);
       if (obs::internal::Enabled()) {
         local_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -200,7 +227,7 @@ NormalParams MemoizedTaskTimeSource::TaskTimeDist(
       return it->second.dist;
     }
   }
-  memo_->misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   Metrics().misses.Add(1);
   if (obs::internal::Enabled()) {
     local_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -209,10 +236,10 @@ NormalParams MemoizedTaskTimeSource::TaskTimeDist(
   const NormalParams dist = base_.TaskTimeDist(context);
   (void)MemoInsertFault().Evaluate();
   {
-    std::unique_lock<std::shared_mutex> lock(memo_->mutex_);
-    TaskTimeMemo::Entry& entry = memo_->entries_[key];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    TaskTimeMemo::Entry& entry = shard.entries[key];
     if (entry.has_dist) {
-      memo_->insert_races_.fetch_add(1, std::memory_order_relaxed);
+      shard.insert_races.fetch_add(1, std::memory_order_relaxed);
       Metrics().insert_races.Add(1);
     }
     entry.dist = dist;

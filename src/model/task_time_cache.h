@@ -1,10 +1,14 @@
 #ifndef DAGPERF_MODEL_TASK_TIME_CACHE_H_
 #define DAGPERF_MODEL_TASK_TIME_CACHE_H_
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -28,9 +32,21 @@ namespace dagperf {
 /// shared across sources or knob settings that the context alone does not
 /// distinguish (e.g. different node hardware, different fixed overheads).
 ///
+/// Internally the table is striped into kShardCount power-of-two shards
+/// (hash-of-key → shard), each with its own reader-writer lock and hit/miss
+/// counters, so concurrent sweeps and coalesced service requests contend on
+/// 1/kShardCount of the keyspace instead of one global mutex. The striping
+/// is invisible at the API: stats() rolls the per-shard counters up, and
+/// Export() returns entries sorted by key so warm-state snapshot bytes stay
+/// deterministic (and bit-compatible with the pre-sharded format).
+///
 /// All operations are safe to call concurrently.
 class TaskTimeMemo {
  public:
+  /// Lock stripes. Power of two so the shard index is a mask, sized so a
+  /// pool of a few dozen sweep workers rarely collides on a stripe.
+  static constexpr std::size_t kShardCount = 16;
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -39,6 +55,9 @@ class TaskTimeMemo {
     /// deterministic — but duplicated work worth watching under load).
     std::uint64_t insert_races = 0;
     std::size_t entries = 0;
+    /// Stripe count (constant for a build; surfaced so `stats` consumers
+    /// can normalise contention numbers without a header dependency).
+    std::size_t shards = kShardCount;
 
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
@@ -47,6 +66,11 @@ class TaskTimeMemo {
   };
 
   Stats stats() const;
+
+  /// Drops every entry and zeroes the per-shard hit/miss/race counters.
+  /// The service calls this on drain, so post-drain `stats` gauges report
+  /// the new epoch only — counters from before the drain never leak into
+  /// hit-rate computed after it.
   void Clear();
 
   /// One memo entry in exported form — the warm-state snapshot
@@ -59,7 +83,10 @@ class TaskTimeMemo {
     bool has_dist = false;
   };
 
-  /// Snapshot of every stored entry (order unspecified).
+  /// Snapshot of every stored entry, sorted by key. The sort makes the
+  /// export independent of shard iteration order and hash seeding, which
+  /// keeps warm-state snapshot bytes (model/snapshot.h) deterministic for a
+  /// given set of entries.
   std::vector<ExportedEntry> Export() const;
 
   /// Merges entries into the memo. Existing keys keep their stored value —
@@ -85,11 +112,29 @@ class TaskTimeMemo {
     bool has_dist = false;
   };
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  mutable std::atomic<std::uint64_t> insert_races_{0};
+  /// One lock stripe: a slice of the keyspace with its own mutex and
+  /// counters. Counters live on the shard (not globally) so a hot stripe
+  /// never bounces a process-wide cache line.
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<std::string, Entry> entries;
+    mutable std::atomic<std::uint64_t> hits{0};
+    mutable std::atomic<std::uint64_t> misses{0};
+    mutable std::atomic<std::uint64_t> insert_races{0};
+  };
+
+  static std::size_t ShardIndex(std::string_view key) {
+    static_assert((kShardCount & (kShardCount - 1)) == 0,
+                  "shard count must be a power of two");
+    return std::hash<std::string_view>{}(key) & (kShardCount - 1);
+  }
+
+  Shard& ShardFor(std::string_view key) { return shards_[ShardIndex(key)]; }
+  const Shard& ShardFor(std::string_view key) const {
+    return shards_[ShardIndex(key)];
+  }
+
+  std::array<Shard, kShardCount> shards_;
 };
 
 /// A TaskTimeSource decorator answering repeated queries from a TaskTimeMemo

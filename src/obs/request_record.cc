@@ -64,6 +64,7 @@ const char* RequestPathName(RequestPath path) {
     case RequestPath::kFullReplay: return "full_replay";
     case RequestPath::kMemoWarm: return "memo_warm";
     case RequestPath::kIncremental: return "incremental";
+    case RequestPath::kCoalesced: return "coalesced";
     case RequestPath::kUnknown: break;
   }
   return "unknown";

@@ -86,6 +86,11 @@ Json EstimateToJson(const WorkflowEstimate& served, bool explain) {
     result.Set("degraded", Json::MakeBool(true));
     result.Set("degrade_level", Json::MakeNumber(served.degrade_level));
   }
+  // Coalesce tag (emit-only-when-set, like "degraded"): this answer was a
+  // copy of an identical in-flight computation's result.
+  if (served.coalesced) {
+    result.Set("coalesced", Json::MakeBool(true));
+  }
   result.Set("stages", StageSpansToJson(*served.flow, served.estimate));
   if (explain) {
     Json path = Json::MakeArray();
@@ -149,6 +154,17 @@ Json SweepToJson(const ServiceSweepResult& served) {
       "checkpoints_stored",
       Json::MakeNumber(static_cast<double>(stats.checkpoints_stored)));
   sweep_stats.Set("incremental", std::move(incremental));
+  // Hedge accounting appears only when the race actually launched hedges,
+  // so unhedged sweeps keep their response shape.
+  if (stats.hedges_launched > 0) {
+    Json hedges = Json::MakeObject();
+    hedges.Set("launched",
+               Json::MakeNumber(static_cast<double>(stats.hedges_launched)));
+    hedges.Set("won", Json::MakeNumber(static_cast<double>(stats.hedges_won)));
+    hedges.Set("wasted",
+               Json::MakeNumber(static_cast<double>(stats.hedges_wasted)));
+    sweep_stats.Set("hedges", std::move(hedges));
+  }
   result.Set("stats", std::move(sweep_stats));
   return result;
 }
@@ -170,11 +186,18 @@ Json StatsToJson(const ServiceStats& stats) {
              Json::MakeNumber(static_cast<double>(stats.stats_epoch)));
   result.Set("workflows", Json::MakeNumber(stats.workflows));
   result.Set("clusters", Json::MakeNumber(stats.clusters));
+  Json coalesce = Json::MakeObject();
+  coalesce.Set("leaders",
+               Json::MakeNumber(static_cast<double>(stats.coalesce_leaders)));
+  coalesce.Set("attached",
+               Json::MakeNumber(static_cast<double>(stats.coalesce_attached)));
+  result.Set("coalesce", std::move(coalesce));
   Json cache = Json::MakeObject();
   cache.Set("hits", Json::MakeNumber(static_cast<double>(stats.cache.hits)));
   cache.Set("misses", Json::MakeNumber(static_cast<double>(stats.cache.misses)));
   cache.Set("entries", Json::MakeNumber(static_cast<double>(stats.cache.entries)));
   cache.Set("hit_rate", Json::MakeNumber(stats.cache.hit_rate()));
+  cache.Set("shards", Json::MakeNumber(static_cast<double>(stats.cache.shards)));
   result.Set("cache", std::move(cache));
   Json incremental = Json::MakeObject();
   incremental.Set("hits",
@@ -365,10 +388,22 @@ std::string Protocol::HandleRequest(const Json& request) {
                                              "integer"))
           .DumpCompact();
     }
-    Result<WorkflowEstimate> served =
-        service_->Submit(std::move(service_request)).get();
+    // Lowered struct -> the 0.8 unified builder. Wire "coalesce": false
+    // opts this request out of in-flight coalescing.
+    EstimateRequest unified =
+        service_request.flow != nullptr
+            ? EstimateRequest::For(std::move(service_request.flow))
+            : EstimateRequest::For(std::move(service_request.workflow));
+    unified.OnCluster(std::move(service_request.cluster))
+        .AsTenant(std::move(service_request.tenant))
+        .WithNodes(service_request.nodes)
+        .WithBudget(std::move(service_request.budget))
+        .WithExplain(service_request.explain);
+    if (!request.GetBool("coalesce", true)) unified.WithoutCoalescing();
+    Result<EstimateResponse> served = service_->Submit(std::move(unified)).get();
     if (!served.ok()) return ErrorResponse(id, served.status()).DumpCompact();
-    return OkResponse(id, EstimateToJson(served.value(), op == "explain"))
+    return OkResponse(id, EstimateToJson(*served.value().estimate,
+                                         op == "explain"))
         .DumpCompact();
   }
 
@@ -397,10 +432,25 @@ std::string Protocol::HandleRequest(const Json& request) {
       }
       sweep_request.nodes_list.push_back(static_cast<int>(entry.AsNumber()));
     }
-    Result<ServiceSweepResult> served =
-        service_->SubmitSweep(std::move(sweep_request)).get();
+    // Lowered struct -> the 0.8 unified builder. Wire "hedge": true opts
+    // this sweep into straggler hedging with the SweepHedgeOptions defaults
+    // (a sweep that needs tuned knobs sets ServiceOptions::hedge instead).
+    EstimateRequest unified =
+        sweep_request.flow != nullptr
+            ? EstimateRequest::For(std::move(sweep_request.flow))
+            : EstimateRequest::For(std::move(sweep_request.workflow));
+    unified.OnCluster(std::move(sweep_request.cluster))
+        .AsTenant(std::move(sweep_request.tenant))
+        .SweepNodes(std::move(sweep_request.nodes_list))
+        .WithBudget(std::move(sweep_request.budget));
+    if (request.GetBool("hedge", false)) {
+      SweepHedgeOptions hedge;
+      hedge.enabled = true;
+      unified.WithHedging(hedge);
+    }
+    Result<EstimateResponse> served = service_->Submit(std::move(unified)).get();
     if (!served.ok()) return ErrorResponse(id, served.status()).DumpCompact();
-    return OkResponse(id, SweepToJson(served.value())).DumpCompact();
+    return OkResponse(id, SweepToJson(*served.value().sweep)).DumpCompact();
   }
 
   if (op == "stats") {

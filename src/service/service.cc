@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -26,10 +28,12 @@ struct ServiceMetrics {
   obs::Counter& shed;
   obs::Counter& expired_in_queue;
   /// Per-request cost-class attribution (tentpole): how each served request
-  /// got its answer — full replay, memo-warm, or checkpoint resume.
+  /// got its answer — full replay, memo-warm, checkpoint resume, or by
+  /// attaching to another request's in-flight computation.
   obs::Counter& path_full_replay;
   obs::Counter& path_memo_warm;
   obs::Counter& path_incremental;
+  obs::Counter& path_coalesced;
   /// Warm-state reset epochs (drain/shutdown); rates exported next to this
   /// counter are always computed within one epoch.
   obs::Counter& reset_epoch;
@@ -51,6 +55,8 @@ struct ServiceMetrics {
             "service.path.memo_warm")),
         path_incremental(obs::MetricsRegistry::Default().GetCounter(
             "service.path.incremental")),
+        path_coalesced(obs::MetricsRegistry::Default().GetCounter(
+            "service.path.coalesced")),
         reset_epoch(
             obs::MetricsRegistry::Default().GetCounter("stats.reset_epoch")),
         queue_depth(obs::MetricsRegistry::Default().GetGauge("service.queue_depth")),
@@ -65,15 +71,6 @@ struct ServiceMetrics {
 ServiceMetrics& Metrics() {
   static ServiceMetrics* metrics = new ServiceMetrics();
   return *metrics;
-}
-
-/// A future already carrying `status` — the shape of every synchronous
-/// rejection (shedding, draining, unresolvable names).
-template <typename T>
-std::future<Result<T>> FailedFuture(Status status) {
-  std::promise<Result<T>> promise;
-  promise.set_value(Result<T>(std::move(status)));
-  return promise.get_future();
 }
 
 /// Chaos seams (resilience/fault.h): service.admit injects admission
@@ -92,7 +89,77 @@ resilience::FaultPoint& ExecuteFault() {
   return point;
 }
 
+/// TaskTimeSource decorator arming coalesce-group abandonment: every 64th
+/// compute query runs `poll` (which fires the group's abandon token once
+/// every attached caller has cancelled). CancelToken carries no callbacks,
+/// so abandonment has to be discovered by polling — and the task-time path
+/// is the only place a leader reliably visits often, with a period that
+/// keeps the poll off the hot path. Wraps the raw source (inside the memo
+/// decorator), so only compute-bound executions poll: memo-warm ones finish
+/// before abandonment could matter.
+class AbandonPollSource : public TaskTimeSource {
+ public:
+  AbandonPollSource(const TaskTimeSource& inner, std::function<void()> poll)
+      : inner_(inner), poll_(std::move(poll)) {}
+
+  Duration TaskTime(const EstimationContext& context) const override {
+    MaybePoll();
+    return inner_.TaskTime(context);
+  }
+
+  NormalParams TaskTimeDist(const EstimationContext& context) const override {
+    MaybePoll();
+    return inner_.TaskTimeDist(context);
+  }
+
+  std::optional<TaskAttribution> Attribution(
+      const EstimationContext& context) const override {
+    return inner_.Attribution(context);
+  }
+
+ private:
+  void MaybePoll() const {
+    if ((queries_.fetch_add(1, std::memory_order_relaxed) & 63) == 63) {
+      poll_();
+    }
+  }
+
+  const TaskTimeSource& inner_;
+  std::function<void()> poll_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+};
+
 }  // namespace
+
+/// One in-flight singleflight computation: the leader's abandon signal, the
+/// caller tokens of every member, and the requests parked on the result.
+/// Mutable state is guarded by EstimationService::coalesce_mutex_.
+struct EstimationService::CoalesceGroup {
+  /// One attached request, parked until the leader resolves.
+  struct Waiter {
+    std::function<void(Result<WorkflowEstimate>)> done;
+    /// The waiter's own signals (caller cancel + shutdown link + deadline)
+    /// — what fulfilment checks before handing over the leader's answer.
+    Budget budget;
+    /// The caller's raw token, so fulfilment can tell a caller cancel from
+    /// the shutdown signal (MapCancelCause).
+    CancelToken caller_cancel;
+    std::string workflow;
+    std::string tenant;
+    obs::RequestRecord record;
+    bool observe = false;
+    double submit_us = 0.0;
+  };
+
+  std::string key;
+  /// Fired once every member (leader + waiters) has cancelled — the only
+  /// signal that aborts the shared computation short of shutdown. Cancelling
+  /// one waiter never cancels the leader unless it is the last live caller.
+  CancelToken abandon = CancelToken::Cancellable();
+  /// Caller tokens of every member, leader first.
+  std::vector<CancelToken> member_cancels;
+  std::vector<Waiter> waiters;
+};
 
 /// One registered cluster: its spec, its BOE model, and the task-time
 /// source requests are priced with. The source defaults to the entry's own
@@ -344,9 +411,9 @@ void EstimationService::ReleaseSlot() {
   Metrics().queue_depth.Set(depth);
 }
 
-Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& request,
-                                                    double submit_us,
-                                                    obs::RequestRecord* record) {
+Result<WorkflowEstimate> EstimationService::Execute(
+    const ServiceRequest& request, double submit_us, obs::RequestRecord* record,
+    const std::shared_ptr<CoalesceGroup>& group) {
   const double start_us = obs::MonotonicUs();
   if (record != nullptr) record->start_us = start_us;
   // Feed the overload controller the queue sojourn every dequeued request
@@ -432,7 +499,23 @@ Result<WorkflowEstimate> EstimationService::Execute(const ServiceRequest& reques
     // re-registration can never resume from stale state).
     estimator_options.checkpoints = &checkpoints_;
     estimator_options.checkpoint_scope = entry.scope;
-    const MemoizedTaskTimeSource cached(*entry.source, &memo_, entry.scope);
+    // A coalesce leader computes for every attached caller: its execution
+    // token observes the group's abandon signal instead of its own caller's
+    // cancel, and this decorator is what eventually fires that signal once
+    // every member has walked away.
+    std::optional<AbandonPollSource> polled;
+    const TaskTimeSource* source = entry.source;
+    if (group != nullptr) {
+      polled.emplace(*entry.source, [this, group] {
+        std::lock_guard<std::mutex> lock(coalesce_mutex_);
+        for (const CancelToken& member : group->member_cancels) {
+          if (!member.cancelled()) return;
+        }
+        group->abandon.Cancel();
+      });
+      source = &*polled;
+    }
+    const MemoizedTaskTimeSource cached(*source, &memo_, entry.scope);
     const StateBasedEstimator estimator(spec, options_.scheduler,
                                         estimator_options);
     Result<DagEstimate> estimate = estimator.Estimate(**flow, cached);
@@ -555,8 +638,132 @@ Status EstimationService::MapCancelCause(const Status& status,
   return status;
 }
 
-std::future<Result<WorkflowEstimate>> EstimationService::Submit(
-    ServiceRequest request) {
+std::string EstimationService::CoalesceKey(const ServiceRequest& request) const {
+  std::string workflow_name;
+  Result<std::shared_ptr<const DagWorkflow>> flow =
+      ResolveFlow(request.workflow, request.flow, &workflow_name);
+  if (!flow.ok()) return std::string();
+  Result<std::shared_ptr<const ClusterEntry>> cluster =
+      ResolveCluster(request.cluster);
+  if (!cluster.ok()) return std::string();
+  const ClusterEntry& entry = **cluster;
+
+  // The same effective inputs Execute derives: node override folded into the
+  // spec, explain folded into attribution. Two requests with equal keys run
+  // the estimator over identical inputs and produce identical bits.
+  ClusterSpec spec = entry.spec;
+  if (request.nodes > 0) spec.num_nodes = request.nodes;
+  EstimatorOptions estimator_options = options_.estimator;
+  estimator_options.attribute_bottlenecks =
+      request.explain || estimator_options.attribute_bottlenecks;
+
+  std::string key;
+  key.reserve(256);
+  // Resolved names are part of the served answer (WorkflowEstimate carries
+  // them), so structurally identical flows under different names never
+  // coalesce into a response naming the wrong one.
+  key += entry.name;
+  key += '\x1f';
+  key += workflow_name;
+  key += '\x1f';
+  key += request.explain ? '\1' : '\0';
+  PrefixCheckpointStore::AppendGlobalFingerprint(
+      entry.scope, spec, options_.scheduler, estimator_options, &key);
+  const DagWorkflow& dag = **flow;
+  for (JobId id = 0; id < dag.num_jobs(); ++id) {
+    PrefixCheckpointStore::AppendJobFingerprint(dag, id, &key);
+  }
+  return key;
+}
+
+void EstimationService::FulfillWaiters(
+    const std::shared_ptr<CoalesceGroup>& group,
+    const Result<WorkflowEstimate>& leader_result) {
+  std::vector<CoalesceGroup::Waiter> waiters;
+  {
+    // Erase before fulfilling: a request that finds the entry always
+    // attaches to a computation that will still resolve it.
+    std::lock_guard<std::mutex> lock(coalesce_mutex_);
+    coalesce_.erase(group->key);
+    waiters = std::move(group->waiters);
+  }
+  if (waiters.empty()) return;
+  coalesce_leaders_.fetch_add(1, std::memory_order_relaxed);
+  const double now_us = obs::MonotonicUs();
+  for (CoalesceGroup::Waiter& waiter : waiters) {
+    Result<WorkflowEstimate> result = [&]() -> Result<WorkflowEstimate> {
+      // The waiter's own budget first: its cancel/deadline outcome is its
+      // own regardless of how the leader fared.
+      if (waiter.budget.exhausted()) {
+        return MapCancelCause(waiter.budget.Check("serve " + waiter.workflow),
+                              waiter.caller_cancel,
+                              waiter.observe ? &waiter.record : nullptr);
+      }
+      if (leader_result.ok()) {
+        WorkflowEstimate copy = leader_result.value();
+        copy.coalesced = true;
+        // The waiter's timing is its own: it waited from its submission to
+        // this fulfilment and ran zero estimator states.
+        copy.queue_wait_ms = (now_us - waiter.submit_us) * 1e-3;
+        copy.service_ms = 0.0;
+        return copy;
+      }
+      const ErrorCode code = leader_result.status().code();
+      if (code == ErrorCode::kCancelled ||
+          code == ErrorCode::kDeadlineExceeded) {
+        // The leader died of its own budget (or the watchdog) — nothing
+        // about the value itself. The waiter's own run would have carried
+        // on, so resolve it retryable instead of inheriting the cancel.
+        return Status::Unavailable(
+                   "coalesced computation for " + waiter.workflow +
+                   " was cancelled before completing: retry")
+            .WithRetryAfterMs(RetryAfterHintMs());
+      }
+      // Deterministic failures (invalid input, state limits, breaker) would
+      // be bit-identical on a re-run: propagate as-is.
+      return leader_result.status();
+    }();
+
+    // Per-waiter accounting mirrors a normal request with zero execution:
+    // tenant EMA sees free work, the flight/SLO records carry the waiter's
+    // own wait, and its admission slot releases here.
+    tenants_->OnExecuteStart(waiter.tenant);
+    tenants_->OnDone(waiter.tenant, result.ok(), 0.0);
+    if (result.ok()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().completed.Add(1);
+      Metrics().path_coalesced.Add(1);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().failed.Add(1);
+    }
+    if (waiter.observe) {
+      waiter.record.start_us = now_us;
+      waiter.record.end_us = obs::MonotonicUs();
+      waiter.record.ok = result.ok();
+      waiter.record.outcome_code =
+          static_cast<std::uint8_t>(result.status().code());
+      waiter.record.deadline_met =
+          !waiter.record.had_deadline ||
+          result.status().code() != ErrorCode::kDeadlineExceeded;
+      if (result.ok()) {
+        waiter.record.path = obs::RequestPath::kCoalesced;
+        waiter.record.set_workflow(result.value().workflow);
+        waiter.record.set_cluster(result.value().cluster);
+      }
+      flight_.Record(waiter.record);
+      slo_.RecordOutcome(obs::OpClassFor(waiter.record.op),
+                         waiter.record.total_us() * 1e-3, waiter.record.ok,
+                         waiter.record.had_deadline,
+                         waiter.record.deadline_met);
+    }
+    ReleaseSlot();
+    waiter.done(std::move(result));
+  }
+}
+
+void EstimationService::SubmitEstimateImpl(
+    ServiceRequest request, std::function<void(Result<WorkflowEstimate>)> done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Metrics().submitted.Add(1);
 
@@ -584,7 +791,7 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
       slo_.RecordOutcome(obs::OpClassFor(record.op), record.total_us() * 1e-3,
                          false, false, true);
     }
-    return FailedFuture<WorkflowEstimate>(std::move(status));
+    done(Result<WorkflowEstimate>(std::move(status)));
   };
 
   // Shared lock: many Submits run concurrently; Drain's unique lock ensures
@@ -592,11 +799,13 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
   // pool starts waiting.
   std::shared_lock admission(admission_mutex_);
   if (draining_.load(std::memory_order_acquire)) {
-    return reject(Status::FailedPrecondition("service is draining"));
+    reject(Status::FailedPrecondition("service is draining"));
+    return;
   }
   const std::string tenant = TenantRegistry::Canonical(request.tenant);
   if (Status admitted = Admit(tenant, ClassifyCost(request)); !admitted.ok()) {
-    return reject(std::move(admitted));
+    reject(std::move(admitted));
+    return;
   }
 
   if (options_.default_deadline_seconds > 0 && request.budget.deadline.never()) {
@@ -604,14 +813,57 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
         Deadline::AfterSeconds(options_.default_deadline_seconds);
   }
   record.had_deadline = !request.budget.deadline.never();
-
-  // Request-scoped token: observes the caller's cancel and the service-wide
-  // shutdown signal, and is what the watchdog fires. Cancelling it never
-  // propagates to the caller's token, so MapCancelCause can still tell the
-  // three signals apart after the unwind.
   const CancelToken caller_cancel = request.budget.cancel;
+
+  // Singleflight: attach to an identical in-flight computation instead of
+  // queueing a duplicate. The waiter keeps its admission slot (it is real
+  // load until answered) but never takes a pool task — the leader's worker
+  // resolves it. Skipped under brownout: degraded answers are shaped by the
+  // ladder level at execution time, which identical requests submitted at
+  // different moments need not share.
+  std::shared_ptr<CoalesceGroup> group;
+  if (options_.coalescing && request.coalesce &&
+      (overload_ == nullptr || overload_->level() == 0)) {
+    std::string key = CoalesceKey(request);
+    if (!key.empty()) {
+      std::lock_guard<std::mutex> lock(coalesce_mutex_);
+      auto it = coalesce_.find(key);
+      if (it != coalesce_.end()) {
+        CoalesceGroup::Waiter waiter;
+        waiter.done = std::move(done);
+        waiter.budget.cancel =
+            CancelToken::LinkedTo({caller_cancel, shutdown_cancel_});
+        waiter.budget.deadline = request.budget.deadline;
+        waiter.caller_cancel = caller_cancel;
+        waiter.workflow = request.workflow.empty() && request.flow != nullptr
+                              ? request.flow->name()
+                              : request.workflow;
+        waiter.tenant = tenant;
+        waiter.record = record;
+        waiter.observe = observe;
+        waiter.submit_us = obs::MonotonicUs();
+        it->second->member_cancels.push_back(caller_cancel);
+        it->second->waiters.push_back(std::move(waiter));
+        coalesce_attached_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      group = std::make_shared<CoalesceGroup>();
+      group->key = std::move(key);
+      group->member_cancels.push_back(caller_cancel);
+      coalesce_.emplace(group->key, group);
+    }
+  }
+
+  // Request-scoped token: what the watchdog fires and the execution polls.
+  // An uncoalesced request observes its caller's cancel and the service-wide
+  // shutdown signal; a coalesce leader computes for the whole group, so it
+  // observes the group-abandon signal (all members cancelled) instead of its
+  // own caller alone. Cancelling the execution token never propagates to
+  // the caller's token, so MapCancelCause can still tell the signals apart.
   request.budget.cancel =
-      CancelToken::LinkedTo({caller_cancel, shutdown_cancel_});
+      group != nullptr
+          ? CancelToken::LinkedTo({group->abandon, shutdown_cancel_})
+          : CancelToken::LinkedTo({caller_cancel, shutdown_cancel_});
   std::uint64_t watch_id = 0;
   if (watchdog_ != nullptr && !request.budget.deadline.never()) {
     watch_id = watchdog_->Watch(
@@ -619,15 +871,14 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
         request.budget.deadline.remaining_seconds() * options_.watchdog_multiple);
   }
 
-  auto promise = std::make_shared<std::promise<Result<WorkflowEstimate>>>();
-  std::future<Result<WorkflowEstimate>> future = promise->get_future();
   const double submit_us = obs::MonotonicUs();
-  pool_->Submit([this, request = std::move(request), promise, submit_us,
-                 caller_cancel, watch_id, record, observe, tenant]() mutable {
+  pool_->Submit([this, request = std::move(request), done = std::move(done),
+                 submit_us, caller_cancel, watch_id, record, observe, tenant,
+                 group]() mutable {
     tenants_->OnExecuteStart(tenant);
     const double exec_start_us = obs::MonotonicUs();
     Result<WorkflowEstimate> result =
-        Execute(request, submit_us, observe ? &record : nullptr);
+        Execute(request, submit_us, observe ? &record : nullptr, group);
     // Execution time only (not queue wait): the EMA this feeds prices the
     // tenant's future admissions, and waiting is not the tenant's cost.
     const double exec_ms = (obs::MonotonicUs() - exec_start_us) * 1e-3;
@@ -659,9 +910,81 @@ std::future<Result<WorkflowEstimate>> EstimationService::Submit(
                          record.ok, record.had_deadline, record.deadline_met);
     }
     ReleaseSlot();
-    promise->set_value(std::move(result));
+    // Waiters resolve before the leader's own callback: attached requests
+    // were submitted earlier and should not queue behind the leader's
+    // continuation.
+    if (group != nullptr) FulfillWaiters(group, result);
+    done(std::move(result));
   });
+}
+
+std::future<Result<WorkflowEstimate>> EstimationService::SubmitEstimateFuture(
+    ServiceRequest request) {
+  auto promise = std::make_shared<std::promise<Result<WorkflowEstimate>>>();
+  std::future<Result<WorkflowEstimate>> future = promise->get_future();
+  SubmitEstimateImpl(std::move(request),
+                     [promise](Result<WorkflowEstimate> result) {
+                       promise->set_value(std::move(result));
+                     });
   return future;
+}
+
+std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweepFuture(
+    ServiceSweepRequest request) {
+  auto promise = std::make_shared<std::promise<Result<ServiceSweepResult>>>();
+  std::future<Result<ServiceSweepResult>> future = promise->get_future();
+  SubmitSweepImpl(std::move(request),
+                  [promise](Result<ServiceSweepResult> result) {
+                    promise->set_value(std::move(result));
+                  });
+  return future;
+}
+
+std::future<Result<EstimateResponse>> EstimationService::Submit(
+    EstimateRequest request) {
+  auto promise = std::make_shared<std::promise<Result<EstimateResponse>>>();
+  std::future<Result<EstimateResponse>> future = promise->get_future();
+  if (request.is_sweep()) {
+    SubmitSweepImpl(request.ToSweep(),
+                    [promise](Result<ServiceSweepResult> result) {
+                      if (!result.ok()) {
+                        promise->set_value(
+                            Result<EstimateResponse>(result.status()));
+                        return;
+                      }
+                      EstimateResponse response;
+                      response.sweep = std::move(result).value();
+                      promise->set_value(std::move(response));
+                    });
+  } else {
+    SubmitEstimateImpl(request.ToEstimate(),
+                       [promise](Result<WorkflowEstimate> result) {
+                         if (!result.ok()) {
+                           promise->set_value(
+                               Result<EstimateResponse>(result.status()));
+                           return;
+                         }
+                         EstimateResponse response;
+                         response.estimate = std::move(result).value();
+                         promise->set_value(std::move(response));
+                       });
+  }
+  return future;
+}
+
+std::vector<std::future<Result<EstimateResponse>>>
+EstimationService::SubmitBatch(std::vector<EstimateRequest> requests) {
+  std::vector<std::future<Result<EstimateResponse>>> futures;
+  futures.reserve(requests.size());
+  for (EstimateRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+std::future<Result<WorkflowEstimate>> EstimationService::Submit(
+    ServiceRequest request) {
+  return SubmitEstimateFuture(std::move(request));
 }
 
 std::vector<std::future<Result<WorkflowEstimate>>> EstimationService::SubmitBatch(
@@ -669,13 +992,14 @@ std::vector<std::future<Result<WorkflowEstimate>>> EstimationService::SubmitBatc
   std::vector<std::future<Result<WorkflowEstimate>>> futures;
   futures.reserve(requests.size());
   for (ServiceRequest& request : requests) {
-    futures.push_back(Submit(std::move(request)));
+    futures.push_back(SubmitEstimateFuture(std::move(request)));
   }
   return futures;
 }
 
-std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
-    ServiceSweepRequest request) {
+void EstimationService::SubmitSweepImpl(
+    ServiceSweepRequest request,
+    std::function<void(Result<ServiceSweepResult>)> done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Metrics().submitted.Add(1);
 
@@ -698,18 +1022,20 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
       slo_.RecordOutcome(obs::OpClass::kSweep, record.total_us() * 1e-3, false,
                          false, true);
     }
-    return FailedFuture<ServiceSweepResult>(std::move(status));
+    done(Result<ServiceSweepResult>(std::move(status)));
   };
 
   std::shared_lock admission(admission_mutex_);
   if (draining_.load(std::memory_order_acquire)) {
-    return reject(Status::FailedPrecondition("service is draining"));
+    reject(Status::FailedPrecondition("service is draining"));
+    return;
   }
   const std::string tenant = TenantRegistry::Canonical(request.tenant);
   // A sweep is many estimates on one slot — always expensive work to the
   // overload controller, so brownout sheds batch capacity-planning first.
   if (Status admitted = Admit(tenant, CostClass::kExpensive); !admitted.ok()) {
-    return reject(std::move(admitted));
+    reject(std::move(admitted));
+    return;
   }
   if (options_.default_deadline_seconds > 0 && request.budget.deadline.never()) {
     request.budget.deadline =
@@ -722,11 +1048,9 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
   request.budget.cancel =
       CancelToken::LinkedTo({request.budget.cancel, shutdown_cancel_});
 
-  auto promise = std::make_shared<std::promise<Result<ServiceSweepResult>>>();
-  std::future<Result<ServiceSweepResult>> future = promise->get_future();
   const double submit_us = obs::MonotonicUs();
-  pool_->Submit([this, request = std::move(request), promise, record,
-                 observe, tenant, submit_us]() mutable {
+  pool_->Submit([this, request = std::move(request), done = std::move(done),
+                 record, observe, tenant, submit_us]() mutable {
     const double start_us = obs::MonotonicUs();
     record.start_us = start_us;
     tenants_->OnExecuteStart(tenant);
@@ -767,7 +1091,7 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
                            record.deadline_met);
       }
       ReleaseSlot();
-      promise->set_value(std::move(result));
+      done(std::move(result));
     };
     if (request.nodes_list.empty()) {
       finish(Status::InvalidArgument("sweep has an empty nodes list"));
@@ -787,7 +1111,7 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
       return;
     }
     const ClusterEntry& entry = **cluster;
-    std::vector<EstimateRequest> candidates;
+    std::vector<SweepCandidate> candidates;
     candidates.reserve(request.nodes_list.size());
     for (int nodes : request.nodes_list) {
       ClusterSpec spec = entry.spec;
@@ -805,6 +1129,10 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
     sweep_options.pool = pool_.get();
     sweep_options.budget = request.budget;
     sweep_options.estimator = options_.estimator;
+    // Straggler hedging: the request's own options when it set them, else
+    // the service-wide default (off unless the operator opted in).
+    sweep_options.hedge =
+        request.hedge.enabled ? request.hedge : options_.hedge;
     ServiceSweepResult result;
     result.sweep =
         EstimateBatch(candidates, options_.scheduler, *entry.source, sweep_options);
@@ -816,7 +1144,11 @@ std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
     Metrics().cache_hit_rate.Set(cache.hit_rate());
     finish(std::move(result));
   });
-  return future;
+}
+
+std::future<Result<ServiceSweepResult>> EstimationService::SubmitSweep(
+    ServiceSweepRequest request) {
+  return SubmitSweepFuture(std::move(request));
 }
 
 void EstimationService::ResetWarmState() {
@@ -950,6 +1282,8 @@ ServiceStats EstimationService::Stats() const {
   stats.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
   stats.watchdog_fired = watchdog_fired_.load(std::memory_order_relaxed);
   stats.stats_epoch = stats_epoch_.load(std::memory_order_relaxed);
+  stats.coalesce_leaders = coalesce_leaders_.load(std::memory_order_relaxed);
+  stats.coalesce_attached = coalesce_attached_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   stats.draining = draining_.load(std::memory_order_relaxed);
   {

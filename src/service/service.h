@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "resilience/overload.h"
 #include "resilience/watchdog.h"
 #include "scheduler/drf.h"
+#include "service/request.h"
 #include "service/tenancy.h"
 
 namespace dagperf {
@@ -117,79 +120,29 @@ struct ServiceOptions {
   /// LoadSnapshot instead of serving a cold-cache latency cliff. `dagperf
   /// serve --snapshot-dir` maps here (plus periodic saves).
   std::string snapshot_path;
+
+  /// In-flight estimate coalescing (singleflight). Concurrent requests for
+  /// the same value — same workflow bytes, cluster bits, node override, and
+  /// explain flag, the exact fingerprint the prefix-checkpoint store keys
+  /// on — attach to the one computation already running instead of queueing
+  /// their own; every attached request receives a copy of the identical
+  /// WorkflowEstimate, tagged `coalesced`. Leader failures propagate
+  /// per-waiter: a cancelled/expired leader resolves live waiters with
+  /// retryable UNAVAILABLE, deterministic errors propagate as-is, and a
+  /// waiter whose own budget fired gets its own status. Disabled here it is
+  /// off for every request; per-request opt-out via ServiceRequest::coalesce.
+  bool coalescing = true;
+
+  /// Service-wide default for sweep straggler hedging (SweepHedgeOptions);
+  /// applied to every sweep that does not carry its own hedge options. Off
+  /// by default — hedging spends duplicate work for tail latency.
+  SweepHedgeOptions hedge;
 };
 
-/// One estimate query. Exactly one of `workflow` (a registered name) or
-/// `flow` (a caller-supplied workflow, shared ownership so it outlives the
-/// async execution) must be set.
-struct ServiceRequest {
-  std::string workflow;
-  std::shared_ptr<const DagWorkflow> flow;
-
-  /// Registered cluster name; empty selects "default".
-  std::string cluster;
-
-  /// Tenant the request is accounted and fair-shared under (wire field
-  /// "tenant"); empty selects "default". See service/tenancy.h.
-  std::string tenant;
-
-  /// When > 0, overrides the cluster's node count for this request only.
-  /// Cheap: node hardware (and thus the BOE model and cache scope) is
-  /// unchanged; per-node task populations are part of every memo key.
-  int nodes = 0;
-
-  /// Per-request budget; merged with the service's default deadline. Polled
-  /// at admission, at dequeue (a request can expire while queued), and per
-  /// estimator state.
-  Budget budget;
-
-  /// Attribute bottlenecks and derive the critical path (explain verb).
-  bool explain = false;
-};
-
-/// A served estimate: the model output plus resolved names and the
-/// service-side timing the caller would otherwise have to measure.
-struct WorkflowEstimate {
-  DagEstimate estimate;
-  /// Filled when ServiceRequest::explain was set.
-  std::vector<CriticalSegment> critical_path;
-  /// The flow that was estimated (registered or caller-supplied) — kept so
-  /// renderers (protocol explain reports) can name jobs without a second
-  /// registry lookup.
-  std::shared_ptr<const DagWorkflow> flow;
-  std::string workflow;
-  std::string cluster;
-  double queue_wait_ms = 0.0;
-  double service_ms = 0.0;
-  /// True when the answer was produced under brownout (level >= 1): the
-  /// estimate is still the paper's model, but attribution may be absent and
-  /// the state budget may have been capped. Wire field "degraded".
-  bool degraded = false;
-  /// Brownout ladder level the request executed at (0 = healthy).
-  int degrade_level = 0;
-};
-
-/// A cluster-size sweep query (capacity planning): price `workflow` at every
-/// node count in `nodes_list` on one service turn, sharing the persistent
-/// memo across candidates.
-struct ServiceSweepRequest {
-  std::string workflow;
-  std::shared_ptr<const DagWorkflow> flow;
-  std::string cluster;
-  /// Tenant accounting, as on ServiceRequest. A sweep holds one admission
-  /// slot but classifies as expensive work for overload shedding.
-  std::string tenant;
-  std::vector<int> nodes_list;
-  Budget budget;
-};
-
-struct ServiceSweepResult {
-  SweepResult sweep;
-  std::vector<int> nodes_list;
-  std::string workflow;
-  std::string cluster;
-  double service_ms = 0.0;
-};
+/// Request/response types (ServiceRequest, WorkflowEstimate,
+/// ServiceSweepRequest, ServiceSweepResult) and the 0.8 unified
+/// EstimateRequest builder + EstimateResponse union live in
+/// service/request.h, included above.
 
 /// Monotonic service counters plus the memo cache's cumulative behaviour.
 struct ServiceStats {
@@ -219,6 +172,13 @@ struct ServiceStats {
   int overload_level = 0;
   /// Requests the overload controller shed (subset of `shed`).
   std::uint64_t overload_shed = 0;
+  /// Singleflight coalescing: computations whose answer was fanned out to
+  /// at least one attached waiter, and requests served by attaching
+  /// (`coalesce_attached` requests ran zero estimator states). Completed
+  /// work this epoch that actually computed =
+  /// completed - coalesce_attached.
+  std::uint64_t coalesce_leaders = 0;
+  std::uint64_t coalesce_attached = 0;
 };
 
 class EstimationService {
@@ -251,18 +211,36 @@ class EstimationService {
 
   std::vector<std::string> WorkflowNames() const;
 
-  /// Submits one estimate query. Never blocks on estimation: the returned
-  /// future is either already failed (shed / draining / unresolvable name)
-  /// or will be fulfilled by a worker. Safe from any thread.
+  /// The 0.8 unified entry point: submits one EstimateRequest — a single
+  /// estimate or, when the request carries a SweepNodes list, a sweep — and
+  /// resolves to the matching half of EstimateResponse. Never blocks on
+  /// estimation: the returned future is either already failed (shed /
+  /// draining / unresolvable name) or will be fulfilled by a worker. Safe
+  /// from any thread. Identical concurrent single-estimate requests are
+  /// coalesced onto one computation (ServiceOptions::coalescing).
+  std::future<Result<EstimateResponse>> Submit(EstimateRequest request);
+
+  /// Batch convenience over the unified entry point: one future per
+  /// request, admitted independently (a full queue sheds the tail, not the
+  /// whole batch).
+  std::vector<std::future<Result<EstimateResponse>>> SubmitBatch(
+      std::vector<EstimateRequest> requests);
+
+  /// Pre-0.8 shim: equivalent to
+  /// Submit(EstimateRequest) with the same fields; will be removed in 0.9.
+  [[deprecated("use Submit(EstimateRequest) — the 0.8 unified submission API")]]
   std::future<Result<WorkflowEstimate>> Submit(ServiceRequest request);
 
-  /// Batch convenience: one future per request, admitted independently (a
-  /// full queue sheds the tail, not the whole batch).
+  /// Pre-0.8 shim over the unified batch path; will be removed in 0.9.
+  [[deprecated("use SubmitBatch(std::vector<EstimateRequest>)")]]
   std::vector<std::future<Result<WorkflowEstimate>>> SubmitBatch(
       std::vector<ServiceRequest> requests);
 
-  /// Submits a cluster-size sweep; counts as one admission-queue slot. The
-  /// candidates fan out across the same pool and share the persistent memo.
+  /// Pre-0.8 shim: equivalent to Submit(EstimateRequest::For(...)
+  /// .SweepNodes(...)); will be removed in 0.9. A sweep counts as one
+  /// admission-queue slot; candidates fan out across the same pool and
+  /// share the persistent memo.
+  [[deprecated("use Submit(EstimateRequest) with SweepNodes")]]
   std::future<Result<ServiceSweepResult>> SubmitSweep(ServiceSweepRequest request);
 
   /// Graceful shutdown: stops admitting (subsequent Submits fail with
@@ -342,6 +320,23 @@ class EstimationService {
 
  private:
   struct ClusterEntry;
+  struct CoalesceGroup;
+
+  /// Completion-callback forms of the two execution paths; every public
+  /// Submit flavour (unified, shims, batch) is a thin adapter over these.
+  /// `done` is invoked exactly once — synchronously for rejected requests,
+  /// from a worker (or a coalesced leader's worker) otherwise.
+  void SubmitEstimateImpl(ServiceRequest request,
+                          std::function<void(Result<WorkflowEstimate>)> done);
+  void SubmitSweepImpl(ServiceSweepRequest request,
+                       std::function<void(Result<ServiceSweepResult>)> done);
+
+  /// Future adapters over the impls (what the deprecated shims and
+  /// SubmitBatch call, so no internal caller touches a deprecated symbol).
+  std::future<Result<WorkflowEstimate>> SubmitEstimateFuture(
+      ServiceRequest request);
+  std::future<Result<ServiceSweepResult>> SubmitSweepFuture(
+      ServiceSweepRequest request);
 
   /// Resolves the request's workflow/cluster under the registry lock.
   Result<std::shared_ptr<const DagWorkflow>> ResolveFlow(
@@ -381,10 +376,25 @@ class EstimationService {
   /// Runs one estimate on a worker thread (slot already held). `record` (null
   /// while request observability is disarmed) accumulates the request's
   /// attribution: resolved names, states executed, memo behaviour, path
-  /// class, breaker interaction.
+  /// class, breaker interaction. `group` (null when the request is not a
+  /// coalesce leader) arms the group-abandon poll: the execution unwinds
+  /// once every attached caller has cancelled.
   Result<WorkflowEstimate> Execute(const ServiceRequest& request,
-                                   double submit_us,
-                                   obs::RequestRecord* record);
+                                   double submit_us, obs::RequestRecord* record,
+                                   const std::shared_ptr<CoalesceGroup>& group);
+
+  /// The coalesce key of a single-estimate request: the same value
+  /// fingerprint the prefix-checkpoint store keys on (scope + cluster bits +
+  /// scheduler + effective estimator options + per-job workflow bytes) plus
+  /// the resolved names and the explain flag. Empty when the request cannot
+  /// be keyed (unresolvable names — the leader path surfaces the error).
+  std::string CoalesceKey(const ServiceRequest& request) const;
+
+  /// Resolves every waiter of a finished leader: each gets its own status
+  /// (own budget first, then the leader outcome mapped per-waiter) and its
+  /// own accounting; runs on the leader's worker, outside the coalesce lock.
+  void FulfillWaiters(const std::shared_ptr<CoalesceGroup>& group,
+                      const Result<WorkflowEstimate>& leader_result);
 
   /// The per-cluster breaker (created lazily); nullptr when breakers are
   /// disabled. Entries are never destroyed while the service lives.
@@ -424,6 +434,14 @@ class EstimationService {
   mutable std::shared_mutex admission_mutex_;
   std::atomic<bool> draining_{false};
 
+  /// Singleflight table: key -> the in-flight computation for that value.
+  /// A group is inserted by its leader before the pool enqueue and erased
+  /// by the leader's worker before waiters are fulfilled, so a request
+  /// observing the entry always attaches to a computation that will still
+  /// resolve it. All group state is guarded by this mutex.
+  mutable std::mutex coalesce_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<CoalesceGroup>> coalesce_;
+
   /// Fired by Shutdown once the grace period expires; linked (never merged)
   /// into every request's token so a caller's own cancel stays a distinct
   /// signal.
@@ -453,6 +471,8 @@ class EstimationService {
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> expired_in_queue_{0};
   std::atomic<std::uint64_t> watchdog_fired_{0};
+  std::atomic<std::uint64_t> coalesce_leaders_{0};
+  std::atomic<std::uint64_t> coalesce_attached_{0};
 };
 
 }  // namespace dagperf

@@ -36,7 +36,7 @@ Result<std::vector<Duration>> PredictAll(const std::vector<const DagWorkflow*>& 
                                          TaskTimeMemo* memo = nullptr) {
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(kContainerOverheadS));
-  std::vector<EstimateRequest> requests;
+  std::vector<SweepCandidate> requests;
   requests.reserve(flows.size());
   for (const DagWorkflow* flow : flows) requests.push_back({flow, cluster, ""});
   SweepOptions options;
@@ -174,7 +174,7 @@ Result<ClusterSizing> SizeCluster(const DagWorkflow& flow, Duration deadline,
     // the estimation context carries).
     const BoeModel boe(node_template.node);
     const BoeTaskTimeSource source(boe, Duration::Seconds(kContainerOverheadS));
-    std::vector<EstimateRequest> requests;
+    std::vector<SweepCandidate> requests;
     requests.reserve(node_counts.size());
     for (size_t i = 0; i < node_counts.size(); ++i) {
       requests.push_back({flows[i], clusters[i], ""});

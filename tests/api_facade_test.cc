@@ -38,6 +38,12 @@
 #error "multi-tenant serving requires dagperf >= 0.7"
 #endif
 
+// The unified submission API (EstimateRequest builder, EstimateResponse,
+// in-flight coalescing, hedged sweeps) arrived in 0.8.
+#if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR < 8
+#error "unified submission API requires dagperf >= 0.8"
+#endif
+
 namespace dagperf {
 namespace {
 
@@ -140,6 +146,61 @@ Result<DagWorkflow> FacadeFlow() {
   return std::move(named).value().flow;
 }
 
+TEST(ApiFacadeTest, UnifiedSubmitServesEstimatesAndSweeps) {
+  // 0.8 surface: one builder, one entry point, one response union.
+  Result<DagWorkflow> flow = FacadeFlow();
+  ASSERT_TRUE(flow.ok());
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", *flow).ok());
+
+  Result<EstimateResponse> estimate =
+      service.Submit(EstimateRequest::For("q6").WithExplain()).get();
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  ASSERT_FALSE(estimate.value().is_sweep());
+  ASSERT_TRUE(estimate.value().estimate.has_value());
+  EXPECT_GT(estimate.value().estimate->estimate.makespan.seconds(), 0.0);
+  EXPECT_FALSE(estimate.value().estimate->critical_path.empty());
+
+  Result<EstimateResponse> sweep =
+      service.Submit(EstimateRequest::For("q6").SweepNodes({4, 8})).get();
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_TRUE(sweep.value().is_sweep());
+  ASSERT_TRUE(sweep.value().sweep.has_value());
+  ASSERT_EQ(sweep.value().sweep->sweep.estimates.size(), 2u);
+  EXPECT_TRUE(sweep.value().sweep->sweep.estimates[0].ok());
+  EXPECT_TRUE(sweep.value().sweep->sweep.estimates[1].ok());
+}
+
+TEST(ApiFacadeTest, BuilderLowersToTheStructsItReplaces) {
+  // Migrating callers can diff the lowered form against the struct they
+  // used to fill by hand; every chainer maps onto exactly one field.
+  const EstimateRequest request = EstimateRequest::For("daily-etl")
+                                      .OnCluster("prod")
+                                      .AsTenant("alice")
+                                      .WithNodes(32)
+                                      .WithExplain()
+                                      .WithoutCoalescing();
+  EXPECT_FALSE(request.is_sweep());
+  const ServiceRequest lowered = request.ToEstimate();
+  EXPECT_EQ(lowered.workflow, "daily-etl");
+  EXPECT_EQ(lowered.cluster, "prod");
+  EXPECT_EQ(lowered.tenant, "alice");
+  EXPECT_EQ(lowered.nodes, 32);
+  EXPECT_TRUE(lowered.explain);
+  EXPECT_FALSE(lowered.coalesce);
+
+  SweepHedgeOptions hedge;
+  hedge.enabled = true;
+  const EstimateRequest sweep = EstimateRequest::For("daily-etl")
+                                    .SweepNodes({8, 16})
+                                    .WithHedging(hedge);
+  EXPECT_TRUE(sweep.is_sweep());
+  const ServiceSweepRequest sweep_lowered = sweep.ToSweep();
+  EXPECT_EQ(sweep_lowered.workflow, "daily-etl");
+  EXPECT_EQ(sweep_lowered.nodes_list, (std::vector<int>{8, 16}));
+  EXPECT_TRUE(sweep_lowered.hedge.enabled);
+}
+
 // The deprecated shims are exercised on purpose; silence the warnings the
 // rest of the build is expected to emit for them.
 #pragma GCC diagnostic push
@@ -172,7 +233,7 @@ TEST(ApiFacadeTest, DeprecatedBatchShimReturnsFirstError) {
   const BoeModel boe(good.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
 
-  const std::vector<EstimateRequest> requests = {{&*flow, good, "good"},
+  const std::vector<SweepCandidate> requests = {{&*flow, good, "good"},
                                                  {&*flow, bad, "bad"}};
   SweepResult out;
   const Status status =
@@ -182,6 +243,50 @@ TEST(ApiFacadeTest, DeprecatedBatchShimReturnsFirstError) {
   ASSERT_EQ(out.estimates.size(), 2u);
   EXPECT_TRUE(out.estimates[0].ok());
   EXPECT_FALSE(out.estimates[1].ok());
+}
+
+TEST(ApiFacadeTest, DeprecatedSubmitShimsMatchUnifiedSubmit) {
+  // The pre-0.8 entry points are shims over the unified path; a request
+  // lowered from the builder and the same struct filled by hand must
+  // produce bit-identical estimates.
+  Result<DagWorkflow> flow = FacadeFlow();
+  ASSERT_TRUE(flow.ok());
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", *flow).ok());
+
+  Result<EstimateResponse> unified =
+      service.Submit(EstimateRequest::For("q6").WithExplain()).get();
+  ASSERT_TRUE(unified.ok());
+
+  ServiceRequest legacy;
+  legacy.workflow = "q6";
+  legacy.explain = true;
+  Result<WorkflowEstimate> shimmed = service.Submit(std::move(legacy)).get();
+  ASSERT_TRUE(shimmed.ok()) << shimmed.status().ToString();
+  EXPECT_EQ(shimmed.value().estimate.makespan.seconds(),
+            unified.value().estimate->estimate.makespan.seconds());
+  EXPECT_EQ(shimmed.value().critical_path.size(),
+            unified.value().estimate->critical_path.size());
+
+  Result<EstimateResponse> unified_sweep =
+      service.Submit(EstimateRequest::For("q6").SweepNodes({4, 8})).get();
+  ASSERT_TRUE(unified_sweep.ok());
+
+  ServiceSweepRequest legacy_sweep;
+  legacy_sweep.workflow = "q6";
+  legacy_sweep.nodes_list = {4, 8};
+  Result<ServiceSweepResult> shimmed_sweep =
+      service.SubmitSweep(std::move(legacy_sweep)).get();
+  ASSERT_TRUE(shimmed_sweep.ok()) << shimmed_sweep.status().ToString();
+  const SweepResult& a = shimmed_sweep.value().sweep;
+  const SweepResult& b = unified_sweep.value().sweep->sweep;
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    ASSERT_TRUE(a.estimates[i].ok());
+    ASSERT_TRUE(b.estimates[i].ok());
+    EXPECT_EQ(a.estimates[i]->makespan.seconds(),
+              b.estimates[i]->makespan.seconds());
+  }
 }
 
 TEST(ApiFacadeTest, DeprecatedSimulatorShimMatchesResultOverload) {

@@ -166,8 +166,8 @@ TEST(EstimateBatch, ExpiredDeadlineYieldsPartialResultsAndCounts) {
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
   const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(10)));
-  const std::vector<EstimateRequest> requests(8,
-                                              EstimateRequest{&flow, cluster, ""});
+  const std::vector<SweepCandidate> requests(8,
+                                              SweepCandidate{&flow, cluster, ""});
   SweepOptions options;
   options.threads = 1;
   options.budget.deadline = Deadline::AfterSeconds(0);
@@ -199,8 +199,8 @@ TEST(EstimateBatch, CancelledBatchStampsCancelled) {
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
   const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(10)));
-  const std::vector<EstimateRequest> requests(4,
-                                              EstimateRequest{&flow, cluster, ""});
+  const std::vector<SweepCandidate> requests(4,
+                                              SweepCandidate{&flow, cluster, ""});
   SweepOptions options;
   options.threads = 1;
   options.budget.cancel = CancelToken::Cancellable();
@@ -223,8 +223,8 @@ TEST(EstimateBatch, UnexpiredBudgetIsHarmless) {
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
   const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(10)));
-  const std::vector<EstimateRequest> requests(3,
-                                              EstimateRequest{&flow, cluster, ""});
+  const std::vector<SweepCandidate> requests(3,
+                                              SweepCandidate{&flow, cluster, ""});
   SweepOptions options;
   options.budget.cancel = CancelToken::Cancellable();
   options.budget.deadline = Deadline::AfterSeconds(3600);
@@ -243,8 +243,8 @@ TEST(EstimateBatch, RetryableFailuresRetryBoundedTimes) {
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
   const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(10)));
-  const std::vector<EstimateRequest> requests(2,
-                                              EstimateRequest{&flow, cluster, ""});
+  const std::vector<SweepCandidate> requests(2,
+                                              SweepCandidate{&flow, cluster, ""});
   SweepOptions options;
   options.threads = 1;
   options.max_retries = 3;
@@ -273,7 +273,7 @@ TEST(EstimateBatch, InvalidArgumentIsNotRetried) {
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
   const DagWorkflow flow = SingleJobFlow(WordCountSpec(Bytes::FromGB(10)));
-  const std::vector<EstimateRequest> requests = {{&flow, bad, ""}};
+  const std::vector<SweepCandidate> requests = {{&flow, bad, ""}};
   SweepOptions options;
   options.threads = 1;
   options.max_retries = 5;

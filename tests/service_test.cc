@@ -20,6 +20,11 @@
 #include "workloads/suite.h"
 #include "workloads/web_analytics.h"
 
+// Parts of this file exercise the pre-0.8 submission API on purpose
+// (deprecated shims must keep working until removal); silence the
+// migration warnings the rest of the build is expected to emit.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace dagperf {
 namespace {
 
@@ -180,9 +185,12 @@ TEST(ServiceTest, DeadlineExpiresInQueue) {
   gate.WaitUntilEntered();
 
   // Queued behind the blocked worker with a deadline that expires while it
-  // waits: the worker must reject it at dequeue without estimating.
+  // waits: the worker must reject it at dequeue without estimating. Opted
+  // out of coalescing — attaching to the in-flight computation would serve
+  // it from the leader instead of letting it expire in the queue.
   ServiceRequest doomed;
   doomed.workflow = "q6";
+  doomed.coalesce = false;
   doomed.budget.deadline = Deadline::AfterSeconds(0.01);
   std::future<Result<WorkflowEstimate>> expired =
       service.Submit(std::move(doomed));
@@ -450,6 +458,141 @@ TEST(ServerTest, ServeLinesPumpsUntilDrain) {
   int lines = 0;
   for (char c : out.str()) lines += c == '\n';
   EXPECT_EQ(lines, 3);
+}
+
+TEST(ServiceTest, CoalescesIdenticalInflightRequests) {
+  ServiceOptions options;
+  options.threads = 1;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  // Leader occupies the only worker, blocked inside the source with the
+  // coalesce group registered.
+  std::future<Result<EstimateResponse>> leader =
+      service.Submit(EstimateRequest::For("q6"));
+  gate.WaitUntilEntered();
+
+  // Identical submissions attach synchronously — Submit returns with the
+  // waiter registered, no pool task, no queue slot consumed.
+  std::vector<std::future<Result<EstimateResponse>>> followers;
+  for (int i = 0; i < 3; ++i) {
+    followers.push_back(service.Submit(EstimateRequest::For("q6")));
+  }
+  EXPECT_EQ(service.Stats().coalesce_attached, 3u);
+
+  gate.Open();
+  Result<EstimateResponse> lead = leader.get();
+  ASSERT_TRUE(lead.ok()) << lead.status().ToString();
+  EXPECT_FALSE(lead.value().estimate->coalesced);
+  for (auto& follower : followers) {
+    Result<EstimateResponse> served = follower.get();
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    const WorkflowEstimate& estimate = *served.value().estimate;
+    // Bit-identical to the leader's computation, marked as attached, with
+    // zero service time (the waiter never ran the estimator).
+    EXPECT_TRUE(estimate.coalesced);
+    EXPECT_EQ(estimate.estimate.makespan.seconds(),
+              lead.value().estimate->estimate.makespan.seconds());
+    EXPECT_EQ(estimate.service_ms, 0.0);
+    EXPECT_EQ(estimate.workflow, "q6");
+  }
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.coalesce_leaders, 1u);
+  EXPECT_EQ(stats.coalesce_attached, 3u);
+}
+
+TEST(ServiceTest, CancellingOneWaiterDoesNotCancelTheLeader) {
+  ServiceOptions options;
+  options.threads = 1;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  std::future<Result<EstimateResponse>> leader =
+      service.Submit(EstimateRequest::For("q6"));
+  gate.WaitUntilEntered();
+
+  CancelToken waiter_cancel = CancelToken::Cancellable();
+  std::future<Result<EstimateResponse>> waiter =
+      service.Submit(EstimateRequest::For("q6").WithCancel(waiter_cancel));
+  ASSERT_EQ(service.Stats().coalesce_attached, 1u);
+
+  // The waiter gives up; the leader (whose caller never cancelled) must
+  // keep computing — group abandonment requires every member to cancel.
+  waiter_cancel.Cancel();
+  gate.Open();
+
+  Result<EstimateResponse> lead = leader.get();
+  ASSERT_TRUE(lead.ok()) << lead.status().ToString();
+  Result<EstimateResponse> cancelled = waiter.get();
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), ErrorCode::kCancelled);
+}
+
+TEST(ServiceTest, CoalescingOptOutRunsItsOwnComputation) {
+  ServiceOptions options;
+  options.threads = 1;
+  EstimationService service(options);
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+  GateSource gate;
+  ASSERT_TRUE(service.RegisterSource("default", &gate, "gate").ok());
+
+  std::future<Result<EstimateResponse>> first =
+      service.Submit(EstimateRequest::For("q6"));
+  gate.WaitUntilEntered();
+
+  // Opted out: queues behind the worker instead of attaching.
+  std::future<Result<EstimateResponse>> second =
+      service.Submit(EstimateRequest::For("q6").WithoutCoalescing());
+  EXPECT_EQ(service.Stats().coalesce_attached, 0u);
+
+  gate.Open();
+  Result<EstimateResponse> a = first.get();
+  Result<EstimateResponse> b = second.get();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a.value().estimate->coalesced);
+  EXPECT_FALSE(b.value().estimate->coalesced);
+
+  const ServiceStats stats = service.Stats();
+  // A leader with no attached waiters is not a coalesce leader.
+  EXPECT_EQ(stats.coalesce_leaders, 0u);
+  EXPECT_EQ(stats.coalesce_attached, 0u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServiceTest, DrainResetsPerShardMemoCounters) {
+  EstimationService service;
+  ASSERT_TRUE(service.RegisterWorkflow("q6", TestFlow()).ok());
+
+  // Two serves: the second hits the memo warmed by the first.
+  for (int i = 0; i < 2; ++i) {
+    Result<EstimateResponse> served =
+        service.Submit(EstimateRequest::For("q6")).get();
+    ASSERT_TRUE(served.ok());
+  }
+  const ServiceStats warm = service.Stats();
+  EXPECT_GT(warm.cache.hits + warm.cache.misses, 0u);
+  EXPECT_GT(warm.cache.entries, 0u);
+
+  // Drain resets the warm state; the post-drain stats recompute must see
+  // every per-shard counter zeroed — no pre-drain numerator can leak into
+  // a hit rate computed in the new epoch.
+  ASSERT_TRUE(service.Drain().ok());
+  const ServiceStats cold = service.Stats();
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, 0u);
+  EXPECT_EQ(cold.cache.insert_races, 0u);
+  EXPECT_EQ(cold.cache.entries, 0u);
+  EXPECT_EQ(cold.cache.shards, TaskTimeMemo::kShardCount);
+  EXPECT_EQ(cold.stats_epoch, warm.stats_epoch + 1);
 }
 
 }  // namespace

@@ -585,7 +585,7 @@ int CmdReducerSweep(const Args& args) {
   const ClusterSpec cluster = LoadCluster(args);
   const BoeModel boe(cluster.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
-  std::vector<EstimateRequest> requests;
+  std::vector<SweepCandidate> requests;
   for (const DagWorkflow& flow : *flows) requests.push_back({&flow, cluster, ""});
   SweepOptions options;
   options.threads = args.GetInt("threads", 0);
@@ -609,7 +609,7 @@ int CmdNodesSweep(const Args& args) {
   const ClusterSpec base = LoadCluster(args);
   const BoeModel boe(base.node);
   const BoeTaskTimeSource source(boe, Duration::Seconds(1));
-  std::vector<EstimateRequest> requests;
+  std::vector<SweepCandidate> requests;
   for (int nodes : *grid) {
     ClusterSpec cluster = base;
     cluster.num_nodes = nodes;
