@@ -6,14 +6,14 @@
 /// remove any surface that is not listed as stable in docs/api.md; MAJOR
 /// stays 0 until the first stability promise. Compare numerically:
 ///
-///   #if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR >= 8
-///     // unified submission API (EstimateRequest/EstimateResponse),
-///     // in-flight estimate coalescing, hedged sweep execution available
+///   #if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR >= 9
+///     // sharded fleet serving: router::Router consistent-hash front-end,
+///     // protocol::LineClient, scoped snapshot import (warm handoff)
 ///   #endif
 #define DAGPERF_VERSION_MAJOR 0
-#define DAGPERF_VERSION_MINOR 8
+#define DAGPERF_VERSION_MINOR 9
 
 /// "MAJOR.MINOR" as a string literal.
-#define DAGPERF_VERSION_STRING "0.8"
+#define DAGPERF_VERSION_STRING "0.9"
 
 #endif  // DAGPERF_VERSION_H_

@@ -58,6 +58,19 @@ Status LoadWarmSnapshot(const std::string& path, TaskTimeMemo* memo,
                         PrefixCheckpointStore* checkpoints,
                         SnapshotStats* stats = nullptr);
 
+/// LoadWarmSnapshot restricted to one cluster scope: only entries whose key
+/// starts with `scope + '#'` — the prefix both TaskTimeMemo::Fingerprint
+/// and the checkpoint store's global fingerprint put first — are imported;
+/// everything else in the snapshot is skipped (and not counted in `stats`).
+/// Validation is unchanged: a corrupt or stale snapshot is rejected whole,
+/// targets untouched, even if the surviving scope slice was intact. This is
+/// the router's warm-handoff path: a shard importing a peer's snapshot
+/// takes only the key range the ring assigns it.
+Status LoadWarmSnapshotForScope(const std::string& path,
+                                const std::string& scope, TaskTimeMemo* memo,
+                                PrefixCheckpointStore* checkpoints,
+                                SnapshotStats* stats = nullptr);
+
 }  // namespace dagperf
 
 #endif  // DAGPERF_MODEL_SNAPSHOT_H_

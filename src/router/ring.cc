@@ -1,0 +1,92 @@
+#include "router/ring.h"
+
+#include <algorithm>
+
+namespace dagperf {
+namespace router {
+
+ConsistentHashRing::ConsistentHashRing(int vnodes_per_shard)
+    : vnodes_(vnodes_per_shard < 1 ? 1 : vnodes_per_shard) {}
+
+std::uint64_t ConsistentHashRing::Hash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV-1a 64 prime
+  }
+  // Raw FNV-1a has weak avalanche on the trailing bytes: route keys that
+  // differ only in a final digit ("...#TS-Q1", "...#TS-Q2", ...) land within
+  // ~prime of each other — a microscopic band on a 64-bit ring, so one shard
+  // would swallow whole key families. The murmur3 fmix64 finalizer restores
+  // full-width dispersion while staying deterministic.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void ConsistentHashRing::AddShard(const std::string& shard_id) {
+  if (HasShard(shard_id)) return;
+  for (int v = 0; v < vnodes_; ++v) {
+    const std::uint64_t pos = Hash(shard_id + "#" + std::to_string(v));
+    // Collisions across shards are astronomically unlikely but must stay
+    // deterministic: first writer keeps the slot.
+    ring_.emplace(pos, shard_id);
+  }
+  shard_ids_.push_back(shard_id);
+  std::sort(shard_ids_.begin(), shard_ids_.end());
+}
+
+void ConsistentHashRing::RemoveShard(const std::string& shard_id) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == shard_id) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  shard_ids_.erase(
+      std::remove(shard_ids_.begin(), shard_ids_.end(), shard_id),
+      shard_ids_.end());
+}
+
+bool ConsistentHashRing::HasShard(const std::string& shard_id) const {
+  return std::find(shard_ids_.begin(), shard_ids_.end(), shard_id) !=
+         shard_ids_.end();
+}
+
+std::string ConsistentHashRing::OwnerOf(const std::string& key) const {
+  if (ring_.empty()) return "";
+  auto it = ring_.upper_bound(Hash(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::string ConsistentHashRing::SuccessorOf(
+    const std::string& key, const std::vector<std::string>& excluding) const {
+  if (ring_.empty()) return "";
+  const std::string owner = OwnerOf(key);
+  auto excluded = [&](const std::string& id) {
+    return id == owner || std::find(excluding.begin(), excluding.end(), id) !=
+                              excluding.end();
+  };
+  auto it = ring_.upper_bound(Hash(key));
+  if (it == ring_.end()) it = ring_.begin();
+  // Walk clockwise past the owner's arc to the next distinct, non-excluded
+  // shard. Bounded by one full revolution.
+  for (std::size_t steps = 0; steps < ring_.size(); ++steps) {
+    if (!excluded(it->second)) return it->second;
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return "";
+}
+
+std::vector<std::string> ConsistentHashRing::shard_ids() const {
+  return shard_ids_;
+}
+
+}  // namespace router
+}  // namespace dagperf

@@ -1,0 +1,64 @@
+#ifndef DAGPERF_ROUTER_RING_H_
+#define DAGPERF_ROUTER_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dagperf {
+namespace router {
+
+/// A consistent-hash ring with virtual nodes. Shards are identified by
+/// stable string ids ("shard-0", ...) and keys are routed by hashing them
+/// onto the same 64-bit ring; each shard owns the arc between its virtual
+/// nodes and their predecessors. Ownership depends only on the hashed
+/// strings, so it is deterministic across process restarts — a restarted
+/// router routes every key to the same shard as its predecessor did, which
+/// is what lets each shard's memo / PrefixCheckpointStore stay hot for its
+/// key range.
+///
+/// Removing one of N shards moves only that shard's arcs (≈ 1/N of the key
+/// space) to ring successors; re-adding it moves exactly those arcs back.
+/// Virtual nodes smooth the per-shard share: with the default 128 vnodes
+/// the share is within ~20% of uniform for small N (tested at N ∈ {2,4,8}).
+///
+/// Not thread-safe; the router guards its ring with the same mutex that
+/// guards shard state.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes_per_shard = 128);
+
+  /// FNV-1a 64-bit — the same deterministic hash family the snapshot
+  /// checksum uses. Exposed so tests can reason about placement.
+  static std::uint64_t Hash(const std::string& s);
+
+  /// Adding an already-present shard is a no-op (readmission after a
+  /// restart does not reshuffle anything beyond the shard's own arcs).
+  void AddShard(const std::string& shard_id);
+  void RemoveShard(const std::string& shard_id);
+  bool HasShard(const std::string& shard_id) const;
+
+  /// The shard owning `key`, or "" when the ring is empty.
+  std::string OwnerOf(const std::string& key) const;
+
+  /// The next distinct shard after `key`'s owner, skipping ids in
+  /// `excluding` — the failover target when the owner is down. Returns ""
+  /// when no eligible shard remains.
+  std::string SuccessorOf(const std::string& key,
+                          const std::vector<std::string>& excluding) const;
+
+  std::vector<std::string> shard_ids() const;
+  int size() const { return static_cast<int>(shard_ids_.size()); }
+  int vnodes_per_shard() const { return vnodes_; }
+
+ private:
+  int vnodes_;
+  std::map<std::uint64_t, std::string> ring_;  // vnode position -> shard id
+  std::vector<std::string> shard_ids_;
+};
+
+}  // namespace router
+}  // namespace dagperf
+
+#endif  // DAGPERF_ROUTER_RING_H_

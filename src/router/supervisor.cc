@@ -1,0 +1,166 @@
+#include "router/supervisor.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+namespace dagperf {
+namespace router {
+
+ShardProcess::ShardProcess(ShardProcessOptions options)
+    : options_(std::move(options)) {}
+
+ShardProcess::~ShardProcess() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    (void)WaitExit(5.0);
+  }
+}
+
+Status ShardProcess::Start() {
+  if (pid_ > 0 && Alive()) {
+    return Status::FailedPrecondition("shard " + options_.shard_id +
+                                      " already running");
+  }
+  if (options_.command.empty()) {
+    return Status::InvalidArgument("shard " + options_.shard_id +
+                                   " has an empty command");
+  }
+  if (!options_.port_file.empty()) ::unlink(options_.port_file.c_str());
+  port_ = 0;
+
+  std::vector<char*> argv;
+  argv.reserve(options_.command.size() + 1);
+  for (const std::string& arg : options_.command) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t child = ::fork();
+  if (child < 0) {
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (child == 0) {
+    // Child. Detach stdin; optionally redirect stderr to the shard log so
+    // N children do not interleave on the router's terminal.
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDIN_FILENO);
+      ::close(devnull);
+    }
+    if (!options_.stderr_file.empty()) {
+      const int log = ::open(options_.stderr_file.c_str(),
+                             O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log >= 0) {
+        ::dup2(log, STDERR_FILENO);
+        ::close(log);
+      }
+    }
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "execv %s: %s\n", argv[0], std::strerror(errno));
+    _exit(127);
+  }
+
+  pid_ = child;
+  ++launches_;
+  Status ready = WaitForPortFile();
+  if (!ready.ok()) {
+    Kill();
+    (void)WaitExit(5.0);
+    return ready;
+  }
+  return Status::Ok();
+}
+
+Status ShardProcess::Restart() {
+  if (pid_ > 0) {
+    if (Alive()) {
+      ::kill(pid_, SIGKILL);
+    }
+    (void)WaitExit(5.0);
+  }
+  pid_ = -1;
+  return Start();
+}
+
+bool ShardProcess::Alive() {
+  if (pid_ <= 0) return false;
+  int wstatus = 0;
+  const pid_t reaped = ::waitpid(pid_, &wstatus, WNOHANG);
+  if (reaped == pid_) {
+    pid_ = -1;
+    return false;
+  }
+  return reaped == 0;
+}
+
+void ShardProcess::Terminate() {
+  if (pid_ > 0) ::kill(pid_, SIGTERM);
+}
+
+void ShardProcess::Kill() {
+  if (pid_ > 0) ::kill(pid_, SIGKILL);
+}
+
+bool ShardProcess::WaitExit(double timeout_seconds) {
+  if (pid_ <= 0) return true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    int wstatus = 0;
+    const pid_t reaped = ::waitpid(pid_, &wstatus, WNOHANG);
+    if (reaped == pid_) {
+      pid_ = -1;
+      return true;
+    }
+    if (reaped < 0 && errno == ECHILD) {
+      pid_ = -1;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+Status ShardProcess::WaitForPortFile() {
+  if (options_.port_file.empty()) {
+    return Status::InvalidArgument("shard " + options_.shard_id +
+                                   " has no port_file configured");
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options_.start_timeout_seconds);
+  for (;;) {
+    {
+      std::ifstream in(options_.port_file);
+      int port = 0;
+      if (in && (in >> port) && port > 0) {
+        port_ = port;
+        return Status::Ok();
+      }
+    }
+    if (!Alive()) {
+      return Status::Unavailable("shard " + options_.shard_id +
+                                 " exited before publishing its port");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("shard " + options_.shard_id +
+                                      " did not publish " +
+                                      options_.port_file + " in time");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace router
+}  // namespace dagperf

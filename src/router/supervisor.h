@@ -1,0 +1,87 @@
+#ifndef DAGPERF_ROUTER_SUPERVISOR_H_
+#define DAGPERF_ROUTER_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dagperf {
+namespace router {
+
+/// How one shard child is launched. The command is a full argv — typically
+///   {<dagperf binary>, "serve", "--port", "0", "--port-file", <port_file>,
+///    "--shard-id", <shard_id>, "--snapshot-dir", <dir>, ...}
+/// so a restart rejoins warm: `--snapshot-dir` makes the child restore its
+/// DPWARM01 snapshot at boot and keep saving periodically, and `--port-file`
+/// is how the supervisor learns the ephemeral port the child bound.
+struct ShardProcessOptions {
+  std::string shard_id;
+  std::vector<std::string> command;
+  /// File the child writes its bound port to; unlinked before every launch
+  /// so a stale file from the previous incarnation cannot be mistaken for
+  /// the new port.
+  std::string port_file;
+  /// How long Start() waits for the port file before declaring the launch
+  /// failed (covers snapshot restore time on warm restarts).
+  double start_timeout_seconds = 30.0;
+  /// Child stderr is redirected here when non-empty (appended, so restarts
+  /// share one log); "" inherits the router's stderr.
+  std::string stderr_file;
+};
+
+/// Owns one shard child process: fork/exec, port discovery, liveness via
+/// waitpid(WNOHANG), and kill/terminate for failover tests and graceful
+/// drain. Restart() relaunches the same command — the snapshot dir baked
+/// into the argv is what makes the restart warm. Not thread-safe; the
+/// router's monitor thread is the only caller after startup.
+class ShardProcess {
+ public:
+  explicit ShardProcess(ShardProcessOptions options);
+  ~ShardProcess();
+
+  ShardProcess(const ShardProcess&) = delete;
+  ShardProcess& operator=(const ShardProcess&) = delete;
+
+  /// Launches the child and waits for its port file. On failure the child
+  /// (if it was forked) is killed and reaped.
+  Status Start();
+
+  /// Reaps the dead child if needed and launches a fresh one.
+  Status Restart();
+
+  /// False once the child has exited (reaps it as a side effect).
+  bool Alive();
+
+  /// SIGTERM — the serve process drains, saves its final snapshot, and
+  /// exits; pair with WaitExit.
+  void Terminate();
+
+  /// SIGKILL — no snapshot save, no goodbye; what the chaos test does.
+  void Kill();
+
+  /// Waits up to `timeout_seconds` for the child to exit; returns true when
+  /// it did (or was never running).
+  bool WaitExit(double timeout_seconds);
+
+  pid_t pid() const { return pid_; }
+  int port() const { return port_; }
+  const std::string& shard_id() const { return options_.shard_id; }
+  std::uint64_t launches() const { return launches_; }
+
+ private:
+  Status WaitForPortFile();
+
+  ShardProcessOptions options_;
+  pid_t pid_ = -1;
+  int port_ = 0;
+  std::uint64_t launches_ = 0;
+};
+
+}  // namespace router
+}  // namespace dagperf
+
+#endif  // DAGPERF_ROUTER_SUPERVISOR_H_

@@ -10,6 +10,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -301,6 +302,9 @@ Result<TcpServeSummary> ServeTcp(EstimationService& service,
       ::close(fd);
       continue;
     }
+    // Responses are one small write each; Nagle would sit on them.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     ++summary.connections;
     connections.emplace_back([fd, &service, &options, &halt, &hub] {
       ServeConnection(fd, service, options, halt, hub);

@@ -121,6 +121,12 @@ struct ServiceOptions {
   /// serve --snapshot-dir` maps here (plus periodic saves).
   std::string snapshot_path;
 
+  /// Identity of this process within a multi-shard fleet (router/router.h);
+  /// echoed in the stats verb so the router's health probes and stats
+  /// fan-out can attribute responses. "" outside shard mode. `dagperf serve
+  /// --shard-id` maps here.
+  std::string shard_id;
+
   /// In-flight estimate coalescing (singleflight). Concurrent requests for
   /// the same value — same workflow bytes, cluster bits, node override, and
   /// explain flag, the exact fingerprint the prefix-checkpoint store keys
@@ -161,6 +167,12 @@ struct ServiceStats {
   std::uint64_t stats_epoch = 0;
   int queue_depth = 0;
   bool draining = false;
+  /// Shard-mode readiness: true while the service is accepting work
+  /// (= !draining). The router's health probes readmit a restarted shard
+  /// only once its stats report ready.
+  bool ready = true;
+  /// ServiceOptions::shard_id, echoed for fleet attribution.
+  std::string shard_id;
   int workflows = 0;
   int clusters = 0;
   TaskTimeMemo::Stats cache;
@@ -311,6 +323,16 @@ class EstimationService {
   /// are rejected with a diagnostic and the service simply stays cold —
   /// restoring is always optional. Call before serving traffic.
   Status LoadSnapshot(const std::string& path);
+
+  /// Restores only the snapshot entries belonging to `scope` (the
+  /// cluster-scope prefix both warm stores key by — see
+  /// TaskTimeMemo::Fingerprint). The scope must be registered on this
+  /// service (RegisterCluster / RegisterSource): importing a snapshot for a
+  /// scope this shard does not own is NOT_FOUND and leaves the warm state
+  /// untouched. Like LoadSnapshot, the merge is first-wins: entries already
+  /// computed locally are never overwritten by snapshot entries.
+  Status LoadSnapshotForScope(const std::string& path,
+                              const std::string& scope);
 
   /// The overload controller; nullptr when overload control is disabled
   /// (ServiceOptions::overload_target_sojourn_ms == 0).

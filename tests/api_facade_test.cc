@@ -44,6 +44,12 @@
 #error "unified submission API requires dagperf >= 0.8"
 #endif
 
+// Fleet serving (router::Router, protocol::LineClient, scoped snapshot
+// import for warm handoff) arrived in 0.9.
+#if DAGPERF_VERSION_MAJOR == 0 && DAGPERF_VERSION_MINOR < 9
+#error "fleet serving requires dagperf >= 0.9"
+#endif
+
 namespace dagperf {
 namespace {
 

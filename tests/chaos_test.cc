@@ -31,6 +31,7 @@
 #include "common/parallel.h"
 #include "model/sweep.h"
 #include "resilience/fault.h"
+#include "service/line_client.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "workloads/micro.h"
@@ -112,83 +113,37 @@ class TestTcpServer {
   Result<TcpServeSummary> result_ = Status::Internal("serve never ran");
 };
 
-/// Minimal blocking loopback client. Unlike the transport test's client this
-/// one treats early close as data (chaos schedules legitimately sever
-/// connections) — ReadLineOrClose reports which happened.
+/// Thin wrapper over protocol::LineClient (the shared client-side framing
+/// implementation). Unlike the transport test's client this one treats early
+/// close as data (chaos schedules legitimately sever connections) —
+/// ReadLineOrClose reports which happened — and a hang past the deadline is
+/// an immediate test failure carrying the repro seed.
 class ChaosClient {
  public:
-  explicit ChaosClient(int port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
+  explicit ChaosClient(int port) { (void)client_.Connect(port); }
 
-  ~ChaosClient() { Close(); }
+  bool connected() const { return client_.connected(); }
 
-  bool connected() const { return fd_ >= 0; }
+  void Close() { client_.Close(); }
 
-  void Close() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
+  /// Raw bytes, no newline framing — chaos schedules send torn frames on
+  /// purpose.
+  bool Send(const std::string& bytes) { return client_.SendRaw(bytes).ok(); }
 
-  bool Send(const std::string& bytes) {
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      sent += static_cast<std::size_t>(n);
-    }
-    return true;
-  }
-
-  struct LineOrClose {
-    bool closed = false;
-    std::string line;
-  };
+  using LineOrClose = protocol::LineClient::LineOrClose;
 
   LineOrClose ReadLineOrClose(double timeout_seconds = 20.0) {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::duration<double>(timeout_seconds);
-    for (;;) {
-      const std::size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        LineOrClose out;
-        out.line = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        return out;
-      }
-      const auto remaining = deadline - std::chrono::steady_clock::now();
-      const int wait_ms = static_cast<int>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
-              .count());
-      if (wait_ms <= 0) {
-        ADD_FAILURE() << "chaos client hung waiting for a line "
-                      << "(seed " << ChaosSeed() << ")";
-        return {.closed = true, .line = ""};
-      }
-      pollfd pfd{fd_, POLLIN, 0};
-      if (::poll(&pfd, 1, wait_ms) <= 0) continue;
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n <= 0) return {.closed = true, .line = ""};
-      buffer_.append(chunk, static_cast<std::size_t>(n));
+    Result<LineOrClose> got = client_.RecvLine(timeout_seconds);
+    if (!got.ok()) {
+      ADD_FAILURE() << "chaos client hung waiting for a line "
+                    << "(seed " << ChaosSeed() << ")";
+      return {.closed = true, .line = ""};
     }
+    return std::move(got).value();
   }
 
  private:
-  int fd_ = -1;
-  std::string buffer_;
+  protocol::LineClient client_;
 };
 
 std::string EstimateLine(int id) {

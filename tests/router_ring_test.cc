@@ -1,0 +1,192 @@
+// Consistent-hash ring property tests (router/ring.h). The ring is the
+// router's routing brain, so its guarantees are stated as properties over
+// large key populations rather than spot checks:
+//   - minimal disruption: a shard leaving moves only the keys it owned
+//     (~1/N of the population, asserted <= 2/N), everything else stays put;
+//   - rejoin restores the exact pre-departure ownership (determinism);
+//   - two rings built independently from the same membership agree on every
+//     key (restart safety — no hidden per-process state);
+//   - virtual-node balance: each shard's share stays within 20% of uniform
+//     at N in {2, 4, 8}.
+
+#include "router/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dagperf {
+namespace router {
+namespace {
+
+/// Route-key shaped population: "<cluster>#<workflow>" like
+/// Router::RouteKey produces.
+std::vector<std::string> Keys(int count) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    keys.push_back("cluster-" + std::to_string(i % 7) + "#wf-" +
+                   std::to_string(i));
+  }
+  return keys;
+}
+
+ConsistentHashRing RingOf(int shards, int vnodes = 128) {
+  ConsistentHashRing ring(vnodes);
+  for (int s = 0; s < shards; ++s) {
+    ring.AddShard("shard-" + std::to_string(s));
+  }
+  return ring;
+}
+
+std::map<std::string, std::string> Owners(
+    const ConsistentHashRing& ring, const std::vector<std::string>& keys) {
+  std::map<std::string, std::string> owners;
+  for (const std::string& key : keys) owners[key] = ring.OwnerOf(key);
+  return owners;
+}
+
+TEST(ConsistentHashRingTest, EmptyRingOwnsNothing) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.size(), 0);
+  EXPECT_EQ(ring.OwnerOf("anything"), "");
+  EXPECT_EQ(ring.SuccessorOf("anything", {}), "");
+}
+
+TEST(ConsistentHashRingTest, SingleShardOwnsEverything) {
+  ConsistentHashRing ring;
+  ring.AddShard("only");
+  for (const std::string& key : Keys(100)) {
+    EXPECT_EQ(ring.OwnerOf(key), "only");
+    // With one shard there is no distinct successor.
+    EXPECT_EQ(ring.SuccessorOf(key, {"only"}), "");
+  }
+}
+
+TEST(ConsistentHashRingTest, DeterministicAcrossIndependentBuilds) {
+  // Restart safety: a router that rebuilds its ring from the same shard set
+  // must route every key identically — ownership is a pure function of
+  // membership, never of insertion history or process state.
+  const std::vector<std::string> keys = Keys(2000);
+  const ConsistentHashRing a = RingOf(5);
+  ConsistentHashRing b(128);
+  // Reverse insertion order on purpose.
+  for (int s = 4; s >= 0; --s) b.AddShard("shard-" + std::to_string(s));
+  EXPECT_EQ(Owners(a, keys), Owners(b, keys));
+}
+
+TEST(ConsistentHashRingTest, LeaveMovesOnlyTheDepartedShardsKeys) {
+  const std::vector<std::string> keys = Keys(4000);
+  for (const int shards : {2, 4, 8}) {
+    ConsistentHashRing ring = RingOf(shards);
+    const std::map<std::string, std::string> before = Owners(ring, keys);
+
+    const std::string victim = "shard-0";
+    ring.RemoveShard(victim);
+    const std::map<std::string, std::string> after = Owners(ring, keys);
+
+    std::size_t moved = 0;
+    for (const std::string& key : keys) {
+      if (before.at(key) == victim) {
+        ++moved;
+        EXPECT_NE(after.at(key), victim);
+      } else {
+        // Minimal disruption: a key the victim never owned must not move.
+        EXPECT_EQ(after.at(key), before.at(key))
+            << key << " moved although " << victim << " never owned it (N="
+            << shards << ")";
+      }
+    }
+    // The departed shard owned ~1/N of the keyspace; <= 2/N bounds the skew.
+    EXPECT_LE(moved, 2 * keys.size() / static_cast<std::size_t>(shards))
+        << "N=" << shards;
+    EXPECT_GT(moved, 0u) << "N=" << shards;
+  }
+}
+
+TEST(ConsistentHashRingTest, RejoinRestoresExactOwnership) {
+  const std::vector<std::string> keys = Keys(3000);
+  ConsistentHashRing ring = RingOf(4);
+  const std::map<std::string, std::string> before = Owners(ring, keys);
+
+  ring.RemoveShard("shard-2");
+  ring.AddShard("shard-2");
+
+  // A restarted shard reclaims exactly its old key range — the warm snapshot
+  // it reloaded still matches the requests the ring will send it.
+  EXPECT_EQ(Owners(ring, keys), before);
+}
+
+TEST(ConsistentHashRingTest, VnodeBalanceWithin20PercentOfUniform) {
+  const std::vector<std::string> keys = Keys(20000);
+  for (const int shards : {2, 4, 8}) {
+    const ConsistentHashRing ring = RingOf(shards);
+    std::map<std::string, std::size_t> counts;
+    for (const std::string& key : keys) ++counts[ring.OwnerOf(key)];
+    EXPECT_EQ(counts.size(), static_cast<std::size_t>(shards));
+
+    const double uniform =
+        static_cast<double>(keys.size()) / static_cast<double>(shards);
+    for (const auto& [shard, count] : counts) {
+      const double share = static_cast<double>(count);
+      EXPECT_GE(share, 0.8 * uniform)
+          << shard << " underloaded at N=" << shards;
+      EXPECT_LE(share, 1.2 * uniform)
+          << shard << " overloaded at N=" << shards;
+    }
+  }
+}
+
+TEST(ConsistentHashRingTest, SuccessorSkipsOwnerAndExcluded) {
+  ConsistentHashRing ring = RingOf(4);
+  for (const std::string& key : Keys(500)) {
+    const std::string owner = ring.OwnerOf(key);
+    const std::string successor = ring.SuccessorOf(key, {owner});
+    ASSERT_FALSE(successor.empty());
+    EXPECT_NE(successor, owner);
+
+    // Excluding the successor too yields a third distinct shard.
+    const std::string third = ring.SuccessorOf(key, {owner, successor});
+    ASSERT_FALSE(third.empty());
+    EXPECT_NE(third, owner);
+    EXPECT_NE(third, successor);
+
+    // Excluding every shard leaves nowhere to go.
+    EXPECT_EQ(
+        ring.SuccessorOf(key, {"shard-0", "shard-1", "shard-2", "shard-3"}),
+        "");
+  }
+}
+
+TEST(ConsistentHashRingTest, SuccessorIsTheOwnerAfterRemoval) {
+  // Failover consistency: the shard RouteAndForward retries on (the
+  // successor) is exactly the shard the ring elects once the dead one is
+  // removed — reroute-before-removal and reroute-after-removal agree.
+  const std::vector<std::string> keys = Keys(1000);
+  ConsistentHashRing ring = RingOf(5);
+  for (const std::string& key : keys) {
+    const std::string owner = ring.OwnerOf(key);
+    const std::string successor = ring.SuccessorOf(key, {owner});
+    ConsistentHashRing without = ring;
+    without.RemoveShard(owner);
+    EXPECT_EQ(without.OwnerOf(key), successor) << key;
+  }
+}
+
+TEST(ConsistentHashRingTest, AddIsIdempotentAndRemoveUnknownIsNoop) {
+  ConsistentHashRing ring = RingOf(3);
+  const std::vector<std::string> keys = Keys(500);
+  const std::map<std::string, std::string> before = Owners(ring, keys);
+
+  ring.AddShard("shard-1");       // Already present.
+  ring.RemoveShard("shard-99");   // Never present.
+  EXPECT_EQ(ring.size(), 3);
+  EXPECT_EQ(Owners(ring, keys), before);
+}
+
+}  // namespace
+}  // namespace router
+}  // namespace dagperf

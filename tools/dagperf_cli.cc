@@ -23,7 +23,10 @@
 //                    [--grace-seconds G] [--watchdog-multiple M]
 //                    [--breaker-threshold K] [--read-idle-seconds I]
 //                    [--metrics-port P] [--slo-p99-ms MS] [--slo-availability F]
-//                    [--flight-out FILE.json]
+//                    [--flight-out FILE.json] [--shard-id ID] [--port-file F]
+//   dagperf route    --shards N [--port P] [--dir DIR] [--scale S]
+//                    [--vnodes V] [--probe-interval-ms I] [--readmit-quorum Q]
+//                    [--max-in-flight K] [--port-file F] [--flight-out F]
 //   dagperf metrics  [--port P] [--prom]
 //   dagperf top      --port P [--interval-ms I] [--iterations N]
 //
@@ -40,6 +43,15 @@
 // opens a per-cluster circuit breaker after K consecutive serving failures
 // (0 disables; default 8); --watchdog-multiple M cancels any request
 // running past M x its deadline.
+//
+// `route` runs a multi-process fleet (src/router/): N child `dagperf serve`
+// shards behind a consistent-hash router on one TCP port. Requests route by
+// (cluster, workflow) so each shard's memo stays hot for its key range;
+// crashed shards are restarted from their per-shard snapshot dir and
+// readmitted after a health-check quorum (docs/robustness.md "Shard
+// fleets"). --dir holds per-shard state (snapshots, port files, logs).
+// SIGTERM drains the whole fleet gracefully: every shard saves its final
+// snapshot before exiting.
 //
 // --deadline-seconds bounds the wall-clock the estimator may spend; on
 // expiry the command exits 3 (sweeps print whatever candidates finished).
@@ -71,6 +83,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -84,6 +97,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "common/cancel.h"
@@ -99,6 +113,8 @@
 #include "obs/metrics.h"
 #include "obs/prom.h"
 #include "obs/trace.h"
+#include "router/router.h"
+#include "service/line_client.h"
 #include "service/metrics_http.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -201,7 +217,7 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: dagperf <list|export|simulate|estimate|explain|compare|"
-               "sweep|tune|serve|metrics|top> "
+               "sweep|tune|serve|route|metrics|top> "
                "[--flow NAME | --spec FILE.json] [--job WC|TS|TSC|TS2R|TS3R] "
                "[--scale S] [--nodes N] [--seed K] [--input-gb G] [--baseline R] "
                "[--reducers 8,16,32] [--nodes-list 2,4,8] [--threads N] "
@@ -214,6 +230,9 @@ int Usage() {
                "[--read-idle-seconds I] "
                "[--overload-target-ms T] [--snapshot-dir DIR] "
                "[--snapshot-interval-seconds S] "
+               "[--shard-id ID] [--port-file F] [--shards N] [--dir DIR] "
+               "[--vnodes V] [--probe-interval-ms I] [--readmit-quorum Q] "
+               "[--max-in-flight K] "
                "[--metrics-port P] [--slo-p99-ms MS] [--slo-availability F] "
                "[--flight-out F] [--prom] [--interval-ms I] [--iterations N]\n");
   return 2;
@@ -735,6 +754,11 @@ int CmdServe(const Args& args) {
   }
   const double snapshot_interval =
       args.GetDouble("snapshot-interval-seconds", 30.0);
+  // Shard mode (router/router.h): --shard-id is echoed in stats for fleet
+  // attribution; --port-file publishes the bound port for the supervisor
+  // (written atomically, so a reader never sees a torn value).
+  options.shard_id = args.Get("shard-id", "");
+  const std::string port_file = args.Get("port-file", "");
   options.slo.p99_ms = args.GetDouble("slo-p99-ms", 0.0);
   options.slo.availability = args.GetDouble("slo-availability", 0.0);
   if (options.slo.availability >= 1.0 || options.slo.availability < 0.0) {
@@ -845,8 +869,22 @@ int CmdServe(const Args& args) {
       tcp.drain_grace_seconds = args.GetDouble("grace-seconds", 5.0);
       tcp.read_idle_timeout_seconds = args.GetDouble("read-idle-seconds", 30.0);
       tcp.stop = ServeStopToken();
-      tcp.on_listen = [](int port) {
+      tcp.on_listen = [&port_file](int port) {
         std::fprintf(stderr, "listening on 127.0.0.1:%d\n", port);
+        if (!port_file.empty()) {
+          const std::string tmp = port_file + ".tmp";
+          std::ofstream out(tmp);
+          if (out) {
+            out << port << "\n";
+            out.close();
+            if (::rename(tmp.c_str(), port_file.c_str()) != 0) {
+              std::fprintf(stderr, "cannot publish %s: %s\n",
+                           port_file.c_str(), std::strerror(errno));
+            }
+          } else {
+            std::fprintf(stderr, "cannot open %s\n", tmp.c_str());
+          }
+        }
       };
       std::signal(SIGTERM, HandleServeSignal);
       std::signal(SIGINT, HandleServeSignal);
@@ -885,6 +923,19 @@ int CmdServe(const Args& args) {
   metrics_stop.Cancel();
   if (metrics_thread.joinable()) metrics_thread.join();
 
+  if (!options.snapshot_path.empty()) {
+    // The guaranteed final save: every serve exit path — EOF, drain verb,
+    // SIGTERM, connection limit — lands here before the process exits, with
+    // no dependency on the --snapshot-interval-seconds timer having fired.
+    // Drain() saves exactly once before resetting warm state (a SIGTERM
+    // path that already drained inside ServeTcp is a no-op here), which
+    // also means the save's flight event is recorded before the --flight-out
+    // dump below instead of being lost in the destructor.
+    (void)service.Drain();
+    std::fprintf(stderr, "final warm snapshot at %s\n",
+                 options.snapshot_path.c_str());
+  }
+
   if (!flight_path.empty()) {
     // Dumped on every exit path -- EOF, drain verb, SIGTERM shutdown -- so
     // the last-N request records survive the process. Confirmation goes to
@@ -900,60 +951,154 @@ int CmdServe(const Args& args) {
   return rc;
 }
 
+/// The dagperf binary to exec shard children with: $DAGPERF_BIN when set
+/// (tests point it at the built CLI), else this very binary via
+/// /proc/self/exe.
+std::string SelfBinaryPath() {
+  if (const char* env = std::getenv("DAGPERF_BIN");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return "dagperf";
+}
+
+/// Multi-process shard fleet: a consistent-hash router fronting N child
+/// `dagperf serve` shards (router/router.h). Shard state lives under
+/// --dir: per-shard snapshot dirs (warm restarts), port files, and logs.
+int CmdRoute(const Args& args) {
+  const int shards = args.GetInt("shards", 3);
+  if (shards < 1) {
+    return Fail(Status::InvalidArgument("--shards must be >= 1"));
+  }
+  const std::string dir = args.Get("dir", ".dagperf-fleet");
+  ::mkdir(dir.c_str(), 0755);
+
+  const std::string binary = SelfBinaryPath();
+  const double scale = args.GetDouble("scale", 1.0);
+  const int threads = args.GetInt("threads", 0);
+  const double snapshot_interval =
+      args.GetDouble("snapshot-interval-seconds", 5.0);
+
+  std::vector<router::ShardSpec> specs;
+  for (int i = 0; i < shards; ++i) {
+    const std::string shard_id = "shard-" + std::to_string(i);
+    const std::string shard_dir = dir + "/" + shard_id;
+    ::mkdir(shard_dir.c_str(), 0755);
+    router::ShardSpec spec;
+    spec.shard_id = shard_id;
+    spec.port_file = dir + "/" + shard_id + ".port";
+    spec.stderr_file = dir + "/" + shard_id + ".log";
+    spec.command = {binary,
+                    "serve",
+                    "--port",
+                    "0",
+                    "--port-file",
+                    spec.port_file,
+                    "--shard-id",
+                    shard_id,
+                    "--snapshot-dir",
+                    shard_dir,
+                    "--scale",
+                    std::to_string(scale),
+                    "--snapshot-interval-seconds",
+                    std::to_string(snapshot_interval)};
+    if (threads > 0) {
+      spec.command.push_back("--threads");
+      spec.command.push_back(std::to_string(threads));
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  router::RouterOptions options;
+  options.port = args.GetInt("port", 0);
+  options.vnodes = args.GetInt("vnodes", 128);
+  options.max_in_flight_per_shard = args.GetInt("max-in-flight", 64);
+  options.probe_interval_seconds =
+      args.GetDouble("probe-interval-ms", 50.0) / 1000.0;
+  options.readmit_quorum = args.GetInt("readmit-quorum", 2);
+  options.drain_grace_seconds = args.GetDouble("grace-seconds", 5.0);
+  options.stop = ServeStopToken();
+  const std::string port_file = args.Get("port-file", "");
+  options.on_listen = [&port_file](int port) {
+    std::fprintf(stderr, "router listening on 127.0.0.1:%d\n", port);
+    if (!port_file.empty()) {
+      const std::string tmp = port_file + ".tmp";
+      std::ofstream out(tmp);
+      if (out) {
+        out << port << "\n";
+        out.close();
+        (void)::rename(tmp.c_str(), port_file.c_str());
+      }
+    }
+  };
+
+  obs::SetMetricsEnabled(true);
+  std::fprintf(stderr, "dagperf route: %d shards under %s (scale %g)\n",
+               shards, dir.c_str(), scale);
+
+  router::Router fleet(std::move(specs), options);
+  std::signal(SIGTERM, HandleServeSignal);
+  std::signal(SIGINT, HandleServeSignal);
+  Result<router::RouterSummary> served = fleet.Serve();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  const std::string flight_path = args.Get("flight-out", "");
+  if (!flight_path.empty()) {
+    std::ofstream out(flight_path);
+    if (out) {
+      out << fleet.flight_recorder().ToJson() << "\n";
+      std::fprintf(stderr, "wrote %s\n", flight_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", flight_path.c_str());
+    }
+  }
+
+  if (!served.ok()) return Fail(served.status());
+  const router::RouterSummary& summary = served.value();
+  std::fprintf(stderr,
+               "routed %llu requests over %llu connections "
+               "(%llu reroutes, %llu restarts, %llu sheds; %s)\n",
+               static_cast<unsigned long long>(summary.requests),
+               static_cast<unsigned long long>(summary.connections),
+               static_cast<unsigned long long>(summary.reroutes),
+               static_cast<unsigned long long>(summary.restarts),
+               static_cast<unsigned long long>(summary.sheds),
+               summary.stopped ? "stopped by signal" : "drained");
+  return kExitOk;
+}
+
 /// Connects to a local `dagperf serve --port` server, sends one request
 /// line, and invokes `on_line` per response line until it returns false or
 /// the peer closes. Used by `metrics` (one response) and `top` (a stream of
 /// watch frames).
 Status QueryServer(int port, const std::string& request,
                    const std::function<bool(const std::string&)>& on_line) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const std::string detail = std::strerror(errno);
-    ::close(fd);
-    return Status::Unavailable("cannot connect to 127.0.0.1:" +
-                               std::to_string(port) + ": " + detail +
+  protocol::LineClient client;
+  if (Status connected = client.Connect(port); !connected.ok()) {
+    return Status::Unavailable(connected.message() +
                                " (is `dagperf serve --port` running?)");
   }
-  const std::string line = request + "\n";
-  std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t n =
-        ::send(fd, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      ::close(fd);
-      return Status::Unavailable("send failed");
+  if (Status sent = client.SendLine(request); !sent.ok()) return sent;
+  for (;;) {
+    // `top` subscriptions stream frames indefinitely; the deadline only
+    // bounds one poll slice, so a quiet watch stream keeps waiting.
+    Result<protocol::LineClient::LineOrClose> got = client.RecvLine(3600.0);
+    if (!got.ok()) {
+      if (got.status().code() == ErrorCode::kDeadlineExceeded) continue;
+      return got.status();
     }
-    sent += static_cast<std::size_t>(n);
-  }
-  std::string buffer;
-  char chunk[4096];
-  bool keep = true;
-  while (keep) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t pos;
-    while (keep && (pos = buffer.find('\n')) != std::string::npos) {
-      const std::string response = buffer.substr(0, pos);
-      buffer.erase(0, pos + 1);
-      if (!response.empty()) keep = on_line(response);
+    if (got.value().closed) return Status::Ok();
+    if (!got.value().line.empty() && !on_line(got.value().line)) {
+      return Status::Ok();
     }
   }
-  ::close(fd);
-  return Status::Ok();
 }
 
 /// Prints a server's metric registry (or, without --port, this process's
@@ -1135,6 +1280,8 @@ int Main(int argc, char** argv) {
       rc = CmdTune(args);
     } else if (args.command == "serve") {
       rc = CmdServe(args);
+    } else if (args.command == "route") {
+      rc = CmdRoute(args);
     } else if (args.command == "metrics") {
       rc = CmdMetrics(args);
     } else if (args.command == "top") {
